@@ -1,0 +1,372 @@
+//! A LightLDA-style cycle-proposal Metropolis–Hastings sampler
+//! (Yuan et al., WWW'15 — reference [35] of the paper).
+//!
+//! LightLDA factorises the collapsed conditional into a *document* term and a
+//! *word* term and alternates between two cheap proposals:
+//!
+//! * the **doc proposal** `q_d(k) ∝ θ_{d,k} + α`, drawn in O(1) by picking a
+//!   random token of the document (or a uniform topic with probability
+//!   `Kα / (L_d + Kα)`);
+//! * the **word proposal** `q_w(k) ∝ φ_{k,v} + β`, drawn in O(1) from a
+//!   per-word alias table that is rebuilt lazily once per iteration.
+//!
+//! Each proposal is accepted with the full Metropolis–Hastings ratio, so the
+//! chain targets the exact CGS posterior.  The difference from the
+//! WarpLDA-style baseline is the proposal/acceptance factorisation (WarpLDA
+//! uses the *opposite* term in each acceptance, LightLDA uses the full ratio)
+//! and the number of MH steps per token (`mh_steps`, 2 by default as in the
+//! original system).
+//!
+//! Like the other CPU baselines, the sampler runs functionally on the host
+//! and its time is charged to a CPU roofline spec at cache-line granularity.
+
+use crate::solver::LdaSolver;
+use culda_corpus::Corpus;
+use culda_gpusim::cost::{kernel_time, CostCounters};
+use culda_gpusim::DeviceSpec;
+use culda_metrics::special::ln_gamma;
+use culda_sparse::AliasTable;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Bytes charged per random access to a large model structure.
+const CACHE_LINE: u64 = 64;
+
+/// A LightLDA-style cycle-proposal MH sampler.
+pub struct LightLda {
+    num_topics: usize,
+    alpha: f64,
+    beta: f64,
+    mh_steps: usize,
+    docs: Vec<Vec<u32>>,
+    z: Vec<Vec<u16>>,
+    doc_topic: Vec<Vec<u32>>,
+    topic_word: Vec<Vec<u32>>,
+    topic_total: Vec<u64>,
+    vocab_size: usize,
+    num_tokens: u64,
+    elapsed_s: f64,
+    rng: ChaCha8Rng,
+    spec: DeviceSpec,
+    label: String,
+}
+
+impl LightLda {
+    /// Initialise with random assignments, timed against `spec`.
+    pub fn new(
+        corpus: &Corpus,
+        num_topics: usize,
+        alpha: f64,
+        beta: f64,
+        mh_steps: usize,
+        seed: u64,
+        spec: DeviceSpec,
+    ) -> Self {
+        assert!(mh_steps >= 1, "at least one MH step per token is required");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let vocab_size = corpus.vocab_size();
+        let mut docs = Vec::with_capacity(corpus.num_docs());
+        let mut z = Vec::with_capacity(corpus.num_docs());
+        let mut doc_topic = vec![vec![0u32; num_topics]; corpus.num_docs()];
+        let mut topic_word = vec![vec![0u32; vocab_size]; num_topics];
+        let mut topic_total = vec![0u64; num_topics];
+        for d in 0..corpus.num_docs() {
+            let words: Vec<u32> = corpus.doc(d).to_vec();
+            let mut zd = Vec::with_capacity(words.len());
+            for &w in &words {
+                let k = rng.gen_range(0..num_topics);
+                zd.push(k as u16);
+                doc_topic[d][k] += 1;
+                topic_word[k][w as usize] += 1;
+                topic_total[k] += 1;
+            }
+            docs.push(words);
+            z.push(zd);
+        }
+        let label = format!("LightLDA ({})", spec.name);
+        LightLda {
+            num_topics,
+            alpha,
+            beta,
+            mh_steps,
+            docs,
+            z,
+            doc_topic,
+            topic_word,
+            topic_total,
+            vocab_size,
+            num_tokens: corpus.num_tokens() as u64,
+            elapsed_s: 0.0,
+            rng,
+            spec,
+            label,
+        }
+    }
+
+    /// The paper's priors (`α = 50/K`, `β = 0.01`), two MH steps per token,
+    /// timed on the Volta platform's Xeon.
+    pub fn with_paper_priors(corpus: &Corpus, num_topics: usize, seed: u64) -> Self {
+        Self::new(
+            corpus,
+            num_topics,
+            50.0 / num_topics as f64,
+            0.01,
+            2,
+            seed,
+            DeviceSpec::xeon_e5_2690v4(),
+        )
+    }
+
+    /// φ as dense per-topic word counts.
+    pub fn topic_word(&self) -> &[Vec<u32>] {
+        &self.topic_word
+    }
+
+    /// Consistency check (tests).
+    pub fn validate(&self) -> Result<(), String> {
+        let total: u64 = self.topic_total.iter().sum();
+        if total != self.num_tokens {
+            return Err(format!("n_k sums to {total}, expected {}", self.num_tokens));
+        }
+        let theta: u64 = self
+            .doc_topic
+            .iter()
+            .flat_map(|r| r.iter().map(|&c| c as u64))
+            .sum();
+        if theta != self.num_tokens {
+            return Err(format!("θ sums to {theta}, expected {}", self.num_tokens));
+        }
+        Ok(())
+    }
+
+    /// The exact (unnormalised) collapsed conditional of topic `k` for word
+    /// `w` in document `d`, used in the acceptance ratios.
+    #[inline]
+    fn posterior_mass(&self, d: usize, w: usize, k: usize) -> f64 {
+        let v_beta = self.beta * self.vocab_size as f64;
+        (self.doc_topic[d][k] as f64 + self.alpha)
+            * (self.topic_word[k][w] as f64 + self.beta)
+            / (self.topic_total[k] as f64 + v_beta)
+    }
+
+    /// Per-word alias tables over `φ_{·,w} + β`, rebuilt once per iteration.
+    fn build_word_proposals(&self) -> Vec<AliasTable> {
+        (0..self.vocab_size)
+            .map(|w| {
+                let weights: Vec<f32> = (0..self.num_topics)
+                    .map(|k| (self.topic_word[k][w] as f64 + self.beta) as f32)
+                    .collect();
+                AliasTable::new(&weights)
+            })
+            .collect()
+    }
+}
+
+impl LdaSolver for LightLda {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn run_iteration(&mut self) -> f64 {
+        let alpha_k = self.alpha * self.num_topics as f64;
+        let mut counters = CostCounters::zero();
+
+        let proposals = self.build_word_proposals();
+        counters.dram_read_bytes += (self.num_topics * self.vocab_size) as u64 * 4;
+        counters.dram_write_bytes += (self.num_topics * self.vocab_size) as u64 * 8;
+        counters.flops += (self.num_topics * self.vocab_size) as u64 * 2;
+
+        for d in 0..self.docs.len() {
+            let len = self.docs[d].len();
+            if len == 0 {
+                continue;
+            }
+            for t in 0..len {
+                let w = self.docs[d][t] as usize;
+                let mut k = self.z[d][t] as usize;
+
+                // Remove the token from the counts so proposals and
+                // acceptance ratios use the collapsed "−di" statistics; it is
+                // added back under the final topic after the MH steps.
+                self.doc_topic[d][k] -= 1;
+                self.topic_word[k][w] -= 1;
+                self.topic_total[k] -= 1;
+                counters.dram_write_bytes += 12;
+
+                for step in 0..self.mh_steps {
+                    // Alternate doc / word proposals (the "cycle" proposal).
+                    let (k_prop, q_ratio) = if step % 2 == 0 {
+                        // Doc proposal q(k) ∝ θ_{d,k} + α.
+                        let u: f64 = self.rng.gen::<f64>() * (len as f64 + alpha_k);
+                        let kp = if u < len as f64 {
+                            self.z[d][self.rng.gen_range(0..len)] as usize
+                        } else {
+                            self.rng.gen_range(0..self.num_topics)
+                        };
+                        // q(k)/q(k') for the acceptance ratio.
+                        let q_new = self.doc_topic[d][kp] as f64 + self.alpha;
+                        let q_old = self.doc_topic[d][k] as f64 + self.alpha;
+                        (kp, q_old / q_new)
+                    } else {
+                        // Word proposal q(k) ∝ φ_{k,v} + β.
+                        let kp = proposals[w].sample(&mut self.rng);
+                        let q_new = self.topic_word[kp][w] as f64 + self.beta;
+                        let q_old = self.topic_word[k][w] as f64 + self.beta;
+                        (kp, q_old / q_new)
+                    };
+                    counters.dram_read_bytes += 2 * CACHE_LINE;
+                    counters.flops += 10;
+                    counters.rng_draws += 2;
+
+                    if k_prop == k {
+                        continue;
+                    }
+                    // Full MH acceptance with the exact posterior masses.
+                    let accept =
+                        self.posterior_mass(d, w, k_prop) / self.posterior_mass(d, w, k) * q_ratio;
+                    counters.dram_read_bytes += 2 * CACHE_LINE;
+                    counters.flops += 8;
+                    counters.rng_draws += 1;
+                    if self.rng.gen::<f64>() < accept {
+                        k = k_prop;
+                        counters.atomic_ops += 2;
+                    }
+                }
+                // Re-insert the token under its (possibly new) topic.
+                self.doc_topic[d][k] += 1;
+                self.topic_word[k][w] += 1;
+                self.topic_total[k] += 1;
+                self.z[d][t] = k as u16;
+                counters.dram_write_bytes += 14;
+            }
+        }
+
+        let time = kernel_time(&self.spec, &counters, 100_000).total_s;
+        self.elapsed_s += time;
+        time
+    }
+
+    fn num_tokens(&self) -> u64 {
+        self.num_tokens
+    }
+
+    fn loglik_per_token(&self) -> f64 {
+        if self.num_tokens == 0 {
+            return 0.0;
+        }
+        let k = self.num_topics as f64;
+        let v = self.vocab_size as f64;
+        let mut ll = 0.0;
+        for row in &self.doc_topic {
+            let len: u64 = row.iter().map(|&c| c as u64).sum();
+            if len == 0 {
+                continue;
+            }
+            ll += ln_gamma(k * self.alpha) - k * ln_gamma(self.alpha);
+            for &c in row {
+                ll += ln_gamma(c as f64 + self.alpha);
+            }
+            ll -= ln_gamma(len as f64 + k * self.alpha);
+        }
+        for (kk, row) in self.topic_word.iter().enumerate() {
+            ll += ln_gamma(v * self.beta) - v * ln_gamma(self.beta);
+            for &c in row {
+                ll += ln_gamma(c as f64 + self.beta);
+            }
+            ll -= ln_gamma(self.topic_total[kk] as f64 + v * self.beta);
+        }
+        ll / self.num_tokens as f64
+    }
+
+    fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_corpus::DatasetProfile;
+
+    fn corpus() -> Corpus {
+        DatasetProfile {
+            name: "light".into(),
+            num_docs: 100,
+            vocab_size: 80,
+            avg_doc_len: 18.0,
+            zipf_exponent: 1.0,
+            doc_len_sigma: 0.4,
+        }
+        .generate(17)
+    }
+
+    #[test]
+    fn counts_remain_consistent_across_iterations() {
+        let corpus = corpus();
+        let mut l = LightLda::with_paper_priors(&corpus, 8, 4);
+        l.validate().unwrap();
+        for _ in 0..4 {
+            l.run_iteration();
+            l.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn likelihood_improves_and_time_accumulates() {
+        let corpus = corpus();
+        let mut l = LightLda::with_paper_priors(&corpus, 16, 5);
+        let before = l.loglik_per_token();
+        let mut total = 0.0;
+        for _ in 0..12 {
+            total += l.run_iteration();
+        }
+        let after = l.loglik_per_token();
+        assert!(after > before, "{before} → {after}");
+        assert!((l.elapsed_s() - total).abs() < 1e-12);
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn more_mh_steps_cost_more_simulated_time() {
+        let corpus = corpus();
+        let mut fast = LightLda::new(
+            &corpus,
+            8,
+            50.0 / 8.0,
+            0.01,
+            1,
+            9,
+            DeviceSpec::xeon_e5_2690v4(),
+        );
+        let mut slow = LightLda::new(
+            &corpus,
+            8,
+            50.0 / 8.0,
+            0.01,
+            4,
+            9,
+            DeviceSpec::xeon_e5_2690v4(),
+        );
+        let t_fast = fast.run_iteration();
+        let t_slow = slow.run_iteration();
+        assert!(t_slow > t_fast, "{t_slow} vs {t_fast}");
+    }
+
+    #[test]
+    fn empty_documents_are_handled() {
+        let mut b = culda_corpus::CorpusBuilder::new(5);
+        b.push_doc(&[]);
+        b.push_doc(&[0, 1, 2]);
+        let corpus = b.build();
+        let mut l = LightLda::with_paper_priors(&corpus, 4, 1);
+        l.run_iteration();
+        l.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MH step")]
+    fn zero_mh_steps_is_rejected() {
+        let corpus = corpus();
+        let _ = LightLda::new(&corpus, 8, 0.1, 0.01, 0, 1, DeviceSpec::xeon_e5_2690v4());
+    }
+}

@@ -1,0 +1,26 @@
+//! Ablations of the §6 design choices (shared p2 tree, 16-bit compression,
+//! tree fan-out, heavy-word splitting, chunk-stream compression).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use culda_bench::{ablation, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let rows = ablation::ablations(&scale);
+    println!("{}", ablation::ablations_text(&rows));
+    println!(
+        "{}",
+        ablation::transfer_compression_text(&ablation::transfer_compression(&scale))
+    );
+
+    let tiny = ExperimentScale::tiny();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("all_tiny", |b| {
+        b.iter(|| std::hint::black_box(ablation::ablations(&tiny)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 7: per-iteration sampling speed (Tokens/sec) across platforms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use culda_bench::{datasets, figures, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    for (dataset, series) in figures::figure7(&scale) {
+        println!("{}", figures::figure7_text(&dataset, &series));
+    }
+
+    let tiny = ExperimentScale::tiny();
+    let dataset = datasets::nytimes(&tiny);
+    let mut group = c.benchmark_group("figure7/per_iteration_series");
+    group.sample_size(10);
+    group.bench_function("nytimes_tiny", |b| {
+        b.iter(|| std::hint::black_box(figures::figure7_dataset(&dataset, &tiny)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 8: log-likelihood per token vs simulated time for every solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use culda_bench::{datasets, figures, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    for (dataset, timelines) in figures::figure8(&scale) {
+        println!("{}", figures::figure8_text(&dataset, &timelines));
+    }
+
+    let tiny = ExperimentScale::tiny();
+    let dataset = datasets::pubmed(&tiny);
+    let mut group = c.benchmark_group("figure8/convergence");
+    group.sample_size(10);
+    group.bench_function("pubmed_tiny_all_solvers", |b| {
+        b.iter(|| std::hint::black_box(figures::figure8_dataset(&dataset, &tiny, true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 9: multi-GPU scalability on the PubMed twin (Pascal platform).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use culda_bench::{datasets, figures, ExperimentScale};
+use culda_core::{CuLdaTrainer, LdaConfig};
+use culda_gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
+
+fn bench(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let result = figures::figure9(&scale);
+    println!("{}", figures::figure9_text(&result));
+
+    let tiny = ExperimentScale::tiny();
+    let dataset = datasets::pubmed(&tiny);
+    let mut group = c.benchmark_group("figure9/one_iteration_by_gpu_count");
+    group.sample_size(10);
+    for gpus in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(gpus), &gpus, |b, &gpus| {
+            let mut trainer = CuLdaTrainer::new(
+                &dataset.corpus,
+                LdaConfig::with_topics(tiny.num_topics).seed(tiny.seed),
+                MultiGpuSystem::homogeneous(
+                    DeviceSpec::titan_xp_pascal(),
+                    gpus,
+                    tiny.seed,
+                    Interconnect::Pcie3,
+                ),
+            )
+            .unwrap();
+            b.iter(|| std::hint::black_box(trainer.run_iteration()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

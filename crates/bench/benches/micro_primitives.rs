@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the data-structure primitives the kernels are built
+//! from: index-tree construction and sampling, alias tables, prefix sums and
+//! CSR rebuilds.  These track the host-side cost of the functional simulation
+//! and double as regression guards for the `culda-sparse` crate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use culda_sparse::{prefix, AliasTable, CsrBuilder, IndexTree};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn bench_index_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/index_tree");
+    for &k in &[256usize, 1024, 4096] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let weights: Vec<f32> = (0..k).map(|_| rng.gen_range(0.0..1.0)).collect();
+        group.bench_with_input(BenchmarkId::new("build", k), &weights, |b, w| {
+            b.iter(|| std::hint::black_box(IndexTree::new(w)))
+        });
+        let tree = IndexTree::new(&weights);
+        group.bench_with_input(BenchmarkId::new("sample", k), &tree, |b, tree| {
+            let mut u = 0.1f32;
+            b.iter(|| {
+                u = (u + 0.37) % 1.0;
+                std::hint::black_box(tree.sample(u * tree.total()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_alias_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/alias_table");
+    for &k in &[256usize, 1024] {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let weights: Vec<f32> = (0..k).map(|_| rng.gen_range(0.0..1.0)).collect();
+        group.bench_with_input(BenchmarkId::new("build", k), &weights, |b, w| {
+            b.iter(|| std::hint::black_box(AliasTable::new(w)))
+        });
+        let table = AliasTable::new(&weights);
+        group.bench_with_input(BenchmarkId::new("sample", k), &table, |b, table| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            b.iter(|| std::hint::black_box(table.sample(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_prefix_and_csr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/prefix_and_csr");
+    let counts: Vec<u64> = (0..100_000u64).map(|i| i % 13).collect();
+    group.bench_function("parallel_offsets_100k", |b| {
+        b.iter(|| std::hint::black_box(prefix::parallel_offsets_u64(&counts)))
+    });
+    let rows: Vec<Vec<(u16, u32)>> = (0..2000)
+        .map(|d| (0..64u16).map(|k| ((k * 7 + d as u16) % 96, 1u32)).collect())
+        .collect();
+    group.bench_function("csr_rebuild_2000x96", |b| {
+        b.iter(|| {
+            let mut builder = CsrBuilder::new(rows.len(), 96);
+            for row in &rows {
+                builder.push_row(row.iter().copied());
+            }
+            std::hint::black_box(builder.finish())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_tree, bench_alias_table, bench_prefix_and_csr);
+criterion_main!(benches);

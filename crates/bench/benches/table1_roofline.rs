@@ -1,0 +1,22 @@
+//! Table 1: Flops/Byte roofline characterisation of LDA sampling (§3.1).
+//!
+//! Prints the regenerated table, then benchmarks the analysis itself (it is
+//! analytic, so this mostly guards against accidental regressions in the
+//! metric code).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use culda_bench::tables;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", tables::table1());
+    c.bench_function("table1/roofline_analysis", |b| {
+        b.iter(|| {
+            let steps = culda_metrics::table1();
+            let avg = culda_metrics::roofline::average_intensity();
+            std::hint::black_box((steps, avg))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table 4: average Tokens/sec of CuLDA_CGS on every platform vs WarpLDA.
+//!
+//! Prints the regenerated table at the quick scale, then benchmarks one
+//! CuLDA training iteration per platform so `cargo bench` tracks the host
+//! cost of the functional simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use culda_bench::{datasets, tables, ExperimentScale};
+use culda_core::{CuLdaTrainer, LdaConfig};
+use culda_gpusim::MultiGpuSystem;
+
+fn bench(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let rows = tables::table4(&scale);
+    println!("{}", tables::table4_text(&rows));
+
+    let tiny = ExperimentScale::tiny();
+    let dataset = datasets::nytimes(&tiny);
+    let mut group = c.benchmark_group("table4/one_iteration");
+    group.sample_size(10);
+    for spec in tables::gpu_platforms() {
+        let name = spec.name.clone();
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &spec, |b, spec| {
+            let mut trainer = CuLdaTrainer::new(
+                &dataset.corpus,
+                LdaConfig::with_topics(tiny.num_topics).seed(tiny.seed),
+                MultiGpuSystem::single(spec.clone(), tiny.seed),
+            )
+            .unwrap();
+            b.iter(|| std::hint::black_box(trainer.run_iteration()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

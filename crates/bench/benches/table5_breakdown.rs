@@ -1,0 +1,21 @@
+//! Table 5: per-kernel execution-time breakdown of CuLDA_CGS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use culda_bench::{tables, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let rows = tables::table5(&scale);
+    println!("{}", tables::table5_text(&rows));
+
+    let tiny = ExperimentScale::tiny();
+    let mut group = c.benchmark_group("table5/breakdown");
+    group.sample_size(10);
+    group.bench_function("full_run_tiny", |b| {
+        b.iter(|| std::hint::black_box(tables::table5(&tiny)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Ablation benches for the extensions beyond the paper's evaluation:
+//!
+//! * the §5.2 tree reduce+broadcast versus a ring all-reduce, on a contended
+//!   PCIe tree and on an NVLink mesh, across GPU counts and φ sizes;
+//! * energy per simulated sampling pass across device generations.
+//!
+//! These answer the "what if" questions DESIGN.md lists under the design
+//! choices the paper fixes without ablating (flat interconnect, tree
+//! collective, throughput-only evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use culda_gpusim::cost::kernel_time;
+use culda_gpusim::{CostCounters, DeviceSpec, EnergyModel, Topology};
+
+/// φ replica sizes (bytes) for representative (K, V) model shapes at 16-bit
+/// precision: (K=1024, V=102k) ≈ NYTimes, (K=1024, V=141k) ≈ PubMed.
+const PHI_BYTES: &[(&str, u64)] = &[
+    ("nytimes_k1024", 1024 * 101_636 * 2),
+    ("pubmed_k1024", 1024 * 141_043 * 2),
+];
+
+const ADD_BW: f64 = 500.0e9;
+
+fn print_sync_table() {
+    println!("φ synchronization time (ms): tree reduce+broadcast vs ring all-reduce");
+    println!(
+        "{:<16} {:<12} {:>5} {:>10} {:>10} {:>10}",
+        "model", "topology", "GPUs", "tree", "ring", "tree/ring"
+    );
+    for &(name, bytes) in PHI_BYTES {
+        for (topo_name, topo) in [("pcie-tree", Topology::PcieTree), ("nvlink", Topology::NvLinkMesh)]
+        {
+            for gpus in [2usize, 4, 8] {
+                let (tree, ring, ratio) = topo.tree_vs_ring(gpus, bytes, ADD_BW);
+                println!(
+                    "{:<16} {:<12} {:>5} {:>10.3} {:>10.3} {:>10.2}",
+                    name,
+                    topo_name,
+                    gpus,
+                    tree * 1e3,
+                    ring * 1e3,
+                    ratio
+                );
+            }
+        }
+    }
+}
+
+fn print_energy_table() {
+    // One simulated NYTimes-scale sampling iteration worth of traffic,
+    // derived from the §3.1 arithmetic intensity (0.27 Flops/Byte).
+    let bytes_per_token = 400u64;
+    let tokens = 99_542_125u64;
+    let counters = CostCounters {
+        dram_read_bytes: tokens * bytes_per_token * 9 / 10,
+        dram_write_bytes: tokens * bytes_per_token / 10,
+        flops: (tokens * bytes_per_token) * 27 / 100,
+        ..CostCounters::default()
+    };
+    println!("\nenergy per NYTimes-scale sampling iteration:");
+    println!(
+        "{:<30} {:>10} {:>10} {:>14}",
+        "device", "time (s)", "energy (J)", "tokens/J"
+    );
+    for spec in [
+        DeviceSpec::xeon_e5_2690v4(),
+        DeviceSpec::titan_x_maxwell(),
+        DeviceSpec::titan_xp_pascal(),
+        DeviceSpec::v100_volta(),
+        DeviceSpec::a100_ampere(),
+    ] {
+        let time = kernel_time(&spec, &counters, 1_000_000);
+        let energy = EnergyModel::for_spec(&spec).kernel_energy_j(&counters, &time);
+        println!(
+            "{:<30} {:>10.3} {:>10.0} {:>14.0}",
+            spec.name,
+            time.total_s,
+            energy,
+            tokens as f64 / energy
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_sync_table();
+    print_energy_table();
+
+    let mut group = c.benchmark_group("collectives/sync_time_model");
+    group.sample_size(20);
+    for gpus in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("tree_pcie", gpus),
+            &gpus,
+            |b, &gpus| {
+                b.iter(|| {
+                    std::hint::black_box(Topology::PcieTree.tree_sync_time_s(
+                        gpus,
+                        PHI_BYTES[0].1,
+                        ADD_BW,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ring_pcie", gpus),
+            &gpus,
+            |b, &gpus| {
+                b.iter(|| {
+                    std::hint::black_box(Topology::PcieTree.ring_allreduce_time_s(
+                        gpus,
+                        PHI_BYTES[0].1,
+                        ADD_BW,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

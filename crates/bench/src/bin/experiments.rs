@@ -1,0 +1,96 @@
+//! The experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [table1|platforms|table3|table4|table5|figure7|figure8|figure9|ablations|all] [--paper-shape|--quick|--tiny]
+//! ```
+//!
+//! With no arguments, runs everything at the `--quick` scale.
+
+use culda_bench::{ablation, datasets, figures, tables, ExperimentScale};
+
+fn scale_from_args(args: &[String]) -> ExperimentScale {
+    if args.iter().any(|a| a == "--paper-shape") {
+        ExperimentScale::paper_shape()
+    } else if args.iter().any(|a| a == "--tiny") {
+        ExperimentScale::tiny()
+    } else {
+        ExperimentScale::quick()
+    }
+}
+
+fn run(which: &str, scale: &ExperimentScale) {
+    match which {
+        "table1" => print!("{}", tables::table1()),
+        "platforms" | "table2" => print!("{}", tables::platforms()),
+        "table3" => print!("{}", tables::table3(scale)),
+        "table4" => {
+            let rows = tables::table4(scale);
+            print!("{}", tables::table4_text(&rows));
+        }
+        "table5" => {
+            let rows = tables::table5(scale);
+            print!("{}", tables::table5_text(&rows));
+        }
+        "figure7" => {
+            for (dataset, series) in figures::figure7(scale) {
+                print!("{}", figures::figure7_text(&dataset, &series));
+                println!();
+            }
+        }
+        "figure8" => {
+            for (dataset, timelines) in figures::figure8(scale) {
+                print!("{}", figures::figure8_text(&dataset, &timelines));
+                println!();
+            }
+        }
+        "figure9" => {
+            let result = figures::figure9(scale);
+            print!("{}", figures::figure9_text(&result));
+        }
+        "ablations" => {
+            let rows = ablation::ablations(scale);
+            print!("{}", ablation::ablations_text(&rows));
+            println!();
+            let transfer = ablation::transfer_compression(scale);
+            print!("{}", ablation::transfer_compression_text(&transfer));
+        }
+        "datasets" => {
+            for d in datasets::both(scale) {
+                println!("{}", d.stats());
+            }
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let requested: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    let all = [
+        "table1", "platforms", "table3", "table4", "table5", "figure7", "figure8", "figure9",
+        "ablations",
+    ];
+    let to_run: Vec<&str> = if requested.is_empty() || requested == ["all"] {
+        all.to_vec()
+    } else {
+        requested
+    };
+
+    println!(
+        "== CuLDA_CGS experiment harness (tokens={}, K={}, iterations={}) ==\n",
+        scale.tokens, scale.num_topics, scale.iterations
+    );
+    for which in to_run {
+        run(which, &scale);
+        println!();
+    }
+}

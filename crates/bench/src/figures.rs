@@ -1,0 +1,287 @@
+//! Regeneration of Figures 7, 8 and 9.
+
+use crate::datasets::{self, Dataset};
+use crate::scale::ExperimentScale;
+use crate::tables::gpu_platforms;
+use culda_baselines::{CuLdaSolver, LdaSolver, LdaStar, SaberLda, WarpLda};
+use culda_core::{CuLdaTrainer, LdaConfig};
+use culda_gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
+use culda_metrics::{ConvergencePoint, ThroughputSeries, Timeline};
+use serde::{Deserialize, Serialize};
+
+fn culda_trainer(dataset: &Dataset, spec: DeviceSpec, gpus: usize, scale: &ExperimentScale) -> CuLdaTrainer {
+    let system = MultiGpuSystem::homogeneous(spec, gpus, scale.seed, Interconnect::Pcie3);
+    CuLdaTrainer::new(
+        &dataset.corpus,
+        LdaConfig::with_topics(scale.num_topics).seed(scale.seed),
+        system,
+    )
+    .expect("trainer construction")
+}
+
+/// Figure 7: per-iteration sampling speed of CuLDA on the three platforms
+/// plus WarpLDA, for one dataset.
+pub fn figure7_dataset(dataset: &Dataset, scale: &ExperimentScale) -> Vec<ThroughputSeries> {
+    let tokens = dataset.corpus.num_tokens() as u64;
+    let mut series = Vec::new();
+    for spec in gpu_platforms() {
+        let label = spec.name.clone();
+        let mut trainer = culda_trainer(dataset, spec, 1, scale);
+        let mut s = ThroughputSeries::new(label, tokens);
+        for _ in 0..scale.iterations {
+            let it = trainer.run_iteration();
+            s.push_iteration(it.sim_time_s);
+        }
+        series.push(s);
+    }
+    let mut warp = WarpLda::with_paper_priors(&dataset.corpus, scale.num_topics, scale.seed);
+    let mut s = ThroughputSeries::new("WarpLDA (CPU)", tokens);
+    for _ in 0..scale.iterations {
+        s.push_iteration(warp.run_iteration());
+    }
+    series.push(s);
+    series
+}
+
+/// Figure 7 for both datasets, in the paper's order (NYTimes, PubMed).
+pub fn figure7(scale: &ExperimentScale) -> Vec<(String, Vec<ThroughputSeries>)> {
+    datasets::both(scale)
+        .iter()
+        .map(|d| (d.name.clone(), figure7_dataset(d, scale)))
+        .collect()
+}
+
+/// Render one Figure 7 panel as an aligned text table (iterations × series).
+pub fn figure7_text(dataset: &str, series: &[ThroughputSeries]) -> String {
+    let mut out = format!("Figure 7 ({dataset}): sampling speed, MTokens/sec per iteration\n");
+    out.push_str(&format!("{:<6}", "iter"));
+    for s in series {
+        out.push_str(&format!(" {:>24}", s.label));
+    }
+    out.push('\n');
+    let n = series.iter().map(|s| s.len()).min().unwrap_or(0);
+    for i in 0..n {
+        out.push_str(&format!("{i:<6}"));
+        for s in series {
+            out.push_str(&format!(" {:>24.1}", s.iteration_throughput(i) / 1e6));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 8: log-likelihood per token against simulated wall-clock time for
+/// every solver on one dataset.  `include_lda_star` matches the paper, which
+/// only shows LDA* on PubMed.
+pub fn figure8_dataset(
+    dataset: &Dataset,
+    scale: &ExperimentScale,
+    include_lda_star: bool,
+) -> Vec<Timeline> {
+    let mut solvers: Vec<Box<dyn LdaSolver>> = Vec::new();
+    for spec in gpu_platforms() {
+        let label = format!("CuLDA_CGS ({})", spec.name);
+        solvers.push(Box::new(CuLdaSolver::new(
+            culda_trainer(dataset, spec, 1, scale),
+            label,
+        )));
+    }
+    solvers.push(Box::new(WarpLda::with_paper_priors(
+        &dataset.corpus,
+        scale.num_topics,
+        scale.seed,
+    )));
+    solvers.push(Box::new(
+        SaberLda::on_gtx_1080(&dataset.corpus, scale.num_topics, scale.seed)
+            .expect("SaberLDA baseline construction"),
+    ));
+    if include_lda_star {
+        solvers.push(Box::new(LdaStar::new(
+            &dataset.corpus,
+            scale.num_topics,
+            20,
+            scale.seed,
+        )));
+    }
+
+    solvers
+        .into_iter()
+        .map(|mut solver| {
+            let mut timeline = Timeline::new(solver.name());
+            timeline.push(ConvergencePoint {
+                time_s: 0.0,
+                iteration: 0,
+                loglik_per_token: solver.loglik_per_token(),
+            });
+            for i in 0..scale.iterations {
+                solver.run_iteration();
+                timeline.push(ConvergencePoint {
+                    time_s: solver.elapsed_s(),
+                    iteration: i as u32 + 1,
+                    loglik_per_token: solver.loglik_per_token(),
+                });
+            }
+            timeline
+        })
+        .collect()
+}
+
+/// Figure 8 for both datasets (LDA* only on PubMed, as in the paper).
+pub fn figure8(scale: &ExperimentScale) -> Vec<(String, Vec<Timeline>)> {
+    let ds = datasets::both(scale);
+    ds.iter()
+        .map(|d| {
+            let include_lda_star = d.name == "PubMed";
+            (d.name.clone(), figure8_dataset(d, scale, include_lda_star))
+        })
+        .collect()
+}
+
+/// Render one Figure 8 panel: final quality and the time each solver needed
+/// to reach a common quality target (0.2 nats/token short of the best final
+/// quality any solver achieved — the "time to quality" reading of Figure 8).
+pub fn figure8_text(dataset: &str, timelines: &[Timeline]) -> String {
+    let best_final = timelines
+        .iter()
+        .filter_map(|t| t.points().last().map(|p| p.loglik_per_token))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let target = best_final - 0.2;
+    let mut out = format!("Figure 8 ({dataset}): log-likelihood per token vs simulated time\n");
+    out.push_str(&format!(
+        "{:<36} {:>12} {:>14} {:>20}\n",
+        "Solver",
+        "time (s)",
+        "final LL/token",
+        format!("time to {target:.2} (s)")
+    ));
+    for t in timelines {
+        let last = t.points().last().copied();
+        let (time, ll) = last.map(|p| (p.time_s, p.loglik_per_token)).unwrap_or((0.0, 0.0));
+        let reach = t
+            .time_to_reach(target)
+            .map(|x| format!("{x:.4}"))
+            .unwrap_or_else(|| "-".into());
+        out.push_str(&format!("{:<36} {:>12.4} {:>14.4} {:>20}\n", t.label, time, ll, reach));
+    }
+    out
+}
+
+/// Figure 9: multi-GPU scaling on the PubMed twin, Pascal platform.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingResult {
+    /// GPU counts evaluated (1, 2, 4 as in the paper).
+    pub gpu_counts: Vec<usize>,
+    /// Average tokens/sec at each GPU count.
+    pub tokens_per_sec: Vec<f64>,
+    /// Speedup relative to one GPU.
+    pub speedups: Vec<f64>,
+    /// Per-iteration throughput series at each GPU count (Figure 9a).
+    pub series: Vec<ThroughputSeries>,
+}
+
+/// Figure 9: run the PubMed twin on 1, 2 and 4 Pascal GPUs.
+///
+/// The token budget is multiplied by 4 relative to `scale`: the φ
+/// synchronization volume (`K × V`) does not shrink as fast as the corpus
+/// when scaling the experiment down, so a larger per-GPU compute share is
+/// needed to preserve the full-size dataset's compute-to-synchronization
+/// ratio — the quantity the paper's 1.93×/2.99× scaling figures depend on.
+pub fn figure9(scale: &ExperimentScale) -> ScalingResult {
+    let mut scale = *scale;
+    scale.tokens *= 4;
+    let scale = &scale;
+    let dataset = datasets::pubmed(scale);
+    let gpu_counts = vec![1usize, 2, 4];
+    let mut tokens_per_sec = Vec::new();
+    let mut series = Vec::new();
+    for &g in &gpu_counts {
+        let mut trainer = culda_trainer(&dataset, DeviceSpec::titan_xp_pascal(), g, scale);
+        let mut s = ThroughputSeries::new(format!("GPU*{g}"), dataset.corpus.num_tokens() as u64);
+        for _ in 0..scale.iterations {
+            let it = trainer.run_iteration();
+            s.push_iteration(it.sim_time_s);
+        }
+        tokens_per_sec.push(trainer.average_throughput(scale.iterations));
+        series.push(s);
+    }
+    let base = tokens_per_sec[0];
+    let speedups = tokens_per_sec.iter().map(|&t| t / base).collect();
+    ScalingResult {
+        gpu_counts,
+        tokens_per_sec,
+        speedups,
+        series,
+    }
+}
+
+/// Render Figure 9 as text.
+pub fn figure9_text(result: &ScalingResult) -> String {
+    let mut out = String::from("Figure 9: multi-GPU scalability on PubMed (Pascal platform, simulated)\n");
+    out.push_str(&format!(
+        "{:<8} {:>16} {:>10}\n",
+        "#GPUs", "MTokens/sec", "Speedup"
+    ));
+    for i in 0..result.gpu_counts.len() {
+        out.push_str(&format!(
+            "{:<8} {:>16.1} {:>9.2}x\n",
+            result.gpu_counts[i],
+            result.tokens_per_sec[i] / 1e6,
+            result.speedups[i]
+        ));
+    }
+    out.push_str("Paper: 1.93x on 2 GPUs, 2.99x on 4 GPUs\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_series_cover_all_platforms_and_ramp_up() {
+        let scale = ExperimentScale::tiny();
+        let dataset = datasets::nytimes(&scale);
+        let series = figure7_dataset(&dataset, &scale);
+        assert_eq!(series.len(), 4); // 3 GPUs + WarpLDA
+        for s in &series {
+            assert_eq!(s.len(), scale.iterations);
+        }
+        let text = figure7_text("NYTimes", &series);
+        assert!(text.lines().count() > scale.iterations);
+    }
+
+    #[test]
+    fn figure9_produces_well_formed_scaling_results() {
+        // The faithful shape assertions (1.9×/3× speedups) need the larger
+        // release-mode runs recorded in EXPERIMENTS.md; at unit-test scale the
+        // fixed kernel-launch and link-latency overheads dominate, so this
+        // test only checks structure and that multi-GPU never collapses.
+        let mut scale = ExperimentScale::tiny();
+        scale.tokens = 25_000;
+        scale.iterations = 3;
+        let r = figure9(&scale);
+        assert_eq!(r.gpu_counts, vec![1, 2, 4]);
+        assert!((r.speedups[0] - 1.0).abs() < 1e-9);
+        assert!(r.speedups.iter().all(|&s| s > 0.5 && s < 5.0), "{:?}", r.speedups);
+        assert!(r.tokens_per_sec.iter().all(|&t| t > 0.0));
+        assert_eq!(r.series.len(), 3);
+        let text = figure9_text(&r);
+        assert!(text.contains("Speedup"));
+    }
+
+    #[test]
+    fn figure8_timelines_improve_monotonically_in_quality() {
+        let scale = ExperimentScale::tiny();
+        let dataset = datasets::pubmed(&scale);
+        let timelines = figure8_dataset(&dataset, &scale, true);
+        // 3 CuLDA platforms + WarpLDA + SaberLDA + LDA*.
+        assert_eq!(timelines.len(), 6);
+        for t in &timelines {
+            let first = t.points().first().unwrap().loglik_per_token;
+            let best = t.best_loglik().unwrap();
+            assert!(best >= first, "{}: {first} → {best}", t.label);
+        }
+        let text = figure8_text("PubMed", &timelines);
+        assert!(text.contains("LDA*"));
+    }
+}

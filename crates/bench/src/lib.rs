@@ -1,0 +1,35 @@
+//! # culda-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§7) on the simulated substrate:
+//!
+//! | experiment | harness entry point |
+//! |---|---|
+//! | Table 1 (Flops/Byte of each sampling step) | [`tables::table1`] |
+//! | Table 2 (evaluated platforms)              | [`tables::platforms`] |
+//! | Table 3 (dataset statistics)               | [`tables::table3`] |
+//! | Table 4 (average Tokens/sec, first 100 iterations) | [`tables::table4`] |
+//! | Table 5 (execution-time breakdown)         | [`tables::table5`] |
+//! | Figure 7 (Tokens/sec vs iteration)         | [`figures::figure7`] |
+//! | Figure 8 (log-likelihood/token vs time)    | [`figures::figure8`] |
+//! | Figure 9 (multi-GPU scaling)               | [`figures::figure9`] |
+//! | §6 design-choice ablations                 | [`ablation::ablations`] |
+//!
+//! Every entry point takes an [`scale::ExperimentScale`] so the same code can
+//! run a CI-sized smoke configuration ([`scale::ExperimentScale::quick`]) or
+//! the larger shape-faithful configuration
+//! ([`scale::ExperimentScale::paper_shape`]).  Absolute numbers will not match
+//! the paper (the substrate is a simulator and the corpora are scaled-down
+//! synthetic twins); the quantities that are expected to hold are the
+//! *relative* ones — orderings, rough ratios and trends — as documented in
+//! `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod datasets;
+pub mod figures;
+pub mod scale;
+pub mod tables;
+
+pub use scale::ExperimentScale;

@@ -1,0 +1,63 @@
+//! Experiment scale presets.
+
+use serde::{Deserialize, Serialize};
+
+/// How large an experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Target token count of each synthetic dataset.
+    pub tokens: u64,
+    /// Number of topics `K` (the paper uses 1k–10k; the scaled runs use less
+    /// so that the host can execute the functional simulation quickly).
+    pub num_topics: usize,
+    /// Iterations per run (the paper reports the first 100).
+    pub iterations: usize,
+    /// RNG seed shared by corpus generation and every solver.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// A CI/benchmark-friendly scale: a couple of hundred thousand tokens,
+    /// finishes in seconds per experiment.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            tokens: 120_000,
+            num_topics: 96,
+            iterations: 15,
+            seed: 42,
+        }
+    }
+
+    /// The larger configuration used for the numbers recorded in
+    /// `EXPERIMENTS.md`: enough tokens and iterations for the trends (ramp-up,
+    /// breakdown, scaling) to be visible, still minutes not hours.
+    pub fn paper_shape() -> Self {
+        ExperimentScale {
+            tokens: 600_000,
+            num_topics: 192,
+            iterations: 40,
+            seed: 42,
+        }
+    }
+
+    /// A tiny scale for unit tests of the harness itself.
+    pub fn tiny() -> Self {
+        ExperimentScale {
+            tokens: 15_000,
+            num_topics: 24,
+            iterations: 4,
+            seed: 7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_size() {
+        assert!(ExperimentScale::tiny().tokens < ExperimentScale::quick().tokens);
+        assert!(ExperimentScale::quick().tokens < ExperimentScale::paper_shape().tokens);
+    }
+}

@@ -1,0 +1,282 @@
+//! Regeneration of Tables 1–5.
+
+use crate::datasets::{self, Dataset};
+use crate::scale::ExperimentScale;
+use culda_core::{CuLdaTrainer, LdaConfig};
+use culda_gpusim::{DeviceSpec, MultiGpuSystem};
+use culda_baselines::{LdaSolver, WarpLda};
+use serde::{Deserialize, Serialize};
+
+/// The GPU platforms of Table 2, in the paper's order.
+pub fn gpu_platforms() -> Vec<DeviceSpec> {
+    vec![
+        DeviceSpec::titan_x_maxwell(),
+        DeviceSpec::titan_xp_pascal(),
+        DeviceSpec::v100_volta(),
+    ]
+}
+
+/// Table 1: Flops/Byte of each sampling step.
+pub fn table1() -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: Flops/Byte of each step of one LDA sampling\n");
+    out.push_str(&format!("{:<24} {:<38} {:>8}\n", "Step", "Formula", "Value"));
+    for step in culda_metrics::table1() {
+        out.push_str(&format!(
+            "{:<24} {:<38} {:>8.2}\n",
+            step.name, step.formula, step.flops_per_byte
+        ));
+    }
+    out.push_str(&format!(
+        "Average arithmetic intensity: {:.2} Flops/Byte (paper: 0.27)\n",
+        culda_metrics::roofline::average_intensity()
+    ));
+    let cpu = DeviceSpec::xeon_e5_2690v4();
+    out.push_str(&format!(
+        "CPU roofline ridge point: {:.1} Flops/Byte (paper: 9.2) -> LDA is memory bound\n",
+        cpu.ridge_flops_per_byte()
+    ));
+    out
+}
+
+/// Table 2: the evaluated platforms.
+pub fn platforms() -> String {
+    let mut out = String::new();
+    out.push_str("Table 2: Configuration of the evaluated platforms\n");
+    out.push_str(&format!(
+        "{:<28} {:>6} {:>12} {:>12} {:>10}\n",
+        "Device", "SMs", "BW (GB/s)", "GFLOPS", "Mem (GiB)"
+    ));
+    for spec in gpu_platforms()
+        .into_iter()
+        .chain([DeviceSpec::gtx_1080(), DeviceSpec::xeon_e5_2690v4()])
+    {
+        out.push_str(&format!(
+            "{:<28} {:>6} {:>12.0} {:>12.0} {:>10}\n",
+            spec.name,
+            spec.sm_count,
+            spec.mem_bandwidth_gbps,
+            spec.peak_gflops,
+            spec.mem_capacity_bytes >> 30
+        ));
+    }
+    out
+}
+
+/// Table 3: dataset statistics (of the scaled synthetic twins, with the
+/// published full-size numbers for reference).
+pub fn table3(scale: &ExperimentScale) -> String {
+    let mut out = String::new();
+    out.push_str("Table 3: Details of workload data sets (scaled synthetic twins)\n");
+    out.push_str(&format!(
+        "{:<18} {:>14} {:>12} {:>10} {:>12}\n",
+        "Dataset", "#Tokens", "#Documents", "#Words", "AvgDocLen"
+    ));
+    for d in datasets::both(scale) {
+        let s = d.stats();
+        out.push_str(&format!(
+            "{:<18} {:>14} {:>12} {:>10} {:>12.1}\n",
+            s.name, s.num_tokens, s.num_docs, s.vocab_size, s.avg_doc_len
+        ));
+    }
+    out.push_str("Paper (full size): NYTimes 99,542,125 / 299,752 / 101,636;  PubMed 737,869,083 / 8,200,000 / 141,043\n");
+    out
+}
+
+/// One row of Table 4: average tokens/sec on each platform plus WarpLDA.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Average Tokens/sec per platform, in Table 2 order (Titan, Pascal, Volta).
+    pub gpu_tokens_per_sec: Vec<f64>,
+    /// WarpLDA (CPU) average Tokens/sec.
+    pub warplda_tokens_per_sec: f64,
+}
+
+impl Table4Row {
+    /// Speedup of the fastest GPU over WarpLDA.
+    pub fn best_speedup_over_warplda(&self) -> f64 {
+        let best = self.gpu_tokens_per_sec.iter().cloned().fold(0.0, f64::max);
+        best / self.warplda_tokens_per_sec
+    }
+}
+
+/// Run CuLDA on one device spec and return the average tokens/sec over the
+/// first `iterations` iterations.
+pub fn culda_throughput(
+    dataset: &Dataset,
+    spec: DeviceSpec,
+    num_gpus: usize,
+    scale: &ExperimentScale,
+) -> f64 {
+    let system = MultiGpuSystem::homogeneous(
+        spec,
+        num_gpus,
+        scale.seed,
+        culda_gpusim::Interconnect::Pcie3,
+    );
+    let mut trainer = CuLdaTrainer::new(
+        &dataset.corpus,
+        LdaConfig::with_topics(scale.num_topics).seed(scale.seed),
+        system,
+    )
+    .expect("trainer construction");
+    trainer.train(scale.iterations);
+    trainer.average_throughput(scale.iterations)
+}
+
+/// Table 4: average Tokens/sec of CuLDA_CGS (three platforms) and WarpLDA.
+pub fn table4(scale: &ExperimentScale) -> Vec<Table4Row> {
+    datasets::both(scale)
+        .iter()
+        .map(|dataset| {
+            let gpu: Vec<f64> = gpu_platforms()
+                .into_iter()
+                .map(|spec| culda_throughput(dataset, spec, 1, scale))
+                .collect();
+            let mut warp = WarpLda::with_paper_priors(&dataset.corpus, scale.num_topics, scale.seed);
+            let mut time = 0.0;
+            for _ in 0..scale.iterations {
+                time += warp.run_iteration();
+            }
+            let warp_tps = dataset.corpus.num_tokens() as f64 * scale.iterations as f64 / time;
+            Table4Row {
+                dataset: dataset.name.clone(),
+                gpu_tokens_per_sec: gpu,
+                warplda_tokens_per_sec: warp_tps,
+            }
+        })
+        .collect()
+}
+
+/// Render Table 4 in the paper's layout.
+pub fn table4_text(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 4: Average #Tokens/sec of CuLDA_CGS and WarpLDA (simulated)\n");
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}\n",
+        "Dataset", "Titan", "Pascal", "Volta", "WarpLDA"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<12} {:>11.1}M {:>11.1}M {:>11.1}M {:>11.1}M\n",
+            row.dataset,
+            row.gpu_tokens_per_sec[0] / 1e6,
+            row.gpu_tokens_per_sec[1] / 1e6,
+            row.gpu_tokens_per_sec[2] / 1e6,
+            row.warplda_tokens_per_sec / 1e6
+        ));
+    }
+    out.push_str("Paper: NYTimes 173.6M / 208.0M / 633.0M / 108.0M;  PubMed 155.6M / 213.0M / 686.2M / 93.5M\n");
+    out
+}
+
+/// One platform's execution-time breakdown (Table 5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table5Row {
+    /// Platform name.
+    pub platform: String,
+    /// Percentage of device time per kernel name.
+    pub percentages: Vec<(String, f64)>,
+}
+
+/// Table 5: per-kernel execution-time breakdown on the NYTimes twin.
+pub fn table5(scale: &ExperimentScale) -> Vec<Table5Row> {
+    let dataset = datasets::nytimes(scale);
+    gpu_platforms()
+        .into_iter()
+        .map(|spec| {
+            let name = spec.name.clone();
+            let system = MultiGpuSystem::single(spec, scale.seed);
+            let mut trainer = CuLdaTrainer::new(
+                &dataset.corpus,
+                LdaConfig::with_topics(scale.num_topics).seed(scale.seed),
+                system,
+            )
+            .expect("trainer construction");
+            trainer.train(scale.iterations);
+            Table5Row {
+                platform: name,
+                percentages: trainer.kernel_breakdown(),
+            }
+        })
+        .collect()
+}
+
+/// Render Table 5 in the paper's layout.
+pub fn table5_text(rows: &[Table5Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 5: Execution time breakdown of CuLDA_CGS on NYTimes (simulated)\n");
+    out.push_str(&format!("{:<16}", "Function"));
+    for row in rows {
+        out.push_str(&format!(" {:>26}", row.platform));
+    }
+    out.push('\n');
+    for kernel in ["Sampling", "Update theta", "Update phi"] {
+        out.push_str(&format!("{kernel:<16}"));
+        for row in rows {
+            let pct = row
+                .percentages
+                .iter()
+                .find(|(n, _)| n == kernel)
+                .map(|(_, p)| *p)
+                .unwrap_or(0.0);
+            out.push_str(&format!(" {pct:>25.1}%"));
+        }
+        out.push('\n');
+    }
+    out.push_str("Paper (Titan/Pascal/Volta): Sampling 87.7/87.9/79.4%, Update theta 8.0/9.3/10.8%, Update phi 4.3/1.7/9.8%\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_text_contains_every_step_and_the_average() {
+        let t = table1();
+        assert!(t.contains("Compute S"));
+        assert!(t.contains("Sampling from p2(k)"));
+        assert!(t.contains("0.27"));
+    }
+
+    #[test]
+    fn platform_table_lists_all_three_gpus() {
+        let t = platforms();
+        assert!(t.contains("TITAN X"));
+        assert!(t.contains("Titan Xp"));
+        assert!(t.contains("V100"));
+        assert!(t.contains("Xeon"));
+    }
+
+    #[test]
+    fn table4_has_the_paper_ordering_at_tiny_scale() {
+        let scale = ExperimentScale::tiny();
+        let rows = table4(&scale);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            // Volta > Pascal and Volta > Titan, and every GPU beats WarpLDA.
+            assert!(row.gpu_tokens_per_sec[2] > row.gpu_tokens_per_sec[1]);
+            assert!(row.gpu_tokens_per_sec[2] > row.gpu_tokens_per_sec[0]);
+            assert!(row.best_speedup_over_warplda() > 1.0, "{:?}", row);
+        }
+        let text = table4_text(&rows);
+        assert!(text.contains("NYTimes") && text.contains("PubMed"));
+    }
+
+    #[test]
+    fn table5_sampling_dominates_at_tiny_scale() {
+        let mut scale = ExperimentScale::tiny();
+        // Long documents make K_d large, which is what makes sampling dominate.
+        scale.tokens = 40_000;
+        let rows = table5(&scale);
+        assert_eq!(rows.len(), 3);
+        let text = table5_text(&rows);
+        for row in &rows {
+            assert_eq!(row.percentages[0].0, "Sampling", "{}", text);
+            assert!(row.percentages[0].1 > 50.0, "{}", text);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! A small, dependency-free command-line parser.
+//!
+//! The CLI needs only subcommands plus `--key value` / `--flag` options, so a
+//! hand-rolled parser keeps the workspace inside the approved offline
+//! dependency set (see DESIGN.md §3) while staying fully testable.
+
+use std::collections::BTreeMap;
+
+/// Errors produced while parsing or querying arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// An option was given without a value (`--key` at the end of the line).
+    MissingValue(String),
+    /// A required option is absent.
+    MissingRequired(String),
+    /// A value failed to parse into the requested type.
+    InvalidValue {
+        /// The option name.
+        key: String,
+        /// The raw value supplied.
+        value: String,
+        /// What the value was expected to be.
+        expected: &'static str,
+    },
+    /// An option that the command does not understand.
+    UnknownOption(String),
+    /// A stray positional argument after the subcommand.
+    UnexpectedPositional(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no command given (try `help`)"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} is missing a value"),
+            ArgError::MissingRequired(k) => write!(f, "required option --{k} is missing"),
+            ArgError::InvalidValue {
+                key,
+                value,
+                expected,
+            } => write!(f, "--{key} {value}: expected {expected}"),
+            ArgError::UnknownOption(k) => write!(f, "unknown option --{k}"),
+            ArgError::UnexpectedPositional(p) => write!(f, "unexpected argument `{p}`"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// A parsed command line: one subcommand plus `--key value` options and
+/// boolean `--flag`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+    /// Options the command actually consumed (for unknown-option detection).
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+impl ParsedArgs {
+    /// Parse raw arguments (without the program name).
+    ///
+    /// `--key value` pairs become options, lone `--flag`s become flags, the
+    /// first bare word is the subcommand; additional bare words are an error.
+    pub fn parse<I, S>(args: I) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut command = None;
+        let mut options = BTreeMap::new();
+        let mut flags = Vec::new();
+        let mut iter = args.into_iter().map(Into::into).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let key = key.to_string();
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        options.insert(key, value);
+                    }
+                    _ => flags.push(key),
+                }
+            } else if command.is_none() {
+                command = Some(arg);
+            } else {
+                return Err(ArgError::UnexpectedPositional(arg));
+            }
+        }
+        Ok(ParsedArgs {
+            command: command.ok_or(ArgError::MissingCommand)?,
+            options,
+            flags,
+            consumed: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    fn mark(&self, key: &str) {
+        self.consumed.borrow_mut().push(key.to_string());
+    }
+
+    /// A string option, if present.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.mark(key);
+        self.options.get(key).cloned()
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<String, ArgError> {
+        self.get(key)
+            .ok_or_else(|| ArgError::MissingRequired(key.to_string()))
+    }
+
+    /// A typed option with a default when absent.
+    pub fn get_parsed_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::InvalidValue {
+                key: key.to_string(),
+                value: raw,
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// A boolean flag (present / absent).
+    pub fn flag(&self, key: &str) -> bool {
+        self.mark(key);
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// After a command has read everything it understands, reject any option
+    /// or flag the user passed that was never consumed.
+    pub fn reject_unknown(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        for key in self.options.keys().chain(self.flags.iter()) {
+            if !consumed.iter().any(|c| c == key) {
+                return Err(ArgError::UnknownOption(key.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = ParsedArgs::parse(["train", "--topics", "64", "--verbose", "--seed", "7"]).unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.get("topics"), Some("64".into()));
+        assert_eq!(a.get_parsed_or("seed", 0u64).unwrap(), 7);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn defaults_apply_when_options_are_absent() {
+        let a = ParsedArgs::parse(["train"]).unwrap();
+        assert_eq!(a.get_parsed_or("topics", 128usize).unwrap(), 128);
+    }
+
+    #[test]
+    fn missing_command_is_an_error() {
+        assert_eq!(
+            ParsedArgs::parse(Vec::<String>::new()).unwrap_err(),
+            ArgError::MissingCommand
+        );
+    }
+
+    #[test]
+    fn stray_positionals_are_rejected() {
+        assert!(matches!(
+            ParsedArgs::parse(["train", "extra"]),
+            Err(ArgError::UnexpectedPositional(p)) if p == "extra"
+        ));
+    }
+
+    #[test]
+    fn required_and_invalid_values() {
+        let a = ParsedArgs::parse(["topics", "--top", "abc"]).unwrap();
+        assert!(matches!(
+            a.require("model"),
+            Err(ArgError::MissingRequired(k)) if k == "model"
+        ));
+        assert!(matches!(
+            a.get_parsed_or("top", 10usize),
+            Err(ArgError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_options_are_detected_after_consumption() {
+        let a = ParsedArgs::parse(["train", "--topics", "8", "--bogus", "1"]).unwrap();
+        let _ = a.get("topics");
+        assert!(matches!(
+            a.reject_unknown(),
+            Err(ArgError::UnknownOption(k)) if k == "bogus"
+        ));
+        let b = ParsedArgs::parse(["train", "--topics", "8"]).unwrap();
+        let _ = b.get("topics");
+        b.reject_unknown().unwrap();
+    }
+
+    #[test]
+    fn error_messages_are_readable() {
+        let msgs = [
+            ArgError::MissingCommand.to_string(),
+            ArgError::MissingValue("x".into()).to_string(),
+            ArgError::MissingRequired("model".into()).to_string(),
+            ArgError::UnknownOption("bogus".into()).to_string(),
+        ];
+        assert!(msgs.iter().all(|m| !m.is_empty()));
+        assert!(msgs[2].contains("model"));
+    }
+}

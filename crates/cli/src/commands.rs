@@ -1,0 +1,402 @@
+//! Implementations of the CLI subcommands.
+//!
+//! Every command is a pure function from parsed arguments to a report
+//! `String`, so the unit tests can exercise full command flows without
+//! touching stdout; `main` simply prints whatever comes back.
+
+use crate::args::{ArgError, ParsedArgs};
+use crate::CliError;
+use culda_core::{
+    CuLdaTrainer, InferenceOptions, LdaConfig, ModelCheckpoint, TopicInferencer,
+};
+use culda_corpus::{holdout::DocumentCompletion, Corpus, CorpusStats, DatasetProfile};
+use culda_gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
+use culda_metrics::{
+    coherence::topic_quality_report, heldout::evaluate_heldout, log_likelihood,
+};
+use std::fmt::Write as _;
+
+/// Usage text printed by `help` and on argument errors.
+pub const USAGE: &str = "\
+culda-cli — CuLDA_CGS (PPoPP'19) reproduction command line
+
+USAGE:
+    culda-cli <COMMAND> [OPTIONS]
+
+COMMANDS:
+    platforms       List the simulated device presets (Table 2 and beyond)
+    gen-corpus      Generate a synthetic corpus snapshot
+                      --profile nytimes|pubmed  --tokens N  --seed S  --out FILE
+    stats           Print Table-3 style statistics for a corpus snapshot
+                      --corpus FILE
+    train           Train CuLDA_CGS on a corpus
+                      --corpus FILE | --profile P --tokens N
+                      [--topics K] [--iterations N] [--gpus G] [--device NAME]
+                      [--seed S] [--save-model FILE] [--optimize-priors]
+    topics          Show the top words of every topic of a saved model
+                      --model FILE [--top N]
+    infer           Infer the topic mixture of new text or a corpus
+                      --model FILE (--text \"...\" | --corpus FILE) [--sweeps N]
+    eval            Held-out perplexity of a saved model on a test corpus
+                      --model FILE --corpus FILE [--heldout-fraction F]
+    help            Show this message
+
+DEVICES: maxwell | pascal | volta (default) | gtx1080 | k40 | p100 | a100 | cpu
+";
+
+/// Resolve a `--device` name to a spec.
+pub fn device_by_name(name: &str) -> Result<DeviceSpec, CliError> {
+    let spec = match name.to_ascii_lowercase().as_str() {
+        "maxwell" | "titanx" | "titan-x" => DeviceSpec::titan_x_maxwell(),
+        "pascal" | "titanxp" | "titan-xp" => DeviceSpec::titan_xp_pascal(),
+        "volta" | "v100" => DeviceSpec::v100_volta(),
+        "gtx1080" | "1080" => DeviceSpec::gtx_1080(),
+        "k40" | "kepler" => DeviceSpec::k40_kepler(),
+        "p100" => DeviceSpec::p100_pascal(),
+        "a100" | "ampere" => DeviceSpec::a100_ampere(),
+        "cpu" | "xeon" => DeviceSpec::xeon_e5_2690v4(),
+        other => return Err(CliError::Usage(format!("unknown device `{other}`"))),
+    };
+    Ok(spec)
+}
+
+/// Resolve a `--profile` name to a dataset profile.
+pub fn profile_by_name(name: &str) -> Result<DatasetProfile, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "nytimes" | "nyt" => Ok(DatasetProfile::nytimes()),
+        "pubmed" => Ok(DatasetProfile::pubmed()),
+        other => Err(CliError::Usage(format!(
+            "unknown profile `{other}` (expected nytimes or pubmed)"
+        ))),
+    }
+}
+
+/// Load a corpus from `--corpus`, or generate one from `--profile`/`--tokens`.
+fn corpus_from_args(args: &ParsedArgs) -> Result<(Corpus, String), CliError> {
+    if let Some(path) = args.get("corpus") {
+        let corpus = culda_corpus::load_corpus(&path)
+            .map_err(|e| CliError::Runtime(format!("failed to load {path}: {e}")))?;
+        return Ok((corpus, path));
+    }
+    let profile = profile_by_name(&args.get("profile").unwrap_or_else(|| "nytimes".into()))?;
+    let tokens: u64 = args.get_parsed_or("tokens", 200_000u64)?;
+    let seed: u64 = args.get_parsed_or("seed", 42u64)?;
+    let profile = profile.scaled_to_tokens(tokens);
+    let name = format!("{} (synthetic, ~{} tokens)", profile.name, tokens);
+    Ok((profile.generate(seed), name))
+}
+
+/// `platforms` — list the device presets.
+pub fn platforms(args: &ParsedArgs) -> Result<String, CliError> {
+    args.reject_unknown()?;
+    let specs = [
+        DeviceSpec::xeon_e5_2670(),
+        DeviceSpec::xeon_e5_2690v4(),
+        DeviceSpec::k40_kepler(),
+        DeviceSpec::titan_x_maxwell(),
+        DeviceSpec::gtx_1080(),
+        DeviceSpec::titan_xp_pascal(),
+        DeviceSpec::p100_pascal(),
+        DeviceSpec::v100_volta(),
+        DeviceSpec::a100_ampere(),
+    ];
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<28} {:>6} {:>10} {:>12} {:>10}",
+        "Device", "SMs", "BW (GB/s)", "Peak GFLOPS", "Mem (GiB)"
+    )
+    .unwrap();
+    for s in specs {
+        writeln!(
+            out,
+            "{:<28} {:>6} {:>10.0} {:>12.0} {:>10.0}",
+            s.name,
+            s.sm_count,
+            s.mem_bandwidth_gbps,
+            s.peak_gflops,
+            s.mem_capacity_bytes as f64 / (1u64 << 30) as f64
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+/// `gen-corpus` — generate and save a synthetic corpus snapshot.
+pub fn gen_corpus(args: &ParsedArgs) -> Result<String, CliError> {
+    let out_path = args.require("out")?;
+    let profile = profile_by_name(&args.get("profile").unwrap_or_else(|| "nytimes".into()))?;
+    let tokens: u64 = args.get_parsed_or("tokens", 200_000u64)?;
+    let seed: u64 = args.get_parsed_or("seed", 42u64)?;
+    args.reject_unknown()?;
+    let corpus = profile.scaled_to_tokens(tokens).generate(seed);
+    culda_corpus::save_corpus(&corpus, &out_path)
+        .map_err(|e| CliError::Runtime(format!("failed to write {out_path}: {e}")))?;
+    let stats = CorpusStats::compute(profile.name.clone(), &corpus);
+    Ok(format!(
+        "wrote {} ({} documents, {} tokens, V = {})\n{}\n",
+        out_path,
+        corpus.num_docs(),
+        corpus.num_tokens(),
+        corpus.vocab_size(),
+        stats.table3_row()
+    ))
+}
+
+/// `stats` — Table-3 style statistics of a corpus snapshot.
+pub fn stats(args: &ParsedArgs) -> Result<String, CliError> {
+    let path = args.require("corpus")?;
+    args.reject_unknown()?;
+    let corpus = culda_corpus::load_corpus(&path)
+        .map_err(|e| CliError::Runtime(format!("failed to load {path}: {e}")))?;
+    let stats = CorpusStats::compute(path.clone(), &corpus);
+    Ok(format!("{}\n", stats.table3_row()))
+}
+
+/// `train` — run CuLDA_CGS training and optionally save a model checkpoint.
+pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
+    let (corpus, corpus_name) = corpus_from_args(args)?;
+    let topics: usize = args.get_parsed_or("topics", 128usize)?;
+    let iterations: usize = args.get_parsed_or("iterations", 20usize)?;
+    let gpus: usize = args.get_parsed_or("gpus", 1usize)?;
+    let seed: u64 = args.get_parsed_or("seed", 42u64)?;
+    let device = device_by_name(&args.get("device").unwrap_or_else(|| "volta".into()))?;
+    let save_model = args.get("save-model");
+    let optimize_priors = args.flag("optimize-priors");
+    args.reject_unknown()?;
+
+    let system = if gpus <= 1 {
+        MultiGpuSystem::single(device.clone(), seed)
+    } else {
+        MultiGpuSystem::homogeneous(device.clone(), gpus, seed, Interconnect::Pcie3)
+    };
+    let config = LdaConfig::with_topics(topics).seed(seed);
+    let mut trainer = CuLdaTrainer::new(&corpus, config, system)
+        .map_err(|e| CliError::Runtime(format!("failed to build trainer: {e}")))?;
+    trainer.train(iterations);
+
+    let cfg = trainer.config().clone();
+    let ll = log_likelihood(
+        &trainer.merged_theta(),
+        &trainer.global_phi(),
+        &trainer.global_nk(),
+        cfg.alpha,
+        cfg.beta,
+    );
+    let mut out = String::new();
+    writeln!(out, "corpus:       {corpus_name}").unwrap();
+    writeln!(
+        out,
+        "model:        K = {topics}, α = {:.4}, β = {:.3}",
+        cfg.alpha, cfg.beta
+    )
+    .unwrap();
+    writeln!(out, "system:       {} × {}", gpus, device.name).unwrap();
+    writeln!(out, "schedule:     {:?}", trainer.schedule()).unwrap();
+    writeln!(out, "iterations:   {iterations}").unwrap();
+    writeln!(out, "sim time:     {:.3} s", trainer.sim_time_s()).unwrap();
+    writeln!(
+        out,
+        "throughput:   {:.1} M tokens/s (mean of first {} iterations)",
+        trainer.average_throughput(iterations) / 1e6,
+        iterations
+    )
+    .unwrap();
+    writeln!(out, "loglik/token: {:.4}", ll.per_token()).unwrap();
+    writeln!(out, "kernel breakdown:").unwrap();
+    for (name, pct) in trainer.kernel_breakdown() {
+        writeln!(out, "  {name:<12} {pct:>6.1}%").unwrap();
+    }
+    if optimize_priors {
+        let alpha = culda_core::optimize_alpha(
+            &trainer.merged_theta(),
+            cfg.alpha,
+            culda_core::HyperOptOptions::default(),
+        );
+        let beta = culda_core::optimize_beta(
+            &trainer.global_phi(),
+            &trainer.global_nk(),
+            cfg.beta,
+            culda_core::HyperOptOptions::default(),
+        );
+        writeln!(
+            out,
+            "optimized priors: α = {:.4}, β = {:.4}",
+            alpha.value, beta.value
+        )
+        .unwrap();
+    }
+    if let Some(path) = save_model {
+        let ckpt = ModelCheckpoint::from_trainer(&trainer);
+        ckpt.save(&path)
+            .map_err(|e| CliError::Runtime(format!("failed to save model to {path}: {e}")))?;
+        writeln!(out, "model saved to {path}").unwrap();
+    }
+    Ok(out)
+}
+
+/// `topics` — print the top words of every topic of a saved model.
+pub fn topics(args: &ParsedArgs) -> Result<String, CliError> {
+    let model_path = args.require("model")?;
+    let top_n: usize = args.get_parsed_or("top", 10usize)?;
+    args.reject_unknown()?;
+    let ckpt = ModelCheckpoint::load(&model_path)
+        .map_err(|e| CliError::Runtime(format!("failed to load {model_path}: {e}")))?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "model: K = {}, V = {}, {} tokens",
+        ckpt.num_topics,
+        ckpt.vocab_size,
+        ckpt.total_tokens()
+    )
+    .unwrap();
+    for k in 0..ckpt.num_topics {
+        let words = culda_metrics::coherence::top_words(&ckpt.phi, k, top_n);
+        let rendered: Vec<String> = words
+            .iter()
+            .map(|&w| format!("word{w}({})", ckpt.phi.get(k, w as usize)))
+            .collect();
+        writeln!(out, "topic {k:>3}: {}", rendered.join(" ")).unwrap();
+    }
+    Ok(out)
+}
+
+/// `infer` — topic mixture of ad-hoc text (space-separated word ids) or a
+/// corpus snapshot.
+pub fn infer(args: &ParsedArgs) -> Result<String, CliError> {
+    let model_path = args.require("model")?;
+    let sweeps: usize = args.get_parsed_or("sweeps", 20usize)?;
+    let text = args.get("text");
+    let corpus_path = args.get("corpus");
+    args.reject_unknown()?;
+    let ckpt = ModelCheckpoint::load(&model_path)
+        .map_err(|e| CliError::Runtime(format!("failed to load {model_path}: {e}")))?;
+    let inferencer: TopicInferencer = ckpt.inferencer();
+    let options = InferenceOptions {
+        sweeps,
+        burn_in: (sweeps / 4).max(1).min(sweeps - 1),
+        seed: 7,
+    };
+    let mut out = String::new();
+    match (text, corpus_path) {
+        (Some(text), _) => {
+            let words: Vec<u32> = text
+                .split_whitespace()
+                .filter_map(|t| t.parse().ok())
+                .collect();
+            if words.is_empty() {
+                return Err(CliError::Usage(
+                    "--text must contain space-separated word ids".into(),
+                ));
+            }
+            let doc = inferencer.infer_document(&words, options);
+            writeln!(out, "tokens used: {}", words.len()).unwrap();
+            for (k, p) in doc.top_topics(5) {
+                writeln!(out, "topic {k:>3}: {:>6.2}%", p * 100.0).unwrap();
+            }
+        }
+        (None, Some(path)) => {
+            let corpus = culda_corpus::load_corpus(&path)
+                .map_err(|e| CliError::Runtime(format!("failed to load {path}: {e}")))?;
+            let results = inferencer.infer_corpus(&corpus, options);
+            writeln!(out, "{} documents", results.len()).unwrap();
+            for (d, doc) in results.iter().enumerate().take(20) {
+                let top = doc.top_topics(3);
+                let rendered: Vec<String> = top
+                    .iter()
+                    .map(|&(k, p)| format!("{k}:{:.0}%", p * 100.0))
+                    .collect();
+                writeln!(out, "doc {d:>5}: {}", rendered.join(" ")).unwrap();
+            }
+            if results.len() > 20 {
+                writeln!(out, "... ({} more documents)", results.len() - 20).unwrap();
+            }
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "infer needs either --text or --corpus".into(),
+            ))
+        }
+    }
+    Ok(out)
+}
+
+/// `eval` — held-out perplexity of a saved model on a test corpus under the
+/// document-completion protocol.
+pub fn eval(args: &ParsedArgs) -> Result<String, CliError> {
+    let model_path = args.require("model")?;
+    let corpus_path = args.require("corpus")?;
+    let heldout_fraction: f64 = args.get_parsed_or("heldout-fraction", 0.5f64)?;
+    let sweeps: usize = args.get_parsed_or("sweeps", 20usize)?;
+    args.reject_unknown()?;
+    if !(0.0..1.0).contains(&heldout_fraction) {
+        return Err(CliError::Usage(
+            "--heldout-fraction must be in [0, 1)".into(),
+        ));
+    }
+    let ckpt = ModelCheckpoint::load(&model_path)
+        .map_err(|e| CliError::Runtime(format!("failed to load {model_path}: {e}")))?;
+    let corpus = culda_corpus::load_corpus(&corpus_path)
+        .map_err(|e| CliError::Runtime(format!("failed to load {corpus_path}: {e}")))?;
+    if corpus.vocab_size() != ckpt.vocab_size {
+        return Err(CliError::Runtime(format!(
+            "corpus vocabulary ({}) does not match the model ({})",
+            corpus.vocab_size(),
+            ckpt.vocab_size
+        )));
+    }
+    let split = DocumentCompletion::split(&corpus, heldout_fraction, 11);
+    let inferencer = ckpt.inferencer();
+    let options = InferenceOptions {
+        sweeps,
+        burn_in: (sweeps / 4).max(1).min(sweeps - 1),
+        seed: 13,
+    };
+    let theta_counts = inferencer.infer_corpus_counts(&split.observed, options);
+    let score = evaluate_heldout(
+        &split.heldout,
+        &theta_counts,
+        &ckpt.phi,
+        &ckpt.nk,
+        ckpt.alpha,
+        ckpt.beta,
+    );
+    let mut out = String::new();
+    writeln!(out, "test documents:      {}", corpus.num_docs()).unwrap();
+    writeln!(out, "held-out tokens:     {}", score.num_tokens).unwrap();
+    writeln!(out, "log p per token:     {:.4}", score.per_token()).unwrap();
+    writeln!(out, "held-out perplexity: {:.1}", score.perplexity()).unwrap();
+    Ok(out)
+}
+
+/// Topic-quality report (coherence/diversity) shared by `train --quality` in
+/// the examples and the tests; exposed for reuse.
+pub fn quality_report(corpus: &Corpus, trainer: &CuLdaTrainer, top_n: usize) -> String {
+    let q = topic_quality_report(corpus, &trainer.global_phi(), top_n);
+    format!(
+        "topic quality: mean UMass coherence {:.2}, mean NPMI {:.2}, diversity {:.2} (top {})",
+        q.mean_coherence, q.mean_npmi, q.diversity, q.top_n
+    )
+}
+
+/// Dispatch a parsed command line to its implementation.
+pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "platforms" => platforms(args),
+        "gen-corpus" => gen_corpus(args),
+        "stats" => stats(args),
+        "train" => train(args),
+        "topics" => topics(args),
+        "infer" => infer(args),
+        "eval" => eval(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Usage(e.to_string())
+    }
+}

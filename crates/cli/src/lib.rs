@@ -1,0 +1,293 @@
+//! # culda-cli
+//!
+//! Command-line interface for the CuLDA_CGS reproduction.  The binary
+//! (`culda-cli`) wraps the workspace crates into the workflows a downstream
+//! user actually runs:
+//!
+//! ```text
+//! culda-cli gen-corpus --profile nytimes --tokens 500000 --out nyt.cldc
+//! culda-cli train --corpus nyt.cldc --topics 256 --gpus 4 --device volta \
+//!                 --iterations 50 --save-model nyt.cldm
+//! culda-cli topics --model nyt.cldm --top 12
+//! culda-cli eval --model nyt.cldm --corpus nyt_test.cldc
+//! ```
+//!
+//! All argument parsing is hand-rolled ([`args`]) to stay inside the approved
+//! offline dependency set, and every command returns its report as a `String`
+//! so the full command flows are unit-tested in [`commands`].
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, ParsedArgs};
+pub use commands::{dispatch, USAGE};
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The command line was malformed; print the message plus usage.
+    Usage(String),
+    /// The command itself failed (IO, bad snapshot, training error...).
+    Runtime(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Runtime(msg) => write!(f, "error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Run the CLI on raw arguments (without the program name) and return the
+/// report to print.  This is the function `main` calls and the tests drive.
+pub fn run<I, S>(raw_args: I) -> Result<String, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let parsed = ParsedArgs::parse(raw_args).map_err(|e| CliError::Usage(e.to_string()))?;
+    dispatch(&parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("culda_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(["help"]).unwrap().contains("USAGE"));
+        assert!(matches!(run(["bogus"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(Vec::<String>::new()),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn platforms_lists_table2_devices() {
+        let out = run(["platforms"]).unwrap();
+        assert!(out.contains("TITAN X"));
+        assert!(out.contains("V100"));
+        assert!(out.contains("A100"));
+        assert!(out.contains("Xeon"));
+    }
+
+    #[test]
+    fn gen_corpus_then_stats_roundtrip() {
+        let path = tmp_dir().join("cli_nyt.cldc");
+        let path_s = path.to_str().unwrap().to_string();
+        let out = run([
+            "gen-corpus",
+            "--profile",
+            "nytimes",
+            "--tokens",
+            "20000",
+            "--out",
+            &path_s,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let stats = run(["stats", "--corpus", &path_s]).unwrap();
+        assert!(!stats.trim().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn train_topics_infer_eval_pipeline() {
+        let dir = tmp_dir();
+        let corpus_path = dir.join("cli_pipe.cldc");
+        let model_path = dir.join("cli_pipe.cldm");
+        let corpus_s = corpus_path.to_str().unwrap().to_string();
+        let model_s = model_path.to_str().unwrap().to_string();
+
+        run([
+            "gen-corpus",
+            "--tokens",
+            "15000",
+            "--seed",
+            "3",
+            "--out",
+            &corpus_s,
+        ])
+        .unwrap();
+
+        let report = run([
+            "train",
+            "--corpus",
+            &corpus_s,
+            "--topics",
+            "16",
+            "--iterations",
+            "5",
+            "--device",
+            "volta",
+            "--save-model",
+            &model_s,
+        ])
+        .unwrap();
+        assert!(report.contains("throughput"));
+        assert!(report.contains("loglik/token"));
+        assert!(report.contains("model saved"));
+
+        let topics = run(["topics", "--model", &model_s, "--top", "5"]).unwrap();
+        assert!(topics.contains("topic   0:"));
+
+        let infer = run(["infer", "--model", &model_s, "--text", "0 1 2 3 4"]).unwrap();
+        assert!(infer.contains("topic"));
+
+        let eval = run(["eval", "--model", &model_s, "--corpus", &corpus_s]).unwrap();
+        assert!(eval.contains("held-out perplexity"));
+
+        std::fs::remove_file(&corpus_path).ok();
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn train_with_multiple_gpus_and_prior_optimization() {
+        let report = run([
+            "train",
+            "--tokens",
+            "12000",
+            "--topics",
+            "8",
+            "--iterations",
+            "3",
+            "--gpus",
+            "2",
+            "--device",
+            "pascal",
+            "--optimize-priors",
+        ])
+        .unwrap();
+        assert!(report.contains("2 × NVIDIA Titan Xp"));
+        assert!(report.contains("optimized priors"));
+    }
+
+    #[test]
+    fn corrupted_files_surface_runtime_errors() {
+        let dir = tmp_dir();
+        // A model file holding garbage bytes must be reported, not panic.
+        let bad_model = dir.join("cli_bad.cldm");
+        std::fs::write(&bad_model, b"CLDMgarbage-that-is-not-a-checkpoint").unwrap();
+        let bad_model_s = bad_model.to_str().unwrap().to_string();
+        assert!(matches!(
+            run(["topics", "--model", &bad_model_s]),
+            Err(CliError::Runtime(_))
+        ));
+        assert!(matches!(
+            run(["infer", "--model", &bad_model_s, "--text", "1 2 3"]),
+            Err(CliError::Runtime(_))
+        ));
+
+        // Same for a corpus snapshot that is really a text file.
+        let bad_corpus = dir.join("cli_bad.cldc");
+        std::fs::write(&bad_corpus, b"this is not a snapshot").unwrap();
+        let bad_corpus_s = bad_corpus.to_str().unwrap().to_string();
+        assert!(matches!(
+            run(["stats", "--corpus", &bad_corpus_s]),
+            Err(CliError::Runtime(_))
+        ));
+        assert!(matches!(
+            run(["train", "--corpus", &bad_corpus_s, "--iterations", "1"]),
+            Err(CliError::Runtime(_))
+        ));
+
+        std::fs::remove_file(&bad_model).ok();
+        std::fs::remove_file(&bad_corpus).ok();
+    }
+
+    #[test]
+    fn eval_rejects_vocabulary_mismatch_and_bad_fraction() {
+        let dir = tmp_dir();
+        let corpus_path = dir.join("cli_mismatch.cldc");
+        let other_path = dir.join("cli_mismatch_other.cldc");
+        let model_path = dir.join("cli_mismatch.cldm");
+        let corpus_s = corpus_path.to_str().unwrap().to_string();
+        let other_s = other_path.to_str().unwrap().to_string();
+        let model_s = model_path.to_str().unwrap().to_string();
+
+        run(["gen-corpus", "--tokens", "8000", "--seed", "1", "--out", &corpus_s]).unwrap();
+        // A different profile/size gives a different vocabulary size.
+        run([
+            "gen-corpus",
+            "--profile",
+            "pubmed",
+            "--tokens",
+            "4000",
+            "--seed",
+            "2",
+            "--out",
+            &other_s,
+        ])
+        .unwrap();
+        run([
+            "train",
+            "--corpus",
+            &corpus_s,
+            "--topics",
+            "8",
+            "--iterations",
+            "2",
+            "--save-model",
+            &model_s,
+        ])
+        .unwrap();
+
+        assert!(matches!(
+            run(["eval", "--model", &model_s, "--corpus", &other_s]),
+            Err(CliError::Runtime(_))
+        ));
+        assert!(matches!(
+            run([
+                "eval",
+                "--model",
+                &model_s,
+                "--corpus",
+                &corpus_s,
+                "--heldout-fraction",
+                "1.5"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+
+        std::fs::remove_file(&corpus_path).ok();
+        std::fs::remove_file(&other_path).ok();
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn usage_errors_are_reported_not_panicked() {
+        assert!(matches!(
+            run(["train", "--device", "tpu"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(["train", "--bogus-flag"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(["topics"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(["infer", "--model", "/nonexistent/model.cldm"]),
+            Err(CliError::Runtime(_)) | Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(["gen-corpus", "--profile", "wikipedia", "--out", "/tmp/x"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

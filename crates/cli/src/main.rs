@@ -1,0 +1,23 @@
+//! The `culda-cli` binary: parse arguments, dispatch, print the report.
+
+use culda_cli::{run, CliError, USAGE};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("usage error: {msg}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Model checkpoints: persist a trained LDA model to disk and reload it.
+//!
+//! Training a billion-token corpus takes hours even at CuLDA_CGS throughput,
+//! so the trained model must outlive the process.  A checkpoint captures the
+//! synchronized global state of Figure 3 — the topic–word counts φ, the topic
+//! totals `n_k`, the merged document–topic counts θ and the hyper-parameters
+//! — in a small versioned binary container.  A reloaded checkpoint supports
+//! everything the serving path needs (topic inspection, fold-in inference,
+//! held-out evaluation); to continue *training*, rebuild a trainer from the
+//! corpus and use the checkpoint as the evaluation reference.
+//!
+//! ```text
+//! magic   "CLDM"       4 bytes
+//! version u32          currently 1
+//! K, V, D u64
+//! alpha, beta f64
+//! nk      K × i64
+//! phi     K × V × u32  (row-major)
+//! theta   CSR: (D + 1) × u32 row_ptr, nnz × (u16 col, u32 val)
+//! ```
+
+use crate::config::LdaConfig;
+use crate::inference::TopicInferencer;
+use crate::trainer::CuLdaTrainer;
+use culda_sparse::{CsrBuilder, CsrMatrix, DenseMatrix};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes identifying a model checkpoint.
+pub const MAGIC: &[u8; 4] = b"CLDM";
+/// Current checkpoint format version.
+pub const VERSION: u32 = 1;
+
+/// Errors produced while reading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// The magic bytes do not match [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The format version is not supported.
+    UnsupportedVersion(u32),
+    /// Structural inconsistency in the stored model.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "io error: {e}"),
+            CheckpointError::BadMagic(m) => write!(f, "bad magic bytes {m:?}"),
+            CheckpointError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            CheckpointError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// A trained model snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelCheckpoint {
+    /// Number of topics `K`.
+    pub num_topics: usize,
+    /// Vocabulary size `V`.
+    pub vocab_size: usize,
+    /// Dirichlet prior on document–topic mixtures.
+    pub alpha: f64,
+    /// Dirichlet prior on topic–word distributions.
+    pub beta: f64,
+    /// Topic totals `n_k`.
+    pub nk: Vec<i64>,
+    /// Topic–word counts φ (`K × V`).
+    pub phi: DenseMatrix<u32>,
+    /// Merged document–topic counts θ (`D × K`).
+    pub theta: CsrMatrix,
+}
+
+impl ModelCheckpoint {
+    /// Capture the current synchronized state of a trainer.
+    pub fn from_trainer(trainer: &CuLdaTrainer) -> Self {
+        let cfg: &LdaConfig = trainer.config();
+        ModelCheckpoint {
+            num_topics: cfg.num_topics,
+            vocab_size: trainer.vocab_size(),
+            alpha: cfg.alpha,
+            beta: cfg.beta,
+            nk: trainer.global_nk(),
+            phi: trainer.global_phi(),
+            theta: trainer.merged_theta(),
+        }
+    }
+
+    /// Build a fold-in inferencer from the stored model.
+    pub fn inferencer(&self) -> TopicInferencer {
+        TopicInferencer::new(&self.phi, &self.nk, self.alpha, self.beta)
+    }
+
+    /// Total number of tokens the stored φ covers.
+    pub fn total_tokens(&self) -> u64 {
+        self.phi.total()
+    }
+
+    /// Structural consistency checks (shapes, totals, non-negative counts).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phi.rows() != self.num_topics || self.phi.cols() != self.vocab_size {
+            return Err("φ shape does not match K × V".into());
+        }
+        if self.nk.len() != self.num_topics {
+            return Err("n_k length does not match K".into());
+        }
+        if self.theta.cols() != self.num_topics {
+            return Err("θ columns do not match K".into());
+        }
+        if !(self.alpha > 0.0) || !(self.beta > 0.0) {
+            return Err("priors must be positive".into());
+        }
+        let row_sums = self.phi.row_sums();
+        for (k, (&nk, &sum)) in self.nk.iter().zip(&row_sums).enumerate() {
+            if nk < 0 || nk as u64 != sum {
+                return Err(format!("n_k[{k}] = {nk} does not match φ row sum {sum}"));
+            }
+        }
+        if self.theta.total() != self.phi.total() {
+            return Err(format!(
+                "θ covers {} tokens, φ covers {}",
+                self.theta.total(),
+                self.phi.total()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serialize the checkpoint into a writer.
+    pub fn write<W: Write>(&self, writer: W) -> io::Result<()> {
+        let mut w = BufWriter::new(writer);
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(self.num_topics as u64).to_le_bytes())?;
+        w.write_all(&(self.vocab_size as u64).to_le_bytes())?;
+        w.write_all(&(self.theta.rows() as u64).to_le_bytes())?;
+        w.write_all(&self.alpha.to_le_bytes())?;
+        w.write_all(&self.beta.to_le_bytes())?;
+        for &nk in &self.nk {
+            w.write_all(&nk.to_le_bytes())?;
+        }
+        for &c in self.phi.as_slice() {
+            w.write_all(&c.to_le_bytes())?;
+        }
+        for &p in self.theta.row_ptr() {
+            w.write_all(&p.to_le_bytes())?;
+        }
+        for d in 0..self.theta.rows() {
+            let (cols, vals) = self.theta.row(d);
+            for (&k, &v) in cols.iter().zip(vals) {
+                w.write_all(&k.to_le_bytes())?;
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        w.flush()
+    }
+
+    /// Deserialize a checkpoint from a reader and validate it.
+    pub fn read<R: Read>(reader: R) -> Result<Self, CheckpointError> {
+        let mut r = BufReader::new(reader);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(CheckpointError::BadMagic(magic));
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let num_topics = read_u64(&mut r)? as usize;
+        let vocab_size = read_u64(&mut r)? as usize;
+        let num_docs = read_u64(&mut r)? as usize;
+        let alpha = read_f64(&mut r)?;
+        let beta = read_f64(&mut r)?;
+
+        // The header counts are untrusted: cap up-front reservations and
+        // guard the K × V product so a corrupt header yields a clean error
+        // (EOF or `Corrupt`) instead of an absurd allocation or an overflow.
+        const MAX_PREALLOC: usize = 1 << 20;
+        let phi_len = num_topics
+            .checked_mul(vocab_size)
+            .ok_or_else(|| CheckpointError::Corrupt("K × V overflows".into()))?;
+
+        let mut nk = Vec::with_capacity(num_topics.min(MAX_PREALLOC));
+        for _ in 0..num_topics {
+            nk.push(read_i64(&mut r)?);
+        }
+        let mut phi_data = Vec::with_capacity(phi_len.min(MAX_PREALLOC));
+        for _ in 0..phi_len {
+            phi_data.push(read_u32(&mut r)?);
+        }
+        let phi = DenseMatrix::from_vec(num_topics, vocab_size, phi_data);
+
+        let mut row_ptr = Vec::with_capacity(num_docs.saturating_add(1).min(MAX_PREALLOC));
+        for _ in 0..=num_docs {
+            row_ptr.push(read_u32(&mut r)?);
+        }
+        if row_ptr.first() != Some(&0) || row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(CheckpointError::Corrupt("θ row pointers are invalid".into()));
+        }
+        let mut builder = CsrBuilder::new(num_docs, num_topics);
+        builder.reserve_nnz((*row_ptr.last().unwrap_or(&0) as usize).min(MAX_PREALLOC));
+        for d in 0..num_docs {
+            let nnz = (row_ptr[d + 1] - row_ptr[d]) as usize;
+            let mut entries = Vec::with_capacity(nnz.min(MAX_PREALLOC));
+            for _ in 0..nnz {
+                let k = read_u16(&mut r)?;
+                let v = read_u32(&mut r)?;
+                if k as usize >= num_topics {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "θ column {k} out of range (K = {num_topics})"
+                    )));
+                }
+                entries.push((k, v));
+            }
+            builder.push_row(entries);
+        }
+        let theta = builder.finish();
+
+        let checkpoint = ModelCheckpoint {
+            num_topics,
+            vocab_size,
+            alpha,
+            beta,
+            nk,
+            phi,
+            theta,
+        };
+        checkpoint.validate().map_err(CheckpointError::Corrupt)?;
+        Ok(checkpoint)
+    }
+
+    /// Write the checkpoint to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        self.write(File::create(path)?)
+    }
+
+    /// Load a checkpoint from a file.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, CheckpointError> {
+        Self::read(File::open(path)?)
+    }
+}
+
+fn read_u16<R: Read>(r: &mut R) -> io::Result<u16> {
+    let mut buf = [0u8; 2];
+    r.read_exact(&mut buf)?;
+    Ok(u16::from_le_bytes(buf))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_i64<R: Read>(r: &mut R) -> io::Result<i64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(i64::from_le_bytes(buf))
+}
+
+fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(f64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LdaConfig;
+    use culda_corpus::DatasetProfile;
+    use culda_gpusim::{DeviceSpec, MultiGpuSystem};
+
+    fn trained_trainer() -> CuLdaTrainer {
+        let corpus = DatasetProfile {
+            name: "ckpt".into(),
+            num_docs: 100,
+            vocab_size: 80,
+            avg_doc_len: 15.0,
+            zipf_exponent: 1.0,
+            doc_len_sigma: 0.4,
+        }
+        .generate(21);
+        let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 3);
+        let mut trainer =
+            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(12).seed(4), system).unwrap();
+        trainer.train(5);
+        trainer
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_model_exactly() {
+        let trainer = trained_trainer();
+        let ckpt = ModelCheckpoint::from_trainer(&trainer);
+        ckpt.validate().unwrap();
+        let mut buf = Vec::new();
+        ckpt.write(&mut buf).unwrap();
+        let back = ModelCheckpoint::read(buf.as_slice()).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.total_tokens(), trainer.total_tokens());
+    }
+
+    #[test]
+    fn reloaded_checkpoint_drives_identical_inference() {
+        let trainer = trained_trainer();
+        let ckpt = ModelCheckpoint::from_trainer(&trainer);
+        let mut buf = Vec::new();
+        ckpt.write(&mut buf).unwrap();
+        let back = ModelCheckpoint::read(buf.as_slice()).unwrap();
+        let opts = crate::inference::InferenceOptions::default();
+        let doc = [0u32, 1, 2, 3, 4, 5];
+        let a = ckpt.inferencer().infer_document(&doc, opts);
+        let b = back.inferencer().infer_document(&doc, opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let trainer = trained_trainer();
+        let ckpt = ModelCheckpoint::from_trainer(&trainer);
+        let mut buf = Vec::new();
+        ckpt.write(&mut buf).unwrap();
+        let mut bad = buf.clone();
+        bad[0] = b'Z';
+        assert!(matches!(
+            ModelCheckpoint::read(bad.as_slice()),
+            Err(CheckpointError::BadMagic(_))
+        ));
+        let mut bad = buf.clone();
+        bad[4..8].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            ModelCheckpoint::read(bad.as_slice()),
+            Err(CheckpointError::UnsupportedVersion(7))
+        ));
+        buf.truncate(32);
+        assert!(matches!(
+            ModelCheckpoint::read(buf.as_slice()),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn validation_catches_inconsistent_counts() {
+        let trainer = trained_trainer();
+        let mut ckpt = ModelCheckpoint::from_trainer(&trainer);
+        ckpt.nk[0] += 1;
+        assert!(ckpt.validate().is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let trainer = trained_trainer();
+        let ckpt = ModelCheckpoint::from_trainer(&trainer);
+        let dir = std::env::temp_dir().join("culda_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.cldm");
+        ckpt.save(&path).unwrap();
+        let back = ModelCheckpoint::load(&path).unwrap();
+        assert_eq!(back, ckpt);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,134 @@
+//! Trainer configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters and execution options of a CuLDA_CGS training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LdaConfig {
+    /// Number of topics `K` (must fit the 16-bit compressed representation).
+    pub num_topics: usize,
+    /// Dirichlet prior on document–topic mixtures.  The paper uses
+    /// `α = 50 / K` (§2.1).
+    pub alpha: f64,
+    /// Dirichlet prior on topic–word distributions.  The paper uses
+    /// `β = 0.01` (§2.1).
+    pub beta: f64,
+    /// RNG seed of the whole run (initial assignment + all kernels).
+    pub seed: u64,
+    /// Chunks per GPU (`M` in Algorithm 1).  `None` lets the trainer pick the
+    /// smallest `M` whose chunks fit in device memory, exactly as §5.1
+    /// prescribes.
+    pub chunks_per_gpu: Option<usize>,
+    /// Maximum tokens one thread block samples before the word is split
+    /// across additional blocks (load-balancing knob of §6.1.2).
+    pub max_tokens_per_block: usize,
+    /// Fan-out of the sampling index trees (32 = one warp inspects one node).
+    pub tree_fanout: usize,
+    /// Whether the 16-bit compression of §6.1.3 is applied to φ and to CSR
+    /// column indices (disabled only by the ablation benchmarks).
+    pub compress_16bit: bool,
+    /// Whether samplers in a thread block share the p2 tree / p*(k) array in
+    /// shared memory (disabled only by the ablation benchmarks).
+    pub share_p2_tree: bool,
+}
+
+impl LdaConfig {
+    /// The paper's default configuration for `K` topics
+    /// (`α = 50/K`, `β = 0.01`).
+    pub fn with_topics(num_topics: usize) -> Self {
+        LdaConfig {
+            num_topics,
+            alpha: 50.0 / num_topics as f64,
+            beta: 0.01,
+            seed: 0xC0FFEE,
+            chunks_per_gpu: None,
+            max_tokens_per_block: 2048,
+            tree_fanout: 32,
+            compress_16bit: true,
+            share_p2_tree: true,
+        }
+    }
+
+    /// Override the seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override `M`, the chunks-per-GPU factor (builder style).
+    pub fn chunks_per_gpu(mut self, m: usize) -> Self {
+        self.chunks_per_gpu = Some(m);
+        self
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_topics < 2 {
+            return Err("num_topics must be at least 2".into());
+        }
+        if self.num_topics > u16::MAX as usize + 1 {
+            return Err(format!(
+                "num_topics = {} does not fit the 16-bit compressed topic index (§6.1.3)",
+                self.num_topics
+            ));
+        }
+        if !(self.alpha > 0.0) || !(self.beta > 0.0) {
+            return Err("alpha and beta must be positive".into());
+        }
+        if self.max_tokens_per_block == 0 {
+            return Err("max_tokens_per_block must be positive".into());
+        }
+        if self.tree_fanout < 2 {
+            return Err("tree_fanout must be at least 2".into());
+        }
+        if let Some(m) = self.chunks_per_gpu {
+            if m == 0 {
+                return Err("chunks_per_gpu must be at least 1".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = LdaConfig::with_topics(1000);
+        assert!((c.alpha - 0.05).abs() < 1e-12);
+        assert_eq!(c.beta, 0.01);
+        assert_eq!(c.tree_fanout, 32);
+        assert!(c.compress_16bit);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = LdaConfig::with_topics(64).seed(7).chunks_per_gpu(2);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.chunks_per_gpu, Some(2));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(LdaConfig::with_topics(1).validate().is_err());
+        assert!(LdaConfig::with_topics(70_000).validate().is_err());
+        let mut c = LdaConfig::with_topics(16);
+        c.alpha = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = LdaConfig::with_topics(16);
+        c.beta = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = LdaConfig::with_topics(16);
+        c.max_tokens_per_block = 0;
+        assert!(c.validate().is_err());
+        let mut c = LdaConfig::with_topics(16);
+        c.tree_fanout = 1;
+        assert!(c.validate().is_err());
+        let c = LdaConfig::with_topics(16).chunks_per_gpu(0);
+        assert!(c.validate().is_err());
+    }
+}

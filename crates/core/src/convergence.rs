@@ -1,0 +1,297 @@
+//! Convergence detection and early stopping.
+//!
+//! The paper trains for a fixed 100 iterations (Figure 7/8); a production
+//! deployment wants to stop as soon as the model has converged.  Two
+//! complementary tools are provided:
+//!
+//! * [`ConvergenceMonitor`] — declares convergence when the *relative*
+//!   improvement of the objective (log-likelihood per token) stays below a
+//!   tolerance for a window of consecutive iterations.
+//! * [`EarlyStopper`] — patience-based stopping on a held-out score: stop
+//!   when the best value has not improved for `patience` evaluations.
+//!
+//! Both are plain state machines over a pushed series, so they work with the
+//! CuLDA trainer, any baseline solver or an externally computed metric.
+
+use culda_metrics::log_likelihood;
+
+use crate::trainer::CuLdaTrainer;
+
+/// Relative-improvement convergence detector.
+#[derive(Debug, Clone)]
+pub struct ConvergenceMonitor {
+    tolerance: f64,
+    window: usize,
+    history: Vec<f64>,
+    below_tolerance_streak: usize,
+}
+
+impl ConvergenceMonitor {
+    /// Declare convergence after `window` consecutive iterations whose
+    /// relative improvement is below `tolerance`.
+    ///
+    /// # Panics
+    /// Panics if `tolerance` is not positive or `window` is zero.
+    pub fn new(tolerance: f64, window: usize) -> Self {
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        assert!(window > 0, "window must be at least 1");
+        ConvergenceMonitor {
+            tolerance,
+            window,
+            history: Vec::new(),
+            below_tolerance_streak: 0,
+        }
+    }
+
+    /// Default settings used by the examples: 0.05% relative change over
+    /// three consecutive iterations.
+    pub fn default_for_loglik() -> Self {
+        ConvergenceMonitor::new(5e-4, 3)
+    }
+
+    /// Record the objective of the latest iteration; returns `true` when the
+    /// series has converged.
+    pub fn push(&mut self, value: f64) -> bool {
+        if let Some(&prev) = self.history.last() {
+            let rel = (value - prev).abs() / prev.abs().max(f64::MIN_POSITIVE);
+            if rel < self.tolerance {
+                self.below_tolerance_streak += 1;
+            } else {
+                self.below_tolerance_streak = 0;
+            }
+        }
+        self.history.push(value);
+        self.converged()
+    }
+
+    /// Whether the convergence criterion currently holds.
+    pub fn converged(&self) -> bool {
+        self.below_tolerance_streak >= self.window
+    }
+
+    /// Number of values pushed so far.
+    pub fn iterations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The recorded objective series.
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// The latest objective value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.history.last().copied()
+    }
+}
+
+/// Patience-based early stopping on a "higher is better" score.
+#[derive(Debug, Clone)]
+pub struct EarlyStopper {
+    patience: usize,
+    min_delta: f64,
+    best: Option<f64>,
+    best_index: usize,
+    evaluations: usize,
+}
+
+impl EarlyStopper {
+    /// Stop when the best score has not improved by at least `min_delta` for
+    /// `patience` consecutive evaluations.
+    pub fn new(patience: usize, min_delta: f64) -> Self {
+        assert!(patience > 0, "patience must be at least 1");
+        assert!(min_delta >= 0.0, "min_delta must be non-negative");
+        EarlyStopper {
+            patience,
+            min_delta,
+            best: None,
+            best_index: 0,
+            evaluations: 0,
+        }
+    }
+
+    /// Record a new score; returns `true` when training should stop.
+    pub fn push(&mut self, score: f64) -> bool {
+        self.evaluations += 1;
+        match self.best {
+            None => {
+                self.best = Some(score);
+                self.best_index = self.evaluations;
+            }
+            Some(best) if score > best + self.min_delta => {
+                self.best = Some(score);
+                self.best_index = self.evaluations;
+            }
+            Some(_) => {}
+        }
+        self.should_stop()
+    }
+
+    /// Whether the patience has run out.
+    pub fn should_stop(&self) -> bool {
+        self.evaluations - self.best_index >= self.patience
+    }
+
+    /// Best score seen so far.
+    pub fn best(&self) -> Option<f64> {
+        self.best
+    }
+
+    /// 1-based index of the evaluation that produced the best score.
+    pub fn best_index(&self) -> usize {
+        self.best_index
+    }
+}
+
+/// Outcome of [`train_until_converged`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergedTraining {
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Whether the convergence criterion fired (false = hit `max_iterations`).
+    pub converged: bool,
+    /// Log-likelihood per token after each iteration.
+    pub loglik_per_token: Vec<f64>,
+    /// Simulated training time accumulated by the run.
+    pub sim_time_s: f64,
+}
+
+/// Train a CuLDA trainer until the training log-likelihood per token
+/// converges or `max_iterations` is reached, evaluating the likelihood every
+/// `eval_every` iterations (evaluation is host-side and not charged to the
+/// simulated clock, matching how the paper reports Figure 8).
+pub fn train_until_converged(
+    trainer: &mut CuLdaTrainer,
+    max_iterations: usize,
+    eval_every: usize,
+    mut monitor: ConvergenceMonitor,
+) -> ConvergedTraining {
+    assert!(eval_every > 0, "eval_every must be at least 1");
+    let start_time = trainer.sim_time_s();
+    let mut loglik = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+    while iterations < max_iterations {
+        trainer.run_iteration();
+        iterations += 1;
+        if iterations % eval_every == 0 || iterations == max_iterations {
+            let cfg = trainer.config().clone();
+            let ll = log_likelihood(
+                &trainer.merged_theta(),
+                &trainer.global_phi(),
+                &trainer.global_nk(),
+                cfg.alpha,
+                cfg.beta,
+            )
+            .per_token();
+            loglik.push(ll);
+            if monitor.push(ll) {
+                converged = true;
+                break;
+            }
+        }
+    }
+    ConvergedTraining {
+        iterations,
+        converged,
+        loglik_per_token: loglik,
+        sim_time_s: trainer.sim_time_s() - start_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LdaConfig;
+    use culda_corpus::DatasetProfile;
+    use culda_gpusim::{DeviceSpec, MultiGpuSystem};
+
+    #[test]
+    fn monitor_requires_a_full_window_below_tolerance() {
+        let mut m = ConvergenceMonitor::new(0.01, 2);
+        assert!(!m.push(-10.0));
+        assert!(!m.push(-9.0)); // 10% change
+        assert!(!m.push(-8.995)); // small change, streak = 1
+        assert!(m.push(-8.994)); // small change, streak = 2 → converged
+        assert!(m.converged());
+        assert_eq!(m.iterations(), 4);
+        assert_eq!(m.last(), Some(-8.994));
+    }
+
+    #[test]
+    fn monitor_resets_the_streak_on_large_changes() {
+        let mut m = ConvergenceMonitor::new(0.01, 2);
+        m.push(-10.0);
+        m.push(-9.999); // streak 1
+        m.push(-8.0); // big jump resets
+        assert!(!m.converged());
+        m.push(-7.9999);
+        assert!(!m.converged());
+        assert!(m.push(-7.9998));
+    }
+
+    #[test]
+    fn early_stopper_waits_for_patience() {
+        let mut s = EarlyStopper::new(2, 0.0);
+        assert!(!s.push(1.0));
+        assert!(!s.push(2.0)); // improvement
+        assert!(!s.push(1.9)); // 1 without improvement
+        assert!(s.push(1.8)); // 2 without improvement → stop
+        assert_eq!(s.best(), Some(2.0));
+        assert_eq!(s.best_index(), 2);
+    }
+
+    #[test]
+    fn early_stopper_min_delta_counts_marginal_gains_as_no_improvement() {
+        let mut s = EarlyStopper::new(2, 0.5);
+        s.push(1.0);
+        s.push(1.3); // below min_delta → not an improvement
+        assert!(s.push(1.4));
+        assert_eq!(s.best(), Some(1.0));
+    }
+
+    #[test]
+    fn training_until_convergence_stops_before_the_cap() {
+        let corpus = DatasetProfile {
+            name: "conv".into(),
+            num_docs: 120,
+            vocab_size: 60,
+            avg_doc_len: 12.0,
+            zipf_exponent: 1.0,
+            doc_len_sigma: 0.4,
+        }
+        .generate(2);
+        let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 7);
+        let mut trainer =
+            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(8).seed(3), system).unwrap();
+        let result = train_until_converged(
+            &mut trainer,
+            60,
+            1,
+            ConvergenceMonitor::new(2e-3, 2),
+        );
+        assert!(result.iterations <= 60);
+        assert!(!result.loglik_per_token.is_empty());
+        assert!(result.sim_time_s > 0.0);
+        // The likelihood at the end must not be worse than at the start.
+        let first = result.loglik_per_token[0];
+        let last = *result.loglik_per_token.last().unwrap();
+        assert!(last >= first - 1e-9, "LL regressed: {first} → {last}");
+        trainer.validate().unwrap();
+        // With a loose tolerance on a tiny corpus the criterion should fire
+        // well before the cap.
+        assert!(result.converged, "did not converge in {} iters", result.iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be positive")]
+    fn bad_monitor_settings_are_rejected() {
+        let _ = ConvergenceMonitor::new(0.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "patience must be at least 1")]
+    fn bad_stopper_settings_are_rejected() {
+        let _ = EarlyStopper::new(0, 0.1);
+    }
+}

@@ -1,0 +1,387 @@
+//! Fold-in inference for unseen documents.
+//!
+//! Training produces the topic–word counts φ; serving a topic model means
+//! answering "what is this *new* document about?" without re-training.  The
+//! standard answer is fold-in Gibbs sampling: hold φ fixed, run a short Gibbs
+//! chain over the new document's tokens only, and read the document–topic
+//! counts off the chain.  The per-token conditional is the same Eq. 1 the
+//! trainer samples from,
+//!
+//! ```text
+//! p(k) ∝ (n_{d,k} + α) · (φ_{k,v} + β) / (n_k + Vβ)
+//! ```
+//!
+//! except that φ and `n_k` are frozen.  This module provides
+//! [`TopicInferencer`], which owns a frozen model and infers mixtures for
+//! single documents or whole corpora (the latter in parallel with rayon,
+//! since documents are independent once φ is frozen).
+
+use crate::config::LdaConfig;
+use crate::trainer::CuLdaTrainer;
+use culda_corpus::{Corpus, WordId};
+use culda_sparse::{CsrBuilder, CsrMatrix, DenseMatrix};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Options controlling the fold-in Gibbs chain.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct InferenceOptions {
+    /// Total Gibbs sweeps over each document.
+    pub sweeps: usize,
+    /// Sweeps discarded before counts are accumulated into the estimate.
+    pub burn_in: usize,
+    /// RNG seed; per-document streams are derived from it, so corpus-level
+    /// inference is deterministic regardless of thread scheduling.
+    pub seed: u64,
+}
+
+impl Default for InferenceOptions {
+    fn default() -> Self {
+        InferenceOptions {
+            sweeps: 20,
+            burn_in: 5,
+            seed: 0xFEED,
+        }
+    }
+}
+
+impl InferenceOptions {
+    /// Validate the options.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sweeps == 0 {
+            return Err("sweeps must be at least 1".into());
+        }
+        if self.burn_in >= self.sweeps {
+            return Err(format!(
+                "burn_in ({}) must be smaller than sweeps ({})",
+                self.burn_in, self.sweeps
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The inferred topic mixture of one document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocumentTopics {
+    /// Accumulated topic counts over the post-burn-in sweeps.
+    pub counts: Vec<u32>,
+    /// Smoothed, normalised mixture `θ̂_d` (sums to 1).
+    pub mixture: Vec<f64>,
+}
+
+impl DocumentTopics {
+    /// Topics sorted by decreasing probability, truncated to `n`.
+    pub fn top_topics(&self, n: usize) -> Vec<(usize, f64)> {
+        let mut pairs: Vec<(usize, f64)> = self.mixture.iter().copied().enumerate().collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        pairs.truncate(n);
+        pairs
+    }
+
+    /// The single most probable topic (`None` for an empty mixture).
+    pub fn dominant_topic(&self) -> Option<usize> {
+        self.top_topics(1).first().map(|&(k, _)| k)
+    }
+}
+
+/// A frozen LDA model that can answer topic queries for unseen documents.
+pub struct TopicInferencer {
+    /// Smoothed topic–word weights `(φ_{k,v} + β) / (n_k + Vβ)`, precomputed
+    /// once because they never change during inference.
+    phi_weight: DenseMatrix<f64>,
+    num_topics: usize,
+    vocab_size: usize,
+    alpha: f64,
+}
+
+impl TopicInferencer {
+    /// Freeze a model given the trained topic–word counts, topic totals and
+    /// the training hyper-parameters.
+    pub fn new(phi: &DenseMatrix<u32>, nk: &[i64], alpha: f64, beta: f64) -> Self {
+        assert_eq!(phi.rows(), nk.len(), "φ rows and n_k length must agree");
+        assert!(alpha > 0.0 && beta > 0.0, "priors must be positive");
+        let (k, v) = (phi.rows(), phi.cols());
+        let mut weight = DenseMatrix::zeros(k, v);
+        for topic in 0..k {
+            let denom = nk[topic] as f64 + v as f64 * beta;
+            let row = weight.row_mut(topic);
+            for (slot, &c) in row.iter_mut().zip(phi.row(topic)) {
+                *slot = (c as f64 + beta) / denom;
+            }
+        }
+        TopicInferencer {
+            phi_weight: weight,
+            num_topics: k,
+            vocab_size: v,
+            alpha,
+        }
+    }
+
+    /// Freeze the current state of a trainer (its synchronized global φ).
+    pub fn from_trainer(trainer: &CuLdaTrainer) -> Self {
+        let cfg: &LdaConfig = trainer.config();
+        TopicInferencer::new(
+            &trainer.global_phi(),
+            &trainer.global_nk(),
+            cfg.alpha,
+            cfg.beta,
+        )
+    }
+
+    /// Number of topics `K`.
+    pub fn num_topics(&self) -> usize {
+        self.num_topics
+    }
+
+    /// Vocabulary size `V` the model was trained on.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Infer the topic mixture of a single document given as word ids.
+    /// Out-of-vocabulary ids are skipped.
+    pub fn infer_document(&self, words: &[WordId], options: InferenceOptions) -> DocumentTopics {
+        options.validate().expect("invalid inference options");
+        let mut rng = ChaCha8Rng::seed_from_u64(options.seed);
+        self.infer_with_rng(words, options, &mut rng)
+    }
+
+    fn infer_with_rng(
+        &self,
+        words: &[WordId],
+        options: InferenceOptions,
+        rng: &mut ChaCha8Rng,
+    ) -> DocumentTopics {
+        let k = self.num_topics;
+        let tokens: Vec<usize> = words
+            .iter()
+            .filter(|&&w| (w as usize) < self.vocab_size)
+            .map(|&w| w as usize)
+            .collect();
+        let mut doc_counts = vec![0u32; k];
+        let mut accumulated = vec![0u32; k];
+        if tokens.is_empty() {
+            let mixture = vec![1.0 / k as f64; k];
+            return DocumentTopics {
+                counts: accumulated,
+                mixture,
+            };
+        }
+
+        // Random initial assignment.
+        let mut z: Vec<usize> = tokens
+            .iter()
+            .map(|_| rng.gen_range(0..k))
+            .collect();
+        for &t in &z {
+            doc_counts[t] += 1;
+        }
+
+        let mut p = vec![0.0f64; k];
+        for sweep in 0..options.sweeps {
+            for (i, &v) in tokens.iter().enumerate() {
+                let old = z[i];
+                doc_counts[old] -= 1;
+                let mut total = 0.0;
+                for topic in 0..k {
+                    let w = self.phi_weight.get(topic, v);
+                    let val = (doc_counts[topic] as f64 + self.alpha) * w;
+                    total += val;
+                    p[topic] = total;
+                }
+                let u = rng.gen::<f64>() * total;
+                let new = match p.binary_search_by(|x| x.partial_cmp(&u).unwrap()) {
+                    Ok(idx) | Err(idx) => idx.min(k - 1),
+                };
+                z[i] = new;
+                doc_counts[new] += 1;
+            }
+            if sweep >= options.burn_in {
+                for (acc, &c) in accumulated.iter_mut().zip(&doc_counts) {
+                    *acc += c;
+                }
+            }
+        }
+
+        // Average the counts over the kept sweeps, smooth with α, normalise.
+        let kept_sweeps = (options.sweeps - options.burn_in) as f64;
+        let denom = tokens.len() as f64 + k as f64 * self.alpha;
+        let mixture: Vec<f64> = accumulated
+            .iter()
+            .map(|&c| (c as f64 / kept_sweeps + self.alpha) / denom)
+            .collect();
+        // Normalise explicitly to guard against floating-point drift.
+        let s: f64 = mixture.iter().sum();
+        let mixture = mixture.into_iter().map(|x| x / s).collect();
+        DocumentTopics {
+            counts: accumulated,
+            mixture,
+        }
+    }
+
+    /// Infer topic mixtures for every document of a corpus, in parallel.
+    /// Returns one [`DocumentTopics`] per document, in corpus order.
+    pub fn infer_corpus(&self, corpus: &Corpus, options: InferenceOptions) -> Vec<DocumentTopics> {
+        options.validate().expect("invalid inference options");
+        assert_eq!(
+            corpus.vocab_size(),
+            self.vocab_size,
+            "corpus vocabulary does not match the model"
+        );
+        (0..corpus.num_docs())
+            .into_par_iter()
+            .map(|d| {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    options
+                        .seed
+                        .wrapping_add((d as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                );
+                self.infer_with_rng(corpus.doc(d), options, &mut rng)
+            })
+            .collect()
+    }
+
+    /// Infer a whole corpus and return the per-document *mean* topic counts
+    /// as a CSR matrix (rows aligned with the corpus), which is the shape the
+    /// held-out evaluation in `culda-metrics` consumes.
+    pub fn infer_corpus_counts(&self, corpus: &Corpus, options: InferenceOptions) -> CsrMatrix {
+        let results = self.infer_corpus(corpus, options);
+        let kept = (options.sweeps - options.burn_in).max(1) as u32;
+        let mut builder = CsrBuilder::new(corpus.num_docs(), self.num_topics);
+        for doc in &results {
+            let entries: Vec<(u16, u32)> = doc
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(k, &c)| (k as u16, (c + kept / 2) / kept))
+                .filter(|&(_, c)| c > 0)
+                .collect();
+            builder.push_row(entries);
+        }
+        builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_corpus::CorpusBuilder;
+
+    /// A model with two sharply separated topics: topic 0 emits words 0..5,
+    /// topic 1 emits words 5..10.
+    fn two_topic_model() -> TopicInferencer {
+        let mut phi = DenseMatrix::zeros(2, 10);
+        for w in 0..5 {
+            phi.set(0, w, 100);
+        }
+        for w in 5..10 {
+            phi.set(1, w, 100);
+        }
+        let nk = vec![500, 500];
+        TopicInferencer::new(&phi, &nk, 0.1, 0.01)
+    }
+
+    #[test]
+    fn options_validation() {
+        assert!(InferenceOptions::default().validate().is_ok());
+        let bad = InferenceOptions {
+            sweeps: 0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = InferenceOptions {
+            sweeps: 5,
+            burn_in: 5,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn documents_are_assigned_to_the_right_topic() {
+        let model = two_topic_model();
+        let opts = InferenceOptions::default();
+        let doc0 = model.infer_document(&[0, 1, 2, 3, 4, 0, 1], opts);
+        let doc1 = model.infer_document(&[5, 6, 7, 8, 9, 9], opts);
+        assert_eq!(doc0.dominant_topic(), Some(0));
+        assert_eq!(doc1.dominant_topic(), Some(1));
+        assert!(doc0.mixture[0] > 0.8, "mixture {:?}", doc0.mixture);
+        assert!(doc1.mixture[1] > 0.8, "mixture {:?}", doc1.mixture);
+    }
+
+    #[test]
+    fn mixtures_are_normalised_and_deterministic() {
+        let model = two_topic_model();
+        let opts = InferenceOptions::default();
+        let a = model.infer_document(&[0, 5, 1, 6], opts);
+        let b = model.infer_document(&[0, 5, 1, 6], opts);
+        assert_eq!(a, b);
+        assert!((a.mixture.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let c = model.infer_document(
+            &[0, 5, 1, 6],
+            InferenceOptions {
+                seed: 777,
+                ..opts
+            },
+        );
+        assert!((c.mixture.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_oov_documents_get_uniform_mixtures() {
+        let model = two_topic_model();
+        let opts = InferenceOptions::default();
+        let empty = model.infer_document(&[], opts);
+        assert!((empty.mixture[0] - 0.5).abs() < 1e-12);
+        assert_eq!(empty.dominant_topic(), Some(0));
+        // Word ids beyond V are skipped entirely.
+        let oov = model.infer_document(&[42, 99], opts);
+        assert!((oov.mixture[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corpus_inference_matches_per_document_inference() {
+        let model = two_topic_model();
+        let opts = InferenceOptions {
+            sweeps: 10,
+            burn_in: 2,
+            seed: 5,
+        };
+        let mut b = CorpusBuilder::new(10);
+        b.push_doc(&[0, 1, 2, 2]);
+        b.push_doc(&[7, 8, 9]);
+        b.push_doc(&[]);
+        let corpus = b.build();
+        let results = model.infer_corpus(&corpus, opts);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].dominant_topic(), Some(0));
+        assert_eq!(results[1].dominant_topic(), Some(1));
+        // Counts matrix has one row per document and only non-zero entries.
+        let counts = model.infer_corpus_counts(&corpus, opts);
+        assert_eq!(counts.rows(), 3);
+        assert_eq!(counts.cols(), 2);
+        assert!(counts.get(0, 0) > 0);
+        assert_eq!(counts.row_nnz(2), 0);
+        counts.validate().unwrap();
+    }
+
+    #[test]
+    fn top_topics_are_sorted() {
+        let model = two_topic_model();
+        let doc = model.infer_document(&[0, 0, 0, 5], InferenceOptions::default());
+        let top = doc.top_topics(2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].1 >= top[1].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "corpus vocabulary does not match")]
+    fn vocabulary_mismatch_is_rejected() {
+        let model = two_topic_model();
+        let corpus = CorpusBuilder::new(3).build();
+        let _ = model.infer_corpus(&corpus, InferenceOptions::default());
+    }
+}

@@ -1,0 +1,25 @@
+//! The three GPU kernels of Figure 3: sampling, update φ, update θ.
+//!
+//! Each kernel is implemented against the [`culda_gpusim`] execution model:
+//! the *functional* effect (topic assignments, count updates) is computed for
+//! real, and every memory access / floating-point operation / atomic the real
+//! CUDA kernel would issue is accounted in the block's cost counters so the
+//! simulated time follows the paper's roofline analysis (§3.1).
+
+pub mod sampling;
+pub mod update_phi;
+pub mod update_theta;
+
+pub use sampling::SamplingKernel;
+pub use update_phi::UpdatePhiKernel;
+pub use update_theta::UpdateThetaKernel;
+
+/// Kernel profiling names (shared with Table 5 reporting).
+pub mod names {
+    /// The LDA sampling kernel.
+    pub const SAMPLING: &str = "Sampling";
+    /// The θ-update kernel.
+    pub const UPDATE_THETA: &str = "Update theta";
+    /// The φ-update kernel.
+    pub const UPDATE_PHI: &str = "Update phi";
+}

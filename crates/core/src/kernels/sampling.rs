@@ -1,0 +1,304 @@
+//! The LDA sampling kernel (§6.1, Algorithm 2).
+//!
+//! One thread block samples the tokens of one word (or a slice of a heavy
+//! word's tokens).  The block first computes the shared quantities that
+//! depend only on the word:
+//!
+//! * the reused sub-expression `p*(k) = (φ[k,v] + β) / (n_k + βV)` (§6.1.3),
+//!   stored in shared memory;
+//! * the dense part `p2(k) = α · p*(k)`, its sum `Q`, and its 32-way index
+//!   tree (§6.1.1), also in shared memory.
+//!
+//! Each sampler (warp) then processes its tokens: it reads the document's
+//! sparse θ row, forms the sparse part `p1(k) = θ_{d,k} · p*(k)` and its sum
+//! `S`, draws `u ~ U(0, S + Q)` and samples from `p1` (tree over the `K_d`
+//! non-zeros) when `u < S`, from the shared `p2` tree otherwise.  The new
+//! topic is written to `z_next`; counts are folded in by the update kernels.
+
+use crate::config::LdaConfig;
+use crate::model::ChunkState;
+use crate::work::WorkItem;
+use culda_gpusim::{BlockCtx, BlockKernel};
+use culda_sparse::prefix::search_prefix;
+use culda_sparse::IndexTree;
+use std::sync::atomic::Ordering;
+
+/// The sampling kernel for one chunk.
+pub struct SamplingKernel<'a> {
+    /// Chunk being sampled.
+    pub state: &'a ChunkState,
+    /// Per-block work assignment (see [`crate::work::build_work_items`]).
+    pub items: &'a [WorkItem],
+    /// Run configuration.
+    pub config: &'a LdaConfig,
+}
+
+impl SamplingKernel<'_> {
+    /// Bytes of a compressed (or not) integer model element.
+    #[inline]
+    fn model_int_bytes(&self) -> u64 {
+        if self.config.compress_16bit {
+            2
+        } else {
+            4
+        }
+    }
+}
+
+impl BlockKernel for SamplingKernel<'_> {
+    fn run_block(&self, block_id: usize, ctx: &mut BlockCtx) {
+        let item = &self.items[block_id];
+        if item.is_empty() {
+            return;
+        }
+        let state = self.state;
+        let cfg = self.config;
+        let k = cfg.num_topics;
+        let v = item.word as usize;
+        let vocab = state.layout.vocab_size;
+        let alpha = cfg.alpha as f32;
+        let beta = cfg.beta as f32;
+        let beta_v = (cfg.beta * vocab as f64) as f32;
+        let int_bytes = self.model_int_bytes();
+
+        // ---- Per-word shared state: p*(k), Q, and the p2 index tree. ----
+        // Reading the φ column and n_k for the word: K compressed ints + K
+        // 32-bit totals from global memory; 2 flops per topic to form p*.
+        let mut p_star = vec![0.0f32; k];
+        for (kk, p) in p_star.iter_mut().enumerate() {
+            let phi_kv = state.phi_global.load(kk, v) as f32;
+            let nk = state.nk_global.get(kk) as f32;
+            *p = (phi_kv + beta) / (nk + beta_v);
+        }
+        ctx.read_global(k as u64 * int_bytes); // φ[·, v]
+        ctx.read_global(k as u64 * 4); // n_k
+        ctx.flops(2 * k as u64);
+
+        // p2(k) = α · p*(k); the tree over p2 is shared by every sampler in
+        // the block (§6.1.2).  If shared memory cannot hold p* and the tree,
+        // the structures spill and their traffic is charged to L1 instead.
+        let p2: Vec<f32> = p_star.iter().map(|&x| alpha * x).collect();
+        ctx.flops(k as u64);
+        let p2_tree = IndexTree::with_fanout(cfg.tree_fanout, &p2);
+        let q = p2_tree.total();
+
+        let p_star_bytes = 4 * k as u64;
+        let tree_bytes = p2_tree.shared_bytes() + p2_tree.leaf_bytes();
+        // `in_shared`: the block-shared placement of §6.1.2.  When sharing is
+        // disabled (the SaberLDA-style configuration and the ablation), the
+        // per-token lookups fall back to off-chip memory; when sharing is
+        // enabled but the structures exceed the block's shared budget, they
+        // spill to the L1-cached path instead.
+        let fits = ctx.shared_alloc(p_star_bytes) && ctx.shared_alloc(tree_bytes);
+        let in_shared = cfg.share_p2_tree && fits;
+        if in_shared {
+            ctx.shared_traffic(p_star_bytes + tree_bytes); // construction writes
+        } else if cfg.share_p2_tree {
+            // Capacity spill: rebuilt per sampler through L1.
+            ctx.read_l1(p_star_bytes + tree_bytes);
+        } else {
+            ctx.write_global(p_star_bytes + tree_bytes);
+        }
+
+        // ---- Per-token sampling. ----
+        let theta = state.theta.read();
+        let mut p1_prefix: Vec<f32> = Vec::with_capacity(64);
+        for pos in item.start..item.end {
+            let pos = pos as usize;
+            let d = state.layout.token_doc[pos] as usize;
+            ctx.read_global(4); // token → document index
+
+            let (cols, vals) = theta.row(d);
+            let kd = cols.len();
+            // Reading the CSR row: K_d (compressed column index + 32-bit
+            // count) pairs plus the two row-pointer entries.
+            ctx.read_global(kd as u64 * (int_bytes + 4) + 8);
+
+            // p1(k) = θ_{d,k} · p*(k): one multiply and one add per non-zero,
+            // with the p* lookups served from shared memory.
+            p1_prefix.clear();
+            let mut s = 0.0f32;
+            for i in 0..kd {
+                let w = vals[i] as f32 * p_star[cols[i] as usize];
+                s += w;
+                p1_prefix.push(s);
+            }
+            ctx.flops(2 * kd as u64);
+            if in_shared {
+                ctx.shared_traffic(4 * kd as u64);
+            } else if cfg.share_p2_tree {
+                ctx.read_l1(4 * kd as u64);
+            } else {
+                ctx.read_global(4 * kd as u64);
+            }
+
+            // Draw u ~ U(0, S + Q) and pick the branch (Algorithm 2, line 6).
+            let u = ctx.rand_f32() * (s + q);
+            ctx.flops(2);
+            let new_topic = if u < s && kd > 0 {
+                // Sparse branch: search the K_d-entry prefix sum (the warp
+                // holds it in registers; a binary search costs ~log2(K_d)).
+                let idx = search_prefix(&p1_prefix, u);
+                ctx.int_ops((kd.max(2) as u64).ilog2() as u64 + 1);
+                cols[idx] as usize
+            } else {
+                // Dense branch: descend the shared 32-way p2 tree.
+                let u2 = (u - s).clamp(0.0, q);
+                let (idx, stats) = p2_tree.sample_with_stats(u2);
+                if in_shared {
+                    ctx.shared_traffic(stats.nodes_visited as u64 * 4);
+                } else if cfg.share_p2_tree {
+                    ctx.read_l1(stats.nodes_visited as u64 * 4);
+                } else {
+                    ctx.read_global(stats.nodes_visited as u64 * 4);
+                }
+                ctx.int_ops(stats.levels as u64);
+                idx
+            };
+
+            state.z_next[pos].store(new_topic as u16, Ordering::Relaxed);
+            ctx.write_global(int_bytes); // compressed topic assignment
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ChunkState;
+    use crate::work::build_work_items;
+    use culda_corpus::{partition::DocRange, ChunkLayout, CorpusBuilder, DatasetProfile};
+    use culda_gpusim::{Device, DeviceSpec, LaunchConfig};
+
+    fn make_state(num_topics: usize, seed: u64) -> ChunkState {
+        let corpus = DatasetProfile {
+            name: "t".into(),
+            num_docs: 60,
+            vocab_size: 120,
+            avg_doc_len: 30.0,
+            zipf_exponent: 1.05,
+            doc_len_sigma: 0.4,
+        }
+        .generate(seed);
+        let layout = ChunkLayout::build(&corpus, DocRange { start: 0, end: corpus.num_docs() });
+        let state = ChunkState::new(0, layout, num_topics);
+        let cfg = LdaConfig::with_topics(num_topics);
+        let mut x = seed as u32 | 1;
+        state.random_init(&cfg, move || {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            (x >> 16) as u16
+        });
+        // Make phi_global/nk_global consistent (single chunk: global = local).
+        state.phi_global.copy_from(&state.phi_local);
+        state.nk_global.store_all(&state.nk_local.to_vec());
+        state
+    }
+
+    #[test]
+    fn sampling_assigns_valid_topics_to_every_token() {
+        let state = make_state(8, 3);
+        let cfg = LdaConfig::with_topics(8);
+        let items = build_work_items(&state.layout, cfg.max_tokens_per_block);
+        let kernel = SamplingKernel { state: &state, items: &items, config: &cfg };
+        let dev = Device::new(0, DeviceSpec::titan_x_maxwell(), 11);
+        let stats = dev.launch("Sampling", LaunchConfig::new(items.len()), &kernel);
+        for z in &state.z_next {
+            assert!((z.load(Ordering::Relaxed) as usize) < 8);
+        }
+        // Every token wrote one compressed assignment.
+        assert_eq!(
+            stats.counters.dram_write_bytes,
+            state.num_tokens() as u64 * 2
+        );
+        assert!(stats.counters.dram_read_bytes > 0);
+        assert!(stats.time.total_s > 0.0);
+    }
+
+    #[test]
+    fn sampling_is_memory_bound_as_in_table_1() {
+        let state = make_state(32, 5);
+        let cfg = LdaConfig::with_topics(32);
+        let items = build_work_items(&state.layout, cfg.max_tokens_per_block);
+        let kernel = SamplingKernel { state: &state, items: &items, config: &cfg };
+        let dev = Device::new(0, DeviceSpec::v100_volta(), 1);
+        let stats = dev.launch("Sampling", LaunchConfig::new(items.len()), &kernel);
+        let intensity = stats.counters.flops_per_byte();
+        // The paper's characterisation: well under 1 flop per byte.
+        assert!(intensity < 1.0, "intensity {intensity}");
+        assert!(intensity > 0.01);
+        assert_eq!(stats.time.bound_by(), culda_gpusim::cost::Bound::Memory);
+    }
+
+    #[test]
+    fn sampling_moves_assignments_towards_cooccurring_words() {
+        // Build a corpus with two disjoint word groups; after several Gibbs
+        // sweeps documents should concentrate on few topics (θ rows sparser
+        // than uniform random assignment).
+        let mut b = CorpusBuilder::new(20);
+        for d in 0..40 {
+            let base = if d % 2 == 0 { 0u32 } else { 10u32 };
+            let doc: Vec<u32> = (0..30).map(|t| base + (t % 10) as u32).collect();
+            b.push_doc(&doc);
+        }
+        let corpus = b.build();
+        let layout = ChunkLayout::build(&corpus, DocRange { start: 0, end: 40 });
+        let state = ChunkState::new(0, layout, 4);
+        let cfg = LdaConfig::with_topics(4);
+        let mut x = 9u32;
+        state.random_init(&cfg, move || {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            (x >> 16) as u16
+        });
+        state.phi_global.copy_from(&state.phi_local);
+        state.nk_global.store_all(&state.nk_local.to_vec());
+
+        let initial_nnz = state.theta.read().nnz();
+        let dev = Device::new(0, DeviceSpec::titan_x_maxwell(), 77);
+        let items = build_work_items(&state.layout, cfg.max_tokens_per_block);
+        for _ in 0..15 {
+            let kernel = SamplingKernel { state: &state, items: &items, config: &cfg };
+            dev.launch("Sampling", LaunchConfig::new(items.len()), &kernel);
+            // Promote z_next → z and rebuild counts (what the update kernels do).
+            for (z, zn) in state.z.iter().zip(&state.z_next) {
+                z.store(zn.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+            state.rebuild_phi_local();
+            state.rebuild_theta();
+            state.phi_global.copy_from(&state.phi_local);
+            state.nk_global.store_all(&state.nk_local.to_vec());
+        }
+        let final_nnz = state.theta.read().nnz();
+        assert!(
+            final_nnz < initial_nnz,
+            "θ should sparsify: {initial_nnz} → {final_nnz}"
+        );
+        state.validate_counts().unwrap();
+    }
+
+    #[test]
+    fn shared_tree_reuse_reduces_offchip_traffic() {
+        let state = make_state(64, 13);
+        let mut shared_cfg = LdaConfig::with_topics(64);
+        shared_cfg.share_p2_tree = true;
+        let mut unshared_cfg = shared_cfg.clone();
+        unshared_cfg.share_p2_tree = false;
+
+        let items = build_work_items(&state.layout, shared_cfg.max_tokens_per_block);
+        let dev = Device::new(0, DeviceSpec::titan_x_maxwell(), 5);
+        let with = dev.launch(
+            "Sampling",
+            LaunchConfig::new(items.len()),
+            &SamplingKernel { state: &state, items: &items, config: &shared_cfg },
+        );
+        let without = dev.launch(
+            "Sampling",
+            LaunchConfig::new(items.len()),
+            &SamplingKernel { state: &state, items: &items, config: &unshared_cfg },
+        );
+        // Without sharing, the p*/tree traffic lands in off-chip memory
+        // instead of shared memory: shared traffic must be higher with the
+        // optimisation and DRAM traffic higher without it.
+        assert!(with.counters.shared_bytes > without.counters.shared_bytes);
+        assert!(without.counters.dram_read_bytes > with.counters.dram_read_bytes);
+    }
+}

@@ -1,0 +1,181 @@
+//! φ model synchronization (§5.2, Figure 4).
+//!
+//! After every iteration the per-chunk φ contributions must be combined into
+//! the global matrix every sampler reads:
+//!
+//! ```text
+//! φ = φ0 + φ1 + … + φC−1,      n_k = Σ_c n_k[c]
+//! ```
+//!
+//! The paper performs the combination on the GPUs as a `⌈log2 G⌉`-round tree
+//! **reduce** followed by a tree **broadcast**.  The simulator computes the
+//! sums functionally (the result is identical regardless of the reduction
+//! shape) and charges the time of the tree schedule over the system's
+//! interconnect, which is what determines multi-GPU scalability (Figure 9).
+
+use crate::model::ChunkState;
+use culda_gpusim::MultiGpuSystem;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Outcome of one φ synchronization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyncStats {
+    /// Simulated time of the reduce + broadcast.
+    pub time_s: f64,
+    /// Bytes of one φ replica (what each tree step moves).
+    pub replica_bytes: u64,
+    /// Number of devices participating.
+    pub num_devices: usize,
+}
+
+/// Combine every chunk's `phi_local` / `nk_local` into each chunk's
+/// `phi_global` / `nk_global`, and return the simulated cost of doing so with
+/// the tree schedule of §5.2.
+///
+/// `compress_16bit` selects the per-element transfer size (§6.1.3 halves the
+/// synchronization volume as well as the kernel traffic).
+pub fn synchronize_phi(
+    states: &[Arc<ChunkState>],
+    system: &MultiGpuSystem,
+    compress_16bit: bool,
+) -> SyncStats {
+    assert!(!states.is_empty());
+    let k = states[0].num_topics();
+    let v = states[0].phi_local.cols();
+
+    // --- Functional part: global sums. ---
+    // Sum rows in parallel; each row of the result is independent.
+    let summed: Vec<Vec<u32>> = (0..k)
+        .into_par_iter()
+        .map(|row| {
+            let mut acc = vec![0u32; v];
+            for st in states {
+                for (a, col) in acc.iter_mut().zip(0..v) {
+                    *a += st.phi_local.load(row, col);
+                }
+            }
+            acc
+        })
+        .collect();
+    let mut nk = vec![0i64; k];
+    for st in states {
+        for (acc, val) in nk.iter_mut().zip(st.nk_local.to_vec()) {
+            *acc += val;
+        }
+    }
+
+    // Broadcast into every chunk's global replica.
+    states.par_iter().for_each(|st| {
+        for (row, vals) in summed.iter().enumerate() {
+            for (col, &x) in vals.iter().enumerate() {
+                st.phi_global.store(row, col, x);
+            }
+        }
+        st.nk_global.store_all(&nk);
+    });
+
+    // --- Cost model: tree reduce + broadcast across the devices. ---
+    let replica_bytes = if compress_16bit {
+        states[0].phi_global.device_bytes_compressed()
+    } else {
+        states[0].phi_global.device_bytes_uncompressed()
+    } + (k as u64) * 8;
+    let time_s = system.phi_sync_time_s(replica_bytes);
+    SyncStats {
+        time_s,
+        replica_bytes,
+        num_devices: system.num_gpus(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LdaConfig;
+    use culda_corpus::{Corpus, DatasetProfile, Partitioner};
+    use culda_gpusim::{DeviceSpec, Interconnect};
+
+    fn make_states(corpus: &Corpus, chunks: usize, k: usize) -> Vec<Arc<ChunkState>> {
+        let partitioner = Partitioner::by_tokens(corpus, chunks);
+        let cfg = LdaConfig::with_topics(k);
+        partitioner
+            .build_layouts(corpus)
+            .into_iter()
+            .enumerate()
+            .map(|(i, layout)| {
+                let st = ChunkState::new(i, layout, k);
+                let mut x = (i as u32 + 1).wrapping_mul(2654435761);
+                st.random_init(&cfg, move || {
+                    x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (x >> 16) as u16
+                });
+                Arc::new(st)
+            })
+            .collect()
+    }
+
+    fn corpus() -> Corpus {
+        DatasetProfile {
+            name: "sync".into(),
+            num_docs: 80,
+            vocab_size: 60,
+            avg_doc_len: 15.0,
+            zipf_exponent: 1.0,
+            doc_len_sigma: 0.4,
+        }
+        .generate(5)
+    }
+
+    #[test]
+    fn global_phi_is_the_sum_of_all_chunk_contributions() {
+        let corpus = corpus();
+        let states = make_states(&corpus, 3, 6);
+        let system =
+            MultiGpuSystem::homogeneous(DeviceSpec::titan_xp_pascal(), 3, 1, Interconnect::Pcie3);
+        let stats = synchronize_phi(&states, &system, true);
+        assert!(stats.time_s > 0.0);
+        assert_eq!(stats.num_devices, 3);
+
+        // Every chunk sees the same global matrix, and it sums to the corpus
+        // token count.
+        let total: u64 = states[0].phi_global.to_dense().total();
+        assert_eq!(total, corpus.num_tokens() as u64);
+        for st in &states[1..] {
+            assert_eq!(st.phi_global.to_dense(), states[0].phi_global.to_dense());
+            assert_eq!(st.nk_global.to_vec(), states[0].nk_global.to_vec());
+        }
+        // n_k equals the φ row sums.
+        let phi = states[0].phi_global.to_dense();
+        for (kk, &nk) in states[0].nk_global.to_vec().iter().enumerate() {
+            let row_sum: u64 = phi.row(kk).iter().map(|&x| x as u64).sum();
+            assert_eq!(nk as u64, row_sum);
+        }
+    }
+
+    #[test]
+    fn single_device_sync_costs_nothing_but_still_combines() {
+        let corpus = corpus();
+        let states = make_states(&corpus, 1, 4);
+        let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 3);
+        let stats = synchronize_phi(&states, &system, true);
+        assert_eq!(stats.time_s, 0.0);
+        assert_eq!(
+            states[0].phi_global.to_dense().total(),
+            corpus.num_tokens() as u64
+        );
+    }
+
+    #[test]
+    fn compression_halves_the_synchronized_volume() {
+        let corpus = corpus();
+        let states = make_states(&corpus, 2, 4);
+        let system =
+            MultiGpuSystem::homogeneous(DeviceSpec::titan_xp_pascal(), 2, 1, Interconnect::Pcie3);
+        let a = synchronize_phi(&states, &system, true);
+        let b = synchronize_phi(&states, &system, false);
+        assert!(b.replica_bytes > a.replica_bytes);
+        assert!(b.time_s > a.time_s);
+    }
+}

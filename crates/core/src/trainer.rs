@@ -1,0 +1,519 @@
+//! The top-level CuLDA_CGS trainer (the public API of the system in Figure 3).
+//!
+//! ```no_run
+//! use culda_core::{CuLdaTrainer, LdaConfig};
+//! use culda_corpus::DatasetProfile;
+//! use culda_gpusim::{DeviceSpec, MultiGpuSystem};
+//!
+//! let corpus = DatasetProfile::nytimes().scaled_to_tokens(200_000).generate(42);
+//! let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 42);
+//! let mut trainer = CuLdaTrainer::new(&corpus, LdaConfig::with_topics(128), system).unwrap();
+//! trainer.train(100);
+//! println!("simulated time: {:.2}s", trainer.sim_time_s());
+//! ```
+
+use crate::config::LdaConfig;
+use crate::model::ChunkState;
+use crate::schedule::{run_iteration, IterationStats, ScheduleKind};
+use crate::sync::synchronize_phi;
+use crate::work::{build_work_items, WorkItem};
+use culda_corpus::{Corpus, Partitioner};
+use culda_gpusim::MultiGpuSystem;
+use culda_sparse::{CsrBuilder, CsrMatrix, DenseMatrix};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Errors produced while constructing a trainer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainerError {
+    /// The configuration failed validation.
+    InvalidConfig(String),
+    /// Even the largest supported `M` cannot fit a chunk in device memory.
+    DeviceMemoryTooSmall {
+        /// Estimated bytes required for the smallest feasible working set.
+        required: u64,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// The corpus holds no tokens.
+    EmptyCorpus,
+}
+
+impl std::fmt::Display for TrainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainerError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            TrainerError::DeviceMemoryTooSmall { required, capacity } => write!(
+                f,
+                "device memory too small: needs {required} bytes, capacity {capacity} bytes"
+            ),
+            TrainerError::EmptyCorpus => write!(f, "corpus contains no tokens"),
+        }
+    }
+}
+
+impl std::error::Error for TrainerError {}
+
+/// The CuLDA_CGS trainer: owns the chunk states, the (simulated) GPU system
+/// and the training loop of Algorithm 1.
+pub struct CuLdaTrainer {
+    config: LdaConfig,
+    system: MultiGpuSystem,
+    states: Vec<Arc<ChunkState>>,
+    work_items: Vec<Vec<WorkItem>>,
+    schedule: ScheduleKind,
+    vocab_size: usize,
+    num_docs: usize,
+    total_tokens: u64,
+    sim_time_s: f64,
+    history: Vec<IterationStats>,
+}
+
+impl CuLdaTrainer {
+    /// Build a trainer: validates the configuration, chooses `M` (chunks per
+    /// GPU) from the device memory capacity as §5.1 prescribes, partitions
+    /// the corpus by token count, preprocesses every chunk into its
+    /// word-major layout, randomly initialises the topic assignments and
+    /// performs the initial φ synchronization.
+    pub fn new(
+        corpus: &Corpus,
+        config: LdaConfig,
+        system: MultiGpuSystem,
+    ) -> Result<Self, TrainerError> {
+        config.validate().map_err(TrainerError::InvalidConfig)?;
+        if corpus.num_tokens() == 0 {
+            return Err(TrainerError::EmptyCorpus);
+        }
+
+        let g = system.num_gpus();
+        let m = match config.chunks_per_gpu {
+            Some(m) => m,
+            None => Self::choose_chunks_per_gpu(corpus, &config, &system)?,
+        };
+        let num_chunks = m * g;
+        let schedule = if m == 1 {
+            ScheduleKind::Resident
+        } else {
+            ScheduleKind::Streamed { chunks_per_gpu: m }
+        };
+
+        // Partition by document, balanced by token count (§4).
+        let partitioner = Partitioner::by_tokens(corpus, num_chunks);
+        let layouts = partitioner.build_layouts(corpus);
+
+        // Build chunk states and randomly initialise the assignments.
+        let states: Vec<Arc<ChunkState>> = layouts
+            .into_iter()
+            .enumerate()
+            .map(|(i, layout)| {
+                let state = ChunkState::new(i, layout, config.num_topics);
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let k = config.num_topics as u16;
+                state.random_init(&config, move || rng.gen_range(0..k));
+                Arc::new(state)
+            })
+            .collect();
+
+        // Register the resident working set with the device memory trackers.
+        for (i, state) in states.iter().enumerate() {
+            let device = system.device(i % g);
+            let bytes = state.device_bytes(config.compress_16bit);
+            let name = format!("chunk{i}");
+            if m == 1 {
+                device
+                    .memory
+                    .alloc(&name, bytes)
+                    .map_err(|e| TrainerError::DeviceMemoryTooSmall {
+                        required: e.requested,
+                        capacity: e.capacity,
+                    })?;
+            }
+        }
+
+        let work_items: Vec<Vec<WorkItem>> = states
+            .iter()
+            .map(|s| build_work_items(&s.layout, config.max_tokens_per_block))
+            .collect();
+
+        // Initial synchronization so every chunk samples from the full φ.
+        synchronize_phi(&states, &system, config.compress_16bit);
+
+        Ok(CuLdaTrainer {
+            vocab_size: corpus.vocab_size(),
+            num_docs: corpus.num_docs(),
+            total_tokens: corpus.num_tokens() as u64,
+            config,
+            system,
+            states,
+            work_items,
+            schedule,
+            sim_time_s: 0.0,
+            history: Vec::new(),
+        })
+    }
+
+    /// Pick the smallest `M` such that the working set fits in device memory
+    /// (`M = 1` needs one resident chunk; `M > 1` needs room for two chunks
+    /// because of the double-buffered streaming, §5.1).
+    fn choose_chunks_per_gpu(
+        corpus: &Corpus,
+        config: &LdaConfig,
+        system: &MultiGpuSystem,
+    ) -> Result<usize, TrainerError> {
+        let g = system.num_gpus() as u64;
+        let capacity = system.device(0).spec.mem_capacity_bytes;
+        let phi_elem: u64 = if config.compress_16bit { 2 } else { 4 };
+        // Two φ replicas (local + global) plus topic totals live on every GPU
+        // regardless of M.
+        let phi_bytes =
+            2 * (config.num_topics as u64 * corpus.vocab_size() as u64 * phi_elem)
+                + config.num_topics as u64 * 16;
+        // Per-token chunk footprint: word-major corpus (4), doc map (4),
+        // token_doc (4), z + z_next (2×2), θ entry upper bound (6).
+        let per_token: u64 = 4 + 4 + 4 + 4 + 6;
+        let corpus_bytes = corpus.num_tokens() as u64 * per_token
+            + corpus.num_docs() as u64 * 8
+            + corpus.vocab_size() as u64 * 4;
+
+        for m in 1..=1024u64 {
+            let chunk_bytes = corpus_bytes.div_ceil(m * g);
+            let resident = if m == 1 { chunk_bytes } else { 2 * chunk_bytes };
+            if phi_bytes + resident <= capacity {
+                return Ok(m as usize);
+            }
+        }
+        Err(TrainerError::DeviceMemoryTooSmall {
+            required: phi_bytes + corpus_bytes.div_ceil(1024 * g) * 2,
+            capacity,
+        })
+    }
+
+    /// The schedule (Resident ↔ `WorkSchedule1`, Streamed ↔ `WorkSchedule2`)
+    /// the trainer selected.
+    pub fn schedule(&self) -> ScheduleKind {
+        self.schedule
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &LdaConfig {
+        &self.config
+    }
+
+    /// The simulated GPU system the trainer runs on.
+    pub fn system(&self) -> &MultiGpuSystem {
+        &self.system
+    }
+
+    /// Number of corpus chunks (`C = M × G`).
+    pub fn num_chunks(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Total tokens in the corpus.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Vocabulary size `V`.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Number of documents `D`.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Accumulated simulated training time.
+    pub fn sim_time_s(&self) -> f64 {
+        self.sim_time_s
+    }
+
+    /// Per-iteration statistics recorded so far.
+    pub fn history(&self) -> &[IterationStats] {
+        &self.history
+    }
+
+    /// Run one training iteration (a full pass over every token).
+    pub fn run_iteration(&mut self) -> IterationStats {
+        let stats = run_iteration(
+            &self.states,
+            &self.work_items,
+            &self.system,
+            &self.config,
+            self.schedule,
+        );
+        self.sim_time_s += stats.sim_time_s;
+        self.history.push(stats);
+        stats
+    }
+
+    /// Run `iterations` iterations and return the recorded statistics.
+    pub fn train(&mut self, iterations: usize) -> &[IterationStats] {
+        for _ in 0..iterations {
+            self.run_iteration();
+        }
+        self.history()
+    }
+
+    /// Run `iterations` iterations, invoking `callback(iteration_index,
+    /// stats, trainer)` after each one (used to record convergence
+    /// timelines without re-implementing the loop).
+    pub fn train_with(
+        &mut self,
+        iterations: usize,
+        mut callback: impl FnMut(usize, IterationStats, &Self),
+    ) {
+        for i in 0..iterations {
+            let stats = self.run_iteration();
+            callback(i, stats, self);
+        }
+    }
+
+    /// The full document–topic matrix θ (documents in corpus order).
+    pub fn merged_theta(&self) -> CsrMatrix {
+        let mut builder = CsrBuilder::new(self.num_docs, self.config.num_topics);
+        builder.reserve_nnz(self.total_tokens as usize);
+        for state in &self.states {
+            let theta = state.theta.read();
+            for d in 0..theta.rows() {
+                let (cols, vals) = theta.row(d);
+                builder.push_row(cols.iter().copied().zip(vals.iter().copied()));
+            }
+        }
+        builder.finish()
+    }
+
+    /// The synchronized global topic–word matrix φ (`K × V`).
+    pub fn global_phi(&self) -> DenseMatrix<u32> {
+        self.states[0].phi_global.to_dense()
+    }
+
+    /// The global topic totals `n_k`.
+    pub fn global_nk(&self) -> Vec<i64> {
+        self.states[0].nk_global.to_vec()
+    }
+
+    /// The `n` highest-count words of a topic (for qualitative inspection).
+    pub fn top_words(&self, topic: usize, n: usize) -> Vec<(u32, u32)> {
+        let phi = self.global_phi();
+        let mut pairs: Vec<(u32, u32)> = phi
+            .row(topic)
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(w, &c)| (w as u32, c))
+            .collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(n);
+        pairs
+    }
+
+    /// Per-iteration throughput in tokens/second (Eq. 2, the y-axis of Fig. 7).
+    pub fn throughput_per_iteration(&self) -> Vec<f64> {
+        self.history
+            .iter()
+            .map(|h| h.tokens_processed as f64 / h.sim_time_s)
+            .collect()
+    }
+
+    /// Average tokens/second over the first `n` recorded iterations (Table 4).
+    pub fn average_throughput(&self, n: usize) -> f64 {
+        let n = n.min(self.history.len());
+        if n == 0 {
+            return 0.0;
+        }
+        let time: f64 = self.history[..n].iter().map(|h| h.sim_time_s).sum();
+        let tokens: f64 = self.history[..n]
+            .iter()
+            .map(|h| h.tokens_processed as f64)
+            .sum();
+        tokens / time
+    }
+
+    /// Per-kernel execution-time breakdown across all devices (Table 5).
+    pub fn kernel_breakdown(&self) -> Vec<(String, f64)> {
+        self.system.aggregate_breakdown()
+    }
+
+    /// Verify that every chunk's counts are internally consistent and that
+    /// the global counts cover exactly the corpus (used by integration tests
+    /// and exposed for callers who want to assert invariants mid-run).
+    pub fn validate(&self) -> Result<(), String> {
+        for state in &self.states {
+            state.validate_counts()?;
+        }
+        let total: u64 = self.global_phi().total();
+        if total != self.total_tokens {
+            return Err(format!(
+                "global φ covers {total} tokens, corpus has {}",
+                self.total_tokens
+            ));
+        }
+        let theta_total = self.merged_theta().total();
+        if theta_total != self.total_tokens {
+            return Err(format!(
+                "merged θ covers {theta_total} tokens, corpus has {}",
+                self.total_tokens
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_corpus::DatasetProfile;
+    use culda_gpusim::{DeviceSpec, Interconnect};
+
+    fn small_corpus() -> Corpus {
+        DatasetProfile {
+            name: "trainer".into(),
+            num_docs: 150,
+            vocab_size: 120,
+            avg_doc_len: 18.0,
+            zipf_exponent: 1.05,
+            doc_len_sigma: 0.4,
+        }
+        .generate(33)
+    }
+
+    #[test]
+    fn trainer_initialises_consistently() {
+        let corpus = small_corpus();
+        let system = MultiGpuSystem::single(DeviceSpec::titan_x_maxwell(), 1);
+        let trainer = CuLdaTrainer::new(&corpus, LdaConfig::with_topics(16).seed(5), system).unwrap();
+        assert_eq!(trainer.schedule(), ScheduleKind::Resident);
+        assert_eq!(trainer.num_chunks(), 1);
+        assert_eq!(trainer.total_tokens(), corpus.num_tokens() as u64);
+        trainer.validate().unwrap();
+    }
+
+    #[test]
+    fn training_improves_likelihood_and_sparsifies_theta() {
+        let corpus = small_corpus();
+        let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 2);
+        let mut trainer =
+            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(16).seed(7), system).unwrap();
+        let cfg = trainer.config().clone();
+        let ll_before = culda_metrics::log_likelihood(
+            &trainer.merged_theta(),
+            &trainer.global_phi(),
+            &trainer.global_nk(),
+            cfg.alpha,
+            cfg.beta,
+        )
+        .per_token();
+        let nnz_before = trainer.merged_theta().nnz();
+        trainer.train(12);
+        trainer.validate().unwrap();
+        let ll_after = culda_metrics::log_likelihood(
+            &trainer.merged_theta(),
+            &trainer.global_phi(),
+            &trainer.global_nk(),
+            cfg.alpha,
+            cfg.beta,
+        )
+        .per_token();
+        let nnz_after = trainer.merged_theta().nnz();
+        assert!(ll_after > ll_before, "LL {ll_before} → {ll_after}");
+        assert!(nnz_after < nnz_before, "θ nnz {nnz_before} → {nnz_after}");
+        assert_eq!(trainer.history().len(), 12);
+        assert!(trainer.sim_time_s() > 0.0);
+        assert!(trainer.average_throughput(12) > 0.0);
+    }
+
+    #[test]
+    fn multi_gpu_trainer_distributes_chunks_round_robin() {
+        let corpus = small_corpus();
+        let system = MultiGpuSystem::homogeneous(
+            DeviceSpec::titan_xp_pascal(),
+            4,
+            11,
+            Interconnect::Pcie3,
+        );
+        let mut trainer =
+            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(8).seed(1), system).unwrap();
+        assert_eq!(trainer.num_chunks(), 4);
+        trainer.train(3);
+        trainer.validate().unwrap();
+        // Every device must have recorded some sampling time.
+        for d in trainer.system().devices() {
+            assert!(d.busy_time_s() > 0.0, "device {} idle", d.id);
+        }
+    }
+
+    #[test]
+    fn forced_streaming_schedule_is_respected() {
+        let corpus = small_corpus();
+        let system = MultiGpuSystem::single(DeviceSpec::gtx_1080(), 3);
+        let mut trainer = CuLdaTrainer::new(
+            &corpus,
+            LdaConfig::with_topics(8).seed(3).chunks_per_gpu(3),
+            system,
+        )
+        .unwrap();
+        assert_eq!(
+            trainer.schedule(),
+            ScheduleKind::Streamed { chunks_per_gpu: 3 }
+        );
+        assert_eq!(trainer.num_chunks(), 3);
+        let stats = trainer.run_iteration();
+        assert!(stats.transfer_time_s > 0.0);
+        trainer.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_and_empty_corpora_are_rejected() {
+        let corpus = small_corpus();
+        let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 0);
+        assert!(matches!(
+            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(1), system),
+            Err(TrainerError::InvalidConfig(_))
+        ));
+        let empty = culda_corpus::CorpusBuilder::new(10).build();
+        let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 0);
+        assert!(matches!(
+            CuLdaTrainer::new(&empty, LdaConfig::with_topics(4), system),
+            Err(TrainerError::EmptyCorpus)
+        ));
+    }
+
+    #[test]
+    fn top_words_are_sorted_by_count() {
+        let corpus = small_corpus();
+        let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 5);
+        let mut trainer =
+            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(8).seed(9), system).unwrap();
+        trainer.train(3);
+        let top = trainer.top_words(0, 5);
+        assert!(top.len() <= 5);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn kernel_breakdown_is_dominated_by_sampling() {
+        // A corpus with realistic document lengths: sampling cost per token is
+        // proportional to K_d, which is what makes it dominate (Table 5).
+        let corpus = DatasetProfile {
+            name: "breakdown".into(),
+            num_docs: 1500,
+            vocab_size: 300,
+            avg_doc_len: 60.0,
+            zipf_exponent: 1.05,
+            doc_len_sigma: 0.4,
+        }
+        .generate(8);
+        let system = MultiGpuSystem::single(DeviceSpec::titan_x_maxwell(), 5);
+        let mut trainer =
+            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(64).seed(9), system).unwrap();
+        trainer.train(5);
+        let breakdown = trainer.kernel_breakdown();
+        assert_eq!(breakdown[0].0, crate::kernels::names::SAMPLING);
+        assert!(breakdown[0].1 > 50.0, "sampling only {}%", breakdown[0].1);
+    }
+}

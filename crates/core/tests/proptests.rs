@@ -1,0 +1,166 @@
+//! Property-based tests for the core crate's serving-path additions:
+//! fold-in inference, checkpoint serialisation and the hyper-parameter /
+//! convergence utilities must be well-behaved for arbitrary inputs.
+
+use culda_core::checkpoint::ModelCheckpoint;
+use culda_core::convergence::{ConvergenceMonitor, EarlyStopper};
+use culda_core::hyper::{digamma, optimize_alpha, HyperOptOptions};
+use culda_core::inference::{InferenceOptions, TopicInferencer};
+use culda_sparse::{CsrBuilder, CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+/// Strategy: arbitrary topic–word counts (`K × V`) with the matching `n_k`.
+fn arb_phi(max_k: usize, max_v: usize) -> impl Strategy<Value = (DenseMatrix<u32>, Vec<i64>)> {
+    (2..=max_k, 2..=max_v).prop_flat_map(|(k, v)| {
+        prop::collection::vec(0u32..50, k * v).prop_map(move |data| {
+            let phi = DenseMatrix::from_vec(k, v, data);
+            let nk: Vec<i64> = phi.row_sums().iter().map(|&s| s as i64).collect();
+            (phi, nk)
+        })
+    })
+}
+
+/// Strategy: an arbitrary document over a vocabulary of size `v`.
+fn arb_doc(v: usize, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..v as u32, 0..=max_len)
+}
+
+/// A consistent (θ, φ, nk) state built from per-token assignments, so the
+/// checkpoint validation invariants hold by construction.
+fn arb_consistent_state(
+) -> impl Strategy<Value = (usize, usize, CsrMatrix, DenseMatrix<u32>, Vec<i64>)> {
+    (2usize..6, 2usize..12, 1usize..15).prop_flat_map(|(k, v, docs)| {
+        prop::collection::vec(prop::collection::vec((0..k, 0..v), 0..=20), docs).prop_map(
+            move |assignments| {
+                let mut phi = DenseMatrix::zeros(k, v);
+                let mut nk = vec![0i64; k];
+                let mut builder = CsrBuilder::new(assignments.len(), k);
+                for doc in &assignments {
+                    let mut row = vec![0u32; k];
+                    for &(topic, word) in doc {
+                        *phi.get_mut(topic, word) += 1;
+                        nk[topic] += 1;
+                        row[topic] += 1;
+                    }
+                    builder.push_dense_row(&row);
+                }
+                (k, v, builder.finish(), phi, nk)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn inferred_mixtures_are_probability_distributions(
+        (phi, nk) in arb_phi(8, 20),
+        doc in arb_doc(20, 40),
+        seed in any::<u64>(),
+    ) {
+        let inferencer = TopicInferencer::new(&phi, &nk, 0.1, 0.01);
+        let opts = InferenceOptions { sweeps: 8, burn_in: 2, seed };
+        let result = inferencer.infer_document(&doc, opts);
+        prop_assert_eq!(result.mixture.len(), phi.rows());
+        let sum: f64 = result.mixture.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "mixture sums to {}", sum);
+        prop_assert!(result.mixture.iter().all(|&p| p > 0.0 && p <= 1.0));
+        // Deterministic for a fixed seed.
+        let again = inferencer.infer_document(&doc, opts);
+        prop_assert_eq!(result, again);
+    }
+
+    #[test]
+    fn out_of_vocabulary_words_never_change_the_answer(
+        (phi, nk) in arb_phi(6, 15),
+        doc in arb_doc(15, 25),
+        seed in any::<u64>(),
+    ) {
+        let v = phi.cols() as u32;
+        let inferencer = TopicInferencer::new(&phi, &nk, 0.2, 0.01);
+        let opts = InferenceOptions { sweeps: 6, burn_in: 1, seed };
+        let clean = inferencer.infer_document(&doc, opts);
+        // Splice out-of-vocabulary ids into the document; they must be
+        // ignored entirely.
+        let mut noisy = doc.clone();
+        noisy.push(v + 100);
+        noisy.insert(0, v);
+        let with_oov = inferencer.infer_document(&noisy, opts);
+        prop_assert_eq!(clean, with_oov);
+    }
+
+    #[test]
+    fn checkpoints_roundtrip_for_arbitrary_consistent_states(
+        (k, _v, theta, phi, nk) in arb_consistent_state(),
+        alpha in 0.01f64..2.0,
+        beta in 0.001f64..0.5,
+    ) {
+        let ckpt = ModelCheckpoint {
+            num_topics: k,
+            vocab_size: phi.cols(),
+            alpha,
+            beta,
+            nk,
+            phi,
+            theta,
+        };
+        prop_assert!(ckpt.validate().is_ok());
+        let mut buf = Vec::new();
+        ckpt.write(&mut buf).unwrap();
+        let back = ModelCheckpoint::read(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn digamma_satisfies_the_recurrence_everywhere(x in 0.01f64..500.0) {
+        let lhs = digamma(x + 1.0);
+        let rhs = digamma(x) + 1.0 / x;
+        prop_assert!((lhs - rhs).abs() < 1e-8, "Ψ({x}+1) = {lhs} vs {rhs}");
+        // Ψ is increasing for positive arguments.
+        prop_assert!(digamma(x + 0.5) > digamma(x));
+    }
+
+    #[test]
+    fn optimized_alpha_stays_positive_and_clamped(
+        (_k, _v, theta, _phi, _nk) in arb_consistent_state(),
+        alpha0 in 0.01f64..5.0,
+    ) {
+        let opts = HyperOptOptions::default();
+        let update = optimize_alpha(&theta, alpha0, opts);
+        prop_assert!(update.value >= opts.min_value);
+        prop_assert!(update.value <= opts.max_value);
+        prop_assert!(update.value.is_finite());
+        prop_assert!(update.iterations <= opts.max_iterations);
+    }
+
+    #[test]
+    fn convergence_monitor_always_fires_on_a_constant_series(
+        value in -100.0f64..-0.1,
+        window in 1usize..6,
+    ) {
+        let mut m = ConvergenceMonitor::new(1e-6, window);
+        for i in 0..window + 1 {
+            let converged = m.push(value);
+            if i >= window {
+                prop_assert!(converged);
+            }
+        }
+        prop_assert!(m.converged());
+        prop_assert_eq!(m.iterations(), window + 1);
+    }
+
+    #[test]
+    fn early_stopper_never_stops_while_scores_keep_improving(
+        start in -50.0f64..0.0,
+        steps in 1usize..30,
+        patience in 1usize..5,
+    ) {
+        let mut s = EarlyStopper::new(patience, 0.0);
+        for i in 0..steps {
+            let stop = s.push(start + (i as f64 + 1.0));
+            prop_assert!(!stop, "stopped at step {i} despite monotone improvement");
+        }
+        prop_assert_eq!(s.best_index(), steps);
+    }
+}

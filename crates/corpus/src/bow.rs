@@ -1,0 +1,216 @@
+//! UCI bag-of-words (`docword.txt`) format support.
+//!
+//! The NYTimes and PubMed corpora the paper evaluates on are distributed by
+//! the UCI machine-learning repository in a simple text format:
+//!
+//! ```text
+//! D
+//! W
+//! NNZ
+//! docID wordID count
+//! docID wordID count
+//! ...
+//! ```
+//!
+//! with 1-based `docID`/`wordID`.  This module parses and writes that format
+//! so the real corpora can be used directly (`Corpus::validate` guards
+//! against malformed input), and so synthetic corpora can be exported for
+//! cross-checking against other LDA implementations.
+
+use crate::corpus::{Corpus, CorpusBuilder, WordId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors produced while parsing a bag-of-words file.
+#[derive(Debug)]
+pub enum BowError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file contents.
+    Parse(String),
+}
+
+impl std::fmt::Display for BowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BowError::Io(e) => write!(f, "I/O error: {e}"),
+            BowError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BowError {}
+
+impl From<std::io::Error> for BowError {
+    fn from(e: std::io::Error) -> Self {
+        BowError::Io(e)
+    }
+}
+
+fn parse_line<T: std::str::FromStr>(line: &str, what: &str) -> Result<T, BowError> {
+    line.trim()
+        .parse()
+        .map_err(|_| BowError::Parse(format!("expected {what}, got {line:?}")))
+}
+
+/// Read a corpus from a UCI bag-of-words stream.
+///
+/// Entries must be grouped by document (they are in the UCI distributions);
+/// word counts for the same document may appear in any order.
+pub fn read_bow<R: Read>(reader: R) -> Result<Corpus, BowError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut next = || -> Result<String, BowError> {
+        lines
+            .next()
+            .ok_or_else(|| BowError::Parse("unexpected end of file in header".into()))?
+            .map_err(BowError::Io)
+    };
+    let d: usize = parse_line(&next()?, "document count D")?;
+    let w: usize = parse_line(&next()?, "vocabulary size W")?;
+    let nnz: usize = parse_line(&next()?, "non-zero count NNZ")?;
+
+    let mut builder = CorpusBuilder::new(w);
+    builder.reserve_tokens(nnz);
+    let mut current_doc: usize = 0; // 0 means "no document started yet" (ids are 1-based)
+    let mut pairs: Vec<(WordId, u32)> = Vec::new();
+    let mut seen = 0usize;
+
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let doc: usize = parse_line(it.next().unwrap_or(""), "docID")?;
+        let word: usize = parse_line(it.next().unwrap_or(""), "wordID")?;
+        let count: u32 = parse_line(it.next().unwrap_or(""), "count")?;
+        if doc == 0 || doc > d {
+            return Err(BowError::Parse(format!("docID {doc} out of range 1..={d}")));
+        }
+        if word == 0 || word > w {
+            return Err(BowError::Parse(format!("wordID {word} out of range 1..={w}")));
+        }
+        if doc < current_doc {
+            return Err(BowError::Parse(format!(
+                "entries are not grouped by document (doc {doc} after {current_doc})"
+            )));
+        }
+        if doc > current_doc {
+            if current_doc > 0 {
+                builder.push_doc_bow(&pairs);
+                pairs.clear();
+            }
+            // Emit empty documents for any skipped ids.
+            for _ in current_doc + 1..doc {
+                builder.push_doc_bow(&[]);
+            }
+            current_doc = doc;
+        }
+        pairs.push(((word - 1) as WordId, count));
+        seen += 1;
+    }
+    if current_doc > 0 {
+        builder.push_doc_bow(&pairs);
+    }
+    for _ in current_doc..d {
+        builder.push_doc_bow(&[]);
+    }
+    if seen != nnz {
+        return Err(BowError::Parse(format!(
+            "header declared {nnz} entries but file contains {seen}"
+        )));
+    }
+    let corpus = builder.build();
+    corpus.validate().map_err(BowError::Parse)?;
+    Ok(corpus)
+}
+
+/// Write a corpus in UCI bag-of-words format.
+pub fn write_bow<W: Write>(corpus: &Corpus, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    // Count (doc, word) pairs.
+    let mut nnz = 0usize;
+    let mut per_doc: Vec<Vec<(WordId, u32)>> = Vec::with_capacity(corpus.num_docs());
+    for d in 0..corpus.num_docs() {
+        let mut counts: std::collections::BTreeMap<WordId, u32> = std::collections::BTreeMap::new();
+        for &word in corpus.doc(d) {
+            *counts.entry(word).or_insert(0) += 1;
+        }
+        nnz += counts.len();
+        per_doc.push(counts.into_iter().collect());
+    }
+    writeln!(w, "{}", corpus.num_docs())?;
+    writeln!(w, "{}", corpus.vocab_size())?;
+    writeln!(w, "{nnz}")?;
+    for (d, pairs) in per_doc.iter().enumerate() {
+        for &(word, count) in pairs {
+            writeln!(w, "{} {} {}", d + 1, word + 1, count)?;
+        }
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+
+    fn sample_corpus() -> Corpus {
+        let mut b = CorpusBuilder::new(5);
+        b.push_doc(&[0, 0, 3]);
+        b.push_doc(&[]);
+        b.push_doc(&[2, 4, 4, 4]);
+        b.build()
+    }
+
+    #[test]
+    fn write_then_read_round_trips_token_counts() {
+        let corpus = sample_corpus();
+        let mut buf = Vec::new();
+        write_bow(&corpus, &mut buf).unwrap();
+        let parsed = read_bow(buf.as_slice()).unwrap();
+        assert_eq!(parsed.num_docs(), corpus.num_docs());
+        assert_eq!(parsed.num_tokens(), corpus.num_tokens());
+        assert_eq!(parsed.vocab_size(), corpus.vocab_size());
+        assert_eq!(parsed.word_frequencies(), corpus.word_frequencies());
+        for d in 0..corpus.num_docs() {
+            assert_eq!(parsed.doc_len(d), corpus.doc_len(d));
+        }
+    }
+
+    #[test]
+    fn parses_uci_style_content() {
+        let text = "3\n4\n4\n1 1 2\n1 3 1\n3 2 1\n3 4 2\n";
+        let corpus = read_bow(text.as_bytes()).unwrap();
+        assert_eq!(corpus.num_docs(), 3);
+        assert_eq!(corpus.vocab_size(), 4);
+        assert_eq!(corpus.num_tokens(), 6);
+        assert_eq!(corpus.doc_len(1), 0);
+        assert_eq!(corpus.doc(0), &[0, 0, 2]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids() {
+        let text = "1\n2\n1\n1 3 1\n";
+        assert!(matches!(read_bow(text.as_bytes()), Err(BowError::Parse(_))));
+        let text = "1\n2\n1\n2 1 1\n";
+        assert!(matches!(read_bow(text.as_bytes()), Err(BowError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_wrong_nnz() {
+        let text = "1\n2\n5\n1 1 1\n";
+        assert!(matches!(read_bow(text.as_bytes()), Err(BowError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_unsorted_documents() {
+        let text = "2\n2\n2\n2 1 1\n1 1 1\n";
+        assert!(matches!(read_bow(text.as_bytes()), Err(BowError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        assert!(matches!(read_bow("3\n4\n".as_bytes()), Err(BowError::Parse(_))));
+    }
+}

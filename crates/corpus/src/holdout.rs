@@ -1,0 +1,250 @@
+//! Train / held-out splits for model evaluation.
+//!
+//! The paper tracks training-set log-likelihood (Figure 8); a production
+//! library also needs held-out evaluation, which requires splitting the
+//! corpus before training.  Two standard protocols are provided:
+//!
+//! * [`split_documents`] — a document-level split: a fraction of documents is
+//!   held out entirely, to be folded in with
+//!   `culda_core::inference` after training.
+//! * [`DocumentCompletion`] — the document-completion protocol: every test
+//!   document is split into an *observed* half (used to estimate its topic
+//!   mixture) and a *held-out* half (scored against that mixture), which is
+//!   the standard way to compute held-out perplexity for LDA.
+
+use crate::corpus::{Corpus, CorpusBuilder, WordId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A document-level train/test split.
+#[derive(Debug, Clone)]
+pub struct DocumentSplit {
+    /// Documents used for training.
+    pub train: Corpus,
+    /// Documents held out for evaluation.
+    pub test: Corpus,
+    /// Original corpus indices of the training documents, in `train` order.
+    pub train_doc_ids: Vec<u32>,
+    /// Original corpus indices of the test documents, in `test` order.
+    pub test_doc_ids: Vec<u32>,
+}
+
+/// Split a corpus at the document level: each document is assigned to the
+/// test set independently with probability `test_fraction`.
+///
+/// Both halves keep the full vocabulary so word ids remain comparable.
+/// Empty documents always go to the training side (they carry no evaluation
+/// signal).
+pub fn split_documents(corpus: &Corpus, test_fraction: f64, seed: u64) -> DocumentSplit {
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "test_fraction must be in [0, 1)"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut train = CorpusBuilder::new(corpus.vocab_size());
+    let mut test = CorpusBuilder::new(corpus.vocab_size());
+    let mut train_doc_ids = Vec::new();
+    let mut test_doc_ids = Vec::new();
+    for d in 0..corpus.num_docs() {
+        let doc = corpus.doc(d);
+        let to_test = !doc.is_empty() && rng.gen_bool(test_fraction);
+        if to_test {
+            test.push_doc(doc);
+            test_doc_ids.push(d as u32);
+        } else {
+            train.push_doc(doc);
+            train_doc_ids.push(d as u32);
+        }
+    }
+    DocumentSplit {
+        train: train.build(),
+        test: test.build(),
+        train_doc_ids,
+        test_doc_ids,
+    }
+}
+
+/// The document-completion split of one evaluation corpus: per document, an
+/// observed token set and a held-out token set over the same vocabulary.
+#[derive(Debug, Clone)]
+pub struct DocumentCompletion {
+    /// Per-document observed tokens (used to infer the document's topic mix).
+    pub observed: Corpus,
+    /// Per-document held-out tokens (scored against the inferred mix).
+    pub heldout: Corpus,
+}
+
+impl DocumentCompletion {
+    /// Split every document of `corpus` by assigning each token to the
+    /// held-out side with probability `heldout_fraction` (tokens are
+    /// shuffled first so word order does not bias the split).  Documents
+    /// with fewer than two tokens keep all their tokens on the observed side.
+    pub fn split(corpus: &Corpus, heldout_fraction: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&heldout_fraction),
+            "heldout_fraction must be in [0, 1)"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut observed = CorpusBuilder::new(corpus.vocab_size());
+        let mut heldout = CorpusBuilder::new(corpus.vocab_size());
+        let mut scratch: Vec<WordId> = Vec::new();
+        for d in 0..corpus.num_docs() {
+            scratch.clear();
+            scratch.extend_from_slice(corpus.doc(d));
+            if scratch.len() < 2 {
+                observed.push_doc(&scratch);
+                heldout.push_doc(&[]);
+                continue;
+            }
+            scratch.shuffle(&mut rng);
+            // Keep at least one token on each side of a splittable document.
+            let mut n_held = scratch
+                .iter()
+                .filter(|_| rng.gen_bool(heldout_fraction))
+                .count();
+            n_held = n_held.clamp(1, scratch.len() - 1);
+            heldout.push_doc(&scratch[..n_held]);
+            observed.push_doc(&scratch[n_held..]);
+        }
+        DocumentCompletion {
+            observed: observed.build(),
+            heldout: heldout.build(),
+        }
+    }
+
+    /// Number of documents (identical in both halves).
+    pub fn num_docs(&self) -> usize {
+        self.observed.num_docs()
+    }
+
+    /// Total held-out tokens (the denominator of held-out perplexity).
+    pub fn heldout_tokens(&self) -> usize {
+        self.heldout.num_tokens()
+    }
+
+    /// Check the split invariants: same document count, same vocabulary, and
+    /// per-document token multisets that partition the source document.
+    pub fn validate_against(&self, source: &Corpus) -> Result<(), String> {
+        if self.observed.num_docs() != source.num_docs()
+            || self.heldout.num_docs() != source.num_docs()
+        {
+            return Err("document counts do not match the source corpus".into());
+        }
+        if self.observed.vocab_size() != source.vocab_size()
+            || self.heldout.vocab_size() != source.vocab_size()
+        {
+            return Err("vocabulary sizes do not match the source corpus".into());
+        }
+        for d in 0..source.num_docs() {
+            let mut combined: Vec<WordId> = self
+                .observed
+                .doc(d)
+                .iter()
+                .chain(self.heldout.doc(d))
+                .copied()
+                .collect();
+            combined.sort_unstable();
+            let mut original: Vec<WordId> = source.doc(d).to_vec();
+            original.sort_unstable();
+            if combined != original {
+                return Err(format!("document {d} tokens are not partitioned"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::DatasetProfile;
+
+    fn corpus() -> Corpus {
+        DatasetProfile {
+            name: "holdout".into(),
+            num_docs: 120,
+            vocab_size: 90,
+            avg_doc_len: 20.0,
+            zipf_exponent: 1.0,
+            doc_len_sigma: 0.4,
+        }
+        .generate(11)
+    }
+
+    #[test]
+    fn document_split_partitions_documents() {
+        let c = corpus();
+        let split = split_documents(&c, 0.25, 3);
+        assert_eq!(
+            split.train.num_docs() + split.test.num_docs(),
+            c.num_docs()
+        );
+        assert_eq!(
+            split.train.num_tokens() + split.test.num_tokens(),
+            c.num_tokens()
+        );
+        assert_eq!(split.train.vocab_size(), c.vocab_size());
+        assert_eq!(split.test.vocab_size(), c.vocab_size());
+        assert_eq!(split.train_doc_ids.len(), split.train.num_docs());
+        assert_eq!(split.test_doc_ids.len(), split.test.num_docs());
+        // Roughly a quarter of documents end up in the test set.
+        let frac = split.test.num_docs() as f64 / c.num_docs() as f64;
+        assert!(frac > 0.10 && frac < 0.45, "test fraction {frac}");
+        // Doc-id mapping round-trips document contents.
+        for (i, &orig) in split.test_doc_ids.iter().enumerate() {
+            assert_eq!(split.test.doc(i), c.doc(orig as usize));
+        }
+    }
+
+    #[test]
+    fn document_split_is_deterministic_per_seed() {
+        let c = corpus();
+        let a = split_documents(&c, 0.3, 7);
+        let b = split_documents(&c, 0.3, 7);
+        assert_eq!(a.test_doc_ids, b.test_doc_ids);
+        let c2 = split_documents(&c, 0.3, 8);
+        assert_ne!(a.test_doc_ids, c2.test_doc_ids);
+    }
+
+    #[test]
+    fn completion_split_partitions_every_document() {
+        let c = corpus();
+        let dc = DocumentCompletion::split(&c, 0.5, 9);
+        dc.validate_against(&c).unwrap();
+        assert_eq!(dc.num_docs(), c.num_docs());
+        assert_eq!(
+            dc.observed.num_tokens() + dc.heldout.num_tokens(),
+            c.num_tokens()
+        );
+        assert!(dc.heldout_tokens() > 0);
+        // Every splittable document keeps at least one observed token.
+        for d in 0..c.num_docs() {
+            if c.doc_len(d) >= 2 {
+                assert!(dc.observed.doc_len(d) >= 1);
+                assert!(dc.heldout.doc_len(d) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn completion_split_keeps_tiny_documents_observed() {
+        let mut b = CorpusBuilder::new(5);
+        b.push_doc(&[2]);
+        b.push_doc(&[]);
+        b.push_doc(&[1, 3, 3, 4]);
+        let c = b.build();
+        let dc = DocumentCompletion::split(&c, 0.5, 1);
+        dc.validate_against(&c).unwrap();
+        assert_eq!(dc.observed.doc_len(0), 1);
+        assert_eq!(dc.heldout.doc_len(0), 0);
+        assert_eq!(dc.observed.doc_len(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction")]
+    fn document_split_rejects_bad_fraction() {
+        let c = corpus();
+        let _ = split_documents(&c, 1.0, 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Corpus statistics (Table 3 of the paper).
+
+use crate::corpus::Corpus;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a corpus, matching the columns of Table 3 plus the
+/// derived quantities the paper discusses in §7.1 (average document length
+/// drives the initial sparsity of θ and therefore the throughput ramp-up).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusStats {
+    /// Dataset name (free-form label).
+    pub name: String,
+    /// Total token count `T`.
+    pub num_tokens: u64,
+    /// Document count `D`.
+    pub num_docs: u64,
+    /// Vocabulary size `V`.
+    pub vocab_size: u64,
+    /// Average document length `T / D`.
+    pub avg_doc_len: f64,
+    /// Longest document.
+    pub max_doc_len: u64,
+    /// Number of vocabulary entries that actually occur.
+    pub words_in_use: u64,
+}
+
+impl CorpusStats {
+    /// Compute statistics for a corpus.
+    pub fn compute(name: impl Into<String>, corpus: &Corpus) -> Self {
+        CorpusStats {
+            name: name.into(),
+            num_tokens: corpus.num_tokens() as u64,
+            num_docs: corpus.num_docs() as u64,
+            vocab_size: corpus.vocab_size() as u64,
+            avg_doc_len: corpus.avg_doc_len(),
+            max_doc_len: corpus.max_doc_len() as u64,
+            words_in_use: corpus.words_in_use() as u64,
+        }
+    }
+
+    /// Expected sparsity of a θ row after convergence given `K` topics: the
+    /// number of non-zero topics per document is bounded by
+    /// `min(doc_len, K)`, and for typical corpora is far below `K` — the
+    /// property that makes sparsity-aware sampling (§6.1.1) profitable.
+    pub fn expected_theta_row_nnz(&self, num_topics: usize) -> f64 {
+        self.avg_doc_len.min(num_topics as f64)
+    }
+
+    /// A Table 3-style row: `dataset  #Tokens  #Documents  #Words`.
+    pub fn table3_row(&self) -> String {
+        format!(
+            "{:<18} {:>14} {:>12} {:>10}",
+            self.name, self.num_tokens, self.num_docs, self.vocab_size
+        )
+    }
+}
+
+impl std::fmt::Display for CorpusStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} tokens, {} docs, {} words (avg doc len {:.1}, max {})",
+            self.name, self.num_tokens, self.num_docs, self.vocab_size, self.avg_doc_len, self.max_doc_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+    use crate::synthetic::DatasetProfile;
+
+    #[test]
+    fn stats_of_small_corpus() {
+        let mut b = CorpusBuilder::new(8);
+        b.push_doc(&[0, 1, 2, 3]);
+        b.push_doc(&[1, 1]);
+        let c = b.build();
+        let s = CorpusStats::compute("tiny", &c);
+        assert_eq!(s.num_tokens, 6);
+        assert_eq!(s.num_docs, 2);
+        assert_eq!(s.vocab_size, 8);
+        assert_eq!(s.max_doc_len, 4);
+        assert_eq!(s.words_in_use, 4);
+        assert!((s.avg_doc_len - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_nnz_estimate_is_bounded_by_k_and_doc_len() {
+        let s = CorpusStats {
+            name: "x".into(),
+            num_tokens: 1000,
+            num_docs: 10,
+            vocab_size: 50,
+            avg_doc_len: 100.0,
+            max_doc_len: 200,
+            words_in_use: 50,
+        };
+        assert_eq!(s.expected_theta_row_nnz(1024), 100.0);
+        assert_eq!(s.expected_theta_row_nnz(32), 32.0);
+    }
+
+    #[test]
+    fn table3_row_and_display_include_the_name() {
+        let c = DatasetProfile::nytimes().scaled(0.0003).generate(1);
+        let s = CorpusStats::compute("NYTimes-scaled", &c);
+        assert!(s.table3_row().contains("NYTimes-scaled"));
+        assert!(s.to_string().contains("tokens"));
+    }
+}

@@ -1,0 +1,423 @@
+//! Synthetic corpus generators.
+//!
+//! The paper's corpora (Table 3) cannot ship with this repository, so the
+//! experiments run on synthetic corpora whose *statistics* match the
+//! published ones at a configurable scale:
+//!
+//! * document count, vocabulary size and average document length follow the
+//!   per-dataset profile ([`DatasetProfile::nytimes`], [`DatasetProfile::pubmed`]);
+//! * word frequencies follow a Zipf law (natural-language corpora are
+//!   strongly Zipfian, which is what makes the word-major shared-memory reuse
+//!   of §6.1.2 effective);
+//! * document lengths follow a log-normal distribution with the profile's
+//!   mean (NYTimes averages 332 tokens/doc, PubMed 90 — the paper attributes
+//!   the difference in throughput ramp-up between the two datasets to exactly
+//!   this, §7.1).
+//!
+//! A second generator, [`LdaGenerator`], draws corpora from a *known* LDA
+//! model (Dirichlet topic–word and document–topic distributions) so that
+//! convergence and topic-recovery tests have a ground truth.
+
+use crate::corpus::{Corpus, CorpusBuilder, WordId};
+use culda_sparse::AliasTable;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Statistical profile of a dataset (one row of Table 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Human-readable dataset name.
+    pub name: String,
+    /// Number of documents `D`.
+    pub num_docs: usize,
+    /// Vocabulary size `V`.
+    pub vocab_size: usize,
+    /// Average document length (tokens per document).
+    pub avg_doc_len: f64,
+    /// Zipf exponent of the word-frequency distribution.
+    pub zipf_exponent: f64,
+    /// Log-normal σ of the document-length distribution.
+    pub doc_len_sigma: f64,
+}
+
+impl DatasetProfile {
+    /// The NYTimes profile from Table 3
+    /// (99,542,125 tokens / 299,752 documents / 101,636 words; ≈332 tokens per document).
+    pub fn nytimes() -> Self {
+        DatasetProfile {
+            name: "NYTimes".into(),
+            num_docs: 299_752,
+            vocab_size: 101_636,
+            avg_doc_len: 332.0,
+            zipf_exponent: 1.05,
+            doc_len_sigma: 0.55,
+        }
+    }
+
+    /// The PubMed profile from Table 3
+    /// (737,869,083 tokens / 8,200,000 documents / 141,043 words; ≈90 tokens per document).
+    pub fn pubmed() -> Self {
+        DatasetProfile {
+            name: "PubMed".into(),
+            num_docs: 8_200_000,
+            vocab_size: 141_043,
+            avg_doc_len: 90.0,
+            zipf_exponent: 1.05,
+            doc_len_sigma: 0.45,
+        }
+    }
+
+    /// Expected total token count implied by the profile.
+    pub fn expected_tokens(&self) -> u64 {
+        (self.num_docs as f64 * self.avg_doc_len).round() as u64
+    }
+
+    /// Scale the profile down (or up) by a factor in `(0, ∞)`.
+    ///
+    /// The document count scales linearly and the vocabulary with the square
+    /// root of the factor (Heaps' law); the average document length — which
+    /// is what determines per-token sampling cost and θ sparsity — is kept.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        DatasetProfile {
+            name: format!("{}(x{factor:.4})", self.name),
+            num_docs: ((self.num_docs as f64 * factor).round() as usize).max(1),
+            vocab_size: ((self.vocab_size as f64 * factor.sqrt()).round() as usize).max(16),
+            avg_doc_len: self.avg_doc_len,
+            zipf_exponent: self.zipf_exponent,
+            doc_len_sigma: self.doc_len_sigma,
+        }
+    }
+
+    /// A small profile suitable for laptop-scale experiments: roughly
+    /// `target_tokens` tokens while preserving the dataset's document-length
+    /// characteristics.
+    pub fn scaled_to_tokens(&self, target_tokens: u64) -> Self {
+        let factor = target_tokens as f64 / self.expected_tokens() as f64;
+        self.scaled(factor)
+    }
+
+    /// Generate a synthetic corpus matching this profile.
+    pub fn generate(&self, seed: u64) -> Corpus {
+        SyntheticCorpus::new(self.clone()).generate(seed)
+    }
+}
+
+/// Zipfian corpus generator driven by a [`DatasetProfile`].
+#[derive(Debug, Clone)]
+pub struct SyntheticCorpus {
+    profile: DatasetProfile,
+}
+
+impl SyntheticCorpus {
+    /// Create a generator for the given profile.
+    pub fn new(profile: DatasetProfile) -> Self {
+        SyntheticCorpus { profile }
+    }
+
+    /// The profile this generator was built from.
+    pub fn profile(&self) -> &DatasetProfile {
+        &self.profile
+    }
+
+    /// Zipfian word weights `w_r ∝ 1 / r^s` over the vocabulary.
+    fn word_weights(&self) -> Vec<f32> {
+        let s = self.profile.zipf_exponent;
+        (1..=self.profile.vocab_size)
+            .map(|rank| (1.0 / (rank as f64).powf(s)) as f32)
+            .collect()
+    }
+
+    /// Draw a document length from a log-normal with the profile's mean.
+    fn draw_doc_len<R: Rng>(&self, rng: &mut R) -> usize {
+        let sigma = self.profile.doc_len_sigma;
+        let mu = self.profile.avg_doc_len.ln() - sigma * sigma / 2.0;
+        let z = standard_normal(rng);
+        let len = (mu + sigma * z).exp();
+        len.round().max(1.0) as usize
+    }
+
+    /// Generate the corpus.
+    pub fn generate(&self, seed: u64) -> Corpus {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let table = AliasTable::new(&self.word_weights());
+        let mut builder = CorpusBuilder::new(self.profile.vocab_size);
+        builder.reserve_tokens(self.profile.expected_tokens() as usize);
+        let mut doc = Vec::new();
+        for _ in 0..self.profile.num_docs {
+            let len = self.draw_doc_len(&mut rng);
+            doc.clear();
+            doc.reserve(len);
+            for _ in 0..len {
+                doc.push(table.sample(&mut rng) as WordId);
+            }
+            builder.push_doc(&doc);
+        }
+        builder.build()
+    }
+}
+
+/// Generator that draws a corpus from a known LDA model, providing ground
+/// truth for convergence and topic-recovery tests.
+#[derive(Debug, Clone)]
+pub struct LdaGenerator {
+    /// Number of topics in the generating model.
+    pub num_topics: usize,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Number of documents to generate.
+    pub num_docs: usize,
+    /// Average document length.
+    pub avg_doc_len: f64,
+    /// Dirichlet concentration for document–topic mixtures.
+    pub alpha: f64,
+    /// Dirichlet concentration for topic–word distributions.
+    pub beta: f64,
+}
+
+impl LdaGenerator {
+    /// A small, well-separated configuration used throughout the test suites.
+    pub fn small(num_topics: usize, vocab_size: usize, num_docs: usize, avg_doc_len: f64) -> Self {
+        LdaGenerator {
+            num_topics,
+            vocab_size,
+            num_docs,
+            avg_doc_len,
+            alpha: 0.1,
+            beta: 0.05,
+        }
+    }
+
+    /// Generate `(corpus, true_topic_word_distributions)`.
+    ///
+    /// The returned distributions are row-stochastic (`num_topics × vocab_size`).
+    pub fn generate(&self, seed: u64) -> (Corpus, Vec<Vec<f64>>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Topic–word distributions φ_k ~ Dirichlet(β).
+        let phi: Vec<Vec<f64>> = (0..self.num_topics)
+            .map(|_| dirichlet(&mut rng, self.vocab_size, self.beta))
+            .collect();
+        let phi_tables: Vec<AliasTable> = phi
+            .iter()
+            .map(|row| AliasTable::new(&row.iter().map(|&p| p as f32).collect::<Vec<_>>()))
+            .collect();
+
+        let mut builder = CorpusBuilder::new(self.vocab_size);
+        let mut doc = Vec::new();
+        for _ in 0..self.num_docs {
+            // Document–topic mixture θ_d ~ Dirichlet(α).
+            let theta = dirichlet(&mut rng, self.num_topics, self.alpha);
+            let theta_table =
+                AliasTable::new(&theta.iter().map(|&p| p as f32).collect::<Vec<_>>());
+            let len = poisson_like(&mut rng, self.avg_doc_len).max(1);
+            doc.clear();
+            for _ in 0..len {
+                let k = theta_table.sample(&mut rng);
+                let w = phi_tables[k].sample(&mut rng) as WordId;
+                doc.push(w);
+            }
+            builder.push_doc(&doc);
+        }
+        (builder.build(), phi)
+    }
+}
+
+/// Standard normal via Box–Muller (avoids a dependency on `rand_distr`).
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Marsaglia–Tsang gamma sampler (shape `a > 0`, unit scale).
+fn gamma_sample<R: Rng>(rng: &mut R, a: f64) -> f64 {
+    if a < 1.0 {
+        // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a)
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        return gamma_sample(rng, a + 1.0) * u.powf(1.0 / a);
+    }
+    let d = a - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v3 + d * v3.ln() {
+            return d * v3;
+        }
+    }
+}
+
+/// Draw a symmetric Dirichlet(concentration) vector of the given dimension.
+fn dirichlet<R: Rng>(rng: &mut R, dim: usize, concentration: f64) -> Vec<f64> {
+    let mut draws: Vec<f64> = (0..dim).map(|_| gamma_sample(rng, concentration)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 {
+        // Degenerate (can only happen with pathological concentration): uniform.
+        return vec![1.0 / dim as f64; dim];
+    }
+    for d in &mut draws {
+        *d /= sum;
+    }
+    draws
+}
+
+/// Approximate Poisson draw with the given mean (normal approximation for
+/// large means, which is all the generators need).
+fn poisson_like<R: Rng>(rng: &mut R, mean: f64) -> usize {
+    if mean < 30.0 {
+        // Knuth's algorithm for small means.
+        let l = (-mean).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+    let z = standard_normal(rng);
+    (mean + mean.sqrt() * z).round().max(0.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_profiles_match_paper() {
+        let nyt = DatasetProfile::nytimes();
+        assert_eq!(nyt.num_docs, 299_752);
+        assert_eq!(nyt.vocab_size, 101_636);
+        // 299,752 × 332 ≈ 99.5M tokens (paper: 99,542,125).
+        let tokens = nyt.expected_tokens();
+        assert!((tokens as f64 - 99_542_125.0).abs() / 99_542_125.0 < 0.01);
+
+        let pm = DatasetProfile::pubmed();
+        assert_eq!(pm.num_docs, 8_200_000);
+        assert_eq!(pm.vocab_size, 141_043);
+        let tokens = pm.expected_tokens();
+        assert!((tokens as f64 - 737_869_083.0).abs() / 737_869_083.0 < 0.02);
+    }
+
+    #[test]
+    fn scaled_profile_preserves_doc_length() {
+        let p = DatasetProfile::nytimes().scaled(0.001);
+        assert_eq!(p.avg_doc_len, 332.0);
+        assert!(p.num_docs >= 299 && p.num_docs <= 301);
+        assert!(p.vocab_size < 101_636);
+    }
+
+    #[test]
+    fn scaled_to_tokens_hits_target() {
+        let p = DatasetProfile::pubmed().scaled_to_tokens(100_000);
+        let got = p.expected_tokens();
+        assert!(
+            (got as f64 - 100_000.0).abs() / 100_000.0 < 0.1,
+            "expected ≈100k tokens, profile implies {got}"
+        );
+    }
+
+    #[test]
+    fn generated_corpus_matches_profile_statistics() {
+        let profile = DatasetProfile {
+            name: "test".into(),
+            num_docs: 500,
+            vocab_size: 200,
+            avg_doc_len: 50.0,
+            zipf_exponent: 1.05,
+            doc_len_sigma: 0.5,
+        };
+        let corpus = profile.generate(42);
+        corpus.validate().unwrap();
+        assert_eq!(corpus.num_docs(), 500);
+        assert_eq!(corpus.vocab_size(), 200);
+        let avg = corpus.avg_doc_len();
+        assert!((avg - 50.0).abs() / 50.0 < 0.15, "avg doc len {avg}");
+    }
+
+    #[test]
+    fn generated_corpus_is_zipfian() {
+        let profile = DatasetProfile {
+            name: "zipf".into(),
+            num_docs: 400,
+            vocab_size: 500,
+            avg_doc_len: 80.0,
+            zipf_exponent: 1.1,
+            doc_len_sigma: 0.4,
+        };
+        let corpus = profile.generate(7);
+        let freq = corpus.word_frequencies();
+        // The most frequent word should dominate the median word by a large
+        // factor — the signature of a heavy-tailed distribution.
+        let max = *freq.iter().max().unwrap();
+        let mut sorted = freq.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        assert!(max > 20 * median.max(1), "max {max} vs median {median}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let profile = DatasetProfile::nytimes().scaled(0.0005);
+        let a = profile.generate(11);
+        let b = profile.generate(11);
+        let c = profile.generate(12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lda_generator_produces_recoverable_structure() {
+        let gen = LdaGenerator::small(4, 100, 200, 40.0);
+        let (corpus, phi) = gen.generate(3);
+        corpus.validate().unwrap();
+        assert_eq!(phi.len(), 4);
+        assert_eq!(phi[0].len(), 100);
+        for row in &phi {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "topic distribution must sum to 1");
+        }
+        assert!(corpus.num_tokens() > 200 * 20);
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_respects_dim() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for &conc in &[0.05, 0.5, 5.0] {
+            let v = dirichlet(&mut rng, 32, conc);
+            assert_eq!(v.len(), 32);
+            let s: f64 = v.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(v.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn gamma_sampler_has_correct_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = 3.0;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| gamma_sample(&mut rng, a)).sum::<f64>() / n as f64;
+        assert!((mean - a).abs() < 0.1, "gamma mean {mean}, expected {a}");
+    }
+
+    #[test]
+    fn poisson_like_has_correct_mean_small_and_large() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for &mean in &[5.0f64, 120.0] {
+            let n = 5_000;
+            let got: f64 =
+                (0..n).map(|_| poisson_like(&mut rng, mean) as f64).sum::<f64>() / n as f64;
+            assert!((got - mean).abs() / mean < 0.08, "mean {got} vs {mean}");
+        }
+    }
+}

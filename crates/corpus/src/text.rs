@@ -1,0 +1,516 @@
+//! Plain-text ingestion pipeline.
+//!
+//! The paper consumes the UCI bag-of-words corpora (NYTimes, PubMed), which
+//! are pre-tokenised.  A production LDA library also needs to build corpora
+//! from raw text, so this module provides the conventional pipeline used to
+//! produce those corpora in the first place: tokenisation, stop-word and
+//! rare/frequent-word filtering, vocabulary interning and the final
+//! [`Corpus`] assembly.
+//!
+//! ```
+//! use culda_corpus::text::{TextPipeline, TokenizerOptions};
+//!
+//! let docs = [
+//!     "The GPU samples topics from the corpus.",
+//!     "The CPU schedules workloads for the GPU!",
+//! ];
+//! let (corpus, vocab) = TextPipeline::new(TokenizerOptions::default())
+//!     .ingest_documents(docs.iter().copied())
+//!     .build();
+//! assert_eq!(corpus.num_docs(), 2);
+//! assert!(vocab.id("gpu").is_some());
+//! assert!(vocab.id("the").is_none()); // stop word
+//! ```
+
+use crate::corpus::{Corpus, CorpusBuilder, WordId};
+use crate::vocab::Vocabulary;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read};
+
+/// A conservative default English stop-word list (the usual function words
+/// removed before topic modelling; matches the spirit of the UCI corpora,
+/// which ship with stop words already stripped).
+pub const DEFAULT_STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "been", "but", "by", "for", "from", "had", "has",
+    "have", "he", "her", "his", "i", "if", "in", "into", "is", "it", "its", "my", "no", "not",
+    "of", "on", "or", "our", "she", "so", "that", "the", "their", "them", "then", "there",
+    "these", "they", "this", "to", "was", "we", "were", "which", "who", "will", "with", "would",
+    "you", "your",
+];
+
+/// Options controlling how raw text is turned into tokens.
+#[derive(Debug, Clone)]
+pub struct TokenizerOptions {
+    /// Lower-case every token before interning.
+    pub lowercase: bool,
+    /// Drop tokens shorter than this many characters.
+    pub min_token_len: usize,
+    /// Drop tokens longer than this many characters (0 disables the check).
+    pub max_token_len: usize,
+    /// Drop tokens that consist only of digits.
+    pub drop_numeric: bool,
+    /// Remove the built-in English stop words.
+    pub remove_stopwords: bool,
+}
+
+impl Default for TokenizerOptions {
+    fn default() -> Self {
+        TokenizerOptions {
+            lowercase: true,
+            min_token_len: 2,
+            max_token_len: 0,
+            drop_numeric: true,
+            remove_stopwords: true,
+        }
+    }
+}
+
+/// Splits raw text into normalised tokens according to [`TokenizerOptions`].
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    options: TokenizerOptions,
+    stopwords: Vec<String>,
+}
+
+impl Tokenizer {
+    /// Build a tokenizer with the default stop-word list.
+    pub fn new(options: TokenizerOptions) -> Self {
+        let stopwords = if options.remove_stopwords {
+            DEFAULT_STOPWORDS.iter().map(|s| s.to_string()).collect()
+        } else {
+            Vec::new()
+        };
+        Tokenizer { options, stopwords }
+    }
+
+    /// Replace the stop-word list (implies stop-word removal).
+    pub fn with_stopwords<I, S>(mut self, words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.stopwords = words
+            .into_iter()
+            .map(|w| {
+                let w: String = w.into();
+                if self.options.lowercase {
+                    w.to_lowercase()
+                } else {
+                    w
+                }
+            })
+            .collect();
+        self.options.remove_stopwords = true;
+        self
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &TokenizerOptions {
+        &self.options
+    }
+
+    fn is_stopword(&self, token: &str) -> bool {
+        self.options.remove_stopwords && self.stopwords.iter().any(|s| s == token)
+    }
+
+    /// Tokenise one document of raw text.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for raw in text.split(|c: char| !c.is_alphanumeric() && c != '\'') {
+            let raw = raw.trim_matches('\'');
+            if raw.is_empty() {
+                continue;
+            }
+            let token = if self.options.lowercase {
+                raw.to_lowercase()
+            } else {
+                raw.to_string()
+            };
+            if token.chars().count() < self.options.min_token_len {
+                continue;
+            }
+            if self.options.max_token_len > 0
+                && token.chars().count() > self.options.max_token_len
+            {
+                continue;
+            }
+            if self.options.drop_numeric && token.chars().all(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            if self.is_stopword(&token) {
+                continue;
+            }
+            out.push(token);
+        }
+        out
+    }
+}
+
+/// Vocabulary pruning thresholds applied after all documents are ingested.
+#[derive(Debug, Clone, Copy)]
+pub struct PruneOptions {
+    /// Drop words that appear in fewer than this many documents.
+    pub min_doc_freq: usize,
+    /// Drop words that appear in more than this fraction of documents
+    /// (1.0 disables the check).
+    pub max_doc_ratio: f64,
+    /// Keep at most this many words, preferring the most frequent
+    /// (0 disables the cap).
+    pub max_vocab: usize,
+}
+
+impl Default for PruneOptions {
+    fn default() -> Self {
+        PruneOptions {
+            min_doc_freq: 1,
+            max_doc_ratio: 1.0,
+            max_vocab: 0,
+        }
+    }
+}
+
+/// Builds a [`Corpus`] + [`Vocabulary`] pair from raw text documents.
+///
+/// Documents are tokenised as they are ingested; the vocabulary is pruned and
+/// word ids are assigned only when [`TextPipeline::build`] is called, so the
+/// resulting ids are contiguous and ordered by descending corpus frequency
+/// (the ordering the word-major GPU layout benefits from, §6.1.2).
+#[derive(Debug)]
+pub struct TextPipeline {
+    tokenizer: Tokenizer,
+    prune: PruneOptions,
+    /// Tokenised documents, still as interning-stage ids.
+    docs: Vec<Vec<u32>>,
+    /// Interning-stage vocabulary: word → provisional id.
+    intern: HashMap<String, u32>,
+    words: Vec<String>,
+    /// Per-word token counts and document frequencies (provisional ids).
+    token_freq: Vec<u64>,
+    doc_freq: Vec<u32>,
+}
+
+impl TextPipeline {
+    /// Start a pipeline with the given tokenizer options and default pruning.
+    pub fn new(options: TokenizerOptions) -> Self {
+        TextPipeline {
+            tokenizer: Tokenizer::new(options),
+            prune: PruneOptions::default(),
+            docs: Vec::new(),
+            intern: HashMap::new(),
+            words: Vec::new(),
+            token_freq: Vec::new(),
+            doc_freq: Vec::new(),
+        }
+    }
+
+    /// Use a custom tokenizer (e.g. with a domain stop-word list).
+    pub fn with_tokenizer(mut self, tokenizer: Tokenizer) -> Self {
+        self.tokenizer = tokenizer;
+        self
+    }
+
+    /// Set the vocabulary pruning thresholds.
+    pub fn with_pruning(mut self, prune: PruneOptions) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Number of documents ingested so far.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Number of distinct words seen so far (before pruning).
+    pub fn raw_vocab_size(&self) -> usize {
+        self.words.len()
+    }
+
+    fn intern_token(&mut self, token: String) -> u32 {
+        if let Some(&id) = self.intern.get(&token) {
+            return id;
+        }
+        let id = self.words.len() as u32;
+        self.intern.insert(token.clone(), id);
+        self.words.push(token);
+        self.token_freq.push(0);
+        self.doc_freq.push(0);
+        id
+    }
+
+    /// Ingest one document of raw text.
+    pub fn ingest(&mut self, text: &str) -> &mut Self {
+        let tokens = self.tokenizer.tokenize(text);
+        let mut ids = Vec::with_capacity(tokens.len());
+        for t in tokens {
+            let id = self.intern_token(t);
+            self.token_freq[id as usize] += 1;
+            ids.push(id);
+        }
+        // Document frequency counts each word once per document.
+        let mut seen = ids.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        for id in seen {
+            self.doc_freq[id as usize] += 1;
+        }
+        self.docs.push(ids);
+        self
+    }
+
+    /// Ingest many documents (builder style).
+    pub fn ingest_documents<'a, I>(mut self, docs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        for d in docs {
+            self.ingest(d);
+        }
+        self
+    }
+
+    /// Ingest a reader treating every line as one document (a common
+    /// one-document-per-line dump format).
+    pub fn ingest_lines<R: Read>(&mut self, reader: R) -> std::io::Result<usize> {
+        let reader = BufReader::new(reader);
+        let mut n = 0;
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.ingest(&line);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Decide which provisional word ids survive pruning and assign final ids
+    /// ordered by descending token frequency.
+    fn final_ids(&self) -> Vec<Option<WordId>> {
+        let num_docs = self.docs.len().max(1);
+        let max_df = (self.prune.max_doc_ratio * num_docs as f64).floor() as u32;
+        let mut kept: Vec<u32> = (0..self.words.len() as u32)
+            .filter(|&id| {
+                let df = self.doc_freq[id as usize] as usize;
+                if df < self.prune.min_doc_freq {
+                    return false;
+                }
+                if self.prune.max_doc_ratio < 1.0 && self.doc_freq[id as usize] > max_df {
+                    return false;
+                }
+                true
+            })
+            .collect();
+        // Most frequent words first; ties broken lexicographically for
+        // determinism.
+        kept.sort_by(|&a, &b| {
+            self.token_freq[b as usize]
+                .cmp(&self.token_freq[a as usize])
+                .then_with(|| self.words[a as usize].cmp(&self.words[b as usize]))
+        });
+        if self.prune.max_vocab > 0 {
+            kept.truncate(self.prune.max_vocab);
+        }
+        let mut map = vec![None; self.words.len()];
+        for (new_id, &old_id) in kept.iter().enumerate() {
+            map[old_id as usize] = Some(new_id as WordId);
+        }
+        map
+    }
+
+    /// Finish the pipeline: prune the vocabulary, assign final word ids and
+    /// assemble the corpus.  Documents that lose all their tokens to pruning
+    /// are kept as empty documents so external document ids stay aligned.
+    pub fn build(self) -> (Corpus, Vocabulary) {
+        let map = self.final_ids();
+        let kept_words: Vec<(WordId, &str)> = map
+            .iter()
+            .enumerate()
+            .filter_map(|(old, new)| new.map(|n| (n, self.words[old].as_str())))
+            .collect();
+        let vocab_size = kept_words.len();
+        let mut ordered = vec![""; vocab_size];
+        for (new_id, word) in kept_words {
+            ordered[new_id as usize] = word;
+        }
+        let vocab = Vocabulary::from_words(ordered.iter().copied());
+
+        let mut builder = CorpusBuilder::new(vocab_size.max(1));
+        let total: usize = self.docs.iter().map(|d| d.len()).sum();
+        builder.reserve_tokens(total);
+        let mut scratch = Vec::new();
+        for doc in &self.docs {
+            scratch.clear();
+            scratch.extend(doc.iter().filter_map(|&old| map[old as usize]));
+            builder.push_doc(&scratch);
+        }
+        (builder.build(), vocab)
+    }
+}
+
+/// Read a UCI `vocab.*.txt` file: one word per line, line number = word id.
+pub fn read_vocab<R: Read>(reader: R) -> std::io::Result<Vocabulary> {
+    let reader = BufReader::new(reader);
+    let mut words = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let w = line.trim();
+        if !w.is_empty() {
+            words.push(w.to_string());
+        }
+    }
+    Ok(Vocabulary::from_words(words.iter().map(|s| s.as_str())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_normalises_and_filters() {
+        let t = Tokenizer::new(TokenizerOptions::default());
+        let toks = t.tokenize("The GPU's 32 warps sample 1024 topics, quickly!");
+        assert_eq!(toks, vec!["gpu's", "warps", "sample", "topics", "quickly"]);
+    }
+
+    #[test]
+    fn tokenizer_respects_length_limits() {
+        let t = Tokenizer::new(TokenizerOptions {
+            min_token_len: 4,
+            max_token_len: 6,
+            remove_stopwords: false,
+            ..TokenizerOptions::default()
+        });
+        let toks = t.tokenize("a abc abcd abcdef abcdefg");
+        assert_eq!(toks, vec!["abcd", "abcdef"]);
+    }
+
+    #[test]
+    fn tokenizer_custom_stopwords_replace_the_default_list() {
+        let t = Tokenizer::new(TokenizerOptions::default()).with_stopwords(["gpu", "CPU"]);
+        let toks = t.tokenize("GPU and CPU share the corpus");
+        // Only the custom words are removed; the default English list no
+        // longer applies once it has been replaced.
+        assert_eq!(toks, vec!["and", "share", "the", "corpus"]);
+    }
+
+    #[test]
+    fn pipeline_builds_corpus_and_vocab() {
+        let docs = [
+            "topic models infer topics from documents",
+            "documents contain tokens and tokens map to topics",
+            "sampling reassigns topics to tokens",
+        ];
+        let (corpus, vocab) = TextPipeline::new(TokenizerOptions::default())
+            .ingest_documents(docs.iter().copied())
+            .build();
+        assert_eq!(corpus.num_docs(), 3);
+        assert_eq!(corpus.vocab_size(), vocab.len());
+        corpus.validate().unwrap();
+        // "tokens" and "topics" both appear 3 times; the tie is broken
+        // lexicographically, so "tokens" gets the smallest word id.
+        assert_eq!(vocab.id("tokens"), Some(0));
+        assert!(vocab.id("topics").is_some());
+        // Every document has at least one surviving token.
+        for d in 0..corpus.num_docs() {
+            assert!(corpus.doc_len(d) > 0);
+        }
+    }
+
+    #[test]
+    fn pruning_by_doc_freq_and_cap() {
+        let docs = [
+            "alpha beta gamma",
+            "alpha beta delta",
+            "alpha epsilon zeta",
+        ];
+        let (corpus, vocab) = TextPipeline::new(TokenizerOptions {
+            remove_stopwords: false,
+            min_token_len: 1,
+            ..TokenizerOptions::default()
+        })
+        .with_pruning(PruneOptions {
+            min_doc_freq: 2,
+            max_doc_ratio: 1.0,
+            max_vocab: 0,
+        })
+        .ingest_documents(docs.iter().copied())
+        .build();
+        // Only "alpha" (df=3) and "beta" (df=2) survive.
+        assert_eq!(vocab.len(), 2);
+        assert!(vocab.id("alpha").is_some());
+        assert!(vocab.id("beta").is_some());
+        assert!(vocab.id("gamma").is_none());
+        assert_eq!(corpus.num_tokens(), 5);
+    }
+
+    #[test]
+    fn pruning_max_doc_ratio_removes_ubiquitous_words() {
+        let docs = ["common rare1", "common rare2", "common rare3", "common rare4"];
+        let (_, vocab) = TextPipeline::new(TokenizerOptions {
+            remove_stopwords: false,
+            min_token_len: 1,
+            drop_numeric: false,
+            ..TokenizerOptions::default()
+        })
+        .with_pruning(PruneOptions {
+            min_doc_freq: 1,
+            max_doc_ratio: 0.75,
+            max_vocab: 0,
+        })
+        .ingest_documents(docs.iter().copied())
+        .build();
+        assert!(vocab.id("common").is_none());
+        assert!(vocab.id("rare1").is_some());
+    }
+
+    #[test]
+    fn max_vocab_keeps_most_frequent_words() {
+        let docs = ["x x x y y z"];
+        let (corpus, vocab) = TextPipeline::new(TokenizerOptions {
+            remove_stopwords: false,
+            min_token_len: 1,
+            ..TokenizerOptions::default()
+        })
+        .with_pruning(PruneOptions {
+            max_vocab: 2,
+            ..PruneOptions::default()
+        })
+        .ingest_documents(docs.iter().copied())
+        .build();
+        assert_eq!(vocab.len(), 2);
+        assert_eq!(vocab.id("x"), Some(0));
+        assert_eq!(vocab.id("y"), Some(1));
+        assert_eq!(corpus.num_tokens(), 5);
+    }
+
+    #[test]
+    fn ingest_lines_treats_each_line_as_document() {
+        let text = "first document here\n\nsecond document here\n";
+        let mut pipeline = TextPipeline::new(TokenizerOptions::default());
+        let n = pipeline.ingest_lines(text.as_bytes()).unwrap();
+        assert_eq!(n, 2);
+        let (corpus, _) = pipeline.build();
+        assert_eq!(corpus.num_docs(), 2);
+    }
+
+    #[test]
+    fn empty_documents_are_preserved_for_alignment() {
+        let docs = ["the and of is to was", "real content words"];
+        let (corpus, _) = TextPipeline::new(TokenizerOptions::default())
+            .ingest_documents(docs.iter().copied())
+            .build();
+        assert_eq!(corpus.num_docs(), 2);
+        assert_eq!(corpus.doc_len(0), 0);
+        assert!(corpus.doc_len(1) > 0);
+    }
+
+    #[test]
+    fn read_vocab_assigns_line_order_ids() {
+        let file = "aardvark\nbison\n\ncat\n";
+        let v = read_vocab(file.as_bytes()).unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.id("aardvark"), Some(0));
+        assert_eq!(v.id("cat"), Some(2));
+    }
+}

@@ -1,0 +1,120 @@
+//! Vocabulary: bidirectional mapping between word strings and word ids.
+//!
+//! The training kernels only ever see integer word ids; the vocabulary is
+//! needed at the edges — when ingesting raw text or UCI `vocab.*.txt` files
+//! and when printing the top words of each learned topic (see the
+//! `nytimes_topics` example).
+
+use crate::corpus::WordId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A bidirectional word ↔ id mapping.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    index: HashMap<String, WordId>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an ordered list of words (line order defines the ids, as in
+    /// the UCI `vocab.<dataset>.txt` files).
+    pub fn from_words<I, S>(words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut v = Vocabulary::new();
+        for w in words {
+            v.intern(&w.into());
+        }
+        v
+    }
+
+    /// Generate a synthetic vocabulary `w0, w1, …` of the given size, used by
+    /// the synthetic corpora where no real word strings exist.
+    pub fn synthetic(size: usize) -> Self {
+        Self::from_words((0..size).map(|i| format!("w{i}")))
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the vocabulary holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Return the id of `word`, inserting it if necessary.
+    pub fn intern(&mut self, word: &str) -> WordId {
+        if let Some(&id) = self.index.get(word) {
+            return id;
+        }
+        let id = self.words.len() as WordId;
+        self.words.push(word.to_owned());
+        self.index.insert(word.to_owned(), id);
+        id
+    }
+
+    /// Look up an existing word's id.
+    pub fn id(&self, word: &str) -> Option<WordId> {
+        self.index.get(word).copied()
+    }
+
+    /// The word string for an id.
+    pub fn word(&self, id: WordId) -> Option<&str> {
+        self.words.get(id as usize).map(String::as_str)
+    }
+
+    /// Iterate over all words in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.words.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("gpu");
+        let b = v.intern("lda");
+        let a2 = v.intern("gpu");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let v = Vocabulary::from_words(["alpha", "beta", "gamma"]);
+        assert_eq!(v.id("beta"), Some(1));
+        assert_eq!(v.word(2), Some("gamma"));
+        assert_eq!(v.id("delta"), None);
+        assert_eq!(v.word(9), None);
+    }
+
+    #[test]
+    fn synthetic_vocabulary_has_requested_size() {
+        let v = Vocabulary::synthetic(100);
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.word(42), Some("w42"));
+        assert_eq!(v.id("w99"), Some(99));
+    }
+
+    #[test]
+    fn iter_preserves_id_order() {
+        let v = Vocabulary::from_words(["x", "y", "z"]);
+        let collected: Vec<_> = v.iter().collect();
+        assert_eq!(collected, vec!["x", "y", "z"]);
+    }
+}

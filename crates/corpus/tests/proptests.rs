@@ -1,0 +1,164 @@
+//! Property-based tests for the corpus crate: snapshot round-trips, holdout
+//! splits, text-pipeline pruning and token-balanced partitioning must hold
+//! for *arbitrary* corpora, not just the hand-picked ones in the unit tests.
+
+use culda_corpus::holdout::{split_documents, DocumentCompletion};
+use culda_corpus::snapshot::{read_corpus, write_corpus};
+use culda_corpus::text::{PruneOptions, TextPipeline, TokenizerOptions};
+use culda_corpus::{Corpus, CorpusBuilder, Partitioner};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary small corpus (possibly with empty documents) over a
+/// vocabulary of `1..=max_vocab` words.
+fn arb_corpus(max_docs: usize, max_doc_len: usize, max_vocab: u32) -> impl Strategy<Value = Corpus> {
+    (1..=max_vocab).prop_flat_map(move |vocab| {
+        prop::collection::vec(
+            prop::collection::vec(0..vocab, 0..=max_doc_len),
+            0..=max_docs,
+        )
+        .prop_map(move |docs| {
+            let mut b = CorpusBuilder::new(vocab as usize);
+            for d in &docs {
+                b.push_doc(d);
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn snapshot_roundtrip_is_identity(corpus in arb_corpus(40, 30, 200)) {
+        let mut buf = Vec::new();
+        write_corpus(&corpus, &mut buf).unwrap();
+        let back = read_corpus(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, corpus);
+    }
+
+    #[test]
+    fn snapshot_rejects_any_truncation(corpus in arb_corpus(20, 20, 100), cut in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        write_corpus(&corpus, &mut buf).unwrap();
+        let keep = ((buf.len() as f64) * cut) as usize;
+        if keep < buf.len() {
+            buf.truncate(keep);
+            prop_assert!(read_corpus(buf.as_slice()).is_err());
+        }
+    }
+
+    #[test]
+    fn document_split_partitions_tokens_and_docs(
+        corpus in arb_corpus(60, 25, 150),
+        fraction in 0.0f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let split = split_documents(&corpus, fraction, seed);
+        prop_assert_eq!(split.train.num_docs() + split.test.num_docs(), corpus.num_docs());
+        prop_assert_eq!(
+            split.train.num_tokens() + split.test.num_tokens(),
+            corpus.num_tokens()
+        );
+        prop_assert_eq!(split.train_doc_ids.len(), split.train.num_docs());
+        prop_assert_eq!(split.test_doc_ids.len(), split.test.num_docs());
+        // Every original document appears exactly once across the two sides.
+        let mut seen: Vec<u32> = split
+            .train_doc_ids
+            .iter()
+            .chain(&split.test_doc_ids)
+            .copied()
+            .collect();
+        seen.sort_unstable();
+        let expect: Vec<u32> = (0..corpus.num_docs() as u32).collect();
+        prop_assert_eq!(seen, expect);
+        // Contents survive the mapping.
+        for (i, &orig) in split.train_doc_ids.iter().enumerate() {
+            prop_assert_eq!(split.train.doc(i), corpus.doc(orig as usize));
+        }
+    }
+
+    #[test]
+    fn completion_split_preserves_every_token_multiset(
+        corpus in arb_corpus(50, 30, 120),
+        fraction in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let dc = DocumentCompletion::split(&corpus, fraction, seed);
+        prop_assert!(dc.validate_against(&corpus).is_ok());
+        prop_assert_eq!(
+            dc.observed.num_tokens() + dc.heldout.num_tokens(),
+            corpus.num_tokens()
+        );
+        for d in 0..corpus.num_docs() {
+            if corpus.doc_len(d) >= 2 {
+                prop_assert!(dc.observed.doc_len(d) >= 1);
+                prop_assert!(dc.heldout.doc_len(d) >= 1);
+            } else {
+                prop_assert_eq!(dc.heldout.doc_len(d), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn token_balanced_partitioning_is_exhaustive_and_balanced(
+        corpus in arb_corpus(80, 40, 100),
+        chunks in 1usize..8,
+    ) {
+        let partitioner = Partitioner::by_tokens(&corpus, chunks);
+        let per_chunk = partitioner.tokens_per_chunk();
+        prop_assert_eq!(per_chunk.iter().sum::<u64>(), corpus.num_tokens() as u64);
+        let ranges = partitioner.ranges();
+        // Ranges tile the document space in order without gaps or overlaps.
+        let mut next = 0usize;
+        for r in ranges {
+            prop_assert_eq!(r.start, next);
+            prop_assert!(r.end >= r.start);
+            next = r.end;
+        }
+        prop_assert_eq!(next, corpus.num_docs());
+        // No chunk exceeds the total by construction; when a chunk is larger
+        // than the ideal share, it is because a single document straddles the
+        // boundary, so the overshoot is bounded by the longest document.
+        if corpus.num_tokens() > 0 {
+            let ideal = corpus.num_tokens() as u64 / chunks as u64;
+            let longest = corpus.max_doc_len() as u64;
+            for &t in per_chunk {
+                prop_assert!(t <= ideal + longest + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn text_pipeline_never_grows_under_stricter_pruning(
+        docs in prop::collection::vec("[a-e]{1,4}( [a-e]{1,4}){0,15}", 1..30),
+        min_df in 1usize..4,
+    ) {
+        let build = |min_doc_freq: usize| {
+            let mut p = TextPipeline::new(TokenizerOptions {
+                remove_stopwords: false,
+                min_token_len: 1,
+                ..TokenizerOptions::default()
+            })
+            .with_pruning(PruneOptions { min_doc_freq, ..PruneOptions::default() });
+            for d in &docs {
+                p.ingest(d);
+            }
+            p.build()
+        };
+        let (loose_corpus, loose_vocab) = build(1);
+        let (strict_corpus, strict_vocab) = build(min_df);
+        prop_assert_eq!(loose_corpus.num_docs(), docs.len());
+        prop_assert_eq!(strict_corpus.num_docs(), docs.len());
+        prop_assert!(strict_vocab.len() <= loose_vocab.len());
+        prop_assert!(strict_corpus.num_tokens() <= loose_corpus.num_tokens());
+        prop_assert!(loose_corpus.validate().is_ok());
+        prop_assert!(strict_corpus.validate().is_ok());
+        // Word ids are assigned by descending frequency: id 0 must be at
+        // least as frequent as any other id.
+        let freq = loose_corpus.word_frequencies();
+        if freq.len() > 1 {
+            prop_assert!(freq[0] >= *freq.iter().max().unwrap() || freq[0] == 0);
+        }
+    }
+}

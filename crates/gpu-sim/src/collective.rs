@@ -1,0 +1,192 @@
+//! The reduce + broadcast model-synchronization schedule of §5.2 (Figure 4).
+//!
+//! After every iteration the per-GPU replicas of the topic–word matrix φ must
+//! be combined: `φ = φ0 + φ1 + … + φG−1`, and the combined matrix pushed back
+//! to every GPU.  The paper performs both steps entirely on the GPUs with a
+//! binary tree: in round `r`, GPU `i + 2^r` sends its partial sum to GPU `i`
+//! (for every `i` that is a multiple of `2^{r+1}`), so the reduction takes
+//! `⌈log2 G⌉` rounds; the broadcast mirrors the tree in reverse.
+//!
+//! This module produces the transfer schedule (who sends to whom in each
+//! round) and the simulated time of the whole synchronization; the actual
+//! matrix additions are performed by the caller (culda-core) on the real
+//! replica data.
+
+use crate::transfer::Interconnect;
+use serde::{Deserialize, Serialize};
+
+/// One point-to-point copy: `src` device sends its buffer to `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Step {
+    /// Sending device index.
+    pub src: usize,
+    /// Receiving device index.
+    pub dst: usize,
+}
+
+/// The full reduce (or broadcast) schedule, as rounds of parallel steps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReducePlan {
+    rounds: Vec<Vec<Step>>,
+}
+
+impl ReducePlan {
+    /// Binary-tree reduction over `num_devices` devices, with device 0 as the
+    /// root (Figure 4: GPU1→GPU0 and GPU3→GPU2 in round 0, GPU2→GPU0 in
+    /// round 1 for G = 4).
+    pub fn tree_reduce(num_devices: usize) -> Self {
+        assert!(num_devices >= 1);
+        let mut rounds = Vec::new();
+        let mut stride = 1usize;
+        while stride < num_devices {
+            let mut steps = Vec::new();
+            let mut i = 0usize;
+            while i + stride < num_devices {
+                steps.push(Step { src: i + stride, dst: i });
+                i += stride * 2;
+            }
+            rounds.push(steps);
+            stride *= 2;
+        }
+        ReducePlan { rounds }
+    }
+
+    /// Binary-tree broadcast from device 0 — the reverse of the reduction.
+    pub fn tree_broadcast(num_devices: usize) -> Self {
+        let mut plan = Self::tree_reduce(num_devices);
+        plan.rounds.reverse();
+        for round in &mut plan.rounds {
+            for step in round.iter_mut() {
+                std::mem::swap(&mut step.src, &mut step.dst);
+            }
+        }
+        ReducePlan { rounds: plan.rounds }
+    }
+
+    /// The rounds in execution order; steps within a round run in parallel.
+    pub fn rounds(&self) -> &[Vec<Step>] {
+        &self.rounds
+    }
+
+    /// Number of rounds (⌈log2 G⌉ for G devices).
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total number of point-to-point copies in the plan (G − 1 for a tree).
+    pub fn num_steps(&self) -> usize {
+        self.rounds.iter().map(Vec::len).sum()
+    }
+
+    /// Simulated time of the plan when each step moves `bytes` over `link`
+    /// and the receiving GPU folds the buffer in at `add_bandwidth` bytes/s.
+    ///
+    /// Steps in a round are concurrent, so a round costs one transfer plus
+    /// one fold; rounds are sequential.
+    pub fn time_s(&self, bytes: u64, link: Interconnect, add_bandwidth_bytes_per_s: f64) -> f64 {
+        let per_round = link.transfer_time_s(bytes)
+            + if add_bandwidth_bytes_per_s > 0.0 {
+                bytes as f64 / add_bandwidth_bytes_per_s
+            } else {
+                0.0
+            };
+        per_round * self.num_rounds() as f64
+    }
+}
+
+/// Total simulated time of one φ synchronization (reduce then broadcast) over
+/// `num_devices` devices, each replica being `bytes` large.
+///
+/// `add_bandwidth_bytes_per_s` is the effective bandwidth of the element-wise
+/// addition on the receiving GPU; the broadcast requires no addition.
+pub fn sync_time_s(
+    num_devices: usize,
+    bytes: u64,
+    link: Interconnect,
+    add_bandwidth_bytes_per_s: f64,
+) -> f64 {
+    if num_devices <= 1 {
+        return 0.0;
+    }
+    let reduce = ReducePlan::tree_reduce(num_devices).time_s(bytes, link, add_bandwidth_bytes_per_s);
+    let broadcast = ReducePlan::tree_broadcast(num_devices).time_s(bytes, link, 0.0);
+    reduce + broadcast
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_reduce_schedule_for_four_gpus() {
+        let plan = ReducePlan::tree_reduce(4);
+        assert_eq!(plan.num_rounds(), 2);
+        assert_eq!(
+            plan.rounds()[0],
+            vec![Step { src: 1, dst: 0 }, Step { src: 3, dst: 2 }]
+        );
+        assert_eq!(plan.rounds()[1], vec![Step { src: 2, dst: 0 }]);
+        assert_eq!(plan.num_steps(), 3);
+    }
+
+    #[test]
+    fn broadcast_mirrors_reduce() {
+        let plan = ReducePlan::tree_broadcast(4);
+        assert_eq!(plan.num_rounds(), 2);
+        assert_eq!(plan.rounds()[0], vec![Step { src: 0, dst: 2 }]);
+        assert_eq!(
+            plan.rounds()[1],
+            vec![Step { src: 0, dst: 1 }, Step { src: 2, dst: 3 }]
+        );
+    }
+
+    #[test]
+    fn rounds_grow_logarithmically() {
+        assert_eq!(ReducePlan::tree_reduce(1).num_rounds(), 0);
+        assert_eq!(ReducePlan::tree_reduce(2).num_rounds(), 1);
+        assert_eq!(ReducePlan::tree_reduce(4).num_rounds(), 2);
+        assert_eq!(ReducePlan::tree_reduce(8).num_rounds(), 3);
+        assert_eq!(ReducePlan::tree_reduce(16).num_rounds(), 4);
+        // Non-power-of-two device counts still reduce everything to device 0.
+        assert_eq!(ReducePlan::tree_reduce(5).num_steps(), 4);
+        assert_eq!(ReducePlan::tree_reduce(7).num_steps(), 6);
+    }
+
+    #[test]
+    fn every_device_receives_the_broadcast() {
+        for g in 1..10usize {
+            let plan = ReducePlan::tree_broadcast(g);
+            let mut has = vec![false; g];
+            has[0] = true;
+            for round in plan.rounds() {
+                for step in round {
+                    assert!(has[step.src], "device {} sent before it had data", step.src);
+                    has[step.dst] = true;
+                }
+            }
+            assert!(has.iter().all(|&h| h), "broadcast incomplete for G={g}");
+        }
+    }
+
+    #[test]
+    fn sync_time_is_zero_for_one_device_and_grows_logarithmically() {
+        let bytes = 1 << 30;
+        let link = Interconnect::Pcie3;
+        assert_eq!(sync_time_s(1, bytes, link, 1e11), 0.0);
+        let t2 = sync_time_s(2, bytes, link, 1e11);
+        let t4 = sync_time_s(4, bytes, link, 1e11);
+        let t8 = sync_time_s(8, bytes, link, 1e11);
+        assert!(t2 > 0.0);
+        // log2 scaling: doubling the devices adds one reduce + one broadcast round.
+        assert!((t4 / t2 - 2.0).abs() < 0.05);
+        assert!((t8 / t2 - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn ethernet_sync_is_far_slower_than_pcie() {
+        let bytes = 512 << 20;
+        let pcie = sync_time_s(4, bytes, Interconnect::Pcie3, 1e11);
+        let eth = sync_time_s(4, bytes, Interconnect::Ethernet10G, 1e11);
+        assert!(eth > 10.0 * pcie, "eth {eth} vs pcie {pcie}");
+    }
+}

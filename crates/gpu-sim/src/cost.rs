@@ -1,0 +1,284 @@
+//! Operation counting and the roofline cost model.
+//!
+//! The paper's §3 characterisation shows LDA sampling performs roughly 0.27
+//! floating-point operations per byte of memory traffic, far below the
+//! FLOPS/bandwidth ratio of any evaluated processor, so execution time is
+//! governed by memory traffic.  The simulator therefore converts the counters
+//! accumulated by each kernel into time with a roofline model
+//! (`time = max(memory term, compute term, atomic term)`), adjusted for
+//! occupancy and a fixed kernel-launch overhead.
+
+use crate::device::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a simulated thread block (and summed per kernel).
+///
+/// All byte counters refer to *off-chip* (DRAM) traffic unless stated
+/// otherwise.  Shared-memory and L1 traffic are tracked separately because
+/// they are served on-chip and only contribute a (much cheaper) bandwidth
+/// term of their own.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostCounters {
+    /// Bytes read from device DRAM.
+    pub dram_read_bytes: u64,
+    /// Bytes written to device DRAM.
+    pub dram_write_bytes: u64,
+    /// Bytes served by the software-managed shared memory.
+    pub shared_bytes: u64,
+    /// Bytes served by the (hardware) L1 cache.
+    pub l1_bytes: u64,
+    /// Single-precision floating point operations.
+    pub flops: u64,
+    /// Integer ALU operations.
+    pub int_ops: u64,
+    /// Global-memory atomic operations.
+    pub atomic_ops: u64,
+    /// Random numbers drawn (each costs a few ALU operations).
+    pub rng_draws: u64,
+}
+
+impl CostCounters {
+    /// A zeroed counter set.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Total off-chip traffic in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// The `Flops/Byte` arithmetic-intensity metric of §3 (Eq. 3).
+    pub fn flops_per_byte(&self) -> f64 {
+        if self.dram_bytes() == 0 {
+            return 0.0;
+        }
+        self.flops as f64 / self.dram_bytes() as f64
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &CostCounters) {
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.dram_write_bytes += other.dram_write_bytes;
+        self.shared_bytes += other.shared_bytes;
+        self.l1_bytes += other.l1_bytes;
+        self.flops += other.flops;
+        self.int_ops += other.int_ops;
+        self.atomic_ops += other.atomic_ops;
+        self.rng_draws += other.rng_draws;
+    }
+}
+
+impl std::ops::AddAssign for CostCounters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.add(&rhs);
+    }
+}
+
+impl std::iter::Sum for CostCounters {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        let mut acc = CostCounters::zero();
+        for c in iter {
+            acc.add(&c);
+        }
+        acc
+    }
+}
+
+/// The simulated execution time of one kernel launch, broken into the
+/// roofline components (useful for diagnostics and for the ablation benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelTime {
+    /// Off-chip memory time in seconds.
+    pub memory_s: f64,
+    /// On-chip (shared + L1) memory time in seconds.
+    pub on_chip_s: f64,
+    /// ALU/FPU time in seconds.
+    pub compute_s: f64,
+    /// Atomic-operation time in seconds.
+    pub atomic_s: f64,
+    /// Fixed launch overhead in seconds.
+    pub launch_s: f64,
+    /// Occupancy derate applied (1.0 = fully occupied device).
+    pub occupancy: f64,
+    /// Final simulated wall-clock time of the launch in seconds.
+    pub total_s: f64,
+}
+
+impl KernelTime {
+    /// Which roofline term dominated this launch.
+    pub fn bound_by(&self) -> Bound {
+        let m = self.memory_s.max(self.on_chip_s);
+        if m >= self.compute_s && m >= self.atomic_s {
+            Bound::Memory
+        } else if self.compute_s >= self.atomic_s {
+            Bound::Compute
+        } else {
+            Bound::Atomic
+        }
+    }
+}
+
+/// The resource that bounds a kernel under the roofline model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Off-chip memory bandwidth bound (the common case for LDA, §3).
+    Memory,
+    /// ALU/FPU bound.
+    Compute,
+    /// Atomic-throughput bound.
+    Atomic,
+}
+
+/// Convert accumulated counters into simulated time on a device.
+///
+/// `grid_blocks` is the number of thread blocks launched; small grids cannot
+/// occupy all SMs, which the occupancy derate captures (this is what makes a
+/// single long word assigned to a single block a "long-tail" problem, §6.1.2).
+pub fn kernel_time(spec: &DeviceSpec, counters: &CostCounters, grid_blocks: usize) -> KernelTime {
+    let occupancy = spec.occupancy(grid_blocks);
+
+    let eff_bw = spec.effective_bandwidth_bytes_per_s();
+    let memory_s = counters.dram_bytes() as f64 / eff_bw / occupancy;
+
+    let on_chip_bw = spec.on_chip_bandwidth_bytes_per_s();
+    let on_chip_s = (counters.shared_bytes + counters.l1_bytes) as f64 / on_chip_bw / occupancy;
+
+    let alu_ops = counters.flops + counters.int_ops + counters.rng_draws * 8;
+    let compute_s = alu_ops as f64 / (spec.peak_gflops * 1e9) / occupancy;
+
+    let atomic_s =
+        counters.atomic_ops as f64 / (spec.atomic_gops_per_s * 1e9) / occupancy;
+
+    let launch_s = spec.kernel_launch_overhead_s;
+    let total_s = memory_s.max(on_chip_s).max(compute_s).max(atomic_s) + launch_s;
+
+    KernelTime {
+        memory_s,
+        on_chip_s,
+        compute_s,
+        atomic_s,
+        launch_s,
+        occupancy,
+        total_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    fn volta() -> DeviceSpec {
+        DeviceSpec::v100_volta()
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut a = CostCounters {
+            dram_read_bytes: 10,
+            flops: 5,
+            ..CostCounters::zero()
+        };
+        let b = CostCounters {
+            dram_read_bytes: 2,
+            dram_write_bytes: 3,
+            atomic_ops: 1,
+            ..CostCounters::zero()
+        };
+        a += b;
+        assert_eq!(a.dram_read_bytes, 12);
+        assert_eq!(a.dram_bytes(), 15);
+        assert_eq!(a.atomic_ops, 1);
+    }
+
+    #[test]
+    fn flops_per_byte_matches_definition() {
+        let c = CostCounters {
+            dram_read_bytes: 80,
+            dram_write_bytes: 20,
+            flops: 27,
+            ..CostCounters::zero()
+        };
+        assert!((c.flops_per_byte() - 0.27).abs() < 1e-12);
+        assert_eq!(CostCounters::zero().flops_per_byte(), 0.0);
+    }
+
+    #[test]
+    fn memory_bound_kernel_time_scales_with_bytes() {
+        let spec = volta();
+        let small = CostCounters {
+            dram_read_bytes: 1 << 20,
+            ..CostCounters::zero()
+        };
+        let large = CostCounters {
+            dram_read_bytes: 1 << 24,
+            ..CostCounters::zero()
+        };
+        let grid = 10_000;
+        let t_small = kernel_time(&spec, &small, grid);
+        let t_large = kernel_time(&spec, &large, grid);
+        assert_eq!(t_small.bound_by(), Bound::Memory);
+        let ratio = (t_large.total_s - t_large.launch_s) / (t_small.total_s - t_small.launch_s);
+        assert!((ratio - 16.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn low_intensity_workload_is_memory_bound_on_all_presets() {
+        // 0.27 flops/byte, the paper's LDA characterisation.
+        let c = CostCounters {
+            dram_read_bytes: 1_000_000,
+            flops: 270_000,
+            ..CostCounters::zero()
+        };
+        for spec in [
+            DeviceSpec::titan_x_maxwell(),
+            DeviceSpec::titan_xp_pascal(),
+            DeviceSpec::v100_volta(),
+            DeviceSpec::xeon_e5_2690v4(),
+        ] {
+            let t = kernel_time(&spec, &c, 100_000);
+            assert_eq!(t.bound_by(), Bound::Memory, "{} not memory bound", spec.name);
+        }
+    }
+
+    #[test]
+    fn faster_memory_means_faster_kernels() {
+        let c = CostCounters {
+            dram_read_bytes: 1 << 26,
+            flops: 1 << 22,
+            ..CostCounters::zero()
+        };
+        let grid = 50_000;
+        let t_maxwell = kernel_time(&DeviceSpec::titan_x_maxwell(), &c, grid).total_s;
+        let t_pascal = kernel_time(&DeviceSpec::titan_xp_pascal(), &c, grid).total_s;
+        let t_volta = kernel_time(&DeviceSpec::v100_volta(), &c, grid).total_s;
+        assert!(t_volta < t_pascal && t_pascal < t_maxwell);
+    }
+
+    #[test]
+    fn tiny_grids_are_penalised_by_occupancy() {
+        let spec = volta();
+        let c = CostCounters {
+            dram_read_bytes: 1 << 22,
+            ..CostCounters::zero()
+        };
+        let t_full = kernel_time(&spec, &c, 100_000);
+        let t_tiny = kernel_time(&spec, &c, 4);
+        assert!(t_tiny.total_s > t_full.total_s);
+        assert!(t_tiny.occupancy < 0.2);
+        assert!((t_full.occupancy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn atomic_heavy_kernel_is_atomic_bound() {
+        let spec = volta();
+        let c = CostCounters {
+            dram_read_bytes: 1024,
+            atomic_ops: 1 << 28,
+            ..CostCounters::zero()
+        };
+        let t = kernel_time(&spec, &c, 100_000);
+        assert_eq!(t.bound_by(), Bound::Atomic);
+    }
+}

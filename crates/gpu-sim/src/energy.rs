@@ -1,0 +1,271 @@
+//! Energy estimation for simulated kernels.
+//!
+//! The paper evaluates throughput only, but "cost of large-scale LDA
+//! training" (§1) is ultimately a joules question in production, and the same
+//! operation counters the roofline model consumes are exactly what an
+//! energy-per-operation model needs.  The model follows the usual
+//! architecture-evaluation convention:
+//!
+//! ```text
+//! E = dram_bytes · e_dram + on_chip_bytes · e_onchip
+//!   + flops · e_flop + atomics · e_atomic + t · P_static
+//! ```
+//!
+//! with per-architecture coefficients (pJ/byte, pJ/flop) taken from the
+//! public literature on GPU energy breakdowns.  Absolute joules are rough;
+//! what the model preserves is the *relative* picture: LDA sampling energy is
+//! dominated by DRAM traffic, and newer HBM parts do more work per joule.
+
+use crate::cost::{CostCounters, KernelTime};
+use crate::device::{Arch, DeviceSpec};
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energy coefficients for one device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Picojoules per byte of off-chip (DRAM/HBM) traffic.
+    pub pj_per_dram_byte: f64,
+    /// Picojoules per byte served on-chip (shared memory / L1).
+    pub pj_per_onchip_byte: f64,
+    /// Picojoules per single-precision floating-point operation.
+    pub pj_per_flop: f64,
+    /// Picojoules per integer ALU operation.
+    pub pj_per_int_op: f64,
+    /// Picojoules per global atomic operation.
+    pub pj_per_atomic: f64,
+    /// Static (leakage + idle) power in watts, charged per second of
+    /// simulated kernel time.
+    pub static_power_w: f64,
+}
+
+impl EnergyModel {
+    /// Coefficients for a device spec, selected by architecture generation.
+    pub fn for_spec(spec: &DeviceSpec) -> Self {
+        match spec.arch {
+            // GDDR5-era GPUs: expensive DRAM accesses, higher static power
+            // per unit of work.
+            Arch::Kepler => EnergyModel {
+                pj_per_dram_byte: 24.0,
+                pj_per_onchip_byte: 1.4,
+                pj_per_flop: 12.0,
+                pj_per_int_op: 3.0,
+                pj_per_atomic: 60.0,
+                static_power_w: 80.0,
+            },
+            Arch::Maxwell => EnergyModel {
+                pj_per_dram_byte: 20.0,
+                pj_per_onchip_byte: 1.2,
+                pj_per_flop: 8.0,
+                pj_per_int_op: 2.2,
+                pj_per_atomic: 50.0,
+                static_power_w: 70.0,
+            },
+            Arch::Pascal => EnergyModel {
+                pj_per_dram_byte: 16.0,
+                pj_per_onchip_byte: 1.0,
+                pj_per_flop: 5.5,
+                pj_per_int_op: 1.8,
+                pj_per_atomic: 40.0,
+                static_power_w: 65.0,
+            },
+            // HBM2 parts: cheaper bytes, cheaper flops.
+            Arch::Volta => EnergyModel {
+                pj_per_dram_byte: 12.0,
+                pj_per_onchip_byte: 0.8,
+                pj_per_flop: 3.5,
+                pj_per_int_op: 1.2,
+                pj_per_atomic: 30.0,
+                static_power_w: 60.0,
+            },
+            Arch::Ampere => EnergyModel {
+                pj_per_dram_byte: 9.0,
+                pj_per_onchip_byte: 0.6,
+                pj_per_flop: 2.5,
+                pj_per_int_op: 0.9,
+                pj_per_atomic: 22.0,
+                static_power_w: 55.0,
+            },
+            // Server CPUs: cheap cache hits, expensive per-op energy, high
+            // package power.
+            Arch::Cpu => EnergyModel {
+                pj_per_dram_byte: 30.0,
+                pj_per_onchip_byte: 2.5,
+                pj_per_flop: 20.0,
+                pj_per_int_op: 6.0,
+                pj_per_atomic: 120.0,
+                static_power_w: 90.0,
+            },
+        }
+    }
+
+    /// Dynamic (per-operation) energy of a kernel in joules.
+    pub fn dynamic_energy_j(&self, counters: &CostCounters) -> f64 {
+        let pj = counters.dram_bytes() as f64 * self.pj_per_dram_byte
+            + (counters.shared_bytes + counters.l1_bytes) as f64 * self.pj_per_onchip_byte
+            + counters.flops as f64 * self.pj_per_flop
+            + counters.int_ops as f64 * self.pj_per_int_op
+            + counters.atomic_ops as f64 * self.pj_per_atomic
+            // RNG draws are a handful of integer operations each.
+            + counters.rng_draws as f64 * 4.0 * self.pj_per_int_op;
+        pj * 1e-12
+    }
+
+    /// Total kernel energy: dynamic energy plus static power over the kernel
+    /// duration.
+    pub fn kernel_energy_j(&self, counters: &CostCounters, time: &KernelTime) -> f64 {
+        self.dynamic_energy_j(counters) + self.static_power_w * time.total_s
+    }
+}
+
+/// Accumulated energy of one training run (or one device's share of it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Total energy in joules.
+    pub total_j: f64,
+    /// Dynamic share of the total (joules).
+    pub dynamic_j: f64,
+    /// Simulated time the static power was integrated over (seconds).
+    pub active_time_s: f64,
+    /// Tokens processed, for the tokens-per-joule figure of merit.
+    pub tokens: u64,
+}
+
+impl EnergyReport {
+    /// Add one kernel's contribution.
+    pub fn add_kernel(
+        &mut self,
+        model: &EnergyModel,
+        counters: &CostCounters,
+        time: &KernelTime,
+        tokens: u64,
+    ) {
+        let dynamic = model.dynamic_energy_j(counters);
+        self.dynamic_j += dynamic;
+        self.total_j += dynamic + model.static_power_w * time.total_s;
+        self.active_time_s += time.total_s;
+        self.tokens += tokens;
+    }
+
+    /// Merge another report (e.g. from another device).
+    pub fn merge(&mut self, other: &EnergyReport) {
+        self.total_j += other.total_j;
+        self.dynamic_j += other.dynamic_j;
+        self.active_time_s += other.active_time_s;
+        self.tokens += other.tokens;
+    }
+
+    /// Tokens sampled per joule — the energy-efficiency figure of merit.
+    pub fn tokens_per_joule(&self) -> f64 {
+        if self.total_j <= 0.0 {
+            0.0
+        } else {
+            self.tokens as f64 / self.total_j
+        }
+    }
+
+    /// Average power over the active time, in watts.
+    pub fn average_power_w(&self) -> f64 {
+        if self.active_time_s <= 0.0 {
+            0.0
+        } else {
+            self.total_j / self.active_time_s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::kernel_time;
+
+    /// A counter profile shaped like one LDA sampling pass: memory dominated
+    /// (§3.1: 0.27 Flops/Byte).
+    fn lda_like_counters() -> CostCounters {
+        CostCounters {
+            dram_read_bytes: 90_000_000,
+            dram_write_bytes: 10_000_000,
+            shared_bytes: 40_000_000,
+            l1_bytes: 5_000_000,
+            flops: 27_000_000,
+            int_ops: 20_000_000,
+            atomic_ops: 1_000_000,
+            rng_draws: 2_000_000,
+        }
+    }
+
+    #[test]
+    fn dram_traffic_dominates_lda_energy() {
+        let model = EnergyModel::for_spec(&DeviceSpec::v100_volta());
+        let c = lda_like_counters();
+        let dram_only = CostCounters {
+            dram_read_bytes: c.dram_read_bytes,
+            dram_write_bytes: c.dram_write_bytes,
+            ..CostCounters::zero()
+        };
+        let total = model.dynamic_energy_j(&c);
+        let dram = model.dynamic_energy_j(&dram_only);
+        assert!(dram / total > 0.5, "DRAM share {:.2}", dram / total);
+    }
+
+    #[test]
+    fn newer_architectures_do_more_work_per_joule() {
+        let c = lda_like_counters();
+        let seq = [
+            DeviceSpec::titan_x_maxwell(),
+            DeviceSpec::titan_xp_pascal(),
+            DeviceSpec::v100_volta(),
+            DeviceSpec::a100_ampere(),
+        ];
+        let energies: Vec<f64> = seq
+            .iter()
+            .map(|s| {
+                let t = kernel_time(s, &c, 100_000);
+                EnergyModel::for_spec(s).kernel_energy_j(&c, &t)
+            })
+            .collect();
+        for pair in energies.windows(2) {
+            assert!(pair[1] < pair[0], "energy should drop: {energies:?}");
+        }
+    }
+
+    #[test]
+    fn report_accumulates_and_merges() {
+        let spec = DeviceSpec::v100_volta();
+        let model = EnergyModel::for_spec(&spec);
+        let c = lda_like_counters();
+        let t = kernel_time(&spec, &c, 100_000);
+        let mut a = EnergyReport::default();
+        a.add_kernel(&model, &c, &t, 1_000_000);
+        a.add_kernel(&model, &c, &t, 1_000_000);
+        let mut b = EnergyReport::default();
+        b.add_kernel(&model, &c, &t, 500_000);
+        a.merge(&b);
+        assert_eq!(a.tokens, 2_500_000);
+        assert!(a.total_j > a.dynamic_j);
+        assert!(a.tokens_per_joule() > 0.0);
+        assert!(a.average_power_w() > 0.0);
+        // Static power should be a visible but not dominant share for a
+        // bandwidth-saturating kernel.
+        let static_share = (a.total_j - a.dynamic_j) / a.total_j;
+        assert!(static_share > 0.0 && static_share < 0.9, "share {static_share}");
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = EnergyReport::default();
+        assert_eq!(r.tokens_per_joule(), 0.0);
+        assert_eq!(r.average_power_w(), 0.0);
+    }
+
+    #[test]
+    fn cpu_energy_per_token_exceeds_gpu() {
+        let c = lda_like_counters();
+        let cpu_spec = DeviceSpec::xeon_e5_2690v4();
+        let gpu_spec = DeviceSpec::v100_volta();
+        let cpu_t = kernel_time(&cpu_spec, &c, 100_000);
+        let gpu_t = kernel_time(&gpu_spec, &c, 100_000);
+        let cpu_e = EnergyModel::for_spec(&cpu_spec).kernel_energy_j(&c, &cpu_t);
+        let gpu_e = EnergyModel::for_spec(&gpu_spec).kernel_energy_j(&c, &gpu_t);
+        assert!(cpu_e > gpu_e, "cpu {cpu_e} vs gpu {gpu_e}");
+    }
+}

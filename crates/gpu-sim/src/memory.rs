@@ -1,0 +1,211 @@
+//! Device-memory and shared-memory capacity tracking.
+//!
+//! GPUs have an order of magnitude less memory than the host (§3.2: "A
+//! typical GPU has only 12GB–16GB memory"), which is what forces the
+//! `M > 1` streaming schedule of Algorithm 1.  The simulator does not copy
+//! token data into a separate address space — that would only burn host RAM —
+//! but it *does* enforce the capacity constraint so that the scheduler makes
+//! the same `M` decision the real system would.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Error returned when an allocation does not fit in device memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutOfMemory {
+    /// Bytes requested by the failing allocation.
+    pub requested: u64,
+    /// Bytes free at the time of the request.
+    pub available: u64,
+    /// Total device capacity.
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} bytes, {} free of {} total",
+            self.requested, self.available, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// A named-allocation tracker for one device's global memory.
+#[derive(Debug)]
+pub struct DeviceMemory {
+    capacity: u64,
+    inner: Mutex<HashMap<String, u64>>,
+}
+
+impl DeviceMemory {
+    /// A tracker for a device with the given capacity in bytes.
+    pub fn new(capacity: u64) -> Self {
+        DeviceMemory {
+            capacity,
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.inner.lock().values().sum()
+    }
+
+    /// Bytes currently free.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.allocated()
+    }
+
+    /// Allocate `bytes` under `name`.  Allocating an existing name resizes it
+    /// (the old size is released first).
+    pub fn alloc(&self, name: &str, bytes: u64) -> Result<(), OutOfMemory> {
+        let mut inner = self.inner.lock();
+        let existing = inner.get(name).copied().unwrap_or(0);
+        let used: u64 = inner.values().sum::<u64>() - existing;
+        if used + bytes > self.capacity {
+            return Err(OutOfMemory {
+                requested: bytes,
+                available: self.capacity - used,
+                capacity: self.capacity,
+            });
+        }
+        inner.insert(name.to_owned(), bytes);
+        Ok(())
+    }
+
+    /// Free the allocation registered under `name` (freeing an unknown name
+    /// is a no-op, matching `cudaFree(nullptr)` semantics).
+    pub fn free(&self, name: &str) {
+        self.inner.lock().remove(name);
+    }
+
+    /// Whether an additional allocation of `bytes` would fit right now.
+    pub fn would_fit(&self, bytes: u64) -> bool {
+        self.available() >= bytes
+    }
+
+    /// Snapshot of the named allocations (for diagnostics).
+    pub fn allocations(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<_> = self.inner.lock().iter().map(|(k, &b)| (k.clone(), b)).collect();
+        v.sort();
+        v
+    }
+}
+
+/// Shared-memory budget of a single thread block (§6.1: the index tree for
+/// p2 and the p*(k) array must fit; otherwise the kernel spills to L1/DRAM).
+#[derive(Debug, Clone, Copy)]
+pub struct SharedMemory {
+    capacity: u64,
+    used: u64,
+}
+
+impl SharedMemory {
+    /// A budget of `capacity` bytes (48 KiB on Maxwell/Pascal, 96 KiB on Volta).
+    pub fn new(capacity: u64) -> Self {
+        SharedMemory { capacity, used: 0 }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes allocated so far by this block.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Try to reserve `bytes`; returns `false` (and leaves the budget
+    /// unchanged) when the block's shared memory is exhausted, in which case
+    /// the caller must fall back to global memory.
+    pub fn try_alloc(&mut self, bytes: u64) -> bool {
+        if self.used + bytes <= self.capacity {
+            self.used += bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release all allocations (end of block).
+    pub fn reset(&mut self) {
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_update_accounting() {
+        let mem = DeviceMemory::new(1000);
+        mem.alloc("phi", 400).unwrap();
+        mem.alloc("theta", 300).unwrap();
+        assert_eq!(mem.allocated(), 700);
+        assert_eq!(mem.available(), 300);
+        mem.free("phi");
+        assert_eq!(mem.allocated(), 300);
+        assert_eq!(mem.allocations(), vec![("theta".to_string(), 300)]);
+    }
+
+    #[test]
+    fn oom_is_reported_with_details() {
+        let mem = DeviceMemory::new(100);
+        mem.alloc("a", 80).unwrap();
+        let err = mem.alloc("b", 50).unwrap_err();
+        assert_eq!(err.requested, 50);
+        assert_eq!(err.available, 20);
+        assert_eq!(err.capacity, 100);
+        assert!(err.to_string().contains("out of memory"));
+        // Failed allocation must not change accounting.
+        assert_eq!(mem.allocated(), 80);
+    }
+
+    #[test]
+    fn realloc_same_name_resizes() {
+        let mem = DeviceMemory::new(100);
+        mem.alloc("chunk", 90).unwrap();
+        // Shrinking an existing allocation succeeds even though 90 + 40 > 100.
+        mem.alloc("chunk", 40).unwrap();
+        assert_eq!(mem.allocated(), 40);
+    }
+
+    #[test]
+    fn would_fit_checks_available() {
+        let mem = DeviceMemory::new(64);
+        assert!(mem.would_fit(64));
+        mem.alloc("x", 60).unwrap();
+        assert!(!mem.would_fit(5));
+        assert!(mem.would_fit(4));
+    }
+
+    #[test]
+    fn free_unknown_name_is_noop() {
+        let mem = DeviceMemory::new(10);
+        mem.free("nothing");
+        assert_eq!(mem.allocated(), 0);
+    }
+
+    #[test]
+    fn shared_memory_budget() {
+        let mut sm = SharedMemory::new(100);
+        assert!(sm.try_alloc(60));
+        assert!(sm.try_alloc(40));
+        assert!(!sm.try_alloc(1));
+        assert_eq!(sm.used(), 100);
+        sm.reset();
+        assert_eq!(sm.used(), 0);
+        assert!(sm.try_alloc(100));
+    }
+}

@@ -1,0 +1,158 @@
+//! A single-machine multi-GPU system (Figure 2 / Figure 3).
+//!
+//! The system owns `G` [`Device`] instances connected to the host (and to
+//! each other) by one [`Interconnect`].  The trainer drives the devices in
+//! parallel (one rayon task per device, mirroring "for i ∈ [0, C] do in
+//! parallel" of Algorithm 1) and asks the system for the simulated cost of
+//! host↔device transfers and φ synchronizations.
+
+use crate::collective;
+use crate::device::{Device, DeviceSpec};
+use crate::transfer::Interconnect;
+use std::sync::Arc;
+
+/// `G` GPUs plus their interconnect.
+#[derive(Debug)]
+pub struct MultiGpuSystem {
+    devices: Vec<Arc<Device>>,
+    interconnect: Interconnect,
+}
+
+impl MultiGpuSystem {
+    /// Build a homogeneous system of `num_gpus` devices of the given spec.
+    ///
+    /// Each device gets a distinct RNG stream derived from `seed`.
+    pub fn homogeneous(spec: DeviceSpec, num_gpus: usize, seed: u64, interconnect: Interconnect) -> Self {
+        assert!(num_gpus >= 1, "a system needs at least one GPU");
+        let devices = (0..num_gpus)
+            .map(|i| Arc::new(Device::new(i, spec.clone(), seed.wrapping_add(i as u64 * 0x9E37_79B9))))
+            .collect();
+        MultiGpuSystem { devices, interconnect }
+    }
+
+    /// Single-GPU convenience constructor over PCIe 3.0.
+    pub fn single(spec: DeviceSpec, seed: u64) -> Self {
+        Self::homogeneous(spec, 1, seed, Interconnect::Pcie3)
+    }
+
+    /// Number of GPUs `G`.
+    pub fn num_gpus(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Device `i`.
+    pub fn device(&self, i: usize) -> &Arc<Device> {
+        &self.devices[i]
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[Arc<Device>] {
+        &self.devices
+    }
+
+    /// The GPU↔GPU / CPU↔GPU interconnect.
+    pub fn interconnect(&self) -> Interconnect {
+        self.interconnect
+    }
+
+    /// Simulated time of one host→device (or device→host) copy of `bytes`.
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        self.interconnect.transfer_time_s(bytes)
+    }
+
+    /// Simulated time of a full φ synchronization (tree reduce + broadcast,
+    /// §5.2) when every replica is `bytes` large.  The element-wise addition
+    /// runs at the receiving GPU's effective memory bandwidth.
+    pub fn phi_sync_time_s(&self, bytes: u64) -> f64 {
+        let add_bw = self.devices[0].spec.effective_bandwidth_bytes_per_s();
+        collective::sync_time_s(self.num_gpus(), bytes, self.interconnect, add_bw)
+    }
+
+    /// The slowest device's simulated busy time — the per-iteration wall
+    /// clock of the data-parallel section (all devices run concurrently).
+    pub fn max_busy_time_s(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.busy_time_s())
+            .fold(0.0, f64::max)
+    }
+
+    /// Aggregate per-kernel breakdown across all devices (Table 5 is reported
+    /// per platform, i.e. over the whole system).
+    pub fn aggregate_breakdown(&self) -> Vec<(String, f64)> {
+        let agg = crate::profile::Profiler::new();
+        for d in &self.devices {
+            agg.merge(&d.profiler);
+        }
+        agg.percentages()
+    }
+
+    /// Reset every device's simulated clock and profile.
+    pub fn reset_time(&self) {
+        for d in &self.devices {
+            d.reset_time();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{BlockCtx, LaunchConfig};
+
+    #[test]
+    fn homogeneous_system_has_distinct_seeds() {
+        let sys = MultiGpuSystem::homogeneous(DeviceSpec::titan_xp_pascal(), 4, 7, Interconnect::Pcie3);
+        assert_eq!(sys.num_gpus(), 4);
+        let seeds: Vec<u64> = sys.devices().iter().map(|d| d.seed).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 4);
+    }
+
+    #[test]
+    fn phi_sync_time_grows_with_gpu_count_but_sublinearly() {
+        let bytes = 256 << 20;
+        let mk = |g| {
+            MultiGpuSystem::homogeneous(DeviceSpec::titan_xp_pascal(), g, 0, Interconnect::Pcie3)
+                .phi_sync_time_s(bytes)
+        };
+        assert_eq!(mk(1), 0.0);
+        let t2 = mk(2);
+        let t4 = mk(4);
+        let t8 = mk(8);
+        assert!(t2 > 0.0);
+        assert!(t4 > t2 && t8 > t4);
+        // Tree synchronization: 8 GPUs cost 3× the rounds of 2 GPUs, not 7×.
+        assert!(t8 < 4.0 * t2);
+    }
+
+    #[test]
+    fn max_busy_time_tracks_the_slowest_device() {
+        let sys = MultiGpuSystem::homogeneous(DeviceSpec::v100_volta(), 2, 1, Interconnect::Pcie3);
+        sys.device(0).record_time("sampling", 1.0);
+        sys.device(1).record_time("sampling", 2.5);
+        assert_eq!(sys.max_busy_time_s(), 2.5);
+        sys.reset_time();
+        assert_eq!(sys.max_busy_time_s(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_breakdown_merges_devices() {
+        let sys = MultiGpuSystem::homogeneous(DeviceSpec::v100_volta(), 2, 1, Interconnect::Pcie3);
+        let kernel = |_b: usize, ctx: &mut BlockCtx| ctx.read_global(1 << 20);
+        sys.device(0).launch("sampling", LaunchConfig::new(1000), &kernel);
+        sys.device(1).launch("sampling", LaunchConfig::new(1000), &kernel);
+        sys.device(1).launch("update_phi", LaunchConfig::new(1000), &kernel);
+        let breakdown = sys.aggregate_breakdown();
+        assert_eq!(breakdown[0].0, "sampling");
+        assert!(breakdown[0].1 > 60.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_gpu_system_is_rejected() {
+        let _ = MultiGpuSystem::homogeneous(DeviceSpec::v100_volta(), 0, 0, Interconnect::Pcie3);
+    }
+}

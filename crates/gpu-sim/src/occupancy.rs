@@ -1,0 +1,334 @@
+//! A CUDA-style theoretical occupancy calculator.
+//!
+//! §6.1.2 of the paper fixes the sampler layout at 32 warps (= 32 samplers,
+//! 1024 threads) per thread block and keeps the p2 index tree and the shared
+//! p*(k) array in shared memory.  How many such blocks an SM can host — and
+//! therefore how well the memory latency of the gather-heavy sampling kernel
+//! is hidden — is decided by the per-SM resource limits of the architecture:
+//! resident warps, resident blocks, shared memory, and the register file.
+//! This module reproduces the vendor occupancy calculator for the simulated
+//! devices so those trade-offs can be analysed and tested without hardware.
+//!
+//! [`Device::occupancy`](crate::device::DeviceSpec::occupancy) remains the
+//! coarse grid-size derate used by the cost model; this calculator answers
+//! the *per-block resource* question the paper's "32 samplers per block, K
+//! floats of shared memory" design implies.
+
+use crate::device::Arch;
+use serde::{Deserialize, Serialize};
+
+/// Per-SM resource limits of one GPU architecture generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArchLimits {
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum threads per thread block.
+    pub max_threads_per_block: u32,
+    /// Shared memory per SM, in bytes.
+    pub shared_mem_per_sm: u64,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: u64,
+    /// Warp width.
+    pub warp_size: u32,
+}
+
+impl ArchLimits {
+    /// The published per-SM limits of `arch`.
+    ///
+    /// CPU "architectures" have no SIMT occupancy notion; they are mapped to
+    /// a single hardware thread per core (one warp of width 1).
+    pub fn for_arch(arch: Arch) -> Self {
+        match arch {
+            Arch::Kepler => ArchLimits {
+                max_warps_per_sm: 64,
+                max_blocks_per_sm: 16,
+                max_threads_per_block: 1024,
+                shared_mem_per_sm: 48 * 1024,
+                registers_per_sm: 65_536,
+                warp_size: 32,
+            },
+            Arch::Maxwell => ArchLimits {
+                max_warps_per_sm: 64,
+                max_blocks_per_sm: 32,
+                max_threads_per_block: 1024,
+                shared_mem_per_sm: 96 * 1024,
+                registers_per_sm: 65_536,
+                warp_size: 32,
+            },
+            Arch::Pascal => ArchLimits {
+                max_warps_per_sm: 64,
+                max_blocks_per_sm: 32,
+                max_threads_per_block: 1024,
+                shared_mem_per_sm: 96 * 1024,
+                registers_per_sm: 65_536,
+                warp_size: 32,
+            },
+            Arch::Volta => ArchLimits {
+                max_warps_per_sm: 64,
+                max_blocks_per_sm: 32,
+                max_threads_per_block: 1024,
+                shared_mem_per_sm: 96 * 1024,
+                registers_per_sm: 65_536,
+                warp_size: 32,
+            },
+            Arch::Ampere => ArchLimits {
+                max_warps_per_sm: 64,
+                max_blocks_per_sm: 32,
+                max_threads_per_block: 1024,
+                shared_mem_per_sm: 164 * 1024,
+                registers_per_sm: 65_536,
+                warp_size: 32,
+            },
+            Arch::Cpu => ArchLimits {
+                max_warps_per_sm: 2, // two hardware threads per core
+                max_blocks_per_sm: 2,
+                max_threads_per_block: 1,
+                shared_mem_per_sm: 0,
+                registers_per_sm: 0,
+                warp_size: 1,
+            },
+        }
+    }
+}
+
+/// Per-block resource footprint of one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelResources {
+    /// Threads per block (the paper's sampling kernel uses 32 warps = 1024).
+    pub threads_per_block: u32,
+    /// 32-bit registers per thread.
+    pub registers_per_thread: u32,
+    /// Static + dynamic shared memory per block, in bytes.
+    pub shared_mem_per_block: u64,
+}
+
+impl KernelResources {
+    /// The footprint of the paper's sampling kernel for `num_topics` topics:
+    /// 32 samplers (warps) per block, a shared p*(k) array of `K` floats, the
+    /// shared p2 index tree (internal nodes of a `fanout`-ary tree over `K`
+    /// leaves), and a register budget typical of a hand-tuned sampling
+    /// kernel.
+    pub fn sampling_kernel(num_topics: usize, tree_fanout: usize) -> Self {
+        assert!(tree_fanout >= 2, "index trees need a fan-out of at least 2");
+        let p_star_bytes = num_topics as u64 * 4;
+        // Internal nodes of an N-ary tree with K leaves: ceil(K/N) + ceil(K/N²) + ...
+        let mut internal = 0u64;
+        let mut level = num_topics;
+        while level > 1 {
+            level = level.div_ceil(tree_fanout);
+            internal += level as u64;
+        }
+        // A 1024-thread block can only keep 64 registers per thread on a
+        // 64k-register SM; the memory-bound sampler is compiled to half that
+        // so two blocks stay resident and the warp limit, not the register
+        // file, decides occupancy (the paper's intent for "32 samplers").
+        KernelResources {
+            threads_per_block: 32 * 32,
+            registers_per_thread: 32,
+            shared_mem_per_block: p_star_bytes + internal * 4,
+        }
+    }
+}
+
+/// What stopped more blocks from being resident on an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccupancyLimiter {
+    /// The per-SM resident-warp limit.
+    Warps,
+    /// The per-SM resident-block limit.
+    Blocks,
+    /// Shared-memory capacity.
+    SharedMemory,
+    /// Register-file capacity.
+    Registers,
+    /// The block does not fit the device at all (zero resident blocks).
+    DoesNotFit,
+}
+
+/// The result of the theoretical occupancy calculation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Resident thread blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident warps per SM.
+    pub active_warps_per_sm: u32,
+    /// `active_warps_per_sm / max_warps_per_sm`.
+    pub fraction: f64,
+    /// The resource that limited the block count.
+    pub limiter: OccupancyLimiter,
+}
+
+/// Compute the theoretical occupancy of a kernel on an architecture.
+pub fn theoretical_occupancy(limits: &ArchLimits, usage: &KernelResources) -> Occupancy {
+    let warps_per_block = usage.threads_per_block.div_ceil(limits.warp_size.max(1));
+    if usage.threads_per_block == 0
+        || usage.threads_per_block > limits.max_threads_per_block
+        || warps_per_block > limits.max_warps_per_sm
+        || usage.shared_mem_per_block > limits.shared_mem_per_sm
+    {
+        return Occupancy {
+            blocks_per_sm: 0,
+            active_warps_per_sm: 0,
+            fraction: 0.0,
+            limiter: OccupancyLimiter::DoesNotFit,
+        };
+    }
+
+    let by_warps = limits.max_warps_per_sm / warps_per_block;
+    let by_blocks = limits.max_blocks_per_sm;
+    let by_shared = if usage.shared_mem_per_block == 0 {
+        u32::MAX
+    } else {
+        (limits.shared_mem_per_sm / usage.shared_mem_per_block) as u32
+    };
+    let regs_per_block = usage.registers_per_thread as u64 * usage.threads_per_block as u64;
+    let by_registers = if regs_per_block == 0 {
+        u32::MAX
+    } else {
+        (limits.registers_per_sm / regs_per_block) as u32
+    };
+
+    let blocks = by_warps.min(by_blocks).min(by_shared).min(by_registers);
+    // On ties, report the more fundamental limit first (warps, then the
+    // resident-block cap, then the capacities).
+    let limiter = if blocks == 0 {
+        OccupancyLimiter::DoesNotFit
+    } else if blocks == by_warps {
+        OccupancyLimiter::Warps
+    } else if blocks == by_blocks {
+        OccupancyLimiter::Blocks
+    } else if blocks == by_shared {
+        OccupancyLimiter::SharedMemory
+    } else {
+        OccupancyLimiter::Registers
+    };
+
+    let active_warps = blocks * warps_per_block;
+    Occupancy {
+        blocks_per_sm: blocks,
+        active_warps_per_sm: active_warps,
+        fraction: active_warps as f64 / limits.max_warps_per_sm as f64,
+        limiter,
+    }
+}
+
+/// Occupancy of the paper's sampling kernel (32 warps per block, shared
+/// p*(k) + p2 tree of `num_topics` entries) on `arch`.
+pub fn sampling_occupancy(arch: Arch, num_topics: usize, tree_fanout: usize) -> Occupancy {
+    theoretical_occupancy(
+        &ArchLimits::for_arch(arch),
+        &KernelResources::sampling_kernel(num_topics, tree_fanout),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_saturates_the_warp_limit() {
+        // K = 1024, 32-way tree: ~4 KiB of p*(k) plus a ~132-entry tree.  A
+        // 1024-thread block is 32 warps, so two blocks fill the 64-warp SM —
+        // shared memory is nowhere near the limit, warps are.
+        let occ = sampling_occupancy(Arch::Volta, 1024, 32);
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.active_warps_per_sm, 64);
+        assert!((occ.fraction - 1.0).abs() < 1e-12);
+        assert_eq!(occ.limiter, OccupancyLimiter::Warps);
+    }
+
+    #[test]
+    fn huge_topic_counts_become_shared_memory_bound() {
+        // K = 16k topics → 64 KiB of p*(k) alone; only one block fits the
+        // 96 KiB Volta SM and shared memory is the limiter.
+        let occ = sampling_occupancy(Arch::Volta, 16 * 1024, 32);
+        assert_eq!(occ.blocks_per_sm, 1);
+        assert_eq!(occ.limiter, OccupancyLimiter::SharedMemory);
+        assert!(occ.fraction < 1.0);
+
+        // And at K = 32k the block no longer fits at all on Kepler's 48 KiB.
+        let kepler = sampling_occupancy(Arch::Kepler, 32 * 1024, 32);
+        assert_eq!(kepler.blocks_per_sm, 0);
+        assert_eq!(kepler.limiter, OccupancyLimiter::DoesNotFit);
+    }
+
+    #[test]
+    fn ampere_fits_more_shared_memory_bound_blocks_than_volta() {
+        let volta = sampling_occupancy(Arch::Volta, 8 * 1024, 32);
+        let ampere = sampling_occupancy(Arch::Ampere, 8 * 1024, 32);
+        assert!(ampere.blocks_per_sm >= volta.blocks_per_sm);
+        assert!(ampere.fraction >= volta.fraction);
+    }
+
+    #[test]
+    fn register_pressure_limits_small_blocks() {
+        let limits = ArchLimits::for_arch(Arch::Pascal);
+        let usage = KernelResources {
+            threads_per_block: 256,
+            registers_per_thread: 255,
+            shared_mem_per_block: 0,
+        };
+        let occ = theoretical_occupancy(&limits, &usage);
+        assert_eq!(occ.limiter, OccupancyLimiter::Registers);
+        assert!(occ.blocks_per_sm < limits.max_blocks_per_sm);
+        assert!(occ.fraction < 1.0);
+    }
+
+    #[test]
+    fn tiny_blocks_hit_the_resident_block_limit() {
+        let limits = ArchLimits::for_arch(Arch::Volta);
+        let usage = KernelResources {
+            threads_per_block: 32,
+            registers_per_thread: 16,
+            shared_mem_per_block: 16,
+        };
+        let occ = theoretical_occupancy(&limits, &usage);
+        assert_eq!(occ.limiter, OccupancyLimiter::Blocks);
+        assert_eq!(occ.blocks_per_sm, limits.max_blocks_per_sm);
+        // 32 blocks of one warp each: half the 64-warp capacity.
+        assert!((occ.fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_blocks_do_not_fit() {
+        let limits = ArchLimits::for_arch(Arch::Maxwell);
+        let usage = KernelResources {
+            threads_per_block: 2048,
+            registers_per_thread: 16,
+            shared_mem_per_block: 0,
+        };
+        let occ = theoretical_occupancy(&limits, &usage);
+        assert_eq!(occ.blocks_per_sm, 0);
+        assert_eq!(occ.limiter, OccupancyLimiter::DoesNotFit);
+        assert_eq!(occ.fraction, 0.0);
+    }
+
+    #[test]
+    fn binary_trees_need_more_shared_memory_than_warp_wide_trees() {
+        let wide = KernelResources::sampling_kernel(4096, 32);
+        let binary = KernelResources::sampling_kernel(4096, 2);
+        assert!(binary.shared_mem_per_block > wide.shared_mem_per_block);
+    }
+
+    #[test]
+    fn cpu_limits_are_degenerate_but_total() {
+        let occ = theoretical_occupancy(
+            &ArchLimits::for_arch(Arch::Cpu),
+            &KernelResources {
+                threads_per_block: 1,
+                registers_per_thread: 0,
+                shared_mem_per_block: 0,
+            },
+        );
+        assert!(occ.blocks_per_sm >= 1);
+        assert!(occ.fraction > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-out")]
+    fn sampling_kernel_rejects_degenerate_fanout() {
+        let _ = KernelResources::sampling_kernel(1024, 1);
+    }
+}

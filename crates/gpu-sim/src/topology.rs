@@ -1,0 +1,230 @@
+//! Multi-GPU interconnect topologies and collective-algorithm comparison.
+//!
+//! The paper's synchronization (§5.2) assumes a flat interconnect: every
+//! GPU pair communicates at the same PCIe (or NVLink) speed and the φ
+//! replicas are combined with a `log G` tree reduce followed by a broadcast.
+//! Real machines have structure — GPUs under a shared PCIe switch contend for
+//! the same uplink, DGX-class boxes have an NVLink mesh — and the obvious
+//! alternative collective is the bandwidth-optimal ring all-reduce.  This
+//! module models both so the ablation benchmarks can ask two questions the
+//! paper leaves open:
+//!
+//! 1. how much does the tree reduce lose to contention on a PCIe tree, and
+//! 2. when does a ring all-reduce beat the paper's reduce+broadcast?
+
+use crate::collective::ReducePlan;
+use crate::transfer::Interconnect;
+use serde::{Deserialize, Serialize};
+
+/// Physical layout of the GPU-to-GPU links.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Topology {
+    /// All GPUs hang off one PCIe switch: peer-to-peer traffic shares the
+    /// switch, so concurrent transfers in the same round divide the
+    /// bandwidth.
+    PcieTree,
+    /// NVLink mesh (DGX-style): every pair has a dedicated link, so
+    /// transfers in one round do not contend.
+    NvLinkMesh,
+    /// A uniform custom link between every pair, with the given contention
+    /// behaviour.
+    Uniform {
+        /// The pairwise link.
+        link: Interconnect,
+        /// Whether concurrent transfers in one round share the bandwidth.
+        shared: bool,
+    },
+}
+
+impl Topology {
+    /// The link used by a single point-to-point transfer.
+    pub fn link(&self) -> Interconnect {
+        match self {
+            Topology::PcieTree => Interconnect::Pcie3,
+            Topology::NvLinkMesh => Interconnect::NvLink,
+            Topology::Uniform { link, .. } => *link,
+        }
+    }
+
+    /// Whether concurrent transfers within one collective round contend for
+    /// the same physical bandwidth.
+    pub fn contended(&self) -> bool {
+        match self {
+            Topology::PcieTree => true,
+            Topology::NvLinkMesh => false,
+            Topology::Uniform { shared, .. } => *shared,
+        }
+    }
+
+    /// Time for one collective round in which `concurrent` equally sized
+    /// transfers of `bytes` happen at once.
+    pub fn round_time_s(&self, bytes: u64, concurrent: usize) -> f64 {
+        let link = self.link();
+        if concurrent == 0 {
+            return 0.0;
+        }
+        if self.contended() {
+            // Transfers share the switch: bandwidth divides, latency once.
+            link.latency_s()
+                + (bytes as f64 * concurrent as f64) / link.bandwidth_bytes_per_s()
+        } else {
+            link.transfer_time_s(bytes)
+        }
+    }
+
+    /// Time of the paper's §5.2 synchronization (tree reduce of the φ
+    /// replicas followed by a tree broadcast) for `num_gpus` devices and a
+    /// replica of `bytes` bytes.  `add_bandwidth_bytes_per_s` is the device
+    /// bandwidth available for the element-wise additions performed after
+    /// each receive.
+    pub fn tree_sync_time_s(
+        &self,
+        num_gpus: usize,
+        bytes: u64,
+        add_bandwidth_bytes_per_s: f64,
+    ) -> f64 {
+        if num_gpus <= 1 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for plan in [
+            ReducePlan::tree_reduce(num_gpus),
+            ReducePlan::tree_broadcast(num_gpus),
+        ] {
+            for round in plan.rounds() {
+                total += self.round_time_s(bytes, round.len());
+                // The reduce rounds also pay for the element-wise adds
+                // (reads of both operands + write of the sum).
+                if add_bandwidth_bytes_per_s > 0.0 {
+                    total += (bytes as f64 * 3.0) / add_bandwidth_bytes_per_s;
+                }
+            }
+            // Broadcast rounds perform no adds; stop charging them.
+            // (Cheapest way to express it: only the first plan is a reduce.)
+        }
+        // Remove the add cost charged to the broadcast rounds above.
+        if add_bandwidth_bytes_per_s > 0.0 {
+            let broadcast_rounds = ReducePlan::tree_broadcast(num_gpus).num_rounds() as f64;
+            total -= broadcast_rounds * (bytes as f64 * 3.0) / add_bandwidth_bytes_per_s;
+        }
+        total
+    }
+
+    /// Time of a bandwidth-optimal ring all-reduce of `bytes` across
+    /// `num_gpus` devices: `2 (G − 1)` rounds, each moving `bytes / G` per
+    /// device, plus the same add traffic during the reduce-scatter phase.
+    pub fn ring_allreduce_time_s(
+        &self,
+        num_gpus: usize,
+        bytes: u64,
+        add_bandwidth_bytes_per_s: f64,
+    ) -> f64 {
+        if num_gpus <= 1 {
+            return 0.0;
+        }
+        let g = num_gpus as u64;
+        let segment = bytes.div_ceil(g);
+        let mut total = 0.0;
+        for phase in 0..2 {
+            for _round in 0..(num_gpus - 1) {
+                // Every device sends one segment concurrently.
+                total += self.round_time_s(segment, num_gpus);
+                if phase == 0 && add_bandwidth_bytes_per_s > 0.0 {
+                    total += (segment as f64 * 3.0) / add_bandwidth_bytes_per_s;
+                }
+            }
+        }
+        total
+    }
+
+    /// Which collective is faster for this topology / size, and by how much
+    /// (`tree_time / ring_time`).
+    pub fn tree_vs_ring(&self, num_gpus: usize, bytes: u64, add_bw: f64) -> (f64, f64, f64) {
+        let tree = self.tree_sync_time_s(num_gpus, bytes, add_bw);
+        let ring = self.ring_allreduce_time_s(num_gpus, bytes, add_bw);
+        let ratio = if ring > 0.0 { tree / ring } else { 1.0 };
+        (tree, ring, ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB_256: u64 = 256 << 20;
+    const ADD_BW: f64 = 500.0e9;
+
+    #[test]
+    fn single_gpu_needs_no_synchronization() {
+        let t = Topology::PcieTree;
+        assert_eq!(t.tree_sync_time_s(1, MIB_256, ADD_BW), 0.0);
+        assert_eq!(t.ring_allreduce_time_s(1, MIB_256, ADD_BW), 0.0);
+        assert_eq!(t.round_time_s(MIB_256, 0), 0.0);
+    }
+
+    #[test]
+    fn nvlink_mesh_syncs_faster_than_pcie_tree() {
+        let pcie = Topology::PcieTree.tree_sync_time_s(4, MIB_256, ADD_BW);
+        let nvlink = Topology::NvLinkMesh.tree_sync_time_s(4, MIB_256, ADD_BW);
+        assert!(nvlink < pcie / 3.0, "nvlink {nvlink} vs pcie {pcie}");
+    }
+
+    #[test]
+    fn contended_rounds_divide_bandwidth() {
+        let t = Topology::PcieTree;
+        let one = t.round_time_s(MIB_256, 1);
+        let two = t.round_time_s(MIB_256, 2);
+        assert!(two > one * 1.8);
+        let mesh = Topology::NvLinkMesh;
+        assert!((mesh.round_time_s(MIB_256, 1) - mesh.round_time_s(MIB_256, 4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_cost_grows_slowly_with_gpu_count() {
+        // The log G tree: 4 GPUs should cost clearly less than 2× the 2-GPU
+        // sync on an uncontended topology.
+        let t = Topology::NvLinkMesh;
+        let two = t.tree_sync_time_s(2, MIB_256, ADD_BW);
+        let four = t.tree_sync_time_s(4, MIB_256, ADD_BW);
+        assert!(four < two * 2.5 && four > two, "two {two}, four {four}");
+    }
+
+    #[test]
+    fn ring_beats_tree_for_large_messages_on_contended_fabric() {
+        // The ring moves bytes/G per round and never funnels the whole
+        // replica through one link, so on a contended PCIe tree with many
+        // GPUs it wins for large φ.
+        let t = Topology::PcieTree;
+        let (tree, ring, ratio) = t.tree_vs_ring(4, 1 << 30, ADD_BW);
+        assert!(tree > 0.0 && ring > 0.0);
+        assert!(ratio > 1.0, "expected ring to win, ratio {ratio}");
+    }
+
+    #[test]
+    fn tree_wins_for_tiny_messages_where_latency_dominates() {
+        let t = Topology::Uniform {
+            link: Interconnect::Custom {
+                gbytes_per_s: 16.0,
+                latency_s: 1e-3,
+            },
+            shared: false,
+        };
+        // 2(G−1) = 6 latency-bound rounds for the ring vs 2·log2(G) = 4 for
+        // the tree.
+        let (tree, ring, ratio) = t.tree_vs_ring(4, 1024, ADD_BW);
+        assert!(tree < ring, "tree {tree} vs ring {ring} (ratio {ratio})");
+    }
+
+    #[test]
+    fn uniform_custom_topology_uses_its_link() {
+        let link = Interconnect::Custom {
+            gbytes_per_s: 2.0,
+            latency_s: 1e-6,
+        };
+        let t = Topology::Uniform { link, shared: true };
+        assert_eq!(t.link(), link);
+        assert!(t.contended());
+        let time = t.round_time_s(2_000_000_000, 1);
+        assert!((time - 1.000001).abs() < 1e-5);
+    }
+}

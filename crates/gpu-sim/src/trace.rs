@@ -1,0 +1,256 @@
+//! Execution traces in the Chrome trace-event format.
+//!
+//! Table 5 reports *aggregate* kernel percentages; when tuning the schedule
+//! (overlap of transfers with compute, the reduce/broadcast rounds of §5.2)
+//! one wants the actual timeline.  [`TraceCollector`] records simulated-time
+//! spans per device and serialises them as Chrome `trace_event` JSON
+//! (`chrome://tracing` / Perfetto / Speedscope all read it), with one trace
+//! "process" per simulated GPU and one row per activity class.
+
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// The activity class of a trace span (drawn as separate rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// A compute kernel (sampling, update θ, update φ).
+    Kernel,
+    /// A host↔device or device↔device transfer.
+    Transfer,
+    /// A collective synchronization round.
+    Collective,
+}
+
+impl TraceKind {
+    fn row_name(self) -> &'static str {
+        match self {
+            TraceKind::Kernel => "kernels",
+            TraceKind::Transfer => "transfers",
+            TraceKind::Collective => "collectives",
+        }
+    }
+}
+
+/// One completed span on one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Simulated device (trace process) the span belongs to.
+    pub device: usize,
+    /// Activity class (trace row).
+    pub kind: TraceKind,
+    /// Label shown on the span.
+    pub name: String,
+    /// Start time in simulated seconds.
+    pub start_s: f64,
+    /// Duration in simulated seconds.
+    pub duration_s: f64,
+}
+
+/// Collects spans from concurrently executing simulated devices.
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    spans: Mutex<Vec<TraceSpan>>,
+}
+
+impl TraceCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        TraceCollector::default()
+    }
+
+    /// Record one span.  Negative durations are clamped to zero.
+    pub fn record(
+        &self,
+        device: usize,
+        kind: TraceKind,
+        name: impl Into<String>,
+        start_s: f64,
+        duration_s: f64,
+    ) {
+        self.spans.lock().push(TraceSpan {
+            device,
+            kind,
+            name: name.into(),
+            start_s,
+            duration_s: duration_s.max(0.0),
+        });
+    }
+
+    /// Number of spans recorded.
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.spans.lock().is_empty()
+    }
+
+    /// Snapshot of the recorded spans, sorted by start time.
+    pub fn spans(&self) -> Vec<TraceSpan> {
+        let mut v = self.spans.lock().clone();
+        v.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).unwrap());
+        v
+    }
+
+    /// Total busy time per device (seconds), summed over all spans.
+    pub fn busy_time_per_device(&self) -> Vec<(usize, f64)> {
+        let spans = self.spans.lock();
+        let mut per_device: Vec<(usize, f64)> = Vec::new();
+        for s in spans.iter() {
+            match per_device.iter_mut().find(|(d, _)| *d == s.device) {
+                Some((_, t)) => *t += s.duration_s,
+                None => per_device.push((s.device, s.duration_s)),
+            }
+        }
+        per_device.sort_by_key(|&(d, _)| d);
+        per_device
+    }
+
+    /// Remove every recorded span.
+    pub fn clear(&self) {
+        self.spans.lock().clear();
+    }
+
+    /// Serialise the trace as Chrome trace-event JSON (complete "X" events,
+    /// microsecond timestamps, one process per device).
+    pub fn to_chrome_trace(&self) -> String {
+        let spans = self.spans();
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        // Process / thread metadata so the viewer shows readable names.
+        let mut devices: Vec<usize> = spans.iter().map(|s| s.device).collect();
+        devices.sort_unstable();
+        devices.dedup();
+        for d in &devices {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{d},\"name\":\"process_name\",\"args\":{{\"name\":\"GPU {d}\"}}}}"
+            );
+        }
+        for s in &spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":\"{}\",\"name\":\"{}\",\"ts\":{:.3},\"dur\":{:.3}}}",
+                s.device,
+                s.kind.row_name(),
+                escape_json(&s.name),
+                s.start_s * 1e6,
+                s.duration_s * 1e6,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Write the Chrome trace JSON to a file.
+    pub fn save_chrome_trace<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut f = File::create(path)?;
+        f.write_all(self.to_chrome_trace().as_bytes())
+    }
+}
+
+/// Minimal JSON string escaping for span names.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_are_recorded_and_sorted() {
+        let t = TraceCollector::new();
+        t.record(1, TraceKind::Kernel, "sampling", 2.0, 0.5);
+        t.record(0, TraceKind::Transfer, "chunk0 H2D", 0.0, 0.1);
+        t.record(0, TraceKind::Kernel, "sampling", 0.1, 1.0);
+        assert_eq!(t.len(), 3);
+        let spans = t.spans();
+        assert_eq!(spans[0].name, "chunk0 H2D");
+        assert!(spans.windows(2).all(|w| w[0].start_s <= w[1].start_s));
+    }
+
+    #[test]
+    fn busy_time_is_aggregated_per_device() {
+        let t = TraceCollector::new();
+        t.record(0, TraceKind::Kernel, "a", 0.0, 1.0);
+        t.record(0, TraceKind::Kernel, "b", 1.0, 0.5);
+        t.record(2, TraceKind::Collective, "reduce", 0.0, 0.25);
+        let busy = t.busy_time_per_device();
+        assert_eq!(busy.len(), 2);
+        assert_eq!(busy[0].0, 0);
+        assert!((busy[0].1 - 1.5).abs() < 1e-12);
+        assert!((busy[1].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_and_microsecond_scaled() {
+        let t = TraceCollector::new();
+        t.record(0, TraceKind::Kernel, "sampling", 0.001, 0.002);
+        t.record(1, TraceKind::Transfer, "phi \"sync\"", 0.0, 0.001);
+        let json = t.to_chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // 0.001 s = 1000 µs.
+        assert!(json.contains("\"ts\":1000.000"));
+        assert!(json.contains("\"dur\":2000.000"));
+        // Embedded quotes must be escaped.
+        assert!(json.contains("phi \\\"sync\\\""));
+        // Process metadata for both devices.
+        assert!(json.contains("GPU 0") && json.contains("GPU 1"));
+        // Balanced braces (a cheap well-formedness check without a parser).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+    }
+
+    #[test]
+    fn clear_and_negative_durations() {
+        let t = TraceCollector::new();
+        t.record(0, TraceKind::Kernel, "x", 1.0, -5.0);
+        assert_eq!(t.spans()[0].duration_s, 0.0);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.to_chrome_trace(), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn file_roundtrip_writes_valid_content() {
+        let t = TraceCollector::new();
+        t.record(0, TraceKind::Kernel, "sampling", 0.0, 1.0);
+        let dir = std::env::temp_dir().join("culda_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        t.save_chrome_trace(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, t.to_chrome_trace());
+        std::fs::remove_file(&path).ok();
+    }
+}

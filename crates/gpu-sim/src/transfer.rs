@@ -1,0 +1,101 @@
+//! Interconnect cost models.
+//!
+//! §3.2 of the paper contrasts three interconnects: PCIe 3.0 at 16 GB/s
+//! (connecting the CPUs and GPUs of the evaluation platforms), NVLink at up
+//! to 300 GB/s (DGX-class machines), and the 10 Gb/s Ethernet that limits the
+//! distributed LDA* baseline.  The same model also covers host-memory staging
+//! for the `M > 1` streaming schedule.
+
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point interconnect with a fixed bandwidth and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Interconnect {
+    /// PCIe 3.0 x16: ~16 GB/s per direction (§3.2, §7).
+    Pcie3,
+    /// NVLink (DGX-1 era): up to 300 GB/s aggregate (§3.2).
+    NvLink,
+    /// 10 Gb/s Ethernet — the network of the LDA* cluster (§7.2).
+    Ethernet10G,
+    /// Custom link.
+    Custom {
+        /// Bandwidth in gigabytes per second.
+        gbytes_per_s: f64,
+        /// One-way latency in seconds.
+        latency_s: f64,
+    },
+}
+
+impl Interconnect {
+    /// Bandwidth in bytes per second.
+    pub fn bandwidth_bytes_per_s(&self) -> f64 {
+        match self {
+            Interconnect::Pcie3 => 16.0e9,
+            Interconnect::NvLink => 300.0e9,
+            // 10 Gb/s = 1.25 GB/s, ~80 % achievable with TCP framing overhead.
+            Interconnect::Ethernet10G => 1.0e9,
+            Interconnect::Custom { gbytes_per_s, .. } => gbytes_per_s * 1e9,
+        }
+    }
+
+    /// One-way message latency in seconds.
+    pub fn latency_s(&self) -> f64 {
+        match self {
+            Interconnect::Pcie3 => 10e-6,
+            Interconnect::NvLink => 5e-6,
+            Interconnect::Ethernet10G => 50e-6,
+            Interconnect::Custom { latency_s, .. } => *latency_s,
+        }
+    }
+
+    /// Time to move `bytes` across the link once.
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        self.latency_s() + bytes as f64 / self.bandwidth_bytes_per_s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_ordering_matches_the_paper() {
+        // NVLink > PCIe > 10 GbE — the whole argument of §3.2.
+        assert!(
+            Interconnect::NvLink.bandwidth_bytes_per_s()
+                > Interconnect::Pcie3.bandwidth_bytes_per_s()
+        );
+        assert!(
+            Interconnect::Pcie3.bandwidth_bytes_per_s()
+                > Interconnect::Ethernet10G.bandwidth_bytes_per_s()
+        );
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly_beyond_latency() {
+        let link = Interconnect::Pcie3;
+        let t1 = link.transfer_time_s(1 << 30);
+        let t2 = link.transfer_time_s(2 << 30);
+        assert!(t2 > t1 * 1.9 && t2 < t1 * 2.1);
+        // 1 GiB over 16 GB/s ≈ 67 ms.
+        assert!((t1 - 0.067).abs() < 0.005, "t1 = {t1}");
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let link = Interconnect::Ethernet10G;
+        let t = link.transfer_time_s(64);
+        assert!(t < 2.0 * link.latency_s());
+        assert!(t >= link.latency_s());
+    }
+
+    #[test]
+    fn custom_link_uses_given_parameters() {
+        let link = Interconnect::Custom {
+            gbytes_per_s: 2.0,
+            latency_s: 1e-3,
+        };
+        let t = link.transfer_time_s(2_000_000_000);
+        assert!((t - 1.001).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the GPU-simulator cost, occupancy, collective and
+//! transfer models: the invariants here must hold for *any* device spec and
+//! any kernel footprint, not just the Table-2 presets.
+
+use culda_gpusim::cost::{kernel_time, CostCounters};
+use culda_gpusim::occupancy::{theoretical_occupancy, ArchLimits, KernelResources};
+use culda_gpusim::{Arch, DeviceSpec, Interconnect, ReducePlan};
+use proptest::prelude::*;
+
+fn arb_arch() -> impl Strategy<Value = Arch> {
+    prop_oneof![
+        Just(Arch::Kepler),
+        Just(Arch::Maxwell),
+        Just(Arch::Pascal),
+        Just(Arch::Volta),
+        Just(Arch::Ampere),
+    ]
+}
+
+fn arb_resources() -> impl Strategy<Value = KernelResources> {
+    (1u32..=2048, 0u32..=256, 0u64..(256 * 1024)).prop_map(
+        |(threads_per_block, registers_per_thread, shared_mem_per_block)| KernelResources {
+            threads_per_block,
+            registers_per_thread,
+            shared_mem_per_block,
+        },
+    )
+}
+
+fn arb_counters() -> impl Strategy<Value = CostCounters> {
+    (
+        0u64..1 << 32,
+        0u64..1 << 32,
+        0u64..1 << 28,
+        0u64..1 << 28,
+        0u64..1 << 30,
+        0u64..1 << 30,
+        0u64..1 << 24,
+        0u64..1 << 24,
+    )
+        .prop_map(
+            |(dram_read_bytes, dram_write_bytes, shared_bytes, l1_bytes, flops, int_ops, atomic_ops, rng_draws)| {
+                CostCounters {
+                    dram_read_bytes,
+                    dram_write_bytes,
+                    shared_bytes,
+                    l1_bytes,
+                    flops,
+                    int_ops,
+                    atomic_ops,
+                    rng_draws,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Occupancy is always a valid fraction, its warp count is consistent
+    /// with its block count, and a block that fits never reports zero blocks.
+    #[test]
+    fn occupancy_is_a_consistent_fraction(arch in arb_arch(), usage in arb_resources()) {
+        let limits = ArchLimits::for_arch(arch);
+        let occ = theoretical_occupancy(&limits, &usage);
+        prop_assert!(occ.fraction >= 0.0 && occ.fraction <= 1.0 + 1e-12);
+        let warps_per_block = usage.threads_per_block.div_ceil(limits.warp_size);
+        prop_assert_eq!(occ.active_warps_per_sm, occ.blocks_per_sm * warps_per_block);
+        prop_assert!(occ.active_warps_per_sm <= limits.max_warps_per_sm);
+        prop_assert!(occ.blocks_per_sm <= limits.max_blocks_per_sm);
+        let fits = usage.threads_per_block <= limits.max_threads_per_block
+            && warps_per_block <= limits.max_warps_per_sm
+            && usage.shared_mem_per_block <= limits.shared_mem_per_sm
+            && (usage.registers_per_thread as u64 * usage.threads_per_block as u64)
+                <= limits.registers_per_sm;
+        prop_assert_eq!(occ.blocks_per_sm > 0, fits);
+    }
+
+    /// Adding shared memory to a kernel never increases its occupancy.
+    #[test]
+    fn occupancy_is_monotone_in_shared_memory(
+        arch in arb_arch(),
+        usage in arb_resources(),
+        extra in 0u64..(64 * 1024),
+    ) {
+        let limits = ArchLimits::for_arch(arch);
+        let base = theoretical_occupancy(&limits, &usage);
+        let mut heavier = usage;
+        heavier.shared_mem_per_block = usage.shared_mem_per_block.saturating_add(extra);
+        let worse = theoretical_occupancy(&limits, &heavier);
+        prop_assert!(worse.blocks_per_sm <= base.blocks_per_sm);
+        prop_assert!(worse.fraction <= base.fraction + 1e-12);
+    }
+
+    /// Kernel time is positive, finite, and monotone in the DRAM traffic.
+    #[test]
+    fn kernel_time_is_positive_and_monotone(
+        counters in arb_counters(),
+        extra_bytes in 1u64..1 << 30,
+        grid in 1usize..1_000_000,
+    ) {
+        let spec = DeviceSpec::v100_volta();
+        let t = kernel_time(&spec, &counters, grid);
+        prop_assert!(t.total_s.is_finite() && t.total_s > 0.0);
+        prop_assert!(t.total_s + 1e-15 >= t.memory_s.max(t.compute_s).max(t.atomic_s));
+
+        let mut more = counters;
+        more.dram_read_bytes += extra_bytes;
+        let t_more = kernel_time(&spec, &more, grid);
+        prop_assert!(t_more.total_s >= t.total_s);
+        prop_assert!(t_more.memory_s >= t.memory_s);
+    }
+
+    /// A faster-memory device never runs the same kernel slower.
+    #[test]
+    fn higher_bandwidth_devices_are_never_slower(counters in arb_counters(), grid in 1usize..100_000) {
+        let maxwell = kernel_time(&DeviceSpec::titan_x_maxwell(), &counters, grid);
+        let volta = kernel_time(&DeviceSpec::v100_volta(), &counters, grid);
+        prop_assert!(volta.memory_s <= maxwell.memory_s + 1e-15);
+    }
+
+    /// The §5.2 tree reduce needs exactly ⌈log2 G⌉ rounds and touches every
+    /// non-root GPU exactly once as a sender.
+    #[test]
+    fn reduce_plan_has_log_rounds_and_covers_all_sources(gpus in 1usize..64) {
+        let plan = ReducePlan::tree_reduce(gpus);
+        let expected_rounds = (gpus as f64).log2().ceil() as usize;
+        prop_assert_eq!(plan.num_rounds(), expected_rounds);
+        let mut senders: Vec<usize> = plan
+            .rounds()
+            .iter()
+            .flatten()
+            .map(|step| step.src)
+            .collect();
+        senders.sort_unstable();
+        senders.dedup();
+        prop_assert_eq!(senders.len(), gpus - 1);
+        prop_assert!(plan.rounds().iter().flatten().all(|s| s.dst < gpus && s.src < gpus && s.src != s.dst));
+    }
+
+    /// Transfer time is monotone in the byte count and strictly dominated by
+    /// the slower link for the same payload.
+    #[test]
+    fn transfer_time_is_monotone_and_ordered(bytes in 0u64..1 << 34, extra in 1u64..1 << 30) {
+        let pcie = Interconnect::Pcie3;
+        let nvlink = Interconnect::NvLink;
+        let ethernet = Interconnect::Ethernet10G;
+        prop_assert!(pcie.transfer_time_s(bytes + extra) >= pcie.transfer_time_s(bytes));
+        prop_assert!(nvlink.transfer_time_s(bytes) <= pcie.transfer_time_s(bytes) + 1e-15);
+        prop_assert!(pcie.transfer_time_s(bytes) <= ethernet.transfer_time_s(bytes) + 1e-15);
+    }
+}

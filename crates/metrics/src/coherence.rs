@@ -1,0 +1,495 @@
+//! Topic-quality metrics: UMass coherence and topic diversity.
+//!
+//! Throughput (Table 4) and joint likelihood (Figure 8) measure how fast a
+//! sampler mixes, but say little about whether the learned topics are
+//! interpretable.  The standard intrinsic measures are provided here:
+//!
+//! * [`umass_coherence`] — the UMass score of Mimno et al.: for the top-`N`
+//!   words of a topic, sum `log((D(w_i, w_j) + 1) / D(w_j))` over ordered
+//!   pairs, where `D(·)` counts documents of the reference corpus containing
+//!   the word(s).  Less negative is better.
+//! * [`npmi_coherence`] — normalised pointwise mutual information (Bouma /
+//!   Lau et al.): the NPMI of every top-word pair, averaged; ranges from −1
+//!   (never co-occur) through 0 (independent) to +1 (always co-occur) and
+//!   correlates better with human topic ratings than UMass.
+//! * [`topic_diversity`] — the fraction of distinct words among the top-`N`
+//!   words of all topics (1.0 means no topic shares a headline word with
+//!   another).
+
+use culda_corpus::{Corpus, WordId};
+use culda_sparse::DenseMatrix;
+use std::collections::{HashMap, HashSet};
+
+/// Document-frequency index over a reference corpus, built once and reused
+/// for every topic's coherence score.
+#[derive(Debug)]
+pub struct CooccurrenceIndex {
+    /// Per-word document frequency.
+    doc_freq: Vec<u32>,
+    /// Documents containing each word, as sorted document-id lists.
+    postings: Vec<Vec<u32>>,
+    num_docs: usize,
+}
+
+impl CooccurrenceIndex {
+    /// Build the index from a corpus.
+    pub fn build(corpus: &Corpus) -> Self {
+        let v = corpus.vocab_size();
+        let mut postings: Vec<Vec<u32>> = vec![Vec::new(); v];
+        for d in 0..corpus.num_docs() {
+            let mut words: Vec<WordId> = corpus.doc(d).to_vec();
+            words.sort_unstable();
+            words.dedup();
+            for w in words {
+                postings[w as usize].push(d as u32);
+            }
+        }
+        let doc_freq = postings.iter().map(|p| p.len() as u32).collect();
+        CooccurrenceIndex {
+            doc_freq,
+            postings,
+            num_docs: corpus.num_docs(),
+        }
+    }
+
+    /// Number of documents indexed.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Document frequency of a word.
+    pub fn doc_freq(&self, w: WordId) -> u32 {
+        self.doc_freq[w as usize]
+    }
+
+    /// Number of documents containing both words (sorted-list intersection).
+    pub fn co_doc_freq(&self, a: WordId, b: WordId) -> u32 {
+        let (pa, pb) = (&self.postings[a as usize], &self.postings[b as usize]);
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0u32);
+        while i < pa.len() && j < pb.len() {
+            match pa[i].cmp(&pb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+/// The top-`n` words of topic `k` in a `K × V` count matrix, highest count
+/// first (ties broken by word id for determinism).
+pub fn top_words(phi: &DenseMatrix<u32>, topic: usize, n: usize) -> Vec<WordId> {
+    let mut pairs: Vec<(WordId, u32)> = phi
+        .row(topic)
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(w, &c)| (w as WordId, c))
+        .collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(n);
+    pairs.into_iter().map(|(w, _)| w).collect()
+}
+
+/// UMass coherence of one ordered top-word list against a reference corpus.
+///
+/// Words absent from every document are skipped (they cannot contribute a
+/// finite score).  Returns 0.0 when fewer than two usable words remain.
+pub fn umass_coherence(index: &CooccurrenceIndex, top: &[WordId]) -> f64 {
+    let usable: Vec<WordId> = top
+        .iter()
+        .copied()
+        .filter(|&w| index.doc_freq(w) > 0)
+        .collect();
+    if usable.len() < 2 {
+        return 0.0;
+    }
+    let mut score = 0.0;
+    for i in 1..usable.len() {
+        for j in 0..i {
+            let co = index.co_doc_freq(usable[i], usable[j]) as f64;
+            let dj = index.doc_freq(usable[j]) as f64;
+            score += ((co + 1.0) / dj).ln();
+        }
+    }
+    score
+}
+
+/// NPMI coherence of one ordered top-word list against a reference corpus.
+///
+/// For every unordered pair of usable top words the normalised PMI
+/// `ln(p(wi,wj) / (p(wi)p(wj))) / (−ln p(wi,wj))` is computed from document
+/// frequencies; pairs that never co-occur contribute −1.  The topic score is
+/// the mean over pairs, in `[−1, 1]`.  Returns 0.0 when fewer than two usable
+/// words remain.
+pub fn npmi_coherence(index: &CooccurrenceIndex, top: &[WordId]) -> f64 {
+    let usable: Vec<WordId> = top
+        .iter()
+        .copied()
+        .filter(|&w| index.doc_freq(w) > 0)
+        .collect();
+    if usable.len() < 2 || index.num_docs() == 0 {
+        return 0.0;
+    }
+    let d = index.num_docs() as f64;
+    let mut score = 0.0;
+    let mut pairs = 0usize;
+    for i in 1..usable.len() {
+        for j in 0..i {
+            let co = index.co_doc_freq(usable[i], usable[j]) as f64;
+            pairs += 1;
+            if co == 0.0 {
+                score += -1.0;
+                continue;
+            }
+            let p_ij = co / d;
+            let p_i = index.doc_freq(usable[i]) as f64 / d;
+            let p_j = index.doc_freq(usable[j]) as f64 / d;
+            if p_ij >= 1.0 {
+                // Both words are in every document: perfectly associated.
+                score += 1.0;
+                continue;
+            }
+            score += (p_ij / (p_i * p_j)).ln() / -p_ij.ln();
+        }
+    }
+    score / pairs as f64
+}
+
+/// NPMI coherence of every topic's top-`n` words; returns one score per topic.
+pub fn npmi_coherence_all(
+    index: &CooccurrenceIndex,
+    phi: &DenseMatrix<u32>,
+    n: usize,
+) -> Vec<f64> {
+    (0..phi.rows())
+        .map(|k| npmi_coherence(index, &top_words(phi, k, n)))
+        .collect()
+}
+
+/// Mean NPMI coherence over all topics.
+pub fn mean_npmi_coherence(index: &CooccurrenceIndex, phi: &DenseMatrix<u32>, n: usize) -> f64 {
+    let scores = npmi_coherence_all(index, phi, n);
+    if scores.is_empty() {
+        0.0
+    } else {
+        scores.iter().sum::<f64>() / scores.len() as f64
+    }
+}
+
+/// UMass coherence of every topic's top-`n` words; returns one score per topic.
+pub fn umass_coherence_all(
+    index: &CooccurrenceIndex,
+    phi: &DenseMatrix<u32>,
+    n: usize,
+) -> Vec<f64> {
+    (0..phi.rows())
+        .map(|k| umass_coherence(index, &top_words(phi, k, n)))
+        .collect()
+}
+
+/// Mean UMass coherence over all topics (the single number usually reported).
+pub fn mean_umass_coherence(index: &CooccurrenceIndex, phi: &DenseMatrix<u32>, n: usize) -> f64 {
+    let scores = umass_coherence_all(index, phi, n);
+    if scores.is_empty() {
+        0.0
+    } else {
+        scores.iter().sum::<f64>() / scores.len() as f64
+    }
+}
+
+/// Topic diversity: distinct words among all topics' top-`n` words divided by
+/// `K × n`.  1.0 means every topic has its own headline vocabulary.
+pub fn topic_diversity(phi: &DenseMatrix<u32>, n: usize) -> f64 {
+    let k = phi.rows();
+    if k == 0 || n == 0 {
+        return 0.0;
+    }
+    let mut distinct: HashSet<WordId> = HashSet::new();
+    let mut listed = 0usize;
+    for topic in 0..k {
+        let top = top_words(phi, topic, n);
+        listed += top.len();
+        distinct.extend(top);
+    }
+    if listed == 0 {
+        0.0
+    } else {
+        distinct.len() as f64 / listed as f64
+    }
+}
+
+/// Per-topic token share (`n_k / Σ n_k`), a quick check for degenerate runs
+/// where a handful of topics absorb the whole corpus.
+pub fn topic_balance(phi: &DenseMatrix<u32>) -> Vec<f64> {
+    let totals: Vec<u64> = phi.row_sums();
+    let sum: u64 = totals.iter().sum();
+    if sum == 0 {
+        return vec![0.0; phi.rows()];
+    }
+    totals.iter().map(|&t| t as f64 / sum as f64).collect()
+}
+
+/// Map word-id top lists to human-readable strings with a vocabulary lookup
+/// function (useful for reports and the CLI).
+pub fn readable_top_words<F>(top: &[WordId], lookup: F) -> Vec<String>
+where
+    F: Fn(WordId) -> Option<String>,
+{
+    top.iter()
+        .map(|&w| lookup(w).unwrap_or_else(|| format!("word{w}")))
+        .collect()
+}
+
+/// Convenience: build the index and compute mean coherence + diversity in one
+/// call (what the examples and CLI report).
+pub fn topic_quality_report(
+    corpus: &Corpus,
+    phi: &DenseMatrix<u32>,
+    top_n: usize,
+) -> TopicQuality {
+    let index = CooccurrenceIndex::build(corpus);
+    TopicQuality {
+        mean_coherence: mean_umass_coherence(&index, phi, top_n),
+        mean_npmi: mean_npmi_coherence(&index, phi, top_n),
+        diversity: topic_diversity(phi, top_n),
+        per_topic_coherence: umass_coherence_all(&index, phi, top_n),
+        top_n,
+    }
+}
+
+/// Summary of topic quality for one trained model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopicQuality {
+    /// Mean UMass coherence over topics.
+    pub mean_coherence: f64,
+    /// Mean NPMI coherence over topics (−1…1, higher is better).
+    pub mean_npmi: f64,
+    /// Topic diversity of the top-word lists.
+    pub diversity: f64,
+    /// Per-topic coherence scores.
+    pub per_topic_coherence: Vec<f64>,
+    /// Top-word list length the scores were computed with.
+    pub top_n: usize,
+}
+
+impl TopicQuality {
+    /// Number of topics scored.
+    pub fn num_topics(&self) -> usize {
+        self.per_topic_coherence.len()
+    }
+}
+
+/// Count how many of the reference topics are "recovered" by the learned φ:
+/// a reference topic counts as recovered when some learned topic places at
+/// least `overlap` of the reference topic's top-`n` words inside its own
+/// top-`n` list.  Used by tests against the synthetic LDA generator, where
+/// the reference topics are known.
+pub fn topics_recovered(
+    learned: &DenseMatrix<u32>,
+    reference_top: &[Vec<WordId>],
+    n: usize,
+    overlap: usize,
+) -> usize {
+    let learned_tops: Vec<HashSet<WordId>> = (0..learned.rows())
+        .map(|k| top_words(learned, k, n).into_iter().collect())
+        .collect();
+    let mut recovered = 0;
+    for rt in reference_top {
+        let want: HashSet<WordId> = rt.iter().copied().take(n).collect();
+        let hit = learned_tops
+            .iter()
+            .any(|lt| lt.intersection(&want).count() >= overlap);
+        if hit {
+            recovered += 1;
+        }
+    }
+    recovered
+}
+
+/// Build a `HashMap`-backed lookup closure from parallel word/id lists (test
+/// helper exposed because the CLI uses it too).
+pub fn lookup_from_pairs(pairs: &[(WordId, String)]) -> impl Fn(WordId) -> Option<String> + '_ {
+    let map: HashMap<WordId, &str> = pairs.iter().map(|(w, s)| (*w, s.as_str())).collect();
+    move |w| map.get(&w).map(|s| s.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_corpus::CorpusBuilder;
+
+    /// Corpus where words {0,1,2} always co-occur and {3,4,5} always co-occur,
+    /// with no cross-group documents.
+    fn two_cluster_corpus() -> Corpus {
+        let mut b = CorpusBuilder::new(6);
+        for _ in 0..10 {
+            b.push_doc(&[0, 1, 2, 0]);
+            b.push_doc(&[3, 4, 5, 5]);
+        }
+        b.build()
+    }
+
+    fn phi_two_topics() -> DenseMatrix<u32> {
+        let mut phi = DenseMatrix::zeros(2, 6);
+        for (w, c) in [(0, 30), (1, 20), (2, 20)] {
+            phi.set(0, w, c);
+        }
+        for (w, c) in [(3, 30), (4, 20), (5, 40)] {
+            phi.set(1, w, c);
+        }
+        phi
+    }
+
+    #[test]
+    fn index_counts_doc_and_co_doc_frequencies() {
+        let c = two_cluster_corpus();
+        let idx = CooccurrenceIndex::build(&c);
+        assert_eq!(idx.num_docs(), 20);
+        assert_eq!(idx.doc_freq(0), 10);
+        assert_eq!(idx.doc_freq(5), 10);
+        assert_eq!(idx.co_doc_freq(0, 1), 10);
+        assert_eq!(idx.co_doc_freq(0, 3), 0);
+        assert_eq!(idx.co_doc_freq(2, 2), 10);
+    }
+
+    #[test]
+    fn coherent_topics_score_higher_than_mixed_topics() {
+        let c = two_cluster_corpus();
+        let idx = CooccurrenceIndex::build(&c);
+        let coherent = umass_coherence(&idx, &[0, 1, 2]);
+        let mixed = umass_coherence(&idx, &[0, 3, 1]);
+        assert!(
+            coherent > mixed,
+            "coherent {coherent} should beat mixed {mixed}"
+        );
+    }
+
+    #[test]
+    fn top_words_order_and_truncation() {
+        let phi = phi_two_topics();
+        assert_eq!(top_words(&phi, 0, 2), vec![0, 1]);
+        assert_eq!(top_words(&phi, 1, 2), vec![5, 3]);
+        assert_eq!(top_words(&phi, 0, 10).len(), 3);
+    }
+
+    #[test]
+    fn diversity_of_disjoint_topics_is_one() {
+        let phi = phi_two_topics();
+        assert!((topic_diversity(&phi, 3) - 1.0).abs() < 1e-12);
+        // Two identical topics halve the diversity.
+        let mut same = DenseMatrix::zeros(2, 6);
+        for k in 0..2 {
+            same.set(k, 0, 5);
+            same.set(k, 1, 3);
+        }
+        assert!((topic_diversity(&same, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn npmi_separates_perfect_cooccurrence_from_never_cooccurring() {
+        let c = two_cluster_corpus();
+        let idx = CooccurrenceIndex::build(&c);
+        // Words 0,1,2 co-occur in every document that contains any of them.
+        let coherent = npmi_coherence(&idx, &[0, 1, 2]);
+        // Words from opposite clusters never co-occur.
+        let disjoint = npmi_coherence(&idx, &[0, 3]);
+        assert!((disjoint - -1.0).abs() < 1e-12, "disjoint {disjoint}");
+        assert!(coherent > 0.9, "coherent {coherent}");
+        assert!(coherent <= 1.0 + 1e-12);
+        assert!(coherent > npmi_coherence(&idx, &[0, 3, 1]));
+    }
+
+    #[test]
+    fn npmi_of_independent_words_is_near_zero() {
+        // Word 1 appears in every document; word 0 in half of them.  Their
+        // joint probability then factorises, so NPMI ≈ 0.
+        let mut b = CorpusBuilder::new(3);
+        for i in 0..20 {
+            if i % 2 == 0 {
+                b.push_doc(&[0, 1]);
+            } else {
+                b.push_doc(&[1, 2]);
+            }
+        }
+        let idx = CooccurrenceIndex::build(&b.build());
+        let score = npmi_coherence(&idx, &[0, 1]);
+        assert!(score.abs() < 1e-9, "independent pair scored {score}");
+    }
+
+    #[test]
+    fn npmi_degenerate_inputs_return_zero() {
+        let c = two_cluster_corpus();
+        let idx = CooccurrenceIndex::build(&c);
+        assert_eq!(npmi_coherence(&idx, &[]), 0.0);
+        assert_eq!(npmi_coherence(&idx, &[4]), 0.0);
+        let all = npmi_coherence_all(&idx, &phi_two_topics(), 3);
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().all(|s| s.is_finite()));
+        let mean = mean_npmi_coherence(&idx, &phi_two_topics(), 3);
+        assert!((mean - (all[0] + all[1]) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_report_combines_both_metrics() {
+        let c = two_cluster_corpus();
+        let phi = phi_two_topics();
+        let q = topic_quality_report(&c, &phi, 3);
+        assert_eq!(q.num_topics(), 2);
+        assert_eq!(q.top_n, 3);
+        assert!((q.diversity - 1.0).abs() < 1e-12);
+        // Perfectly co-occurring clusters give log((D+1)/D) > 0 pair terms,
+        // so the score is near (slightly above) zero — just require it is
+        // finite and consistent with the per-topic scores.
+        assert!(q.mean_coherence.is_finite());
+        let mean: f64 =
+            q.per_topic_coherence.iter().sum::<f64>() / q.per_topic_coherence.len() as f64;
+        assert!((mean - q.mean_coherence).abs() < 1e-12);
+        // The two clusters never mix, so the NPMI of both topics is maximal.
+        assert!(q.mean_npmi > 0.9 && q.mean_npmi <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn balance_sums_to_one_and_flags_skew() {
+        let phi = phi_two_topics();
+        let b = topic_balance(&phi);
+        assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(b[1] > b[0]);
+        let empty = DenseMatrix::zeros(3, 4);
+        assert_eq!(topic_balance(&empty), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let c = two_cluster_corpus();
+        let idx = CooccurrenceIndex::build(&c);
+        assert_eq!(umass_coherence(&idx, &[]), 0.0);
+        assert_eq!(umass_coherence(&idx, &[2]), 0.0);
+        let empty = DenseMatrix::zeros(0, 0);
+        assert_eq!(topic_diversity(&empty, 5), 0.0);
+    }
+
+    #[test]
+    fn recovery_counts_reference_topics() {
+        let phi = phi_two_topics();
+        let reference = vec![vec![0, 1, 2], vec![3, 4, 5], vec![0, 4, 5]];
+        // Topics 1 and 2 of the reference are recovered with overlap 2; the
+        // third mixes both clusters but still shares 2 words with topic 1.
+        assert_eq!(topics_recovered(&phi, &reference, 3, 3), 2);
+        assert_eq!(topics_recovered(&phi, &reference, 3, 2), 3);
+        assert_eq!(topics_recovered(&phi, &reference, 3, 4), 0);
+    }
+
+    #[test]
+    fn readable_top_words_fall_back_to_placeholders() {
+        let pairs = vec![(0u32, "gpu".to_string()), (2u32, "lda".to_string())];
+        let lookup = lookup_from_pairs(&pairs);
+        let words = readable_top_words(&[0, 1, 2], lookup);
+        assert_eq!(words, vec!["gpu", "word1", "lda"]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Held-out predictive likelihood and perplexity.
+//!
+//! The training-set joint likelihood ([`crate::likelihood`]) tracks mixing
+//! speed, but model selection needs the probability the trained model assigns
+//! to *unseen* tokens.  Under the document-completion protocol
+//! (`culda_corpus::holdout::DocumentCompletion`), each test document `d` has
+//! an inferred topic mixture `θ̂_d` (estimated from its observed half) and the
+//! held-out half is scored as
+//!
+//! ```text
+//! log p(w_held | θ̂, φ̂) = Σ_{tokens (d,v)} log Σ_k θ̂_{d,k} · φ̂_{k,v}
+//! ```
+//!
+//! with the smoothed point estimates
+//! `θ̂_{d,k} = (n_{d,k} + α) / (L_d + Kα)` and
+//! `φ̂_{k,v} = (n_{k,v} + β) / (n_k + Vβ)`.
+
+use culda_corpus::Corpus;
+use culda_sparse::{CsrMatrix, DenseMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Smoothed point estimate of the topic–word distributions, rows normalised
+/// to probabilities.  `phi` holds counts (`K × V`), `nk` the topic totals.
+pub fn estimate_phi(phi: &DenseMatrix<u32>, nk: &[i64], beta: f64) -> Vec<Vec<f64>> {
+    assert_eq!(phi.rows(), nk.len());
+    let v = phi.cols() as f64;
+    (0..phi.rows())
+        .map(|k| {
+            let denom = nk[k] as f64 + v * beta;
+            phi.row(k)
+                .iter()
+                .map(|&c| (c as f64 + beta) / denom)
+                .collect()
+        })
+        .collect()
+}
+
+/// Smoothed point estimate of one document's topic mixture from its θ counts.
+pub fn estimate_theta_row(counts: &[(u16, u32)], num_topics: usize, alpha: f64) -> Vec<f64> {
+    let len: u64 = counts.iter().map(|&(_, c)| c as u64).sum();
+    let denom = len as f64 + num_topics as f64 * alpha;
+    let mut row = vec![alpha / denom; num_topics];
+    for &(k, c) in counts {
+        row[k as usize] = (c as f64 + alpha) / denom;
+    }
+    row
+}
+
+/// Smoothed per-document topic mixtures from a θ count matrix.
+pub fn estimate_theta(theta: &CsrMatrix, alpha: f64) -> Vec<Vec<f64>> {
+    (0..theta.rows())
+        .map(|d| {
+            let (cols, vals) = theta.row(d);
+            let counts: Vec<(u16, u32)> = cols.iter().copied().zip(vals.iter().copied()).collect();
+            estimate_theta_row(&counts, theta.cols(), alpha)
+        })
+        .collect()
+}
+
+/// Result of a held-out evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeldoutScore {
+    /// Total log-probability of the held-out tokens.
+    pub log_prob: f64,
+    /// Number of held-out tokens scored.
+    pub num_tokens: u64,
+}
+
+impl HeldoutScore {
+    /// Mean log-probability per held-out token.
+    pub fn per_token(&self) -> f64 {
+        if self.num_tokens == 0 {
+            0.0
+        } else {
+            self.log_prob / self.num_tokens as f64
+        }
+    }
+
+    /// Held-out perplexity `exp(−log p / N)` (lower is better).
+    pub fn perplexity(&self) -> f64 {
+        (-self.per_token()).exp()
+    }
+}
+
+/// Score a held-out corpus against per-document topic mixtures and the
+/// topic–word probabilities.
+///
+/// `theta_hat[d]` must be the mixture of held-out document `d` (documents are
+/// aligned by index with `heldout`); `phi_hat[k][v]` the word probabilities.
+///
+/// # Panics
+/// Panics if the shapes disagree (document counts, topic counts, vocabulary).
+pub fn heldout_log_likelihood(
+    heldout: &Corpus,
+    theta_hat: &[Vec<f64>],
+    phi_hat: &[Vec<f64>],
+) -> HeldoutScore {
+    assert_eq!(
+        heldout.num_docs(),
+        theta_hat.len(),
+        "one θ̂ row per held-out document required"
+    );
+    let k = phi_hat.len();
+    assert!(k > 0, "φ̂ must have at least one topic");
+    assert!(
+        theta_hat.iter().all(|r| r.len() == k),
+        "θ̂ rows must have K entries"
+    );
+    assert!(
+        phi_hat.iter().all(|r| r.len() == heldout.vocab_size()),
+        "φ̂ rows must have V entries"
+    );
+    let mut log_prob = 0.0;
+    let mut num_tokens = 0u64;
+    for d in 0..heldout.num_docs() {
+        let mix = &theta_hat[d];
+        for &w in heldout.doc(d) {
+            let mut p = 0.0;
+            for (t, phi_row) in phi_hat.iter().enumerate() {
+                p += mix[t] * phi_row[w as usize];
+            }
+            // Guard against probability underflow from degenerate estimates.
+            log_prob += p.max(f64::MIN_POSITIVE).ln();
+            num_tokens += 1;
+        }
+    }
+    HeldoutScore {
+        log_prob,
+        num_tokens,
+    }
+}
+
+/// Convenience wrapper: estimate θ̂ from a count matrix (one row per held-out
+/// document, e.g. produced by fold-in Gibbs sampling), estimate φ̂ from the
+/// trained counts and score the held-out corpus.
+pub fn evaluate_heldout(
+    heldout: &Corpus,
+    theta_counts: &CsrMatrix,
+    phi_counts: &DenseMatrix<u32>,
+    nk: &[i64],
+    alpha: f64,
+    beta: f64,
+) -> HeldoutScore {
+    let theta_hat = estimate_theta(theta_counts, alpha);
+    let phi_hat = estimate_phi(phi_counts, nk, beta);
+    heldout_log_likelihood(heldout, &theta_hat, &phi_hat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_corpus::CorpusBuilder;
+    use culda_sparse::CsrBuilder;
+
+    fn phi_counts() -> (DenseMatrix<u32>, Vec<i64>) {
+        // Topic 0 favours words {0,1}; topic 1 favours words {2,3}.
+        let mut phi = DenseMatrix::zeros(2, 4);
+        phi.set(0, 0, 40);
+        phi.set(0, 1, 40);
+        phi.set(1, 2, 40);
+        phi.set(1, 3, 40);
+        let nk = vec![80, 80];
+        (phi, nk)
+    }
+
+    #[test]
+    fn phi_estimates_are_normalised_and_ordered() {
+        let (phi, nk) = phi_counts();
+        let est = estimate_phi(&phi, &nk, 0.01);
+        for row in &est {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row sums to {s}");
+        }
+        assert!(est[0][0] > est[0][2]);
+        assert!(est[1][2] > est[1][0]);
+    }
+
+    #[test]
+    fn theta_estimates_are_normalised() {
+        let row = estimate_theta_row(&[(0, 3), (2, 1)], 4, 0.1);
+        assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(row[0] > row[2] && row[2] > row[1]);
+        let mut b = CsrBuilder::new(2, 4);
+        b.push_row([(0u16, 2u32)]);
+        b.push_row([(3u16, 5u32)]);
+        let theta = b.finish();
+        let est = estimate_theta(&theta, 0.5);
+        assert_eq!(est.len(), 2);
+        for r in &est {
+            assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matched_documents_score_better_than_mismatched() {
+        let (phi, nk) = phi_counts();
+        let phi_hat = estimate_phi(&phi, &nk, 0.01);
+        // Document that talks about topic-0 words.
+        let mut b = CorpusBuilder::new(4);
+        b.push_doc(&[0, 1, 0, 1]);
+        let heldout = b.build();
+        let aligned = heldout_log_likelihood(&heldout, &[vec![0.95, 0.05]], &phi_hat);
+        let misaligned = heldout_log_likelihood(&heldout, &[vec![0.05, 0.95]], &phi_hat);
+        assert!(aligned.log_prob > misaligned.log_prob);
+        assert_eq!(aligned.num_tokens, 4);
+        assert!(aligned.perplexity() < misaligned.perplexity());
+    }
+
+    #[test]
+    fn evaluate_heldout_end_to_end() {
+        let (phi, nk) = phi_counts();
+        let mut tb = CsrBuilder::new(2, 2);
+        tb.push_row([(0u16, 6u32)]); // document 0 is topic-0 heavy
+        tb.push_row([(1u16, 6u32)]); // document 1 is topic-1 heavy
+        let theta = tb.finish();
+        let mut cb = CorpusBuilder::new(4);
+        cb.push_doc(&[0, 1, 1]);
+        cb.push_doc(&[2, 3, 2]);
+        let heldout = cb.build();
+        let score = evaluate_heldout(&heldout, &theta, &phi, &nk, 0.1, 0.01);
+        assert_eq!(score.num_tokens, 6);
+        assert!(score.per_token() < 0.0);
+        assert!(score.perplexity() > 1.0);
+        // Perplexity should be far below the uniform-model baseline of V = 4.
+        assert!(score.perplexity() < 4.0);
+    }
+
+    #[test]
+    fn empty_heldout_scores_zero() {
+        let (phi, nk) = phi_counts();
+        let phi_hat = estimate_phi(&phi, &nk, 0.01);
+        let heldout = CorpusBuilder::new(4).build();
+        let score = heldout_log_likelihood(&heldout, &[], &phi_hat);
+        assert_eq!(score.num_tokens, 0);
+        assert_eq!(score.per_token(), 0.0);
+        assert_eq!(score.perplexity(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one θ̂ row per held-out document")]
+    fn shape_mismatch_panics() {
+        let (phi, nk) = phi_counts();
+        let phi_hat = estimate_phi(&phi, &nk, 0.01);
+        let mut b = CorpusBuilder::new(4);
+        b.push_doc(&[0]);
+        let heldout = b.build();
+        let _ = heldout_log_likelihood(&heldout, &[], &phi_hat);
+    }
+}

@@ -1,0 +1,38 @@
+//! # culda-metrics
+//!
+//! Evaluation metrics for the CuLDA_CGS reproduction:
+//!
+//! * [`likelihood`] — the joint log-likelihood per token used as the model
+//!   quality metric throughout §7 (Figure 8 plots it against wall-clock time);
+//! * [`perplexity`] — the conventional `exp(-LL/T)` transformation;
+//! * [`throughput`] — the `#Tokens/sec` metric of Eq. 2 (Table 4, Figure 7);
+//! * [`roofline`] — the Flops/Byte characterisation of §3.1 (Table 1);
+//! * [`timeline`] — convergence-over-time series used to regenerate Figure 8;
+//! * [`special`] — the `ln Γ` implementation the likelihood needs;
+//! * [`coherence`] — UMass topic coherence, diversity and planted-topic
+//!   recovery (intrinsic topic quality, beyond the paper's metrics);
+//! * [`heldout`] — held-out predictive likelihood and perplexity under the
+//!   document-completion protocol;
+//! * [`scaling`] — multi-GPU speedup/efficiency summaries and the Amdahl fit
+//!   behind Figure 9.
+
+#![warn(missing_docs)]
+
+pub mod coherence;
+pub mod heldout;
+pub mod likelihood;
+pub mod perplexity;
+pub mod roofline;
+pub mod scaling;
+pub mod special;
+pub mod throughput;
+pub mod timeline;
+
+pub use coherence::{topic_diversity, topic_quality_report, CooccurrenceIndex, TopicQuality};
+pub use heldout::{evaluate_heldout, heldout_log_likelihood, HeldoutScore};
+pub use likelihood::{log_likelihood, LikelihoodParts};
+pub use perplexity::perplexity_per_token;
+pub use roofline::{table1, RooflineStep};
+pub use scaling::{ScalingPoint, ScalingSeries};
+pub use throughput::{tokens_per_sec, ThroughputSeries};
+pub use timeline::{ConvergencePoint, Timeline};

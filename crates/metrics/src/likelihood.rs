@@ -1,0 +1,229 @@
+//! Joint log-likelihood of a collapsed LDA state.
+//!
+//! The paper's quality metric (Figure 8) is the "log-likelyhood per token":
+//! the collapsed joint probability `log p(w, z | α, β)` of the current topic
+//! assignment, divided by the token count.  With the usual conjugate algebra,
+//!
+//! ```text
+//! log p(w, z) = Σ_d [ lnΓ(Kα) − K lnΓ(α) + Σ_k lnΓ(θ_{d,k} + α) − lnΓ(L_d + Kα) ]
+//!             + Σ_k [ lnΓ(Vβ) − V lnΓ(β) + Σ_v lnΓ(φ_{k,v} + β) − lnΓ(n_k + Vβ) ]
+//! ```
+//!
+//! where `θ` and `φ` are the count matrices of §2.1, `L_d` the document
+//! length and `n_k = Σ_v φ_{k,v}` the topic totals.  Zero counts contribute
+//! `lnΓ(α)` / `lnΓ(β)` terms, which is what makes the sparse θ representation
+//! convenient here too.
+
+use crate::special::ln_gamma;
+use culda_sparse::{CsrMatrix, DenseMatrix};
+use serde::{Deserialize, Serialize};
+
+/// The document side and topic side of the joint likelihood, kept separate
+/// because the document part is computed per chunk (θ is partitioned across
+/// GPUs) while the topic part is global.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LikelihoodParts {
+    /// `Σ_d [...]` — depends on θ only.
+    pub doc_part: f64,
+    /// `Σ_k [...]` — depends on φ only.
+    pub topic_part: f64,
+    /// Total number of tokens the state covers.
+    pub num_tokens: u64,
+}
+
+impl LikelihoodParts {
+    /// Total joint log-likelihood.
+    pub fn total(&self) -> f64 {
+        self.doc_part + self.topic_part
+    }
+
+    /// Log-likelihood per token — the y-axis of Figure 8.
+    pub fn per_token(&self) -> f64 {
+        if self.num_tokens == 0 {
+            return 0.0;
+        }
+        self.total() / self.num_tokens as f64
+    }
+}
+
+/// Document-side contribution of a θ chunk (rows are documents of the chunk).
+pub fn doc_log_likelihood(theta: &CsrMatrix, alpha: f64) -> f64 {
+    let k = theta.cols() as f64;
+    let lg_alpha = ln_gamma(alpha);
+    let lg_k_alpha = ln_gamma(k * alpha);
+    let mut acc = 0.0;
+    for d in 0..theta.rows() {
+        let (_, vals) = theta.row(d);
+        let doc_len: u64 = vals.iter().map(|&v| v as u64).sum();
+        if doc_len == 0 {
+            continue;
+        }
+        acc += lg_k_alpha - k * lg_alpha;
+        for &v in vals {
+            acc += ln_gamma(v as f64 + alpha);
+        }
+        // Topics with zero count contribute lnΓ(α) each.
+        acc += (k - vals.len() as f64) * lg_alpha;
+        acc -= ln_gamma(doc_len as f64 + k * alpha);
+    }
+    acc
+}
+
+/// Topic-side contribution of the global φ matrix (`K × V`) and the topic
+/// totals `n_k`.
+pub fn topic_log_likelihood(phi: &DenseMatrix<u32>, nk: &[i64], beta: f64) -> f64 {
+    let v = phi.cols() as f64;
+    let lg_beta = ln_gamma(beta);
+    let lg_v_beta = ln_gamma(v * beta);
+    let mut acc = 0.0;
+    for k in 0..phi.rows() {
+        acc += lg_v_beta - v * lg_beta;
+        let mut nnz = 0usize;
+        for &c in phi.row(k) {
+            if c > 0 {
+                acc += ln_gamma(c as f64 + beta);
+                nnz += 1;
+            }
+        }
+        // Words with zero count in this topic contribute lnΓ(β) each.
+        acc += (v - nnz as f64) * lg_beta;
+        acc -= ln_gamma(nk[k] as f64 + v * beta);
+    }
+    acc
+}
+
+/// Full joint log-likelihood of a collapsed state.
+pub fn log_likelihood(
+    theta: &CsrMatrix,
+    phi: &DenseMatrix<u32>,
+    nk: &[i64],
+    alpha: f64,
+    beta: f64,
+) -> LikelihoodParts {
+    assert_eq!(phi.rows(), nk.len(), "φ rows and n_k length must agree");
+    assert_eq!(theta.cols(), phi.rows(), "θ columns must equal φ rows (= K)");
+    let num_tokens = theta.total();
+    LikelihoodParts {
+        doc_part: doc_log_likelihood(theta, alpha),
+        topic_part: topic_log_likelihood(phi, nk, beta),
+        num_tokens,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_sparse::CsrBuilder;
+
+    /// Build a consistent (θ, φ, nk) state from explicit token assignments.
+    fn state_from_assignments(
+        num_topics: usize,
+        vocab: usize,
+        docs: &[Vec<(usize, usize)>], // per doc: (word, topic)
+    ) -> (CsrMatrix, DenseMatrix<u32>, Vec<i64>) {
+        let mut theta_b = CsrBuilder::new(docs.len(), num_topics);
+        let mut phi = DenseMatrix::<u32>::zeros(num_topics, vocab);
+        let mut nk = vec![0i64; num_topics];
+        for doc in docs {
+            let mut row = vec![0u32; num_topics];
+            for &(w, k) in doc {
+                row[k] += 1;
+                *phi.get_mut(k, w) += 1;
+                nk[k] += 1;
+            }
+            theta_b.push_dense_row(&row);
+        }
+        (theta_b.finish(), phi, nk)
+    }
+
+    #[test]
+    fn single_token_matches_closed_form() {
+        // One document, one token, K=2, V=3, assigned to topic 0, word 1.
+        let (theta, phi, nk) = state_from_assignments(2, 3, &[vec![(1, 0)]]);
+        let alpha = 0.5;
+        let beta = 0.1;
+        let ll = log_likelihood(&theta, &phi, &nk, alpha, beta);
+        // Doc part: lnΓ(2α) − 2lnΓ(α) + lnΓ(1+α) + lnΓ(α) − lnΓ(1+2α)
+        let doc = ln_gamma(2.0 * alpha) - 2.0 * ln_gamma(alpha)
+            + ln_gamma(1.0 + alpha)
+            + ln_gamma(alpha)
+            - ln_gamma(1.0 + 2.0 * alpha);
+        // Topic part: for topic 0: lnΓ(3β) − 3lnΓ(β) + [lnΓ(1+β) + 2lnΓ(β)] − lnΓ(1+3β)
+        //             for topic 1: lnΓ(3β) − 3lnΓ(β) + 3lnΓ(β) − lnΓ(3β) = 0
+        let topic = ln_gamma(3.0 * beta) - 3.0 * ln_gamma(beta)
+            + ln_gamma(1.0 + beta)
+            + 2.0 * ln_gamma(beta)
+            - ln_gamma(1.0 + 3.0 * beta)
+            + (ln_gamma(3.0 * beta) - 3.0 * ln_gamma(beta) + 3.0 * ln_gamma(beta)
+                - ln_gamma(3.0 * beta));
+        assert!((ll.doc_part - doc).abs() < 1e-9, "{} vs {}", ll.doc_part, doc);
+        assert!(
+            (ll.topic_part - topic).abs() < 1e-9,
+            "{} vs {}",
+            ll.topic_part,
+            topic
+        );
+        assert_eq!(ll.num_tokens, 1);
+        assert!(ll.per_token() < 0.0);
+    }
+
+    #[test]
+    fn likelihood_is_negative_and_finite() {
+        let docs: Vec<Vec<(usize, usize)>> = (0..20)
+            .map(|d| (0..30).map(|t| ((d * 7 + t) % 50, (d + t) % 8)).collect())
+            .collect();
+        let (theta, phi, nk) = state_from_assignments(8, 50, &docs);
+        let ll = log_likelihood(&theta, &phi, &nk, 50.0 / 8.0, 0.01);
+        assert!(ll.total().is_finite());
+        assert!(ll.total() < 0.0);
+        assert_eq!(ll.num_tokens, 20 * 30);
+        assert!(ll.per_token() > -20.0 && ll.per_token() < 0.0);
+    }
+
+    #[test]
+    fn concentrated_assignment_beats_scattered_assignment() {
+        // Same corpus; one assignment concentrates each word in one topic,
+        // the other scatters tokens across topics at random.  The
+        // concentrated (well-fit) assignment must have higher likelihood.
+        let vocab = 20;
+        let num_topics = 4;
+        let concentrated: Vec<Vec<(usize, usize)>> = (0..16)
+            .map(|d| {
+                let topic = d % num_topics;
+                (0..25).map(|t| ((topic * 5 + t % 5), topic)).collect()
+            })
+            .collect();
+        let scattered: Vec<Vec<(usize, usize)>> = (0..16)
+            .map(|d| {
+                (0..25)
+                    .map(|t| ((d % num_topics) * 5 + t % 5, (d * 13 + t * 7) % num_topics))
+                    .collect()
+            })
+            .collect();
+        let (t1, p1, n1) = state_from_assignments(num_topics, vocab, &concentrated);
+        let (t2, p2, n2) = state_from_assignments(num_topics, vocab, &scattered);
+        let a = log_likelihood(&t1, &p1, &n1, 0.1, 0.01).total();
+        let b = log_likelihood(&t2, &p2, &n2, 0.1, 0.01).total();
+        assert!(a > b, "concentrated {a} should beat scattered {b}");
+    }
+
+    #[test]
+    fn empty_state_has_zero_likelihood_per_token() {
+        let theta = CsrMatrix::zeros(0, 4);
+        let phi = DenseMatrix::<u32>::zeros(4, 10);
+        let nk = vec![0i64; 4];
+        let ll = log_likelihood(&theta, &phi, &nk, 0.1, 0.01);
+        assert_eq!(ll.num_tokens, 0);
+        assert_eq!(ll.per_token(), 0.0);
+        assert_eq!(ll.doc_part, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_shapes_are_rejected() {
+        let theta = CsrMatrix::zeros(1, 4);
+        let phi = DenseMatrix::<u32>::zeros(5, 10);
+        let nk = vec![0i64; 5];
+        let _ = log_likelihood(&theta, &phi, &nk, 0.1, 0.01);
+    }
+}

@@ -1,0 +1,37 @@
+//! Perplexity: the conventional transformation of log-likelihood per token.
+
+/// `exp(−LL/T)` — lower is better.  Defined as `f64::INFINITY` when the state
+/// covers no tokens.
+pub fn perplexity_per_token(log_likelihood: f64, num_tokens: u64) -> f64 {
+    if num_tokens == 0 {
+        return f64::INFINITY;
+    }
+    (-log_likelihood / num_tokens as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_model_perplexity_equals_vocabulary_size() {
+        // A model assigning probability 1/V to every token has LL = -T ln V
+        // and therefore perplexity exactly V.
+        let v = 1000.0f64;
+        let t = 500u64;
+        let ll = -(t as f64) * v.ln();
+        let p = perplexity_per_token(ll, t);
+        assert!((p - v).abs() / v < 1e-12);
+    }
+
+    #[test]
+    fn better_likelihood_means_lower_perplexity() {
+        let t = 100;
+        assert!(perplexity_per_token(-500.0, t) < perplexity_per_token(-700.0, t));
+    }
+
+    #[test]
+    fn empty_state_is_infinite() {
+        assert!(perplexity_per_token(0.0, 0).is_infinite());
+    }
+}

@@ -1,0 +1,104 @@
+//! The Flops/Byte characterisation of LDA sampling (§3.1, Table 1).
+//!
+//! The paper analyses each step of one sparsity-aware CGS sampling and counts
+//! the floating-point operations and bytes moved, assuming 32-bit integers,
+//! 32-bit floats and a CSR-stored θ.  Reproducing those expressions serves
+//! two purposes: the `experiments table1` command prints the table, and the
+//! simulator's kernels are cross-checked against the same ratios (their
+//! measured Flops/Byte must stay below every device's roofline ridge point,
+//! i.e. LDA must remain memory-bound on every platform — the claim the whole
+//! paper builds on).
+
+use serde::{Deserialize, Serialize};
+
+/// Size in bytes of the integer type used for counts/indices.
+pub const INT_BYTES: f64 = 4.0;
+/// Size in bytes of the floating-point type used for probabilities.
+pub const FLOAT_BYTES: f64 = 4.0;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflineStep {
+    /// Step name as it appears in the paper.
+    pub name: &'static str,
+    /// The formula as printed in Table 1 (for documentation/reporting).
+    pub formula: &'static str,
+    /// Evaluated Flops/Byte value.
+    pub flops_per_byte: f64,
+}
+
+/// Compute Table 1.  `K_d` (the number of non-zero θ entries of the sampled
+/// document) cancels in every per-`K_d` expression, so the table is
+/// independent of the actual document, exactly as in the paper.
+pub fn table1() -> Vec<RooflineStep> {
+    vec![
+        RooflineStep {
+            name: "Compute S",
+            formula: "4*Kd / (3*Int*Kd)",
+            flops_per_byte: 4.0 / (3.0 * INT_BYTES),
+        },
+        RooflineStep {
+            name: "Compute Q",
+            formula: "2*K / (2*Int*K)",
+            flops_per_byte: 2.0 / (2.0 * INT_BYTES),
+        },
+        RooflineStep {
+            name: "Sampling from p1(k)",
+            formula: "6*Kd / ((3*Int + 2*Float)*Kd)",
+            flops_per_byte: 6.0 / (3.0 * INT_BYTES + 2.0 * FLOAT_BYTES),
+        },
+        RooflineStep {
+            name: "Sampling from p2(k)",
+            formula: "3*K / ((2*Int + 2*Float)*K)",
+            flops_per_byte: 3.0 / (2.0 * INT_BYTES + 2.0 * FLOAT_BYTES),
+        },
+    ]
+}
+
+/// The average arithmetic intensity over the four steps — the paper reports
+/// 0.27 Flops/Byte.
+pub fn average_intensity() -> f64 {
+    let t = table1();
+    t.iter().map(|s| s.flops_per_byte).sum::<f64>() / t.len() as f64
+}
+
+/// Whether a workload of the given intensity is memory-bound on a processor
+/// whose roofline ridge point (peak FLOPS / peak bandwidth) is `ridge`.
+pub fn is_memory_bound(flops_per_byte: f64, ridge: f64) -> bool {
+    flops_per_byte < ridge
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_the_paper() {
+        let t = table1();
+        let by_name = |n: &str| t.iter().find(|s| s.name == n).unwrap().flops_per_byte;
+        assert!((by_name("Compute S") - 0.33).abs() < 0.01);
+        assert!((by_name("Compute Q") - 0.25).abs() < 0.01);
+        assert!((by_name("Sampling from p1(k)") - 0.30).abs() < 0.01);
+        assert!((by_name("Sampling from p2(k)") - 0.19).abs() < 0.01);
+    }
+
+    #[test]
+    fn average_is_about_027() {
+        let avg = average_intensity();
+        assert!((avg - 0.27).abs() < 0.01, "avg = {avg}");
+    }
+
+    #[test]
+    fn lda_is_memory_bound_on_every_platform_of_table_2() {
+        // Ridge points: CPU 470/51.2 ≈ 9.2; GPUs are higher still.
+        let avg = average_intensity();
+        for ridge in [9.2, 6100.0 / 336.0, 12100.0 / 550.0, 14000.0 / 900.0] {
+            assert!(is_memory_bound(avg, ridge));
+        }
+    }
+
+    #[test]
+    fn compute_bound_detection_works() {
+        assert!(!is_memory_bound(100.0, 9.2));
+    }
+}

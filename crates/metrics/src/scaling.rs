@@ -1,0 +1,244 @@
+//! Multi-GPU scaling summaries (Figure 9).
+//!
+//! Figure 9(b) plots the throughput of CuLDA_CGS on 1, 2 and 4 GPUs
+//! normalised to the single-GPU run (1.93× and 2.99× in the paper).  This
+//! module packages the bookkeeping: collecting `(gpu count, throughput)`
+//! pairs, normalising them, computing parallel efficiency and estimating the
+//! serial fraction with Amdahl's law (the paper invokes Amdahl when arguing
+//! that synchronization must be optimized, §3.2).
+
+use serde::{Deserialize, Serialize};
+
+/// One measured configuration of a scaling sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Number of GPUs (or workers) used.
+    pub num_gpus: usize,
+    /// Measured throughput in tokens/second.
+    pub tokens_per_sec: f64,
+}
+
+/// A scaling sweep over GPU counts, anchored at the smallest configuration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScalingSeries {
+    points: Vec<ScalingPoint>,
+}
+
+impl ScalingSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        ScalingSeries { points: Vec::new() }
+    }
+
+    /// Record one configuration.  Points may arrive in any order; they are
+    /// kept sorted by GPU count.
+    pub fn push(&mut self, num_gpus: usize, tokens_per_sec: f64) {
+        assert!(num_gpus > 0, "num_gpus must be positive");
+        assert!(
+            tokens_per_sec.is_finite() && tokens_per_sec > 0.0,
+            "throughput must be positive"
+        );
+        self.points.push(ScalingPoint {
+            num_gpus,
+            tokens_per_sec,
+        });
+        self.points.sort_by_key(|p| p.num_gpus);
+    }
+
+    /// All recorded points, sorted by GPU count.
+    pub fn points(&self) -> &[ScalingPoint] {
+        &self.points
+    }
+
+    /// Number of recorded configurations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The baseline point (smallest GPU count), if any.
+    pub fn baseline(&self) -> Option<ScalingPoint> {
+        self.points.first().copied()
+    }
+
+    /// Speedup of every configuration relative to the baseline, as
+    /// `(num_gpus, speedup)` pairs — the series plotted in Figure 9(b).
+    pub fn speedups(&self) -> Vec<(usize, f64)> {
+        let Some(base) = self.baseline() else {
+            return Vec::new();
+        };
+        self.points
+            .iter()
+            .map(|p| {
+                (
+                    p.num_gpus,
+                    p.tokens_per_sec / base.tokens_per_sec * base.num_gpus as f64,
+                )
+            })
+            .collect()
+    }
+
+    /// Parallel efficiency (`speedup / num_gpus`) per configuration.
+    pub fn efficiencies(&self) -> Vec<(usize, f64)> {
+        self.speedups()
+            .into_iter()
+            .map(|(g, s)| (g, s / g as f64))
+            .collect()
+    }
+
+    /// Speedup at a specific GPU count, if that configuration was measured.
+    pub fn speedup_at(&self, num_gpus: usize) -> Option<f64> {
+        self.speedups()
+            .into_iter()
+            .find(|&(g, _)| g == num_gpus)
+            .map(|(_, s)| s)
+    }
+
+    /// Least-squares estimate of the Amdahl serial fraction `s` from all
+    /// measured points: for each point, `s_i = (G/S − 1) / (G − 1)` where `S`
+    /// is the measured speedup on `G` GPUs; the estimate is their mean over
+    /// configurations with `G > 1`.  Returns `None` when no multi-GPU point
+    /// exists.
+    pub fn amdahl_serial_fraction(&self) -> Option<f64> {
+        let speedups = self.speedups();
+        let samples: Vec<f64> = speedups
+            .iter()
+            .filter(|&&(g, _)| g > 1)
+            .map(|&(g, s)| {
+                let g = g as f64;
+                ((g / s) - 1.0) / (g - 1.0)
+            })
+            .collect();
+        if samples.is_empty() {
+            None
+        } else {
+            Some(samples.iter().sum::<f64>() / samples.len() as f64)
+        }
+    }
+
+    /// Predicted speedup on `num_gpus` GPUs under Amdahl's law with the
+    /// estimated serial fraction (useful for extrapolating the sweep).
+    pub fn amdahl_predicted_speedup(&self, num_gpus: usize) -> Option<f64> {
+        let s = self.amdahl_serial_fraction()?;
+        let g = num_gpus as f64;
+        Some(1.0 / (s + (1.0 - s) / g))
+    }
+
+    /// Render the series as aligned text rows (`#GPUs  Tokens/sec  Speedup
+    /// Efficiency`), matching the format of the experiment harness output.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("#GPUs  MTokens/sec  Speedup  Efficiency\n");
+        let speedups = self.speedups();
+        for (p, (_, s)) in self.points.iter().zip(&speedups) {
+            out.push_str(&format!(
+                "{:>5}  {:>11.1}  {:>7.2}  {:>9.1}%\n",
+                p.num_gpus,
+                p.tokens_per_sec / 1e6,
+                s,
+                s / p.num_gpus as f64 * 100.0
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_series() -> ScalingSeries {
+        // The paper's Figure 9 numbers on PubMed / Pascal.
+        let mut s = ScalingSeries::new();
+        s.push(1, 213.0e6);
+        s.push(2, 213.0e6 * 1.93);
+        s.push(4, 213.0e6 * 2.99);
+        s
+    }
+
+    #[test]
+    fn speedups_are_relative_to_the_baseline() {
+        let s = paper_series();
+        let sp = s.speedups();
+        assert_eq!(sp.len(), 3);
+        assert!((sp[0].1 - 1.0).abs() < 1e-12);
+        assert!((sp[1].1 - 1.93).abs() < 1e-9);
+        assert!((sp[2].1 - 2.99).abs() < 1e-9);
+        assert_eq!(s.speedup_at(4).map(|v| (v * 100.0).round()), Some(299.0));
+        assert_eq!(s.speedup_at(8), None);
+    }
+
+    #[test]
+    fn efficiency_decreases_with_gpu_count() {
+        let s = paper_series();
+        let eff = s.efficiencies();
+        assert!(eff[0].1 > eff[1].1 && eff[1].1 > eff[2].1);
+        assert!(eff[2].1 > 0.7, "4-GPU efficiency {:.2}", eff[2].1);
+    }
+
+    #[test]
+    fn points_are_sorted_regardless_of_insertion_order() {
+        let mut s = ScalingSeries::new();
+        s.push(4, 400.0);
+        s.push(1, 100.0);
+        s.push(2, 190.0);
+        let gpus: Vec<usize> = s.points().iter().map(|p| p.num_gpus).collect();
+        assert_eq!(gpus, vec![1, 2, 4]);
+        assert_eq!(s.baseline().unwrap().num_gpus, 1);
+    }
+
+    #[test]
+    fn amdahl_fraction_matches_the_observed_saturation() {
+        let s = paper_series();
+        let frac = s.amdahl_serial_fraction().unwrap();
+        // 1.93× at 2 GPUs and 2.99× at 4 GPUs correspond to a serial share of
+        // roughly 4–11%.
+        assert!(frac > 0.02 && frac < 0.15, "serial fraction {frac}");
+        let pred8 = s.amdahl_predicted_speedup(8).unwrap();
+        assert!(pred8 > 2.99 && pred8 < 8.0);
+    }
+
+    #[test]
+    fn perfect_scaling_has_zero_serial_fraction() {
+        let mut s = ScalingSeries::new();
+        s.push(1, 100.0);
+        s.push(2, 200.0);
+        s.push(4, 400.0);
+        let frac = s.amdahl_serial_fraction().unwrap();
+        assert!(frac.abs() < 1e-9);
+        for (_, e) in s.efficiencies() {
+            assert!((e - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_series_behave() {
+        let empty = ScalingSeries::new();
+        assert!(empty.is_empty());
+        assert!(empty.speedups().is_empty());
+        assert!(empty.amdahl_serial_fraction().is_none());
+        let mut single = ScalingSeries::new();
+        single.push(1, 50.0);
+        assert_eq!(single.len(), 1);
+        assert!(single.amdahl_serial_fraction().is_none());
+        assert!(single.amdahl_predicted_speedup(4).is_none());
+    }
+
+    #[test]
+    fn table_rendering_contains_every_configuration() {
+        let s = paper_series();
+        let t = s.to_table();
+        assert!(t.contains("#GPUs"));
+        assert_eq!(t.lines().count(), 4);
+        assert!(t.contains("1.93") || t.contains("1.9"));
+    }
+
+    #[test]
+    #[should_panic(expected = "num_gpus must be positive")]
+    fn zero_gpus_is_rejected() {
+        ScalingSeries::new().push(0, 1.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! The `#Tokens/sec` throughput metric (Eq. 2).
+//!
+//! `#Tokens/sec = (#Tokens × #Iterations) / ElapsedTime`, reported per
+//! iteration in Figure 7 and averaged over the first 100 iterations in
+//! Table 4.
+
+use serde::{Deserialize, Serialize};
+
+/// Tokens per second given a token count and an elapsed time.
+pub fn tokens_per_sec(tokens: u64, iterations: u64, elapsed_s: f64) -> f64 {
+    if elapsed_s <= 0.0 {
+        return 0.0;
+    }
+    (tokens as f64 * iterations as f64) / elapsed_s
+}
+
+/// A per-iteration throughput series (one line of Figure 7).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputSeries {
+    /// Label of the series (platform / solver name).
+    pub label: String,
+    /// Token count processed per iteration.
+    pub tokens_per_iteration: u64,
+    /// Elapsed (simulated) seconds of each iteration.
+    pub iteration_times_s: Vec<f64>,
+}
+
+impl ThroughputSeries {
+    /// Start a series.
+    pub fn new(label: impl Into<String>, tokens_per_iteration: u64) -> Self {
+        ThroughputSeries {
+            label: label.into(),
+            tokens_per_iteration,
+            iteration_times_s: Vec::new(),
+        }
+    }
+
+    /// Record the elapsed time of the next iteration.
+    pub fn push_iteration(&mut self, elapsed_s: f64) {
+        self.iteration_times_s.push(elapsed_s);
+    }
+
+    /// Number of iterations recorded.
+    pub fn len(&self) -> usize {
+        self.iteration_times_s.len()
+    }
+
+    /// True when no iterations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.iteration_times_s.is_empty()
+    }
+
+    /// Tokens/sec of iteration `i`.
+    pub fn iteration_throughput(&self, i: usize) -> f64 {
+        tokens_per_sec(self.tokens_per_iteration, 1, self.iteration_times_s[i])
+    }
+
+    /// The per-iteration throughput values (the y-values of one Figure 7 line).
+    pub fn per_iteration(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.iteration_throughput(i)).collect()
+    }
+
+    /// Average Tokens/sec over the first `n` iterations (Table 4 uses the
+    /// first 100): total tokens divided by total time.
+    pub fn average_over_first(&self, n: usize) -> f64 {
+        let n = n.min(self.len());
+        if n == 0 {
+            return 0.0;
+        }
+        let total_time: f64 = self.iteration_times_s[..n].iter().sum();
+        tokens_per_sec(self.tokens_per_iteration, n as u64, total_time)
+    }
+
+    /// Total elapsed time of the first `n` iterations.
+    pub fn elapsed_over_first(&self, n: usize) -> f64 {
+        self.iteration_times_s[..n.min(self.len())].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_per_sec_matches_eq2() {
+        // 1M tokens, 100 iterations, 10 seconds → 10M tokens/sec.
+        assert_eq!(tokens_per_sec(1_000_000, 100, 10.0), 1e7);
+        assert_eq!(tokens_per_sec(100, 1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn series_per_iteration_and_average() {
+        let mut s = ThroughputSeries::new("Volta", 1_000_000);
+        s.push_iteration(0.01);
+        s.push_iteration(0.005);
+        s.push_iteration(0.005);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iteration_throughput(0), 1e8);
+        assert_eq!(s.iteration_throughput(1), 2e8);
+        // Average over all three: 3M tokens / 0.02 s = 150M/s.
+        assert!((s.average_over_first(100) - 1.5e8).abs() < 1e-3);
+        assert!((s.elapsed_over_first(2) - 0.015).abs() < 1e-12);
+        assert_eq!(s.per_iteration().len(), 3);
+    }
+
+    #[test]
+    fn throughput_ramps_up_when_iterations_get_faster() {
+        let mut s = ThroughputSeries::new("ramp", 1000);
+        for i in 0..10 {
+            s.push_iteration(1.0 / (1.0 + i as f64));
+        }
+        let tp = s.per_iteration();
+        assert!(tp.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn empty_series_average_is_zero() {
+        let s = ThroughputSeries::new("empty", 10);
+        assert!(s.is_empty());
+        assert_eq!(s.average_over_first(10), 0.0);
+    }
+}

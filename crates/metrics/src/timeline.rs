@@ -1,0 +1,139 @@
+//! Convergence-over-time series (Figure 8).
+//!
+//! Figure 8 plots log-likelihood per token against wall-clock time for every
+//! evaluated solver.  [`Timeline`] collects `(time, iteration, LL/token)`
+//! points for one solver run and can render them as CSV for external
+//! plotting, and answer the "time to reach quality X" queries used in the
+//! comparison harness.
+
+use serde::{Deserialize, Serialize};
+
+/// One measurement point of a solver run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergencePoint {
+    /// Simulated (or measured) wall-clock time since training started.
+    pub time_s: f64,
+    /// Iteration index (0-based, recorded *after* the iteration completes).
+    pub iteration: u32,
+    /// Log-likelihood per token at this point.
+    pub loglik_per_token: f64,
+}
+
+/// A labelled convergence series.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Label of the run (solver + platform + dataset).
+    pub label: String,
+    points: Vec<ConvergencePoint>,
+}
+
+impl Timeline {
+    /// An empty timeline with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Timeline {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point; time must be non-decreasing.
+    pub fn push(&mut self, point: ConvergencePoint) {
+        if let Some(last) = self.points.last() {
+            debug_assert!(point.time_s >= last.time_s, "time must not go backwards");
+        }
+        self.points.push(point);
+    }
+
+    /// The recorded points in order.
+    pub fn points(&self) -> &[ConvergencePoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The best (largest) log-likelihood per token seen so far.
+    pub fn best_loglik(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.loglik_per_token)
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+
+    /// First time at which the run reached `target` log-likelihood per token
+    /// (`None` if it never did) — the "time to quality" comparison of §7.2.
+    pub fn time_to_reach(&self, target: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.loglik_per_token >= target)
+            .map(|p| p.time_s)
+    }
+
+    /// Render as CSV (`time_s,iteration,loglik_per_token` with a header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,iteration,loglik_per_token\n");
+        for p in &self.points {
+            out.push_str(&format!("{},{},{}\n", p.time_s, p.iteration, p.loglik_per_token));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Timeline {
+        let mut t = Timeline::new("CuLDA/Volta/NYTimes");
+        for i in 0..5u32 {
+            t.push(ConvergencePoint {
+                time_s: i as f64 * 0.5,
+                iteration: i,
+                loglik_per_token: -10.0 + i as f64,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn push_and_query() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.best_loglik(), Some(-6.0));
+        assert_eq!(t.time_to_reach(-8.0), Some(1.0));
+        assert_eq!(t.time_to_reach(-5.0), None);
+    }
+
+    #[test]
+    fn empty_timeline_queries() {
+        let t = Timeline::new("empty");
+        assert!(t.is_empty());
+        assert_eq!(t.best_loglik(), None);
+        assert_eq!(t.time_to_reach(-1.0), None);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_point() {
+        let t = sample();
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 6);
+        assert!(csv.starts_with("time_s,iteration,loglik_per_token"));
+        assert!(csv.contains("2,4,-6"));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn time_going_backwards_is_rejected_in_debug() {
+        let mut t = Timeline::new("bad");
+        t.push(ConvergencePoint { time_s: 1.0, iteration: 0, loglik_per_token: -5.0 });
+        t.push(ConvergencePoint { time_s: 0.5, iteration: 1, loglik_per_token: -4.0 });
+    }
+}

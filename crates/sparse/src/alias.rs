@@ -1,0 +1,179 @@
+//! Vose alias tables for O(1) multinomial sampling.
+//!
+//! CuLDA_CGS itself samples with index trees (see [`crate::index_tree`]), but
+//! the WarpLDA baseline the paper compares against (Chen et al., VLDB'16) is a
+//! Metropolis–Hastings sampler whose word-proposal distribution is drawn from
+//! an alias table that is rebuilt once per iteration.  The baseline crate uses
+//! this implementation.
+
+use rand::Rng;
+
+/// A Vose alias table over `n` buckets.
+///
+/// Construction is `O(n)`; each draw is `O(1)` (one uniform, one comparison,
+/// at most one indirection).
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability of each bucket.
+    prob: Vec<f32>,
+    /// Alias bucket used when the acceptance test fails.
+    alias: Vec<u32>,
+    /// Total weight the table was built from (kept for diagnostics).
+    total: f64,
+}
+
+impl AliasTable {
+    /// Build an alias table from unnormalised, non-negative weights.
+    ///
+    /// Zero-weight buckets are valid and will (up to floating-point error)
+    /// never be drawn.  An all-zero weight vector yields a uniform table,
+    /// matching the convention of the reference WarpLDA implementation.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty.
+    pub fn new(weights: &[f32]) -> Self {
+        assert!(!weights.is_empty(), "cannot build an alias table over no weights");
+        let n = weights.len();
+        let total: f64 = weights.iter().map(|&w| w as f64).sum();
+        if total <= 0.0 {
+            return AliasTable {
+                prob: vec![1.0; n],
+                alias: (0..n as u32).collect(),
+                total: 0.0,
+            };
+        }
+        // Scale weights so the average bucket has weight 1.
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w as f64 * scale).collect();
+
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &w) in scaled.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+
+        let mut prob = vec![1.0f32; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s as usize] = scaled[s as usize] as f32;
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Whatever is left (numerical leftovers) gets probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+
+        AliasTable { prob, alias, total }
+    }
+
+    /// Number of buckets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no buckets (never constructed in practice).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// The total weight the table was built from.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Draw one bucket index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let i = rng.gen_range(0..n);
+        if rng.gen::<f32>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn empirical(weights: &[f32], draws: usize) -> Vec<f64> {
+        let table = AliasTable::new(weights);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_draw_uniformly() {
+        let freq = empirical(&[1.0, 1.0, 1.0, 1.0], 80_000);
+        for f in freq {
+            assert!((f - 0.25).abs() < 0.02, "frequency {f} too far from 0.25");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_follow_distribution() {
+        let w = [8.0, 1.0, 1.0];
+        let freq = empirical(&w, 120_000);
+        assert!((freq[0] - 0.8).abs() < 0.02);
+        assert!((freq[1] - 0.1).abs() < 0.02);
+        assert!((freq[2] - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_weight_bucket_is_never_drawn() {
+        let freq = empirical(&[0.0, 1.0, 3.0], 50_000);
+        assert_eq!(freq[0], 0.0);
+        assert!((freq[2] - 0.75).abs() < 0.02);
+    }
+
+    #[test]
+    fn all_zero_weights_fall_back_to_uniform() {
+        let freq = empirical(&[0.0, 0.0], 10_000);
+        assert!((freq[0] - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn single_bucket_always_selected() {
+        let table = AliasTable::new(&[0.4]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn total_is_preserved() {
+        let table = AliasTable::new(&[2.0, 3.0, 5.0]);
+        assert!((table.total() - 10.0).abs() < 1e-9);
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_weights_panic() {
+        let _ = AliasTable::new(&[]);
+    }
+}

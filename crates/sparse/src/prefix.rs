@@ -1,0 +1,194 @@
+//! Prefix sums (scans).
+//!
+//! Prefix sums appear in two places in CuLDA_CGS:
+//!
+//! * the index tree for tree-based sampling is built over the *inclusive*
+//!   prefix sum of the (sparse or dense) probability vector (§6.1.1, Fig. 5);
+//! * the update-θ kernel compacts a dense per-document scratch row back into
+//!   CSR using an *exclusive* prefix sum over per-row non-zero counts (§6.2).
+//!
+//! Both a sequential implementation (used inside a single simulated thread
+//! block) and a rayon-parallel implementation (used host-side when rebuilding
+//! a whole chunk's row pointers) are provided.
+
+use rayon::prelude::*;
+
+/// In-place inclusive prefix sum: `out[i] = Σ_{j<=i} in[j]`.
+pub fn inclusive_scan_f32(values: &mut [f32]) {
+    let mut acc = 0.0f32;
+    for v in values.iter_mut() {
+        acc += *v;
+        *v = acc;
+    }
+}
+
+/// Inclusive prefix sum into a new vector, returning the total as well.
+pub fn inclusive_scan_f32_to(values: &[f32]) -> (Vec<f32>, f32) {
+    let mut out = Vec::with_capacity(values.len());
+    let mut acc = 0.0f32;
+    for &v in values {
+        acc += v;
+        out.push(acc);
+    }
+    (out, acc)
+}
+
+/// In-place exclusive prefix sum over `u32` counts:
+/// `out[i] = Σ_{j<i} in[j]`; returns the grand total.
+pub fn exclusive_scan_u32(values: &mut [u32]) -> u32 {
+    let mut acc = 0u32;
+    for v in values.iter_mut() {
+        let cur = *v;
+        *v = acc;
+        acc += cur;
+    }
+    acc
+}
+
+/// Exclusive prefix sum producing a `rows + 1` CSR-style row pointer array
+/// from per-row counts.
+pub fn row_ptr_from_counts(counts: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0u32;
+    out.push(0);
+    for &c in counts {
+        acc += c;
+        out.push(acc);
+    }
+    out
+}
+
+/// Parallel exclusive prefix sum over `u64` counts, returning a `len + 1`
+/// offsets array.  Used host-side when partitioning a corpus into chunks by
+/// token count (§5.1) where the number of documents can be in the millions.
+///
+/// The implementation is a classic two-pass block scan: per-block sums are
+/// computed in parallel, scanned sequentially (the number of blocks is tiny),
+/// and then each block is re-scanned in parallel with its offset.
+pub fn parallel_offsets_u64(counts: &[u64]) -> Vec<u64> {
+    const BLOCK: usize = 16_384;
+    if counts.len() <= BLOCK {
+        let mut out = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0u64;
+        out.push(0);
+        for &c in counts {
+            acc += c;
+            out.push(acc);
+        }
+        return out;
+    }
+
+    let block_sums: Vec<u64> = counts
+        .par_chunks(BLOCK)
+        .map(|chunk| chunk.iter().sum())
+        .collect();
+
+    let mut block_offsets = Vec::with_capacity(block_sums.len());
+    let mut acc = 0u64;
+    for &s in &block_sums {
+        block_offsets.push(acc);
+        acc += s;
+    }
+    let total = acc;
+
+    let mut out = vec![0u64; counts.len() + 1];
+    out[counts.len()] = total;
+    // Fill out[0..len) in parallel, one block at a time.
+    out[..counts.len()]
+        .par_chunks_mut(BLOCK)
+        .zip(counts.par_chunks(BLOCK))
+        .zip(block_offsets.par_iter())
+        .for_each(|((out_chunk, in_chunk), &base)| {
+            let mut acc = base;
+            for (o, &c) in out_chunk.iter_mut().zip(in_chunk) {
+                *o = acc;
+                acc += c;
+            }
+        });
+    out
+}
+
+/// Binary search over an inclusive prefix-sum array: smallest `i` such that
+/// `u < prefix[i]`.  This is the "search problem" formulation of multinomial
+/// sampling that the index tree accelerates (§6.1.1).
+pub fn search_prefix(prefix: &[f32], u: f32) -> usize {
+    debug_assert!(!prefix.is_empty());
+    let mut lo = 0usize;
+    let mut hi = prefix.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if u < prefix[mid] {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo.min(prefix.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusive_scan_basic() {
+        let mut v = vec![1.0, 2.0, 3.0, 4.0];
+        inclusive_scan_f32(&mut v);
+        assert_eq!(v, vec![1.0, 3.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn inclusive_scan_to_returns_total() {
+        let (p, total) = inclusive_scan_f32_to(&[0.5, 0.25, 0.25]);
+        assert_eq!(p, vec![0.5, 0.75, 1.0]);
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exclusive_scan_u32_basic() {
+        let mut v = vec![3, 0, 2, 5];
+        let total = exclusive_scan_u32(&mut v);
+        assert_eq!(v, vec![0, 3, 3, 5]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn row_ptr_from_counts_matches_manual() {
+        assert_eq!(row_ptr_from_counts(&[2, 0, 3]), vec![0, 2, 2, 5]);
+        assert_eq!(row_ptr_from_counts(&[]), vec![0]);
+    }
+
+    #[test]
+    fn parallel_offsets_small_input() {
+        assert_eq!(parallel_offsets_u64(&[1, 2, 3]), vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn parallel_offsets_matches_sequential_on_large_input() {
+        let counts: Vec<u64> = (0..100_000u64).map(|i| i % 7).collect();
+        let par = parallel_offsets_u64(&counts);
+        let mut acc = 0u64;
+        let mut seq = vec![0u64];
+        for &c in &counts {
+            acc += c;
+            seq.push(acc);
+        }
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn search_prefix_finds_first_bucket_exceeding_u() {
+        let p = vec![0.1, 0.3, 0.6, 1.0];
+        assert_eq!(search_prefix(&p, 0.05), 0);
+        assert_eq!(search_prefix(&p, 0.1), 1);
+        assert_eq!(search_prefix(&p, 0.59), 2);
+        assert_eq!(search_prefix(&p, 0.99), 3);
+        // Out-of-range u clamps to the last bucket.
+        assert_eq!(search_prefix(&p, 2.0), 3);
+    }
+
+    #[test]
+    fn search_prefix_single_element() {
+        assert_eq!(search_prefix(&[1.0], 0.3), 0);
+    }
+}

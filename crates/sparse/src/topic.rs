@@ -1,0 +1,101 @@
+//! Topic identifiers.
+//!
+//! CuLDA_CGS stores topic indices as 16-bit integers ("precision
+//! compression", §6.1.3): the paper observes that practical topic counts K
+//! never exceed 2^16, so CSR column indices and φ entries can be halved in
+//! size, which matters for a memory-bound workload.
+
+use serde::{Deserialize, Serialize};
+
+/// The integer type used to store a topic index on the device.
+///
+/// The paper uses `short int` (16 bits) because `K < 2^16` in all evaluated
+/// configurations.
+pub type TopicId = u16;
+
+/// A strongly typed topic index.
+///
+/// `Topic` is a thin newtype over [`TopicId`]; it exists so that document,
+/// word and topic indices cannot be accidentally swapped in kernel code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Topic(pub TopicId);
+
+impl Topic {
+    /// Largest representable topic index.
+    pub const MAX: Topic = Topic(TopicId::MAX);
+
+    /// Create a topic from a `usize`, panicking if it does not fit in 16 bits.
+    ///
+    /// # Panics
+    /// Panics if `k >= 65536`. The trainer validates `K` up front, so this is
+    /// an internal invariant rather than a user-facing error path.
+    #[inline]
+    pub fn new(k: usize) -> Self {
+        debug_assert!(k <= TopicId::MAX as usize, "topic index {k} exceeds u16");
+        Topic(k as TopicId)
+    }
+
+    /// Checked constructor: returns `None` when the index does not fit in the
+    /// compressed 16-bit representation.
+    #[inline]
+    pub fn try_new(k: usize) -> Option<Self> {
+        if k <= TopicId::MAX as usize {
+            Some(Topic(k as TopicId))
+        } else {
+            None
+        }
+    }
+
+    /// The topic index as a `usize`, suitable for indexing host-side arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<Topic> for usize {
+    #[inline]
+    fn from(t: Topic) -> usize {
+        t.index()
+    }
+}
+
+impl std::fmt::Display for Topic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "topic{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for k in [0usize, 1, 17, 1023, 65535] {
+            assert_eq!(Topic::new(k).index(), k);
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range() {
+        assert_eq!(Topic::try_new(65535), Some(Topic(65535)));
+        assert_eq!(Topic::try_new(65536), None);
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(Topic::new(3) < Topic::new(4));
+        assert!(Topic::new(1000) > Topic::new(999));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Topic::new(7).to_string(), "topic7");
+    }
+
+    #[test]
+    fn topic_is_two_bytes() {
+        assert_eq!(std::mem::size_of::<Topic>(), 2);
+    }
+}

@@ -1,0 +1,73 @@
+//! Held-out evaluation: train CuLDA_CGS, then score unseen documents with
+//! fold-in inference and the document-completion protocol.
+//!
+//! ```text
+//! cargo run --release --example heldout_perplexity
+//! ```
+
+use culda::core::{CuLdaTrainer, InferenceOptions, LdaConfig, ModelCheckpoint, TopicInferencer};
+use culda::corpus::{holdout, DatasetProfile};
+use culda::gpusim::{DeviceSpec, MultiGpuSystem};
+use culda::metrics::heldout::evaluate_heldout;
+
+fn main() {
+    // 1. A synthetic NYTimes twin, split 80/20 at the document level.
+    let corpus = DatasetProfile::nytimes()
+        .scaled_to_tokens(120_000)
+        .generate(7);
+    let split = holdout::split_documents(&corpus, 0.2, 7);
+    println!(
+        "train: {} docs / {} tokens   test: {} docs / {} tokens",
+        split.train.num_docs(),
+        split.train.num_tokens(),
+        split.test.num_docs(),
+        split.test.num_tokens()
+    );
+
+    // 2. Train on the training split only.
+    let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 7);
+    let mut trainer = CuLdaTrainer::new(
+        &split.train,
+        LdaConfig::with_topics(64).seed(7),
+        system,
+    )
+    .expect("trainer");
+
+    // 3. Evaluate held-out perplexity as training progresses.  Each test
+    //    document is split into an observed half (used to infer its topic
+    //    mixture) and a held-out half (scored against that mixture).
+    let completion = holdout::DocumentCompletion::split(&split.test, 0.5, 3);
+    let infer_opts = InferenceOptions {
+        sweeps: 20,
+        burn_in: 5,
+        seed: 11,
+    };
+    println!("{:>10}  {:>14}  {:>10}", "iteration", "loglik/token", "perplexity");
+    for round in 0..5 {
+        trainer.train(8);
+        let inferencer = TopicInferencer::from_trainer(&trainer);
+        let theta_counts = inferencer.infer_corpus_counts(&completion.observed, infer_opts);
+        let score = evaluate_heldout(
+            &completion.heldout,
+            &theta_counts,
+            &trainer.global_phi(),
+            &trainer.global_nk(),
+            trainer.config().alpha,
+            trainer.config().beta,
+        );
+        println!(
+            "{:>10}  {:>14.4}  {:>10.1}",
+            (round + 1) * 8,
+            score.per_token(),
+            score.perplexity()
+        );
+    }
+
+    // 4. Persist the trained model; the CLI (`culda-cli topics/infer/eval`)
+    //    and later sessions can reload it without re-training.
+    let path = std::env::temp_dir().join("culda_heldout_example.cldm");
+    ModelCheckpoint::from_trainer(&trainer)
+        .save(&path)
+        .expect("save checkpoint");
+    println!("model checkpoint written to {}", path.display());
+}

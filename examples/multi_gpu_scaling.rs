@@ -1,0 +1,64 @@
+//! Multi-GPU scaling on the PubMed-like corpus (Figure 9 at laptop scale).
+//!
+//! Trains the same corpus on 1, 2 and 4 simulated Pascal GPUs and reports the
+//! speedup of the simulated iteration time, together with where the time
+//! goes (compute vs φ synchronization) — the trade-off §5 is about.
+//!
+//! ```text
+//! cargo run --release --example multi_gpu_scaling
+//! ```
+
+use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::corpus::DatasetProfile;
+use culda::gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
+
+fn main() {
+    let corpus = DatasetProfile::pubmed().scaled_to_tokens(400_000).generate(11);
+    println!(
+        "PubMed twin: {} docs, {} tokens, {} words\n",
+        corpus.num_docs(),
+        corpus.num_tokens(),
+        corpus.vocab_size()
+    );
+
+    let iterations = 20;
+    let mut baseline = None;
+    println!(
+        "{:<8} {:>14} {:>10} {:>16} {:>16}",
+        "#GPUs", "MTokens/sec", "speedup", "compute (ms/it)", "sync (ms/it)"
+    );
+    for gpus in [1usize, 2, 4] {
+        let system = MultiGpuSystem::homogeneous(
+            DeviceSpec::titan_xp_pascal(),
+            gpus,
+            11,
+            Interconnect::Pcie3,
+        );
+        let mut trainer =
+            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(160).seed(11), system).unwrap();
+        trainer.train(iterations);
+        let tput = trainer.average_throughput(iterations);
+        let baseline_tput = *baseline.get_or_insert(tput);
+        let avg_compute: f64 = trainer
+            .history()
+            .iter()
+            .map(|h| h.compute_time_s)
+            .sum::<f64>()
+            / iterations as f64;
+        let avg_sync: f64 = trainer
+            .history()
+            .iter()
+            .map(|h| h.sync_time_s)
+            .sum::<f64>()
+            / iterations as f64;
+        println!(
+            "{:<8} {:>14.1} {:>9.2}x {:>16.3} {:>16.3}",
+            gpus,
+            tput / 1e6,
+            tput / baseline_tput,
+            avg_compute * 1e3,
+            avg_sync * 1e3
+        );
+    }
+    println!("\npaper (full-size PubMed, Pascal platform): 1.93x on 2 GPUs, 2.99x on 4 GPUs");
+}

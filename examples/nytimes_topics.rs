@@ -1,0 +1,74 @@
+//! Topic modelling on the NYTimes-like corpus across GPU generations.
+//!
+//! Reproduces the single-GPU portion of §7.1 at laptop scale: the same
+//! corpus is trained on the Maxwell, Pascal and Volta platforms of Table 2
+//! and the per-iteration sampling speed (Figure 7) is printed, followed by
+//! the learned topics.
+//!
+//! ```text
+//! cargo run --release --example nytimes_topics
+//! ```
+//!
+//! To run on the real NYTimes corpus, download `docword.nytimes.txt` from the
+//! UCI repository and pass its path as the first argument.
+
+use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::corpus::{bow, Corpus, DatasetProfile};
+use culda::gpusim::{DeviceSpec, MultiGpuSystem};
+
+fn load_corpus() -> Corpus {
+    if let Some(path) = std::env::args().nth(1) {
+        println!("loading UCI bag-of-words file {path} ...");
+        let file = std::fs::File::open(&path).expect("open corpus file");
+        bow::read_bow(std::io::BufReader::new(file)).expect("parse UCI bag-of-words file")
+    } else {
+        println!("no corpus path given; generating the scaled NYTimes twin");
+        DatasetProfile::nytimes().scaled_to_tokens(150_000).generate(7)
+    }
+}
+
+fn main() {
+    let corpus = load_corpus();
+    println!(
+        "corpus: {} docs, {} tokens, {} words (avg doc len {:.0})\n",
+        corpus.num_docs(),
+        corpus.num_tokens(),
+        corpus.vocab_size(),
+        corpus.avg_doc_len()
+    );
+
+    let iterations = 25;
+    let platforms = [
+        DeviceSpec::titan_x_maxwell(),
+        DeviceSpec::titan_xp_pascal(),
+        DeviceSpec::v100_volta(),
+    ];
+
+    let mut final_trainer = None;
+    for spec in platforms {
+        let name = spec.name.clone();
+        let system = MultiGpuSystem::single(spec, 7);
+        let mut trainer =
+            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(128).seed(7), system).unwrap();
+        trainer.train(iterations);
+        let series = trainer.throughput_per_iteration();
+        println!(
+            "{name:<28} avg {:>7.1} M tokens/s   (iteration 1: {:>6.1}M, iteration {iterations}: {:>6.1}M)",
+            trainer.average_throughput(iterations) / 1e6,
+            series.first().unwrap() / 1e6,
+            series.last().unwrap() / 1e6,
+        );
+        final_trainer = Some(trainer);
+    }
+
+    let trainer = final_trainer.unwrap();
+    println!("\nlearned topics (top words by count, Volta run):");
+    for k in 0..8.min(trainer.config().num_topics) {
+        let words: Vec<String> = trainer
+            .top_words(k, 10)
+            .into_iter()
+            .map(|(w, _)| format!("w{w}"))
+            .collect();
+        println!("  topic {k:>3}: {}", words.join(" "));
+    }
+}

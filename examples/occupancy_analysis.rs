@@ -1,0 +1,71 @@
+//! Theoretical occupancy of the paper's sampling kernel across topic counts
+//! and GPU generations (§6.1.2: 32 samplers per block, shared p*(k) + p2 tree).
+//!
+//! The paper fixes K between 1k and 10k; this analysis shows where the
+//! shared-memory footprint of the per-block p*(k) array starts to evict
+//! resident blocks on each architecture, i.e. how far the "one warp = one
+//! sampler, 32 samplers per block" design scales with the topic count.
+//!
+//! ```text
+//! cargo run --release --example occupancy_analysis
+//! ```
+
+use culda::gpusim::occupancy::{sampling_occupancy, ArchLimits, KernelResources};
+use culda::gpusim::Arch;
+
+fn main() {
+    let archs = [
+        ("Kepler (K40)", Arch::Kepler),
+        ("Maxwell (Titan X)", Arch::Maxwell),
+        ("Pascal (Titan Xp)", Arch::Pascal),
+        ("Volta (V100)", Arch::Volta),
+        ("Ampere (A100)", Arch::Ampere),
+    ];
+    let topic_counts = [256usize, 1024, 4096, 8192, 16384, 32768];
+
+    println!("Shared-memory footprint of one sampling block (32-way p2 tree):");
+    for &k in &topic_counts {
+        let usage = KernelResources::sampling_kernel(k, 32);
+        println!(
+            "  K = {:>6}: {:>7} bytes shared / block",
+            k, usage.shared_mem_per_block
+        );
+    }
+
+    println!("\nTheoretical occupancy (fraction of resident warps) per architecture:");
+    print!("{:<20}", "K");
+    for (name, _) in &archs {
+        print!(" {name:>18}");
+    }
+    println!();
+    for &k in &topic_counts {
+        print!("{:<20}", k);
+        for &(_, arch) in &archs {
+            let occ = sampling_occupancy(arch, k, 32);
+            print!(
+                " {:>13} {:>4.0}%",
+                format!("{}x{}w", occ.blocks_per_sm, occ.active_warps_per_sm),
+                occ.fraction * 100.0
+            );
+        }
+        println!();
+    }
+
+    println!("\nLimiting resource at K = 16384:");
+    for &(name, arch) in &archs {
+        let occ = sampling_occupancy(arch, 16384, 32);
+        let limits = ArchLimits::for_arch(arch);
+        println!(
+            "  {:<20} {:?} (shared/SM = {} KiB)",
+            name,
+            occ.limiter,
+            limits.shared_mem_per_sm / 1024
+        );
+    }
+
+    println!(
+        "\nAt the paper's K = 1k-10k every generation keeps the warp limit as the binding\n\
+         constraint, i.e. the 32-samplers-per-block layout saturates the SM; only at tens of\n\
+         thousands of topics does the shared p*(k) array start evicting resident blocks."
+    );
+}

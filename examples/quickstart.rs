@@ -1,0 +1,73 @@
+//! Quickstart: train LDA on a small synthetic corpus with one simulated GPU.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::corpus::DatasetProfile;
+use culda::gpusim::{DeviceSpec, MultiGpuSystem};
+use culda::metrics::log_likelihood;
+
+fn main() {
+    // 1. A corpus.  Real UCI bag-of-words files can be loaded with
+    //    `culda::corpus::bow::read_bow`; here we generate a synthetic twin of
+    //    the NYTimes dataset at laptop scale.
+    let corpus = DatasetProfile::nytimes()
+        .scaled_to_tokens(100_000)
+        .generate(42);
+    println!(
+        "corpus: {} documents, {} tokens, {} words",
+        corpus.num_docs(),
+        corpus.num_tokens(),
+        corpus.vocab_size()
+    );
+
+    // 2. A (simulated) GPU and the paper's default configuration: K topics,
+    //    alpha = 50/K, beta = 0.01.
+    let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 42);
+    let config = LdaConfig::with_topics(128).seed(42);
+    let mut trainer = CuLdaTrainer::new(&corpus, config, system).expect("trainer");
+
+    // 3. Train, printing progress every few iterations.
+    let iterations = 30;
+    trainer.train_with(iterations, |i, stats, trainer| {
+        if (i + 1) % 5 == 0 {
+            let cfg = trainer.config();
+            let ll = log_likelihood(
+                &trainer.merged_theta(),
+                &trainer.global_phi(),
+                &trainer.global_nk(),
+                cfg.alpha,
+                cfg.beta,
+            )
+            .per_token();
+            println!(
+                "iteration {:>3}: {:>7.1} M tokens/s (simulated), log-likelihood/token = {:.4}",
+                i + 1,
+                stats.tokens_processed as f64 / stats.sim_time_s / 1e6,
+                ll
+            );
+        }
+    });
+
+    // 4. Results.
+    println!(
+        "\nsimulated training time: {:.3} s  ({:.1} M tokens/s average)",
+        trainer.sim_time_s(),
+        trainer.average_throughput(iterations) / 1e6
+    );
+    println!("kernel breakdown (Table 5 style):");
+    for (kernel, pct) in trainer.kernel_breakdown() {
+        println!("  {kernel:<14} {pct:>5.1}%");
+    }
+    println!("\ntop words of the first 4 topics:");
+    for k in 0..4 {
+        let words: Vec<String> = trainer
+            .top_words(k, 8)
+            .into_iter()
+            .map(|(w, c)| format!("w{w}({c})"))
+            .collect();
+        println!("  topic {k}: {}", words.join(" "));
+    }
+}

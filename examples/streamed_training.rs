@@ -1,0 +1,83 @@
+//! The `M > 1` streaming schedule (`WorkSchedule2` of Algorithm 1): training
+//! a corpus that does not fit in device memory, with chunk transfers
+//! overlapped against sampling, plus the energy estimate of the run.
+//!
+//! ```text
+//! cargo run --release --example streamed_training
+//! ```
+
+use culda::core::{CuLdaTrainer, LdaConfig, ScheduleKind};
+use culda::corpus::DatasetProfile;
+use culda::gpusim::{DeviceSpec, EnergyModel, EnergyReport, Interconnect, MultiGpuSystem, Topology};
+
+fn main() {
+    // 1. A PubMed-like corpus and a deliberately memory-starved device (the
+    //    V100 spec with its memory cut to a fraction of a GiB) so the trainer
+    //    is forced into the streaming schedule exactly as §5.1 describes for
+    //    corpora larger than device memory.
+    let corpus = DatasetProfile::pubmed().scaled_to_tokens(300_000).generate(3);
+    let small_gpu = DeviceSpec::builder(DeviceSpec::v100_volta())
+        .name("V100 (2 MiB for the demo)")
+        .mem_capacity_bytes(2 << 20)
+        .build();
+    let system = MultiGpuSystem::homogeneous(small_gpu, 2, 3, Interconnect::Pcie3);
+
+    let mut trainer = CuLdaTrainer::new(&corpus, LdaConfig::with_topics(64).seed(3), system)
+        .expect("trainer");
+    match trainer.schedule() {
+        ScheduleKind::Streamed { chunks_per_gpu } => println!(
+            "streaming schedule selected: M = {chunks_per_gpu} chunks per GPU ({} chunks total)",
+            trainer.num_chunks()
+        ),
+        ScheduleKind::Resident => println!("resident schedule (corpus fits in device memory)"),
+    }
+
+    // 2. Train and report how much of the iteration time the PCIe transfers
+    //    consume versus the sampling itself.
+    let iterations = 10;
+    trainer.train(iterations);
+    let transfer: f64 = trainer.history().iter().map(|h| h.transfer_time_s).sum();
+    let total = trainer.sim_time_s();
+    println!(
+        "{iterations} iterations in {total:.3} simulated seconds ({:.1}% spent in transfers)",
+        transfer / total * 100.0
+    );
+    println!(
+        "throughput: {:.1} M tokens/s",
+        trainer.average_throughput(iterations) / 1e6
+    );
+
+    // 3. Energy estimate of the run: charge each device's busy time and the
+    //    corpus-sized traffic to the per-architecture energy model.
+    let mut report = EnergyReport::default();
+    for device in trainer.system().devices() {
+        let model = EnergyModel::for_spec(&device.spec);
+        // Approximate the per-device counters from its busy time and the
+        // bandwidth the roofline model says it sustained.
+        let bytes = (device.busy_time_s() * device.spec.effective_bandwidth_bytes_per_s()) as u64;
+        let counters = culda::gpusim::CostCounters {
+            dram_read_bytes: bytes,
+            ..Default::default()
+        };
+        let time = culda::gpusim::cost::kernel_time(&device.spec, &counters, 1_000_000);
+        report.add_kernel(&model, &counters, &time, trainer.total_tokens() / 2);
+    }
+    println!(
+        "energy estimate: {:.1} J total, {:.1} W average, {:.0} tokens/J",
+        report.total_j,
+        report.average_power_w(),
+        report.tokens_per_joule()
+    );
+
+    // 4. Would the φ synchronization be cheaper on NVLink?  Compare the §5.2
+    //    tree reduce+broadcast on both fabrics, and against a ring all-reduce.
+    let phi_bytes = (trainer.config().num_topics * trainer.vocab_size() * 2) as u64;
+    for topology in [Topology::PcieTree, Topology::NvLinkMesh] {
+        let (tree, ring, ratio) = topology.tree_vs_ring(2, phi_bytes, 500.0e9);
+        println!(
+            "{topology:?}: tree sync {:.3} ms, ring all-reduce {:.3} ms (tree/ring = {ratio:.2})",
+            tree * 1e3,
+            ring * 1e3
+        );
+    }
+}

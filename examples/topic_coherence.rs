@@ -1,0 +1,63 @@
+//! Topic quality on a planted topic model: coherence, diversity and how many
+//! of the generating topics CuLDA_CGS recovers.
+//!
+//! ```text
+//! cargo run --release --example topic_coherence
+//! ```
+
+use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::corpus::LdaGenerator;
+use culda::gpusim::{DeviceSpec, MultiGpuSystem};
+use culda::metrics::coherence::{
+    top_words, topic_quality_report, topics_recovered, CooccurrenceIndex, umass_coherence,
+};
+
+fn main() {
+    // 1. Draw a corpus from a *known* 8-topic LDA model so quality can be
+    //    judged against ground truth, not just by eyeball.
+    let num_topics = 8;
+    let (corpus, true_phi) = LdaGenerator::small(num_topics, 400, 1200, 60.0).generate(23);
+    println!(
+        "planted model: {} topics, {} documents, {} tokens",
+        num_topics,
+        corpus.num_docs(),
+        corpus.num_tokens()
+    );
+
+    // 2. Train.
+    let system = MultiGpuSystem::single(DeviceSpec::titan_xp_pascal(), 23);
+    let mut trainer =
+        CuLdaTrainer::new(&corpus, LdaConfig::with_topics(num_topics).seed(23), system)
+            .expect("trainer");
+    trainer.train(60);
+
+    // 3. Intrinsic quality: UMass/NPMI coherence + diversity of the learned topics.
+    let quality = topic_quality_report(&corpus, &trainer.global_phi(), 10);
+    println!(
+        "learned topics: mean UMass coherence {:.2}, mean NPMI {:.2}, diversity {:.2}",
+        quality.mean_coherence, quality.mean_npmi, quality.diversity
+    );
+
+    // 4. Recovery against the generating topics: a planted topic counts as
+    //    recovered when some learned topic shares most of its top-10 words.
+    let reference_top: Vec<Vec<u32>> = true_phi
+        .iter()
+        .map(|row| {
+            let mut idx: Vec<u32> = (0..row.len() as u32).collect();
+            idx.sort_by(|&a, &b| row[b as usize].partial_cmp(&row[a as usize]).unwrap());
+            idx.truncate(10);
+            idx
+        })
+        .collect();
+    let recovered = topics_recovered(&trainer.global_phi(), &reference_top, 10, 6);
+    println!("recovered {recovered}/{num_topics} planted topics (≥6/10 top-word overlap)");
+
+    // 5. Show the learned topics next to their coherence scores.
+    let index = CooccurrenceIndex::build(&corpus);
+    for k in 0..num_topics {
+        let words = top_words(&trainer.global_phi(), k, 8);
+        let coherence = umass_coherence(&index, &words);
+        let rendered: Vec<String> = words.iter().map(|w| format!("w{w}")).collect();
+        println!("topic {k}: [{}]  coherence {coherence:.2}", rendered.join(", "));
+    }
+}

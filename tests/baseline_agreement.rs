@@ -1,0 +1,77 @@
+//! Agreement between the solver families: all correct LDA samplers must end
+//! up at comparable model quality on the same corpus, while their (simulated)
+//! costs differ in the direction the paper reports.
+
+use culda::baselines::{CpuCgs, CuLdaSolver, LdaSolver, LdaStar, SaberLda, WarpLda};
+use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::corpus::LdaGenerator;
+use culda::gpusim::{DeviceSpec, MultiGpuSystem};
+
+#[test]
+fn all_solvers_reach_similar_quality_on_a_planted_corpus() {
+    let (corpus, _) = LdaGenerator::small(4, 120, 250, 25.0).generate(17);
+    let k = 4;
+    let iterations = 30;
+
+    let mut solvers: Vec<Box<dyn LdaSolver>> = vec![
+        Box::new(CuLdaSolver::new(
+            CuLdaTrainer::new(
+                &corpus,
+                LdaConfig::with_topics(k).seed(17),
+                MultiGpuSystem::single(DeviceSpec::v100_volta(), 17),
+            )
+            .unwrap(),
+            "CuLDA",
+        )),
+        Box::new(CpuCgs::with_paper_priors(&corpus, k, 17)),
+        Box::new(WarpLda::with_paper_priors(&corpus, k, 17)),
+        Box::new(SaberLda::on_gtx_1080(&corpus, k, 17).unwrap()),
+        Box::new(LdaStar::new(&corpus, k, 8, 17)),
+    ];
+
+    let mut finals = Vec::new();
+    for solver in &mut solvers {
+        for _ in 0..iterations {
+            solver.run_iteration();
+        }
+        finals.push((solver.name(), solver.loglik_per_token()));
+    }
+    let best = finals.iter().map(|&(_, ll)| ll).fold(f64::NEG_INFINITY, f64::max);
+    for (name, ll) in &finals {
+        assert!(
+            best - ll < 0.25,
+            "{name} ended at {ll:.4}, more than 0.25 nats/token behind the best ({best:.4})"
+        );
+    }
+}
+
+#[test]
+fn simulated_costs_order_as_in_the_paper() {
+    // CuLDA on Volta < SaberLDA-style on GTX 1080 < WarpLDA on the Xeon, and
+    // the Ethernet-bound distributed baseline is the slowest per unit work.
+    let (corpus, _) = LdaGenerator::small(8, 400, 600, 60.0).generate(23);
+    let k = 64;
+    let iterations = 4;
+
+    let time_of = |mut solver: Box<dyn LdaSolver>| {
+        for _ in 0..iterations {
+            solver.run_iteration();
+        }
+        solver.elapsed_s()
+    };
+
+    let culda = time_of(Box::new(CuLdaSolver::new(
+        CuLdaTrainer::new(
+            &corpus,
+            LdaConfig::with_topics(k).seed(23),
+            MultiGpuSystem::single(DeviceSpec::v100_volta(), 23),
+        )
+        .unwrap(),
+        "CuLDA (V100)",
+    )));
+    let saber = time_of(Box::new(SaberLda::on_gtx_1080(&corpus, k, 23).unwrap()));
+    let warp = time_of(Box::new(WarpLda::with_paper_priors(&corpus, k, 23)));
+
+    assert!(culda < saber, "CuLDA {culda:.3e} should beat SaberLDA-style {saber:.3e}");
+    assert!(saber < warp, "GPU baseline {saber:.3e} should beat CPU WarpLDA {warp:.3e}");
+}

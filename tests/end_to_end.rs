@@ -1,0 +1,129 @@
+//! End-to-end integration tests: the full CuLDA_CGS pipeline on corpora with
+//! known structure, cross-checked against the exact serial CGS reference.
+
+use culda::baselines::{CpuCgs, LdaSolver};
+use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::corpus::{DatasetProfile, LdaGenerator};
+use culda::gpusim::{DeviceSpec, MultiGpuSystem};
+use culda::metrics::log_likelihood;
+
+fn trainer_loglik(trainer: &CuLdaTrainer) -> f64 {
+    let cfg = trainer.config();
+    log_likelihood(
+        &trainer.merged_theta(),
+        &trainer.global_phi(),
+        &trainer.global_nk(),
+        cfg.alpha,
+        cfg.beta,
+    )
+    .per_token()
+}
+
+#[test]
+fn culda_converges_on_a_planted_topic_model() {
+    // Corpus drawn from a known 6-topic model: training must raise the joint
+    // likelihood substantially and keep every count invariant intact.
+    let (corpus, _truth) = LdaGenerator::small(6, 200, 400, 40.0).generate(11);
+    let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 11);
+    let mut trainer =
+        CuLdaTrainer::new(&corpus, LdaConfig::with_topics(6).seed(11), system).unwrap();
+    let before = trainer_loglik(&trainer);
+    trainer.train(25);
+    trainer.validate().unwrap();
+    let after = trainer_loglik(&trainer);
+    assert!(
+        after > before + 0.2,
+        "likelihood should improve markedly: {before} → {after}"
+    );
+}
+
+#[test]
+fn culda_reaches_the_quality_of_exact_serial_cgs() {
+    // The GPU solver uses delayed updates (§6.2); it must still converge to
+    // essentially the same joint likelihood as the exact collapsed sampler.
+    let (corpus, _) = LdaGenerator::small(5, 150, 300, 30.0).generate(4);
+    let k = 5;
+
+    let mut exact = CpuCgs::with_paper_priors(&corpus, k, 21);
+    for _ in 0..40 {
+        exact.run_iteration();
+    }
+    let exact_ll = exact.loglik_per_token();
+
+    let system = MultiGpuSystem::single(DeviceSpec::titan_x_maxwell(), 21);
+    let mut trainer =
+        CuLdaTrainer::new(&corpus, LdaConfig::with_topics(k).seed(21), system).unwrap();
+    trainer.train(40);
+    let culda_ll = trainer_loglik(&trainer);
+
+    let gap = (exact_ll - culda_ll).abs();
+    assert!(
+        gap < 0.15,
+        "CuLDA ({culda_ll:.4}) should match exact CGS ({exact_ll:.4}) within 0.15 nats/token"
+    );
+}
+
+#[test]
+fn theta_sparsifies_and_throughput_ramps_up_as_in_figure7() {
+    // §7.1: "the performance increases slowly at first few iterations and
+    // goes steady later ... the sparsity rate of model θ increases".
+    let corpus = DatasetProfile::nytimes().scaled_to_tokens(60_000).generate(3);
+    let system = MultiGpuSystem::single(DeviceSpec::titan_xp_pascal(), 3);
+    let mut trainer =
+        CuLdaTrainer::new(&corpus, LdaConfig::with_topics(64).seed(3), system).unwrap();
+    let nnz_before = trainer.merged_theta().nnz();
+    trainer.train(15);
+    let nnz_after = trainer.merged_theta().nnz();
+    assert!(nnz_after < nnz_before, "θ must sparsify: {nnz_before} → {nnz_after}");
+
+    let series = trainer.throughput_per_iteration();
+    let early: f64 = series[..3].iter().sum::<f64>() / 3.0;
+    let late: f64 = series[series.len() - 3..].iter().sum::<f64>() / 3.0;
+    assert!(
+        late > early,
+        "throughput should ramp up as θ sparsifies: {early:.3e} → {late:.3e}"
+    );
+}
+
+#[test]
+fn training_is_deterministic_for_a_fixed_seed() {
+    let corpus = DatasetProfile::pubmed().scaled_to_tokens(30_000).generate(9);
+    let run = |seed: u64| {
+        let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), seed);
+        let mut trainer =
+            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(32).seed(seed), system).unwrap();
+        trainer.train(5);
+        (trainer.global_nk(), trainer.sim_time_s())
+    };
+    let (nk_a, time_a) = run(77);
+    let (nk_b, time_b) = run(77);
+    let (nk_c, _) = run(78);
+    assert_eq!(nk_a, nk_b, "same seed must give identical topic totals");
+    assert!((time_a - time_b).abs() < 1e-12);
+    assert_ne!(nk_a, nk_c, "different seeds should explore different states");
+}
+
+#[test]
+fn gpu_solver_is_faster_than_cpu_baseline_in_simulated_time() {
+    // The Table 4 headline at integration-test scale: CuLDA on any GPU beats
+    // the WarpLDA CPU baseline in simulated tokens/sec.
+    use culda::baselines::WarpLda;
+    let corpus = DatasetProfile::nytimes().scaled_to_tokens(40_000).generate(5);
+    let k = 64;
+    let system = MultiGpuSystem::single(DeviceSpec::titan_x_maxwell(), 5);
+    let mut trainer =
+        CuLdaTrainer::new(&corpus, LdaConfig::with_topics(k).seed(5), system).unwrap();
+    trainer.train(5);
+    let culda_tps = trainer.average_throughput(5);
+
+    let mut warp = WarpLda::with_paper_priors(&corpus, k, 5);
+    let mut warp_time = 0.0;
+    for _ in 0..5 {
+        warp_time += warp.run_iteration();
+    }
+    let warp_tps = corpus.num_tokens() as f64 * 5.0 / warp_time;
+    assert!(
+        culda_tps > warp_tps,
+        "CuLDA ({culda_tps:.3e}) should out-sample WarpLDA ({warp_tps:.3e})"
+    );
+}

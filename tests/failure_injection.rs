@@ -1,0 +1,202 @@
+//! Failure-injection tests for the on-disk formats.
+//!
+//! Corpus snapshots (`CLDC`) and model checkpoints (`CLDM`) are the two
+//! artefacts a production pipeline stores and reloads; a corrupted or
+//! truncated file — or one whose header advertises absurd sizes — must come
+//! back as a structured error, never as a panic, an abort on allocation, or a
+//! silently wrong model.
+
+use culda::core::checkpoint::{self, CheckpointError, ModelCheckpoint};
+use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::corpus::snapshot::{self, read_corpus, write_corpus, SnapshotError};
+use culda::corpus::DatasetProfile;
+use culda::gpusim::{DeviceSpec, MultiGpuSystem};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn snapshot_bytes() -> Vec<u8> {
+    let corpus = DatasetProfile {
+        name: "inject".into(),
+        num_docs: 60,
+        vocab_size: 40,
+        avg_doc_len: 12.0,
+        zipf_exponent: 1.0,
+        doc_len_sigma: 0.4,
+    }
+    .generate(5);
+    let mut buf = Vec::new();
+    write_corpus(&corpus, &mut buf).unwrap();
+    buf
+}
+
+fn checkpoint_bytes() -> Vec<u8> {
+    let corpus = DatasetProfile {
+        name: "inject".into(),
+        num_docs: 50,
+        vocab_size: 30,
+        avg_doc_len: 10.0,
+        zipf_exponent: 1.0,
+        doc_len_sigma: 0.4,
+    }
+    .generate(6);
+    let mut trainer = CuLdaTrainer::new(
+        &corpus,
+        LdaConfig::with_topics(8).seed(6),
+        MultiGpuSystem::single(DeviceSpec::v100_volta(), 6),
+    )
+    .unwrap();
+    trainer.train(3);
+    let ckpt = ModelCheckpoint::from_trainer(&trainer);
+    let mut buf = Vec::new();
+    ckpt.write(&mut buf).unwrap();
+    buf
+}
+
+/// Overwrite the little-endian u64 at byte `offset`.
+fn patch_u64(bytes: &mut [u8], offset: usize, value: u64) {
+    bytes[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+}
+
+// Snapshot layout: magic(4) version(4) vocab(8) docs(8) tokens(8) doc_ptr...
+const SNAP_VOCAB_OFF: usize = 8;
+const SNAP_DOCS_OFF: usize = 16;
+const SNAP_TOKENS_OFF: usize = 24;
+
+// Checkpoint layout: magic(4) version(4) K(8) V(8) D(8) alpha(8) beta(8) ...
+const CKPT_K_OFF: usize = 8;
+const CKPT_V_OFF: usize = 16;
+const CKPT_D_OFF: usize = 24;
+const CKPT_ALPHA_OFF: usize = 32;
+
+#[test]
+fn snapshot_with_absurd_document_count_fails_cleanly() {
+    let mut bytes = snapshot_bytes();
+    patch_u64(&mut bytes, SNAP_DOCS_OFF, u64::MAX);
+    match read_corpus(&bytes[..]) {
+        Err(SnapshotError::Io(_)) | Err(SnapshotError::Corrupt(_)) => {}
+        other => panic!("expected a clean error, got {other:?}"),
+    }
+}
+
+#[test]
+fn snapshot_with_absurd_token_count_fails_cleanly() {
+    let mut bytes = snapshot_bytes();
+    patch_u64(&mut bytes, SNAP_TOKENS_OFF, u64::MAX / 2);
+    match read_corpus(&bytes[..]) {
+        Err(SnapshotError::Io(_)) | Err(SnapshotError::Corrupt(_)) => {}
+        other => panic!("expected a clean error, got {other:?}"),
+    }
+}
+
+#[test]
+fn snapshot_with_shrunk_vocabulary_reports_out_of_range_words() {
+    let mut bytes = snapshot_bytes();
+    // Claim a vocabulary of one word; the token stream then contains ids
+    // outside the advertised range.
+    patch_u64(&mut bytes, SNAP_VOCAB_OFF, 1);
+    match read_corpus(&bytes[..]) {
+        Err(SnapshotError::Corrupt(msg)) => assert!(msg.contains("out of range")),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn snapshot_truncated_at_every_prefix_never_panics() {
+    let bytes = snapshot_bytes();
+    // Every strict prefix must fail (or, for prefixes that happen to end on a
+    // document boundary of a shorter corpus, at least not panic).
+    for len in 0..bytes.len().min(256) {
+        let _ = read_corpus(&bytes[..len]);
+    }
+    for len in (0..bytes.len()).step_by(61) {
+        let _ = read_corpus(&bytes[..len]);
+    }
+    // The full buffer still parses.
+    assert!(read_corpus(&bytes[..]).is_ok());
+}
+
+#[test]
+fn snapshot_random_byte_soup_never_panics() {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    for trial in 0..200 {
+        let len = (trial * 7) % 96;
+        let soup: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        assert!(read_corpus(&soup[..]).is_err());
+    }
+    // Byte soup behind a valid magic + version header.
+    let mut prefixed = Vec::new();
+    prefixed.extend_from_slice(snapshot::MAGIC);
+    prefixed.extend_from_slice(&snapshot::VERSION.to_le_bytes());
+    for _ in 0..256 {
+        prefixed.push(rng.gen());
+    }
+    assert!(read_corpus(&prefixed[..]).is_err());
+}
+
+#[test]
+fn checkpoint_with_overflowing_model_shape_is_corrupt() {
+    let mut bytes = checkpoint_bytes();
+    patch_u64(&mut bytes, CKPT_K_OFF, u64::MAX / 2);
+    patch_u64(&mut bytes, CKPT_V_OFF, 1 << 40);
+    match ModelCheckpoint::read(&bytes[..]) {
+        Err(CheckpointError::Corrupt(msg)) => assert!(msg.contains("overflows")),
+        Err(CheckpointError::Io(_)) => {}
+        other => panic!("expected a clean error, got {other:?}"),
+    }
+}
+
+#[test]
+fn checkpoint_with_absurd_document_count_fails_cleanly() {
+    let mut bytes = checkpoint_bytes();
+    patch_u64(&mut bytes, CKPT_D_OFF, u64::MAX - 7);
+    match ModelCheckpoint::read(&bytes[..]) {
+        Err(CheckpointError::Io(_)) | Err(CheckpointError::Corrupt(_)) => {}
+        other => panic!("expected a clean error, got {other:?}"),
+    }
+}
+
+#[test]
+fn checkpoint_with_non_positive_prior_is_rejected_by_validation() {
+    let mut bytes = checkpoint_bytes();
+    bytes[CKPT_ALPHA_OFF..CKPT_ALPHA_OFF + 8].copy_from_slice(&(-1.0f64).to_le_bytes());
+    match ModelCheckpoint::read(&bytes[..]) {
+        Err(CheckpointError::Corrupt(msg)) => assert!(msg.contains("prior")),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn checkpoint_count_bit_flip_is_caught_by_validation() {
+    let bytes = checkpoint_bytes();
+    // Flip one φ count somewhere in the middle of the dense block; the n_k /
+    // φ-row-sum cross-check must notice the inconsistency.
+    let mut flipped = bytes.clone();
+    let phi_start = 48 + 8 * 8; // 48-byte header + nk (K = 8 topics × 8 bytes)
+    flipped[phi_start + 17] ^= 0x01;
+    match ModelCheckpoint::read(&flipped[..]) {
+        Err(CheckpointError::Corrupt(_)) => {}
+        Ok(_) => panic!("bit flip in φ counts went unnoticed"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    // The pristine buffer still parses and validates.
+    assert!(ModelCheckpoint::read(&bytes[..]).is_ok());
+}
+
+#[test]
+fn checkpoint_truncated_and_random_soup_never_panic() {
+    let bytes = checkpoint_bytes();
+    for len in (0..bytes.len()).step_by(97) {
+        assert!(ModelCheckpoint::read(&bytes[..len]).is_err());
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    for _ in 0..100 {
+        let len = rng.gen_range(0..128);
+        let mut soup: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        // Half the trials get a valid magic so the parser goes deeper.
+        if rng.gen::<bool>() && soup.len() >= 8 {
+            soup[..4].copy_from_slice(checkpoint::MAGIC);
+            soup[4..8].copy_from_slice(&checkpoint::VERSION.to_le_bytes());
+        }
+        assert!(ModelCheckpoint::read(&soup[..]).is_err());
+    }
+}

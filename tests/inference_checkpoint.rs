@@ -1,0 +1,165 @@
+//! Integration tests for the serving path: training → checkpoint → reload →
+//! fold-in inference → held-out evaluation, crossing the core, corpus and
+//! metrics crates.
+
+use culda::core::{
+    CuLdaTrainer, InferenceOptions, LdaConfig, ModelCheckpoint, TopicInferencer,
+};
+use culda::corpus::holdout::{split_documents, DocumentCompletion};
+use culda::corpus::LdaGenerator;
+use culda::gpusim::{DeviceSpec, MultiGpuSystem};
+use culda::metrics::heldout::evaluate_heldout;
+
+/// Corpus drawn from a planted topic model, split into train/test documents.
+fn planted_split() -> (culda::corpus::Corpus, culda::corpus::Corpus, usize) {
+    let num_topics = 6;
+    let (corpus, _) = LdaGenerator::small(num_topics, 250, 600, 45.0).generate(31);
+    let split = split_documents(&corpus, 0.25, 31);
+    (split.train, split.test, num_topics)
+}
+
+fn train(corpus: &culda::corpus::Corpus, topics: usize, iterations: usize) -> CuLdaTrainer {
+    let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 9);
+    let mut trainer =
+        CuLdaTrainer::new(corpus, LdaConfig::with_topics(topics).seed(9), system).unwrap();
+    trainer.train(iterations);
+    trainer
+}
+
+#[test]
+fn trained_model_beats_untrained_model_on_heldout_documents() {
+    let (train_corpus, test_corpus, k) = planted_split();
+    let completion = DocumentCompletion::split(&test_corpus, 0.5, 5);
+    completion.validate_against(&test_corpus).unwrap();
+    let opts = InferenceOptions {
+        sweeps: 25,
+        burn_in: 5,
+        seed: 17,
+    };
+
+    let score_of = |trainer: &CuLdaTrainer| {
+        let inferencer = TopicInferencer::from_trainer(trainer);
+        let theta = inferencer.infer_corpus_counts(&completion.observed, opts);
+        evaluate_heldout(
+            &completion.heldout,
+            &theta,
+            &trainer.global_phi(),
+            &trainer.global_nk(),
+            trainer.config().alpha,
+            trainer.config().beta,
+        )
+    };
+
+    let untrained = train(&train_corpus, k, 0);
+    let trained = train(&train_corpus, k, 40);
+    let before = score_of(&untrained);
+    let after = score_of(&trained);
+    assert_eq!(before.num_tokens, after.num_tokens);
+    assert!(
+        after.per_token() > before.per_token() + 0.05,
+        "held-out loglik did not improve: {} → {}",
+        before.per_token(),
+        after.per_token()
+    );
+    assert!(after.perplexity() < before.perplexity());
+}
+
+#[test]
+fn checkpoint_roundtrip_preserves_serving_behaviour() {
+    let (train_corpus, test_corpus, k) = planted_split();
+    let trainer = train(&train_corpus, k, 15);
+    let ckpt = ModelCheckpoint::from_trainer(&trainer);
+    ckpt.validate().unwrap();
+
+    let path = std::env::temp_dir().join("culda_it_checkpoint.cldm");
+    ckpt.save(&path).unwrap();
+    let reloaded = ModelCheckpoint::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reloaded, ckpt);
+    assert_eq!(reloaded.total_tokens(), train_corpus.num_tokens() as u64);
+
+    // Inference through the reloaded checkpoint is bit-identical to inference
+    // through the live trainer.
+    let opts = InferenceOptions::default();
+    let live = TopicInferencer::from_trainer(&trainer);
+    let restored = reloaded.inferencer();
+    for d in 0..10.min(test_corpus.num_docs()) {
+        let a = live.infer_document(test_corpus.doc(d), opts);
+        let b = restored.infer_document(test_corpus.doc(d), opts);
+        assert_eq!(a, b, "document {d} diverged after checkpoint reload");
+    }
+}
+
+#[test]
+fn inference_assigns_planted_documents_to_matching_topics() {
+    // Train on the full planted corpus, then check that fold-in inference of
+    // the *training* documents lands on a dominant topic for most documents
+    // (the planted model has sharply separated topics).
+    let num_topics = 4;
+    let (corpus, _) = LdaGenerator::small(num_topics, 150, 300, 50.0).generate(77);
+    let trainer = train(&corpus, num_topics, 40);
+    let inferencer = TopicInferencer::from_trainer(&trainer);
+    let results = inferencer.infer_corpus(
+        &corpus,
+        InferenceOptions {
+            sweeps: 20,
+            burn_in: 5,
+            seed: 3,
+        },
+    );
+    assert_eq!(results.len(), corpus.num_docs());
+    let confident = results
+        .iter()
+        .filter(|r| r.top_topics(1)[0].1 > 0.5)
+        .count();
+    assert!(
+        confident * 2 > corpus.num_docs(),
+        "only {confident}/{} documents have a dominant topic",
+        corpus.num_docs()
+    );
+}
+
+#[test]
+fn hyperparameter_optimization_runs_on_trained_counts() {
+    let (train_corpus, _, k) = planted_split();
+    let trainer = train(&train_corpus, k, 10);
+    let alpha = culda::core::optimize_alpha(
+        &trainer.merged_theta(),
+        trainer.config().alpha,
+        culda::core::HyperOptOptions::default(),
+    );
+    let beta = culda::core::optimize_beta(
+        &trainer.global_phi(),
+        &trainer.global_nk(),
+        trainer.config().beta,
+        culda::core::HyperOptOptions::default(),
+    );
+    assert!(alpha.value > 0.0 && alpha.value.is_finite());
+    assert!(beta.value > 0.0 && beta.value.is_finite());
+    // Planted documents concentrate on few topics, so the optimized α should
+    // come out below the 50/K default the paper fixes.
+    assert!(
+        alpha.value < trainer.config().alpha,
+        "α = {} vs default {}",
+        alpha.value,
+        trainer.config().alpha
+    );
+}
+
+#[test]
+fn convergence_monitor_stops_training_on_a_small_corpus() {
+    let (train_corpus, _, k) = planted_split();
+    let system = MultiGpuSystem::single(DeviceSpec::titan_x_maxwell(), 4);
+    let mut trainer =
+        CuLdaTrainer::new(&train_corpus, LdaConfig::with_topics(k).seed(4), system).unwrap();
+    let outcome = culda::core::train_until_converged(
+        &mut trainer,
+        200,
+        2,
+        culda::core::ConvergenceMonitor::new(1e-3, 2),
+    );
+    assert!(outcome.converged, "no convergence in {} iters", outcome.iterations);
+    assert!(outcome.iterations < 200);
+    assert!(outcome.loglik_per_token.windows(2).all(|w| w[1] > w[0] - 0.05));
+    trainer.validate().unwrap();
+}

@@ -1,0 +1,170 @@
+//! Integration tests spanning the corpus pipeline (text ingestion, snapshots,
+//! holdout splits), the interconnect topology models and the scaling
+//! bookkeeping used for Figure 9.
+
+use culda::core::{CuLdaTrainer, LdaConfig, ScheduleKind};
+use culda::corpus::text::{PruneOptions, TextPipeline, TokenizerOptions};
+use culda::corpus::{load_corpus, save_corpus, DatasetProfile};
+use culda::gpusim::{DeviceSpec, Interconnect, MultiGpuSystem, Topology};
+use culda::metrics::coherence::top_words;
+use culda::metrics::ScalingSeries;
+
+#[test]
+fn raw_text_trains_into_interpretable_topics_end_to_end() {
+    // Two well-separated themes: animal documents and arithmetic documents.
+    let animal = [
+        "cat dog horse cow sheep goat",
+        "dog cat bird fish horse",
+        "cow sheep goat horse dog cat",
+        "bird fish cat dog cow",
+    ];
+    let math = [
+        "add subtract multiply divide number",
+        "number add multiply integer fraction",
+        "divide fraction integer number subtract",
+        "multiply add integer fraction divide",
+    ];
+    let mut pipeline = TextPipeline::new(TokenizerOptions {
+        min_token_len: 2,
+        remove_stopwords: false,
+        ..TokenizerOptions::default()
+    })
+    .with_pruning(PruneOptions::default());
+    for doc in animal.iter().chain(math.iter()).cycle().take(80) {
+        pipeline.ingest(doc);
+    }
+    let (corpus, vocab) = pipeline.build();
+    assert_eq!(corpus.num_docs(), 80);
+
+    let mut config = LdaConfig::with_topics(2).seed(2);
+    config.alpha = 0.1;
+    let system = MultiGpuSystem::single(DeviceSpec::titan_x_maxwell(), 2);
+    let mut trainer = CuLdaTrainer::new(&corpus, config, system).unwrap();
+    trainer.train(150);
+    trainer.validate().unwrap();
+
+    // Each learned topic's top words should stay within one theme.
+    let phi = trainer.global_phi();
+    let animal_words: Vec<u32> = ["cat", "dog", "horse", "cow", "sheep", "goat", "bird", "fish"]
+        .iter()
+        .filter_map(|w| vocab.id(w))
+        .collect();
+    let mut purities = Vec::new();
+    for k in 0..2 {
+        let top = top_words(&phi, k, 5);
+        let animal_hits = top.iter().filter(|w| animal_words.contains(w)).count();
+        purities.push(animal_hits);
+    }
+    purities.sort_unstable();
+    assert_eq!(purities[0], 0, "one topic should be purely arithmetic: {purities:?}");
+    assert_eq!(purities[1], 5, "one topic should be purely animals: {purities:?}");
+}
+
+#[test]
+fn corpus_snapshot_roundtrips_through_disk_and_trains_identically() {
+    let corpus = DatasetProfile::nytimes().scaled_to_tokens(30_000).generate(13);
+    let path = std::env::temp_dir().join("culda_it_corpus.cldc");
+    save_corpus(&corpus, &path).unwrap();
+    let reloaded = load_corpus(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reloaded, corpus);
+
+    // Identical corpora + identical seeds ⇒ identical training trajectories.
+    let run = |c: &culda::corpus::Corpus| {
+        let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 21);
+        let mut t = CuLdaTrainer::new(c, LdaConfig::with_topics(16).seed(21), system).unwrap();
+        t.train(3);
+        t.global_phi()
+    };
+    assert_eq!(run(&corpus), run(&reloaded));
+}
+
+#[test]
+fn forced_streaming_matches_resident_training_statistically() {
+    // The streaming schedule (M > 1) must preserve every count invariant and
+    // reach a similar likelihood to the resident schedule — it only changes
+    // *where* chunks live, not the sampling math.
+    let corpus = DatasetProfile::nytimes().scaled_to_tokens(40_000).generate(8);
+    let loglik_of = |chunks_per_gpu: Option<usize>| {
+        let system = MultiGpuSystem::single(DeviceSpec::titan_xp_pascal(), 8);
+        let mut config = LdaConfig::with_topics(16).seed(8);
+        if let Some(m) = chunks_per_gpu {
+            config = config.chunks_per_gpu(m);
+        }
+        let mut t = CuLdaTrainer::new(&corpus, config, system).unwrap();
+        if chunks_per_gpu.is_some() {
+            assert!(matches!(t.schedule(), ScheduleKind::Streamed { .. }));
+        }
+        t.train(15);
+        t.validate().unwrap();
+        let cfg = t.config().clone();
+        culda::metrics::log_likelihood(
+            &t.merged_theta(),
+            &t.global_phi(),
+            &t.global_nk(),
+            cfg.alpha,
+            cfg.beta,
+        )
+        .per_token()
+    };
+    let resident = loglik_of(None);
+    let streamed = loglik_of(Some(4));
+    assert!(
+        (resident - streamed).abs() < 0.15,
+        "resident {resident:.3} vs streamed {streamed:.3}"
+    );
+}
+
+#[test]
+fn multi_gpu_scaling_series_matches_figure9_shape() {
+    // Train the same corpus on 1, 2 and 4 simulated Pascal GPUs and feed the
+    // measured throughputs into the ScalingSeries bookkeeping; the speedups
+    // must be sub-linear but substantial, as Figure 9 reports.
+    // The laptop-scale corpus makes the φ synchronization proportionally far
+    // more expensive than at the paper's 738M-token scale, so this test runs
+    // the sweep on NVLink (where sync is not the bottleneck) and only checks
+    // the qualitative shape; the PCIe Figure 9 reproduction — with its 4×
+    // token budget restoring the paper's compute-to-sync ratio — lives in the
+    // Figure 9 bench.
+    let corpus = DatasetProfile::pubmed().scaled_to_tokens(250_000).generate(6);
+    let mut series = ScalingSeries::new();
+    for &gpus in &[1usize, 2, 4] {
+        let system = MultiGpuSystem::homogeneous(
+            DeviceSpec::titan_xp_pascal(),
+            gpus,
+            6,
+            Interconnect::NvLink,
+        );
+        let mut t =
+            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(64).seed(6), system).unwrap();
+        t.train(8);
+        series.push(gpus, t.average_throughput(8));
+    }
+    let s2 = series.speedup_at(2).unwrap();
+    let s4 = series.speedup_at(4).unwrap();
+    assert!(s2 > 1.4 && s2 <= 2.05, "2-GPU speedup {s2:.2}");
+    assert!(s4 > 1.8 && s4 <= 4.05, "4-GPU speedup {s4:.2}");
+    assert!(s4 > s2);
+    let serial = series.amdahl_serial_fraction().unwrap();
+    assert!(serial >= 0.0 && serial < 0.5, "serial fraction {serial:.3}");
+}
+
+#[test]
+fn topology_models_agree_with_the_papers_interconnect_argument() {
+    // §3.2: NVLink ≫ PCIe ≫ 10 GbE.  The φ replica of a K=1024, V=100k model
+    // at 16-bit precision is ~200 MB; sync times must order accordingly.
+    let phi_bytes: u64 = 1024 * 100_000 * 2;
+    let add_bw = 500.0e9;
+    let pcie = Topology::PcieTree.tree_sync_time_s(4, phi_bytes, add_bw);
+    let nvlink = Topology::NvLinkMesh.tree_sync_time_s(4, phi_bytes, add_bw);
+    let ethernet = Topology::Uniform {
+        link: Interconnect::Ethernet10G,
+        shared: true,
+    }
+    .tree_sync_time_s(4, phi_bytes, add_bw);
+    assert!(nvlink < pcie && pcie < ethernet);
+    // The Ethernet sync alone costs on the order of seconds, which is the
+    // whole reason LDA* is network bound.
+    assert!(ethernet > 1.0, "ethernet sync {ethernet:.2}s");
+    assert!(pcie < 0.5, "pcie sync {pcie:.3}s");
+}

@@ -1,0 +1,99 @@
+//! Cross-crate property tests: for arbitrary corpora and configurations the
+//! pipeline must preserve its conservation laws.
+
+use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::corpus::{Corpus, CorpusBuilder, Partitioner};
+use culda::gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
+use proptest::prelude::*;
+
+/// An arbitrary small corpus: up to 40 documents over a vocabulary of up to
+/// 30 words, each document up to 30 tokens.
+fn arb_corpus() -> impl Strategy<Value = Corpus> {
+    (2usize..30).prop_flat_map(|vocab| {
+        prop::collection::vec(
+            prop::collection::vec(0u32..vocab as u32, 0..30),
+            1..40,
+        )
+        .prop_map(move |docs| {
+            let mut b = CorpusBuilder::new(vocab);
+            for doc in &docs {
+                b.push_doc(doc);
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Partitioning never loses or duplicates tokens, for any chunk count.
+    #[test]
+    fn partitioning_conserves_tokens(corpus in arb_corpus(), chunks in 1usize..9) {
+        let partitioner = Partitioner::by_tokens(&corpus, chunks);
+        let total: u64 = partitioner.tokens_per_chunk().iter().sum();
+        prop_assert_eq!(total, corpus.num_tokens() as u64);
+        let layouts = partitioner.build_layouts(&corpus);
+        let layout_total: usize = layouts.iter().map(|l| l.num_tokens()).sum();
+        prop_assert_eq!(layout_total, corpus.num_tokens());
+        for l in &layouts {
+            prop_assert!(l.validate().is_ok());
+        }
+    }
+
+    /// After any number of training iterations on any GPU count, every count
+    /// matrix still sums to the corpus token count and the likelihood is a
+    /// finite negative number.
+    #[test]
+    fn training_preserves_conservation_laws(
+        corpus in arb_corpus(),
+        k in 2usize..12,
+        gpus in 1usize..4,
+        iterations in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(corpus.num_tokens() > 0);
+        let system = MultiGpuSystem::homogeneous(
+            DeviceSpec::titan_x_maxwell(),
+            gpus,
+            seed,
+            Interconnect::Pcie3,
+        );
+        let mut trainer = CuLdaTrainer::new(
+            &corpus,
+            LdaConfig::with_topics(k).seed(seed),
+            system,
+        ).unwrap();
+        for _ in 0..iterations {
+            trainer.run_iteration();
+        }
+        prop_assert!(trainer.validate().is_ok());
+        let cfg = trainer.config();
+        let ll = culda::metrics::log_likelihood(
+            &trainer.merged_theta(),
+            &trainer.global_phi(),
+            &trainer.global_nk(),
+            cfg.alpha,
+            cfg.beta,
+        );
+        prop_assert!(ll.total().is_finite());
+        prop_assert!(ll.total() < 0.0);
+        prop_assert_eq!(ll.num_tokens, corpus.num_tokens() as u64);
+        // Simulated time must be positive once an iteration has run.
+        if iterations > 0 {
+            prop_assert!(trainer.sim_time_s() > 0.0);
+        }
+    }
+
+    /// The UCI bag-of-words round trip preserves per-document word counts for
+    /// arbitrary corpora.
+    #[test]
+    fn bow_round_trip(corpus in arb_corpus()) {
+        let mut buf = Vec::new();
+        culda::corpus::bow::write_bow(&corpus, &mut buf).unwrap();
+        let parsed = culda::corpus::bow::read_bow(buf.as_slice()).unwrap();
+        prop_assert_eq!(parsed.num_docs(), corpus.num_docs());
+        prop_assert_eq!(parsed.num_tokens(), corpus.num_tokens());
+        prop_assert_eq!(parsed.word_frequencies(), corpus.word_frequencies());
+    }
+}
