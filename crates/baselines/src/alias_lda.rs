@@ -152,7 +152,10 @@ impl AliasLda {
         for (k, row) in self.topic_word.iter().enumerate() {
             let s: u64 = row.iter().map(|&c| c as u64).sum();
             if s != self.topic_total[k] {
-                return Err(format!("φ row {k} sums to {s}, n_k is {}", self.topic_total[k]));
+                return Err(format!(
+                    "φ row {k} sums to {s}, n_k is {}",
+                    self.topic_total[k]
+                ));
             }
         }
         Ok(())
@@ -163,8 +166,7 @@ impl AliasLda {
     #[inline]
     fn posterior_mass(&self, d: usize, w: usize, k: usize) -> f64 {
         let v_beta = self.beta * self.vocab_size as f64;
-        (self.doc_topic[d][k] as f64 + self.alpha)
-            * (self.topic_word[k][w] as f64 + self.beta)
+        (self.doc_topic[d][k] as f64 + self.alpha) * (self.topic_word[k][w] as f64 + self.beta)
             / (self.topic_total[k] as f64 + v_beta)
     }
 
@@ -283,7 +285,7 @@ impl LdaSolver for AliasLda {
                         doc_topics[idx] as usize
                     } else {
                         // Stale dense part: O(1) alias draw.
-                        stale.table.sample(&mut self.rng) as usize
+                        stale.table.sample(&mut self.rng)
                     };
                     counters.dram_read_bytes += CACHE_LINE;
                     counters.rng_draws += 1;
@@ -296,8 +298,7 @@ impl LdaSolver for AliasLda {
                     // alias part: accept with p(k')q(k) / (p(k)q(k')).
                     let accept = self.posterior_mass(d, w, k_prop)
                         * self.proposal_mass(d, w, k, stale)
-                        / (self.posterior_mass(d, w, k)
-                            * self.proposal_mass(d, w, k_prop, stale));
+                        / (self.posterior_mass(d, w, k) * self.proposal_mass(d, w, k_prop, stale));
                     counters.dram_read_bytes += 2 * CACHE_LINE;
                     counters.flops += 16;
                     counters.rng_draws += 1;
@@ -355,6 +356,24 @@ impl LdaSolver for AliasLda {
 
     fn elapsed_s(&self) -> f64 {
         self.elapsed_s
+    }
+}
+
+impl crate::solver::SolverState for AliasLda {
+    fn doc_topic_counts(&self) -> Vec<Vec<u32>> {
+        self.doc_topic.clone()
+    }
+
+    fn topic_word_counts(&self) -> Vec<Vec<u32>> {
+        self.topic_word.clone()
+    }
+
+    fn topic_totals_vec(&self) -> Vec<u64> {
+        self.topic_total.clone()
+    }
+
+    fn z_assignments(&self) -> Vec<Vec<u16>> {
+        self.z.clone()
     }
 }
 
@@ -421,10 +440,24 @@ mod tests {
     #[test]
     fn more_mh_steps_cost_more_simulated_time() {
         let corpus = corpus();
-        let mut fast =
-            AliasLda::new(&corpus, 8, 50.0 / 8.0, 0.01, 1, 9, DeviceSpec::xeon_e5_2690v4());
-        let mut slow =
-            AliasLda::new(&corpus, 8, 50.0 / 8.0, 0.01, 4, 9, DeviceSpec::xeon_e5_2690v4());
+        let mut fast = AliasLda::new(
+            &corpus,
+            8,
+            50.0 / 8.0,
+            0.01,
+            1,
+            9,
+            DeviceSpec::xeon_e5_2690v4(),
+        );
+        let mut slow = AliasLda::new(
+            &corpus,
+            8,
+            50.0 / 8.0,
+            0.01,
+            4,
+            9,
+            DeviceSpec::xeon_e5_2690v4(),
+        );
         let t_fast = fast.run_iteration();
         let t_slow = slow.run_iteration();
         assert!(t_slow > t_fast, "{t_slow} vs {t_fast}");

@@ -140,7 +140,10 @@ impl LdaSolver for CpuCgs {
                     self.prob[k] = sum;
                 }
                 let u = self.rng.gen::<f64>() * sum;
-                let new = self.prob.partition_point(|&p| p <= u).min(self.num_topics - 1);
+                let new = self
+                    .prob
+                    .partition_point(|&p| p <= u)
+                    .min(self.num_topics - 1);
                 // Re-insert with the new topic.
                 self.z[d][t] = new as u16;
                 self.doc_topic[d][new] += 1;
@@ -189,6 +192,24 @@ impl LdaSolver for CpuCgs {
 
     fn elapsed_s(&self) -> f64 {
         self.elapsed_s
+    }
+}
+
+impl crate::solver::SolverState for CpuCgs {
+    fn doc_topic_counts(&self) -> Vec<Vec<u32>> {
+        self.doc_topic.clone()
+    }
+
+    fn topic_word_counts(&self) -> Vec<Vec<u32>> {
+        self.topic_word.clone()
+    }
+
+    fn topic_totals_vec(&self) -> Vec<u64> {
+        self.topic_total.clone()
+    }
+
+    fn z_assignments(&self) -> Vec<Vec<u16>> {
+        self.z.clone()
     }
 }
 
@@ -260,6 +281,9 @@ mod tests {
             cgs.run_iteration();
         }
         let after = entropy(&cgs);
-        assert!(after < before, "topic entropy should drop: {before} → {after}");
+        assert!(
+            after < before,
+            "topic entropy should drop: {before} → {after}"
+        );
     }
 }

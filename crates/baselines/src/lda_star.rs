@@ -18,7 +18,7 @@
 //! boundaries, so the statistics match a single synchronized sampler).  The
 //! substitution is documented in `DESIGN.md`.
 
-use crate::solver::LdaSolver;
+use crate::solver::{LdaSolver, SolverState};
 use crate::warplda::WarpLda;
 use culda_corpus::Corpus;
 use culda_gpusim::{DeviceSpec, Interconnect};
@@ -99,6 +99,24 @@ impl LdaSolver for LdaStar {
     }
 }
 
+impl SolverState for LdaStar {
+    fn doc_topic_counts(&self) -> Vec<Vec<u32>> {
+        self.sampler.doc_topic_counts()
+    }
+
+    fn topic_word_counts(&self) -> Vec<Vec<u32>> {
+        self.sampler.topic_word_counts()
+    }
+
+    fn topic_totals_vec(&self) -> Vec<u64> {
+        self.sampler.topic_totals_vec()
+    }
+
+    fn z_assignments(&self) -> Vec<Vec<u16>> {
+        self.sampler.z_assignments()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,7 +143,10 @@ mod tests {
         let t20 = twenty.run_iteration();
         // The network term is identical, so scaling is sublinear.
         assert!(t20 < t2);
-        assert!(t20 > t2 / 10.0, "scaling cannot be near-linear: {t2} vs {t20}");
+        assert!(
+            t20 > t2 / 10.0,
+            "scaling cannot be near-linear: {t2} vs {t20}"
+        );
         assert_eq!(two.sync_time_s(), twenty.sync_time_s());
     }
 

@@ -49,6 +49,6 @@ pub use cpu_cgs::CpuCgs;
 pub use lda_star::LdaStar;
 pub use lightlda::LightLda;
 pub use saberlda::SaberLda;
-pub use solver::{CuLdaSolver, LdaSolver};
+pub use solver::{CuLdaSolver, LdaSolver, SolverState};
 pub use sparselda::SparseLda;
 pub use warplda::WarpLda;

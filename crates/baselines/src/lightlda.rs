@@ -144,8 +144,7 @@ impl LightLda {
     #[inline]
     fn posterior_mass(&self, d: usize, w: usize, k: usize) -> f64 {
         let v_beta = self.beta * self.vocab_size as f64;
-        (self.doc_topic[d][k] as f64 + self.alpha)
-            * (self.topic_word[k][w] as f64 + self.beta)
+        (self.doc_topic[d][k] as f64 + self.alpha) * (self.topic_word[k][w] as f64 + self.beta)
             / (self.topic_total[k] as f64 + v_beta)
     }
 
@@ -280,6 +279,24 @@ impl LdaSolver for LightLda {
 
     fn elapsed_s(&self) -> f64 {
         self.elapsed_s
+    }
+}
+
+impl crate::solver::SolverState for LightLda {
+    fn doc_topic_counts(&self) -> Vec<Vec<u32>> {
+        self.doc_topic.clone()
+    }
+
+    fn topic_word_counts(&self) -> Vec<Vec<u32>> {
+        self.topic_word.clone()
+    }
+
+    fn topic_totals_vec(&self) -> Vec<u64> {
+        self.topic_total.clone()
+    }
+
+    fn z_assignments(&self) -> Vec<Vec<u16>> {
+        self.z.clone()
     }
 }
 

@@ -29,7 +29,12 @@ pub struct SaberLda {
 impl SaberLda {
     /// Build the baseline on the given GPU spec (the published numbers use a
     /// GTX 1080).
-    pub fn new(corpus: &Corpus, num_topics: usize, seed: u64, spec: DeviceSpec) -> Result<Self, culda_core::TrainerError> {
+    pub fn new(
+        corpus: &Corpus,
+        num_topics: usize,
+        seed: u64,
+        spec: DeviceSpec,
+    ) -> Result<Self, culda_core::TrainerError> {
         let mut config = LdaConfig::with_topics(num_topics).seed(seed);
         config.share_p2_tree = false;
         config.compress_16bit = false;
@@ -42,13 +47,35 @@ impl SaberLda {
     }
 
     /// Build on the GTX 1080 used by the published SaberLDA results.
-    pub fn on_gtx_1080(corpus: &Corpus, num_topics: usize, seed: u64) -> Result<Self, culda_core::TrainerError> {
+    pub fn on_gtx_1080(
+        corpus: &Corpus,
+        num_topics: usize,
+        seed: u64,
+    ) -> Result<Self, culda_core::TrainerError> {
         Self::new(corpus, num_topics, seed, DeviceSpec::gtx_1080())
     }
 
     /// Access the underlying trainer (for breakdowns in the harness).
     pub fn trainer(&self) -> &CuLdaTrainer {
         self.inner.trainer()
+    }
+}
+
+impl crate::solver::SolverState for SaberLda {
+    fn doc_topic_counts(&self) -> Vec<Vec<u32>> {
+        self.inner.doc_topic_counts()
+    }
+
+    fn topic_word_counts(&self) -> Vec<Vec<u32>> {
+        self.inner.topic_word_counts()
+    }
+
+    fn topic_totals_vec(&self) -> Vec<u64> {
+        self.inner.topic_totals_vec()
+    }
+
+    fn z_assignments(&self) -> Vec<Vec<u16>> {
+        self.inner.z_assignments()
     }
 }
 

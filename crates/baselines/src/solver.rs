@@ -19,6 +19,23 @@ pub trait LdaSolver {
     fn elapsed_s(&self) -> f64;
 }
 
+/// Read-only access to a solver's model state, in solver-agnostic dense
+/// form.  Every solver in the workspace implements this alongside
+/// [`LdaSolver`]; the cross-sampler conformance suite in `culda-testkit`
+/// checks its invariants (count conservation, non-negativity, φ/θ
+/// normalization, seed determinism) through this interface alone.
+pub trait SolverState {
+    /// θ as dense per-document topic counts (`D × K`, corpus order).
+    fn doc_topic_counts(&self) -> Vec<Vec<u32>>;
+    /// φ as dense per-topic word counts (`K × V`).
+    fn topic_word_counts(&self) -> Vec<Vec<u32>>;
+    /// Per-topic totals `n_k` (`K` entries).
+    fn topic_totals_vec(&self) -> Vec<u64>;
+    /// The topic assignment of every token, per document in corpus order
+    /// and per token in original document order.
+    fn z_assignments(&self) -> Vec<Vec<u16>>;
+}
+
 /// [`LdaSolver`] adapter for the CuLDA_CGS trainer itself.
 pub struct CuLdaSolver {
     trainer: CuLdaTrainer,
@@ -42,6 +59,29 @@ impl CuLdaSolver {
     /// Mutable access to the wrapped trainer.
     pub fn trainer_mut(&mut self) -> &mut CuLdaTrainer {
         &mut self.trainer
+    }
+}
+
+impl SolverState for CuLdaSolver {
+    fn doc_topic_counts(&self) -> Vec<Vec<u32>> {
+        self.trainer.merged_theta().to_dense()
+    }
+
+    fn topic_word_counts(&self) -> Vec<Vec<u32>> {
+        let phi = self.trainer.global_phi();
+        (0..phi.rows()).map(|k| phi.row(k).to_vec()).collect()
+    }
+
+    fn topic_totals_vec(&self) -> Vec<u64> {
+        self.trainer
+            .global_nk()
+            .iter()
+            .map(|&n| u64::try_from(n).expect("negative topic total"))
+            .collect()
+    }
+
+    fn z_assignments(&self) -> Vec<Vec<u16>> {
+        self.trainer.z_snapshot()
     }
 }
 

@@ -163,7 +163,10 @@ impl SparseLda {
         for (d, row) in self.doc_topic.iter().enumerate() {
             let len: u64 = row.iter().map(|&(_, c)| c as u64).sum();
             if len != self.docs[d].len() as u64 {
-                return Err(format!("document {d} counts {len} != {}", self.docs[d].len()));
+                return Err(format!(
+                    "document {d} counts {len} != {}",
+                    self.docs[d].len()
+                ));
             }
         }
         Ok(())
@@ -194,7 +197,9 @@ impl LdaSolver for SparseLda {
             // r(k) over the document's non-zero topics.
             let mut r_total: f64 = self.doc_topic[d]
                 .iter()
-                .map(|&(k, c)| c as f64 * self.beta / (self.topic_total[k as usize] as f64 + v_beta))
+                .map(|&(k, c)| {
+                    c as f64 * self.beta / (self.topic_total[k as usize] as f64 + v_beta)
+                })
                 .sum();
             counters.dram_read_bytes += self.doc_topic[d].len() as u64 * 8;
             counters.flops += self.doc_topic[d].len() as u64 * 3;
@@ -233,8 +238,8 @@ impl LdaSolver for SparseLda {
                         .find(|&&(kk, _)| kk as usize == k)
                         .map(|&(_, c)| c)
                         .unwrap_or(0) as f64;
-                    let term = (doc_c + self.alpha) * phi as f64
-                        / (self.topic_total[k] as f64 + v_beta);
+                    let term =
+                        (doc_c + self.alpha) * phi as f64 / (self.topic_total[k] as f64 + v_beta);
                     q_total += term;
                     q_terms.push((k as u16, term));
                 }
@@ -262,7 +267,8 @@ impl LdaSolver for SparseLda {
                     let mut acc = 0.0;
                     let mut chosen = self.doc_topic[d].last().map(|&(k, _)| k).unwrap_or(0);
                     for &(k, c) in &self.doc_topic[d] {
-                        acc += c as f64 * self.beta / (self.topic_total[k as usize] as f64 + v_beta);
+                        acc +=
+                            c as f64 * self.beta / (self.topic_total[k as usize] as f64 + v_beta);
                         if target <= acc {
                             chosen = k;
                             break;
@@ -352,6 +358,33 @@ impl LdaSolver for SparseLda {
 
     fn elapsed_s(&self) -> f64 {
         self.elapsed_s
+    }
+}
+
+impl crate::solver::SolverState for SparseLda {
+    fn doc_topic_counts(&self) -> Vec<Vec<u32>> {
+        self.doc_topic
+            .iter()
+            .map(|row| {
+                let mut dense = vec![0u32; self.num_topics];
+                for &(k, c) in row {
+                    dense[k as usize] = c;
+                }
+                dense
+            })
+            .collect()
+    }
+
+    fn topic_word_counts(&self) -> Vec<Vec<u32>> {
+        self.topic_word.clone()
+    }
+
+    fn topic_totals_vec(&self) -> Vec<u64> {
+        self.topic_total.clone()
+    }
+
+    fn z_assignments(&self) -> Vec<Vec<u16>> {
+        self.z.clone()
     }
 }
 

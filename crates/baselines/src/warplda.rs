@@ -266,6 +266,24 @@ impl LdaSolver for WarpLda {
     }
 }
 
+impl crate::solver::SolverState for WarpLda {
+    fn doc_topic_counts(&self) -> Vec<Vec<u32>> {
+        self.doc_topic.clone()
+    }
+
+    fn topic_word_counts(&self) -> Vec<Vec<u32>> {
+        self.topic_word.clone()
+    }
+
+    fn topic_totals_vec(&self) -> Vec<u64> {
+        self.topic_total.clone()
+    }
+
+    fn z_assignments(&self) -> Vec<Vec<u16>> {
+        self.z.clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

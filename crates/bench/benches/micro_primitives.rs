@@ -52,7 +52,11 @@ fn bench_prefix_and_csr(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(prefix::parallel_offsets_u64(&counts)))
     });
     let rows: Vec<Vec<(u16, u32)>> = (0..2000)
-        .map(|d| (0..64u16).map(|k| ((k * 7 + d as u16) % 96, 1u32)).collect())
+        .map(|d| {
+            (0..64u16)
+                .map(|k| ((k * 7 + d as u16) % 96, 1u32))
+                .collect()
+        })
         .collect();
     group.bench_function("csr_rebuild_2000x96", |b| {
         b.iter(|| {
@@ -66,5 +70,10 @@ fn bench_prefix_and_csr(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_index_tree, bench_alias_table, bench_prefix_and_csr);
+criterion_group!(
+    benches,
+    bench_index_tree,
+    bench_alias_table,
+    bench_prefix_and_csr
+);
 criterion_main!(benches);

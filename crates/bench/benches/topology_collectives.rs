@@ -28,8 +28,10 @@ fn print_sync_table() {
         "model", "topology", "GPUs", "tree", "ring", "tree/ring"
     );
     for &(name, bytes) in PHI_BYTES {
-        for (topo_name, topo) in [("pcie-tree", Topology::PcieTree), ("nvlink", Topology::NvLinkMesh)]
-        {
+        for (topo_name, topo) in [
+            ("pcie-tree", Topology::PcieTree),
+            ("nvlink", Topology::NvLinkMesh),
+        ] {
             for gpus in [2usize, 4, 8] {
                 let (tree, ring, ratio) = topo.tree_vs_ring(gpus, bytes, ADD_BW);
                 println!(
@@ -88,32 +90,24 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("collectives/sync_time_model");
     group.sample_size(20);
     for gpus in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("tree_pcie", gpus),
-            &gpus,
-            |b, &gpus| {
-                b.iter(|| {
-                    std::hint::black_box(Topology::PcieTree.tree_sync_time_s(
-                        gpus,
-                        PHI_BYTES[0].1,
-                        ADD_BW,
-                    ))
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("ring_pcie", gpus),
-            &gpus,
-            |b, &gpus| {
-                b.iter(|| {
-                    std::hint::black_box(Topology::PcieTree.ring_allreduce_time_s(
-                        gpus,
-                        PHI_BYTES[0].1,
-                        ADD_BW,
-                    ))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("tree_pcie", gpus), &gpus, |b, &gpus| {
+            b.iter(|| {
+                std::hint::black_box(Topology::PcieTree.tree_sync_time_s(
+                    gpus,
+                    PHI_BYTES[0].1,
+                    ADD_BW,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ring_pcie", gpus), &gpus, |b, &gpus| {
+            b.iter(|| {
+                std::hint::black_box(Topology::PcieTree.ring_allreduce_time_s(
+                    gpus,
+                    PHI_BYTES[0].1,
+                    ADD_BW,
+                ))
+            })
+        });
     }
     group.finish();
 }

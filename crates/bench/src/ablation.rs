@@ -176,7 +176,8 @@ pub fn transfer_compression_text(t: &TransferCompression) -> String {
 
 /// Render the ablation table.
 pub fn ablations_text(rows: &[Ablation]) -> String {
-    let mut out = String::from("Ablations of CuLDA_CGS design choices (NYTimes twin, Maxwell, simulated)\n");
+    let mut out =
+        String::from("Ablations of CuLDA_CGS design choices (NYTimes twin, Maxwell, simulated)\n");
     out.push_str(&format!(
         "{:<44} {:>14} {:>14} {:>9}\n",
         "Design choice", "with (MT/s)", "without (MT/s)", "speedup"

@@ -76,7 +76,14 @@ fn main() {
         .collect();
 
     let all = [
-        "table1", "platforms", "table3", "table4", "table5", "figure7", "figure8", "figure9",
+        "table1",
+        "platforms",
+        "table3",
+        "table4",
+        "table5",
+        "figure7",
+        "figure8",
+        "figure9",
         "ablations",
     ];
     let to_run: Vec<&str> = if requested.is_empty() || requested == ["all"] {

@@ -9,7 +9,12 @@ use culda_gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
 use culda_metrics::{ConvergencePoint, ThroughputSeries, Timeline};
 use serde::{Deserialize, Serialize};
 
-fn culda_trainer(dataset: &Dataset, spec: DeviceSpec, gpus: usize, scale: &ExperimentScale) -> CuLdaTrainer {
+fn culda_trainer(
+    dataset: &Dataset,
+    spec: DeviceSpec,
+    gpus: usize,
+    scale: &ExperimentScale,
+) -> CuLdaTrainer {
     let system = MultiGpuSystem::homogeneous(spec, gpus, scale.seed, Interconnect::Pcie3);
     CuLdaTrainer::new(
         &dataset.corpus,
@@ -156,12 +161,17 @@ pub fn figure8_text(dataset: &str, timelines: &[Timeline]) -> String {
     ));
     for t in timelines {
         let last = t.points().last().copied();
-        let (time, ll) = last.map(|p| (p.time_s, p.loglik_per_token)).unwrap_or((0.0, 0.0));
+        let (time, ll) = last
+            .map(|p| (p.time_s, p.loglik_per_token))
+            .unwrap_or((0.0, 0.0));
         let reach = t
             .time_to_reach(target)
             .map(|x| format!("{x:.4}"))
             .unwrap_or_else(|| "-".into());
-        out.push_str(&format!("{:<36} {:>12.4} {:>14.4} {:>20}\n", t.label, time, ll, reach));
+        out.push_str(&format!(
+            "{:<36} {:>12.4} {:>14.4} {:>20}\n",
+            t.label, time, ll, reach
+        ));
     }
     out
 }
@@ -216,7 +226,8 @@ pub fn figure9(scale: &ExperimentScale) -> ScalingResult {
 
 /// Render Figure 9 as text.
 pub fn figure9_text(result: &ScalingResult) -> String {
-    let mut out = String::from("Figure 9: multi-GPU scalability on PubMed (Pascal platform, simulated)\n");
+    let mut out =
+        String::from("Figure 9: multi-GPU scalability on PubMed (Pascal platform, simulated)\n");
     out.push_str(&format!(
         "{:<8} {:>16} {:>10}\n",
         "#GPUs", "MTokens/sec", "Speedup"
@@ -262,7 +273,11 @@ mod tests {
         let r = figure9(&scale);
         assert_eq!(r.gpu_counts, vec![1, 2, 4]);
         assert!((r.speedups[0] - 1.0).abs() < 1e-9);
-        assert!(r.speedups.iter().all(|&s| s > 0.5 && s < 5.0), "{:?}", r.speedups);
+        assert!(
+            r.speedups.iter().all(|&s| s > 0.5 && s < 5.0),
+            "{:?}",
+            r.speedups
+        );
         assert!(r.tokens_per_sec.iter().all(|&t| t > 0.0));
         assert_eq!(r.series.len(), 3);
         let text = figure9_text(&r);

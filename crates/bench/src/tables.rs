@@ -2,9 +2,9 @@
 
 use crate::datasets::{self, Dataset};
 use crate::scale::ExperimentScale;
+use culda_baselines::{LdaSolver, WarpLda};
 use culda_core::{CuLdaTrainer, LdaConfig};
 use culda_gpusim::{DeviceSpec, MultiGpuSystem};
-use culda_baselines::{LdaSolver, WarpLda};
 use serde::{Deserialize, Serialize};
 
 /// The GPU platforms of Table 2, in the paper's order.
@@ -20,7 +20,10 @@ pub fn gpu_platforms() -> Vec<DeviceSpec> {
 pub fn table1() -> String {
     let mut out = String::new();
     out.push_str("Table 1: Flops/Byte of each step of one LDA sampling\n");
-    out.push_str(&format!("{:<24} {:<38} {:>8}\n", "Step", "Formula", "Value"));
+    out.push_str(&format!(
+        "{:<24} {:<38} {:>8}\n",
+        "Step", "Formula", "Value"
+    ));
     for step in culda_metrics::table1() {
         out.push_str(&format!(
             "{:<24} {:<38} {:>8.2}\n",
@@ -135,7 +138,8 @@ pub fn table4(scale: &ExperimentScale) -> Vec<Table4Row> {
                 .into_iter()
                 .map(|spec| culda_throughput(dataset, spec, 1, scale))
                 .collect();
-            let mut warp = WarpLda::with_paper_priors(&dataset.corpus, scale.num_topics, scale.seed);
+            let mut warp =
+                WarpLda::with_paper_priors(&dataset.corpus, scale.num_topics, scale.seed);
             let mut time = 0.0;
             for _ in 0..scale.iterations {
                 time += warp.run_iteration();

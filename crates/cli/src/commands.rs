@@ -6,14 +6,10 @@
 
 use crate::args::{ArgError, ParsedArgs};
 use crate::CliError;
-use culda_core::{
-    CuLdaTrainer, InferenceOptions, LdaConfig, ModelCheckpoint, TopicInferencer,
-};
+use culda_core::{CuLdaTrainer, InferenceOptions, LdaConfig, ModelCheckpoint, TopicInferencer};
 use culda_corpus::{holdout::DocumentCompletion, Corpus, CorpusStats, DatasetProfile};
 use culda_gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
-use culda_metrics::{
-    coherence::topic_quality_report, heldout::evaluate_heldout, log_likelihood,
-};
+use culda_metrics::{coherence::topic_quality_report, heldout::evaluate_heldout, log_likelihood};
 use std::fmt::Write as _;
 
 /// Usage text printed by `help` and on argument errors.
@@ -33,6 +29,8 @@ COMMANDS:
                       --corpus FILE | --profile P --tokens N
                       [--topics K] [--iterations N] [--gpus G] [--device NAME]
                       [--seed S] [--save-model FILE] [--optimize-priors]
+                      [--resume-from FILE]  continue exactly from a saved
+                                            model's assignment state
     topics          Show the top words of every topic of a saved model
                       --model FILE [--top N]
     infer           Infer the topic mixture of new text or a corpus
@@ -156,10 +154,60 @@ pub fn stats(args: &ParsedArgs) -> Result<String, CliError> {
 /// `train` — run CuLDA_CGS training and optionally save a model checkpoint.
 pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
     let (corpus, corpus_name) = corpus_from_args(args)?;
-    let topics: usize = args.get_parsed_or("topics", 128usize)?;
+    let resume_from = args.get("resume-from");
+    let resume = match &resume_from {
+        None => None,
+        Some(path) => {
+            let ckpt = ModelCheckpoint::load(path)
+                .map_err(|e| CliError::Runtime(format!("failed to load {path}: {e}")))?;
+            if ckpt.z.is_none() {
+                return Err(CliError::Runtime(format!(
+                    "{path} stores no assignment state; only checkpoints saved \
+                     with --save-model by this version can be resumed"
+                )));
+            }
+            Some(ckpt)
+        }
+    };
+    let topics: usize = match &resume {
+        // Resuming fixes K (and the priors) to the checkpoint's values.
+        Some(ckpt) => {
+            if let Some(requested) = args.get("topics") {
+                let requested: usize = requested
+                    .parse()
+                    .map_err(|_| CliError::Usage("--topics must be an integer".into()))?;
+                if requested != ckpt.num_topics {
+                    return Err(CliError::Usage(format!(
+                        "--topics {requested} conflicts with the checkpoint's K = {}",
+                        ckpt.num_topics
+                    )));
+                }
+            }
+            ckpt.num_topics
+        }
+        None => args.get_parsed_or("topics", 128usize)?,
+    };
     let iterations: usize = args.get_parsed_or("iterations", 20usize)?;
     let gpus: usize = args.get_parsed_or("gpus", 1usize)?;
-    let seed: u64 = args.get_parsed_or("seed", 42u64)?;
+    // Resuming continues on the checkpoint's seed (exact continuation); an
+    // explicit conflicting --seed is rejected like a conflicting --topics.
+    let seed: u64 = match &resume {
+        Some(ckpt) => {
+            if let Some(requested) = args.get("seed") {
+                let requested: u64 = requested
+                    .parse()
+                    .map_err(|_| CliError::Usage("--seed must be an integer".into()))?;
+                if requested != ckpt.seed {
+                    return Err(CliError::Usage(format!(
+                        "--seed {requested} conflicts with the checkpoint's seed {}",
+                        ckpt.seed
+                    )));
+                }
+            }
+            ckpt.seed
+        }
+        None => args.get_parsed_or("seed", 42u64)?,
+    };
     let device = device_by_name(&args.get("device").unwrap_or_else(|| "volta".into()))?;
     let save_model = args.get("save-model");
     let optimize_priors = args.flag("optimize-priors");
@@ -170,9 +218,25 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
     } else {
         MultiGpuSystem::homogeneous(device.clone(), gpus, seed, Interconnect::Pcie3)
     };
-    let config = LdaConfig::with_topics(topics).seed(seed);
-    let mut trainer = CuLdaTrainer::new(&corpus, config, system)
-        .map_err(|e| CliError::Runtime(format!("failed to build trainer: {e}")))?;
+    let mut config = LdaConfig::with_topics(topics).seed(seed);
+    let mut trainer = match &resume {
+        None => CuLdaTrainer::new(&corpus, config, system)
+            .map_err(|e| CliError::Runtime(format!("failed to build trainer: {e}")))?,
+        Some(ckpt) => {
+            if ckpt.vocab_size != corpus.vocab_size() {
+                return Err(CliError::Runtime(format!(
+                    "checkpoint vocabulary ({}) does not match the corpus ({})",
+                    ckpt.vocab_size,
+                    corpus.vocab_size()
+                )));
+            }
+            config.alpha = ckpt.alpha;
+            config.beta = ckpt.beta;
+            let z = ckpt.z.as_ref().expect("checked above");
+            CuLdaTrainer::with_assignments(&corpus, config, system, z, ckpt.iterations)
+                .map_err(|e| CliError::Runtime(format!("failed to resume trainer: {e}")))?
+        }
+    };
     trainer.train(iterations);
 
     let cfg = trainer.config().clone();
@@ -185,6 +249,9 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
     );
     let mut out = String::new();
     writeln!(out, "corpus:       {corpus_name}").unwrap();
+    if let Some(path) = &resume_from {
+        writeln!(out, "resumed from: {path}").unwrap();
+    }
     writeln!(
         out,
         "model:        K = {topics}, α = {:.4}, β = {:.3}",

@@ -69,10 +69,7 @@ mod tests {
     fn help_and_unknown_commands() {
         assert!(run(["help"]).unwrap().contains("USAGE"));
         assert!(matches!(run(["bogus"]), Err(CliError::Usage(_))));
-        assert!(matches!(
-            run(Vec::<String>::new()),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(run(Vec::<String>::new()), Err(CliError::Usage(_))));
     }
 
     #[test]
@@ -218,7 +215,16 @@ mod tests {
         let other_s = other_path.to_str().unwrap().to_string();
         let model_s = model_path.to_str().unwrap().to_string();
 
-        run(["gen-corpus", "--tokens", "8000", "--seed", "1", "--out", &corpus_s]).unwrap();
+        run([
+            "gen-corpus",
+            "--tokens",
+            "8000",
+            "--seed",
+            "1",
+            "--out",
+            &corpus_s,
+        ])
+        .unwrap();
         // A different profile/size gives a different vocabulary size.
         run([
             "gen-corpus",
@@ -277,10 +283,7 @@ mod tests {
             run(["train", "--bogus-flag"]),
             Err(CliError::Usage(_))
         ));
-        assert!(matches!(
-            run(["topics"]),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(run(["topics"]), Err(CliError::Usage(_))));
         assert!(matches!(
             run(["infer", "--model", "/nonexistent/model.cldm"]),
             Err(CliError::Runtime(_)) | Err(CliError::Usage(_))

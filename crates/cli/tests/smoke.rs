@@ -1,0 +1,179 @@
+//! End-to-end smoke test of the `culda-cli` binary: generate a tiny
+//! synthetic corpus, train with a model checkpoint, resume training from
+//! that checkpoint, and run inference against the resumed model — all
+//! through the real executable via `assert_cmd`.
+
+use assert_cmd::Command;
+
+fn cli() -> Command {
+    Command::cargo_bin("culda-cli").expect("culda-cli binary built for tests")
+}
+
+#[test]
+fn train_checkpoint_resume_infer_round_trip() {
+    let dir = std::env::temp_dir().join(format!(
+        "culda-cli-smoke-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.cldc");
+    let model = dir.join("model.cldm");
+    let resumed = dir.join("resumed.cldm");
+
+    // 1. Generate a tiny synthetic corpus snapshot.
+    cli()
+        .args([
+            "gen-corpus",
+            "--profile",
+            "nytimes",
+            "--tokens",
+            "4000",
+            "--seed",
+            "11",
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .assert()
+        .success();
+    assert!(corpus.exists(), "gen-corpus must write the snapshot");
+
+    // 2. Train and save a checkpoint.
+    cli()
+        .args([
+            "train",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--topics",
+            "8",
+            "--iterations",
+            "3",
+            "--seed",
+            "11",
+            "--save-model",
+            model.to_str().unwrap(),
+        ])
+        .assert()
+        .success()
+        .stdout_contains("loglik/token:")
+        .stdout_contains("model saved to");
+    assert!(model.exists(), "train must write the checkpoint");
+
+    // 3. Resume from the checkpoint and keep training.
+    cli()
+        .args([
+            "train",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--iterations",
+            "2",
+            "--seed",
+            "11",
+            "--resume-from",
+            model.to_str().unwrap(),
+            "--save-model",
+            resumed.to_str().unwrap(),
+        ])
+        .assert()
+        .success()
+        .stdout_contains("resumed from:")
+        .stdout_contains("model saved to");
+    assert!(resumed.exists(), "resumed train must write its checkpoint");
+
+    // 4. Infer a topic mixture from the resumed model.
+    cli()
+        .args([
+            "infer",
+            "--model",
+            resumed.to_str().unwrap(),
+            "--text",
+            "0 1 2 3 4 5 6 7",
+            "--sweeps",
+            "8",
+        ])
+        .assert()
+        .success()
+        .stdout_contains("topic");
+
+    // 5. Inspect the topics of the resumed model for good measure.
+    cli()
+        .args(["topics", "--model", resumed.to_str().unwrap(), "--top", "3"])
+        .assert()
+        .success()
+        .stdout_contains("topic");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_rejects_mismatched_topics() {
+    let dir = std::env::temp_dir().join(format!("culda-cli-smoke-k-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.cldc");
+    let model = dir.join("model.cldm");
+
+    cli()
+        .args([
+            "gen-corpus",
+            "--profile",
+            "nytimes",
+            "--tokens",
+            "2000",
+            "--seed",
+            "5",
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .assert()
+        .success();
+    cli()
+        .args([
+            "train",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--topics",
+            "4",
+            "--iterations",
+            "1",
+            "--save-model",
+            model.to_str().unwrap(),
+        ])
+        .assert()
+        .success();
+
+    // K conflicting with the checkpoint is a usage error (exit code 2).
+    cli()
+        .args([
+            "train",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--topics",
+            "16",
+            "--iterations",
+            "1",
+            "--resume-from",
+            model.to_str().unwrap(),
+        ])
+        .assert()
+        .code(2)
+        .stderr_contains("conflicts with the checkpoint");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn help_and_bad_usage_exit_codes() {
+    cli()
+        .args(["help"])
+        .assert()
+        .success()
+        .stdout_contains("USAGE");
+    cli().args(["no-such-command"]).assert().code(2);
+    cli()
+        .args(["infer", "--model", "/nonexistent/model.cldm", "--text", "1"])
+        .assert()
+        .code(1);
+}

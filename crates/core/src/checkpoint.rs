@@ -6,17 +6,24 @@
 //! totals `n_k`, the merged document–topic counts θ and the hyper-parameters
 //! — in a small versioned binary container.  A reloaded checkpoint supports
 //! everything the serving path needs (topic inspection, fold-in inference,
-//! held-out evaluation); to continue *training*, rebuild a trainer from the
-//! corpus and use the checkpoint as the evaluation reference.
+//! held-out evaluation), and a v2 checkpoint additionally stores the sampler
+//! state (`z`, the iteration counter and the seed), so training resumes
+//! *exactly* via [`CuLdaTrainer::with_assignments`] / `culda-cli train
+//! --resume-from`.
 //!
 //! ```text
 //! magic   "CLDM"       4 bytes
-//! version u32          currently 1
+//! version u32          currently 2 (v1 files load with no sampler state)
 //! K, V, D u64
 //! alpha, beta f64
 //! nk      K × i64
 //! phi     K × V × u32  (row-major)
 //! theta   CSR: (D + 1) × u32 row_ptr, nnz × (u16 col, u32 val)
+//! --- v2 sampler-state section ---
+//! z flag  u8           0 = absent, 1 = present
+//! iterations u64       completed training iterations
+//! seed    u64          the run's RNG seed
+//! z       per document: u64 len, len × u16  (only when flag = 1)
 //! ```
 
 use crate::config::LdaConfig;
@@ -30,7 +37,7 @@ use std::path::Path;
 /// Magic bytes identifying a model checkpoint.
 pub const MAGIC: &[u8; 4] = b"CLDM";
 /// Current checkpoint format version.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 
 /// Errors produced while reading a checkpoint.
 #[derive(Debug)]
@@ -88,6 +95,20 @@ pub struct ModelCheckpoint {
     pub phi: DenseMatrix<u32>,
     /// Merged document–topic counts θ (`D × K`).
     pub theta: CsrMatrix,
+    /// The RNG seed of the run that produced this checkpoint; resume
+    /// continues on the same seed unless the user explicitly overrides it.
+    pub seed: u64,
+    /// Training iterations completed when the checkpoint was captured.
+    /// Resume continues the iteration counter from here, so the
+    /// counter-based sampling RNG never reuses an earlier iteration's
+    /// streams — `train N+M` and `train N → resume M` are bit-identical.
+    pub iterations: u64,
+    /// Per-document topic assignments `z` (original token order), when the
+    /// checkpoint was captured for exact training resume.  θ/φ alone
+    /// reconstruct the *model*; `z` additionally reconstructs the *sampler
+    /// state*, so `train --resume-from` continues bit-for-bit from where the
+    /// saved run stopped.
+    pub z: Option<Vec<Vec<u16>>>,
 }
 
 impl ModelCheckpoint {
@@ -102,6 +123,9 @@ impl ModelCheckpoint {
             nk: trainer.global_nk(),
             phi: trainer.global_phi(),
             theta: trainer.merged_theta(),
+            seed: cfg.seed,
+            iterations: trainer.completed_iterations(),
+            z: Some(trainer.z_snapshot()),
         }
     }
 
@@ -142,6 +166,27 @@ impl ModelCheckpoint {
                 self.phi.total()
             ));
         }
+        if let Some(z) = &self.z {
+            if z.len() != self.theta.rows() {
+                return Err(format!(
+                    "z covers {} documents, θ has {}",
+                    z.len(),
+                    self.theta.rows()
+                ));
+            }
+            for (d, zd) in z.iter().enumerate() {
+                if zd.len() as u64 != self.theta.row_sum(d) {
+                    return Err(format!(
+                        "z row {d} has {} tokens, θ row sums to {}",
+                        zd.len(),
+                        self.theta.row_sum(d)
+                    ));
+                }
+                if zd.iter().any(|&k| k as usize >= self.num_topics) {
+                    return Err(format!("z row {d} assigns an out-of-range topic"));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -171,6 +216,24 @@ impl ModelCheckpoint {
                 w.write_all(&v.to_le_bytes())?;
             }
         }
+        match &self.z {
+            None => {
+                w.write_all(&[0u8])?;
+                w.write_all(&self.iterations.to_le_bytes())?;
+                w.write_all(&self.seed.to_le_bytes())?;
+            }
+            Some(z) => {
+                w.write_all(&[1u8])?;
+                w.write_all(&self.iterations.to_le_bytes())?;
+                w.write_all(&self.seed.to_le_bytes())?;
+                for zd in z {
+                    w.write_all(&(zd.len() as u64).to_le_bytes())?;
+                    for &k in zd {
+                        w.write_all(&k.to_le_bytes())?;
+                    }
+                }
+            }
+        }
         w.flush()
     }
 
@@ -183,7 +246,7 @@ impl ModelCheckpoint {
             return Err(CheckpointError::BadMagic(magic));
         }
         let version = read_u32(&mut r)?;
-        if version != VERSION {
+        if version == 0 || version > VERSION {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
         let num_topics = read_u64(&mut r)? as usize;
@@ -215,7 +278,9 @@ impl ModelCheckpoint {
             row_ptr.push(read_u32(&mut r)?);
         }
         if row_ptr.first() != Some(&0) || row_ptr.windows(2).any(|w| w[0] > w[1]) {
-            return Err(CheckpointError::Corrupt("θ row pointers are invalid".into()));
+            return Err(CheckpointError::Corrupt(
+                "θ row pointers are invalid".into(),
+            ));
         }
         let mut builder = CsrBuilder::new(num_docs, num_topics);
         builder.reserve_nnz((*row_ptr.last().unwrap_or(&0) as usize).min(MAX_PREALLOC));
@@ -236,6 +301,37 @@ impl ModelCheckpoint {
         }
         let theta = builder.finish();
 
+        // v1 files end here: they carry the model but no sampler state.
+        let (z, iterations, seed) = if version == 1 {
+            (None, 0, 0)
+        } else {
+            let mut flag = [0u8; 1];
+            r.read_exact(&mut flag)?;
+            let iterations = read_u64(&mut r)?;
+            let seed = read_u64(&mut r)?;
+            let z = match flag[0] {
+                0 => None,
+                1 => {
+                    let mut z = Vec::with_capacity(num_docs.min(MAX_PREALLOC));
+                    for _ in 0..num_docs {
+                        let len = read_u64(&mut r)? as usize;
+                        let mut zd = Vec::with_capacity(len.min(MAX_PREALLOC));
+                        for _ in 0..len {
+                            zd.push(read_u16(&mut r)?);
+                        }
+                        z.push(zd);
+                    }
+                    Some(z)
+                }
+                other => {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "invalid z-section flag {other}"
+                    )))
+                }
+            };
+            (z, iterations, seed)
+        };
+
         let checkpoint = ModelCheckpoint {
             num_topics,
             vocab_size,
@@ -244,6 +340,9 @@ impl ModelCheckpoint {
             nk,
             phi,
             theta,
+            seed,
+            iterations,
+            z,
         };
         checkpoint.validate().map_err(CheckpointError::Corrupt)?;
         Ok(checkpoint)

@@ -264,12 +264,7 @@ mod tests {
         let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 7);
         let mut trainer =
             CuLdaTrainer::new(&corpus, LdaConfig::with_topics(8).seed(3), system).unwrap();
-        let result = train_until_converged(
-            &mut trainer,
-            60,
-            1,
-            ConvergenceMonitor::new(2e-3, 2),
-        );
+        let result = train_until_converged(&mut trainer, 60, 1, ConvergenceMonitor::new(2e-3, 2));
         assert!(result.iterations <= 60);
         assert!(!result.loglik_per_token.is_empty());
         assert!(result.sim_time_s > 0.0);
@@ -280,7 +275,11 @@ mod tests {
         trainer.validate().unwrap();
         // With a loose tolerance on a tiny corpus the criterion should fire
         // well before the cap.
-        assert!(result.converged, "did not converge in {} iters", result.iterations);
+        assert!(
+            result.converged,
+            "did not converge in {} iters",
+            result.iterations
+        );
     }
 
     #[test]

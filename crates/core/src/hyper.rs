@@ -33,10 +33,9 @@ pub fn digamma(x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result + x.ln() - 0.5 * inv
-        - inv2
-            * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+    result + x.ln()
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
 }
 
 /// Settings for the fixed-point optimizer.
@@ -207,7 +206,13 @@ mod tests {
 
     /// Draw document–topic counts from a known symmetric Dirichlet(α) and
     /// check the optimizer recovers a value near the generating α.
-    fn synthetic_theta(alpha_true: f64, docs: usize, k: usize, doc_len: u32, seed: u64) -> CsrMatrix {
+    fn synthetic_theta(
+        alpha_true: f64,
+        docs: usize,
+        k: usize,
+        doc_len: u32,
+        seed: u64,
+    ) -> CsrMatrix {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut builder = CsrBuilder::new(docs, k);
         for _ in 0..docs {

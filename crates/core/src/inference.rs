@@ -171,10 +171,7 @@ impl TopicInferencer {
         }
 
         // Random initial assignment.
-        let mut z: Vec<usize> = tokens
-            .iter()
-            .map(|_| rng.gen_range(0..k))
-            .collect();
+        let mut z: Vec<usize> = tokens.iter().map(|_| rng.gen_range(0..k)).collect();
         for &t in &z {
             doc_counts[t] += 1;
         }
@@ -320,13 +317,7 @@ mod tests {
         let b = model.infer_document(&[0, 5, 1, 6], opts);
         assert_eq!(a, b);
         assert!((a.mixture.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        let c = model.infer_document(
-            &[0, 5, 1, 6],
-            InferenceOptions {
-                seed: 777,
-                ..opts
-            },
-        );
+        let c = model.infer_document(&[0, 5, 1, 6], InferenceOptions { seed: 777, ..opts });
         assert!((c.mixture.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 

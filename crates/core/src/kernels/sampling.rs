@@ -31,6 +31,9 @@ pub struct SamplingKernel<'a> {
     pub items: &'a [WorkItem],
     /// Run configuration.
     pub config: &'a LdaConfig,
+    /// Training iteration number; tags each token's counter-based RNG stream
+    /// so draws are bit-identical across runs and GPU topologies.
+    pub iteration: u64,
 }
 
 impl SamplingKernel<'_> {
@@ -64,11 +67,15 @@ impl BlockKernel for SamplingKernel<'_> {
         // ---- Per-word shared state: p*(k), Q, and the p2 index tree. ----
         // Reading the φ column and n_k for the word: K compressed ints + K
         // 32-bit totals from global memory; 2 flops per topic to form p*.
+        // The raw φ[·,v] and n_k values are kept so each token can remove its
+        // own contribution (the n^{¬dv} correction of collapsed Gibbs).
+        let mut phi_col = vec![0.0f32; k];
+        let mut nk_vals = vec![0.0f32; k];
         let mut p_star = vec![0.0f32; k];
-        for (kk, p) in p_star.iter_mut().enumerate() {
-            let phi_kv = state.phi_global.load(kk, v) as f32;
-            let nk = state.nk_global.get(kk) as f32;
-            *p = (phi_kv + beta) / (nk + beta_v);
+        for kk in 0..k {
+            phi_col[kk] = state.phi_global.load(kk, v) as f32;
+            nk_vals[kk] = state.nk_global.get(kk) as f32;
+            p_star[kk] = (phi_col[kk] + beta) / (nk_vals[kk] + beta_v);
         }
         ctx.read_global(k as u64 * int_bytes); // φ[·, v]
         ctx.read_global(k as u64 * 4); // n_k
@@ -108,6 +115,15 @@ impl BlockKernel for SamplingKernel<'_> {
             let d = state.layout.token_doc[pos] as usize;
             ctx.read_global(4); // token → document index
 
+            // The token's current assignment, so its own count can be
+            // excluded from every distribution it is resampled from
+            // (collapsed Gibbs samples from n^{¬dv}, Algorithm 2 line 4).
+            let c = state.z[pos].load(Ordering::Relaxed) as usize;
+            ctx.read_global(int_bytes); // current topic assignment
+            let p_star_c =
+                ((phi_col[c] - 1.0).max(0.0) + beta) / ((nk_vals[c] - 1.0).max(0.0) + beta_v);
+            ctx.flops(2);
+
             let (cols, vals) = theta.row(d);
             let kd = cols.len();
             // Reading the CSR row: K_d (compressed column index + 32-bit
@@ -115,11 +131,17 @@ impl BlockKernel for SamplingKernel<'_> {
             ctx.read_global(kd as u64 * (int_bytes + 4) + 8);
 
             // p1(k) = θ_{d,k} · p*(k): one multiply and one add per non-zero,
-            // with the p* lookups served from shared memory.
+            // with the p* lookups served from shared memory.  The current
+            // topic's own count is excluded.
             p1_prefix.clear();
             let mut s = 0.0f32;
             for i in 0..kd {
-                let w = vals[i] as f32 * p_star[cols[i] as usize];
+                let kk = cols[i] as usize;
+                let w = if kk == c {
+                    (vals[i] as f32 - 1.0).max(0.0) * p_star_c
+                } else {
+                    vals[i] as f32 * p_star[kk]
+                };
                 s += w;
                 p1_prefix.push(s);
             }
@@ -132,8 +154,28 @@ impl BlockKernel for SamplingKernel<'_> {
                 ctx.read_global(4 * kd as u64);
             }
 
+            // The dense part's mass with the current topic's self-count
+            // removed: only the p2 leaf for topic `c` changes, so the shared
+            // tree is reused and the draw is remapped around the removed
+            // mass instead of rebuilding the tree per token.
+            let p2_c_adj = alpha * p_star_c;
+            let delta = p2[c] - p2_c_adj;
+            let q_adj = (q - delta).max(0.0);
+            let leaf_before_c = if c == 0 {
+                0.0
+            } else {
+                p2_tree.leaf_prefix()[c - 1]
+            };
+            ctx.flops(3);
+
             // Draw u ~ U(0, S + Q) and pick the branch (Algorithm 2, line 6).
-            let u = ctx.rand_f32() * (s + q);
+            // The draw is a pure function of (seed, iteration, token
+            // identity): the same token gets the same randomness no matter
+            // which block, device or topology samples it.
+            let global_doc = (state.layout.range.start + d) as u64;
+            let slot = state.token_slot[pos] as u64;
+            let u =
+                ctx.stable_f32(cfg.seed, self.iteration, (global_doc << 32) | slot) * (s + q_adj);
             ctx.flops(2);
             let new_topic = if u < s && kd > 0 {
                 // Sparse branch: search the K_d-entry prefix sum (the warp
@@ -142,18 +184,43 @@ impl BlockKernel for SamplingKernel<'_> {
                 ctx.int_ops((kd.max(2) as u64).ilog2() as u64 + 1);
                 cols[idx] as usize
             } else {
-                // Dense branch: descend the shared 32-way p2 tree.
-                let u2 = (u - s).clamp(0.0, q);
-                let (idx, stats) = p2_tree.sample_with_stats(u2);
-                if in_shared {
-                    ctx.shared_traffic(stats.nodes_visited as u64 * 4);
-                } else if cfg.share_p2_tree {
-                    ctx.read_l1(stats.nodes_visited as u64 * 4);
+                // Dense branch: descend the shared 32-way p2 tree, remapping
+                // the draw across topic `c`'s reduced leaf.
+                let u2 = (u - s).clamp(0.0, q_adj);
+                let u2_orig = if u2 < leaf_before_c {
+                    Some(u2)
+                } else if u2 < leaf_before_c + p2_c_adj {
+                    None // lands inside topic c's adjusted leaf
                 } else {
-                    ctx.read_global(stats.nodes_visited as u64 * 4);
+                    Some((u2 + delta).clamp(0.0, q))
+                };
+                match u2_orig {
+                    Some(u2) => {
+                        let (idx, stats) = p2_tree.sample_with_stats(u2);
+                        if in_shared {
+                            ctx.shared_traffic(stats.nodes_visited as u64 * 4);
+                        } else if cfg.share_p2_tree {
+                            ctx.read_l1(stats.nodes_visited as u64 * 4);
+                        } else {
+                            ctx.read_global(stats.nodes_visited as u64 * 4);
+                        }
+                        ctx.int_ops(stats.levels as u64);
+                        idx
+                    }
+                    None => {
+                        // The warp still descends the tree to reach the leaf.
+                        let depth = p2_tree.depth() as u64;
+                        if in_shared {
+                            ctx.shared_traffic(depth * 4);
+                        } else if cfg.share_p2_tree {
+                            ctx.read_l1(depth * 4);
+                        } else {
+                            ctx.read_global(depth * 4);
+                        }
+                        ctx.int_ops(depth);
+                        c
+                    }
                 }
-                ctx.int_ops(stats.levels as u64);
-                idx
             };
 
             state.z_next[pos].store(new_topic as u16, Ordering::Relaxed);
@@ -180,7 +247,13 @@ mod tests {
             doc_len_sigma: 0.4,
         }
         .generate(seed);
-        let layout = ChunkLayout::build(&corpus, DocRange { start: 0, end: corpus.num_docs() });
+        let layout = ChunkLayout::build(
+            &corpus,
+            DocRange {
+                start: 0,
+                end: corpus.num_docs(),
+            },
+        );
         let state = ChunkState::new(0, layout, num_topics);
         let cfg = LdaConfig::with_topics(num_topics);
         let mut x = seed as u32 | 1;
@@ -199,7 +272,12 @@ mod tests {
         let state = make_state(8, 3);
         let cfg = LdaConfig::with_topics(8);
         let items = build_work_items(&state.layout, cfg.max_tokens_per_block);
-        let kernel = SamplingKernel { state: &state, items: &items, config: &cfg };
+        let kernel = SamplingKernel {
+            state: &state,
+            items: &items,
+            config: &cfg,
+            iteration: 0,
+        };
         let dev = Device::new(0, DeviceSpec::titan_x_maxwell(), 11);
         let stats = dev.launch("Sampling", LaunchConfig::new(items.len()), &kernel);
         for z in &state.z_next {
@@ -219,7 +297,12 @@ mod tests {
         let state = make_state(32, 5);
         let cfg = LdaConfig::with_topics(32);
         let items = build_work_items(&state.layout, cfg.max_tokens_per_block);
-        let kernel = SamplingKernel { state: &state, items: &items, config: &cfg };
+        let kernel = SamplingKernel {
+            state: &state,
+            items: &items,
+            config: &cfg,
+            iteration: 0,
+        };
         let dev = Device::new(0, DeviceSpec::v100_volta(), 1);
         let stats = dev.launch("Sampling", LaunchConfig::new(items.len()), &kernel);
         let intensity = stats.counters.flops_per_byte();
@@ -256,7 +339,12 @@ mod tests {
         let dev = Device::new(0, DeviceSpec::titan_x_maxwell(), 77);
         let items = build_work_items(&state.layout, cfg.max_tokens_per_block);
         for _ in 0..15 {
-            let kernel = SamplingKernel { state: &state, items: &items, config: &cfg };
+            let kernel = SamplingKernel {
+                state: &state,
+                items: &items,
+                config: &cfg,
+                iteration: 0,
+            };
             dev.launch("Sampling", LaunchConfig::new(items.len()), &kernel);
             // Promote z_next → z and rebuild counts (what the update kernels do).
             for (z, zn) in state.z.iter().zip(&state.z_next) {
@@ -288,12 +376,22 @@ mod tests {
         let with = dev.launch(
             "Sampling",
             LaunchConfig::new(items.len()),
-            &SamplingKernel { state: &state, items: &items, config: &shared_cfg },
+            &SamplingKernel {
+                state: &state,
+                items: &items,
+                config: &shared_cfg,
+                iteration: 0,
+            },
         );
         let without = dev.launch(
             "Sampling",
             LaunchConfig::new(items.len()),
-            &SamplingKernel { state: &state, items: &items, config: &unshared_cfg },
+            &SamplingKernel {
+                state: &state,
+                items: &items,
+                config: &unshared_cfg,
+                iteration: 0,
+            },
         );
         // Without sharing, the p*/tree traffic lands in off-chip memory
         // instead of shared memory: shared traffic must be higher with the

@@ -72,7 +72,13 @@ mod tests {
             doc_len_sigma: 0.4,
         }
         .generate(21);
-        let layout = ChunkLayout::build(&corpus, DocRange { start: 0, end: corpus.num_docs() });
+        let layout = ChunkLayout::build(
+            &corpus,
+            DocRange {
+                start: 0,
+                end: corpus.num_docs(),
+            },
+        );
         let state = ChunkState::new(0, layout, k);
         let cfg = LdaConfig::with_topics(k);
         let mut x = 3u32;
@@ -93,7 +99,11 @@ mod tests {
         }
         let items = build_work_items(&state.layout, 2048);
         let dev = Device::new(0, DeviceSpec::titan_xp_pascal(), 4);
-        let kernel = UpdatePhiKernel { state: &state, items: &items, compress_16bit: true };
+        let kernel = UpdatePhiKernel {
+            state: &state,
+            items: &items,
+            compress_16bit: true,
+        };
         dev.launch("Update phi", LaunchConfig::new(items.len()), &kernel);
 
         // The delta-updated phi_local must equal a from-scratch recount.
@@ -114,7 +124,11 @@ mod tests {
         // z_next equals z after random_init.
         let items = build_work_items(&state.layout, 2048);
         let dev = Device::new(0, DeviceSpec::v100_volta(), 4);
-        let kernel = UpdatePhiKernel { state: &state, items: &items, compress_16bit: true };
+        let kernel = UpdatePhiKernel {
+            state: &state,
+            items: &items,
+            compress_16bit: true,
+        };
         let stats = dev.launch("Update phi", LaunchConfig::new(items.len()), &kernel);
         assert_eq!(stats.counters.atomic_ops, 0);
         assert!(stats.counters.dram_read_bytes > 0);
@@ -130,14 +144,22 @@ mod tests {
             .launch(
                 "Update phi",
                 LaunchConfig::new(items.len()),
-                &UpdatePhiKernel { state: &state, items: &items, compress_16bit: true },
+                &UpdatePhiKernel {
+                    state: &state,
+                    items: &items,
+                    compress_16bit: true,
+                },
             )
             .counters;
         let big = dev
             .launch(
                 "Update phi",
                 LaunchConfig::new(items.len()),
-                &UpdatePhiKernel { state: &state, items: &items, compress_16bit: false },
+                &UpdatePhiKernel {
+                    state: &state,
+                    items: &items,
+                    compress_16bit: false,
+                },
             )
             .counters;
         assert_eq!(small.dram_read_bytes * 2, big.dram_read_bytes);

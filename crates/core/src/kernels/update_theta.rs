@@ -139,7 +139,13 @@ mod tests {
             doc_len_sigma: 0.5,
         }
         .generate(seed);
-        let layout = ChunkLayout::build(&corpus, DocRange { start: 0, end: corpus.num_docs() });
+        let layout = ChunkLayout::build(
+            &corpus,
+            DocRange {
+                start: 0,
+                end: corpus.num_docs(),
+            },
+        );
         let state = ChunkState::new(0, layout, k);
         let cfg = LdaConfig::with_topics(k);
         let mut x = seed as u32 | 1;
@@ -182,7 +188,11 @@ mod tests {
         for &dpb in &[1usize, 7, 32, 1000] {
             let kernel = UpdateThetaKernel::new(&state, dpb, true);
             let dev = Device::new(0, DeviceSpec::v100_volta(), 1);
-            dev.launch("Update theta", LaunchConfig::new(kernel.grid_blocks()), &kernel);
+            dev.launch(
+                "Update theta",
+                LaunchConfig::new(kernel.grid_blocks()),
+                &kernel,
+            );
             kernel.finish();
             assert_eq!(state.theta.read().rows(), state.layout.num_docs());
             assert_eq!(state.theta.read().total(), state.num_tokens() as u64);
@@ -194,7 +204,11 @@ mod tests {
         let state = init_state(4, 12);
         let kernel = UpdateThetaKernel::new(&state, 16, true);
         let dev = Device::new(0, DeviceSpec::titan_xp_pascal(), 2);
-        let stats = dev.launch("Update theta", LaunchConfig::new(kernel.grid_blocks()), &kernel);
+        let stats = dev.launch(
+            "Update theta",
+            LaunchConfig::new(kernel.grid_blocks()),
+            &kernel,
+        );
         // Step 1 issues exactly one atomic per token (the dense scatter).
         assert_eq!(stats.counters.atomic_ops, state.num_tokens() as u64);
         kernel.finish();

@@ -64,7 +64,10 @@ impl TopicTotals {
 
     /// Snapshot.
     pub fn to_vec(&self) -> Vec<i64> {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Sum of all totals (equals the number of tokens covered).
@@ -101,6 +104,10 @@ pub struct ChunkState {
     pub phi_global: AtomicMatrix,
     /// The synchronized global topic totals.
     pub nk_global: TopicTotals,
+    /// For every word-major position, the token's index within its document
+    /// (see [`ChunkLayout::token_slots`]); combined with the global document
+    /// id this keys the counter-based sampling RNG.
+    pub token_slot: Vec<u32>,
 }
 
 impl ChunkState {
@@ -114,9 +121,11 @@ impl ChunkState {
         z.resize_with(tokens, || AtomicU16::new(0));
         let mut z_next = Vec::with_capacity(tokens);
         z_next.resize_with(tokens, || AtomicU16::new(0));
+        let token_slot = layout.token_slots();
         ChunkState {
             chunk_id,
             layout,
+            token_slot,
             z,
             z_next,
             theta: RwLock::new(CsrMatrix::zeros(docs, num_topics)),
@@ -152,6 +161,68 @@ impl ChunkState {
                 let topic = rand_topic() % k as u16;
                 self.z[pos].store(topic, Ordering::Relaxed);
                 self.z_next[pos].store(topic, Ordering::Relaxed);
+                self.phi_local.fetch_add(topic as usize, v, 1);
+                self.nk_local.add(topic as usize, 1);
+            }
+        }
+        self.rebuild_theta();
+    }
+
+    /// Randomly assign topics with the counter-based generator keyed by each
+    /// token's partition-independent identity `(global document, slot)`.
+    ///
+    /// Unlike [`ChunkState::random_init`] (whose stream depends on the order
+    /// the closure is polled in, i.e. on the chunk layout), this produces the
+    /// *same* initial assignment for every token no matter how the corpus is
+    /// partitioned — the foundation of the cross-topology determinism
+    /// guarantee.
+    pub fn random_init_stable(&self, config: &LdaConfig, seed: u64) {
+        let k = self.num_topics() as u64;
+        debug_assert_eq!(k as usize, config.num_topics);
+        self.phi_local.clear();
+        self.nk_local.clear();
+        for d in 0..self.layout.num_docs() {
+            let global_doc = (self.layout.range.start + d) as u64;
+            for (t, &pos) in self.layout.doc_positions(d).iter().enumerate() {
+                let draw = culda_gpusim::rng::stable_u64(
+                    seed,
+                    Self::INIT_STREAM,
+                    (global_doc << 32) | t as u64,
+                );
+                let topic = (draw % k) as u16;
+                let pos = pos as usize;
+                self.z[pos].store(topic, Ordering::Relaxed);
+                self.z_next[pos].store(topic, Ordering::Relaxed);
+                let v = self.layout.word_of_position(pos as u32) as usize;
+                self.phi_local.fetch_add(topic as usize, v, 1);
+                self.nk_local.add(topic as usize, 1);
+            }
+        }
+        self.rebuild_theta();
+    }
+
+    /// RNG stream tag for the initial assignment (iteration numbers, which
+    /// tag the sampling streams, start at 0 and stay far below this).
+    pub const INIT_STREAM: u64 = u64::MAX;
+
+    /// Initialise the chunk's assignments from an explicit per-document
+    /// topic snapshot (`z[global_doc][token]`, original token order) — the
+    /// resume path: a trainer rebuilt from a checkpoint's `z` continues
+    /// exactly where the saved run stopped.
+    ///
+    /// Callers must have validated that the snapshot covers this chunk's
+    /// documents with the right lengths and in-range topics.
+    pub fn init_from_assignments(&self, z: &[Vec<u16>]) {
+        self.phi_local.clear();
+        self.nk_local.clear();
+        for d in 0..self.layout.num_docs() {
+            let row = &z[self.layout.range.start + d];
+            for (t, &pos) in self.layout.doc_positions(d).iter().enumerate() {
+                let topic = row[t];
+                let pos = pos as usize;
+                self.z[pos].store(topic, Ordering::Relaxed);
+                self.z_next[pos].store(topic, Ordering::Relaxed);
+                let v = self.layout.word_of_position(pos as u32) as usize;
                 self.phi_local.fetch_add(topic as usize, v, 1);
                 self.nk_local.add(topic as usize, 1);
             }
@@ -202,7 +273,9 @@ impl ChunkState {
         } else {
             self.phi_local.device_bytes_uncompressed() + self.phi_global.device_bytes_uncompressed()
         };
-        self.layout.device_bytes() + self.theta.read().device_bytes() + phi
+        self.layout.device_bytes()
+            + self.theta.read().device_bytes()
+            + phi
             + (self.num_topics() * 8) as u64 * 2
     }
 
@@ -215,7 +288,9 @@ impl ChunkState {
             let expect = self.layout.doc_len(d) as u64;
             let got = theta.row_sum(d);
             if expect != got {
-                return Err(format!("θ row {d} sums to {got}, document has {expect} tokens"));
+                return Err(format!(
+                    "θ row {d} sums to {got}, document has {expect} tokens"
+                ));
             }
         }
         let total: i64 = self.nk_local.total();

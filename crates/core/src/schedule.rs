@@ -21,8 +21,8 @@ use crate::kernels::{names, SamplingKernel, UpdatePhiKernel, UpdateThetaKernel};
 use crate::model::ChunkState;
 use crate::sync::{synchronize_phi, SyncStats};
 use crate::work::WorkItem;
-use culda_gpusim::{LaunchConfig, MultiGpuSystem, PipelineModel};
 use culda_gpusim::stream::Stage;
+use culda_gpusim::{LaunchConfig, MultiGpuSystem, PipelineModel};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -76,6 +76,7 @@ pub fn run_iteration(
     system: &MultiGpuSystem,
     config: &LdaConfig,
     kind: ScheduleKind,
+    iteration: u64,
 ) -> IterationStats {
     assert_eq!(states.len(), work_items.len());
     let g = system.num_gpus();
@@ -96,7 +97,12 @@ pub fn run_iteration(
 
                 // Sampling kernel.
                 if !items.is_empty() {
-                    let kernel = SamplingKernel { state, items, config };
+                    let kernel = SamplingKernel {
+                        state,
+                        items,
+                        config,
+                        iteration,
+                    };
                     let stats =
                         device.launch(names::SAMPLING, LaunchConfig::new(items.len()), &kernel);
                     times.sampling_s += stats.time.total_s;
@@ -122,10 +128,9 @@ pub fn run_iteration(
                 // for smaller (scaled) corpora the grid is shrunk so the
                 // device still has enough blocks to stay occupied.
                 if state.layout.num_docs() > 0 {
-                    let saturation = (device.spec.sm_count * device.spec.blocks_per_sm_saturation)
-                        as usize;
-                    let docs_per_block =
-                        (state.layout.num_docs() / saturation.max(1)).clamp(1, 32);
+                    let saturation =
+                        (device.spec.sm_count * device.spec.blocks_per_sm_saturation) as usize;
+                    let docs_per_block = (state.layout.num_docs() / saturation.max(1)).clamp(1, 32);
                     let kernel =
                         UpdateThetaKernel::new(state, docs_per_block, config.compress_16bit);
                     let grid = kernel.grid_blocks();
@@ -164,7 +169,10 @@ pub fn run_iteration(
         .iter()
         .map(|t| t.sampling_s + t.update_phi_s)
         .fold(0.0, f64::max);
-    let max_theta = per_device.iter().map(|t| t.update_theta_s).fold(0.0, f64::max);
+    let max_theta = per_device
+        .iter()
+        .map(|t| t.update_theta_s)
+        .fold(0.0, f64::max);
     let max_pipeline = per_device.iter().map(|t| t.pipeline_s).fold(0.0, f64::max);
     let max_transfer = per_device.iter().map(|t| t.transfer_s).fold(0.0, f64::max);
 
@@ -204,7 +212,12 @@ mod tests {
         chunks: usize,
         gpus: usize,
         k: usize,
-    ) -> (Vec<Arc<ChunkState>>, Vec<Vec<WorkItem>>, MultiGpuSystem, LdaConfig) {
+    ) -> (
+        Vec<Arc<ChunkState>>,
+        Vec<Vec<WorkItem>>,
+        MultiGpuSystem,
+        LdaConfig,
+    ) {
         let corpus = DatasetProfile {
             name: "sched".into(),
             num_docs: 120,
@@ -250,7 +263,7 @@ mod tests {
     fn resident_iteration_preserves_count_invariants() {
         let (states, items, system, cfg) = setup(2, 2, 8);
         let total_tokens: usize = states.iter().map(|s| s.num_tokens()).sum();
-        let stats = run_iteration(&states, &items, &system, &cfg, ScheduleKind::Resident);
+        let stats = run_iteration(&states, &items, &system, &cfg, ScheduleKind::Resident, 0);
         assert_eq!(stats.tokens_processed as usize, total_tokens);
         assert!(stats.sim_time_s > 0.0);
         assert_eq!(stats.transfer_time_s, 0.0);
@@ -273,6 +286,7 @@ mod tests {
             &system,
             &cfg,
             ScheduleKind::Streamed { chunks_per_gpu: 2 },
+            0,
         );
         assert!(stats.transfer_time_s > 0.0);
         assert!(stats.sim_time_s >= stats.sync_time_s);
@@ -284,9 +298,16 @@ mod tests {
     #[test]
     fn multi_gpu_iteration_is_faster_than_single_gpu() {
         let (states1, items1, system1, cfg) = setup(1, 1, 8);
-        let t1 = run_iteration(&states1, &items1, &system1, &cfg, ScheduleKind::Resident);
+        let t1 = run_iteration(&states1, &items1, &system1, &cfg, ScheduleKind::Resident, 0);
         let (states4, items4, system4, cfg4) = setup(4, 4, 8);
-        let t4 = run_iteration(&states4, &items4, &system4, &cfg4, ScheduleKind::Resident);
+        let t4 = run_iteration(
+            &states4,
+            &items4,
+            &system4,
+            &cfg4,
+            ScheduleKind::Resident,
+            0,
+        );
         assert!(
             t4.compute_time_s < t1.compute_time_s,
             "4-GPU compute {} should beat 1-GPU {}",
@@ -317,8 +338,8 @@ mod tests {
             culda_metrics::log_likelihood(&theta, &phi, &nk, cfg.alpha, cfg.beta).per_token()
         };
         let before = ll(&states);
-        for _ in 0..8 {
-            run_iteration(&states, &items, &system, &cfg, ScheduleKind::Resident);
+        for it in 0..8 {
+            run_iteration(&states, &items, &system, &cfg, ScheduleKind::Resident, it);
         }
         let after = ll(&states);
         assert!(

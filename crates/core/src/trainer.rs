@@ -20,8 +20,6 @@ use crate::work::{build_work_items, WorkItem};
 use culda_corpus::{Corpus, Partitioner};
 use culda_gpusim::MultiGpuSystem;
 use culda_sparse::{CsrBuilder, CsrMatrix, DenseMatrix};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
 
 /// Errors produced while constructing a trainer.
@@ -68,6 +66,10 @@ pub struct CuLdaTrainer {
     total_tokens: u64,
     sim_time_s: f64,
     history: Vec<IterationStats>,
+    /// Iterations completed before this trainer was constructed (non-zero
+    /// only when resumed from a checkpoint); keeps the counter-based RNG's
+    /// iteration streams from ever being reused across a resume.
+    base_iteration: u64,
 }
 
 impl CuLdaTrainer {
@@ -80,6 +82,53 @@ impl CuLdaTrainer {
         corpus: &Corpus,
         config: LdaConfig,
         system: MultiGpuSystem,
+    ) -> Result<Self, TrainerError> {
+        Self::build(corpus, config, system, None)
+    }
+
+    /// Build a trainer whose topic assignments are restored from an explicit
+    /// per-document snapshot (`z[doc][token]`, original token order) instead
+    /// of random initialisation — the `train --resume-from` path.  The
+    /// snapshot must cover exactly this corpus.
+    pub fn with_assignments(
+        corpus: &Corpus,
+        config: LdaConfig,
+        system: MultiGpuSystem,
+        z: &[Vec<u16>],
+        start_iteration: u64,
+    ) -> Result<Self, TrainerError> {
+        if z.len() != corpus.num_docs() {
+            return Err(TrainerError::InvalidConfig(format!(
+                "assignment snapshot covers {} documents, corpus has {}",
+                z.len(),
+                corpus.num_docs()
+            )));
+        }
+        for (d, zd) in z.iter().enumerate() {
+            if zd.len() != corpus.doc(d).len() {
+                return Err(TrainerError::InvalidConfig(format!(
+                    "assignment snapshot row {d} has {} tokens, document has {}",
+                    zd.len(),
+                    corpus.doc(d).len()
+                )));
+            }
+            if zd.iter().any(|&k| k as usize >= config.num_topics) {
+                return Err(TrainerError::InvalidConfig(format!(
+                    "assignment snapshot row {d} assigns a topic ≥ K = {}",
+                    config.num_topics
+                )));
+            }
+        }
+        let mut trainer = Self::build(corpus, config, system, Some(z))?;
+        trainer.base_iteration = start_iteration;
+        Ok(trainer)
+    }
+
+    fn build(
+        corpus: &Corpus,
+        config: LdaConfig,
+        system: MultiGpuSystem,
+        init: Option<&[Vec<u16>]>,
     ) -> Result<Self, TrainerError> {
         config.validate().map_err(TrainerError::InvalidConfig)?;
         if corpus.num_tokens() == 0 {
@@ -102,17 +151,19 @@ impl CuLdaTrainer {
         let partitioner = Partitioner::by_tokens(corpus, num_chunks);
         let layouts = partitioner.build_layouts(corpus);
 
-        // Build chunk states and randomly initialise the assignments.
+        // Build chunk states and randomly initialise the assignments.  The
+        // initial topics come from the counter-based generator keyed by each
+        // token's (document, slot) identity, so the initialisation — like the
+        // sampling draws — is identical for every chunking of the corpus.
         let states: Vec<Arc<ChunkState>> = layouts
             .into_iter()
             .enumerate()
             .map(|(i, layout)| {
                 let state = ChunkState::new(i, layout, config.num_topics);
-                let mut rng = ChaCha8Rng::seed_from_u64(
-                    config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
-                let k = config.num_topics as u16;
-                state.random_init(&config, move || rng.gen_range(0..k));
+                match init {
+                    None => state.random_init_stable(&config, config.seed),
+                    Some(z) => state.init_from_assignments(z),
+                }
                 Arc::new(state)
             })
             .collect();
@@ -123,13 +174,12 @@ impl CuLdaTrainer {
             let bytes = state.device_bytes(config.compress_16bit);
             let name = format!("chunk{i}");
             if m == 1 {
-                device
-                    .memory
-                    .alloc(&name, bytes)
-                    .map_err(|e| TrainerError::DeviceMemoryTooSmall {
+                device.memory.alloc(&name, bytes).map_err(|e| {
+                    TrainerError::DeviceMemoryTooSmall {
                         required: e.requested,
                         capacity: e.capacity,
-                    })?;
+                    }
+                })?;
             }
         }
 
@@ -152,6 +202,7 @@ impl CuLdaTrainer {
             schedule,
             sim_time_s: 0.0,
             history: Vec::new(),
+            base_iteration: 0,
         })
     }
 
@@ -168,9 +219,8 @@ impl CuLdaTrainer {
         let phi_elem: u64 = if config.compress_16bit { 2 } else { 4 };
         // Two φ replicas (local + global) plus topic totals live on every GPU
         // regardless of M.
-        let phi_bytes =
-            2 * (config.num_topics as u64 * corpus.vocab_size() as u64 * phi_elem)
-                + config.num_topics as u64 * 16;
+        let phi_bytes = 2 * (config.num_topics as u64 * corpus.vocab_size() as u64 * phi_elem)
+            + config.num_topics as u64 * 16;
         // Per-token chunk footprint: word-major corpus (4), doc map (4),
         // token_doc (4), z + z_next (2×2), θ entry upper bound (6).
         let per_token: u64 = 4 + 4 + 4 + 4 + 6;
@@ -227,6 +277,12 @@ impl CuLdaTrainer {
         self.num_docs
     }
 
+    /// Total training iterations this model state has absorbed, including
+    /// iterations run before a checkpoint resume.
+    pub fn completed_iterations(&self) -> u64 {
+        self.base_iteration + self.history.len() as u64
+    }
+
     /// Accumulated simulated training time.
     pub fn sim_time_s(&self) -> f64 {
         self.sim_time_s
@@ -245,6 +301,7 @@ impl CuLdaTrainer {
             &self.system,
             &self.config,
             self.schedule,
+            self.base_iteration + self.history.len() as u64,
         );
         self.sim_time_s += stats.sim_time_s;
         self.history.push(stats);
@@ -271,6 +328,27 @@ impl CuLdaTrainer {
             let stats = self.run_iteration();
             callback(i, stats, self);
         }
+    }
+
+    /// The topic assignment of every token, per document in corpus order and
+    /// per token in original document order — regardless of how the corpus
+    /// is chunked internally.  Two trainers with the same seed produce the
+    /// same snapshot whatever their GPU topology; the determinism tests in
+    /// `culda-testkit` rely on exactly this.
+    pub fn z_snapshot(&self) -> Vec<Vec<u16>> {
+        let mut docs = Vec::with_capacity(self.num_docs);
+        for state in &self.states {
+            for d in 0..state.layout.num_docs() {
+                let row: Vec<u16> = state
+                    .layout
+                    .doc_positions(d)
+                    .iter()
+                    .map(|&pos| state.z[pos as usize].load(std::sync::atomic::Ordering::Relaxed))
+                    .collect();
+                docs.push(row);
+            }
+        }
+        docs
     }
 
     /// The full document–topic matrix θ (documents in corpus order).
@@ -386,7 +464,8 @@ mod tests {
     fn trainer_initialises_consistently() {
         let corpus = small_corpus();
         let system = MultiGpuSystem::single(DeviceSpec::titan_x_maxwell(), 1);
-        let trainer = CuLdaTrainer::new(&corpus, LdaConfig::with_topics(16).seed(5), system).unwrap();
+        let trainer =
+            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(16).seed(5), system).unwrap();
         assert_eq!(trainer.schedule(), ScheduleKind::Resident);
         assert_eq!(trainer.num_chunks(), 1);
         assert_eq!(trainer.total_tokens(), corpus.num_tokens() as u64);
@@ -430,12 +509,8 @@ mod tests {
     #[test]
     fn multi_gpu_trainer_distributes_chunks_round_robin() {
         let corpus = small_corpus();
-        let system = MultiGpuSystem::homogeneous(
-            DeviceSpec::titan_xp_pascal(),
-            4,
-            11,
-            Interconnect::Pcie3,
-        );
+        let system =
+            MultiGpuSystem::homogeneous(DeviceSpec::titan_xp_pascal(), 4, 11, Interconnect::Pcie3);
         let mut trainer =
             CuLdaTrainer::new(&corpus, LdaConfig::with_topics(8).seed(1), system).unwrap();
         assert_eq!(trainer.num_chunks(), 4);

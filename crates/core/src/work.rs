@@ -61,7 +61,9 @@ pub fn build_work_items(layout: &ChunkLayout, max_per_block: usize) -> Vec<WorkI
     items.sort_by(|a, b| {
         let wa = layout.word_token_count(a.word as usize);
         let wb = layout.word_token_count(b.word as usize);
-        wb.cmp(&wa).then(a.word.cmp(&b.word)).then(a.start.cmp(&b.start))
+        wb.cmp(&wa)
+            .then(a.word.cmp(&b.word))
+            .then(a.start.cmp(&b.start))
     });
     items
 }
@@ -145,14 +147,20 @@ mod tests {
         let corpus = DatasetProfile::nytimes().scaled(0.0005).generate(3);
         let layout = ChunkLayout::build(
             &corpus,
-            DocRange { start: 0, end: corpus.num_docs() },
+            DocRange {
+                start: 0,
+                end: corpus.num_docs(),
+            },
         );
         for &cap in &[64usize, 512, 4096] {
             let items = build_work_items(&layout, cap);
             assert!(items.iter().all(|i| i.len() <= cap && !i.is_empty()));
             let stats = work_stats(&items);
             assert_eq!(stats.total_tokens, layout.num_tokens());
-            assert_eq!(stats.max_block_tokens, items.iter().map(WorkItem::len).max().unwrap());
+            assert_eq!(
+                stats.max_block_tokens,
+                items.iter().map(WorkItem::len).max().unwrap()
+            );
         }
     }
 

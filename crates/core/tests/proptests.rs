@@ -51,7 +51,11 @@ fn arb_consistent_state(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        failure_persistence: FileFailurePersistence::WithSource("proptest-regressions"),
+        ..ProptestConfig::default()
+    })]
 
     #[test]
     fn inferred_mixtures_are_probability_distributions(
@@ -104,6 +108,9 @@ proptest! {
             nk,
             phi,
             theta,
+            seed: 0,
+            iterations: 0,
+            z: None,
         };
         prop_assert!(ckpt.validate().is_ok());
         let mut buf = Vec::new();

@@ -88,7 +88,9 @@ pub fn read_bow<R: Read>(reader: R) -> Result<Corpus, BowError> {
             return Err(BowError::Parse(format!("docID {doc} out of range 1..={d}")));
         }
         if word == 0 || word > w {
-            return Err(BowError::Parse(format!("wordID {word} out of range 1..={w}")));
+            return Err(BowError::Parse(format!(
+                "wordID {word} out of range 1..={w}"
+            )));
         }
         if doc < current_doc {
             return Err(BowError::Parse(format!(
@@ -211,6 +213,9 @@ mod tests {
 
     #[test]
     fn rejects_truncated_header() {
-        assert!(matches!(read_bow("3\n4\n".as_bytes()), Err(BowError::Parse(_))));
+        assert!(matches!(
+            read_bow("3\n4\n".as_bytes()),
+            Err(BowError::Parse(_))
+        ));
     }
 }

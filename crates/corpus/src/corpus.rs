@@ -78,7 +78,10 @@ impl Corpus {
 
     /// Length of the longest document.
     pub fn max_doc_len(&self) -> usize {
-        (0..self.num_docs()).map(|d| self.doc_len(d)).max().unwrap_or(0)
+        (0..self.num_docs())
+            .map(|d| self.doc_len(d))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Per-word token counts (the empirical word-frequency distribution).
@@ -97,9 +100,7 @@ impl Corpus {
 
     /// Iterate `(doc, word)` pairs over every token in document order.
     pub fn iter_tokens(&self) -> impl Iterator<Item = (DocId, WordId)> + '_ {
-        (0..self.num_docs()).flat_map(move |d| {
-            self.doc(d).iter().map(move |&w| (d as DocId, w))
-        })
+        (0..self.num_docs()).flat_map(move |d| self.doc(d).iter().map(move |&w| (d as DocId, w)))
     }
 
     /// Estimated bytes of the device-resident corpus chunk representation

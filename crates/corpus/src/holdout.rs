@@ -176,10 +176,7 @@ mod tests {
     fn document_split_partitions_documents() {
         let c = corpus();
         let split = split_documents(&c, 0.25, 3);
-        assert_eq!(
-            split.train.num_docs() + split.test.num_docs(),
-            c.num_docs()
-        );
+        assert_eq!(split.train.num_docs() + split.test.num_docs(), c.num_docs());
         assert_eq!(
             split.train.num_tokens() + split.test.num_tokens(),
             c.num_tokens()

@@ -81,7 +81,10 @@ impl Partitioner {
             tokens_per_chunk.push(offsets[end] - offsets[start]);
             start = end;
         }
-        Partitioner { ranges, tokens_per_chunk }
+        Partitioner {
+            ranges,
+            tokens_per_chunk,
+        }
     }
 
     /// The document ranges, one per chunk.
@@ -230,6 +233,21 @@ impl ChunkLayout {
     #[inline]
     pub fn doc_positions(&self, d: usize) -> &[u32] {
         &self.doc_token_pos[self.doc_ptr[d] as usize..self.doc_ptr[d + 1] as usize]
+    }
+
+    /// The inverse of the document–word map: for every word-major position,
+    /// the token's index within its *document* (original corpus token
+    /// order).  `(global document id, slot)` is a partition-independent
+    /// identity for a token, which is what keys the counter-based sampling
+    /// RNG so that training is bit-reproducible across GPU topologies.
+    pub fn token_slots(&self) -> Vec<u32> {
+        let mut slots = vec![0u32; self.num_tokens()];
+        for d in 0..self.num_docs() {
+            for (t, &pos) in self.doc_positions(d).iter().enumerate() {
+                slots[pos as usize] = t as u32;
+            }
+        }
+        slots
     }
 
     /// Recover the word id of the token stored at word-major position `pos`
@@ -389,7 +407,7 @@ mod tests {
         assert_eq!(layout.num_tokens(), 5);
         assert_eq!(layout.doc_len(0), 2); // global doc 1
         assert_eq!(layout.doc_len(1), 3); // global doc 2
-        // All of local doc 0's positions hold tokens of word 2.
+                                          // All of local doc 0's positions hold tokens of word 2.
         for &p in layout.doc_positions(0) {
             assert_eq!(layout.word_of_position(p), 2);
         }

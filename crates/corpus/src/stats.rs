@@ -60,7 +60,12 @@ impl std::fmt::Display for CorpusStats {
         write!(
             f,
             "{}: {} tokens, {} docs, {} words (avg doc len {:.1}, max {})",
-            self.name, self.num_tokens, self.num_docs, self.vocab_size, self.avg_doc_len, self.max_doc_len
+            self.name,
+            self.num_tokens,
+            self.num_docs,
+            self.vocab_size,
+            self.avg_doc_len,
+            self.max_doc_len
         )
     }
 }

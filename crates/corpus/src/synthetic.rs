@@ -209,8 +209,7 @@ impl LdaGenerator {
         for _ in 0..self.num_docs {
             // Document–topic mixture θ_d ~ Dirichlet(α).
             let theta = dirichlet(&mut rng, self.num_topics, self.alpha);
-            let theta_table =
-                AliasTable::new(&theta.iter().map(|&p| p as f32).collect::<Vec<_>>());
+            let theta_table = AliasTable::new(&theta.iter().map(|&p| p as f32).collect::<Vec<_>>());
             let len = poisson_like(&mut rng, self.avg_doc_len).max(1);
             doc.clear();
             for _ in 0..len {
@@ -415,8 +414,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         for &mean in &[5.0f64, 120.0] {
             let n = 5_000;
-            let got: f64 =
-                (0..n).map(|_| poisson_like(&mut rng, mean) as f64).sum::<f64>() / n as f64;
+            let got: f64 = (0..n)
+                .map(|_| poisson_like(&mut rng, mean) as f64)
+                .sum::<f64>()
+                / n as f64;
             assert!((got - mean).abs() / mean < 0.08, "mean {got} vs {mean}");
         }
     }

@@ -33,9 +33,9 @@ use std::io::{BufRead, BufReader, Read};
 pub const DEFAULT_STOPWORDS: &[&str] = &[
     "a", "an", "and", "are", "as", "at", "be", "been", "but", "by", "for", "from", "had", "has",
     "have", "he", "her", "his", "i", "if", "in", "into", "is", "it", "its", "my", "no", "not",
-    "of", "on", "or", "our", "she", "so", "that", "the", "their", "them", "then", "there",
-    "these", "they", "this", "to", "was", "we", "were", "which", "who", "will", "with", "would",
-    "you", "your",
+    "of", "on", "or", "our", "she", "so", "that", "the", "their", "them", "then", "there", "these",
+    "they", "this", "to", "was", "we", "were", "which", "who", "will", "with", "would", "you",
+    "your",
 ];
 
 /// Options controlling how raw text is turned into tokens.
@@ -129,8 +129,7 @@ impl Tokenizer {
             if token.chars().count() < self.options.min_token_len {
                 continue;
             }
-            if self.options.max_token_len > 0
-                && token.chars().count() > self.options.max_token_len
+            if self.options.max_token_len > 0 && token.chars().count() > self.options.max_token_len
             {
                 continue;
             }
@@ -419,11 +418,7 @@ mod tests {
 
     #[test]
     fn pruning_by_doc_freq_and_cap() {
-        let docs = [
-            "alpha beta gamma",
-            "alpha beta delta",
-            "alpha epsilon zeta",
-        ];
+        let docs = ["alpha beta gamma", "alpha beta delta", "alpha epsilon zeta"];
         let (corpus, vocab) = TextPipeline::new(TokenizerOptions {
             remove_stopwords: false,
             min_token_len: 1,
@@ -446,7 +441,12 @@ mod tests {
 
     #[test]
     fn pruning_max_doc_ratio_removes_ubiquitous_words() {
-        let docs = ["common rare1", "common rare2", "common rare3", "common rare4"];
+        let docs = [
+            "common rare1",
+            "common rare2",
+            "common rare3",
+            "common rare4",
+        ];
         let (_, vocab) = TextPipeline::new(TokenizerOptions {
             remove_stopwords: false,
             min_token_len: 1,

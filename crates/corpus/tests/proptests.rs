@@ -10,7 +10,11 @@ use proptest::prelude::*;
 
 /// Strategy: an arbitrary small corpus (possibly with empty documents) over a
 /// vocabulary of `1..=max_vocab` words.
-fn arb_corpus(max_docs: usize, max_doc_len: usize, max_vocab: u32) -> impl Strategy<Value = Corpus> {
+fn arb_corpus(
+    max_docs: usize,
+    max_doc_len: usize,
+    max_vocab: u32,
+) -> impl Strategy<Value = Corpus> {
     (1..=max_vocab).prop_flat_map(move |vocab| {
         prop::collection::vec(
             prop::collection::vec(0..vocab, 0..=max_doc_len),
@@ -27,7 +31,11 @@ fn arb_corpus(max_docs: usize, max_doc_len: usize, max_vocab: u32) -> impl Strat
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        failure_persistence: FileFailurePersistence::WithSource("proptest-regressions"),
+        ..ProptestConfig::default()
+    })]
 
     #[test]
     fn snapshot_roundtrip_is_identity(corpus in arb_corpus(40, 30, 200)) {

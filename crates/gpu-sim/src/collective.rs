@@ -42,7 +42,10 @@ impl ReducePlan {
             let mut steps = Vec::new();
             let mut i = 0usize;
             while i + stride < num_devices {
-                steps.push(Step { src: i + stride, dst: i });
+                steps.push(Step {
+                    src: i + stride,
+                    dst: i,
+                });
                 i += stride * 2;
             }
             rounds.push(steps);
@@ -60,7 +63,9 @@ impl ReducePlan {
                 std::mem::swap(&mut step.src, &mut step.dst);
             }
         }
-        ReducePlan { rounds: plan.rounds }
+        ReducePlan {
+            rounds: plan.rounds,
+        }
     }
 
     /// The rounds in execution order; steps within a round run in parallel.
@@ -108,7 +113,8 @@ pub fn sync_time_s(
     if num_devices <= 1 {
         return 0.0;
     }
-    let reduce = ReducePlan::tree_reduce(num_devices).time_s(bytes, link, add_bandwidth_bytes_per_s);
+    let reduce =
+        ReducePlan::tree_reduce(num_devices).time_s(bytes, link, add_bandwidth_bytes_per_s);
     let broadcast = ReducePlan::tree_broadcast(num_devices).time_s(bytes, link, 0.0);
     reduce + broadcast
 }

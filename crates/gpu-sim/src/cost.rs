@@ -147,8 +147,7 @@ pub fn kernel_time(spec: &DeviceSpec, counters: &CostCounters, grid_blocks: usiz
     let alu_ops = counters.flops + counters.int_ops + counters.rng_draws * 8;
     let compute_s = alu_ops as f64 / (spec.peak_gflops * 1e9) / occupancy;
 
-    let atomic_s =
-        counters.atomic_ops as f64 / (spec.atomic_gops_per_s * 1e9) / occupancy;
+    let atomic_s = counters.atomic_ops as f64 / (spec.atomic_gops_per_s * 1e9) / occupancy;
 
     let launch_s = spec.kernel_launch_overhead_s;
     let total_s = memory_s.max(on_chip_s).max(compute_s).max(atomic_s) + launch_s;
@@ -238,7 +237,12 @@ mod tests {
             DeviceSpec::xeon_e5_2690v4(),
         ] {
             let t = kernel_time(&spec, &c, 100_000);
-            assert_eq!(t.bound_by(), Bound::Memory, "{} not memory bound", spec.name);
+            assert_eq!(
+                t.bound_by(),
+                Bound::Memory,
+                "{} not memory bound",
+                spec.name
+            );
         }
     }
 

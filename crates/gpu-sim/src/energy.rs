@@ -247,7 +247,10 @@ mod tests {
         // Static power should be a visible but not dominant share for a
         // bandwidth-saturating kernel.
         let static_share = (a.total_j - a.dynamic_j) / a.total_j;
-        assert!(static_share > 0.0 && static_share < 0.9, "share {static_share}");
+        assert!(
+            static_share > 0.0 && static_share < 0.9,
+            "share {static_share}"
+        );
     }
 
     #[test]

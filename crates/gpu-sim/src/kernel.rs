@@ -135,6 +135,16 @@ impl BlockCtx {
     pub fn rand_below(&mut self, bound: u32) -> u32 {
         self.rng.next_below(bound)
     }
+
+    /// Counter-based draw in `[0, 1)`: a pure function of
+    /// `(seed, stream, counter)`, independent of which block, launch or
+    /// device executes it (see [`crate::rng::stable_f32`]).  Costed like any
+    /// other RNG draw.
+    #[inline]
+    pub fn stable_f32(&mut self, seed: u64, stream: u64, counter: u64) -> f32 {
+        self.counters.rng_draws += 1;
+        crate::rng::stable_f32(seed, stream, counter)
+    }
 }
 
 /// A kernel body executed once per thread block.

@@ -95,7 +95,12 @@ impl DeviceMemory {
 
     /// Snapshot of the named allocations (for diagnostics).
     pub fn allocations(&self) -> Vec<(String, u64)> {
-        let mut v: Vec<_> = self.inner.lock().iter().map(|(k, &b)| (k.clone(), b)).collect();
+        let mut v: Vec<_> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|(k, &b)| (k.clone(), b))
+            .collect();
         v.sort();
         v
     }

@@ -22,12 +22,26 @@ impl MultiGpuSystem {
     /// Build a homogeneous system of `num_gpus` devices of the given spec.
     ///
     /// Each device gets a distinct RNG stream derived from `seed`.
-    pub fn homogeneous(spec: DeviceSpec, num_gpus: usize, seed: u64, interconnect: Interconnect) -> Self {
+    pub fn homogeneous(
+        spec: DeviceSpec,
+        num_gpus: usize,
+        seed: u64,
+        interconnect: Interconnect,
+    ) -> Self {
         assert!(num_gpus >= 1, "a system needs at least one GPU");
         let devices = (0..num_gpus)
-            .map(|i| Arc::new(Device::new(i, spec.clone(), seed.wrapping_add(i as u64 * 0x9E37_79B9))))
+            .map(|i| {
+                Arc::new(Device::new(
+                    i,
+                    spec.clone(),
+                    seed.wrapping_add(i as u64 * 0x9E37_79B9),
+                ))
+            })
             .collect();
-        MultiGpuSystem { devices, interconnect }
+        MultiGpuSystem {
+            devices,
+            interconnect,
+        }
     }
 
     /// Single-GPU convenience constructor over PCIe 3.0.
@@ -102,7 +116,8 @@ mod tests {
 
     #[test]
     fn homogeneous_system_has_distinct_seeds() {
-        let sys = MultiGpuSystem::homogeneous(DeviceSpec::titan_xp_pascal(), 4, 7, Interconnect::Pcie3);
+        let sys =
+            MultiGpuSystem::homogeneous(DeviceSpec::titan_xp_pascal(), 4, 7, Interconnect::Pcie3);
         assert_eq!(sys.num_gpus(), 4);
         let seeds: Vec<u64> = sys.devices().iter().map(|d| d.seed).collect();
         let mut unique = seeds.clone();
@@ -142,9 +157,12 @@ mod tests {
     fn aggregate_breakdown_merges_devices() {
         let sys = MultiGpuSystem::homogeneous(DeviceSpec::v100_volta(), 2, 1, Interconnect::Pcie3);
         let kernel = |_b: usize, ctx: &mut BlockCtx| ctx.read_global(1 << 20);
-        sys.device(0).launch("sampling", LaunchConfig::new(1000), &kernel);
-        sys.device(1).launch("sampling", LaunchConfig::new(1000), &kernel);
-        sys.device(1).launch("update_phi", LaunchConfig::new(1000), &kernel);
+        sys.device(0)
+            .launch("sampling", LaunchConfig::new(1000), &kernel);
+        sys.device(1)
+            .launch("sampling", LaunchConfig::new(1000), &kernel);
+        sys.device(1)
+            .launch("update_phi", LaunchConfig::new(1000), &kernel);
         let breakdown = sys.aggregate_breakdown();
         assert_eq!(breakdown[0].0, "sampling");
         assert!(breakdown[0].1 > 60.0);

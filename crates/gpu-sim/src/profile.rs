@@ -22,7 +22,11 @@ impl Profiler {
 
     /// Add `seconds` to the bucket `kernel_name`.
     pub fn record(&self, kernel_name: &str, seconds: f64) {
-        *self.inner.lock().entry(kernel_name.to_owned()).or_insert(0.0) += seconds;
+        *self
+            .inner
+            .lock()
+            .entry(kernel_name.to_owned())
+            .or_insert(0.0) += seconds;
     }
 
     /// Total seconds across all kernels.

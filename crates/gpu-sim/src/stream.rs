@@ -155,7 +155,11 @@ mod tests {
         let stages: Vec<Stage> = (0..8).map(|_| stage(0.1, 1.0, 0.05)).collect();
         let r = PipelineModel::from_stages(stages).simulate();
         let expected = 0.1 + 8.0 * 1.0 + 0.05;
-        assert!((r.overlapped_s - expected).abs() < 1e-6, "{}", r.overlapped_s);
+        assert!(
+            (r.overlapped_s - expected).abs() < 1e-6,
+            "{}",
+            r.overlapped_s
+        );
         assert!(r.serial_s > r.overlapped_s);
         assert!(r.savings() > 0.1);
     }
@@ -171,7 +175,11 @@ mod tests {
     #[test]
     fn overlap_never_exceeds_serial_time() {
         let cases = vec![
-            vec![stage(0.3, 0.5, 0.2), stage(0.7, 0.2, 0.1), stage(0.1, 0.9, 0.4)],
+            vec![
+                stage(0.3, 0.5, 0.2),
+                stage(0.7, 0.2, 0.1),
+                stage(0.1, 0.9, 0.4),
+            ],
             vec![stage(0.0, 1.0, 0.0); 4],
             vec![stage(0.5, 0.0, 0.5); 3],
         ];

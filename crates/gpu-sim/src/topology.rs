@@ -65,8 +65,7 @@ impl Topology {
         }
         if self.contended() {
             // Transfers share the switch: bandwidth divides, latency once.
-            link.latency_s()
-                + (bytes as f64 * concurrent as f64) / link.bandwidth_bytes_per_s()
+            link.latency_s() + (bytes as f64 * concurrent as f64) / link.bandwidth_bytes_per_s()
         } else {
             link.transfer_time_s(bytes)
         }

@@ -39,7 +39,16 @@ fn arb_counters() -> impl Strategy<Value = CostCounters> {
         0u64..1 << 24,
     )
         .prop_map(
-            |(dram_read_bytes, dram_write_bytes, shared_bytes, l1_bytes, flops, int_ops, atomic_ops, rng_draws)| {
+            |(
+                dram_read_bytes,
+                dram_write_bytes,
+                shared_bytes,
+                l1_bytes,
+                flops,
+                int_ops,
+                atomic_ops,
+                rng_draws,
+            )| {
                 CostCounters {
                     dram_read_bytes,
                     dram_write_bytes,
@@ -55,6 +64,11 @@ fn arb_counters() -> impl Strategy<Value = CostCounters> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        failure_persistence: FileFailurePersistence::WithSource("proptest-regressions"),
+        ..ProptestConfig::default()
+    })]
     /// Occupancy is always a valid fraction, its warp count is consistent
     /// with its block count, and a block that fits never reports zero blocks.
     #[test]

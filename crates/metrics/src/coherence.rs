@@ -162,11 +162,7 @@ pub fn npmi_coherence(index: &CooccurrenceIndex, top: &[WordId]) -> f64 {
 }
 
 /// NPMI coherence of every topic's top-`n` words; returns one score per topic.
-pub fn npmi_coherence_all(
-    index: &CooccurrenceIndex,
-    phi: &DenseMatrix<u32>,
-    n: usize,
-) -> Vec<f64> {
+pub fn npmi_coherence_all(index: &CooccurrenceIndex, phi: &DenseMatrix<u32>, n: usize) -> Vec<f64> {
     (0..phi.rows())
         .map(|k| npmi_coherence(index, &top_words(phi, k, n)))
         .collect()
@@ -248,11 +244,7 @@ where
 
 /// Convenience: build the index and compute mean coherence + diversity in one
 /// call (what the examples and CLI report).
-pub fn topic_quality_report(
-    corpus: &Corpus,
-    phi: &DenseMatrix<u32>,
-    top_n: usize,
-) -> TopicQuality {
+pub fn topic_quality_report(corpus: &Corpus, phi: &DenseMatrix<u32>, top_n: usize) -> TopicQuality {
     let index = CooccurrenceIndex::build(corpus);
     TopicQuality {
         mean_coherence: mean_umass_coherence(&index, phi, top_n),

@@ -101,7 +101,11 @@ pub fn log_likelihood(
     beta: f64,
 ) -> LikelihoodParts {
     assert_eq!(phi.rows(), nk.len(), "φ rows and n_k length must agree");
-    assert_eq!(theta.cols(), phi.rows(), "θ columns must equal φ rows (= K)");
+    assert_eq!(
+        theta.cols(),
+        phi.rows(),
+        "θ columns must equal φ rows (= K)"
+    );
     let num_tokens = theta.total();
     LikelihoodParts {
         doc_part: doc_log_likelihood(theta, alpha),
@@ -144,10 +148,9 @@ mod tests {
         let beta = 0.1;
         let ll = log_likelihood(&theta, &phi, &nk, alpha, beta);
         // Doc part: lnΓ(2α) − 2lnΓ(α) + lnΓ(1+α) + lnΓ(α) − lnΓ(1+2α)
-        let doc = ln_gamma(2.0 * alpha) - 2.0 * ln_gamma(alpha)
-            + ln_gamma(1.0 + alpha)
-            + ln_gamma(alpha)
-            - ln_gamma(1.0 + 2.0 * alpha);
+        let doc =
+            ln_gamma(2.0 * alpha) - 2.0 * ln_gamma(alpha) + ln_gamma(1.0 + alpha) + ln_gamma(alpha)
+                - ln_gamma(1.0 + 2.0 * alpha);
         // Topic part: for topic 0: lnΓ(3β) − 3lnΓ(β) + [lnΓ(1+β) + 2lnΓ(β)] − lnΓ(1+3β)
         //             for topic 1: lnΓ(3β) − 3lnΓ(β) + 3lnΓ(β) − lnΓ(3β) = 0
         let topic = ln_gamma(3.0 * beta) - 3.0 * ln_gamma(beta)
@@ -156,7 +159,12 @@ mod tests {
             - ln_gamma(1.0 + 3.0 * beta)
             + (ln_gamma(3.0 * beta) - 3.0 * ln_gamma(beta) + 3.0 * ln_gamma(beta)
                 - ln_gamma(3.0 * beta));
-        assert!((ll.doc_part - doc).abs() < 1e-9, "{} vs {}", ll.doc_part, doc);
+        assert!(
+            (ll.doc_part - doc).abs() < 1e-9,
+            "{} vs {}",
+            ll.doc_part,
+            doc
+        );
         assert!(
             (ll.topic_part - topic).abs() < 1e-9,
             "{} vs {}",

@@ -57,7 +57,9 @@ impl ThroughputSeries {
 
     /// The per-iteration throughput values (the y-values of one Figure 7 line).
     pub fn per_iteration(&self) -> Vec<f64> {
-        (0..self.len()).map(|i| self.iteration_throughput(i)).collect()
+        (0..self.len())
+            .map(|i| self.iteration_throughput(i))
+            .collect()
     }
 
     /// Average Tokens/sec over the first `n` iterations (Table 4 uses the

@@ -80,7 +80,10 @@ impl Timeline {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("time_s,iteration,loglik_per_token\n");
         for p in &self.points {
-            out.push_str(&format!("{},{},{}\n", p.time_s, p.iteration, p.loglik_per_token));
+            out.push_str(&format!(
+                "{},{},{}\n",
+                p.time_s, p.iteration, p.loglik_per_token
+            ));
         }
         out
     }
@@ -133,7 +136,15 @@ mod tests {
     #[cfg(debug_assertions)]
     fn time_going_backwards_is_rejected_in_debug() {
         let mut t = Timeline::new("bad");
-        t.push(ConvergencePoint { time_s: 1.0, iteration: 0, loglik_per_token: -5.0 });
-        t.push(ConvergencePoint { time_s: 0.5, iteration: 1, loglik_per_token: -4.0 });
+        t.push(ConvergencePoint {
+            time_s: 1.0,
+            iteration: 0,
+            loglik_per_token: -5.0,
+        });
+        t.push(ConvergencePoint {
+            time_s: 0.5,
+            iteration: 1,
+            loglik_per_token: -4.0,
+        });
     }
 }

@@ -32,7 +32,10 @@ impl AliasTable {
     /// # Panics
     /// Panics if `weights` is empty.
     pub fn new(weights: &[f32]) -> Self {
-        assert!(!weights.is_empty(), "cannot build an alias table over no weights");
+        assert!(
+            !weights.is_empty(),
+            "cannot build an alias table over no weights"
+        );
         let n = weights.len();
         let total: f64 = weights.iter().map(|&w| w as f64).sum();
         if total <= 0.0 {

@@ -34,9 +34,7 @@ pub fn compress_u16(values: &[u32]) -> Result<Vec<u16>, CompressionError> {
     values
         .iter()
         .enumerate()
-        .map(|(index, &value)| {
-            u16::try_from(value).map_err(|_| CompressionError { value, index })
-        })
+        .map(|(index, &value)| u16::try_from(value).map_err(|_| CompressionError { value, index }))
         .collect()
 }
 
@@ -52,7 +50,10 @@ pub fn decompress_u32(values: &[u16]) -> Vec<u32> {
 /// production deployment on a billion-token corpus would use for φ entries
 /// while keeping exact 32-bit topic totals on the side.
 pub fn compress_u16_saturating(values: &[u32]) -> Vec<u16> {
-    values.iter().map(|&v| v.min(u16::MAX as u32) as u16).collect()
+    values
+        .iter()
+        .map(|&v| v.min(u16::MAX as u32) as u16)
+        .collect()
 }
 
 /// Fraction of bytes saved by 16-bit compression of `n` elements relative to

@@ -184,7 +184,7 @@ impl CsrMatrix {
                     return Err(format!("row {r} column {c} out of bounds"));
                 }
             }
-            if vals.iter().any(|&v| v == 0) {
+            if vals.contains(&0) {
                 return Err(format!("row {r} stores an explicit zero"));
             }
         }
@@ -215,7 +215,10 @@ pub struct CsrBuilder {
 impl CsrBuilder {
     /// Start building a matrix with `rows` rows and `cols` columns.
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(cols <= TopicId::MAX as usize + 1, "column index must fit in u16");
+        assert!(
+            cols <= TopicId::MAX as usize + 1,
+            "column index must fit in u16"
+        );
         let mut row_ptr = Vec::with_capacity(rows + 1);
         row_ptr.push(0);
         CsrBuilder {

@@ -192,7 +192,10 @@ impl AtomicMatrix {
     #[inline]
     pub fn fetch_sub(&self, r: usize, c: usize, v: u32) -> u32 {
         let prev = self.data[self.idx(r, c)].fetch_sub(v, Ordering::Relaxed);
-        debug_assert!(prev >= v, "AtomicMatrix underflow at ({r},{c}): {prev} - {v}");
+        debug_assert!(
+            prev >= v,
+            "AtomicMatrix underflow at ({r},{c}): {prev} - {v}"
+        );
         prev
     }
 
@@ -205,7 +208,11 @@ impl AtomicMatrix {
 
     /// Snapshot into a plain matrix.
     pub fn to_dense(&self) -> DenseMatrix<u32> {
-        let data = self.data.iter().map(|x| x.load(Ordering::Relaxed)).collect();
+        let data = self
+            .data
+            .iter()
+            .map(|x| x.load(Ordering::Relaxed))
+            .collect();
         DenseMatrix::from_vec(self.rows, self.cols, data)
     }
 
@@ -297,7 +304,10 @@ impl AtomicCounts {
 
     /// Snapshot to a plain vector.
     pub fn to_vec(&self) -> Vec<i64> {
-        self.data.iter().map(|x| x.load(Ordering::Relaxed)).collect()
+        self.data
+            .iter()
+            .map(|x| x.load(Ordering::Relaxed))
+            .collect()
     }
 }
 
@@ -393,6 +403,9 @@ mod tests {
     #[test]
     fn compressed_device_bytes_halved() {
         let a = AtomicMatrix::zeros(8, 8);
-        assert_eq!(a.device_bytes_compressed() * 2, a.device_bytes_uncompressed());
+        assert_eq!(
+            a.device_bytes_compressed() * 2,
+            a.device_bytes_uncompressed()
+        );
     }
 }

@@ -44,7 +44,10 @@ impl IndexTree {
     /// Panics if `fanout < 2` or `weights` is empty.
     pub fn with_fanout(fanout: usize, weights: &[f32]) -> Self {
         assert!(fanout >= 2, "fan-out must be at least 2");
-        assert!(!weights.is_empty(), "cannot build an index tree over no weights");
+        assert!(
+            !weights.is_empty(),
+            "cannot build an index tree over no weights"
+        );
         let mut leaf = Vec::with_capacity(weights.len());
         let mut acc = 0.0f32;
         for &w in weights {
@@ -64,7 +67,11 @@ impl IndexTree {
             }
             levels.push(up);
         }
-        IndexTree { fanout, levels, total }
+        IndexTree {
+            fanout,
+            levels,
+            total,
+        }
     }
 
     /// Build a 32-way tree (the configuration used by the paper's kernels).

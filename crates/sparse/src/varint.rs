@@ -135,7 +135,10 @@ pub fn encode_deltas(values: &[u32]) -> Vec<u8> {
         if i == 0 {
             encode_u32(v, &mut out);
         } else {
-            assert!(v >= prev, "delta encoding requires a non-decreasing sequence");
+            assert!(
+                v >= prev,
+                "delta encoding requires a non-decreasing sequence"
+            );
             encode_u32(v - prev, &mut out);
         }
         prev = v;
@@ -171,7 +174,10 @@ pub fn delta_encoded_len(values: &[u32]) -> usize {
         if i == 0 {
             total += encoded_len_u32(v);
         } else {
-            assert!(v >= prev, "delta encoding requires a non-decreasing sequence");
+            assert!(
+                v >= prev,
+                "delta encoding requires a non-decreasing sequence"
+            );
             total += encoded_len_u32(v - prev);
         }
         prev = v;
@@ -213,7 +219,17 @@ mod tests {
 
     #[test]
     fn single_value_round_trip_at_width_boundaries() {
-        for &v in &[0u32, 1, 127, 128, 16_383, 16_384, 2_097_151, 2_097_152, u32::MAX] {
+        for &v in &[
+            0u32,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            2_097_151,
+            2_097_152,
+            u32::MAX,
+        ] {
             let mut buf = Vec::new();
             encode_u32(v, &mut buf);
             assert_eq!(buf.len(), encoded_len_u32(v));

@@ -13,6 +13,11 @@ fn arb_dense_rows() -> impl Strategy<Value = (usize, Vec<Vec<u32>>)> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        failure_persistence: FileFailurePersistence::WithSource("proptest-regressions"),
+        ..ProptestConfig::default()
+    })]
     /// CSR ⇄ dense round trips exactly.
     #[test]
     fn csr_dense_round_trip((cols, rows) in arb_dense_rows()) {

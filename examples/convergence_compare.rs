@@ -13,7 +13,9 @@ use culda::corpus::DatasetProfile;
 use culda::gpusim::{DeviceSpec, MultiGpuSystem};
 
 fn main() {
-    let corpus = DatasetProfile::pubmed().scaled_to_tokens(120_000).generate(3);
+    let corpus = DatasetProfile::pubmed()
+        .scaled_to_tokens(120_000)
+        .generate(3);
     let k = 96;
     let iterations = 25;
     println!(

@@ -26,12 +26,8 @@ fn main() {
 
     // 2. Train on the training split only.
     let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 7);
-    let mut trainer = CuLdaTrainer::new(
-        &split.train,
-        LdaConfig::with_topics(64).seed(7),
-        system,
-    )
-    .expect("trainer");
+    let mut trainer = CuLdaTrainer::new(&split.train, LdaConfig::with_topics(64).seed(7), system)
+        .expect("trainer");
 
     // 3. Evaluate held-out perplexity as training progresses.  Each test
     //    document is split into an observed half (used to infer its topic
@@ -42,7 +38,10 @@ fn main() {
         burn_in: 5,
         seed: 11,
     };
-    println!("{:>10}  {:>14}  {:>10}", "iteration", "loglik/token", "perplexity");
+    println!(
+        "{:>10}  {:>14}  {:>10}",
+        "iteration", "loglik/token", "perplexity"
+    );
     for round in 0..5 {
         trainer.train(8);
         let inferencer = TopicInferencer::from_trainer(&trainer);

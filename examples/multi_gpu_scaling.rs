@@ -13,7 +13,9 @@ use culda::corpus::DatasetProfile;
 use culda::gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
 
 fn main() {
-    let corpus = DatasetProfile::pubmed().scaled_to_tokens(400_000).generate(11);
+    let corpus = DatasetProfile::pubmed()
+        .scaled_to_tokens(400_000)
+        .generate(11);
     println!(
         "PubMed twin: {} docs, {} tokens, {} words\n",
         corpus.num_docs(),
@@ -45,12 +47,8 @@ fn main() {
             .map(|h| h.compute_time_s)
             .sum::<f64>()
             / iterations as f64;
-        let avg_sync: f64 = trainer
-            .history()
-            .iter()
-            .map(|h| h.sync_time_s)
-            .sum::<f64>()
-            / iterations as f64;
+        let avg_sync: f64 =
+            trainer.history().iter().map(|h| h.sync_time_s).sum::<f64>() / iterations as f64;
         println!(
             "{:<8} {:>14.1} {:>9.2}x {:>16.3} {:>16.3}",
             gpus,

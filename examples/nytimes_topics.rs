@@ -23,7 +23,9 @@ fn load_corpus() -> Corpus {
         bow::read_bow(std::io::BufReader::new(file)).expect("parse UCI bag-of-words file")
     } else {
         println!("no corpus path given; generating the scaled NYTimes twin");
-        DatasetProfile::nytimes().scaled_to_tokens(150_000).generate(7)
+        DatasetProfile::nytimes()
+            .scaled_to_tokens(150_000)
+            .generate(7)
     }
 }
 

@@ -8,22 +8,26 @@
 
 use culda::core::{CuLdaTrainer, LdaConfig, ScheduleKind};
 use culda::corpus::DatasetProfile;
-use culda::gpusim::{DeviceSpec, EnergyModel, EnergyReport, Interconnect, MultiGpuSystem, Topology};
+use culda::gpusim::{
+    DeviceSpec, EnergyModel, EnergyReport, Interconnect, MultiGpuSystem, Topology,
+};
 
 fn main() {
     // 1. A PubMed-like corpus and a deliberately memory-starved device (the
     //    V100 spec with its memory cut to a fraction of a GiB) so the trainer
     //    is forced into the streaming schedule exactly as §5.1 describes for
     //    corpora larger than device memory.
-    let corpus = DatasetProfile::pubmed().scaled_to_tokens(300_000).generate(3);
+    let corpus = DatasetProfile::pubmed()
+        .scaled_to_tokens(300_000)
+        .generate(3);
     let small_gpu = DeviceSpec::builder(DeviceSpec::v100_volta())
         .name("V100 (2 MiB for the demo)")
         .mem_capacity_bytes(2 << 20)
         .build();
     let system = MultiGpuSystem::homogeneous(small_gpu, 2, 3, Interconnect::Pcie3);
 
-    let mut trainer = CuLdaTrainer::new(&corpus, LdaConfig::with_topics(64).seed(3), system)
-        .expect("trainer");
+    let mut trainer =
+        CuLdaTrainer::new(&corpus, LdaConfig::with_topics(64).seed(3), system).expect("trainer");
     match trainer.schedule() {
         ScheduleKind::Streamed { chunks_per_gpu } => println!(
             "streaming schedule selected: M = {chunks_per_gpu} chunks per GPU ({} chunks total)",

@@ -9,7 +9,7 @@ use culda::core::{CuLdaTrainer, LdaConfig};
 use culda::corpus::LdaGenerator;
 use culda::gpusim::{DeviceSpec, MultiGpuSystem};
 use culda::metrics::coherence::{
-    top_words, topic_quality_report, topics_recovered, CooccurrenceIndex, umass_coherence,
+    top_words, topic_quality_report, topics_recovered, umass_coherence, CooccurrenceIndex,
 };
 
 fn main() {
@@ -58,6 +58,9 @@ fn main() {
         let words = top_words(&trainer.global_phi(), k, 8);
         let coherence = umass_coherence(&index, &words);
         let rendered: Vec<String> = words.iter().map(|w| format!("w{w}")).collect();
-        println!("topic {k}: [{}]  coherence {coherence:.2}", rendered.join(", "));
+        println!(
+            "topic {k}: [{}]  coherence {coherence:.2}",
+            rendered.join(", ")
+        );
     }
 }

@@ -1,0 +1,186 @@
+//! Offline shim for `assert_cmd`.
+//!
+//! The slice used by the CLI smoke tests: [`Command::cargo_bin`] locates a
+//! binary built by the current `cargo test` invocation (next to the test
+//! executable's `deps/` directory), and [`Assert`] checks exit status and
+//! lets the test inspect captured output.  Instead of the real crate's
+//! `predicates` integration, [`Assert::stdout_contains`] /
+//! [`Assert::stderr_contains`] cover the substring checks the tests need.
+
+use std::ffi::OsStr;
+use std::path::{Path, PathBuf};
+use std::process::Output;
+
+/// Error locating a cargo-built binary.
+#[derive(Debug)]
+pub struct CargoError(String);
+
+impl std::fmt::Display for CargoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CargoError {}
+
+/// A `std::process::Command` wrapper with cargo-aware construction and an
+/// assertion-producing runner.
+#[derive(Debug)]
+pub struct Command {
+    inner: std::process::Command,
+}
+
+impl Command {
+    /// Locate the binary `name` built for the current test profile.
+    ///
+    /// Test executables live in `target/<profile>/deps/`, the workspace's
+    /// binaries in `target/<profile>/`; walk up from `current_exe`.
+    pub fn cargo_bin(name: impl AsRef<str>) -> Result<Self, CargoError> {
+        let name = name.as_ref();
+        let exe = std::env::current_exe()
+            .map_err(|e| CargoError(format!("cannot locate current test executable: {e}")))?;
+        let profile_dir = exe
+            .parent() // deps/
+            .and_then(Path::parent) // <profile>/
+            .ok_or_else(|| CargoError("test executable has no target directory".into()))?;
+        let candidate = profile_dir.join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+        if !candidate.exists() {
+            return Err(CargoError(format!(
+                "no binary named `{name}` at {}",
+                candidate.display()
+            )));
+        }
+        Ok(Command {
+            inner: std::process::Command::new(candidate),
+        })
+    }
+
+    /// Append one argument.
+    pub fn arg(&mut self, arg: impl AsRef<OsStr>) -> &mut Self {
+        self.inner.arg(arg);
+        self
+    }
+
+    /// Append several arguments.
+    pub fn args<I, S>(&mut self, args: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<OsStr>,
+    {
+        self.inner.args(args);
+        self
+    }
+
+    /// Set an environment variable for the child.
+    pub fn env(&mut self, key: impl AsRef<OsStr>, value: impl AsRef<OsStr>) -> &mut Self {
+        self.inner.env(key, value);
+        self
+    }
+
+    /// Set the child's working directory.
+    pub fn current_dir(&mut self, dir: impl AsRef<Path>) -> &mut Self {
+        self.inner.current_dir(dir);
+        self
+    }
+
+    /// Run to completion, capturing output, and return an [`Assert`].
+    pub fn assert(&mut self) -> Assert {
+        let output = self
+            .inner
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {:?}: {e}", self.inner.get_program()));
+        Assert {
+            output,
+            context: format!("{:?}", self.inner),
+        }
+    }
+
+    /// The path of the program this command will run.
+    pub fn get_program(&self) -> PathBuf {
+        PathBuf::from(self.inner.get_program())
+    }
+}
+
+/// Assertions over a finished process.
+#[derive(Debug)]
+pub struct Assert {
+    output: Output,
+    context: String,
+}
+
+impl Assert {
+    fn describe(&self) -> String {
+        format!(
+            "command: {}\nstatus: {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            self.context,
+            self.output.status,
+            String::from_utf8_lossy(&self.output.stdout),
+            String::from_utf8_lossy(&self.output.stderr),
+        )
+    }
+
+    /// Require a zero exit status.
+    #[track_caller]
+    pub fn success(self) -> Self {
+        assert!(
+            self.output.status.success(),
+            "expected success\n{}",
+            self.describe()
+        );
+        self
+    }
+
+    /// Require a non-zero exit status.
+    #[track_caller]
+    pub fn failure(self) -> Self {
+        assert!(
+            !self.output.status.success(),
+            "expected failure\n{}",
+            self.describe()
+        );
+        self
+    }
+
+    /// Require a specific exit code.
+    #[track_caller]
+    pub fn code(self, expected: i32) -> Self {
+        assert_eq!(
+            self.output.status.code(),
+            Some(expected),
+            "unexpected exit code\n{}",
+            self.describe()
+        );
+        self
+    }
+
+    /// Require the captured stdout to contain `needle`.
+    #[track_caller]
+    pub fn stdout_contains(self, needle: impl AsRef<str>) -> Self {
+        let text = String::from_utf8_lossy(&self.output.stdout).into_owned();
+        assert!(
+            text.contains(needle.as_ref()),
+            "stdout does not contain {:?}\n{}",
+            needle.as_ref(),
+            self.describe()
+        );
+        self
+    }
+
+    /// Require the captured stderr to contain `needle`.
+    #[track_caller]
+    pub fn stderr_contains(self, needle: impl AsRef<str>) -> Self {
+        let text = String::from_utf8_lossy(&self.output.stderr).into_owned();
+        assert!(
+            text.contains(needle.as_ref()),
+            "stderr does not contain {:?}\n{}",
+            needle.as_ref(),
+            self.describe()
+        );
+        self
+    }
+
+    /// The raw captured output.
+    pub fn get_output(&self) -> &Output {
+        &self.output
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline shim for `proptest`.
+//!
+//! Reimplements the slice of the proptest surface this workspace uses — the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map`, range / tuple / [`Just`] / [`collection::vec`] /
+//! [`prop_oneof!`] strategies, `prop_assert*` / `prop_assume!`, and
+//! [`test_runner::Config`] (`ProptestConfig`) — on top of a deterministic
+//! ChaCha8 generator.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.**  A failing case reports its seed instead; the seed is
+//!   persisted to a `proptest-regressions/` directory next to the test
+//!   source and replayed first on the next run.
+//! * **Deterministic case seeds.**  The per-case seed is derived from the
+//!   source file, the test name, and the case index, so CI runs are fully
+//!   reproducible with no environment input.
+//!
+//! [`Just`]: strategy::Just
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod test_runner;
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, FileFailurePersistence, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// The `proptest!` macro: declare property tests whose inputs are drawn from
+/// strategies.
+///
+/// Supports the two forms the workspace uses: with and without a leading
+/// `#![proptest_config(...)]` inner attribute.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                $crate::test_runner::run_named(
+                    __config,
+                    file!(),
+                    stringify!($name),
+                    |__rng| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body; on failure the case seed
+/// is reported and persisted.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "assertion failed: {} == {}",
+                        stringify!($left),
+                        stringify!($right),
+                    )));
+                }
+            }
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+                }
+            }
+        }
+    }};
+}
+
+/// Assert two expressions are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "assertion failed: {} != {}",
+                        stringify!($left),
+                        stringify!($right),
+                    )));
+                }
+            }
+        }
+    }};
+}
+
+/// Discard the current case (does not count against the case budget) unless
+/// the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Choose uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

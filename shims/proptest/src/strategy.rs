@@ -1,0 +1,418 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] deterministically produces a value from the test runner's
+//! RNG.  Unlike the real proptest there is no value tree / shrinking: a
+//! strategy is just a composable generator.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map the produced value through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Produce a dependent strategy from the value and draw from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Retry (up to a reject budget enforced by the runner) until `f` holds.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        // Bounded local retry; a pathological filter should fail loudly
+        // rather than spin forever.
+        for _ in 0..1024 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter retry budget exhausted: {}", self.whence);
+    }
+}
+
+/// Uniform choice between boxed strategies (see [`crate::prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from a non-empty list of options.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.gen_range(self.start..self.end)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty inclusive range strategy");
+                // Widening draw so `start..=MAX` does not overflow.
+                let width = (end as u128) - (start as u128) + 1;
+                let offset = ((rng.gen::<u64>() as u128 * width) >> 64) as u128;
+                (start as u128 + offset) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// A `&str` is a regex-style string strategy, as in the real proptest.
+///
+/// The shim supports the subset the workspace's patterns use: literal
+/// characters, character classes (`[a-e]`, `[abc]`, ranges and singletons
+/// mixed), groups `( … )`, and the quantifiers `{m,n}`, `{n}`, `?`, `*`
+/// (with `*`/`+` capped at 8 repetitions).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let ast = regex_gen::parse(self)
+            .unwrap_or_else(|e| panic!("unsupported regex strategy {self:?}: {e}"));
+        let mut out = String::new();
+        regex_gen::emit(&ast, rng, &mut out);
+        out
+    }
+}
+
+mod regex_gen {
+    //! Tiny regex-subset generator backing the `&str` strategy.
+
+    use super::TestRng;
+    use rand::Rng;
+
+    pub enum Node {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<Node>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    pub fn parse(pattern: &str) -> Result<Vec<Node>, String> {
+        let mut chars = pattern.chars().peekable();
+        let seq = parse_seq(&mut chars, false)?;
+        if chars.next().is_some() {
+            return Err("unbalanced ')'".into());
+        }
+        Ok(seq)
+    }
+
+    fn parse_seq(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        in_group: bool,
+    ) -> Result<Vec<Node>, String> {
+        let mut seq = Vec::new();
+        while let Some(&c) = chars.peek() {
+            let atom = match c {
+                ')' if in_group => break,
+                ')' => return Err("unbalanced ')'".into()),
+                '(' => {
+                    chars.next();
+                    let inner = parse_seq(chars, true)?;
+                    if chars.next() != Some(')') {
+                        return Err("unterminated group".into());
+                    }
+                    Node::Group(inner)
+                }
+                '[' => {
+                    chars.next();
+                    let mut ranges = Vec::new();
+                    loop {
+                        let lo = chars.next().ok_or("unterminated class")?;
+                        if lo == ']' {
+                            break;
+                        }
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = chars.next().ok_or("unterminated range")?;
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    if ranges.is_empty() {
+                        return Err("empty character class".into());
+                    }
+                    Node::Class(ranges)
+                }
+                '\\' => {
+                    chars.next();
+                    let escaped = chars.next().ok_or("dangling escape")?;
+                    Node::Literal(escaped)
+                }
+                _ => {
+                    chars.next();
+                    Node::Literal(c)
+                }
+            };
+            // Optional quantifier.
+            let node = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for q in chars.by_ref() {
+                        if q == '}' {
+                            break;
+                        }
+                        spec.push(q);
+                    }
+                    let (lo, hi) = match spec.split_once(',') {
+                        Some((a, b)) => (
+                            a.parse().map_err(|_| "bad repeat lower bound")?,
+                            b.parse().map_err(|_| "bad repeat upper bound")?,
+                        ),
+                        None => {
+                            let n: u32 = spec.parse().map_err(|_| "bad repeat count")?;
+                            (n, n)
+                        }
+                    };
+                    Node::Repeat(Box::new(atom), lo, hi)
+                }
+                Some('?') => {
+                    chars.next();
+                    Node::Repeat(Box::new(atom), 0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    Node::Repeat(Box::new(atom), 0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    Node::Repeat(Box::new(atom), 1, 8)
+                }
+                _ => atom,
+            };
+            seq.push(node);
+        }
+        Ok(seq)
+    }
+
+    pub fn emit(seq: &[Node], rng: &mut TestRng, out: &mut String) {
+        for node in seq {
+            match node {
+                Node::Literal(c) => out.push(*c),
+                Node::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                    let span = hi as u32 - lo as u32 + 1;
+                    let pick = lo as u32 + rng.gen_range(0..span);
+                    out.push(char::from_u32(pick).unwrap_or(lo));
+                }
+                Node::Group(inner) => emit(inner, rng, out),
+                Node::Repeat(node, lo, hi) => {
+                    let n = if lo == hi {
+                        *lo
+                    } else {
+                        rng.gen_range(*lo..hi + 1)
+                    };
+                    for _ in 0..n {
+                        emit(std::slice::from_ref(node), rng, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_prim {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+/// The full-range strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}

@@ -1,0 +1,300 @@
+//! The deterministic case runner behind [`crate::proptest!`].
+//!
+//! Each case's RNG seed is derived from (source file, test name, case
+//! index), so runs are bit-reproducible across machines with no environment
+//! input.  Failing seeds are appended to a regression file in a
+//! `proptest-regressions/` directory next to the test source and replayed
+//! before fresh cases on subsequent runs.
+
+use rand::SeedableRng;
+use std::io::Write as _;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// The RNG handed to strategies.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Where (and whether) failing case seeds are persisted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileFailurePersistence {
+    /// Never persist.
+    Off,
+    /// Persist to `<dir>/<source_stem>.txt` in a directory with the given
+    /// name created next to the test's source file.
+    WithSource(&'static str),
+}
+
+impl Default for FileFailurePersistence {
+    fn default() -> Self {
+        FileFailurePersistence::WithSource("proptest-regressions")
+    }
+}
+
+/// Runner configuration (the shim's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+    /// Abort after this many [`TestCaseError::Reject`]s across the run.
+    pub max_global_rejects: u32,
+    /// Failing-seed persistence policy.
+    pub failure_persistence: FileFailurePersistence,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            max_global_rejects: 4096,
+            failure_persistence: FileFailurePersistence::default(),
+        }
+    }
+}
+
+impl Config {
+    /// A default configuration with the given case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` and should not count.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// FNV-1a, used to derive the deterministic base seed of a test.
+fn fnv1a(data: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in data.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Locate `source` (a `file!()` path, relative to the workspace root) by
+/// walking up from the current directory, which is the *package* root when
+/// cargo runs a test binary.
+fn locate_source(source: &str) -> Option<PathBuf> {
+    let rel = Path::new(source);
+    if rel.is_absolute() {
+        return rel.exists().then(|| rel.to_path_buf());
+    }
+    let cwd = std::env::current_dir().ok()?;
+    let mut dir: Option<&Path> = Some(cwd.as_path());
+    for _ in 0..6 {
+        let d = dir?;
+        let candidate = d.join(rel);
+        if candidate.exists() {
+            return Some(candidate);
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+fn regression_file(config: &Config, source: &str) -> Option<PathBuf> {
+    let FileFailurePersistence::WithSource(dirname) = config.failure_persistence else {
+        return None;
+    };
+    let src = locate_source(source)?;
+    let stem = src.file_stem()?.to_str()?.to_owned();
+    Some(src.parent()?.join(dirname).join(format!("{stem}.txt")))
+}
+
+fn load_persisted_seeds(path: &Path, test_name: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some(name), Some(seed)) if name == test_name => seed.parse().ok(),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn persist_seed(path: Option<&Path>, test_name: &str, seed: u64) {
+    let Some(path) = path else { return };
+    if load_persisted_seeds(path, test_name).contains(&seed) {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let header_needed = !path.exists();
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        if header_needed {
+            let _ = writeln!(
+                f,
+                "# Seeds persisted by the offline proptest shim.\n\
+                 # Each line is `<test_name> <seed>`; these cases replay first on every run.\n\
+                 # Commit this file to keep past failures in CI forever."
+            );
+        }
+        let _ = writeln!(f, "{test_name} {seed}");
+    }
+}
+
+enum CaseOutcome {
+    Pass,
+    Reject,
+    Fail(String),
+    Panic(Box<dyn std::any::Any + Send>),
+}
+
+fn run_case<F>(seed: u64, f: &mut F) -> CaseOutcome
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::seed_from_u64(seed);
+    match catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+        Ok(Ok(())) => CaseOutcome::Pass,
+        Ok(Err(TestCaseError::Reject(_))) => CaseOutcome::Reject,
+        Ok(Err(TestCaseError::Fail(msg))) => CaseOutcome::Fail(msg),
+        Err(payload) => CaseOutcome::Panic(payload),
+    }
+}
+
+/// Drive one property test: replay persisted regressions, then run fresh
+/// deterministic cases until `config.cases` of them pass.
+pub fn run_named<F>(config: Config, source_file: &str, test_name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let regressions = regression_file(&config, source_file);
+
+    // 1. Replay persisted failures first — a regression must stay fixed.
+    if let Some(path) = &regressions {
+        for seed in load_persisted_seeds(path, test_name) {
+            match run_case(seed, &mut f) {
+                CaseOutcome::Pass | CaseOutcome::Reject => {}
+                CaseOutcome::Fail(msg) => {
+                    panic!("persisted regression still failing: {test_name} (seed {seed}): {msg}")
+                }
+                CaseOutcome::Panic(payload) => resume_unwind(payload),
+            }
+        }
+    }
+
+    // 2. Fresh cases, seeded deterministically from the test identity.
+    let base = fnv1a(source_file) ^ fnv1a(test_name).rotate_left(17);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut index = 0u64;
+    while accepted < config.cases {
+        let seed = base
+            .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(1);
+        index += 1;
+        match run_case(seed, &mut f) {
+            CaseOutcome::Pass => accepted += 1,
+            CaseOutcome::Reject => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{test_name}: too many prop_assume! rejections \
+                         ({rejected} > {}); loosen the strategy",
+                        config.max_global_rejects
+                    );
+                }
+            }
+            CaseOutcome::Fail(msg) => {
+                persist_seed(regressions.as_deref(), test_name, seed);
+                panic!("{test_name}: case {accepted} failed (seed {seed}, persisted): {msg}");
+            }
+            CaseOutcome::Panic(payload) => {
+                persist_seed(regressions.as_deref(), test_name, seed);
+                eprintln!("{test_name}: case {accepted} panicked (seed {seed}, persisted)");
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_deterministic_per_identity() {
+        assert_eq!(fnv1a("abc"), fnv1a("abc"));
+        assert_ne!(fnv1a("abc"), fnv1a("abd"));
+    }
+
+    #[test]
+    fn runner_accepts_passing_property() {
+        let mut count = 0u32;
+        run_named(
+            Config {
+                cases: 10,
+                failure_persistence: FileFailurePersistence::Off,
+                ..Config::default()
+            },
+            "nonexistent.rs",
+            "runner_accepts_passing_property",
+            |_rng| {
+                count += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume! rejections")]
+    fn runner_bounds_rejections() {
+        run_named(
+            Config {
+                cases: 1,
+                max_global_rejects: 8,
+                failure_persistence: FileFailurePersistence::Off,
+            },
+            "nonexistent.rs",
+            "runner_bounds_rejections",
+            |_rng| Err(TestCaseError::reject("always")),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn runner_reports_failures() {
+        run_named(
+            Config {
+                cases: 4,
+                failure_persistence: FileFailurePersistence::Off,
+                ..Config::default()
+            },
+            "nonexistent.rs",
+            "runner_reports_failures",
+            |_rng| Err(TestCaseError::fail("boom")),
+        );
+    }
+}

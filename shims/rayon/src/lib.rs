@@ -1,0 +1,145 @@
+//! Offline shim for `rayon`.
+//!
+//! Exposes rayon's parallel-iterator entry points (`par_iter`,
+//! `par_iter_mut`, `into_par_iter`, `par_chunks`, `par_chunks_mut`) but
+//! returns ordinary **sequential** `std` iterators, so every adapter chain
+//! (`map`, `zip`, `sum`, `collect`, `for_each`, …) compiles and runs
+//! unchanged.  Execution order is exactly source order, which makes every
+//! "parallel" region deterministic — a property the workspace's
+//! reproducibility tests exploit.  When the real rayon is swapped back in,
+//! the same call sites parallelize for real.
+
+/// Blanket conversion into a "parallel" (here: sequential) iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item;
+    /// The concrete iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert `self` into an iterator (rayon: a parallel one).
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    #[inline]
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `by_ref` borrowing conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed element type.
+    type Item: 'data;
+    /// The concrete iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterate over `&self` (rayon: in parallel).
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoIterator,
+{
+    type Item = <&'data I as IntoIterator>::Item;
+    type Iter = <&'data I as IntoIterator>::IntoIter;
+    #[inline]
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Mutable borrowing conversion, mirroring `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The mutably borrowed element type.
+    type Item: 'data;
+    /// The concrete iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterate over `&mut self` (rayon: in parallel).
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+where
+    &'data mut I: IntoIterator,
+{
+    type Item = <&'data mut I as IntoIterator>::Item;
+    type Iter = <&'data mut I as IntoIterator>::IntoIter;
+    #[inline]
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Chunked views of slices, mirroring `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T> {
+    /// Iterate over non-overlapping chunks of `chunk_size` elements.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Mutable chunked views of slices, mirroring `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T> {
+    /// Iterate over non-overlapping mutable chunks of `chunk_size` elements.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    #[inline]
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// Run two closures (rayon: on separate threads; here: in order).
+#[inline]
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The rayon prelude: bring every entry-point trait into scope.
+pub mod prelude {
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_maps_and_collects() {
+        let v: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10usize).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter_zips() {
+        let a = [1u32, 2, 3];
+        let mut b = [0u32; 3];
+        b.par_iter_mut()
+            .zip(a.par_iter())
+            .for_each(|(o, &x)| *o = x * 10);
+        assert_eq!(b, [10, 20, 30]);
+    }
+
+    #[test]
+    fn par_chunks_round_trip() {
+        let data: Vec<u64> = (0..100).collect();
+        let sums: Vec<u64> = data.par_chunks(7).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+}

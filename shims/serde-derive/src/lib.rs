@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The repository derives `Serialize`/`Deserialize` on value types but never
+//! invokes a serializer (all on-disk formats are hand-rolled binary codecs),
+//! so the derives expand to nothing.  The `attributes(serde)` declaration
+//! keeps `#[serde(...)]` field attributes parseable.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,16 @@
+//! Offline shim for `serde`.
+//!
+//! Mirrors the real crate's public shape for the slice of API this workspace
+//! touches: the `Serialize`/`Deserialize` traits (in the trait namespace) and
+//! the derive macros of the same names (in the macro namespace).  The derives
+//! are no-ops — nothing in the workspace serializes through serde; the
+//! derives exist so the type declarations stay source-compatible with the
+//! real crate when it is swapped back in.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -11,7 +11,13 @@ use culda::gpusim::{DeviceSpec, MultiGpuSystem};
 fn all_solvers_reach_similar_quality_on_a_planted_corpus() {
     let (corpus, _) = LdaGenerator::small(4, 120, 250, 25.0).generate(17);
     let k = 4;
-    let iterations = 30;
+    // Delayed-update samplers (the CuLDA family) trade per-iteration mixing
+    // for parallel throughput: one iteration samples every token against the
+    // previous iteration's counts, so they need more sweeps than sequential
+    // CGS to reach the same quality (the paper's Figure 8 compares solvers
+    // against *time*, not iterations).  60 sweeps is past the knee for every
+    // family on this corpus.
+    let iterations = 60;
 
     let mut solvers: Vec<Box<dyn LdaSolver>> = vec![
         Box::new(CuLdaSolver::new(
@@ -36,7 +42,10 @@ fn all_solvers_reach_similar_quality_on_a_planted_corpus() {
         }
         finals.push((solver.name(), solver.loglik_per_token()));
     }
-    let best = finals.iter().map(|&(_, ll)| ll).fold(f64::NEG_INFINITY, f64::max);
+    let best = finals
+        .iter()
+        .map(|&(_, ll)| ll)
+        .fold(f64::NEG_INFINITY, f64::max);
     for (name, ll) in &finals {
         assert!(
             best - ll < 0.25,
@@ -72,6 +81,12 @@ fn simulated_costs_order_as_in_the_paper() {
     let saber = time_of(Box::new(SaberLda::on_gtx_1080(&corpus, k, 23).unwrap()));
     let warp = time_of(Box::new(WarpLda::with_paper_priors(&corpus, k, 23)));
 
-    assert!(culda < saber, "CuLDA {culda:.3e} should beat SaberLDA-style {saber:.3e}");
-    assert!(saber < warp, "GPU baseline {saber:.3e} should beat CPU WarpLDA {warp:.3e}");
+    assert!(
+        culda < saber,
+        "CuLDA {culda:.3e} should beat SaberLDA-style {saber:.3e}"
+    );
+    assert!(
+        saber < warp,
+        "GPU baseline {saber:.3e} should beat CPU WarpLDA {warp:.3e}"
+    );
 }

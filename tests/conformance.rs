@@ -1,0 +1,88 @@
+//! The cross-sampler conformance suite: one invariant battery, eight
+//! solvers.
+//!
+//! Every solver family in the workspace — the CuLDA_CGS trainer itself and
+//! the seven baselines it is compared against — is driven through the same
+//! checks from `culda_testkit::conformance`: count conservation, φ/θ/n_k
+//! consistency, z ↔ count agreement, normalization of the estimated
+//! distributions, and a monotone-ish log-likelihood trajectory.
+
+use culda::baselines::{
+    AliasLda, CpuCgs, CuLdaSolver, LdaStar, LightLda, SaberLda, SparseLda, WarpLda,
+};
+use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::gpusim::{DeviceSpec, MultiGpuSystem};
+use culda_testkit::conformance::{run_conformance, ConformantSolver};
+use culda_testkit::{doc_lens, fixtures};
+
+const K: usize = 8;
+const SEED: u64 = 41;
+const ITERATIONS: usize = 12;
+
+/// Build every solver in the workspace over the same corpus, with the
+/// paper's priors (α = 50/K, β = 0.01).
+fn all_solvers(corpus: &culda::corpus::Corpus) -> Vec<Box<dyn ConformantSolver>> {
+    vec![
+        Box::new(CuLdaSolver::new(
+            CuLdaTrainer::new(
+                corpus,
+                LdaConfig::with_topics(K).seed(SEED),
+                MultiGpuSystem::single(DeviceSpec::v100_volta(), SEED),
+            )
+            .expect("trainer construction"),
+            "CuLDA_CGS (V100)",
+        )),
+        Box::new(CpuCgs::with_paper_priors(corpus, K, SEED)),
+        Box::new(SparseLda::with_paper_priors(corpus, K, SEED)),
+        Box::new(AliasLda::with_paper_priors(corpus, K, SEED)),
+        Box::new(LightLda::with_paper_priors(corpus, K, SEED)),
+        Box::new(WarpLda::with_paper_priors(corpus, K, SEED)),
+        Box::new(SaberLda::on_gtx_1080(corpus, K, SEED).expect("saberlda construction")),
+        Box::new(LdaStar::new(corpus, K, 8, SEED)),
+    ]
+}
+
+#[test]
+fn every_solver_passes_the_same_invariant_battery() {
+    let corpus = fixtures::small(fixtures::FIXTURE_SEED);
+    let lens = doc_lens(&corpus);
+    let alpha = 50.0 / K as f64;
+    let beta = 0.01;
+
+    let mut names = Vec::new();
+    for mut solver in all_solvers(&corpus) {
+        let name = solver.name();
+        let series = run_conformance(&mut *solver, &lens, alpha, beta, ITERATIONS)
+            .unwrap_or_else(|e| panic!("conformance failure: {e}"));
+        assert_eq!(series.len(), ITERATIONS + 1, "{name}: trajectory length");
+        names.push(name);
+    }
+    // The suite must actually have covered all eight families.
+    assert_eq!(names.len(), 8, "covered: {names:?}");
+    let mut unique = names.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), 8, "duplicate solver labels: {names:?}");
+}
+
+#[test]
+fn solvers_agree_on_what_they_are_counting() {
+    // Independent of training quality, all solvers must account the same
+    // corpus: identical token totals and identical θ row sums.
+    let corpus = fixtures::tiny(fixtures::FIXTURE_SEED);
+    let lens = doc_lens(&corpus);
+    let expected: u64 = lens.iter().map(|&l| l as u64).sum();
+    for solver in all_solvers(&corpus) {
+        assert_eq!(
+            solver.num_tokens(),
+            expected,
+            "{} disagrees on the corpus size",
+            solver.name()
+        );
+        let theta = solver.doc_topic_counts();
+        for (d, row) in theta.iter().enumerate() {
+            let sum: u64 = row.iter().map(|&c| c as u64).sum();
+            assert_eq!(sum, lens[d] as u64, "{} θ row {d}", solver.name());
+        }
+    }
+}

@@ -67,14 +67,19 @@ fn culda_reaches_the_quality_of_exact_serial_cgs() {
 fn theta_sparsifies_and_throughput_ramps_up_as_in_figure7() {
     // §7.1: "the performance increases slowly at first few iterations and
     // goes steady later ... the sparsity rate of model θ increases".
-    let corpus = DatasetProfile::nytimes().scaled_to_tokens(60_000).generate(3);
+    let corpus = DatasetProfile::nytimes()
+        .scaled_to_tokens(60_000)
+        .generate(3);
     let system = MultiGpuSystem::single(DeviceSpec::titan_xp_pascal(), 3);
     let mut trainer =
         CuLdaTrainer::new(&corpus, LdaConfig::with_topics(64).seed(3), system).unwrap();
     let nnz_before = trainer.merged_theta().nnz();
     trainer.train(15);
     let nnz_after = trainer.merged_theta().nnz();
-    assert!(nnz_after < nnz_before, "θ must sparsify: {nnz_before} → {nnz_after}");
+    assert!(
+        nnz_after < nnz_before,
+        "θ must sparsify: {nnz_before} → {nnz_after}"
+    );
 
     let series = trainer.throughput_per_iteration();
     let early: f64 = series[..3].iter().sum::<f64>() / 3.0;
@@ -87,7 +92,9 @@ fn theta_sparsifies_and_throughput_ramps_up_as_in_figure7() {
 
 #[test]
 fn training_is_deterministic_for_a_fixed_seed() {
-    let corpus = DatasetProfile::pubmed().scaled_to_tokens(30_000).generate(9);
+    let corpus = DatasetProfile::pubmed()
+        .scaled_to_tokens(30_000)
+        .generate(9);
     let run = |seed: u64| {
         let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), seed);
         let mut trainer =
@@ -100,7 +107,10 @@ fn training_is_deterministic_for_a_fixed_seed() {
     let (nk_c, _) = run(78);
     assert_eq!(nk_a, nk_b, "same seed must give identical topic totals");
     assert!((time_a - time_b).abs() < 1e-12);
-    assert_ne!(nk_a, nk_c, "different seeds should explore different states");
+    assert_ne!(
+        nk_a, nk_c,
+        "different seeds should explore different states"
+    );
 }
 
 #[test]
@@ -108,7 +118,9 @@ fn gpu_solver_is_faster_than_cpu_baseline_in_simulated_time() {
     // The Table 4 headline at integration-test scale: CuLDA on any GPU beats
     // the WarpLDA CPU baseline in simulated tokens/sec.
     use culda::baselines::WarpLda;
-    let corpus = DatasetProfile::nytimes().scaled_to_tokens(40_000).generate(5);
+    let corpus = DatasetProfile::nytimes()
+        .scaled_to_tokens(40_000)
+        .generate(5);
     let k = 64;
     let system = MultiGpuSystem::single(DeviceSpec::titan_x_maxwell(), 5);
     let mut trainer =

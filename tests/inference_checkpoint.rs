@@ -2,9 +2,7 @@
 //! fold-in inference → held-out evaluation, crossing the core, corpus and
 //! metrics crates.
 
-use culda::core::{
-    CuLdaTrainer, InferenceOptions, LdaConfig, ModelCheckpoint, TopicInferencer,
-};
+use culda::core::{CuLdaTrainer, InferenceOptions, LdaConfig, ModelCheckpoint, TopicInferencer};
 use culda::corpus::holdout::{split_documents, DocumentCompletion};
 use culda::corpus::LdaGenerator;
 use culda::gpusim::{DeviceSpec, MultiGpuSystem};
@@ -158,8 +156,15 @@ fn convergence_monitor_stops_training_on_a_small_corpus() {
         2,
         culda::core::ConvergenceMonitor::new(1e-3, 2),
     );
-    assert!(outcome.converged, "no convergence in {} iters", outcome.iterations);
+    assert!(
+        outcome.converged,
+        "no convergence in {} iters",
+        outcome.iterations
+    );
     assert!(outcome.iterations < 200);
-    assert!(outcome.loglik_per_token.windows(2).all(|w| w[1] > w[0] - 0.05));
+    assert!(outcome
+        .loglik_per_token
+        .windows(2)
+        .all(|w| w[1] > w[0] - 0.05));
     trainer.validate().unwrap();
 }

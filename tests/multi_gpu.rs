@@ -6,7 +6,9 @@ use culda::gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
 use culda::metrics::log_likelihood;
 
 fn corpus(tokens: u64, seed: u64) -> culda::corpus::Corpus {
-    DatasetProfile::pubmed().scaled_to_tokens(tokens).generate(seed)
+    DatasetProfile::pubmed()
+        .scaled_to_tokens(tokens)
+        .generate(seed)
 }
 
 fn loglik(trainer: &CuLdaTrainer) -> f64 {
@@ -48,12 +50,8 @@ fn every_gpu_count_preserves_counts_and_improves_quality() {
 fn multi_gpu_reduces_per_iteration_compute_time() {
     let corpus = corpus(60_000, 2);
     let avg_compute = |gpus: usize| {
-        let system = MultiGpuSystem::homogeneous(
-            DeviceSpec::v100_volta(),
-            gpus,
-            2,
-            Interconnect::NvLink,
-        );
+        let system =
+            MultiGpuSystem::homogeneous(DeviceSpec::v100_volta(), gpus, 2, Interconnect::NvLink);
         let mut trainer =
             CuLdaTrainer::new(&corpus, LdaConfig::with_topics(48).seed(2), system).unwrap();
         trainer.train(4);
@@ -81,8 +79,7 @@ fn streamed_schedule_matches_resident_schedule_statistically() {
     let corpus = corpus(30_000, 3);
     let resident = {
         let system = MultiGpuSystem::single(DeviceSpec::gtx_1080(), 3);
-        let mut t =
-            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(32).seed(3), system).unwrap();
+        let mut t = CuLdaTrainer::new(&corpus, LdaConfig::with_topics(32).seed(3), system).unwrap();
         t.train(6);
         t
     };
@@ -98,7 +95,10 @@ fn streamed_schedule_matches_resident_schedule_statistically() {
         t
     };
     assert_eq!(resident.schedule(), ScheduleKind::Resident);
-    assert_eq!(streamed.schedule(), ScheduleKind::Streamed { chunks_per_gpu: 3 });
+    assert_eq!(
+        streamed.schedule(),
+        ScheduleKind::Streamed { chunks_per_gpu: 3 }
+    );
     resident.validate().unwrap();
     streamed.validate().unwrap();
     assert!(streamed.history().iter().all(|h| h.transfer_time_s > 0.0));
@@ -117,8 +117,7 @@ fn streamed_schedule_matches_resident_schedule_statistically() {
 fn nvlink_synchronization_is_cheaper_than_pcie() {
     let corpus = corpus(40_000, 4);
     let sync_time = |link: Interconnect| {
-        let system =
-            MultiGpuSystem::homogeneous(DeviceSpec::v100_volta(), 4, 4, link);
+        let system = MultiGpuSystem::homogeneous(DeviceSpec::v100_volta(), 4, 4, link);
         let mut trainer =
             CuLdaTrainer::new(&corpus, LdaConfig::with_topics(64).seed(4), system).unwrap();
         trainer.train(3);

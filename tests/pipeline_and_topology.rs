@@ -45,10 +45,12 @@ fn raw_text_trains_into_interpretable_topics_end_to_end() {
 
     // Each learned topic's top words should stay within one theme.
     let phi = trainer.global_phi();
-    let animal_words: Vec<u32> = ["cat", "dog", "horse", "cow", "sheep", "goat", "bird", "fish"]
-        .iter()
-        .filter_map(|w| vocab.id(w))
-        .collect();
+    let animal_words: Vec<u32> = [
+        "cat", "dog", "horse", "cow", "sheep", "goat", "bird", "fish",
+    ]
+    .iter()
+    .filter_map(|w| vocab.id(w))
+    .collect();
     let mut purities = Vec::new();
     for k in 0..2 {
         let top = top_words(&phi, k, 5);
@@ -56,13 +58,21 @@ fn raw_text_trains_into_interpretable_topics_end_to_end() {
         purities.push(animal_hits);
     }
     purities.sort_unstable();
-    assert_eq!(purities[0], 0, "one topic should be purely arithmetic: {purities:?}");
-    assert_eq!(purities[1], 5, "one topic should be purely animals: {purities:?}");
+    assert_eq!(
+        purities[0], 0,
+        "one topic should be purely arithmetic: {purities:?}"
+    );
+    assert_eq!(
+        purities[1], 5,
+        "one topic should be purely animals: {purities:?}"
+    );
 }
 
 #[test]
 fn corpus_snapshot_roundtrips_through_disk_and_trains_identically() {
-    let corpus = DatasetProfile::nytimes().scaled_to_tokens(30_000).generate(13);
+    let corpus = DatasetProfile::nytimes()
+        .scaled_to_tokens(30_000)
+        .generate(13);
     let path = std::env::temp_dir().join("culda_it_corpus.cldc");
     save_corpus(&corpus, &path).unwrap();
     let reloaded = load_corpus(&path).unwrap();
@@ -84,7 +94,9 @@ fn forced_streaming_matches_resident_training_statistically() {
     // The streaming schedule (M > 1) must preserve every count invariant and
     // reach a similar likelihood to the resident schedule — it only changes
     // *where* chunks live, not the sampling math.
-    let corpus = DatasetProfile::nytimes().scaled_to_tokens(40_000).generate(8);
+    let corpus = DatasetProfile::nytimes()
+        .scaled_to_tokens(40_000)
+        .generate(8);
     let loglik_of = |chunks_per_gpu: Option<usize>| {
         let system = MultiGpuSystem::single(DeviceSpec::titan_xp_pascal(), 8);
         let mut config = LdaConfig::with_topics(16).seed(8);
@@ -126,7 +138,9 @@ fn multi_gpu_scaling_series_matches_figure9_shape() {
     // the qualitative shape; the PCIe Figure 9 reproduction — with its 4×
     // token budget restoring the paper's compute-to-sync ratio — lives in the
     // Figure 9 bench.
-    let corpus = DatasetProfile::pubmed().scaled_to_tokens(250_000).generate(6);
+    let corpus = DatasetProfile::pubmed()
+        .scaled_to_tokens(250_000)
+        .generate(6);
     let mut series = ScalingSeries::new();
     for &gpus in &[1usize, 2, 4] {
         let system = MultiGpuSystem::homogeneous(
@@ -135,8 +149,7 @@ fn multi_gpu_scaling_series_matches_figure9_shape() {
             6,
             Interconnect::NvLink,
         );
-        let mut t =
-            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(64).seed(6), system).unwrap();
+        let mut t = CuLdaTrainer::new(&corpus, LdaConfig::with_topics(64).seed(6), system).unwrap();
         t.train(8);
         series.push(gpus, t.average_throughput(8));
     }
@@ -146,7 +159,7 @@ fn multi_gpu_scaling_series_matches_figure9_shape() {
     assert!(s4 > 1.8 && s4 <= 4.05, "4-GPU speedup {s4:.2}");
     assert!(s4 > s2);
     let serial = series.amdahl_serial_fraction().unwrap();
-    assert!(serial >= 0.0 && serial < 0.5, "serial fraction {serial:.3}");
+    assert!((0.0..0.5).contains(&serial), "serial fraction {serial:.3}");
 }
 
 #[test]

@@ -10,22 +10,24 @@ use proptest::prelude::*;
 /// 30 words, each document up to 30 tokens.
 fn arb_corpus() -> impl Strategy<Value = Corpus> {
     (2usize..30).prop_flat_map(|vocab| {
-        prop::collection::vec(
-            prop::collection::vec(0u32..vocab as u32, 0..30),
-            1..40,
+        prop::collection::vec(prop::collection::vec(0u32..vocab as u32, 0..30), 1..40).prop_map(
+            move |docs| {
+                let mut b = CorpusBuilder::new(vocab);
+                for doc in &docs {
+                    b.push_doc(doc);
+                }
+                b.build()
+            },
         )
-        .prop_map(move |docs| {
-            let mut b = CorpusBuilder::new(vocab);
-            for doc in &docs {
-                b.push_doc(doc);
-            }
-            b.build()
-        })
     })
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        failure_persistence: FileFailurePersistence::WithSource("proptest-regressions"),
+        ..ProptestConfig::default()
+    })]
 
     /// Partitioning never loses or duplicates tokens, for any chunk count.
     #[test]
