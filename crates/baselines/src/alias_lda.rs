@@ -1,5 +1,5 @@
 //! An AliasLDA-style Metropolis–Hastings sampler (Li, Ahmed, Ravi, Smola,
-//! KDD'14 — reference [19] of the paper, "Reducing the sampling complexity of
+//! KDD'14 — reference \[19\] of the paper, "Reducing the sampling complexity of
 //! topic models").
 //!
 //! AliasLDA splits the collapsed conditional exactly as CuLDA_CGS does

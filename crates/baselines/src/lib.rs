@@ -20,13 +20,13 @@
 //!   VLDB'17): CPU workers behind a parameter server connected by 10 Gb/s
 //!   Ethernet, whose model synchronization is the bottleneck §7.2 discusses.
 //! * [`sparselda::SparseLda`] — the exact sparsity-aware CPU sampler of Yao
-//!   et al. (KDD'09, the paper's reference [32]), with the s/r/q bucket
+//!   et al. (KDD'09, the paper's reference \[32\]), with the s/r/q bucket
 //!   decomposition the paper's own S/Q split descends from.
 //! * [`lightlda::LightLda`] — a LightLDA-style cycle-proposal MH sampler
-//!   (Yuan et al., WWW'15, reference [35]), alias-table word proposals and
+//!   (Yuan et al., WWW'15, reference \[35\]), alias-table word proposals and
 //!   O(1) work per token.
 //! * [`alias_lda::AliasLda`] — an AliasLDA-style sampler (Li et al., KDD'14,
-//!   reference [19]): exact sparse document term plus a stale per-word alias
+//!   reference \[19\]): exact sparse document term plus a stale per-word alias
 //!   proposal corrected by Metropolis–Hastings — the ancestor of the paper's
 //!   own S/Q decomposition.
 //!

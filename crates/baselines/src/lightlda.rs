@@ -1,5 +1,5 @@
 //! A LightLDA-style cycle-proposal Metropolis–Hastings sampler
-//! (Yuan et al., WWW'15 — reference [35] of the paper).
+//! (Yuan et al., WWW'15 — reference \[35\] of the paper).
 //!
 //! LightLDA factorises the collapsed conditional into a *document* term and a
 //! *word* term and alternates between two cheap proposals:

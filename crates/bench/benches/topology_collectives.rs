@@ -2,6 +2,9 @@
 //!
 //! * the §5.2 tree reduce+broadcast versus a ring all-reduce, on a contended
 //!   PCIe tree and on an NVLink mesh, across GPU counts and φ sizes;
+//! * the vocabulary-sharded reduce (DESIGN.md §8): per-shard reduce work vs
+//!   the synchronization cost the iteration still *sees* once shard reduces
+//!   overlap sampling, across shard counts;
 //! * energy per simulated sampling pass across device generations.
 //!
 //! These answer the "what if" questions DESIGN.md lists under the design
@@ -48,6 +51,39 @@ fn print_sync_table() {
     }
 }
 
+fn print_sharded_sync_table() {
+    // A sampling phase of 2× the dense sync time — the compute:sync balance
+    // of the paper's 4-GPU NYTimes runs (Figure 9 discussion) — overlapped
+    // with the shard reduces at depth 2.
+    println!("\nsharded φ synchronization (ms), 4 GPUs: reduce work vs exposed-after-overlap");
+    println!(
+        "{:<16} {:<12} {:>7} {:>12} {:>12} {:>10}",
+        "model", "topology", "shards", "work", "exposed", "hidden %"
+    );
+    for &(name, bytes) in PHI_BYTES {
+        for (topo_name, topo) in [
+            ("pcie-tree", Topology::PcieTree),
+            ("nvlink", Topology::NvLinkMesh),
+        ] {
+            let compute = 2.0 * topo.tree_sync_time_s(4, bytes, ADD_BW);
+            for shards in [1usize, 2, 4, 8, 16] {
+                let depth = if shards == 1 { 0 } else { 2 };
+                let (work, exposed) =
+                    topo.overlapped_sync_exposed_s(4, bytes, shards, ADD_BW, compute, depth);
+                println!(
+                    "{:<16} {:<12} {:>7} {:>12.3} {:>12.3} {:>10.1}",
+                    name,
+                    topo_name,
+                    shards,
+                    work * 1e3,
+                    exposed * 1e3,
+                    (work - exposed).max(0.0) / work * 100.0
+                );
+            }
+        }
+    }
+}
+
 fn print_energy_table() {
     // One simulated NYTimes-scale sampling iteration worth of traffic,
     // derived from the §3.1 arithmetic intensity (0.27 Flops/Byte).
@@ -85,6 +121,7 @@ fn print_energy_table() {
 
 fn bench(c: &mut Criterion) {
     print_sync_table();
+    print_sharded_sync_table();
     print_energy_table();
 
     let mut group = c.benchmark_group("collectives/sync_time_model");

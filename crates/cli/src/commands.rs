@@ -29,6 +29,12 @@ COMMANDS:
                       --corpus FILE | --profile P --tokens N
                       [--topics K] [--iterations N] [--gpus G] [--device NAME]
                       [--seed S] [--save-model FILE] [--optimize-priors]
+                      [--sync-shards S]     shard the φ synchronization into S
+                                            vocabulary ranges (default 1 =
+                                            the paper's dense reduce)
+                      [--overlap-depth D]   shard reduces in flight while
+                                            sampling continues (default 2;
+                                            0 disables the overlap)
                       [--resume-from FILE]  continue exactly from a saved
                                             model's assignment state
     topics          Show the top words of every topic of a saved model
@@ -211,6 +217,8 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
     let device = device_by_name(&args.get("device").unwrap_or_else(|| "volta".into()))?;
     let save_model = args.get("save-model");
     let optimize_priors = args.flag("optimize-priors");
+    let sync_shards: usize = args.get_parsed_or("sync-shards", 1usize)?;
+    let overlap_depth: usize = args.get_parsed_or("overlap-depth", 2usize)?;
     args.reject_unknown()?;
 
     let system = if gpus <= 1 {
@@ -218,7 +226,13 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
     } else {
         MultiGpuSystem::homogeneous(device.clone(), gpus, seed, Interconnect::Pcie3)
     };
-    let mut config = LdaConfig::with_topics(topics).seed(seed);
+    let mut config = LdaConfig::with_topics(topics)
+        .seed(seed)
+        .sync_shards(sync_shards)
+        .sync_overlap_depth(overlap_depth);
+    config
+        .validate()
+        .map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
     let mut trainer = match &resume {
         None => CuLdaTrainer::new(&corpus, config, system)
             .map_err(|e| CliError::Runtime(format!("failed to build trainer: {e}")))?,
@@ -260,6 +274,27 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
     .unwrap();
     writeln!(out, "system:       {} × {}", gpus, device.name).unwrap();
     writeln!(out, "schedule:     {:?}", trainer.schedule()).unwrap();
+    let plan = trainer.sync_plan();
+    if !plan.is_dense() {
+        let n = trainer.history().len().max(1) as f64;
+        let work: f64 = trainer.history().iter().map(|h| h.sync_time_s).sum::<f64>() / n;
+        let exposed: f64 = trainer
+            .history()
+            .iter()
+            .map(|h| h.sync_exposed_time_s)
+            .sum::<f64>()
+            / n;
+        writeln!(
+            out,
+            "φ sync:       {} shards, overlap depth {} \
+             ({:.3} ms reduce work, {:.3} ms exposed per iteration)",
+            plan.shards(),
+            plan.overlap_depth(),
+            work * 1e3,
+            exposed * 1e3
+        )
+        .unwrap();
+    }
     writeln!(out, "iterations:   {iterations}").unwrap();
     writeln!(out, "sim time:     {:.3} s", trainer.sim_time_s()).unwrap();
     writeln!(

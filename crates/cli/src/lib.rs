@@ -173,6 +173,35 @@ mod tests {
     }
 
     #[test]
+    fn train_with_sharded_sync_reports_the_plan() {
+        let report = run([
+            "train",
+            "--tokens",
+            "12000",
+            "--topics",
+            "8",
+            "--iterations",
+            "3",
+            "--gpus",
+            "2",
+            "--device",
+            "pascal",
+            "--sync-shards",
+            "4",
+            "--overlap-depth",
+            "2",
+        ])
+        .unwrap();
+        assert!(report.contains("4 shards, overlap depth 2"), "{report}");
+        assert!(report.contains("exposed per iteration"));
+        // A zero shard count is a usage error, not a panic.
+        assert!(matches!(
+            run(["train", "--tokens", "1000", "--sync-shards", "0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn corrupted_files_surface_runtime_errors() {
         let dir = tmp_dir();
         // A model file holding garbage bytes must be reported, not panic.

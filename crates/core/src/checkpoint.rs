@@ -79,6 +79,27 @@ impl From<io::Error> for CheckpointError {
 }
 
 /// A trained model snapshot.
+///
+/// ```
+/// use culda_core::{CuLdaTrainer, LdaConfig, ModelCheckpoint};
+/// use culda_corpus::DatasetProfile;
+/// use culda_gpusim::{DeviceSpec, MultiGpuSystem};
+///
+/// let corpus = DatasetProfile::nytimes().scaled_to_tokens(2_000).generate(7);
+/// let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 7);
+/// let mut trainer =
+///     CuLdaTrainer::new(&corpus, LdaConfig::with_topics(8).seed(7), system).unwrap();
+/// trainer.train(1);
+///
+/// // Serialize, reload, and get the identical model (and sampler state) back.
+/// let ckpt = ModelCheckpoint::from_trainer(&trainer);
+/// let mut buf = Vec::new();
+/// ckpt.write(&mut buf).unwrap();
+/// let back = ModelCheckpoint::read(buf.as_slice()).unwrap();
+/// assert_eq!(back, ckpt);
+/// assert_eq!(back.iterations, 1);
+/// assert!(back.z.is_some(), "v2 checkpoints carry z for exact resume");
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelCheckpoint {
     /// Number of topics `K`.

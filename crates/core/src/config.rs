@@ -30,6 +30,21 @@ pub struct LdaConfig {
     /// Whether samplers in a thread block share the p2 tree / p*(k) array in
     /// shared memory (disabled only by the ablation benchmarks).
     pub share_p2_tree: bool,
+    /// Number of vocabulary shards `S` the φ synchronization is split into.
+    /// `1` (the default) is the paper's dense §5.2 reduce of the full `K × V`
+    /// replica behind one global barrier; `S > 1` partitions the vocabulary
+    /// into `S` column ranges, each reduced + broadcast behind its own
+    /// barrier, so shard `s`'s reduce can overlap the sampling of shard
+    /// `s + 1`.  Sharding never changes the sampled assignments — integer
+    /// column sums are the same however the columns are grouped — only where
+    /// the barriers fall (see `DESIGN.md` §8).
+    pub sync_shards: usize,
+    /// How many shard reduces may be in flight while sampling continues
+    /// (bounds the staging buffers a real implementation would dedicate to
+    /// in-transit shards).  `0` disables the overlap: shards still reduce
+    /// independently but only after all sampling finishes.  Ignored when
+    /// `sync_shards == 1`.
+    pub sync_overlap_depth: usize,
 }
 
 impl LdaConfig {
@@ -46,6 +61,8 @@ impl LdaConfig {
             tree_fanout: 32,
             compress_16bit: true,
             share_p2_tree: true,
+            sync_shards: 1,
+            sync_overlap_depth: 2,
         }
     }
 
@@ -58,6 +75,29 @@ impl LdaConfig {
     /// Override `M`, the chunks-per-GPU factor (builder style).
     pub fn chunks_per_gpu(mut self, m: usize) -> Self {
         self.chunks_per_gpu = Some(m);
+        self
+    }
+
+    /// Shard the φ synchronization into `shards` vocabulary ranges (builder
+    /// style).  Does not change the sampled topics, only the barrier
+    /// structure of the simulated reduce; see [`crate::sync::SyncPlan`].
+    ///
+    /// ```
+    /// use culda_core::LdaConfig;
+    ///
+    /// let cfg = LdaConfig::with_topics(64).sync_shards(4).sync_overlap_depth(2);
+    /// assert_eq!(cfg.sync_shards, 4);
+    /// cfg.validate().unwrap();
+    /// ```
+    pub fn sync_shards(mut self, shards: usize) -> Self {
+        self.sync_shards = shards;
+        self
+    }
+
+    /// Override the shard-reduce overlap depth (builder style); `0` turns the
+    /// sampling/reduce overlap off.
+    pub fn sync_overlap_depth(mut self, depth: usize) -> Self {
+        self.sync_overlap_depth = depth;
         self
     }
 
@@ -85,6 +125,9 @@ impl LdaConfig {
             if m == 0 {
                 return Err("chunks_per_gpu must be at least 1".into());
             }
+        }
+        if self.sync_shards == 0 {
+            return Err("sync_shards must be at least 1".into());
         }
         Ok(())
     }
@@ -130,5 +173,18 @@ mod tests {
         assert!(c.validate().is_err());
         let c = LdaConfig::with_topics(16).chunks_per_gpu(0);
         assert!(c.validate().is_err());
+        let c = LdaConfig::with_topics(16).sync_shards(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn sync_sharding_defaults_to_the_dense_paper_schedule() {
+        let c = LdaConfig::with_topics(64);
+        assert_eq!(c.sync_shards, 1);
+        assert!(c.sync_overlap_depth > 0);
+        let c = c.sync_shards(8).sync_overlap_depth(0);
+        assert_eq!(c.sync_shards, 8);
+        assert_eq!(c.sync_overlap_depth, 0);
+        c.validate().unwrap();
     }
 }

@@ -10,7 +10,7 @@
 //! |---|---|
 //! | §4 workload partition (partition-by-document, token-balanced chunks) | [`trainer`] + `culda_corpus::partition` |
 //! | §5.1 scheduling algorithm (`WorkSchedule1`/`WorkSchedule2`) | [`schedule`] |
-//! | §5.2 φ synchronization (tree reduce + broadcast) | [`sync`] |
+//! | §5.2 φ synchronization (tree reduce + broadcast; dense or vocabulary-sharded with sampling overlap, DESIGN.md §8) | [`sync`] |
 //! | §6.1 sampling kernel (sparsity-aware S/Q decomposition, 32-way index trees, warp-per-sampler, shared p2 tree, p*(k) reuse, 16-bit compression) | [`kernels::sampling`], [`work`] |
 //! | §6.2 model update kernels (atomic φ update, dense-scatter + prefix-sum θ rebuild) | [`kernels::update_phi`], [`kernels::update_theta`] |
 //! | training loop / public API | [`trainer::CuLdaTrainer`], [`config::LdaConfig`] |
@@ -48,6 +48,6 @@ pub use hyper::{optimize_alpha, optimize_beta, HyperOptOptions, HyperUpdate};
 pub use inference::{DocumentTopics, InferenceOptions, TopicInferencer};
 pub use model::{ChunkState, TopicTotals};
 pub use schedule::{IterationStats, ScheduleKind};
-pub use sync::{synchronize_phi, SyncStats};
+pub use sync::{synchronize_phi, synchronize_phi_sharded, ShardedSyncStats, SyncPlan, SyncStats};
 pub use trainer::{CuLdaTrainer, TrainerError};
 pub use work::{build_work_items, WorkItem};

@@ -15,11 +15,23 @@
 //! Either way, each iteration ends with the φ synchronization of §5.2, which
 //! the θ update is overlapped with (§6.2: "the update of model θ can be
 //! overlapped with the synchronization of model ϕ").
+//!
+//! When the synchronization is vocabulary-sharded ([`SyncPlan`], `S > 1` with
+//! a non-zero overlap depth), the iteration additionally overlaps the
+//! *reduces themselves* with sampling: the word-major sampling pass emits the
+//! vocabulary shards in order, shard `s`'s tree reduce starts as soon as its
+//! `update-φ` contribution is complete, and the sampling of shard `s + 1`
+//! proceeds concurrently.  All shards still complete before the next
+//! iteration reads φ, so the sampled assignments are bit-identical to the
+//! dense schedule — only the exposed synchronization time shrinks (see
+//! `DESIGN.md` §8).
 
 use crate::config::LdaConfig;
 use crate::kernels::{names, SamplingKernel, UpdatePhiKernel, UpdateThetaKernel};
 use crate::model::ChunkState;
-use crate::sync::{synchronize_phi, SyncStats};
+use crate::sync::{
+    global_word_tokens, synchronize_phi_over_ranges, synchronize_phi_sharded, SyncPlan,
+};
 use crate::work::WorkItem;
 use culda_gpusim::stream::Stage;
 use culda_gpusim::{LaunchConfig, MultiGpuSystem, PipelineModel};
@@ -50,8 +62,13 @@ pub struct IterationStats {
     pub compute_time_s: f64,
     /// Max-over-devices update-θ time (overlapped with the synchronization).
     pub update_theta_time_s: f64,
-    /// φ synchronization (tree reduce + broadcast) time.
+    /// φ synchronization (tree reduce + broadcast) interconnect work, summed
+    /// over all vocabulary shards.
     pub sync_time_s: f64,
+    /// The part of the synchronization the iteration critical path actually
+    /// sees after shard reduces are overlapped with sampling.  Equals
+    /// `sync_time_s` for the dense schedule (`S = 1` or overlap depth 0).
+    pub sync_exposed_time_s: f64,
     /// Host↔device staging time (non-zero only for the streamed schedule).
     pub transfer_time_s: f64,
     /// Tokens sampled this iteration (the whole corpus).
@@ -68,14 +85,31 @@ struct DeviceTimes {
     transfer_s: f64,
 }
 
+/// Fraction of the corpus tokens whose word falls into each vocabulary shard
+/// — the weights the overlap model uses to split the sampling phase into
+/// per-shard slices (the sampling kernel is word-major, so the time it
+/// spends in a shard tracks the tokens the shard's words own).
+fn shard_token_weights(word_tokens: &[u64], ranges: &[std::ops::Range<usize>]) -> Vec<f64> {
+    let tokens: Vec<u64> = ranges
+        .iter()
+        .map(|r| word_tokens[r.clone()].iter().sum())
+        .collect();
+    let total: u64 = tokens.iter().sum();
+    if total == 0 {
+        return vec![1.0 / ranges.len().max(1) as f64; ranges.len()];
+    }
+    tokens.iter().map(|&t| t as f64 / total as f64).collect()
+}
+
 /// Execute one full pass over all chunks (one iteration of Algorithm 1's
-/// inner loop) and synchronize φ.
+/// inner loop) and synchronize φ according to `plan`.
 pub fn run_iteration(
     states: &[Arc<ChunkState>],
     work_items: &[Vec<WorkItem>],
     system: &MultiGpuSystem,
     config: &LdaConfig,
     kind: ScheduleKind,
+    plan: &SyncPlan,
     iteration: u64,
 ) -> IterationStats {
     assert_eq!(states.len(), work_items.len());
@@ -162,8 +196,20 @@ pub fn run_iteration(
         })
         .collect();
 
-    // Synchronize φ across all chunks (functional + simulated tree cost).
-    let sync: SyncStats = synchronize_phi(states, system, config.compress_16bit);
+    // Synchronize φ across all chunks (functional + simulated per-shard tree
+    // cost).  When the plan overlaps, resolve the word histogram once and
+    // reuse it for both the shard boundaries and the compute weights.
+    let (sync, weights) = if plan.overlaps() {
+        let word_tokens = global_word_tokens(states);
+        let ranges = plan.token_balanced_ranges(&word_tokens);
+        let weights = shard_token_weights(&word_tokens, &ranges);
+        let sync = synchronize_phi_over_ranges(states, system, ranges, config.compress_16bit);
+        (sync, Some(weights))
+    } else {
+        let sync = synchronize_phi_sharded(states, system, plan, config.compress_16bit);
+        (sync, None)
+    };
+    let sync_total = sync.stats.time_s;
 
     let max_samp_phi = per_device
         .iter()
@@ -178,20 +224,42 @@ pub fn run_iteration(
 
     let tokens: u64 = states.iter().map(|s| s.num_tokens() as u64).sum();
 
+    // The compute phase the shard reduces can hide behind: sampling +
+    // update-φ for the resident schedule, the whole staged pipeline for the
+    // streamed one (its θ/transfer work is already folded in).
+    let compute_base = match kind {
+        ScheduleKind::Resident => max_samp_phi,
+        ScheduleKind::Streamed { .. } => max_pipeline,
+    };
+    // Span of the sampling phase with the shard reduces scheduled inside it:
+    // shard s's reduce starts when its slice of the word-major pass ends.
+    let (span, sync_exposed) = if let Some(weights) = &weights {
+        let compute_shards: Vec<f64> = weights.iter().map(|w| compute_base * w).collect();
+        let span = culda_gpusim::overlapped_span_s(
+            &compute_shards,
+            &sync.per_shard_time_s,
+            plan.overlap_depth(),
+        );
+        (span, (span - compute_base).max(0.0))
+    } else {
+        (compute_base + sync_total, sync_total)
+    };
+
     let sim_time_s = match kind {
-        // Resident: sampling and update φ must finish before the sync; the θ
-        // update overlaps with the sync.
-        ScheduleKind::Resident => max_samp_phi + sync.time_s.max(max_theta),
+        // Resident: the θ update overlaps whatever synchronization tail is
+        // left after the sampling span.
+        ScheduleKind::Resident => span.max(max_samp_phi + max_theta),
         // Streamed: the per-device pipelines (which already include all three
-        // kernels and the staging) run concurrently; the sync follows.
-        ScheduleKind::Streamed { .. } => max_pipeline + sync.time_s,
+        // kernels and the staging) run concurrently with the shard reduces.
+        ScheduleKind::Streamed { .. } => span,
     };
 
     IterationStats {
         sim_time_s,
         compute_time_s: max_samp_phi,
         update_theta_time_s: max_theta,
-        sync_time_s: sync.time_s,
+        sync_time_s: sync_total,
+        sync_exposed_time_s: sync_exposed,
         transfer_time_s: if matches!(kind, ScheduleKind::Streamed { .. }) {
             max_transfer
         } else {
@@ -259,11 +327,21 @@ mod tests {
         (states, items, system, cfg)
     }
 
+    const DENSE: SyncPlan = SyncPlan::dense();
+
     #[test]
     fn resident_iteration_preserves_count_invariants() {
         let (states, items, system, cfg) = setup(2, 2, 8);
         let total_tokens: usize = states.iter().map(|s| s.num_tokens()).sum();
-        let stats = run_iteration(&states, &items, &system, &cfg, ScheduleKind::Resident, 0);
+        let stats = run_iteration(
+            &states,
+            &items,
+            &system,
+            &cfg,
+            ScheduleKind::Resident,
+            &DENSE,
+            0,
+        );
         assert_eq!(stats.tokens_processed as usize, total_tokens);
         assert!(stats.sim_time_s > 0.0);
         assert_eq!(stats.transfer_time_s, 0.0);
@@ -286,6 +364,7 @@ mod tests {
             &system,
             &cfg,
             ScheduleKind::Streamed { chunks_per_gpu: 2 },
+            &DENSE,
             0,
         );
         assert!(stats.transfer_time_s > 0.0);
@@ -298,7 +377,15 @@ mod tests {
     #[test]
     fn multi_gpu_iteration_is_faster_than_single_gpu() {
         let (states1, items1, system1, cfg) = setup(1, 1, 8);
-        let t1 = run_iteration(&states1, &items1, &system1, &cfg, ScheduleKind::Resident, 0);
+        let t1 = run_iteration(
+            &states1,
+            &items1,
+            &system1,
+            &cfg,
+            ScheduleKind::Resident,
+            &DENSE,
+            0,
+        );
         let (states4, items4, system4, cfg4) = setup(4, 4, 8);
         let t4 = run_iteration(
             &states4,
@@ -306,6 +393,7 @@ mod tests {
             &system4,
             &cfg4,
             ScheduleKind::Resident,
+            &DENSE,
             0,
         );
         assert!(
@@ -314,6 +402,57 @@ mod tests {
             t4.compute_time_s,
             t1.compute_time_s
         );
+    }
+
+    #[test]
+    fn dense_plan_exposes_the_full_sync_and_overlap_exposes_less() {
+        let (states, items, system, cfg) = setup(4, 4, 8);
+        let dense = run_iteration(
+            &states,
+            &items,
+            &system,
+            &cfg,
+            ScheduleKind::Resident,
+            &DENSE,
+            0,
+        );
+        assert_eq!(dense.sync_exposed_time_s, dense.sync_time_s);
+
+        let plan = SyncPlan::new(8, 2);
+        let sharded = run_iteration(
+            &states,
+            &items,
+            &system,
+            &cfg,
+            ScheduleKind::Resident,
+            &plan,
+            1,
+        );
+        // The exposed time can never exceed the interconnect work, and the
+        // total work can only grow (per-shard latencies).  Whether the
+        // overlap *wins* depends on the replica size vs the link latency;
+        // `tests/sharded_sync.rs` asserts the win at a realistic scale.
+        assert!(sharded.sync_exposed_time_s <= sharded.sync_time_s + 1e-12);
+        assert!(sharded.sync_time_s >= dense.sync_time_s);
+        for st in &states {
+            st.validate_counts().unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_depth_sharded_plan_does_not_overlap() {
+        let (states, items, system, cfg) = setup(2, 2, 8);
+        let plan = SyncPlan::new(4, 0);
+        let stats = run_iteration(
+            &states,
+            &items,
+            &system,
+            &cfg,
+            ScheduleKind::Resident,
+            &plan,
+            0,
+        );
+        assert_eq!(stats.sync_exposed_time_s, stats.sync_time_s);
     }
 
     #[test]
@@ -339,7 +478,15 @@ mod tests {
         };
         let before = ll(&states);
         for it in 0..8 {
-            run_iteration(&states, &items, &system, &cfg, ScheduleKind::Resident, it);
+            run_iteration(
+                &states,
+                &items,
+                &system,
+                &cfg,
+                ScheduleKind::Resident,
+                &DENSE,
+                it,
+            );
         }
         let after = ll(&states);
         assert!(

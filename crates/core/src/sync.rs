@@ -1,4 +1,4 @@
-//! φ model synchronization (§5.2, Figure 4).
+//! φ model synchronization (§5.2, Figure 4), dense or vocabulary-sharded.
 //!
 //! After every iteration the per-chunk φ contributions must be combined into
 //! the global matrix every sampler reads:
@@ -8,31 +8,203 @@
 //! ```
 //!
 //! The paper performs the combination on the GPUs as a `⌈log2 G⌉`-round tree
-//! **reduce** followed by a tree **broadcast**.  The simulator computes the
-//! sums functionally (the result is identical regardless of the reduction
-//! shape) and charges the time of the tree schedule over the system's
-//! interconnect, which is what determines multi-GPU scalability (Figure 9).
+//! **reduce** followed by a tree **broadcast** of the full `K × V` replica
+//! behind one global barrier.  This module additionally implements the
+//! range-sharded variant the §5.2 schedule permits: the vocabulary is
+//! partitioned into `S` contiguous column ranges ([`SyncPlan`]), each range
+//! runs its own tree reduce + broadcast, and the only barrier is per shard —
+//! which is what lets the scheduler overlap shard `s`'s reduce with the
+//! sampling of shard `s + 1` (see [`crate::schedule`] and `DESIGN.md` §8).
+//!
+//! The simulator computes the sums functionally (integer column sums are
+//! identical however the columns are grouped, so sharding can never change
+//! the synchronized state) and charges the time of the per-shard tree
+//! schedules over the system's interconnect, which is what determines
+//! multi-GPU scalability (Figure 9).
 
+use crate::config::LdaConfig;
 use crate::model::ChunkState;
 use culda_gpusim::MultiGpuSystem;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 use std::sync::Arc;
+
+/// How one φ synchronization is laid out: how many vocabulary shards, and how
+/// many of their reduces may overlap sampling.
+///
+/// ```
+/// use culda_core::sync::SyncPlan;
+///
+/// // 10 columns over 4 shards: the remainder goes to the leading shards.
+/// let plan = SyncPlan::new(4, 2);
+/// let ranges = plan.shard_ranges(10);
+/// assert_eq!(ranges.len(), 4);
+/// assert_eq!(ranges[0], 0..3);
+/// assert_eq!(ranges[3], 8..10);
+/// assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncPlan {
+    shards: usize,
+    overlap_depth: usize,
+}
+
+impl SyncPlan {
+    /// The paper's dense schedule: one shard, one global barrier.
+    pub const fn dense() -> Self {
+        SyncPlan {
+            shards: 1,
+            overlap_depth: 0,
+        }
+    }
+
+    /// A plan with `shards` vocabulary ranges and up to `overlap_depth`
+    /// reduces in flight during sampling (`0` = no overlap).
+    pub fn new(shards: usize, overlap_depth: usize) -> Self {
+        assert!(shards >= 1, "a plan needs at least one shard");
+        SyncPlan {
+            shards,
+            overlap_depth,
+        }
+    }
+
+    /// Derive the plan from a run configuration, clamping the shard count to
+    /// the vocabulary size (a shard must own at least one column).
+    pub fn from_config(config: &LdaConfig, vocab_size: usize) -> Self {
+        SyncPlan {
+            shards: config.sync_shards.clamp(1, vocab_size.max(1)),
+            overlap_depth: config.sync_overlap_depth,
+        }
+    }
+
+    /// Number of vocabulary shards `S`.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Maximum shard reduces in flight while sampling continues.
+    pub fn overlap_depth(&self) -> usize {
+        self.overlap_depth
+    }
+
+    /// True for the paper's single-shard schedule.
+    pub fn is_dense(&self) -> bool {
+        self.shards == 1
+    }
+
+    /// Whether the schedule actually overlaps reduces with sampling (needs
+    /// more than one shard and a non-zero depth).
+    pub fn overlaps(&self) -> bool {
+        self.shards > 1 && self.overlap_depth > 0
+    }
+
+    /// The contiguous column ranges of the shards over a `vocab_size`-wide
+    /// matrix, split evenly by *column count*.  The remainder columns go to
+    /// the leading shards.  A plan with more shards than columns produces
+    /// one range per column (never an empty shard), matching the clamp in
+    /// [`SyncPlan::from_config`].
+    pub fn shard_ranges(&self, vocab_size: usize) -> Vec<Range<usize>> {
+        let shards = self.shards.min(vocab_size.max(1));
+        let base = vocab_size / shards;
+        let rem = vocab_size % shards;
+        let mut start = 0usize;
+        (0..shards)
+            .map(|s| {
+                let width = base + usize::from(s < rem);
+                let range = start..start + width;
+                start += width;
+                range
+            })
+            .collect()
+    }
+
+    /// Contiguous shard ranges balanced by *token count* instead of column
+    /// count: the boundary after shard `s` is placed where the cumulative
+    /// token mass crosses `(s + 1) / S` of the corpus, while every shard
+    /// keeps at least one column.  This is the partition-by-token idea of §4
+    /// applied to the vocabulary axis: the sampling kernel is word-major, so
+    /// equal-token shards finish sampling at evenly spaced times, which is
+    /// what gives the per-shard reduces compute to hide behind.  With a
+    /// frequency-skewed *and frequency-sorted* vocabulary, equal-column
+    /// shards would put nearly all sampling work in the first shard and
+    /// leave the later reduces fully exposed.
+    pub fn token_balanced_ranges(&self, word_tokens: &[u64]) -> Vec<Range<usize>> {
+        let v = word_tokens.len();
+        let total: u64 = word_tokens.iter().sum();
+        if self.shards == 1 || total == 0 {
+            return self.shard_ranges(v);
+        }
+        let shards = self.shards.min(v);
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        let mut cum = 0u64;
+        for s in 0..shards {
+            let remaining = shards - s;
+            let end = if remaining == 1 {
+                v
+            } else {
+                let target = total * (s as u64 + 1) / shards as u64;
+                let mut e = start;
+                // Leave at least one column for each remaining shard.
+                while e < v - (remaining - 1) && (e == start || cum + word_tokens[e] <= target) {
+                    cum += word_tokens[e];
+                    e += 1;
+                }
+                e
+            };
+            ranges.push(start..end);
+            start = end;
+        }
+        ranges
+    }
+}
+
+/// Global per-word token counts across all chunks (`Σ_c` of every chunk's
+/// word-major histogram) — the weights [`SyncPlan::token_balanced_ranges`]
+/// cuts the vocabulary with.  Independent of how the corpus is chunked.
+pub fn global_word_tokens(states: &[Arc<ChunkState>]) -> Vec<u64> {
+    let v = states[0].layout.vocab_size;
+    let mut counts = vec![0u64; v];
+    for st in states {
+        for (w, c) in counts.iter_mut().enumerate() {
+            *c += st.layout.word_token_count(w) as u64;
+        }
+    }
+    counts
+}
 
 /// Outcome of one φ synchronization.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SyncStats {
-    /// Simulated time of the reduce + broadcast.
+    /// Simulated time of the reduce + broadcast, summed over all shards (the
+    /// interconnect work; the *exposed* time after overlap is decided by the
+    /// scheduler, see `IterationStats::sync_exposed_time_s`).
     pub time_s: f64,
-    /// Bytes of one φ replica (what each tree step moves).
+    /// Bytes of one φ replica (what the tree steps move in aggregate).
     pub replica_bytes: u64,
     /// Number of devices participating.
     pub num_devices: usize,
 }
 
+/// Outcome of one sharded φ synchronization: the aggregate [`SyncStats`] plus
+/// the per-shard simulated times the scheduler overlaps with sampling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedSyncStats {
+    /// Aggregate statistics (`time_s` is the sum over shards).
+    pub stats: SyncStats,
+    /// Simulated time of each shard's tree reduce + broadcast, in shard
+    /// order.  `n_k` rides with the last shard.
+    pub per_shard_time_s: Vec<f64>,
+    /// The token-balanced column ranges the sync actually used (see
+    /// [`SyncPlan::token_balanced_ranges`]); the scheduler aligns its
+    /// per-shard compute slices with these.
+    pub shard_ranges: Vec<Range<usize>>,
+}
+
 /// Combine every chunk's `phi_local` / `nk_local` into each chunk's
-/// `phi_global` / `nk_global`, and return the simulated cost of doing so with
-/// the tree schedule of §5.2.
+/// `phi_global` / `nk_global` with the dense single-barrier schedule of §5.2,
+/// and return the simulated cost of the tree reduce + broadcast.
 ///
 /// `compress_16bit` selects the per-element transfer size (§6.1.3 halves the
 /// synchronization volume as well as the kernel traffic).
@@ -41,52 +213,107 @@ pub fn synchronize_phi(
     system: &MultiGpuSystem,
     compress_16bit: bool,
 ) -> SyncStats {
+    synchronize_phi_sharded(states, system, &SyncPlan::dense(), compress_16bit).stats
+}
+
+/// Combine every chunk's `phi_local` / `nk_local` into each chunk's
+/// `phi_global` / `nk_global`, one vocabulary shard at a time, and return the
+/// per-shard simulated costs of the tree schedules.
+///
+/// The functional result is bit-identical to [`synchronize_phi`] for every
+/// plan: each global cell is an integer sum of the chunk contributions, and
+/// grouping the columns into shards does not change any of the sums.  Only
+/// the costed barrier structure differs.
+pub fn synchronize_phi_sharded(
+    states: &[Arc<ChunkState>],
+    system: &MultiGpuSystem,
+    plan: &SyncPlan,
+    compress_16bit: bool,
+) -> ShardedSyncStats {
+    assert!(!states.is_empty());
+    let v = states[0].phi_local.cols();
+    let ranges = if plan.is_dense() {
+        plan.shard_ranges(v)
+    } else {
+        plan.token_balanced_ranges(&global_word_tokens(states))
+    };
+    synchronize_phi_over_ranges(states, system, ranges, compress_16bit)
+}
+
+/// The workhorse behind [`synchronize_phi_sharded`]: synchronize over an
+/// explicit, already-resolved set of contiguous column ranges (which must
+/// cover `0..V` in order).  Exposed so the scheduler can resolve the ranges
+/// once per iteration and reuse them for its compute-overlap weights.
+pub fn synchronize_phi_over_ranges(
+    states: &[Arc<ChunkState>],
+    system: &MultiGpuSystem,
+    ranges: Vec<Range<usize>>,
+    compress_16bit: bool,
+) -> ShardedSyncStats {
     assert!(!states.is_empty());
     let k = states[0].num_topics();
     let v = states[0].phi_local.cols();
 
-    // --- Functional part: global sums. ---
-    // Sum rows in parallel; each row of the result is independent.
-    let summed: Vec<Vec<u32>> = (0..k)
-        .into_par_iter()
-        .map(|row| {
-            let mut acc = vec![0u32; v];
-            for st in states {
-                for (a, col) in acc.iter_mut().zip(0..v) {
-                    *a += st.phi_local.load(row, col);
+    // --- Functional part: global sums, one column shard at a time. ---
+    for range in &ranges {
+        // Sum rows in parallel; each row of the result is independent.
+        let summed: Vec<Vec<u32>> = (0..k)
+            .into_par_iter()
+            .map(|row| {
+                let mut acc = vec![0u32; range.len()];
+                for st in states {
+                    for (a, col) in acc.iter_mut().zip(range.clone()) {
+                        *a += st.phi_local.load(row, col);
+                    }
+                }
+                acc
+            })
+            .collect();
+
+        // Broadcast the shard into every chunk's global replica.
+        states.par_iter().for_each(|st| {
+            for (row, vals) in summed.iter().enumerate() {
+                for (offset, &x) in vals.iter().enumerate() {
+                    st.phi_global.store(row, range.start + offset, x);
                 }
             }
-            acc
-        })
-        .collect();
+        });
+    }
+
+    // n_k is K-sized (tiny next to φ); it rides with the last shard.
     let mut nk = vec![0i64; k];
     for st in states {
         for (acc, val) in nk.iter_mut().zip(st.nk_local.to_vec()) {
             *acc += val;
         }
     }
-
-    // Broadcast into every chunk's global replica.
     states.par_iter().for_each(|st| {
-        for (row, vals) in summed.iter().enumerate() {
-            for (col, &x) in vals.iter().enumerate() {
-                st.phi_global.store(row, col, x);
-            }
-        }
         st.nk_global.store_all(&nk);
     });
 
-    // --- Cost model: tree reduce + broadcast across the devices. ---
-    let replica_bytes = if compress_16bit {
-        states[0].phi_global.device_bytes_compressed()
-    } else {
-        states[0].phi_global.device_bytes_uncompressed()
-    } + (k as u64) * 8;
-    let time_s = system.phi_sync_time_s(replica_bytes);
-    SyncStats {
-        time_s,
-        replica_bytes,
-        num_devices: system.num_gpus(),
+    // --- Cost model: one tree reduce + broadcast per shard. ---
+    let elem_bytes: u64 = if compress_16bit { 2 } else { 4 };
+    let nk_bytes = (k as u64) * 8;
+    let per_shard_time_s: Vec<f64> = ranges
+        .iter()
+        .enumerate()
+        .map(|(s, range)| {
+            let mut bytes = (k as u64) * (range.len() as u64) * elem_bytes;
+            if s == ranges.len() - 1 {
+                bytes += nk_bytes;
+            }
+            system.phi_sync_time_s(bytes)
+        })
+        .collect();
+    let replica_bytes = (k as u64) * (v as u64) * elem_bytes + nk_bytes;
+    ShardedSyncStats {
+        stats: SyncStats {
+            time_s: per_shard_time_s.iter().sum(),
+            replica_bytes,
+            num_devices: system.num_gpus(),
+        },
+        per_shard_time_s,
+        shard_ranges: ranges,
     }
 }
 
@@ -177,5 +404,98 @@ mod tests {
         let b = synchronize_phi(&states, &system, false);
         assert!(b.replica_bytes > a.replica_bytes);
         assert!(b.time_s > a.time_s);
+    }
+
+    #[test]
+    fn sharded_sync_produces_the_identical_global_state() {
+        let corpus = corpus();
+        let dense_states = make_states(&corpus, 3, 6);
+        let sharded_states = make_states(&corpus, 3, 6);
+        let system =
+            MultiGpuSystem::homogeneous(DeviceSpec::titan_xp_pascal(), 3, 1, Interconnect::Pcie3);
+        synchronize_phi(&dense_states, &system, true);
+        // V = 60 is not divisible by 7: the remainder shards must still
+        // cover every column exactly once.
+        let plan = SyncPlan::new(7, 2);
+        let stats = synchronize_phi_sharded(&sharded_states, &system, &plan, true);
+        assert_eq!(stats.per_shard_time_s.len(), 7);
+        for (d, s) in dense_states.iter().zip(&sharded_states) {
+            assert_eq!(d.phi_global.to_dense(), s.phi_global.to_dense());
+            assert_eq!(d.nk_global.to_vec(), s.nk_global.to_vec());
+        }
+    }
+
+    #[test]
+    fn one_shard_plan_degenerates_to_the_dense_cost() {
+        let corpus = corpus();
+        let states = make_states(&corpus, 2, 4);
+        let system =
+            MultiGpuSystem::homogeneous(DeviceSpec::titan_xp_pascal(), 2, 1, Interconnect::Pcie3);
+        let dense = synchronize_phi(&states, &system, true);
+        let sharded = synchronize_phi_sharded(&states, &system, &SyncPlan::new(1, 4), true);
+        assert_eq!(sharded.per_shard_time_s.len(), 1);
+        assert_eq!(sharded.stats, dense);
+    }
+
+    #[test]
+    fn sharded_cost_exceeds_dense_only_by_per_shard_latency() {
+        let corpus = corpus();
+        let states = make_states(&corpus, 4, 8);
+        let system =
+            MultiGpuSystem::homogeneous(DeviceSpec::titan_xp_pascal(), 4, 1, Interconnect::Pcie3);
+        let dense = synchronize_phi(&states, &system, true);
+        let sharded = synchronize_phi_sharded(&states, &system, &SyncPlan::new(4, 2), true);
+        assert_eq!(sharded.stats.replica_bytes, dense.replica_bytes);
+        assert!(sharded.stats.time_s >= dense.time_s);
+        // The tiny test replica is latency-bound, so the worst case is one
+        // full set of round latencies per shard — S× the dense time, never
+        // more (the bandwidth term is identical in aggregate).
+        assert!(sharded.stats.time_s <= dense.time_s * 4.0 + 1e-12);
+    }
+
+    #[test]
+    fn token_balanced_ranges_cover_the_vocabulary_and_follow_the_mass() {
+        let plan = SyncPlan::new(4, 2);
+        // Uniform counts degenerate to the even column split.
+        let uniform = vec![5u64; 16];
+        assert_eq!(plan.token_balanced_ranges(&uniform), plan.shard_ranges(16));
+        // Skewed counts pull the boundaries toward the head.
+        let mut skewed = vec![1u64; 16];
+        skewed[0] = 100;
+        skewed[1] = 50;
+        let ranges = plan.token_balanced_ranges(&skewed);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[0], 0..1, "the head word owns a shard of its own");
+        // Contiguous cover of every column, in order.
+        let mut expect_start = 0;
+        for r in &ranges {
+            assert_eq!(r.start, expect_start);
+            assert!(!r.is_empty());
+            expect_start = r.end;
+        }
+        assert_eq!(expect_start, 16);
+        // All-zero counts fall back to the column split rather than panic.
+        assert_eq!(
+            plan.token_balanced_ranges(&[0u64; 16]),
+            plan.shard_ranges(16)
+        );
+    }
+
+    #[test]
+    fn plan_clamps_shards_to_the_vocabulary() {
+        let cfg = LdaConfig::with_topics(8).sync_shards(100);
+        let plan = SyncPlan::from_config(&cfg, 6);
+        assert_eq!(plan.shards(), 6);
+        assert!(plan.shard_ranges(6).iter().all(|r| r.len() == 1));
+        // A raw plan (no from_config clamp) never yields empty shards either:
+        // both range constructions cap at one column per shard.
+        let wild = SyncPlan::new(8, 2);
+        assert_eq!(wild.shard_ranges(3).len(), 3);
+        assert_eq!(wild.token_balanced_ranges(&[5, 5, 5]).len(), 3);
+        let dense = SyncPlan::from_config(&LdaConfig::with_topics(8), 6);
+        assert!(dense.is_dense());
+        assert!(!dense.overlaps());
+        assert!(SyncPlan::new(4, 2).overlaps());
+        assert!(!SyncPlan::new(4, 0).overlaps());
     }
 }

@@ -15,7 +15,7 @@
 use crate::config::LdaConfig;
 use crate::model::ChunkState;
 use crate::schedule::{run_iteration, IterationStats, ScheduleKind};
-use crate::sync::synchronize_phi;
+use crate::sync::{synchronize_phi_sharded, SyncPlan};
 use crate::work::{build_work_items, WorkItem};
 use culda_corpus::{Corpus, Partitioner};
 use culda_gpusim::MultiGpuSystem;
@@ -61,6 +61,7 @@ pub struct CuLdaTrainer {
     states: Vec<Arc<ChunkState>>,
     work_items: Vec<Vec<WorkItem>>,
     schedule: ScheduleKind,
+    sync_plan: SyncPlan,
     vocab_size: usize,
     num_docs: usize,
     total_tokens: u64,
@@ -189,7 +190,8 @@ impl CuLdaTrainer {
             .collect();
 
         // Initial synchronization so every chunk samples from the full φ.
-        synchronize_phi(&states, &system, config.compress_16bit);
+        let sync_plan = SyncPlan::from_config(&config, corpus.vocab_size());
+        synchronize_phi_sharded(&states, &system, &sync_plan, config.compress_16bit);
 
         Ok(CuLdaTrainer {
             vocab_size: corpus.vocab_size(),
@@ -200,6 +202,7 @@ impl CuLdaTrainer {
             states,
             work_items,
             schedule,
+            sync_plan,
             sim_time_s: 0.0,
             history: Vec::new(),
             base_iteration: 0,
@@ -245,6 +248,12 @@ impl CuLdaTrainer {
     /// the trainer selected.
     pub fn schedule(&self) -> ScheduleKind {
         self.schedule
+    }
+
+    /// The φ synchronization layout the trainer derived from the
+    /// configuration (shard count clamped to the vocabulary).
+    pub fn sync_plan(&self) -> SyncPlan {
+        self.sync_plan
     }
 
     /// The run configuration.
@@ -301,6 +310,7 @@ impl CuLdaTrainer {
             &self.system,
             &self.config,
             self.schedule,
+            &self.sync_plan,
             self.base_iteration + self.history.len() as u64,
         );
         self.sim_time_s += stats.sim_time_s;

@@ -119,6 +119,76 @@ pub fn sync_time_s(
     reduce + broadcast
 }
 
+/// Split `bytes` into `shards` transfer sizes as evenly as possible, the
+/// remainder going to the leading shards — the column-even split used by the
+/// topology/bench cost models.  (The trainer's own sync costs each shard
+/// from its actual token-balanced column range instead; see
+/// `culda-core::sync`.)
+pub fn shard_bytes(bytes: u64, shards: usize) -> Vec<u64> {
+    assert!(shards >= 1, "at least one shard");
+    let shards_u = shards as u64;
+    let base = bytes / shards_u;
+    let rem = bytes % shards_u;
+    (0..shards_u).map(|s| base + u64::from(s < rem)).collect()
+}
+
+/// Per-shard simulated times of a vocabulary-sharded φ synchronization: the
+/// §5.2 tree reduce + broadcast, run once per shard with a barrier only at the
+/// shard boundary (not across the full `K × V` replica).
+///
+/// Each shard moves `bytes / shards` per tree step, so the *sum* of the
+/// returned times slightly exceeds [`sync_time_s`] of the dense replica (every
+/// shard pays the per-round link latency); the payoff is that the shards are
+/// independently schedulable, which is what lets the trainer overlap shard
+/// `s`'s reduce with the sampling of shard `s + 1` (see
+/// [`overlapped_span_s`]).
+pub fn sharded_sync_times_s(
+    num_devices: usize,
+    bytes: u64,
+    shards: usize,
+    link: Interconnect,
+    add_bandwidth_bytes_per_s: f64,
+) -> Vec<f64> {
+    shard_bytes(bytes, shards)
+        .into_iter()
+        .map(|b| sync_time_s(num_devices, b, link, add_bandwidth_bytes_per_s))
+        .collect()
+}
+
+/// Makespan of a shard pipeline: stage `s` computes for `compute_s[s]`
+/// seconds and then reduces for `sync_s[s]` seconds, where reduces serialise
+/// on the interconnect, compute serialises on the SMs, and at most
+/// `max_in_flight` shard reduces may be outstanding while compute continues
+/// (the overlap-depth knob: it bounds the staging buffers a real
+/// implementation would need).
+///
+/// `max_in_flight == 0` disables the overlap entirely: every reduce waits for
+/// all compute, the sharded-but-serial schedule.
+pub fn overlapped_span_s(compute_s: &[f64], sync_s: &[f64], max_in_flight: usize) -> f64 {
+    assert_eq!(compute_s.len(), sync_s.len());
+    if compute_s.is_empty() {
+        return 0.0;
+    }
+    if max_in_flight == 0 {
+        return compute_s.iter().sum::<f64>() + sync_s.iter().sum::<f64>();
+    }
+    let n = compute_s.len();
+    let mut compute_end = vec![0.0f64; n];
+    let mut sync_end = vec![0.0f64; n];
+    for s in 0..n {
+        let mut start = if s == 0 { 0.0 } else { compute_end[s - 1] };
+        // Bounded buffering: shard s's compute may not begin until the reduce
+        // of shard s - max_in_flight has drained.
+        if s >= max_in_flight {
+            start = start.max(sync_end[s - max_in_flight]);
+        }
+        compute_end[s] = start + compute_s[s];
+        let sync_start = compute_end[s].max(if s == 0 { 0.0 } else { sync_end[s - 1] });
+        sync_end[s] = sync_start + sync_s[s];
+    }
+    sync_end[n - 1]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +256,77 @@ mod tests {
         // log2 scaling: doubling the devices adds one reduce + one broadcast round.
         assert!((t4 / t2 - 2.0).abs() < 0.05);
         assert!((t8 / t2 - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn shard_bytes_partition_exactly() {
+        assert_eq!(shard_bytes(100, 1), vec![100]);
+        assert_eq!(shard_bytes(100, 4), vec![25, 25, 25, 25]);
+        assert_eq!(shard_bytes(10, 3), vec![4, 3, 3]);
+        for (bytes, shards) in [(1u64, 5usize), (0, 3), (1 << 30, 7)] {
+            let parts = shard_bytes(bytes, shards);
+            assert_eq!(parts.len(), shards);
+            assert_eq!(parts.iter().sum::<u64>(), bytes);
+        }
+    }
+
+    #[test]
+    fn sharded_sync_work_exceeds_dense_only_by_latency() {
+        let bytes = 256 << 20;
+        let link = Interconnect::Pcie3;
+        let dense = sync_time_s(4, bytes, link, 1e11);
+        for shards in [2usize, 4, 8] {
+            let per_shard = sharded_sync_times_s(4, bytes, shards, link, 1e11);
+            assert_eq!(per_shard.len(), shards);
+            let total: f64 = per_shard.iter().sum();
+            // Sharding never reduces the total work moved…
+            assert!(total >= dense, "{shards} shards: {total} < dense {dense}");
+            // …and the overhead is bounded by the extra per-round latencies.
+            let extra_rounds = ((shards - 1) * 2 * ReducePlan::tree_reduce(4).num_rounds()) as f64;
+            assert!(total <= dense + extra_rounds * link.latency_s() * 1.01);
+        }
+    }
+
+    #[test]
+    fn single_device_sharded_sync_is_free() {
+        let times = sharded_sync_times_s(1, 1 << 30, 4, Interconnect::Pcie3, 1e11);
+        assert!(times.iter().all(|&t| t == 0.0));
+    }
+
+    #[test]
+    fn overlap_hides_sync_behind_compute() {
+        // 4 equal shards, sync shorter than compute: all but the last shard's
+        // reduce hides completely.
+        let compute = [1.0; 4];
+        let sync = [0.5; 4];
+        let overlapped = overlapped_span_s(&compute, &sync, 2);
+        assert!((overlapped - (4.0 + 0.5)).abs() < 1e-9, "{overlapped}");
+        // No overlap: everything serialises.
+        let serial = overlapped_span_s(&compute, &sync, 0);
+        assert!((serial - 6.0).abs() < 1e-9);
+        assert!(overlapped < serial);
+    }
+
+    #[test]
+    fn overlap_depth_one_still_beats_serial_and_depth_caps_in_flight() {
+        // Sync dominates: the pipeline is sync-bound, the span approaches
+        // first compute + all syncs regardless of depth.
+        let compute = [0.1; 4];
+        let sync = [1.0; 4];
+        let d1 = overlapped_span_s(&compute, &sync, 1);
+        let d4 = overlapped_span_s(&compute, &sync, 4);
+        let serial = overlapped_span_s(&compute, &sync, 0);
+        assert!(d1 <= serial && d4 <= d1 + 1e-12);
+        // With depth 1 the compute of shard s+1 waits for sync s; with depth
+        // 4 it never waits, so the bound is first compute + sum of syncs.
+        assert!((d4 - (0.1 + 4.0)).abs() < 1e-9, "{d4}");
+        // depth-1 lockstep: c0 (0.1) then alternating sync/compute pairs.
+        assert!(d1 >= d4);
+    }
+
+    #[test]
+    fn overlapped_span_of_empty_pipeline_is_zero() {
+        assert_eq!(overlapped_span_s(&[], &[], 2), 0.0);
     }
 
     #[test]

@@ -84,7 +84,7 @@ impl BlockCtx {
     }
 
     /// Account `bytes` served by the L1 cache (§6.1.2: sparse-index loads are
-    /// routed through L1 following the cache-bypassing heuristics of [28]).
+    /// routed through L1 following the cache-bypassing heuristics of \[28\]).
     #[inline]
     pub fn read_l1(&mut self, bytes: u64) {
         self.counters.l1_bytes += bytes;

@@ -65,7 +65,7 @@ pub mod topology;
 pub mod trace;
 pub mod transfer;
 
-pub use collective::ReducePlan;
+pub use collective::{overlapped_span_s, sharded_sync_times_s, ReducePlan};
 pub use cost::{CostCounters, KernelTime};
 pub use device::{Arch, Device, DeviceSpec, DeviceSpecBuilder};
 pub use energy::{EnergyModel, EnergyReport};

@@ -144,6 +144,48 @@ impl Topology {
         let ratio = if ring > 0.0 { tree / ring } else { 1.0 };
         (tree, ring, ratio)
     }
+
+    /// Per-shard times of the §5.2 tree sync when the φ replica is split into
+    /// `shards` vocabulary ranges, each reduced + broadcast independently
+    /// behind its own barrier.  The sum exceeds [`Topology::tree_sync_time_s`]
+    /// of the dense replica by the extra per-round latencies; the shards exist
+    /// to be *overlapped* with sampling, not to reduce transfer volume.
+    pub fn sharded_tree_sync_times_s(
+        &self,
+        num_gpus: usize,
+        bytes: u64,
+        shards: usize,
+        add_bandwidth_bytes_per_s: f64,
+    ) -> Vec<f64> {
+        crate::collective::shard_bytes(bytes, shards)
+            .into_iter()
+            .map(|b| self.tree_sync_time_s(num_gpus, b, add_bandwidth_bytes_per_s))
+            .collect()
+    }
+
+    /// Exposed (non-hidden) synchronization time when a compute phase of
+    /// `compute_s` seconds is split evenly across the shards and shard `s`'s
+    /// reduce overlaps the compute of shard `s + 1`, with at most
+    /// `overlap_depth` reduces in flight.  Returns
+    /// `(total_sync_work_s, exposed_sync_s)`: the first is the interconnect
+    /// time actually spent, the second is the part the iteration critical
+    /// path still sees.
+    pub fn overlapped_sync_exposed_s(
+        &self,
+        num_gpus: usize,
+        bytes: u64,
+        shards: usize,
+        add_bandwidth_bytes_per_s: f64,
+        compute_s: f64,
+        overlap_depth: usize,
+    ) -> (f64, f64) {
+        let sync =
+            self.sharded_tree_sync_times_s(num_gpus, bytes, shards, add_bandwidth_bytes_per_s);
+        let total: f64 = sync.iter().sum();
+        let compute: Vec<f64> = vec![compute_s / shards as f64; shards];
+        let span = crate::collective::overlapped_span_s(&compute, &sync, overlap_depth);
+        (total, (span - compute_s).max(0.0))
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +254,36 @@ mod tests {
         // the tree.
         let (tree, ring, ratio) = t.tree_vs_ring(4, 1024, ADD_BW);
         assert!(tree < ring, "tree {tree} vs ring {ring} (ratio {ratio})");
+    }
+
+    #[test]
+    fn sharded_sync_times_sum_to_roughly_the_dense_time() {
+        let t = Topology::PcieTree;
+        let dense = t.tree_sync_time_s(4, MIB_256, ADD_BW);
+        for shards in [2usize, 4, 8] {
+            let per_shard = t.sharded_tree_sync_times_s(4, MIB_256, shards, ADD_BW);
+            assert_eq!(per_shard.len(), shards);
+            let total: f64 = per_shard.iter().sum();
+            assert!(total >= dense, "sharding cannot shrink the volume");
+            assert!(total < dense * 1.01, "latency overhead must stay small");
+        }
+    }
+
+    #[test]
+    fn overlap_exposes_less_sync_at_higher_shard_counts() {
+        // A compute phase comparable to the sync itself: with S = 1 nothing
+        // hides; with S ≥ 4 most of the reduce tucks behind sampling.
+        let t = Topology::PcieTree;
+        let dense = t.tree_sync_time_s(4, MIB_256, ADD_BW);
+        let compute = dense * 1.5;
+        let (_, exposed1) = t.overlapped_sync_exposed_s(4, MIB_256, 1, ADD_BW, compute, 2);
+        let (total4, exposed4) = t.overlapped_sync_exposed_s(4, MIB_256, 4, ADD_BW, compute, 2);
+        assert!((exposed1 - dense).abs() < dense * 1e-6, "S=1 hides nothing");
+        assert!(
+            exposed4 < exposed1 * 0.5,
+            "S=4 should hide most of the sync: exposed {exposed4} vs dense {exposed1}"
+        );
+        assert!(total4 >= dense);
     }
 
     #[test]

@@ -69,6 +69,32 @@ pub mod fixtures {
             .scaled_to_tokens(8_000)
             .generate(seed)
     }
+
+    /// Deterministically permute a corpus's word ids (Fisher–Yates over an
+    /// LCG stream).  The synthetic generators emit ids in Zipf-rank order —
+    /// word 0 is the most frequent — whereas real corpora have alphabetical
+    /// vocabularies with frequency spread across the id range; tests and
+    /// examples that depend on the realistic spread (e.g. the sharded-sync
+    /// overlap win) shuffle their corpora through this.
+    pub fn shuffled_vocab(corpus: &Corpus) -> Corpus {
+        use culda_corpus::CorpusBuilder;
+        let v = corpus.vocab_size();
+        let mut perm: Vec<u32> = (0..v as u32).collect();
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for i in (1..v).rev() {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (x >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let mut b = CorpusBuilder::new(v);
+        for d in 0..corpus.num_docs() {
+            let doc: Vec<u32> = corpus.doc(d).iter().map(|&w| perm[w as usize]).collect();
+            b.push_doc(&doc);
+        }
+        b.build()
+    }
 }
 
 pub mod conformance {

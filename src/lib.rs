@@ -9,7 +9,7 @@
 //! * [`gpusim`] — the simulated multi-GPU substrate (devices, kernels,
 //!   transfers, collectives).
 //! * [`core`] — the CuLDA_CGS trainer itself (sampling/update kernels,
-//!   scheduling, φ synchronization).
+//!   scheduling, dense or vocabulary-sharded φ synchronization).
 //! * [`baselines`] — WarpLDA-style, SaberLDA-style, LDA*-style and exact-CGS
 //!   baselines.
 //! * [`metrics`] — log-likelihood, perplexity, throughput, roofline analysis.

@@ -1,0 +1,165 @@
+//! Vocabulary-sharded φ synchronization (DESIGN.md §8): the sharded reduce
+//! must be a pure *scheduling* change — bit-identical topic assignments to
+//! the dense §5.2 reduce for every shard count, overlap depth and GPU
+//! topology — while the overlap measurably shrinks the exposed sync cost at
+//! realistic model sizes.
+
+use culda::baselines::CuLdaSolver;
+use culda::core::{CuLdaTrainer, LdaConfig, SyncPlan};
+use culda::corpus::{Corpus, DatasetProfile};
+use culda::gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
+use culda_testkit::conformance::run_conformance;
+use culda_testkit::determinism::{assert_same_assignments, z_signature};
+use culda_testkit::{doc_lens, fixtures};
+
+const K: usize = 8;
+const SEED: u64 = 2019;
+const ITERATIONS: usize = 5;
+
+fn system(gpus: usize) -> MultiGpuSystem {
+    if gpus == 1 {
+        MultiGpuSystem::single(DeviceSpec::v100_volta(), SEED)
+    } else {
+        MultiGpuSystem::homogeneous(DeviceSpec::v100_volta(), gpus, SEED, Interconnect::NvLink)
+    }
+}
+
+fn trained(corpus: &Corpus, gpus: usize, shards: usize, depth: usize) -> CuLdaTrainer {
+    let config = LdaConfig::with_topics(K)
+        .seed(SEED)
+        .sync_shards(shards)
+        .sync_overlap_depth(depth);
+    let mut trainer = CuLdaTrainer::new(corpus, config, system(gpus)).expect("trainer");
+    trainer.train(ITERATIONS);
+    trainer
+}
+
+#[test]
+fn sharded_sync_is_bit_identical_to_dense_on_one_and_four_gpus() {
+    let corpus = fixtures::medium(fixtures::FIXTURE_SEED);
+    let dense = CuLdaSolver::new(trained(&corpus, 1, 1, 0), "dense 1 GPU");
+    for gpus in [1usize, 4] {
+        let sharded = CuLdaSolver::new(trained(&corpus, gpus, 4, 2), format!("S=4 {gpus} GPU"));
+        assert_same_assignments(&dense, &sharded);
+        assert_eq!(z_signature(&dense), z_signature(&sharded));
+    }
+}
+
+#[test]
+fn assignments_are_invariant_to_the_shard_count() {
+    // Includes counts that do not divide the vocabulary, so remainder
+    // columns land in the leading shards.
+    let corpus = fixtures::medium(fixtures::FIXTURE_SEED);
+    let reference = CuLdaSolver::new(trained(&corpus, 2, 1, 0), "dense");
+    let v = corpus.vocab_size();
+    for shards in [2usize, 3, 5, 8] {
+        assert_ne!(v % shards, 0, "pick counts that exercise uneven shards");
+        let solver = CuLdaSolver::new(trained(&corpus, 2, shards, 2), format!("S={shards}"));
+        assert_same_assignments(&reference, &solver);
+    }
+}
+
+#[test]
+fn shard_count_clamps_to_the_vocabulary() {
+    let corpus = fixtures::tiny(fixtures::FIXTURE_SEED);
+    let trainer = trained(&corpus, 1, 10_000, 2);
+    assert_eq!(trainer.sync_plan().shards(), corpus.vocab_size());
+    trainer.validate().unwrap();
+}
+
+#[test]
+fn single_shard_plan_degenerates_to_the_dense_schedule() {
+    let corpus = fixtures::medium(fixtures::FIXTURE_SEED);
+    let dense = trained(&corpus, 4, 1, 0);
+    assert!(dense.sync_plan().is_dense());
+    assert_eq!(dense.sync_plan(), SyncPlan::dense());
+    // A 1-shard plan with overlap enabled must cost exactly the same: there
+    // is nothing to overlap with.
+    let one_shard = trained(&corpus, 4, 1, 4);
+    for (a, b) in dense.history().iter().zip(one_shard.history()) {
+        assert_eq!(a.sync_time_s, b.sync_time_s);
+        assert_eq!(a.sync_exposed_time_s, b.sync_exposed_time_s);
+        assert_eq!(a.sim_time_s, b.sim_time_s);
+    }
+    assert_same_assignments(
+        &CuLdaSolver::new(dense, "dense"),
+        &CuLdaSolver::new(one_shard, "S=1 overlap"),
+    );
+}
+
+#[test]
+fn conformance_battery_passes_under_sharded_sync() {
+    let corpus = fixtures::small(fixtures::FIXTURE_SEED);
+    let config = LdaConfig::with_topics(K)
+        .seed(SEED)
+        .sync_shards(4)
+        .sync_overlap_depth(2);
+    let trainer = CuLdaTrainer::new(&corpus, config, system(4)).expect("trainer");
+    let cfg = trainer.config().clone();
+    let mut solver = CuLdaSolver::new(trainer, "CuLDA sharded");
+    run_conformance(
+        &mut solver,
+        &doc_lens(&corpus),
+        cfg.alpha,
+        cfg.beta,
+        ITERATIONS,
+    )
+    .expect("conformance");
+}
+
+#[test]
+fn overlap_reduces_the_exposed_sync_cost_at_realistic_scale() {
+    // A model large enough that the φ replica transfer is bandwidth-bound
+    // (K × V × 2 ≈ 1.2 MiB) with a corpus heavy enough that sampling
+    // outweighs the reduce, on the contended PCIe topology of the paper's
+    // Pascal platform — the regime the overlap targets.  The vocabulary is
+    // frequency-shuffled, as in real corpora; the overlap win is claimed for
+    // that realistic case.
+    let corpus = fixtures::shuffled_vocab(
+        &DatasetProfile {
+            name: "overlap-scale".into(),
+            num_docs: 2700,
+            vocab_size: 4000,
+            avg_doc_len: 330.0,
+            zipf_exponent: 1.05,
+            doc_len_sigma: 0.4,
+        }
+        .generate(11),
+    );
+    let run = |shards: usize, depth: usize| {
+        let config = LdaConfig::with_topics(160)
+            .seed(SEED)
+            .sync_shards(shards)
+            .sync_overlap_depth(depth);
+        let sys = MultiGpuSystem::homogeneous(
+            DeviceSpec::titan_xp_pascal(),
+            4,
+            SEED,
+            Interconnect::Pcie3,
+        );
+        let mut trainer = CuLdaTrainer::new(&corpus, config, sys).expect("trainer");
+        trainer.train(1);
+        let it = trainer.history()[0];
+        (it.sync_time_s, it.sync_exposed_time_s, it.sim_time_s)
+    };
+
+    let (dense_sync, dense_exposed, dense_sim) = run(1, 0);
+    assert_eq!(dense_sync, dense_exposed);
+
+    let (s4_sync, s4_exposed, s4_sim) = run(4, 2);
+    // The interconnect work grows only by the per-shard round latencies…
+    assert!(s4_sync >= dense_sync && s4_sync < dense_sync * 1.5);
+    // …but the exposed cost and the iteration time both shrink.
+    assert!(
+        s4_exposed < dense_exposed * 0.7,
+        "S=4 exposed {s4_exposed} vs dense {dense_exposed}"
+    );
+    assert!(s4_sim < dense_sim, "S=4 {s4_sim} vs dense {dense_sim}");
+
+    let (_, s8_exposed, s8_sim) = run(8, 4);
+    assert!(
+        s8_exposed <= s4_exposed,
+        "more shards must not expose more sync: S=8 {s8_exposed} vs S=4 {s4_exposed}"
+    );
+    assert!(s8_sim < dense_sim);
+}
