@@ -16,7 +16,7 @@
 //! and a prior-generation GPU sampler, not SaberLDA's exact internals.
 
 use crate::solver::{CuLdaSolver, LdaSolver};
-use culda_core::{CuLdaTrainer, LdaConfig};
+use culda_core::{CuLdaTrainer, LdaConfig, SessionBuilder};
 use culda_corpus::Corpus;
 use culda_gpusim::{DeviceSpec, MultiGpuSystem};
 
@@ -40,7 +40,11 @@ impl SaberLda {
         config.compress_16bit = false;
         let label = format!("SaberLDA-style ({})", spec.name);
         let system = MultiGpuSystem::single(spec, seed);
-        let trainer = CuLdaTrainer::new(corpus, config, system)?;
+        let trainer = SessionBuilder::new()
+            .corpus(corpus)
+            .config(config)
+            .system(system)
+            .build()?;
         Ok(SaberLda {
             inner: CuLdaSolver::new(trainer, label),
         })
@@ -123,12 +127,12 @@ mod tests {
         let corpus = corpus();
         let mut saber = SaberLda::new(&corpus, 16, 3, DeviceSpec::titan_x_maxwell()).unwrap();
         let mut culda = CuLdaSolver::new(
-            CuLdaTrainer::new(
-                &corpus,
-                LdaConfig::with_topics(16).seed(3),
-                MultiGpuSystem::single(DeviceSpec::titan_x_maxwell(), 3),
-            )
-            .unwrap(),
+            SessionBuilder::new()
+                .corpus(&corpus)
+                .config(LdaConfig::with_topics(16).seed(3))
+                .system(MultiGpuSystem::single(DeviceSpec::titan_x_maxwell(), 3))
+                .build()
+                .unwrap(),
             "CuLDA",
         );
         let before = saber.loglik_per_token();

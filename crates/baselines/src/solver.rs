@@ -118,7 +118,7 @@ impl LdaSolver for CuLdaSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use culda_core::LdaConfig;
+    use culda_core::{LdaConfig, SessionBuilder};
     use culda_corpus::DatasetProfile;
     use culda_gpusim::{DeviceSpec, MultiGpuSystem};
 
@@ -133,12 +133,12 @@ mod tests {
             doc_len_sigma: 0.4,
         }
         .generate(4);
-        let trainer = CuLdaTrainer::new(
-            &corpus,
-            LdaConfig::with_topics(8).seed(1),
-            MultiGpuSystem::single(DeviceSpec::v100_volta(), 1),
-        )
-        .unwrap();
+        let trainer = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(8).seed(1))
+            .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 1))
+            .build()
+            .unwrap();
         let mut solver = CuLdaSolver::new(trainer, "CuLDA (Volta)");
         assert_eq!(solver.name(), "CuLDA (Volta)");
         assert_eq!(solver.num_tokens(), corpus.num_tokens() as u64);

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use culda_bench::{datasets, tables, ExperimentScale};
-use culda_core::{CuLdaTrainer, LdaConfig};
+use culda_core::{LdaConfig, SessionBuilder};
 use culda_gpusim::MultiGpuSystem;
 
 fn bench(c: &mut Criterion) {
@@ -21,12 +21,18 @@ fn bench(c: &mut Criterion) {
     for spec in tables::gpu_platforms() {
         let name = spec.name.clone();
         group.bench_with_input(BenchmarkId::from_parameter(&name), &spec, |b, spec| {
-            let mut trainer = CuLdaTrainer::new(
-                &dataset.corpus,
-                LdaConfig::with_topics(tiny.num_topics).seed(tiny.seed),
-                MultiGpuSystem::single(spec.clone(), tiny.seed),
-            )
-            .unwrap();
+            let mut trainer = SessionBuilder::new()
+                .corpus(&dataset.corpus)
+                // Pinned to the paper's dense reduce: the figure reproduces the
+                // published schedule, so the auto-tuned sharding default stays off.
+                .config(
+                    LdaConfig::with_topics(tiny.num_topics)
+                        .seed(tiny.seed)
+                        .sync_shards(1),
+                )
+                .system(MultiGpuSystem::single(spec.clone(), tiny.seed))
+                .build()
+                .unwrap();
             b.iter(|| std::hint::black_box(trainer.run_iteration()));
         });
     }

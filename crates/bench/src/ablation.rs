@@ -15,7 +15,7 @@
 
 use crate::datasets;
 use crate::scale::ExperimentScale;
-use culda_core::{CuLdaTrainer, LdaConfig};
+use culda_core::{LdaConfig, SessionBuilder};
 use culda_corpus::Partitioner;
 use culda_gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
 use culda_sparse::varint;
@@ -43,14 +43,23 @@ impl Ablation {
 fn run(config: LdaConfig, scale: &ExperimentScale) -> f64 {
     let dataset = datasets::nytimes(scale);
     let system = MultiGpuSystem::single(DeviceSpec::titan_x_maxwell(), scale.seed);
-    let mut trainer = CuLdaTrainer::new(&dataset.corpus, config, system).expect("trainer");
+    let mut trainer = SessionBuilder::new()
+        .corpus(&dataset.corpus)
+        .config(config)
+        .system(system)
+        .build()
+        .expect("trainer");
     trainer.train(scale.iterations);
     trainer.average_throughput(scale.iterations)
 }
 
 /// Run all ablations on the NYTimes twin / Maxwell platform.
 pub fn ablations(scale: &ExperimentScale) -> Vec<Ablation> {
-    let base = LdaConfig::with_topics(scale.num_topics).seed(scale.seed);
+    // The paper's dense reduce: the harness reproduces published results,
+    // so the auto-tuned sharding default is pinned off.
+    let base = LdaConfig::with_topics(scale.num_topics)
+        .seed(scale.seed)
+        .sync_shards(1);
     let baseline_tps = run(base.clone(), scale);
     let mut out = Vec::new();
 

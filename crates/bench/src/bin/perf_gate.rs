@@ -1,0 +1,213 @@
+//! Performance regression gate over the simulated throughput.
+//!
+//! Measures simulated tokens/s on a fixed set of scenarios and compares the
+//! numbers against a committed baseline (`bench_baseline.json` at the
+//! repository root).  The simulation is a pure function of its inputs, so
+//! the measured values are bit-stable across machines; the 10 % tolerance
+//! exists to absorb *intentional* cost-model adjustments, not measurement
+//! noise.  CI fails on any scenario slower than `baseline × 0.9`.
+//!
+//! ```text
+//! perf-gate --write bench_baseline.json    # refresh the baseline
+//! perf-gate --check bench_baseline.json    # CI gate: fail on >10% regression
+//! ```
+
+use culda_bench::tables::culda_throughput;
+use culda_bench::{datasets, ExperimentScale};
+use culda_core::{LdaConfig, SessionBuilder};
+use culda_gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
+
+/// Fractional slowdown tolerated before the gate fails.
+const TOLERANCE: f64 = 0.10;
+
+struct Scenario {
+    name: &'static str,
+    run: fn() -> f64,
+}
+
+/// The gated scenarios: the resident single-GPU path on two architectures,
+/// the multi-GPU scaling path under the paper's dense reduce
+/// (`culda_throughput` pins `sync_shards(1)`), and the multi-GPU path under
+/// the *default* configuration, where the φ-sync shard count auto-tunes
+/// from iteration 0 — so a regression in the tuner's choice fails the gate.
+fn scenarios() -> Vec<Scenario> {
+    fn scale() -> ExperimentScale {
+        ExperimentScale {
+            tokens: 120_000,
+            num_topics: 96,
+            iterations: 8,
+            seed: 42,
+        }
+    }
+    vec![
+        Scenario {
+            name: "nytimes_volta_1gpu_resident",
+            run: || {
+                let s = scale();
+                let dataset = datasets::nytimes(&s);
+                culda_throughput(&dataset, DeviceSpec::v100_volta(), 1, &s)
+            },
+        },
+        Scenario {
+            name: "pubmed_pascal_4gpu_scaling",
+            run: || {
+                let s = scale();
+                let dataset = datasets::pubmed(&s);
+                culda_throughput(&dataset, DeviceSpec::titan_xp_pascal(), 4, &s)
+            },
+        },
+        Scenario {
+            name: "nytimes_maxwell_1gpu_resident",
+            run: || {
+                let s = scale();
+                let dataset = datasets::nytimes(&s);
+                culda_throughput(&dataset, DeviceSpec::titan_x_maxwell(), 1, &s)
+            },
+        },
+        Scenario {
+            name: "pubmed_pascal_4gpu_autotuned_sync",
+            run: || {
+                let s = scale();
+                let dataset = datasets::pubmed(&s);
+                let mut trainer = SessionBuilder::new()
+                    .corpus(&dataset.corpus)
+                    // Default config: sync_shards = None → the tuner picks
+                    // the shard count after the dense iteration 0.
+                    .config(LdaConfig::with_topics(s.num_topics).seed(s.seed))
+                    .system(MultiGpuSystem::homogeneous(
+                        DeviceSpec::titan_xp_pascal(),
+                        4,
+                        s.seed,
+                        Interconnect::Pcie3,
+                    ))
+                    .build()
+                    .expect("trainer construction");
+                trainer.train(s.iterations);
+                trainer.average_throughput(s.iterations)
+            },
+        },
+    ]
+}
+
+fn measure() -> Vec<(String, f64)> {
+    scenarios()
+        .into_iter()
+        .map(|s| {
+            let tps = (s.run)();
+            eprintln!("measured {:<32} {:>14.1} tokens/s", s.name, tps);
+            (s.name.to_string(), tps)
+        })
+        .collect()
+}
+
+fn write_baseline(path: &str, rows: &[(String, f64)]) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"scenarios\": [\n");
+    for (i, (name, tps)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"tokens_per_s\": {tps:.3} }}{comma}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+/// Minimal parser for the baseline file this tool itself writes
+/// (`"name": "...", "tokens_per_s": N` pairs); avoids a JSON dependency,
+/// per the offline dependency policy (DESIGN.md §3).
+fn read_baseline(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut rows = Vec::new();
+    for chunk in text.split('{').skip(2) {
+        let name = chunk
+            .split("\"name\"")
+            .nth(1)
+            .and_then(|s| s.split('"').nth(1))
+            .ok_or_else(|| format!("malformed scenario entry in {path}"))?;
+        let tps: f64 = chunk
+            .split("\"tokens_per_s\"")
+            .nth(1)
+            .and_then(|s| s.split(':').nth(1))
+            .map(|s| s.trim_start())
+            .and_then(|s| {
+                s.split(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+                    .next()
+            })
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("malformed tokens_per_s for scenario {name} in {path}"))?;
+        rows.push((name.to_string(), tps));
+    }
+    if rows.is_empty() {
+        return Err(format!("{path} contains no scenarios"));
+    }
+    Ok(rows)
+}
+
+fn check(path: &str) -> Result<(), String> {
+    let baseline = read_baseline(path)?;
+    let measured = measure();
+    let mut failures = Vec::new();
+    println!(
+        "{:<34} {:>14} {:>14} {:>8}",
+        "scenario", "baseline t/s", "measured t/s", "ratio"
+    );
+    for (name, base_tps) in &baseline {
+        let Some((_, tps)) = measured.iter().find(|(n, _)| n == name) else {
+            failures.push(format!("scenario `{name}` in baseline but not measured"));
+            continue;
+        };
+        let ratio = tps / base_tps;
+        let verdict = if ratio < 1.0 - TOLERANCE {
+            failures.push(format!(
+                "{name}: {tps:.1} tokens/s is {:.1}% below the baseline {base_tps:.1}",
+                (1.0 - ratio) * 100.0
+            ));
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!("{name:<34} {base_tps:>14.1} {tps:>14.1} {ratio:>7.3} {verdict}");
+        if ratio > 1.0 + TOLERANCE {
+            eprintln!(
+                "note: {name} improved by {:.1}% — consider refreshing the baseline \
+                 (perf-gate --write {path})",
+                (ratio - 1.0) * 100.0
+            );
+        }
+    }
+    for (name, _) in &measured {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            failures.push(format!(
+                "scenario `{name}` is measured but missing from {path} — refresh the baseline"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "perf gate passed ({} scenarios, tolerance {:.0}%)",
+            baseline.len(),
+            TOLERANCE * 100.0
+        );
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [flag, path] if flag == "--write" => {
+            let rows = measure();
+            write_baseline(path, &rows)
+                .map_err(|e| format!("cannot write {path}: {e}"))
+                .map(|()| println!("wrote {} scenarios to {path}", rows.len()))
+        }
+        [flag, path] if flag == "--check" => check(path),
+        _ => Err("usage: perf-gate (--write|--check) <baseline.json>".to_string()),
+    };
+    if let Err(msg) = result {
+        eprintln!("perf-gate: {msg}");
+        std::process::exit(1);
+    }
+}

@@ -4,7 +4,7 @@ use crate::datasets::{self, Dataset};
 use crate::scale::ExperimentScale;
 use crate::tables::gpu_platforms;
 use culda_baselines::{CuLdaSolver, LdaSolver, LdaStar, SaberLda, WarpLda};
-use culda_core::{CuLdaTrainer, LdaConfig};
+use culda_core::{CuLdaTrainer, LdaConfig, SessionBuilder};
 use culda_gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
 use culda_metrics::{ConvergencePoint, ThroughputSeries, Timeline};
 use serde::{Deserialize, Serialize};
@@ -16,12 +16,16 @@ fn culda_trainer(
     scale: &ExperimentScale,
 ) -> CuLdaTrainer {
     let system = MultiGpuSystem::homogeneous(spec, gpus, scale.seed, Interconnect::Pcie3);
-    CuLdaTrainer::new(
-        &dataset.corpus,
-        LdaConfig::with_topics(scale.num_topics).seed(scale.seed),
-        system,
-    )
-    .expect("trainer construction")
+    SessionBuilder::new()
+        .corpus(&dataset.corpus)
+        .config(
+            LdaConfig::with_topics(scale.num_topics)
+                .seed(scale.seed)
+                .sync_shards(1),
+        )
+        .system(system)
+        .build()
+        .expect("trainer construction")
 }
 
 /// Figure 7: per-iteration sampling speed of CuLDA on the three platforms

@@ -3,7 +3,7 @@
 use crate::datasets::{self, Dataset};
 use crate::scale::ExperimentScale;
 use culda_baselines::{LdaSolver, WarpLda};
-use culda_core::{CuLdaTrainer, LdaConfig};
+use culda_core::{LdaConfig, SessionBuilder};
 use culda_gpusim::{DeviceSpec, MultiGpuSystem};
 use serde::{Deserialize, Serialize};
 
@@ -119,12 +119,16 @@ pub fn culda_throughput(
         scale.seed,
         culda_gpusim::Interconnect::Pcie3,
     );
-    let mut trainer = CuLdaTrainer::new(
-        &dataset.corpus,
-        LdaConfig::with_topics(scale.num_topics).seed(scale.seed),
-        system,
-    )
-    .expect("trainer construction");
+    let mut trainer = SessionBuilder::new()
+        .corpus(&dataset.corpus)
+        .config(
+            LdaConfig::with_topics(scale.num_topics)
+                .seed(scale.seed)
+                .sync_shards(1),
+        )
+        .system(system)
+        .build()
+        .expect("trainer construction");
     trainer.train(scale.iterations);
     trainer.average_throughput(scale.iterations)
 }
@@ -193,12 +197,16 @@ pub fn table5(scale: &ExperimentScale) -> Vec<Table5Row> {
         .map(|spec| {
             let name = spec.name.clone();
             let system = MultiGpuSystem::single(spec, scale.seed);
-            let mut trainer = CuLdaTrainer::new(
-                &dataset.corpus,
-                LdaConfig::with_topics(scale.num_topics).seed(scale.seed),
-                system,
-            )
-            .expect("trainer construction");
+            let mut trainer = SessionBuilder::new()
+                .corpus(&dataset.corpus)
+                .config(
+                    LdaConfig::with_topics(scale.num_topics)
+                        .seed(scale.seed)
+                        .sync_shards(1),
+                )
+                .system(system)
+                .build()
+                .expect("trainer construction");
             trainer.train(scale.iterations);
             Table5Row {
                 platform: name,

@@ -6,8 +6,11 @@
 
 use crate::args::{ArgError, ParsedArgs};
 use crate::CliError;
-use culda_core::{CuLdaTrainer, InferenceOptions, LdaConfig, ModelCheckpoint, TopicInferencer};
-use culda_corpus::{holdout::DocumentCompletion, Corpus, CorpusStats, DatasetProfile};
+use culda_core::{
+    CuLdaTrainer, InferenceOptions, LdaConfig, ModelCheckpoint, SessionBuilder, StreamingSession,
+    TopicInferencer,
+};
+use culda_corpus::{holdout::DocumentCompletion, Corpus, CorpusStats, DatasetProfile, Document};
 use culda_gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
 use culda_metrics::{coherence::topic_quality_report, heldout::evaluate_heldout, log_likelihood};
 use std::fmt::Write as _;
@@ -29,14 +32,36 @@ COMMANDS:
                       --corpus FILE | --profile P --tokens N
                       [--topics K] [--iterations N] [--gpus G] [--device NAME]
                       [--seed S] [--save-model FILE] [--optimize-priors]
-                      [--sync-shards S]     shard the φ synchronization into S
-                                            vocabulary ranges (default 1 =
-                                            the paper's dense reduce)
+                      [--sync-shards S|auto] shard the φ synchronization into
+                                            S vocabulary ranges; `auto` (the
+                                            default) picks S from the
+                                            measured compute/sync ratio of
+                                            iteration 0, `1` forces the
+                                            paper's dense reduce
                       [--overlap-depth D]   shard reduces in flight while
                                             sampling continues (default 2;
                                             0 disables the overlap)
                       [--resume-from FILE]  continue exactly from a saved
                                             model's assignment state
+    stream          Stream a corpus into a live model in mini-batches
+                    (ingest -> train -> retire -> rotate checkpoints)
+                      --corpus FILE | --profile P --tokens N
+                      [--topics K] [--gpus G] [--device NAME] [--seed S]
+                      [--batch-docs B]      documents ingested per mini-batch
+                                            (default 256)
+                      [--iterations-per-batch I]  training iterations after
+                                            each ingested batch (default 2)
+                      [--window W]          retire the oldest documents so at
+                                            most W stay live (0 = keep all)
+                      [--burn-in S]         Gibbs sweeps burning each new
+                                            document in (default 1)
+                      [--checkpoint-dir D]  rotate checkpoint sets into D
+                                            after each batch
+                      [--keep-last N]       checkpoint sets retained
+                                            (default 3)
+                      [--resume]            resume the session from the
+                                            latest set in --checkpoint-dir
+                                            before streaming
     topics          Show the top words of every topic of a saved model
                       --model FILE [--top N]
     infer           Infer the topic mixture of new text or a corpus
@@ -72,6 +97,19 @@ pub fn profile_by_name(name: &str) -> Result<DatasetProfile, CliError> {
         other => Err(CliError::Usage(format!(
             "unknown profile `{other}` (expected nytimes or pubmed)"
         ))),
+    }
+}
+
+/// `--sync-shards auto|N` → `None` (auto-tune) or `Some(N)`.
+fn parse_sync_shards(args: &ParsedArgs) -> Result<Option<usize>, CliError> {
+    match args.get("sync-shards") {
+        None => Ok(None),
+        Some(raw) if raw.eq_ignore_ascii_case("auto") => Ok(None),
+        Some(raw) => raw.parse().map(Some).map_err(|_| {
+            CliError::Usage(format!(
+                "--sync-shards {raw}: expected a positive integer or `auto`"
+            ))
+        }),
     }
 }
 
@@ -217,7 +255,7 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
     let device = device_by_name(&args.get("device").unwrap_or_else(|| "volta".into()))?;
     let save_model = args.get("save-model");
     let optimize_priors = args.flag("optimize-priors");
-    let sync_shards: usize = args.get_parsed_or("sync-shards", 1usize)?;
+    let sync_shards = parse_sync_shards(args)?;
     let overlap_depth: usize = args.get_parsed_or("overlap-depth", 2usize)?;
     args.reject_unknown()?;
 
@@ -234,7 +272,11 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
         .validate()
         .map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
     let mut trainer = match &resume {
-        None => CuLdaTrainer::new(&corpus, config, system)
+        None => SessionBuilder::new()
+            .corpus(&corpus)
+            .config(config)
+            .system(system)
+            .build()
             .map_err(|e| CliError::Runtime(format!("failed to build trainer: {e}")))?,
         Some(ckpt) => {
             if ckpt.vocab_size != corpus.vocab_size() {
@@ -246,8 +288,13 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
             }
             config.alpha = ckpt.alpha;
             config.beta = ckpt.beta;
-            let z = ckpt.z.as_ref().expect("checked above");
-            CuLdaTrainer::with_assignments(&corpus, config, system, z, ckpt.iterations)
+            let z = ckpt.z.clone().expect("checked above");
+            SessionBuilder::new()
+                .corpus(&corpus)
+                .config(config)
+                .system(system)
+                .assignments(z, ckpt.iterations)
+                .build()
                 .map_err(|e| CliError::Runtime(format!("failed to resume trainer: {e}")))?
         }
     };
@@ -284,9 +331,14 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
             .map(|h| h.sync_exposed_time_s)
             .sum::<f64>()
             / n;
+        let origin = if trainer.config().sync_shards.is_none() {
+            " (auto-tuned from iteration 0)"
+        } else {
+            ""
+        };
         writeln!(
             out,
-            "φ sync:       {} shards, overlap depth {} \
+            "φ sync:       {} shards{origin}, overlap depth {} \
              ({:.3} ms reduce work, {:.3} ms exposed per iteration)",
             plan.shards(),
             plan.overlap_depth(),
@@ -334,6 +386,175 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
             .map_err(|e| CliError::Runtime(format!("failed to save model to {path}: {e}")))?;
         writeln!(out, "model saved to {path}").unwrap();
     }
+    Ok(out)
+}
+
+/// `stream` — drive a [`StreamingSession`] from a corpus in mini-batches:
+/// ingest a batch of documents, train a few iterations, retire documents
+/// that fell out of the sliding window, and rotate checkpoints.
+pub fn stream(args: &ParsedArgs) -> Result<String, CliError> {
+    let (corpus, corpus_name) = corpus_from_args(args)?;
+    let topics: usize = args.get_parsed_or("topics", 64usize)?;
+    let gpus: usize = args.get_parsed_or("gpus", 1usize)?;
+    let seed: u64 = args.get_parsed_or("seed", 42u64)?;
+    let device = device_by_name(&args.get("device").unwrap_or_else(|| "volta".into()))?;
+    let batch_docs: usize = args.get_parsed_or("batch-docs", 256usize)?;
+    let iterations_per_batch: usize = args.get_parsed_or("iterations-per-batch", 2usize)?;
+    let window: usize = args.get_parsed_or("window", 0usize)?;
+    let burn_in: usize = args.get_parsed_or("burn-in", 1usize)?;
+    let checkpoint_dir = args.get("checkpoint-dir");
+    let keep_last: usize = args.get_parsed_or("keep-last", 3usize)?;
+    let resume = args.flag("resume");
+    args.reject_unknown()?;
+    if batch_docs == 0 {
+        return Err(CliError::Usage("--batch-docs must be positive".into()));
+    }
+    if resume && checkpoint_dir.is_none() {
+        return Err(CliError::Usage(
+            "--resume needs --checkpoint-dir to resume from".into(),
+        ));
+    }
+
+    let system = if gpus <= 1 {
+        MultiGpuSystem::single(device.clone(), seed)
+    } else {
+        MultiGpuSystem::homogeneous(device.clone(), gpus, seed, Interconnect::Pcie3)
+    };
+    let mut session = if resume {
+        let dir = checkpoint_dir.clone().expect("checked above");
+        let opts = culda_core::StreamingOptions {
+            burn_in_sweeps: burn_in,
+            keep_last: keep_last.max(1),
+            ..Default::default()
+        };
+        let session = StreamingSession::resume_with_options(&dir, system, opts)
+            .map_err(|e| CliError::Runtime(format!("failed to resume from {dir}: {e}")))?;
+        // Like `train --resume-from`, an explicit --topics/--seed that
+        // conflicts with the checkpoint is a usage error, not silently
+        // ignored.
+        if let Some(requested) = args.get("topics") {
+            let requested: usize = requested
+                .parse()
+                .map_err(|_| CliError::Usage("--topics must be an integer".into()))?;
+            if requested != session.config().num_topics {
+                return Err(CliError::Usage(format!(
+                    "--topics {requested} conflicts with the resumed session's K = {}",
+                    session.config().num_topics
+                )));
+            }
+        }
+        if let Some(requested) = args.get("seed") {
+            let requested: u64 = requested
+                .parse()
+                .map_err(|_| CliError::Usage("--seed must be an integer".into()))?;
+            if requested != session.config().seed {
+                return Err(CliError::Usage(format!(
+                    "--seed {requested} conflicts with the resumed session's seed {}",
+                    session.config().seed
+                )));
+            }
+        }
+        session
+    } else {
+        SessionBuilder::new()
+            .config(LdaConfig::with_topics(topics).seed(seed))
+            .burn_in_sweeps(burn_in)
+            .system(system)
+            .build_streaming()
+            .map_err(|e| CliError::Runtime(format!("failed to build session: {e}")))?
+    };
+
+    let mut out = String::new();
+    writeln!(out, "corpus:  {corpus_name}").unwrap();
+    if resume {
+        let s = session.stats();
+        writeln!(
+            out,
+            "resumed: {} live docs, {} iterations, {} checkpoints already rotated",
+            s.live_docs, s.iterations, s.checkpoints_written
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "streaming {} documents in batches of {batch_docs} \
+         ({iterations_per_batch} iterations/batch, window {})",
+        corpus.num_docs(),
+        if window == 0 {
+            "unbounded".to_string()
+        } else {
+            window.to_string()
+        }
+    )
+    .unwrap();
+
+    let docs: Vec<Document> = (0..corpus.num_docs())
+        .map(|d| Document::from(corpus.doc(d)))
+        .collect();
+    for (batch_idx, batch) in docs.chunks(batch_docs).enumerate() {
+        session.ingest(batch);
+        // Sliding window: retire the oldest live documents beyond it.
+        if window > 0 {
+            let live = session.live_uids();
+            if live.len() > window {
+                let retire: Vec<u64> = live[..live.len() - window].to_vec();
+                session
+                    .retire(&retire)
+                    .map_err(|e| CliError::Runtime(format!("retire failed: {e}")))?;
+            }
+        }
+        session
+            .train(iterations_per_batch)
+            .map_err(|e| CliError::Runtime(format!("training failed: {e}")))?;
+        if let Some(dir) = &checkpoint_dir {
+            session
+                .rotate_checkpoints(dir, keep_last)
+                .map_err(|e| CliError::Runtime(format!("checkpoint rotation failed: {e}")))?;
+        }
+        let s = session.stats();
+        writeln!(
+            out,
+            "batch {batch_idx:>3}: {:>6} live docs {:>9} live tokens  \
+             tombstones {:>5.1}%  it {:>4}  {:.3}s simulated",
+            s.live_docs,
+            s.live_tokens,
+            s.tombstone_fraction * 100.0,
+            s.iterations,
+            s.sim_time_s
+        )
+        .unwrap();
+    }
+
+    session
+        .validate()
+        .map_err(|e| CliError::Runtime(format!("session invariants violated: {e}")))?;
+    let s = session.stats();
+    writeln!(out, "\nsession totals:").unwrap();
+    writeln!(
+        out,
+        "  ingested {} docs, retired {} docs, {} live ({} tokens, V = {})",
+        s.ingested_docs, s.retired_docs, s.live_docs, s.live_tokens, s.vocab_size
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {} iterations in {:.3} simulated seconds, {} checkpoint sets rotated",
+        s.iterations, s.sim_time_s, s.checkpoints_written
+    )
+    .unwrap();
+    let occupancy: Vec<String> = s
+        .chunk_tokens
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("chunk{i}={t}"))
+        .collect();
+    writeln!(
+        out,
+        "  chunk occupancy: {} (imbalance {:.2})",
+        occupancy.join(" "),
+        s.chunk_imbalance()
+    )
+    .unwrap();
     Ok(out)
 }
 
@@ -489,6 +710,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         "gen-corpus" => gen_corpus(args),
         "stats" => stats(args),
         "train" => train(args),
+        "stream" => stream(args),
         "topics" => topics(args),
         "infer" => infer(args),
         "eval" => eval(args),

@@ -109,6 +109,99 @@ fn train_checkpoint_resume_infer_round_trip() {
 }
 
 #[test]
+fn stream_ingest_retire_rotate_resume_round_trip() {
+    let dir = std::env::temp_dir().join(format!(
+        "culda-cli-stream-smoke-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.cldc");
+    let ckpts = dir.join("checkpoints");
+
+    cli()
+        .args([
+            "gen-corpus",
+            "--profile",
+            "nytimes",
+            "--tokens",
+            "4000",
+            "--seed",
+            "11",
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .assert()
+        .success();
+
+    // 1. Stream the corpus in mini-batches with a sliding window and
+    //    checkpoint rotation: documents get ingested, retired, and the
+    //    model is snapshotted after every batch.
+    cli()
+        .args([
+            "stream",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--topics",
+            "8",
+            "--seed",
+            "11",
+            "--batch-docs",
+            "4",
+            "--iterations-per-batch",
+            "2",
+            "--window",
+            "8",
+            "--checkpoint-dir",
+            ckpts.to_str().unwrap(),
+            "--keep-last",
+            "2",
+        ])
+        .assert()
+        .success()
+        .stdout_contains("chunk occupancy:")
+        .stdout_contains("retired")
+        .stdout_contains("checkpoint sets rotated");
+    let sets: Vec<_> = std::fs::read_dir(&ckpts)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "cldm"))
+        .collect();
+    assert_eq!(sets.len(), 2, "--keep-last 2 must leave two model files");
+
+    // 2. Resume the rotated session and stream more documents into it.
+    cli()
+        .args([
+            "stream",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--batch-docs",
+            "8",
+            "--iterations-per-batch",
+            "1",
+            "--checkpoint-dir",
+            ckpts.to_str().unwrap(),
+            "--resume",
+        ])
+        .assert()
+        .success()
+        .stdout_contains("resumed:")
+        .stdout_contains("session totals:");
+
+    // 3. --resume without a checkpoint dir is a usage error.
+    cli()
+        .args(["stream", "--tokens", "2000", "--resume"])
+        .assert()
+        .code(2)
+        .stderr_contains("--checkpoint-dir");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn resume_rejects_mismatched_topics() {
     let dir = std::env::temp_dir().join(format!("culda-cli-smoke-k-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -8,8 +8,10 @@
 //! everything the serving path needs (topic inspection, fold-in inference,
 //! held-out evaluation), and a v2 checkpoint additionally stores the sampler
 //! state (`z`, the iteration counter and the seed), so training resumes
-//! *exactly* via [`CuLdaTrainer::with_assignments`] / `culda-cli train
-//! --resume-from`.
+//! *exactly* via [`crate::session::SessionBuilder::assignments`] /
+//! `culda-cli train --resume-from`.  Streaming sessions rotate whole sets of
+//! these files (model + corpus + session metadata) through the [`rotation`]
+//! helpers.
 //!
 //! ```text
 //! magic   "CLDM"       4 bytes
@@ -81,14 +83,17 @@ impl From<io::Error> for CheckpointError {
 /// A trained model snapshot.
 ///
 /// ```
-/// use culda_core::{CuLdaTrainer, LdaConfig, ModelCheckpoint};
+/// use culda_core::{LdaConfig, ModelCheckpoint, SessionBuilder};
 /// use culda_corpus::DatasetProfile;
 /// use culda_gpusim::{DeviceSpec, MultiGpuSystem};
 ///
 /// let corpus = DatasetProfile::nytimes().scaled_to_tokens(2_000).generate(7);
-/// let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 7);
-/// let mut trainer =
-///     CuLdaTrainer::new(&corpus, LdaConfig::with_topics(8).seed(7), system).unwrap();
+/// let mut trainer = SessionBuilder::new()
+///     .corpus(&corpus)
+///     .config(LdaConfig::with_topics(8).seed(7))
+///     .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 7))
+///     .build()
+///     .unwrap();
 /// trainer.train(1);
 ///
 /// // Serialize, reload, and get the identical model (and sampler state) back.
@@ -380,6 +385,103 @@ impl ModelCheckpoint {
     }
 }
 
+/// File naming and discovery for rotated streaming-session checkpoints.
+///
+/// A rotation *set* is three files sharing a stem
+/// (`stream-<seq:06>-it<iterations:010>`): the checkpoint-v2 model
+/// (`.cldm`), the live corpus snapshot (`.cldc`), and the session metadata
+/// sidecar (`.meta`).  The model file is written last, so only sets whose
+/// `.cldm` exists alongside the other two count as complete; `latest`
+/// returns the complete set with the highest sequence number.
+pub mod rotation {
+    use std::io;
+    use std::path::Path;
+
+    /// Extension of the checkpoint-v2 model file.
+    pub const MODEL_EXT: &str = "cldm";
+    /// Extension of the live corpus snapshot.
+    pub const CORPUS_EXT: &str = "cldc";
+    /// Extension of the session metadata sidecar.
+    pub const META_EXT: &str = "meta";
+
+    /// One complete rotation set found on disk.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct RotationEntry {
+        /// Monotone rotation sequence number (survives resume).
+        pub seq: u64,
+        /// Completed training iterations at capture time.
+        pub iterations: u64,
+        /// File stem (no directory, no extension).
+        pub stem: String,
+    }
+
+    /// The stem of rotation `seq` captured after `iterations` iterations.
+    pub fn stem(seq: u64, iterations: u64) -> String {
+        format!("stream-{seq:06}-it{iterations:010}")
+    }
+
+    fn parse_stem(stem: &str) -> Option<(u64, u64)> {
+        let rest = stem.strip_prefix("stream-")?;
+        let (seq, it) = rest.split_once("-it")?;
+        Some((seq.parse().ok()?, it.parse().ok()?))
+    }
+
+    /// Complete rotation sets in `dir`, ascending by sequence number.
+    /// A missing directory reads as empty.
+    pub fn list(dir: &Path) -> io::Result<Vec<RotationEntry>> {
+        let mut entries = Vec::new();
+        let read_dir = match std::fs::read_dir(dir) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(entries),
+            Err(e) => return Err(e),
+        };
+        for entry in read_dir {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(MODEL_EXT) {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Some((seq, iterations)) = parse_stem(stem) else {
+                continue;
+            };
+            if path.with_extension(CORPUS_EXT).exists() && path.with_extension(META_EXT).exists() {
+                entries.push(RotationEntry {
+                    seq,
+                    iterations,
+                    stem: stem.to_string(),
+                });
+            }
+        }
+        entries.sort_by_key(|e| e.seq);
+        Ok(entries)
+    }
+
+    /// The most recent complete rotation set in `dir`, if any.
+    pub fn latest(dir: &Path) -> io::Result<Option<RotationEntry>> {
+        Ok(list(dir)?.pop())
+    }
+
+    /// Delete all but the `keep_last` most recent complete sets.  Returns
+    /// how many sets were pruned.
+    pub fn prune(dir: &Path, keep_last: usize) -> io::Result<usize> {
+        let entries = list(dir)?;
+        let excess = entries.len().saturating_sub(keep_last);
+        for entry in &entries[..excess] {
+            for ext in [MODEL_EXT, CORPUS_EXT, META_EXT] {
+                let path = dir.join(&entry.stem).with_extension(ext);
+                match std::fs::remove_file(&path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(excess)
+    }
+}
+
 fn read_u16<R: Read>(r: &mut R) -> io::Result<u16> {
     let mut buf = [0u8; 2];
     r.read_exact(&mut buf)?;
@@ -427,9 +529,12 @@ mod tests {
             doc_len_sigma: 0.4,
         }
         .generate(21);
-        let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 3);
-        let mut trainer =
-            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(12).seed(4), system).unwrap();
+        let mut trainer = crate::session::SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(12).seed(4))
+            .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 3))
+            .build()
+            .unwrap();
         trainer.train(5);
         trainer
     }
@@ -491,6 +596,42 @@ mod tests {
         let mut ckpt = ModelCheckpoint::from_trainer(&trainer);
         ckpt.nk[0] += 1;
         assert!(ckpt.validate().is_err());
+    }
+
+    #[test]
+    fn rotation_discovery_orders_and_prunes_complete_sets() {
+        let dir = std::env::temp_dir().join(format!("culda_rotation_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // An absent directory reads as empty rather than erroring.
+        assert!(rotation::list(&dir.join("missing")).unwrap().is_empty());
+        for (seq, it) in [(0u64, 10u64), (1, 20), (2, 30)] {
+            let stem = dir.join(rotation::stem(seq, it));
+            for ext in [
+                rotation::MODEL_EXT,
+                rotation::CORPUS_EXT,
+                rotation::META_EXT,
+            ] {
+                std::fs::write(stem.with_extension(ext), b"x").unwrap();
+            }
+        }
+        // An incomplete set (no .cldm) and a foreign file are both ignored.
+        let partial = dir.join(rotation::stem(3, 40));
+        std::fs::write(partial.with_extension(rotation::CORPUS_EXT), b"x").unwrap();
+        std::fs::write(partial.with_extension(rotation::META_EXT), b"x").unwrap();
+        std::fs::write(dir.join("notes.cldm"), b"x").unwrap();
+
+        let entries = rotation::list(&dir).unwrap();
+        assert_eq!(
+            entries.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        let latest = rotation::latest(&dir).unwrap().unwrap();
+        assert_eq!((latest.seq, latest.iterations), (2, 30));
+
+        assert_eq!(rotation::prune(&dir, 2).unwrap(), 1);
+        let kept = rotation::list(&dir).unwrap();
+        assert_eq!(kept.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -31,14 +31,18 @@ pub struct LdaConfig {
     /// shared memory (disabled only by the ablation benchmarks).
     pub share_p2_tree: bool,
     /// Number of vocabulary shards `S` the φ synchronization is split into.
-    /// `1` (the default) is the paper's dense §5.2 reduce of the full `K × V`
-    /// replica behind one global barrier; `S > 1` partitions the vocabulary
-    /// into `S` column ranges, each reduced + broadcast behind its own
-    /// barrier, so shard `s`'s reduce can overlap the sampling of shard
-    /// `s + 1`.  Sharding never changes the sampled assignments — integer
-    /// column sums are the same however the columns are grouped — only where
-    /// the barriers fall (see `DESIGN.md` §8).
-    pub sync_shards: usize,
+    /// `Some(1)` is the paper's dense §5.2 reduce of the full `K × V`
+    /// replica behind one global barrier; `Some(S > 1)` partitions the
+    /// vocabulary into `S` column ranges, each reduced + broadcast behind its
+    /// own barrier, so shard `s`'s reduce can overlap the sampling of shard
+    /// `s + 1`.  `None` (the default) **auto-tunes**: the trainer runs
+    /// iteration 0 dense, measures the compute/sync ratio, and picks `S`
+    /// from it (see `CuLdaTrainer::sync_plan`).  Sharding never changes the
+    /// sampled assignments — integer column sums are the same however the
+    /// columns are grouped — only where the barriers fall (see `DESIGN.md`
+    /// §8), which is what makes a timing-driven auto-tune safe under the
+    /// determinism contract.
+    pub sync_shards: Option<usize>,
     /// How many shard reduces may be in flight while sampling continues
     /// (bounds the staging buffers a real implementation would dedicate to
     /// in-transit shards).  `0` disables the overlap: shards still reduce
@@ -61,7 +65,7 @@ impl LdaConfig {
             tree_fanout: 32,
             compress_16bit: true,
             share_p2_tree: true,
-            sync_shards: 1,
+            sync_shards: None,
             sync_overlap_depth: 2,
         }
     }
@@ -81,16 +85,21 @@ impl LdaConfig {
     /// Shard the φ synchronization into `shards` vocabulary ranges (builder
     /// style).  Does not change the sampled topics, only the barrier
     /// structure of the simulated reduce; see [`crate::sync::SyncPlan`].
+    /// Passing `None` restores the default: auto-tune the shard count from
+    /// the measured compute/sync ratio of iteration 0.
     ///
     /// ```
     /// use culda_core::LdaConfig;
     ///
     /// let cfg = LdaConfig::with_topics(64).sync_shards(4).sync_overlap_depth(2);
-    /// assert_eq!(cfg.sync_shards, 4);
+    /// assert_eq!(cfg.sync_shards, Some(4));
     /// cfg.validate().unwrap();
+    ///
+    /// let auto = LdaConfig::with_topics(64).sync_shards(None);
+    /// assert_eq!(auto.sync_shards, None);
     /// ```
-    pub fn sync_shards(mut self, shards: usize) -> Self {
-        self.sync_shards = shards;
+    pub fn sync_shards(mut self, shards: impl Into<Option<usize>>) -> Self {
+        self.sync_shards = shards.into();
         self
     }
 
@@ -126,7 +135,7 @@ impl LdaConfig {
                 return Err("chunks_per_gpu must be at least 1".into());
             }
         }
-        if self.sync_shards == 0 {
+        if self.sync_shards == Some(0) {
             return Err("sync_shards must be at least 1".into());
         }
         Ok(())
@@ -178,13 +187,16 @@ mod tests {
     }
 
     #[test]
-    fn sync_sharding_defaults_to_the_dense_paper_schedule() {
+    fn sync_sharding_defaults_to_auto_tune() {
         let c = LdaConfig::with_topics(64);
-        assert_eq!(c.sync_shards, 1);
+        assert_eq!(c.sync_shards, None, "None = auto-tune after iteration 0");
         assert!(c.sync_overlap_depth > 0);
         let c = c.sync_shards(8).sync_overlap_depth(0);
-        assert_eq!(c.sync_shards, 8);
+        assert_eq!(c.sync_shards, Some(8));
         assert_eq!(c.sync_overlap_depth, 0);
+        c.validate().unwrap();
+        let c = c.sync_shards(None);
+        assert_eq!(c.sync_shards, None);
         c.validate().unwrap();
     }
 }

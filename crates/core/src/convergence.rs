@@ -261,9 +261,12 @@ mod tests {
             doc_len_sigma: 0.4,
         }
         .generate(2);
-        let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 7);
-        let mut trainer =
-            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(8).seed(3), system).unwrap();
+        let mut trainer = crate::session::SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(8).seed(3))
+            .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 7))
+            .build()
+            .unwrap();
         let result = train_until_converged(&mut trainer, 60, 1, ConvergenceMonitor::new(2e-3, 2));
         assert!(result.iterations <= 60);
         assert!(!result.loglik_per_token.is_empty());

@@ -13,7 +13,8 @@
 //! | §5.2 φ synchronization (tree reduce + broadcast; dense or vocabulary-sharded with sampling overlap, DESIGN.md §8) | [`sync`] |
 //! | §6.1 sampling kernel (sparsity-aware S/Q decomposition, 32-way index trees, warp-per-sampler, shared p2 tree, p*(k) reuse, 16-bit compression) | [`kernels::sampling`], [`work`] |
 //! | §6.2 model update kernels (atomic φ update, dense-scatter + prefix-sum θ rebuild) | [`kernels::update_phi`], [`kernels::update_theta`] |
-//! | training loop / public API | [`trainer::CuLdaTrainer`], [`config::LdaConfig`] |
+//! | training loop / public API | [`session::SessionBuilder`], [`trainer::CuLdaTrainer`], [`config::LdaConfig`] |
+//! | streaming/online training (ingest · retire · rotate, DESIGN.md §9) | [`session::StreamingSession`] |
 //!
 //! Beyond the paper's training loop, the crate also provides the serving
 //! path a production deployment needs: fold-in [`inference`] for unseen
@@ -37,6 +38,7 @@ pub mod inference;
 pub mod kernels;
 pub mod model;
 pub mod schedule;
+pub mod session;
 pub mod sync;
 pub mod trainer;
 pub mod work;
@@ -48,6 +50,9 @@ pub use hyper::{optimize_alpha, optimize_beta, HyperOptOptions, HyperUpdate};
 pub use inference::{DocumentTopics, InferenceOptions, TopicInferencer};
 pub use model::{ChunkState, TopicTotals};
 pub use schedule::{IterationStats, ScheduleKind};
+pub use session::{
+    SessionBuilder, SessionError, SessionStats, StreamingOptions, StreamingSession, TrainingSession,
+};
 pub use sync::{synchronize_phi, synchronize_phi_sharded, ShardedSyncStats, SyncPlan, SyncStats};
 pub use trainer::{CuLdaTrainer, TrainerError};
 pub use work::{build_work_items, WorkItem};

@@ -88,8 +88,13 @@ struct DeviceTimes {
 /// Fraction of the corpus tokens whose word falls into each vocabulary shard
 /// — the weights the overlap model uses to split the sampling phase into
 /// per-shard slices (the sampling kernel is word-major, so the time it
-/// spends in a shard tracks the tokens the shard's words own).
-fn shard_token_weights(word_tokens: &[u64], ranges: &[std::ops::Range<usize>]) -> Vec<f64> {
+/// spends in a shard tracks the tokens the shard's words own).  Shared with
+/// the trainer's shard-count auto-tuner, which predicts spans with the same
+/// weights the scheduler will run them with.
+pub(crate) fn shard_token_weights(
+    word_tokens: &[u64],
+    ranges: &[std::ops::Range<usize>],
+) -> Vec<f64> {
     let tokens: Vec<u64> = ranges
         .iter()
         .map(|r| word_tokens[r.clone()].iter().sum())

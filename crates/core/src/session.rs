@@ -1,0 +1,1236 @@
+//! Session construction and streaming/online training.
+//!
+//! This module is the front door of the crate.  [`SessionBuilder`] fluently
+//! assembles a corpus, an [`LdaConfig`] and a (simulated) [`MultiGpuSystem`]
+//! and then either:
+//!
+//! * [`SessionBuilder::build`] — a batch [`TrainingSession`] (the classic
+//!   train-N-iterations workflow of the paper), or
+//! * [`SessionBuilder::build_streaming`] — a [`StreamingSession`]: a live
+//!   model that accepts **mini-batch ingestion** of new documents, **retires**
+//!   old ones, and **rotates checkpoints** so the process can die and resume
+//!   exactly (`DESIGN.md` §9).
+//!
+//! ```
+//! use culda_core::{LdaConfig, SessionBuilder};
+//! use culda_corpus::{DatasetProfile, Document};
+//! use culda_gpusim::{DeviceSpec, MultiGpuSystem};
+//!
+//! // Batch: the whole corpus up front.
+//! let corpus = DatasetProfile::nytimes().scaled_to_tokens(2_000).generate(7);
+//! let mut trainer = SessionBuilder::new()
+//!     .corpus(&corpus)
+//!     .config(LdaConfig::with_topics(8).seed(7))
+//!     .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 7))
+//!     .build()
+//!     .unwrap();
+//! trainer.train(2);
+//!
+//! // Streaming: start empty, feed documents as they arrive.
+//! let mut session = SessionBuilder::new()
+//!     .config(LdaConfig::with_topics(8).seed(7))
+//!     .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 7))
+//!     .build_streaming()
+//!     .unwrap();
+//! let uids = session.ingest(&[
+//!     Document::new(vec![0u32, 1, 2, 1]),
+//!     Document::new(vec![2u32, 3, 3]),
+//! ]);
+//! session.train(2).unwrap();
+//! session.retire(&uids[..1]).unwrap();
+//! assert_eq!(session.stats().live_docs, 1);
+//! session.validate().unwrap();
+//! ```
+//!
+//! ## Why determinism survives ingestion batching
+//!
+//! Every random draw a [`StreamingSession`] makes is a counter-based pure
+//! function of `(seed, stream, document uid, slot)`.  Document uids are
+//! assigned by a monotone counter that never depends on how documents are
+//! grouped into [`StreamingSession::ingest`] calls, and each ingested
+//! document is initialised and Gibbs-burnt-in **sequentially in uid order**
+//! against the evolving global φ.  Ingesting `[a, b] + [c]` therefore
+//! executes the exact same sequence of draws and count updates as ingesting
+//! `[a, b, c]` — bit for bit — and training afterwards sees identical state.
+
+use crate::checkpoint::{rotation, ModelCheckpoint};
+use crate::config::LdaConfig;
+use crate::model::ChunkState;
+use crate::schedule::IterationStats;
+use crate::trainer::{CuLdaTrainer, TrainerError};
+use culda_corpus::{Corpus, CorpusBuffer, Document};
+use culda_gpusim::rng::{stable_f32, stable_u64};
+use culda_gpusim::MultiGpuSystem;
+use culda_sparse::{CsrBuilder, CsrMatrix, DenseMatrix};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// A batch training session.
+///
+/// The batch path is exactly the CuLDA_CGS trainer of Figure 3; the alias
+/// names the role it plays next to [`StreamingSession`] in the builder API.
+pub type TrainingSession = CuLdaTrainer;
+
+/// Errors produced by streaming sessions.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Constructing or rebuilding the underlying trainer failed.
+    Trainer(TrainerError),
+    /// Reading or validating a rotated checkpoint failed.
+    Checkpoint(crate::checkpoint::CheckpointError),
+    /// Reading or writing a corpus snapshot failed.
+    Corpus(culda_corpus::SnapshotError),
+    /// Filesystem failure while rotating or resuming.
+    Io(io::Error),
+    /// The request conflicts with the session state (unknown uid, empty
+    /// session, corrupt rotation metadata, ...).
+    State(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Trainer(e) => write!(f, "trainer error: {e}"),
+            SessionError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            SessionError::Corpus(e) => write!(f, "corpus snapshot error: {e}"),
+            SessionError::Io(e) => write!(f, "io error: {e}"),
+            SessionError::State(msg) => write!(f, "session state error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Trainer(e) => Some(e),
+            SessionError::Checkpoint(e) => Some(e),
+            SessionError::Corpus(e) => Some(e),
+            SessionError::Io(e) => Some(e),
+            SessionError::State(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for SessionError {
+    fn from(e: io::Error) -> Self {
+        SessionError::Io(e)
+    }
+}
+
+impl From<TrainerError> for SessionError {
+    fn from(e: TrainerError) -> Self {
+        SessionError::Trainer(e)
+    }
+}
+
+impl From<crate::checkpoint::CheckpointError> for SessionError {
+    fn from(e: crate::checkpoint::CheckpointError) -> Self {
+        SessionError::Checkpoint(e)
+    }
+}
+
+impl From<culda_corpus::SnapshotError> for SessionError {
+    fn from(e: culda_corpus::SnapshotError) -> Self {
+        SessionError::Corpus(e)
+    }
+}
+
+/// Knobs specific to streaming sessions (set through [`SessionBuilder`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingOptions {
+    /// Collapsed-Gibbs sweeps each ingested document is burnt in with
+    /// against the current global φ before it joins regular training.
+    /// `0` skips the burn-in: documents enter with their stable random
+    /// initialisation only, which makes an ingest-everything-then-train
+    /// streaming run bit-identical to a batch [`TrainingSession`].
+    pub burn_in_sweeps: usize,
+    /// When the fraction of stored tokens held by retired (tombstoned)
+    /// documents crosses this threshold, the backing store is compacted.
+    /// Compaction never changes live document order, so it cannot change
+    /// sampled assignments.
+    pub compaction_threshold: f64,
+    /// Directory checkpoints are rotated into on the iteration cadence.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Rotate a checkpoint every this many completed training iterations
+    /// (requires `checkpoint_dir`).
+    pub checkpoint_every: Option<usize>,
+    /// How many rotated checkpoints to retain.
+    pub keep_last: usize,
+}
+
+impl Default for StreamingOptions {
+    fn default() -> Self {
+        StreamingOptions {
+            burn_in_sweeps: 1,
+            compaction_threshold: 0.25,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            keep_last: 3,
+        }
+    }
+}
+
+/// Fluent construction of training sessions — the crate's entry point.
+///
+/// Replaces the positional `CuLdaTrainer::new` / `CuLdaTrainer::
+/// with_assignments` pair (now deprecated shims).  See the
+/// [module docs](crate::session) for examples of both the batch and the
+/// streaming path.
+#[derive(Debug, Default)]
+pub struct SessionBuilder {
+    corpus: Option<Corpus>,
+    config: Option<LdaConfig>,
+    system: Option<MultiGpuSystem>,
+    assignments: Option<(Vec<Vec<u16>>, u64)>,
+    streaming: StreamingOptions,
+}
+
+impl SessionBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The corpus to train on (cloned into the session).  Required for
+    /// [`SessionBuilder::build`]; optional for
+    /// [`SessionBuilder::build_streaming`], where it becomes the first
+    /// ingested mini-batch.
+    pub fn corpus(mut self, corpus: &Corpus) -> Self {
+        self.corpus = Some(corpus.clone());
+        self
+    }
+
+    /// The run configuration (defaults to `LdaConfig::with_topics(128)`).
+    pub fn config(mut self, config: LdaConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Override the configuration's RNG seed (convenience; applies on top of
+    /// whatever `config` is set).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config = Some(
+            self.config
+                .unwrap_or_else(|| LdaConfig::with_topics(128))
+                .seed(seed),
+        );
+        self
+    }
+
+    /// The simulated GPU system to run on.  Required.
+    pub fn system(mut self, system: MultiGpuSystem) -> Self {
+        self.system = Some(system);
+        self
+    }
+
+    /// Restore an explicit per-document assignment snapshot
+    /// (`z[doc][token]`, original token order) instead of random
+    /// initialisation, continuing the iteration counter from
+    /// `start_iteration` — the checkpoint-resume path for batch sessions.
+    pub fn assignments(mut self, z: Vec<Vec<u16>>, start_iteration: u64) -> Self {
+        self.assignments = Some((z, start_iteration));
+        self
+    }
+
+    /// Burn-in sweeps per ingested document (streaming only; default 1).
+    pub fn burn_in_sweeps(mut self, sweeps: usize) -> Self {
+        self.streaming.burn_in_sweeps = sweeps;
+        self
+    }
+
+    /// Tombstone fraction that triggers storage compaction (streaming only;
+    /// default 0.25).
+    pub fn compaction_threshold(mut self, fraction: f64) -> Self {
+        self.streaming.compaction_threshold = fraction;
+        self
+    }
+
+    /// Rotate checkpoint-v2 snapshots into `dir` every `every` completed
+    /// training iterations, keeping the most recent
+    /// [`StreamingOptions::keep_last`] (streaming only).
+    pub fn checkpoint_cadence(mut self, dir: impl Into<PathBuf>, every: usize) -> Self {
+        self.streaming.checkpoint_dir = Some(dir.into());
+        self.streaming.checkpoint_every = Some(every.max(1));
+        self
+    }
+
+    /// How many rotated checkpoints to retain (streaming only; default 3).
+    pub fn keep_last(mut self, keep: usize) -> Self {
+        self.streaming.keep_last = keep.max(1);
+        self
+    }
+
+    fn config_or_default(config: Option<LdaConfig>) -> LdaConfig {
+        config.unwrap_or_else(|| LdaConfig::with_topics(128))
+    }
+
+    /// Build a batch [`TrainingSession`] over the configured corpus.
+    pub fn build(self) -> Result<TrainingSession, TrainerError> {
+        let corpus = self.corpus.ok_or_else(|| {
+            TrainerError::InvalidConfig(
+                "a batch session needs a corpus (SessionBuilder::corpus)".into(),
+            )
+        })?;
+        let system = self.system.ok_or_else(|| {
+            TrainerError::InvalidConfig("a session needs a system (SessionBuilder::system)".into())
+        })?;
+        let config = Self::config_or_default(self.config);
+        match &self.assignments {
+            None => CuLdaTrainer::from_parts(&corpus, config, system, None),
+            Some((z, start)) => {
+                CuLdaTrainer::from_parts(&corpus, config, system, Some((z, *start)))
+            }
+        }
+    }
+
+    /// Build a [`StreamingSession`].  A configured corpus is ingested as the
+    /// first mini-batch (stable init + burn-in, exactly as a later
+    /// [`StreamingSession::ingest`] of the same documents would be).
+    pub fn build_streaming(self) -> Result<StreamingSession, TrainerError> {
+        if self.assignments.is_some() {
+            return Err(TrainerError::InvalidConfig(
+                "streaming sessions restore state via StreamingSession::resume, \
+                 not SessionBuilder::assignments"
+                    .into(),
+            ));
+        }
+        let system = self.system.ok_or_else(|| {
+            TrainerError::InvalidConfig("a session needs a system (SessionBuilder::system)".into())
+        })?;
+        let config = Self::config_or_default(self.config);
+        config.validate().map_err(TrainerError::InvalidConfig)?;
+        let mut session = StreamingSession::empty(config, system, self.streaming);
+        if let Some(corpus) = self.corpus {
+            session.buffer.ensure_vocab(corpus.vocab_size());
+            session.ensure_phi_width(corpus.vocab_size());
+            let docs: Vec<Document> = (0..corpus.num_docs())
+                .map(|d| Document::from(corpus.doc(d)))
+                .collect();
+            session.ingest(&docs);
+        }
+        Ok(session)
+    }
+}
+
+/// A point-in-time summary of a streaming session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStats {
+    /// Live (non-retired) documents.
+    pub live_docs: usize,
+    /// Tokens across the live documents.
+    pub live_tokens: u64,
+    /// Documents ingested over the session's lifetime.
+    pub ingested_docs: u64,
+    /// Documents retired over the session's lifetime.
+    pub retired_docs: u64,
+    /// Fraction of stored tokens held by tombstoned documents (drops to 0
+    /// after compaction).
+    pub tombstone_fraction: f64,
+    /// Live tokens per session chunk slot (the least-loaded-chunk placement
+    /// target of [`StreamingSession::ingest`]).
+    pub chunk_tokens: Vec<u64>,
+    /// Completed training iterations (across resumes).
+    pub iterations: u64,
+    /// Accumulated simulated training time.
+    pub sim_time_s: f64,
+    /// Checkpoints rotated out so far (across resumes).
+    pub checkpoints_written: u64,
+    /// Current vocabulary size (grows with ingestion).
+    pub vocab_size: usize,
+}
+
+impl SessionStats {
+    /// Max-over-mean occupancy of the session chunk slots (1.0 = perfectly
+    /// balanced ingestion, like `Partitioner::imbalance`).
+    pub fn chunk_imbalance(&self) -> f64 {
+        let max = *self.chunk_tokens.iter().max().unwrap_or(&0) as f64;
+        let sum: u64 = self.chunk_tokens.iter().sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        max / (sum as f64 / self.chunk_tokens.len() as f64)
+    }
+}
+
+/// Per-document state the session tracks next to the token storage.
+#[derive(Debug, Clone)]
+struct DocMeta {
+    /// Topic assignment of every token, original document order.
+    z: Vec<u16>,
+    /// Session chunk slot the document was placed on at ingest.
+    chunk: usize,
+}
+
+/// A live LDA model that grows and shrinks while training.
+///
+/// Owns the authoritative global state between training bursts: the document
+/// store (with stable uids and tombstones), every document's topic
+/// assignments, and the global φ / `n_k` counts.  Training itself is
+/// delegated to the batch trainer: whenever the membership changed since the
+/// last burst, the trainer is rebuilt from the live corpus and the current
+/// assignments (an exact state hand-off, so the rebuild is invisible to the
+/// sampled trajectory).  See the [module docs](crate::session) for the
+/// determinism rationale and `DESIGN.md` §9 for the lifecycle.
+pub struct StreamingSession {
+    config: LdaConfig,
+    /// Pristine system template; every trainer rebuild gets a
+    /// `fresh_like()` copy so device memory trackers start clean.
+    system: MultiGpuSystem,
+    opts: StreamingOptions,
+    buffer: CorpusBuffer,
+    meta: BTreeMap<u64, DocMeta>,
+    /// Global topic–word counts (`K × V`), authoritative whenever no trainer
+    /// burst is mid-flight.
+    phi: DenseMatrix<u32>,
+    /// Global topic totals.
+    nk: Vec<i64>,
+    /// Live tokens per session chunk slot.
+    chunk_tokens: Vec<u64>,
+    iterations_done: u64,
+    sim_time_s: f64,
+    history: Vec<IterationStats>,
+    trainer: Option<CuLdaTrainer>,
+    /// True when ingest/retire changed the corpus since the trainer was
+    /// last built: the next training burst rebuilds it.
+    membership_dirty: bool,
+    ingested_docs: u64,
+    retired_docs: u64,
+    checkpoints_written: u64,
+}
+
+/// RNG stream tag of the first burn-in sweep; sweep `s` uses
+/// `BURN_STREAM_BASE - s`.  Training iterations tag their streams with the
+/// iteration number (counting up from 0) and the stable initialisation uses
+/// `u64::MAX`, so the burn-in streams can never collide with either.
+const BURN_STREAM_BASE: u64 = u64::MAX - 2;
+
+impl StreamingSession {
+    fn empty(config: LdaConfig, system: MultiGpuSystem, opts: StreamingOptions) -> Self {
+        let slots = system.num_gpus() * config.chunks_per_gpu.unwrap_or(1);
+        let k = config.num_topics;
+        StreamingSession {
+            buffer: CorpusBuffer::new(0),
+            meta: BTreeMap::new(),
+            phi: DenseMatrix::zeros(k, 0),
+            nk: vec![0i64; k],
+            chunk_tokens: vec![0u64; slots.max(1)],
+            iterations_done: 0,
+            sim_time_s: 0.0,
+            history: Vec::new(),
+            trainer: None,
+            membership_dirty: true,
+            ingested_docs: 0,
+            retired_docs: 0,
+            checkpoints_written: 0,
+            config,
+            system,
+            opts,
+        }
+    }
+
+    /// Widen φ to `vocab` columns (vocabulary growth on ingest).
+    fn ensure_phi_width(&mut self, vocab: usize) {
+        if vocab <= self.phi.cols() {
+            return;
+        }
+        let k = self.phi.rows();
+        let mut wider = DenseMatrix::zeros(k, vocab);
+        for row in 0..k {
+            wider.row_mut(row)[..self.phi.cols()].copy_from_slice(self.phi.row(row));
+        }
+        self.phi = wider;
+    }
+
+    /// Append documents to the live model.
+    ///
+    /// Each document, **sequentially in arrival order**: receives the next
+    /// stable uid; grows the vocabulary if it introduces new word ids; gets
+    /// a stable random topic per token (the same counter-based draw the
+    /// batch trainer's initialisation uses, keyed by `(uid, slot)`); is
+    /// placed on the least-loaded session chunk slot; and is burnt in with
+    /// [`StreamingOptions::burn_in_sweeps`] collapsed-Gibbs sweeps against
+    /// the current global φ, with every draw keyed by `(uid, slot)` as well.
+    /// Because nothing depends on the grouping into `ingest` calls, results
+    /// are bit-exact regardless of ingestion batching.
+    ///
+    /// Returns the stable uids, which later address
+    /// [`StreamingSession::retire`].
+    pub fn ingest(&mut self, docs: &[Document]) -> Vec<u64> {
+        let mut uids = Vec::with_capacity(docs.len());
+        for doc in docs {
+            uids.push(self.ingest_one(doc));
+        }
+        uids
+    }
+
+    fn ingest_one(&mut self, doc: &Document) -> u64 {
+        let k = self.config.num_topics;
+        let uid = self.buffer.push(&doc.words);
+        self.ensure_phi_width(self.buffer.vocab_size());
+
+        // Stable initialisation: same stream and keying as the batch
+        // trainer's `random_init_stable`, so a session that never retires
+        // keys every document exactly like the batch path does.
+        let mut z = Vec::with_capacity(doc.words.len());
+        let mut theta_d = vec![0u32; k];
+        for (slot, &w) in doc.words.iter().enumerate() {
+            let draw = stable_u64(
+                self.config.seed,
+                ChunkState::INIT_STREAM,
+                (uid << 32) | slot as u64,
+            );
+            let topic = (draw % k as u64) as usize;
+            z.push(topic as u16);
+            theta_d[topic] += 1;
+            *self.phi.get_mut(topic, w as usize) += 1;
+            self.nk[topic] += 1;
+        }
+
+        // Burn the document in against the current global φ: standard
+        // collapsed Gibbs with self-exclusion, document-major so batching
+        // cannot change the order of draws.
+        let alpha = self.config.alpha;
+        let beta = self.config.beta;
+        for sweep in 0..self.opts.burn_in_sweeps {
+            let stream = BURN_STREAM_BASE - sweep as u64;
+            let v_beta = beta * self.phi.cols() as f64;
+            let mut weights = vec![0.0f64; k];
+            for (slot, &w) in doc.words.iter().enumerate() {
+                let w = w as usize;
+                let c = z[slot] as usize;
+                theta_d[c] -= 1;
+                *self.phi.get_mut(c, w) -= 1;
+                self.nk[c] -= 1;
+                let mut total = 0.0f64;
+                for (topic, weight) in weights.iter_mut().enumerate() {
+                    total += (theta_d[topic] as f64 + alpha)
+                        * (self.phi.get(topic, w) as f64 + beta)
+                        / (self.nk[topic] as f64 + v_beta);
+                    *weight = total;
+                }
+                let u =
+                    stable_f32(self.config.seed, stream, (uid << 32) | slot as u64) as f64 * total;
+                let new_topic = weights.partition_point(|&cum| cum <= u).min(k - 1);
+                z[slot] = new_topic as u16;
+                theta_d[new_topic] += 1;
+                *self.phi.get_mut(new_topic, w) += 1;
+                self.nk[new_topic] += 1;
+            }
+        }
+
+        // Least-loaded chunk placement (ties go to the lowest slot).
+        let chunk = self
+            .chunk_tokens
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &t)| (t, i))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.chunk_tokens[chunk] += doc.words.len() as u64;
+
+        self.meta.insert(uid, DocMeta { z, chunk });
+        self.ingested_docs += 1;
+        self.membership_dirty = true;
+        uid
+    }
+
+    /// Retire documents: subtract each document's topic counts from the
+    /// global φ / `n_k`, free its chunk slot occupancy, and tombstone its
+    /// storage row.  When the tombstone fraction crosses
+    /// [`StreamingOptions::compaction_threshold`], the store is compacted
+    /// (a pure storage operation — live order is untouched).
+    ///
+    /// Fails without side effects if any uid is unknown, already retired,
+    /// or listed more than once.
+    pub fn retire(&mut self, uids: &[u64]) -> Result<(), SessionError> {
+        // Validate the whole request up front so the mutation loop below
+        // cannot fail halfway through (all-or-nothing semantics).
+        let mut seen = std::collections::BTreeSet::new();
+        for &uid in uids {
+            if !self.buffer.is_alive(uid) {
+                return Err(SessionError::State(format!(
+                    "document {uid} is unknown or already retired"
+                )));
+            }
+            if !seen.insert(uid) {
+                return Err(SessionError::State(format!(
+                    "document {uid} is listed twice in the retire request"
+                )));
+            }
+        }
+        for &uid in uids {
+            let words = self
+                .buffer
+                .words(uid)
+                .expect("alive document has words")
+                .to_vec();
+            self.buffer
+                .retire(uid)
+                .expect("validated alive and unique above");
+            let meta = self.meta.remove(&uid).expect("alive document has meta");
+            for (&w, &t) in words.iter().zip(&meta.z) {
+                let t = t as usize;
+                *self.phi.get_mut(t, w as usize) -= 1;
+                self.nk[t] -= 1;
+            }
+            self.chunk_tokens[meta.chunk] -= words.len() as u64;
+            self.retired_docs += 1;
+        }
+        self.membership_dirty = true;
+        if self.buffer.tombstone_fraction() > self.opts.compaction_threshold {
+            self.buffer.compact();
+        }
+        Ok(())
+    }
+
+    /// Rebuild the trainer from the live corpus + current assignments if the
+    /// membership changed since the last burst.
+    fn ensure_trainer(&mut self) -> Result<(), SessionError> {
+        if self.trainer.is_some() && !self.membership_dirty {
+            return Ok(());
+        }
+        if self.buffer.live_tokens() == 0 {
+            return Err(SessionError::State(
+                "the session holds no live tokens; ingest documents before training".into(),
+            ));
+        }
+        let corpus = self.buffer.live_corpus();
+        let z: Vec<Vec<u16>> = self.meta.values().map(|m| m.z.clone()).collect();
+        let trainer = CuLdaTrainer::from_parts(
+            &corpus,
+            self.config.clone(),
+            self.system.fresh_like(),
+            Some((&z, self.iterations_done)),
+        )?;
+        self.trainer = Some(trainer);
+        self.membership_dirty = false;
+        Ok(())
+    }
+
+    /// Pull the authoritative state (z, φ, n_k) back out of the trainer
+    /// after a training burst.
+    fn sync_from_trainer(&mut self) {
+        if self.membership_dirty {
+            return; // trainer (if any) is stale; session state already authoritative
+        }
+        let Some(trainer) = &self.trainer else {
+            return;
+        };
+        let snapshot = trainer.z_snapshot();
+        debug_assert_eq!(snapshot.len(), self.meta.len());
+        for (meta, row) in self.meta.values_mut().zip(snapshot) {
+            meta.z = row;
+        }
+        self.phi = trainer.global_phi();
+        self.nk = trainer.global_nk();
+    }
+
+    /// Run one training iteration over all live documents.
+    pub fn run_iteration(&mut self) -> Result<IterationStats, SessionError> {
+        let stats = self.run_iteration_inner()?;
+        self.sync_from_trainer();
+        Ok(stats)
+    }
+
+    fn run_iteration_inner(&mut self) -> Result<IterationStats, SessionError> {
+        self.ensure_trainer()?;
+        let trainer = self.trainer.as_mut().expect("ensured above");
+        let stats = trainer.run_iteration();
+        self.iterations_done += 1;
+        self.sim_time_s += stats.sim_time_s;
+        self.history.push(stats);
+        Ok(stats)
+    }
+
+    /// Run `iterations` training iterations, rotating checkpoints on the
+    /// configured cadence ([`SessionBuilder::checkpoint_cadence`]).
+    pub fn train(&mut self, iterations: usize) -> Result<&[IterationStats], SessionError> {
+        for _ in 0..iterations {
+            self.run_iteration_inner()?;
+            if let (Some(every), Some(dir)) =
+                (self.opts.checkpoint_every, self.opts.checkpoint_dir.clone())
+            {
+                if self.iterations_done.is_multiple_of(every as u64) {
+                    let keep = self.opts.keep_last;
+                    self.sync_from_trainer();
+                    self.rotate_checkpoints(&dir, keep)?;
+                }
+            }
+        }
+        self.sync_from_trainer();
+        Ok(&self.history)
+    }
+
+    /// Capture the current model + sampler state as a checkpoint-v2
+    /// snapshot (θ is recounted from the live assignments).
+    pub fn to_checkpoint(&mut self) -> ModelCheckpoint {
+        self.sync_from_trainer();
+        let k = self.config.num_topics;
+        let mut builder = CsrBuilder::new(self.meta.len(), k);
+        for meta in self.meta.values() {
+            builder.push_row(meta.z.iter().map(|&t| (t, 1u32)));
+        }
+        let theta: CsrMatrix = builder.finish();
+        ModelCheckpoint {
+            num_topics: k,
+            vocab_size: self.phi.cols(),
+            alpha: self.config.alpha,
+            beta: self.config.beta,
+            nk: self.nk.clone(),
+            phi: self.phi.clone(),
+            theta,
+            seed: self.config.seed,
+            iterations: self.iterations_done,
+            z: Some(self.meta.values().map(|m| m.z.clone()).collect()),
+        }
+    }
+
+    /// Write a rotated checkpoint set into `dir` and prune old ones so at
+    /// most `keep_last` remain.  A set is three files sharing a stem
+    /// ([`rotation::stem`]): the checkpoint-v2 model (`.cldm`), the live
+    /// corpus snapshot (`.cldc`), and the session metadata (`.meta` — stable
+    /// uids, chunk placement, lifetime counters).  Returns the stem path of
+    /// the new set.
+    pub fn rotate_checkpoints(
+        &mut self,
+        dir: impl AsRef<Path>,
+        keep_last: usize,
+    ) -> Result<PathBuf, SessionError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let seq = self.checkpoints_written;
+        let stem = dir.join(rotation::stem(seq, self.iterations_done));
+
+        let ckpt = self.to_checkpoint();
+        let corpus = self.buffer.live_corpus();
+        culda_corpus::save_corpus(&corpus, stem.with_extension(rotation::CORPUS_EXT))?;
+        self.write_meta(&stem.with_extension(rotation::META_EXT))?;
+        // The model file lands last: discovery treats a set without its
+        // `.cldm` as incomplete, so a crash mid-rotation never yields a
+        // resumable-but-corrupt set.
+        ckpt.save(stem.with_extension(rotation::MODEL_EXT))?;
+
+        self.checkpoints_written += 1;
+        rotation::prune(dir, keep_last.max(1))?;
+        Ok(stem)
+    }
+
+    fn write_meta(&self, path: &Path) -> io::Result<()> {
+        let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+        w.write_all(META_MAGIC)?;
+        w.write_all(&META_VERSION.to_le_bytes())?;
+        w.write_all(&self.buffer.next_uid().to_le_bytes())?;
+        w.write_all(&self.ingested_docs.to_le_bytes())?;
+        w.write_all(&self.retired_docs.to_le_bytes())?;
+        // The rotation being written is number `checkpoints_written`; a
+        // session resumed from it must continue the sequence *after* it.
+        w.write_all(&(self.checkpoints_written + 1).to_le_bytes())?;
+        w.write_all(&(self.chunk_tokens.len() as u64).to_le_bytes())?;
+        w.write_all(&(self.meta.len() as u64).to_le_bytes())?;
+        for (uid, meta) in &self.meta {
+            w.write_all(&uid.to_le_bytes())?;
+            w.write_all(&(meta.chunk as u32).to_le_bytes())?;
+        }
+        w.flush()
+    }
+
+    /// Resume a session from the most recent rotated checkpoint set in
+    /// `dir`, restoring the exact sampler state: training after the resume
+    /// is bit-identical to a session that never stopped, and later ingests
+    /// continue the stable uid stream.
+    ///
+    /// The configuration is reconstructed from the checkpoint (K, priors,
+    /// seed) with default knobs elsewhere; use
+    /// [`StreamingSession::resume_with`] to supply the full original
+    /// configuration.
+    pub fn resume(dir: impl AsRef<Path>, system: MultiGpuSystem) -> Result<Self, SessionError> {
+        Self::resume_inner(dir.as_ref(), None, system, StreamingOptions::default())
+    }
+
+    /// [`StreamingSession::resume`] with explicit streaming options
+    /// (burn-in sweeps, compaction threshold, checkpoint cadence) while the
+    /// configuration is still reconstructed from the checkpoint.
+    pub fn resume_with_options(
+        dir: impl AsRef<Path>,
+        system: MultiGpuSystem,
+        opts: StreamingOptions,
+    ) -> Result<Self, SessionError> {
+        Self::resume_inner(dir.as_ref(), None, system, opts)
+    }
+
+    /// [`StreamingSession::resume`] with an explicit configuration and
+    /// streaming options (validated against the checkpoint).
+    pub fn resume_with(
+        dir: impl AsRef<Path>,
+        config: LdaConfig,
+        system: MultiGpuSystem,
+        opts: StreamingOptions,
+    ) -> Result<Self, SessionError> {
+        Self::resume_inner(dir.as_ref(), Some(config), system, opts)
+    }
+
+    fn resume_inner(
+        dir: &Path,
+        config: Option<LdaConfig>,
+        system: MultiGpuSystem,
+        opts: StreamingOptions,
+    ) -> Result<Self, SessionError> {
+        let entry = rotation::latest(dir)?.ok_or_else(|| {
+            SessionError::State(format!("no rotated checkpoints found in {}", dir.display()))
+        })?;
+        let stem = dir.join(&entry.stem);
+        let ckpt = ModelCheckpoint::load(stem.with_extension(rotation::MODEL_EXT))?;
+        let corpus = culda_corpus::load_corpus(stem.with_extension(rotation::CORPUS_EXT))?;
+        let meta = SessionMeta::read(&stem.with_extension(rotation::META_EXT))?;
+
+        let z = ckpt.z.clone().ok_or_else(|| {
+            SessionError::State("checkpoint stores no assignment state; cannot resume".into())
+        })?;
+        if corpus.num_docs() != z.len() || corpus.num_docs() != meta.docs.len() {
+            return Err(SessionError::State(format!(
+                "rotation set is inconsistent: corpus has {} documents, z {}, meta {}",
+                corpus.num_docs(),
+                z.len(),
+                meta.docs.len()
+            )));
+        }
+        if corpus.vocab_size() != ckpt.vocab_size {
+            return Err(SessionError::State(format!(
+                "corpus vocabulary ({}) does not match the checkpoint ({})",
+                corpus.vocab_size(),
+                ckpt.vocab_size
+            )));
+        }
+        let config = match config {
+            Some(mut cfg) => {
+                if cfg.num_topics != ckpt.num_topics {
+                    return Err(SessionError::State(format!(
+                        "configuration K = {} conflicts with the checkpoint's K = {}",
+                        cfg.num_topics, ckpt.num_topics
+                    )));
+                }
+                cfg.alpha = ckpt.alpha;
+                cfg.beta = ckpt.beta;
+                cfg.seed = ckpt.seed;
+                cfg
+            }
+            None => {
+                let mut cfg = LdaConfig::with_topics(ckpt.num_topics).seed(ckpt.seed);
+                cfg.alpha = ckpt.alpha;
+                cfg.beta = ckpt.beta;
+                cfg
+            }
+        };
+        config
+            .validate()
+            .map_err(|e| SessionError::State(format!("invalid configuration: {e}")))?;
+
+        // The sidecar is untrusted on-disk input: check the uid stream here
+        // (strictly ascending, all below next_uid) so corruption surfaces as
+        // an error rather than tripping `CorpusBuffer::from_parts`'s
+        // internal invariant assertions.
+        let mut prev: Option<u64> = None;
+        for &(uid, _) in &meta.docs {
+            if prev.is_some_and(|p| p >= uid) || uid >= meta.next_uid {
+                return Err(SessionError::State(format!(
+                    "session meta is corrupt: document uid {uid} breaks the \
+                     uid stream (next_uid = {})",
+                    meta.next_uid
+                )));
+            }
+            prev = Some(uid);
+        }
+
+        let mut session = StreamingSession::empty(config, system, opts);
+        session.chunk_tokens = vec![0u64; meta.num_chunks.max(1)];
+        let docs: Vec<(u64, Vec<u32>)> = meta
+            .docs
+            .iter()
+            .enumerate()
+            .map(|(i, &(uid, _))| (uid, corpus.doc(i).to_vec()))
+            .collect();
+        session.buffer = CorpusBuffer::from_parts(corpus.vocab_size(), docs, meta.next_uid);
+        for ((&(uid, chunk), row), d) in meta.docs.iter().zip(z).zip(0..corpus.num_docs()) {
+            if chunk as usize >= session.chunk_tokens.len() {
+                return Err(SessionError::State(format!(
+                    "meta assigns document {uid} to chunk {chunk}, but only {} slots exist",
+                    session.chunk_tokens.len()
+                )));
+            }
+            if row.len() != corpus.doc_len(d) {
+                return Err(SessionError::State(format!(
+                    "z row for document {uid} has {} tokens, corpus stores {}",
+                    row.len(),
+                    corpus.doc_len(d)
+                )));
+            }
+            session.chunk_tokens[chunk as usize] += row.len() as u64;
+            session.meta.insert(
+                uid,
+                DocMeta {
+                    z: row,
+                    chunk: chunk as usize,
+                },
+            );
+        }
+        session.phi = ckpt.phi;
+        session.nk = ckpt.nk;
+        session.iterations_done = ckpt.iterations;
+        session.ingested_docs = meta.ingested_docs;
+        session.retired_docs = meta.retired_docs;
+        session.checkpoints_written = meta.checkpoints_written;
+        session.membership_dirty = true;
+        session.validate().map_err(SessionError::State)?;
+        Ok(session)
+    }
+
+    /// A point-in-time summary (live documents/tokens, chunk occupancy,
+    /// tombstone fraction, lifetime counters).
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            live_docs: self.buffer.num_live_docs(),
+            live_tokens: self.buffer.live_tokens(),
+            ingested_docs: self.ingested_docs,
+            retired_docs: self.retired_docs,
+            tombstone_fraction: self.buffer.tombstone_fraction(),
+            chunk_tokens: self.chunk_tokens.clone(),
+            iterations: self.iterations_done,
+            sim_time_s: self.sim_time_s,
+            checkpoints_written: self.checkpoints_written,
+            vocab_size: self.buffer.vocab_size(),
+        }
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &LdaConfig {
+        &self.config
+    }
+
+    /// Stable uids of the live documents, in corpus order.
+    pub fn live_uids(&self) -> Vec<u64> {
+        self.buffer.live_uids()
+    }
+
+    /// Completed training iterations, including those before a resume.
+    pub fn completed_iterations(&self) -> u64 {
+        self.iterations_done
+    }
+
+    /// Accumulated simulated training time of this process's bursts.
+    pub fn sim_time_s(&self) -> f64 {
+        self.sim_time_s
+    }
+
+    /// Per-iteration statistics of this process's training bursts.
+    pub fn history(&self) -> &[IterationStats] {
+        &self.history
+    }
+
+    /// The global topic–word counts φ (`K × V`).
+    pub fn global_phi(&self) -> &DenseMatrix<u32> {
+        &self.phi
+    }
+
+    /// The global topic totals `n_k`.
+    pub fn global_nk(&self) -> &[i64] {
+        &self.nk
+    }
+
+    /// Topic assignments of every live document, in corpus order — the same
+    /// shape [`CuLdaTrainer::z_snapshot`] reports, so the determinism
+    /// helpers in `culda-testkit` apply directly.
+    pub fn z_snapshot(&self) -> Vec<Vec<u16>> {
+        self.meta.values().map(|m| m.z.clone()).collect()
+    }
+
+    /// The batch trainer currently backing the session, if one was built for
+    /// the latest membership (useful for schedule/throughput introspection).
+    pub fn trainer(&self) -> Option<&CuLdaTrainer> {
+        if self.membership_dirty {
+            None
+        } else {
+            self.trainer.as_ref()
+        }
+    }
+
+    /// Check every count invariant: φ/n_k must be exactly recountable from
+    /// the live assignments, chunk occupancy must sum to the live tokens,
+    /// and the backing trainer (when fresh) must agree.
+    pub fn validate(&self) -> Result<(), String> {
+        let k = self.config.num_topics;
+        let mut phi = DenseMatrix::<u32>::zeros(k, self.phi.cols());
+        let mut nk = vec![0i64; k];
+        for (uid, meta) in &self.meta {
+            let words = self
+                .buffer
+                .words(*uid)
+                .ok_or_else(|| format!("meta references unknown document {uid}"))?;
+            if words.len() != meta.z.len() {
+                return Err(format!(
+                    "document {uid} stores {} tokens but {} assignments",
+                    words.len(),
+                    meta.z.len()
+                ));
+            }
+            for (&w, &t) in words.iter().zip(&meta.z) {
+                if t as usize >= k {
+                    return Err(format!("document {uid} assigns an out-of-range topic {t}"));
+                }
+                *phi.get_mut(t as usize, w as usize) += 1;
+                nk[t as usize] += 1;
+            }
+        }
+        if phi != self.phi {
+            return Err("global φ does not match a recount of the live assignments".into());
+        }
+        if nk != self.nk {
+            return Err("n_k does not match a recount of the live assignments".into());
+        }
+        let occupancy: u64 = self.chunk_tokens.iter().sum();
+        if occupancy != self.buffer.live_tokens() {
+            return Err(format!(
+                "chunk occupancy sums to {occupancy}, live tokens are {}",
+                self.buffer.live_tokens()
+            ));
+        }
+        if !self.membership_dirty {
+            if let Some(trainer) = &self.trainer {
+                trainer.validate()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Magic bytes of the session metadata sidecar.
+const META_MAGIC: &[u8; 4] = b"CLSM";
+/// Current metadata format version.
+const META_VERSION: u32 = 1;
+
+/// Parsed `.meta` sidecar of one rotation set.
+struct SessionMeta {
+    next_uid: u64,
+    ingested_docs: u64,
+    retired_docs: u64,
+    checkpoints_written: u64,
+    num_chunks: usize,
+    /// `(uid, chunk)` per live document, ascending uid order.
+    docs: Vec<(u64, u32)>,
+}
+
+impl SessionMeta {
+    fn read(path: &Path) -> Result<Self, SessionError> {
+        let mut r = io::BufReader::new(std::fs::File::open(path)?);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != META_MAGIC {
+            return Err(SessionError::State(format!(
+                "bad session meta magic {magic:?} in {}",
+                path.display()
+            )));
+        }
+        let version = read_u32(&mut r)?;
+        if version != META_VERSION {
+            return Err(SessionError::State(format!(
+                "unsupported session meta version {version}"
+            )));
+        }
+        let next_uid = read_u64(&mut r)?;
+        let ingested_docs = read_u64(&mut r)?;
+        let retired_docs = read_u64(&mut r)?;
+        let checkpoints_written = read_u64(&mut r)?;
+        let num_chunks = read_u64(&mut r)? as usize;
+        let num_docs = read_u64(&mut r)? as usize;
+        let mut docs = Vec::with_capacity(num_docs.min(1 << 20));
+        for _ in 0..num_docs {
+            let uid = read_u64(&mut r)?;
+            let chunk = read_u32(&mut r)?;
+            docs.push((uid, chunk));
+        }
+        Ok(SessionMeta {
+            next_uid,
+            ingested_docs,
+            retired_docs,
+            checkpoints_written,
+            num_chunks,
+            docs,
+        })
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_corpus::DatasetProfile;
+    use culda_gpusim::DeviceSpec;
+
+    fn small_corpus() -> Corpus {
+        DatasetProfile {
+            name: "session".into(),
+            num_docs: 60,
+            vocab_size: 50,
+            avg_doc_len: 12.0,
+            zipf_exponent: 1.05,
+            doc_len_sigma: 0.4,
+        }
+        .generate(13)
+    }
+
+    fn builder(seed: u64) -> SessionBuilder {
+        SessionBuilder::new()
+            .config(LdaConfig::with_topics(8).seed(seed))
+            .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), seed))
+    }
+
+    #[test]
+    fn builder_build_matches_deprecated_constructor() {
+        let corpus = small_corpus();
+        let mut a = builder(5).corpus(&corpus).build().unwrap();
+        #[allow(deprecated)]
+        let mut b = CuLdaTrainer::new(
+            &corpus,
+            LdaConfig::with_topics(8).seed(5),
+            MultiGpuSystem::single(DeviceSpec::v100_volta(), 5),
+        )
+        .unwrap();
+        a.train(3);
+        b.train(3);
+        assert_eq!(a.z_snapshot(), b.z_snapshot());
+        assert_eq!(a.global_phi(), b.global_phi());
+    }
+
+    #[test]
+    fn builder_requires_corpus_and_system() {
+        assert!(matches!(
+            SessionBuilder::new().build(),
+            Err(TrainerError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            SessionBuilder::new().corpus(&small_corpus()).build(),
+            Err(TrainerError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            SessionBuilder::new().build_streaming(),
+            Err(TrainerError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn streaming_with_zero_burn_in_matches_batch_training() {
+        let corpus = small_corpus();
+        let mut batch = builder(9).corpus(&corpus).build().unwrap();
+        batch.train(4);
+
+        let mut streaming = builder(9)
+            .corpus(&corpus)
+            .burn_in_sweeps(0)
+            .build_streaming()
+            .unwrap();
+        streaming.train(4).unwrap();
+
+        assert_eq!(batch.z_snapshot(), streaming.z_snapshot());
+        assert_eq!(&batch.global_phi(), streaming.global_phi());
+        assert_eq!(batch.global_nk(), streaming.global_nk());
+    }
+
+    #[test]
+    fn ingest_burn_in_keeps_counts_consistent() {
+        let corpus = small_corpus();
+        let mut session = builder(3)
+            .corpus(&corpus)
+            .burn_in_sweeps(3)
+            .build_streaming()
+            .unwrap();
+        session.validate().unwrap();
+        assert_eq!(session.stats().live_tokens as usize, corpus.num_tokens());
+        session.train(2).unwrap();
+        session.validate().unwrap();
+        assert_eq!(session.completed_iterations(), 2);
+        assert!(session.sim_time_s() > 0.0);
+    }
+
+    #[test]
+    fn vocabulary_grows_on_ingest() {
+        let mut session = builder(1).build_streaming().unwrap();
+        session.ingest(&[Document::new(vec![0u32, 1, 2])]);
+        assert_eq!(session.stats().vocab_size, 3);
+        session.ingest(&[Document::new(vec![9u32, 9])]);
+        assert_eq!(session.stats().vocab_size, 10);
+        assert_eq!(session.global_phi().cols(), 10);
+        session.validate().unwrap();
+        session.train(1).unwrap();
+        session.validate().unwrap();
+    }
+
+    #[test]
+    fn retire_rejects_unknown_uids_without_side_effects() {
+        let mut session = builder(2)
+            .corpus(&small_corpus())
+            .build_streaming()
+            .unwrap();
+        let stats_before = session.stats();
+        let live = session.live_uids();
+        assert!(session.retire(&[live[0], 9_999]).is_err());
+        assert_eq!(
+            session.stats(),
+            stats_before,
+            "failed retire must not mutate"
+        );
+        session.retire(&[live[0]]).unwrap();
+        assert_eq!(session.stats().live_docs, stats_before.live_docs - 1);
+        session.validate().unwrap();
+    }
+
+    #[test]
+    fn retire_rejects_duplicate_uids_without_side_effects() {
+        let mut session = builder(8)
+            .corpus(&small_corpus())
+            .build_streaming()
+            .unwrap();
+        session.train(1).unwrap();
+        let stats_before = session.stats();
+        let live = session.live_uids();
+        assert!(session.retire(&[live[0], live[0]]).is_err());
+        assert_eq!(
+            session.stats(),
+            stats_before,
+            "a rejected duplicate retire must not mutate the session"
+        );
+        session.train(1).unwrap();
+        session.validate().unwrap();
+    }
+
+    #[test]
+    fn training_an_empty_session_is_an_error() {
+        let mut session = builder(4).build_streaming().unwrap();
+        assert!(matches!(session.train(1), Err(SessionError::State(_))));
+    }
+
+    #[test]
+    fn least_loaded_placement_balances_chunks() {
+        let mut session = SessionBuilder::new()
+            .config(LdaConfig::with_topics(4).seed(6).chunks_per_gpu(2))
+            .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 6))
+            .build_streaming()
+            .unwrap();
+        for i in 0..20 {
+            session.ingest(&[Document::new(vec![(i % 5) as u32; 6])]);
+        }
+        let stats = session.stats();
+        assert_eq!(stats.chunk_tokens.len(), 2);
+        assert!(stats.chunk_imbalance() < 1.05, "{:?}", stats.chunk_tokens);
+    }
+}

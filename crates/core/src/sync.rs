@@ -70,10 +70,13 @@ impl SyncPlan {
     }
 
     /// Derive the plan from a run configuration, clamping the shard count to
-    /// the vocabulary size (a shard must own at least one column).
+    /// the vocabulary size (a shard must own at least one column).  An
+    /// auto-tuned configuration (`sync_shards == None`) starts dense — the
+    /// trainer measures iteration 0 under this plan and swaps in the tuned
+    /// shard count afterwards (see `CuLdaTrainer::run_iteration`).
     pub fn from_config(config: &LdaConfig, vocab_size: usize) -> Self {
         SyncPlan {
-            shards: config.sync_shards.clamp(1, vocab_size.max(1)),
+            shards: config.sync_shards.unwrap_or(1).clamp(1, vocab_size.max(1)),
             overlap_depth: config.sync_overlap_depth,
         }
     }

@@ -1,13 +1,21 @@
-//! The top-level CuLDA_CGS trainer (the public API of the system in Figure 3).
+//! The top-level CuLDA_CGS trainer (the training engine of Figure 3).
+//!
+//! Trainers are constructed through [`crate::session::SessionBuilder`]; the
+//! positional constructors on [`CuLdaTrainer`] are deprecated shims kept for
+//! source compatibility.
 //!
 //! ```no_run
-//! use culda_core::{CuLdaTrainer, LdaConfig};
+//! use culda_core::{LdaConfig, SessionBuilder};
 //! use culda_corpus::DatasetProfile;
 //! use culda_gpusim::{DeviceSpec, MultiGpuSystem};
 //!
 //! let corpus = DatasetProfile::nytimes().scaled_to_tokens(200_000).generate(42);
-//! let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 42);
-//! let mut trainer = CuLdaTrainer::new(&corpus, LdaConfig::with_topics(128), system).unwrap();
+//! let mut trainer = SessionBuilder::new()
+//!     .corpus(&corpus)
+//!     .config(LdaConfig::with_topics(128))
+//!     .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 42))
+//!     .build()
+//!     .unwrap();
 //! trainer.train(100);
 //! println!("simulated time: {:.2}s", trainer.sim_time_s());
 //! ```
@@ -71,6 +79,10 @@ pub struct CuLdaTrainer {
     /// only when resumed from a checkpoint); keeps the counter-based RNG's
     /// iteration streams from ever being reused across a resume.
     base_iteration: u64,
+    /// True while the sync plan is still to be picked from iteration 0's
+    /// measured compute span (`LdaConfig::sync_shards == None` on a
+    /// multi-GPU system); cleared once `auto_tune_sync_plan` has run.
+    auto_tune_shards: bool,
 }
 
 impl CuLdaTrainer {
@@ -79,18 +91,29 @@ impl CuLdaTrainer {
     /// the corpus by token count, preprocesses every chunk into its
     /// word-major layout, randomly initialises the topic assignments and
     /// performs the initial φ synchronization.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `culda_core::SessionBuilder::new().corpus(..).config(..).system(..).build()` \
+                — the builder is the supported entry point and also opens the \
+                streaming/online path via `.build_streaming()`"
+    )]
     pub fn new(
         corpus: &Corpus,
         config: LdaConfig,
         system: MultiGpuSystem,
     ) -> Result<Self, TrainerError> {
-        Self::build(corpus, config, system, None)
+        Self::from_parts(corpus, config, system, None)
     }
 
     /// Build a trainer whose topic assignments are restored from an explicit
     /// per-document snapshot (`z[doc][token]`, original token order) instead
     /// of random initialisation — the `train --resume-from` path.  The
     /// snapshot must cover exactly this corpus.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `culda_core::SessionBuilder::new().corpus(..).assignments(..).build()` \
+                (or `StreamingSession::resume` for rotated streaming checkpoints)"
+    )]
     pub fn with_assignments(
         corpus: &Corpus,
         config: LdaConfig,
@@ -98,6 +121,35 @@ impl CuLdaTrainer {
         z: &[Vec<u16>],
         start_iteration: u64,
     ) -> Result<Self, TrainerError> {
+        Self::from_parts(corpus, config, system, Some((z, start_iteration)))
+    }
+
+    /// The one real constructor, shared by the deprecated positional shims
+    /// and [`crate::session::SessionBuilder`]: `init` optionally restores an
+    /// explicit assignment snapshot together with the iteration counter to
+    /// continue the RNG streams from.
+    pub(crate) fn from_parts(
+        corpus: &Corpus,
+        config: LdaConfig,
+        system: MultiGpuSystem,
+        init: Option<(&[Vec<u16>], u64)>,
+    ) -> Result<Self, TrainerError> {
+        match init {
+            None => Self::build(corpus, config, system, None),
+            Some((z, start_iteration)) => {
+                Self::validate_assignments(corpus, &config, z)?;
+                let mut trainer = Self::build(corpus, config, system, Some(z))?;
+                trainer.base_iteration = start_iteration;
+                Ok(trainer)
+            }
+        }
+    }
+
+    fn validate_assignments(
+        corpus: &Corpus,
+        config: &LdaConfig,
+        z: &[Vec<u16>],
+    ) -> Result<(), TrainerError> {
         if z.len() != corpus.num_docs() {
             return Err(TrainerError::InvalidConfig(format!(
                 "assignment snapshot covers {} documents, corpus has {}",
@@ -120,9 +172,7 @@ impl CuLdaTrainer {
                 )));
             }
         }
-        let mut trainer = Self::build(corpus, config, system, Some(z))?;
-        trainer.base_iteration = start_iteration;
-        Ok(trainer)
+        Ok(())
     }
 
     fn build(
@@ -192,6 +242,7 @@ impl CuLdaTrainer {
         // Initial synchronization so every chunk samples from the full φ.
         let sync_plan = SyncPlan::from_config(&config, corpus.vocab_size());
         synchronize_phi_sharded(&states, &system, &sync_plan, config.compress_16bit);
+        let auto_tune_shards = config.sync_shards.is_none() && system.num_gpus() > 1;
 
         Ok(CuLdaTrainer {
             vocab_size: corpus.vocab_size(),
@@ -206,6 +257,7 @@ impl CuLdaTrainer {
             sim_time_s: 0.0,
             history: Vec::new(),
             base_iteration: 0,
+            auto_tune_shards,
         })
     }
 
@@ -250,10 +302,66 @@ impl CuLdaTrainer {
         self.schedule
     }
 
-    /// The φ synchronization layout the trainer derived from the
-    /// configuration (shard count clamped to the vocabulary).
+    /// The φ synchronization layout currently in effect.  With an explicit
+    /// `LdaConfig::sync_shards(S)` this is fixed for the whole run (shard
+    /// count clamped to the vocabulary); with the auto-tuned default
+    /// (`sync_shards == None`) iteration 0 runs dense and this plan is
+    /// replaced by the tuned one before iteration 1 (see
+    /// [`CuLdaTrainer::run_iteration`]).
     pub fn sync_plan(&self) -> SyncPlan {
         self.sync_plan
+    }
+
+    /// Candidate shard counts the auto-tuner evaluates.
+    const AUTO_SHARD_CANDIDATES: [usize; 5] = [1, 2, 4, 8, 16];
+
+    /// Pick the synchronization plan from iteration 0's measured compute
+    /// span (the ROADMAP follow-up to the PR-3 sharding): for each candidate
+    /// `S`, predict the iteration span with exactly the machinery the
+    /// scheduler runs — token-balanced shard ranges, the per-shard tree
+    /// costs of the system's collective model, and the overlapped-span
+    /// pipeline — and keep the fastest (ties go to fewer shards, and `S = 1`
+    /// is always a candidate, so latency-bound configurations where sharding
+    /// loses stay dense).  The choice affects *timing only*: sharding is
+    /// bit-neutral for the sampled assignments (DESIGN.md §8), which is what
+    /// makes a timing-driven knob safe under the determinism contract.
+    fn auto_tune_sync_plan(&self, measured_compute_s: f64) -> SyncPlan {
+        let depth = self.config.sync_overlap_depth;
+        let word_tokens = crate::sync::global_word_tokens(&self.states);
+        let k = self.config.num_topics as u64;
+        let elem_bytes: u64 = if self.config.compress_16bit { 2 } else { 4 };
+        let nk_bytes = k * 8;
+        let mut best_span = f64::INFINITY;
+        let mut best_plan = SyncPlan::dense();
+        for &candidate in &Self::AUTO_SHARD_CANDIDATES {
+            let shards = candidate.min(self.vocab_size.max(1));
+            let plan = SyncPlan::new(shards, depth);
+            let ranges = plan.token_balanced_ranges(&word_tokens);
+            let per_shard: Vec<f64> = ranges
+                .iter()
+                .enumerate()
+                .map(|(s, range)| {
+                    let mut bytes = k * range.len() as u64 * elem_bytes;
+                    if s == ranges.len() - 1 {
+                        bytes += nk_bytes;
+                    }
+                    self.system.phi_sync_time_s(bytes)
+                })
+                .collect();
+            let span = if plan.overlaps() {
+                let weights = crate::schedule::shard_token_weights(&word_tokens, &ranges);
+                let compute_shards: Vec<f64> =
+                    weights.iter().map(|w| measured_compute_s * w).collect();
+                culda_gpusim::overlapped_span_s(&compute_shards, &per_shard, depth)
+            } else {
+                measured_compute_s + per_shard.iter().sum::<f64>()
+            };
+            if span < best_span {
+                best_span = span;
+                best_plan = plan;
+            }
+        }
+        best_plan
     }
 
     /// The run configuration.
@@ -303,6 +411,13 @@ impl CuLdaTrainer {
     }
 
     /// Run one training iteration (a full pass over every token).
+    ///
+    /// Under the auto-tuned synchronization default
+    /// (`LdaConfig::sync_shards == None`), the first iteration of a
+    /// multi-GPU trainer runs the dense §5.2 reduce, and its measured
+    /// compute span drives the cost-model prediction that picks the plan
+    /// every later iteration uses (see `auto_tune_sync_plan` and
+    /// DESIGN.md §8).
     pub fn run_iteration(&mut self) -> IterationStats {
         let stats = run_iteration(
             &self.states,
@@ -313,6 +428,9 @@ impl CuLdaTrainer {
             &self.sync_plan,
             self.base_iteration + self.history.len() as u64,
         );
+        if std::mem::take(&mut self.auto_tune_shards) {
+            self.sync_plan = self.auto_tune_sync_plan(stats.compute_time_s);
+        }
         self.sim_time_s += stats.sim_time_s;
         self.history.push(stats);
         stats
@@ -458,6 +576,17 @@ mod tests {
     use culda_corpus::DatasetProfile;
     use culda_gpusim::{DeviceSpec, Interconnect};
 
+    /// The non-deprecated construction path (what `SessionBuilder::build`
+    /// calls); the deprecated positional shims are covered by an explicit
+    /// equivalence test in `crate::session`.
+    fn build(
+        corpus: &Corpus,
+        config: LdaConfig,
+        system: MultiGpuSystem,
+    ) -> Result<CuLdaTrainer, TrainerError> {
+        CuLdaTrainer::from_parts(corpus, config, system, None)
+    }
+
     fn small_corpus() -> Corpus {
         DatasetProfile {
             name: "trainer".into(),
@@ -474,8 +603,7 @@ mod tests {
     fn trainer_initialises_consistently() {
         let corpus = small_corpus();
         let system = MultiGpuSystem::single(DeviceSpec::titan_x_maxwell(), 1);
-        let trainer =
-            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(16).seed(5), system).unwrap();
+        let trainer = build(&corpus, LdaConfig::with_topics(16).seed(5), system).unwrap();
         assert_eq!(trainer.schedule(), ScheduleKind::Resident);
         assert_eq!(trainer.num_chunks(), 1);
         assert_eq!(trainer.total_tokens(), corpus.num_tokens() as u64);
@@ -486,8 +614,7 @@ mod tests {
     fn training_improves_likelihood_and_sparsifies_theta() {
         let corpus = small_corpus();
         let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 2);
-        let mut trainer =
-            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(16).seed(7), system).unwrap();
+        let mut trainer = build(&corpus, LdaConfig::with_topics(16).seed(7), system).unwrap();
         let cfg = trainer.config().clone();
         let ll_before = culda_metrics::log_likelihood(
             &trainer.merged_theta(),
@@ -521,8 +648,7 @@ mod tests {
         let corpus = small_corpus();
         let system =
             MultiGpuSystem::homogeneous(DeviceSpec::titan_xp_pascal(), 4, 11, Interconnect::Pcie3);
-        let mut trainer =
-            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(8).seed(1), system).unwrap();
+        let mut trainer = build(&corpus, LdaConfig::with_topics(8).seed(1), system).unwrap();
         assert_eq!(trainer.num_chunks(), 4);
         trainer.train(3);
         trainer.validate().unwrap();
@@ -536,7 +662,7 @@ mod tests {
     fn forced_streaming_schedule_is_respected() {
         let corpus = small_corpus();
         let system = MultiGpuSystem::single(DeviceSpec::gtx_1080(), 3);
-        let mut trainer = CuLdaTrainer::new(
+        let mut trainer = build(
             &corpus,
             LdaConfig::with_topics(8).seed(3).chunks_per_gpu(3),
             system,
@@ -557,13 +683,13 @@ mod tests {
         let corpus = small_corpus();
         let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 0);
         assert!(matches!(
-            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(1), system),
+            build(&corpus, LdaConfig::with_topics(1), system),
             Err(TrainerError::InvalidConfig(_))
         ));
         let empty = culda_corpus::CorpusBuilder::new(10).build();
         let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 0);
         assert!(matches!(
-            CuLdaTrainer::new(&empty, LdaConfig::with_topics(4), system),
+            build(&empty, LdaConfig::with_topics(4), system),
             Err(TrainerError::EmptyCorpus)
         ));
     }
@@ -572,12 +698,96 @@ mod tests {
     fn top_words_are_sorted_by_count() {
         let corpus = small_corpus();
         let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 5);
-        let mut trainer =
-            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(8).seed(9), system).unwrap();
+        let mut trainer = build(&corpus, LdaConfig::with_topics(8).seed(9), system).unwrap();
         trainer.train(3);
         let top = trainer.top_words(0, 5);
         assert!(top.len() <= 5);
         assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn auto_tune_stays_dense_where_sharding_loses() {
+        // Tiny replica on a tiny corpus: the per-shard round latencies
+        // dominate, so the predicted span is minimised by the dense plan —
+        // the tuner must not make the run slower than S = 1.
+        let corpus = small_corpus();
+        let mk_system = || {
+            MultiGpuSystem::homogeneous(DeviceSpec::titan_xp_pascal(), 4, 2, Interconnect::Pcie3)
+        };
+        let mut auto = build(&corpus, LdaConfig::with_topics(16).seed(2), mk_system()).unwrap();
+        assert!(auto.sync_plan().is_dense(), "iteration 0 runs dense");
+        auto.train(4);
+        let mut dense = build(
+            &corpus,
+            LdaConfig::with_topics(16).seed(2).sync_shards(1),
+            mk_system(),
+        )
+        .unwrap();
+        dense.train(4);
+        // Bit-neutrality holds whatever the tuner picked...
+        assert_eq!(auto.z_snapshot(), dense.z_snapshot());
+        // ...and on this latency-bound configuration it must pick dense.
+        assert!(
+            auto.sync_plan().is_dense(),
+            "latency-bound run must stay dense, got {:?}",
+            auto.sync_plan()
+        );
+        assert!(auto.sim_time_s() <= dense.sim_time_s() * (1.0 + 1e-9));
+        // Single-GPU runs never auto-shard (there is nothing to reduce).
+        let single = build(
+            &corpus,
+            LdaConfig::with_topics(16).seed(2),
+            MultiGpuSystem::single(DeviceSpec::v100_volta(), 2),
+        )
+        .unwrap();
+        assert!(single.sync_plan().is_dense());
+    }
+
+    #[test]
+    fn auto_tune_shards_where_the_overlap_wins_and_never_slows_the_run() {
+        // The bandwidth-bound regime of tests/sharded_sync.rs: a φ replica
+        // large enough that the reduce is bandwidth-dominated and a corpus
+        // heavy enough that sampling can hide the per-shard reduces.
+        let corpus = DatasetProfile {
+            name: "auto-tune".into(),
+            num_docs: 900,
+            vocab_size: 4000,
+            avg_doc_len: 330.0,
+            zipf_exponent: 1.05,
+            doc_len_sigma: 0.4,
+        }
+        .generate(11);
+        let mk_system = || {
+            MultiGpuSystem::homogeneous(DeviceSpec::titan_xp_pascal(), 4, 11, Interconnect::Pcie3)
+        };
+        let mut auto = build(&corpus, LdaConfig::with_topics(160).seed(11), mk_system()).unwrap();
+        auto.train(3);
+        let mut dense = build(
+            &corpus,
+            LdaConfig::with_topics(160).seed(11).sync_shards(1),
+            mk_system(),
+        )
+        .unwrap();
+        dense.train(3);
+        assert_eq!(
+            auto.z_snapshot(),
+            dense.z_snapshot(),
+            "sharding is bit-neutral"
+        );
+        assert!(
+            auto.sync_plan().shards() > 1,
+            "bandwidth-bound run should auto-shard, got {:?}",
+            auto.sync_plan()
+        );
+        // Iteration 0 is identical (dense measurement pass); the prediction
+        // uses the same cost model the scheduler charges, so the tuned
+        // iterations can only be at least as fast as the dense ones.
+        assert!(
+            auto.sim_time_s() <= dense.sim_time_s() * (1.0 + 1e-9),
+            "auto {} vs dense {}",
+            auto.sim_time_s(),
+            dense.sim_time_s()
+        );
     }
 
     #[test]
@@ -594,8 +804,7 @@ mod tests {
         }
         .generate(8);
         let system = MultiGpuSystem::single(DeviceSpec::titan_x_maxwell(), 5);
-        let mut trainer =
-            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(64).seed(9), system).unwrap();
+        let mut trainer = build(&corpus, LdaConfig::with_topics(64).seed(9), system).unwrap();
         trainer.train(5);
         let breakdown = trainer.kernel_breakdown();
         assert_eq!(breakdown[0].0, crate::kernels::names::SAMPLING);

@@ -107,6 +107,26 @@ impl MultiGpuSystem {
             d.reset_time();
         }
     }
+
+    /// A fresh system with the same device specs, per-device seeds and
+    /// interconnect, but zeroed clocks, profiles and memory trackers.
+    ///
+    /// Streaming sessions rebuild their trainer whenever the corpus
+    /// membership changes (ingest/retire); each rebuild registers its chunk
+    /// working set with the device memory trackers again, so it must start
+    /// from a system without the previous build's allocations.  Because the
+    /// seeds are copied verbatim, a rebuilt trainer draws from exactly the
+    /// same per-device RNG streams as the original.
+    pub fn fresh_like(&self) -> MultiGpuSystem {
+        MultiGpuSystem {
+            devices: self
+                .devices
+                .iter()
+                .map(|d| Arc::new(Device::new(d.id, d.spec.clone(), d.seed)))
+                .collect(),
+            interconnect: self.interconnect,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -70,6 +70,24 @@ pub mod fixtures {
             .generate(seed)
     }
 
+    /// The documents of a corpus as ingestible [`culda_corpus::Document`]s,
+    /// in corpus order — the shape `StreamingSession::ingest` consumes.
+    pub fn documents_of(corpus: &Corpus) -> Vec<culda_corpus::Document> {
+        (0..corpus.num_docs())
+            .map(|d| culda_corpus::Document::from(corpus.doc(d)))
+            .collect()
+    }
+
+    /// Split a corpus into `batches` contiguous mini-batches of documents
+    /// (the last batch takes the remainder).  Streaming-determinism tests
+    /// ingest these separately and compare against ingesting
+    /// [`documents_of`] in one call.
+    pub fn doc_batches(corpus: &Corpus, batches: usize) -> Vec<Vec<culda_corpus::Document>> {
+        let docs = documents_of(corpus);
+        let per = docs.len().div_ceil(batches.max(1)).max(1);
+        docs.chunks(per).map(|c| c.to_vec()).collect()
+    }
+
     /// Deterministically permute a corpus's word ids (Fisher–Yates over an
     /// LCG stream).  The synthetic generators emit ids in Zipf-rank order —
     /// word 0 is the most frequent — whereas real corpora have alphabetical
@@ -400,6 +418,18 @@ mod tests {
         assert!(check_loglik_trajectory("flat", &[-4.0, -4.0]).is_err());
         assert!(check_loglik_trajectory("collapse", &[-5.0, -4.0, -4.5, -3.9]).is_err());
         assert!(check_loglik_trajectory("positive", &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn doc_batches_partition_the_corpus_in_order() {
+        let corpus = fixtures::tiny(5);
+        let all = fixtures::documents_of(&corpus);
+        assert_eq!(all.len(), corpus.num_docs());
+        for batches in [1usize, 2, 3, 7] {
+            let split = fixtures::doc_batches(&corpus, batches);
+            let rejoined: Vec<_> = split.iter().flatten().cloned().collect();
+            assert_eq!(rejoined, all, "{batches} batches must rejoin losslessly");
+        }
     }
 
     #[test]

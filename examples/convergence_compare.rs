@@ -8,7 +8,7 @@
 //! ```
 
 use culda::baselines::{AliasLda, CuLdaSolver, LdaSolver, LdaStar, SaberLda, WarpLda};
-use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::core::{LdaConfig, SessionBuilder};
 use culda::corpus::DatasetProfile;
 use culda::gpusim::{DeviceSpec, MultiGpuSystem};
 
@@ -26,12 +26,12 @@ fn main() {
 
     let mut solvers: Vec<Box<dyn LdaSolver>> = vec![
         Box::new(CuLdaSolver::new(
-            CuLdaTrainer::new(
-                &corpus,
-                LdaConfig::with_topics(k).seed(3),
-                MultiGpuSystem::single(DeviceSpec::v100_volta(), 3),
-            )
-            .unwrap(),
+            SessionBuilder::new()
+                .corpus(&corpus)
+                .config(LdaConfig::with_topics(k).seed(3))
+                .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 3))
+                .build()
+                .unwrap(),
             "CuLDA_CGS (V100)",
         )),
         Box::new(WarpLda::with_paper_priors(&corpus, k, 3)),

@@ -5,7 +5,7 @@
 //! cargo run --release --example heldout_perplexity
 //! ```
 
-use culda::core::{CuLdaTrainer, InferenceOptions, LdaConfig, ModelCheckpoint, TopicInferencer};
+use culda::core::{InferenceOptions, LdaConfig, ModelCheckpoint, SessionBuilder, TopicInferencer};
 use culda::corpus::{holdout, DatasetProfile};
 use culda::gpusim::{DeviceSpec, MultiGpuSystem};
 use culda::metrics::heldout::evaluate_heldout;
@@ -26,7 +26,11 @@ fn main() {
 
     // 2. Train on the training split only.
     let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 7);
-    let mut trainer = CuLdaTrainer::new(&split.train, LdaConfig::with_topics(64).seed(7), system)
+    let mut trainer = SessionBuilder::new()
+        .corpus(&split.train)
+        .config(LdaConfig::with_topics(64).seed(7))
+        .system(system)
+        .build()
         .expect("trainer");
 
     // 3. Evaluate held-out perplexity as training progresses.  Each test

@@ -27,14 +27,17 @@
 //! Picking `S` is a latency/overlap trade: each extra shard pays its own
 //! tree-round latencies, so on a *sync-dominated* configuration (small
 //! corpus, large `K × V`) sharding can lose — crank the corpus density or
-//! drop to `S ∈ {2, 4}` there.  Both corpora are generated with a
+//! drop to `S ∈ {2, 4}` there.  Since PR 4 the default
+//! (`LdaConfig::sync_shards(None)`) auto-tunes `S` from the measured
+//! compute/sync ratio of iteration 0; this example pins explicit shard
+//! counts so both tables stay interpretable.  Both corpora are generated with a
 //! frequency-shuffled vocabulary (real corpora have alphabetical
 //! vocabularies), so token mass — and therefore sampling time — is spread
 //! across the vocabulary range; a frequency-*sorted* vocabulary would
 //! front-load the sampling into the first shard and shrink the overlap win
 //! (see DESIGN.md §8).
 
-use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::core::{LdaConfig, SessionBuilder};
 use culda::corpus::DatasetProfile;
 use culda::gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
 use culda_testkit::fixtures::shuffled_vocab as shuffle_vocab;
@@ -65,8 +68,15 @@ fn main() {
             11,
             Interconnect::Pcie3,
         );
-        let mut trainer =
-            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(160).seed(11), system).unwrap();
+        // `sync_shards(1)` pins the paper's dense reduce: the default
+        // (`None`) would auto-tune the shard count after iteration 0 and
+        // contaminate the dense-baseline scaling table below.
+        let mut trainer = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(160).seed(11).sync_shards(1))
+            .system(system)
+            .build()
+            .unwrap();
         trainer.train(iterations);
         let tput = trainer.average_throughput(iterations);
         let baseline_tput = *baseline.get_or_insert(tput);
@@ -123,7 +133,12 @@ fn main() {
             .seed(11)
             .sync_shards(shards)
             .sync_overlap_depth(2);
-        let mut trainer = CuLdaTrainer::new(&dense_corpus, config, system).unwrap();
+        let mut trainer = SessionBuilder::new()
+            .corpus(&dense_corpus)
+            .config(config)
+            .system(system)
+            .build()
+            .unwrap();
         trainer.train(sweep_iterations);
         let n = sweep_iterations as f64;
         let work: f64 = trainer.history().iter().map(|h| h.sync_time_s).sum::<f64>() / n;

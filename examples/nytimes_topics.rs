@@ -12,7 +12,7 @@
 //! To run on the real NYTimes corpus, download `docword.nytimes.txt` from the
 //! UCI repository and pass its path as the first argument.
 
-use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::core::{LdaConfig, SessionBuilder};
 use culda::corpus::{bow, Corpus, DatasetProfile};
 use culda::gpusim::{DeviceSpec, MultiGpuSystem};
 
@@ -50,8 +50,12 @@ fn main() {
     for spec in platforms {
         let name = spec.name.clone();
         let system = MultiGpuSystem::single(spec, 7);
-        let mut trainer =
-            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(128).seed(7), system).unwrap();
+        let mut trainer = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(128).seed(7))
+            .system(system)
+            .build()
+            .unwrap();
         trainer.train(iterations);
         let series = trainer.throughput_per_iteration();
         println!(

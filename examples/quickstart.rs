@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::core::{LdaConfig, SessionBuilder};
 use culda::corpus::DatasetProfile;
 use culda::gpusim::{DeviceSpec, MultiGpuSystem};
 use culda::metrics::log_likelihood;
@@ -27,7 +27,12 @@ fn main() {
     //    alpha = 50/K, beta = 0.01.
     let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 42);
     let config = LdaConfig::with_topics(128).seed(42);
-    let mut trainer = CuLdaTrainer::new(&corpus, config, system).expect("trainer");
+    let mut trainer = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(config)
+        .system(system)
+        .build()
+        .expect("trainer");
 
     // 3. Train, printing progress every few iterations.
     let iterations = 30;

@@ -1,13 +1,15 @@
-//! The `M > 1` streaming schedule (`WorkSchedule2` of Algorithm 1): training
-//! a corpus that does not fit in device memory, with chunk transfers
-//! overlapped against sampling, plus the energy estimate of the run.
+//! Streaming/online training: a live model fed in mini-batches through the
+//! `StreamingSession` API, on memory-starved devices that force the `M > 1`
+//! streaming schedule (`WorkSchedule2` of Algorithm 1), with document
+//! retirement, checkpoint rotation, and the energy estimate of the run.
 //!
 //! ```text
 //! cargo run --release --example streamed_training
 //! ```
 
-use culda::core::{CuLdaTrainer, LdaConfig, ScheduleKind};
-use culda::corpus::DatasetProfile;
+use culda::core::{LdaConfig, StreamingSession};
+use culda::core::{ScheduleKind, SessionBuilder};
+use culda::corpus::{DatasetProfile, Document};
 use culda::gpusim::{
     DeviceSpec, EnergyModel, EnergyReport, Interconnect, MultiGpuSystem, Topology,
 };
@@ -26,56 +28,127 @@ fn main() {
         .build();
     let system = MultiGpuSystem::homogeneous(small_gpu, 2, 3, Interconnect::Pcie3);
 
-    let mut trainer =
-        CuLdaTrainer::new(&corpus, LdaConfig::with_topics(64).seed(3), system).expect("trainer");
-    match trainer.schedule() {
-        ScheduleKind::Streamed { chunks_per_gpu } => println!(
+    // 2. A streaming session that starts empty: documents arrive in
+    //    mini-batches, each batch is burnt in against the current φ, a few
+    //    training iterations run, and a checkpoint set is rotated out.
+    let ckpt_dir = std::env::temp_dir().join("culda_streamed_training_example");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let mut session = SessionBuilder::new()
+        .config(LdaConfig::with_topics(64).seed(3))
+        .system(system)
+        .burn_in_sweeps(1)
+        .build_streaming()
+        .expect("session");
+
+    let docs: Vec<Document> = (0..corpus.num_docs())
+        .map(|d| Document::from(corpus.doc(d)))
+        .collect();
+    let batch_size = docs.len().div_ceil(4).max(1);
+    let window = docs.len() * 3 / 4; // retire the oldest quarter over the run
+    for batch in docs.chunks(batch_size) {
+        session.ingest(batch);
+        let live = session.live_uids();
+        if live.len() > window {
+            session
+                .retire(&live[..live.len() - window])
+                .expect("retire");
+        }
+        session.train(3).expect("train");
+        session.rotate_checkpoints(&ckpt_dir, 2).expect("rotate");
+    }
+    match session.trainer().map(|t| t.schedule()) {
+        Some(ScheduleKind::Streamed { chunks_per_gpu }) => println!(
             "streaming schedule selected: M = {chunks_per_gpu} chunks per GPU ({} chunks total)",
-            trainer.num_chunks()
+            session.trainer().map(|t| t.num_chunks()).unwrap_or(0)
         ),
-        ScheduleKind::Resident => println!("resident schedule (corpus fits in device memory)"),
+        Some(ScheduleKind::Resident) => {
+            println!("resident schedule (corpus fits in device memory)")
+        }
+        None => println!("no training burst has run yet"),
     }
 
-    // 2. Train and report how much of the iteration time the PCIe transfers
-    //    consume versus the sampling itself.
-    let iterations = 10;
-    trainer.train(iterations);
-    let transfer: f64 = trainer.history().iter().map(|h| h.transfer_time_s).sum();
-    let total = trainer.sim_time_s();
+    // 3. Where did the time go?  Transfer share of the iteration time
+    //    (guarded: a session that never trained has no simulated time) and
+    //    the chunk occupancy of the session's least-loaded-slot placement.
+    let stats = session.stats();
+    let transfer: f64 = session.history().iter().map(|h| h.transfer_time_s).sum();
+    let total = session.sim_time_s();
+    if total > 0.0 {
+        println!(
+            "{} iterations in {total:.3} simulated seconds ({:.1}% spent in transfers)",
+            stats.iterations,
+            transfer / total * 100.0
+        );
+    } else {
+        println!("no simulated time accumulated (degenerate configuration)");
+    }
     println!(
-        "{iterations} iterations in {total:.3} simulated seconds ({:.1}% spent in transfers)",
-        transfer / total * 100.0
+        "session: {} live docs / {} ingested / {} retired, {} rotations into {} (last 2 kept)",
+        stats.live_docs,
+        stats.ingested_docs,
+        stats.retired_docs,
+        stats.checkpoints_written,
+        ckpt_dir.display()
     );
+    let occupancy: Vec<String> = stats
+        .chunk_tokens
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("chunk{i}={t}"))
+        .collect();
     println!(
-        "throughput: {:.1} M tokens/s",
-        trainer.average_throughput(iterations) / 1e6
+        "chunk occupancy: {} (imbalance {:.3})",
+        occupancy.join(" "),
+        stats.chunk_imbalance()
     );
 
-    // 3. Energy estimate of the run: charge each device's busy time and the
+    // 4. The rotated checkpoints are live: resume the newest one and verify
+    //    the restored session carries the exact same state.
+    let resumed = StreamingSession::resume(
+        &ckpt_dir,
+        MultiGpuSystem::homogeneous(
+            DeviceSpec::builder(DeviceSpec::v100_volta())
+                .name("V100 (2 MiB for the demo)")
+                .mem_capacity_bytes(2 << 20)
+                .build(),
+            2,
+            3,
+            Interconnect::Pcie3,
+        ),
+    )
+    .expect("resume");
+    assert_eq!(resumed.z_snapshot(), session.z_snapshot());
+    println!(
+        "resumed session matches bit-for-bit at iteration {}",
+        resumed.completed_iterations()
+    );
+
+    // 5. Energy estimate of the run: charge each device's busy time and the
     //    corpus-sized traffic to the per-architecture energy model.
-    let mut report = EnergyReport::default();
-    for device in trainer.system().devices() {
-        let model = EnergyModel::for_spec(&device.spec);
-        // Approximate the per-device counters from its busy time and the
-        // bandwidth the roofline model says it sustained.
-        let bytes = (device.busy_time_s() * device.spec.effective_bandwidth_bytes_per_s()) as u64;
-        let counters = culda::gpusim::CostCounters {
-            dram_read_bytes: bytes,
-            ..Default::default()
-        };
-        let time = culda::gpusim::cost::kernel_time(&device.spec, &counters, 1_000_000);
-        report.add_kernel(&model, &counters, &time, trainer.total_tokens() / 2);
+    if let Some(trainer) = session.trainer() {
+        let mut report = EnergyReport::default();
+        for device in trainer.system().devices() {
+            let model = EnergyModel::for_spec(&device.spec);
+            let bytes =
+                (device.busy_time_s() * device.spec.effective_bandwidth_bytes_per_s()) as u64;
+            let counters = culda::gpusim::CostCounters {
+                dram_read_bytes: bytes,
+                ..Default::default()
+            };
+            let time = culda::gpusim::cost::kernel_time(&device.spec, &counters, 1_000_000);
+            report.add_kernel(&model, &counters, &time, stats.live_tokens / 2);
+        }
+        println!(
+            "energy estimate (last burst): {:.1} J total, {:.1} W average, {:.0} tokens/J",
+            report.total_j,
+            report.average_power_w(),
+            report.tokens_per_joule()
+        );
     }
-    println!(
-        "energy estimate: {:.1} J total, {:.1} W average, {:.0} tokens/J",
-        report.total_j,
-        report.average_power_w(),
-        report.tokens_per_joule()
-    );
 
-    // 4. Would the φ synchronization be cheaper on NVLink?  Compare the §5.2
+    // 6. Would the φ synchronization be cheaper on NVLink?  Compare the §5.2
     //    tree reduce+broadcast on both fabrics, and against a ring all-reduce.
-    let phi_bytes = (trainer.config().num_topics * trainer.vocab_size() * 2) as u64;
+    let phi_bytes = (session.config().num_topics * stats.vocab_size * 2) as u64;
     for topology in [Topology::PcieTree, Topology::NvLinkMesh] {
         let (tree, ring, ratio) = topology.tree_vs_ring(2, phi_bytes, 500.0e9);
         println!(
@@ -84,4 +157,6 @@ fn main() {
             ring * 1e3
         );
     }
+
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
 }

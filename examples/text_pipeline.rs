@@ -5,7 +5,7 @@
 //! cargo run --release --example text_pipeline
 //! ```
 
-use culda::core::{CuLdaTrainer, InferenceOptions, LdaConfig, TopicInferencer};
+use culda::core::{InferenceOptions, LdaConfig, SessionBuilder, TopicInferencer};
 use culda::corpus::text::{PruneOptions, TextPipeline, TokenizerOptions};
 use culda::gpusim::{DeviceSpec, MultiGpuSystem};
 use culda::metrics::coherence::top_words;
@@ -53,7 +53,12 @@ fn main() {
     let mut config = LdaConfig::with_topics(2).seed(5);
     config.alpha = 0.1;
     let system = MultiGpuSystem::single(DeviceSpec::gtx_1080(), 5);
-    let mut trainer = CuLdaTrainer::new(&corpus, config, system).expect("trainer");
+    let mut trainer = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(config)
+        .system(system)
+        .build()
+        .expect("trainer");
     trainer.train(200);
 
     // 3. Print the topics with real words.

@@ -5,7 +5,7 @@
 //! cargo run --release --example topic_coherence
 //! ```
 
-use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::core::{LdaConfig, SessionBuilder};
 use culda::corpus::LdaGenerator;
 use culda::gpusim::{DeviceSpec, MultiGpuSystem};
 use culda::metrics::coherence::{
@@ -26,9 +26,12 @@ fn main() {
 
     // 2. Train.
     let system = MultiGpuSystem::single(DeviceSpec::titan_xp_pascal(), 23);
-    let mut trainer =
-        CuLdaTrainer::new(&corpus, LdaConfig::with_topics(num_topics).seed(23), system)
-            .expect("trainer");
+    let mut trainer = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(LdaConfig::with_topics(num_topics).seed(23))
+        .system(system)
+        .build()
+        .expect("trainer");
     trainer.train(60);
 
     // 3. Intrinsic quality: UMass/NPMI coherence + diversity of the learned topics.

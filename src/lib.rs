@@ -17,17 +17,26 @@
 //! ## Quickstart
 //!
 //! ```
-//! use culda::core::{CuLdaTrainer, LdaConfig};
+//! use culda::core::{LdaConfig, SessionBuilder};
 //! use culda::corpus::DatasetProfile;
 //! use culda::gpusim::{DeviceSpec, MultiGpuSystem};
 //!
 //! // A small synthetic twin of the NYTimes corpus (Table 3).
 //! let corpus = DatasetProfile::nytimes().scaled_to_tokens(20_000).generate(42);
-//! let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 42);
-//! let mut trainer = CuLdaTrainer::new(&corpus, LdaConfig::with_topics(32), system).unwrap();
+//! let mut trainer = SessionBuilder::new()
+//!     .corpus(&corpus)
+//!     .config(LdaConfig::with_topics(32))
+//!     .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 42))
+//!     .build()
+//!     .unwrap();
 //! trainer.train(5);
 //! assert!(trainer.sim_time_s() > 0.0);
 //! ```
+//!
+//! Streaming/online training (mini-batch ingestion, document retirement,
+//! checkpoint rotation) goes through the same builder's
+//! [`build_streaming`](crate::core::SessionBuilder::build_streaming); see
+//! `DESIGN.md` §9.
 
 #![warn(missing_docs)]
 

@@ -3,7 +3,7 @@
 //! costs differ in the direction the paper reports.
 
 use culda::baselines::{CpuCgs, CuLdaSolver, LdaSolver, LdaStar, SaberLda, WarpLda};
-use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::core::{LdaConfig, SessionBuilder};
 use culda::corpus::LdaGenerator;
 use culda::gpusim::{DeviceSpec, MultiGpuSystem};
 
@@ -21,12 +21,12 @@ fn all_solvers_reach_similar_quality_on_a_planted_corpus() {
 
     let mut solvers: Vec<Box<dyn LdaSolver>> = vec![
         Box::new(CuLdaSolver::new(
-            CuLdaTrainer::new(
-                &corpus,
-                LdaConfig::with_topics(k).seed(17),
-                MultiGpuSystem::single(DeviceSpec::v100_volta(), 17),
-            )
-            .unwrap(),
+            SessionBuilder::new()
+                .corpus(&corpus)
+                .config(LdaConfig::with_topics(k).seed(17))
+                .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 17))
+                .build()
+                .unwrap(),
             "CuLDA",
         )),
         Box::new(CpuCgs::with_paper_priors(&corpus, k, 17)),
@@ -70,12 +70,12 @@ fn simulated_costs_order_as_in_the_paper() {
     };
 
     let culda = time_of(Box::new(CuLdaSolver::new(
-        CuLdaTrainer::new(
-            &corpus,
-            LdaConfig::with_topics(k).seed(23),
-            MultiGpuSystem::single(DeviceSpec::v100_volta(), 23),
-        )
-        .unwrap(),
+        SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(k).seed(23))
+            .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 23))
+            .build()
+            .unwrap(),
         "CuLDA (V100)",
     )));
     let saber = time_of(Box::new(SaberLda::on_gtx_1080(&corpus, k, 23).unwrap()));

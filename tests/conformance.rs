@@ -10,7 +10,7 @@
 use culda::baselines::{
     AliasLda, CpuCgs, CuLdaSolver, LdaStar, LightLda, SaberLda, SparseLda, WarpLda,
 };
-use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::core::{LdaConfig, SessionBuilder};
 use culda::gpusim::{DeviceSpec, MultiGpuSystem};
 use culda_testkit::conformance::{run_conformance, ConformantSolver};
 use culda_testkit::{doc_lens, fixtures};
@@ -24,12 +24,12 @@ const ITERATIONS: usize = 12;
 fn all_solvers(corpus: &culda::corpus::Corpus) -> Vec<Box<dyn ConformantSolver>> {
     vec![
         Box::new(CuLdaSolver::new(
-            CuLdaTrainer::new(
-                corpus,
-                LdaConfig::with_topics(K).seed(SEED),
-                MultiGpuSystem::single(DeviceSpec::v100_volta(), SEED),
-            )
-            .expect("trainer construction"),
+            SessionBuilder::new()
+                .corpus(corpus)
+                .config(LdaConfig::with_topics(K).seed(SEED))
+                .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), SEED))
+                .build()
+                .expect("trainer construction"),
             "CuLDA_CGS (V100)",
         )),
         Box::new(CpuCgs::with_paper_priors(corpus, K, SEED)),

@@ -7,7 +7,7 @@ use culda::baselines::{
     AliasLda, CpuCgs, CuLdaSolver, LdaSolver, LdaStar, LightLda, SaberLda, SolverState, SparseLda,
     WarpLda,
 };
-use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::core::{LdaConfig, SessionBuilder};
 use culda::gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
 use culda_testkit::determinism::{assert_same_assignments, z_signature};
 use culda_testkit::fixtures;
@@ -22,7 +22,11 @@ fn trained_culda(corpus: &culda::corpus::Corpus, gpus: usize, seed: u64) -> CuLd
     } else {
         MultiGpuSystem::homogeneous(DeviceSpec::v100_volta(), gpus, seed, Interconnect::NvLink)
     };
-    let mut trainer = CuLdaTrainer::new(corpus, LdaConfig::with_topics(K).seed(seed), system)
+    let mut trainer = SessionBuilder::new()
+        .corpus(corpus)
+        .config(LdaConfig::with_topics(K).seed(seed))
+        .system(system)
+        .build()
         .expect("trainer construction");
     trainer.train(ITERATIONS);
     CuLdaSolver::new(trainer, format!("CuLDA ({gpus} GPU)"))
@@ -57,12 +61,12 @@ fn culda_streamed_schedule_matches_resident_schedule() {
     let corpus = fixtures::medium(fixtures::FIXTURE_SEED);
     let resident = trained_culda(&corpus, 1, SEED);
     let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), SEED);
-    let mut streamed = CuLdaTrainer::new(
-        &corpus,
-        LdaConfig::with_topics(K).seed(SEED).chunks_per_gpu(3),
-        system,
-    )
-    .expect("trainer construction");
+    let mut streamed = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(LdaConfig::with_topics(K).seed(SEED).chunks_per_gpu(3))
+        .system(system)
+        .build()
+        .expect("trainer construction");
     streamed.train(ITERATIONS);
     let streamed = CuLdaSolver::new(streamed, "CuLDA (streamed)");
     assert_same_assignments(&resident, &streamed);
@@ -78,21 +82,24 @@ fn resume_is_bit_identical_to_uninterrupted_training() {
     let straight = trained_culda(&corpus, 1, SEED); // ITERATIONS = 5
 
     let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), SEED);
-    let mut first_leg =
-        CuLdaTrainer::new(&corpus, LdaConfig::with_topics(K).seed(SEED), system).unwrap();
+    let mut first_leg = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(LdaConfig::with_topics(K).seed(SEED))
+        .system(system)
+        .build()
+        .unwrap();
     first_leg.train(2);
     let ckpt = ModelCheckpoint::from_trainer(&first_leg);
     assert_eq!(ckpt.iterations, 2);
 
     let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), SEED);
-    let mut resumed = CuLdaTrainer::with_assignments(
-        &corpus,
-        LdaConfig::with_topics(K).seed(SEED),
-        system,
-        ckpt.z.as_ref().unwrap(),
-        ckpt.iterations,
-    )
-    .unwrap();
+    let mut resumed = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(LdaConfig::with_topics(K).seed(SEED))
+        .system(system)
+        .assignments(ckpt.z.clone().unwrap(), ckpt.iterations)
+        .build()
+        .unwrap();
     resumed.train(ITERATIONS - 2);
     assert_eq!(resumed.completed_iterations(), ITERATIONS as u64);
     let resumed = CuLdaSolver::new(resumed, "CuLDA (resumed)");

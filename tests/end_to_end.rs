@@ -2,7 +2,7 @@
 //! known structure, cross-checked against the exact serial CGS reference.
 
 use culda::baselines::{CpuCgs, LdaSolver};
-use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::core::{CuLdaTrainer, LdaConfig, SessionBuilder};
 use culda::corpus::{DatasetProfile, LdaGenerator};
 use culda::gpusim::{DeviceSpec, MultiGpuSystem};
 use culda::metrics::log_likelihood;
@@ -25,8 +25,12 @@ fn culda_converges_on_a_planted_topic_model() {
     // likelihood substantially and keep every count invariant intact.
     let (corpus, _truth) = LdaGenerator::small(6, 200, 400, 40.0).generate(11);
     let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 11);
-    let mut trainer =
-        CuLdaTrainer::new(&corpus, LdaConfig::with_topics(6).seed(11), system).unwrap();
+    let mut trainer = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(LdaConfig::with_topics(6).seed(11))
+        .system(system)
+        .build()
+        .unwrap();
     let before = trainer_loglik(&trainer);
     trainer.train(25);
     trainer.validate().unwrap();
@@ -51,8 +55,12 @@ fn culda_reaches_the_quality_of_exact_serial_cgs() {
     let exact_ll = exact.loglik_per_token();
 
     let system = MultiGpuSystem::single(DeviceSpec::titan_x_maxwell(), 21);
-    let mut trainer =
-        CuLdaTrainer::new(&corpus, LdaConfig::with_topics(k).seed(21), system).unwrap();
+    let mut trainer = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(LdaConfig::with_topics(k).seed(21))
+        .system(system)
+        .build()
+        .unwrap();
     trainer.train(40);
     let culda_ll = trainer_loglik(&trainer);
 
@@ -71,8 +79,12 @@ fn theta_sparsifies_and_throughput_ramps_up_as_in_figure7() {
         .scaled_to_tokens(60_000)
         .generate(3);
     let system = MultiGpuSystem::single(DeviceSpec::titan_xp_pascal(), 3);
-    let mut trainer =
-        CuLdaTrainer::new(&corpus, LdaConfig::with_topics(64).seed(3), system).unwrap();
+    let mut trainer = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(LdaConfig::with_topics(64).seed(3))
+        .system(system)
+        .build()
+        .unwrap();
     let nnz_before = trainer.merged_theta().nnz();
     trainer.train(15);
     let nnz_after = trainer.merged_theta().nnz();
@@ -97,8 +109,12 @@ fn training_is_deterministic_for_a_fixed_seed() {
         .generate(9);
     let run = |seed: u64| {
         let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), seed);
-        let mut trainer =
-            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(32).seed(seed), system).unwrap();
+        let mut trainer = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(32).seed(seed))
+            .system(system)
+            .build()
+            .unwrap();
         trainer.train(5);
         (trainer.global_nk(), trainer.sim_time_s())
     };
@@ -123,8 +139,12 @@ fn gpu_solver_is_faster_than_cpu_baseline_in_simulated_time() {
         .generate(5);
     let k = 64;
     let system = MultiGpuSystem::single(DeviceSpec::titan_x_maxwell(), 5);
-    let mut trainer =
-        CuLdaTrainer::new(&corpus, LdaConfig::with_topics(k).seed(5), system).unwrap();
+    let mut trainer = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(LdaConfig::with_topics(k).seed(5))
+        .system(system)
+        .build()
+        .unwrap();
     trainer.train(5);
     let culda_tps = trainer.average_throughput(5);
 

@@ -7,7 +7,7 @@
 //! silently wrong model.
 
 use culda::core::checkpoint::{self, CheckpointError, ModelCheckpoint};
-use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::core::{LdaConfig, SessionBuilder};
 use culda::corpus::snapshot::{self, read_corpus, write_corpus, SnapshotError};
 use culda::corpus::DatasetProfile;
 use culda::gpusim::{DeviceSpec, MultiGpuSystem};
@@ -39,12 +39,12 @@ fn checkpoint_bytes() -> Vec<u8> {
         doc_len_sigma: 0.4,
     }
     .generate(6);
-    let mut trainer = CuLdaTrainer::new(
-        &corpus,
-        LdaConfig::with_topics(8).seed(6),
-        MultiGpuSystem::single(DeviceSpec::v100_volta(), 6),
-    )
-    .unwrap();
+    let mut trainer = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(LdaConfig::with_topics(8).seed(6))
+        .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 6))
+        .build()
+        .unwrap();
     trainer.train(3);
     let ckpt = ModelCheckpoint::from_trainer(&trainer);
     let mut buf = Vec::new();

@@ -2,7 +2,9 @@
 //! fold-in inference → held-out evaluation, crossing the core, corpus and
 //! metrics crates.
 
-use culda::core::{CuLdaTrainer, InferenceOptions, LdaConfig, ModelCheckpoint, TopicInferencer};
+use culda::core::{
+    CuLdaTrainer, InferenceOptions, LdaConfig, ModelCheckpoint, SessionBuilder, TopicInferencer,
+};
 use culda::corpus::holdout::{split_documents, DocumentCompletion};
 use culda::corpus::LdaGenerator;
 use culda::gpusim::{DeviceSpec, MultiGpuSystem};
@@ -18,8 +20,12 @@ fn planted_split() -> (culda::corpus::Corpus, culda::corpus::Corpus, usize) {
 
 fn train(corpus: &culda::corpus::Corpus, topics: usize, iterations: usize) -> CuLdaTrainer {
     let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 9);
-    let mut trainer =
-        CuLdaTrainer::new(corpus, LdaConfig::with_topics(topics).seed(9), system).unwrap();
+    let mut trainer = SessionBuilder::new()
+        .corpus(corpus)
+        .config(LdaConfig::with_topics(topics).seed(9))
+        .system(system)
+        .build()
+        .unwrap();
     trainer.train(iterations);
     trainer
 }
@@ -148,8 +154,12 @@ fn hyperparameter_optimization_runs_on_trained_counts() {
 fn convergence_monitor_stops_training_on_a_small_corpus() {
     let (train_corpus, _, k) = planted_split();
     let system = MultiGpuSystem::single(DeviceSpec::titan_x_maxwell(), 4);
-    let mut trainer =
-        CuLdaTrainer::new(&train_corpus, LdaConfig::with_topics(k).seed(4), system).unwrap();
+    let mut trainer = SessionBuilder::new()
+        .corpus(&train_corpus)
+        .config(LdaConfig::with_topics(k).seed(4))
+        .system(system)
+        .build()
+        .unwrap();
     let outcome = culda::core::train_until_converged(
         &mut trainer,
         200,

@@ -1,6 +1,6 @@
 //! Multi-GPU and streamed-schedule integration tests (§5).
 
-use culda::core::{CuLdaTrainer, LdaConfig, ScheduleKind};
+use culda::core::{CuLdaTrainer, LdaConfig, ScheduleKind, SessionBuilder};
 use culda::corpus::DatasetProfile;
 use culda::gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
 use culda::metrics::log_likelihood;
@@ -33,8 +33,12 @@ fn every_gpu_count_preserves_counts_and_improves_quality() {
             1,
             Interconnect::Pcie3,
         );
-        let mut trainer =
-            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(32).seed(1), system).unwrap();
+        let mut trainer = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(32).seed(1))
+            .system(system)
+            .build()
+            .unwrap();
         assert_eq!(trainer.num_chunks(), gpus);
         let before = loglik(&trainer);
         trainer.train(8);
@@ -52,8 +56,12 @@ fn multi_gpu_reduces_per_iteration_compute_time() {
     let avg_compute = |gpus: usize| {
         let system =
             MultiGpuSystem::homogeneous(DeviceSpec::v100_volta(), gpus, 2, Interconnect::NvLink);
-        let mut trainer =
-            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(48).seed(2), system).unwrap();
+        let mut trainer = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(48).seed(2))
+            .system(system)
+            .build()
+            .unwrap();
         trainer.train(4);
         trainer
             .history()
@@ -79,18 +87,23 @@ fn streamed_schedule_matches_resident_schedule_statistically() {
     let corpus = corpus(30_000, 3);
     let resident = {
         let system = MultiGpuSystem::single(DeviceSpec::gtx_1080(), 3);
-        let mut t = CuLdaTrainer::new(&corpus, LdaConfig::with_topics(32).seed(3), system).unwrap();
+        let mut t = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(32).seed(3))
+            .system(system)
+            .build()
+            .unwrap();
         t.train(6);
         t
     };
     let streamed = {
         let system = MultiGpuSystem::single(DeviceSpec::gtx_1080(), 3);
-        let mut t = CuLdaTrainer::new(
-            &corpus,
-            LdaConfig::with_topics(32).seed(3).chunks_per_gpu(3),
-            system,
-        )
-        .unwrap();
+        let mut t = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(32).seed(3).chunks_per_gpu(3))
+            .system(system)
+            .build()
+            .unwrap();
         t.train(6);
         t
     };
@@ -118,8 +131,12 @@ fn nvlink_synchronization_is_cheaper_than_pcie() {
     let corpus = corpus(40_000, 4);
     let sync_time = |link: Interconnect| {
         let system = MultiGpuSystem::homogeneous(DeviceSpec::v100_volta(), 4, 4, link);
-        let mut trainer =
-            CuLdaTrainer::new(&corpus, LdaConfig::with_topics(64).seed(4), system).unwrap();
+        let mut trainer = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(64).seed(4))
+            .system(system)
+            .build()
+            .unwrap();
         trainer.train(3);
         trainer.history().iter().map(|h| h.sync_time_s).sum::<f64>()
     };

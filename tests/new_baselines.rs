@@ -4,7 +4,7 @@
 //! the qualitative claim behind Table 4 and Figure 8.
 
 use culda::baselines::{AliasLda, CpuCgs, CuLdaSolver, LdaSolver, LightLda, SparseLda, WarpLda};
-use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::core::{LdaConfig, SessionBuilder};
 use culda::corpus::{Corpus, DatasetProfile};
 use culda::gpusim::{DeviceSpec, MultiGpuSystem};
 
@@ -96,12 +96,12 @@ fn culda_outruns_every_cpu_baseline_in_simulated_throughput() {
     let corpus = corpus();
     let tokens = corpus.num_tokens() as f64;
 
-    let trainer = CuLdaTrainer::new(
-        &corpus,
-        LdaConfig::with_topics(TOPICS).seed(5),
-        MultiGpuSystem::single(DeviceSpec::v100_volta(), 5),
-    )
-    .unwrap();
+    let trainer = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(LdaConfig::with_topics(TOPICS).seed(5))
+        .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 5))
+        .build()
+        .unwrap();
     let mut culda = CuLdaSolver::new(trainer, "CuLDA (Volta)");
     let mut sparse = SparseLda::with_paper_priors(&corpus, TOPICS, 5);
     let mut light = LightLda::with_paper_priors(&corpus, TOPICS, 5);

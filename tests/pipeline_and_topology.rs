@@ -2,7 +2,7 @@
 //! holdout splits), the interconnect topology models and the scaling
 //! bookkeeping used for Figure 9.
 
-use culda::core::{CuLdaTrainer, LdaConfig, ScheduleKind};
+use culda::core::{LdaConfig, ScheduleKind, SessionBuilder};
 use culda::corpus::text::{PruneOptions, TextPipeline, TokenizerOptions};
 use culda::corpus::{load_corpus, save_corpus, DatasetProfile};
 use culda::gpusim::{DeviceSpec, Interconnect, MultiGpuSystem, Topology};
@@ -39,7 +39,12 @@ fn raw_text_trains_into_interpretable_topics_end_to_end() {
     let mut config = LdaConfig::with_topics(2).seed(2);
     config.alpha = 0.1;
     let system = MultiGpuSystem::single(DeviceSpec::titan_x_maxwell(), 2);
-    let mut trainer = CuLdaTrainer::new(&corpus, config, system).unwrap();
+    let mut trainer = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(config)
+        .system(system)
+        .build()
+        .unwrap();
     trainer.train(150);
     trainer.validate().unwrap();
 
@@ -82,7 +87,12 @@ fn corpus_snapshot_roundtrips_through_disk_and_trains_identically() {
     // Identical corpora + identical seeds ⇒ identical training trajectories.
     let run = |c: &culda::corpus::Corpus| {
         let system = MultiGpuSystem::single(DeviceSpec::v100_volta(), 21);
-        let mut t = CuLdaTrainer::new(c, LdaConfig::with_topics(16).seed(21), system).unwrap();
+        let mut t = SessionBuilder::new()
+            .corpus(c)
+            .config(LdaConfig::with_topics(16).seed(21))
+            .system(system)
+            .build()
+            .unwrap();
         t.train(3);
         t.global_phi()
     };
@@ -103,7 +113,12 @@ fn forced_streaming_matches_resident_training_statistically() {
         if let Some(m) = chunks_per_gpu {
             config = config.chunks_per_gpu(m);
         }
-        let mut t = CuLdaTrainer::new(&corpus, config, system).unwrap();
+        let mut t = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(config)
+            .system(system)
+            .build()
+            .unwrap();
         if chunks_per_gpu.is_some() {
             assert!(matches!(t.schedule(), ScheduleKind::Streamed { .. }));
         }
@@ -149,7 +164,12 @@ fn multi_gpu_scaling_series_matches_figure9_shape() {
             6,
             Interconnect::NvLink,
         );
-        let mut t = CuLdaTrainer::new(&corpus, LdaConfig::with_topics(64).seed(6), system).unwrap();
+        let mut t = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(64).seed(6))
+            .system(system)
+            .build()
+            .unwrap();
         t.train(8);
         series.push(gpus, t.average_throughput(8));
     }

@@ -1,7 +1,7 @@
 //! Cross-crate property tests: for arbitrary corpora and configurations the
 //! pipeline must preserve its conservation laws.
 
-use culda::core::{CuLdaTrainer, LdaConfig};
+use culda::core::{LdaConfig, SessionBuilder};
 use culda::corpus::{Corpus, CorpusBuilder, Partitioner};
 use culda::gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
 use proptest::prelude::*;
@@ -61,11 +61,11 @@ proptest! {
             seed,
             Interconnect::Pcie3,
         );
-        let mut trainer = CuLdaTrainer::new(
-            &corpus,
-            LdaConfig::with_topics(k).seed(seed),
-            system,
-        ).unwrap();
+        let mut trainer = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(LdaConfig::with_topics(k).seed(seed))
+        .system(system)
+        .build().unwrap();
         for _ in 0..iterations {
             trainer.run_iteration();
         }

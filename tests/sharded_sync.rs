@@ -5,7 +5,7 @@
 //! realistic model sizes.
 
 use culda::baselines::CuLdaSolver;
-use culda::core::{CuLdaTrainer, LdaConfig, SyncPlan};
+use culda::core::{CuLdaTrainer, LdaConfig, SessionBuilder, SyncPlan};
 use culda::corpus::{Corpus, DatasetProfile};
 use culda::gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
 use culda_testkit::conformance::run_conformance;
@@ -29,7 +29,12 @@ fn trained(corpus: &Corpus, gpus: usize, shards: usize, depth: usize) -> CuLdaTr
         .seed(SEED)
         .sync_shards(shards)
         .sync_overlap_depth(depth);
-    let mut trainer = CuLdaTrainer::new(corpus, config, system(gpus)).expect("trainer");
+    let mut trainer = SessionBuilder::new()
+        .corpus(corpus)
+        .config(config)
+        .system(system(gpus))
+        .build()
+        .expect("trainer");
     trainer.train(ITERATIONS);
     trainer
 }
@@ -94,7 +99,12 @@ fn conformance_battery_passes_under_sharded_sync() {
         .seed(SEED)
         .sync_shards(4)
         .sync_overlap_depth(2);
-    let trainer = CuLdaTrainer::new(&corpus, config, system(4)).expect("trainer");
+    let trainer = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(config)
+        .system(system(4))
+        .build()
+        .expect("trainer");
     let cfg = trainer.config().clone();
     let mut solver = CuLdaSolver::new(trainer, "CuLDA sharded");
     run_conformance(
@@ -137,7 +147,12 @@ fn overlap_reduces_the_exposed_sync_cost_at_realistic_scale() {
             SEED,
             Interconnect::Pcie3,
         );
-        let mut trainer = CuLdaTrainer::new(&corpus, config, sys).expect("trainer");
+        let mut trainer = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(config)
+            .system(sys)
+            .build()
+            .expect("trainer");
         trainer.train(1);
         let it = trainer.history()[0];
         (it.sync_time_s, it.sync_exposed_time_s, it.sim_time_s)

@@ -1,0 +1,273 @@
+//! Streaming-session determinism and lifecycle (ISSUE 4 acceptance suite).
+//!
+//! The contract under test (DESIGN.md §9): a [`StreamingSession`]'s sampled
+//! state is a pure function of `(seed, ingested documents in uid order,
+//! retirements, iteration schedule)` — never of how documents were grouped
+//! into `ingest` calls, which GPU topology ran the bursts, or whether the
+//! process died and resumed from a rotated checkpoint in between.
+
+use culda::core::{LdaConfig, SessionBuilder, StreamingSession};
+use culda::corpus::Corpus;
+use culda::gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
+use culda_testkit::fixtures;
+use std::path::PathBuf;
+
+const K: usize = 8;
+const SEED: u64 = 2019;
+
+fn system(gpus: usize) -> MultiGpuSystem {
+    if gpus == 1 {
+        MultiGpuSystem::single(DeviceSpec::v100_volta(), SEED)
+    } else {
+        MultiGpuSystem::homogeneous(DeviceSpec::v100_volta(), gpus, SEED, Interconnect::NvLink)
+    }
+}
+
+fn streaming(gpus: usize) -> StreamingSession {
+    SessionBuilder::new()
+        .config(LdaConfig::with_topics(K).seed(SEED))
+        .system(system(gpus))
+        .build_streaming()
+        .expect("streaming session")
+}
+
+fn corpus() -> Corpus {
+    fixtures::medium(fixtures::FIXTURE_SEED)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("culda_streaming_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_same_state(a: &StreamingSession, b: &StreamingSession) {
+    assert_eq!(a.z_snapshot(), b.z_snapshot(), "z must be bit-identical");
+    assert_eq!(a.global_phi(), b.global_phi(), "φ must be bit-identical");
+    assert_eq!(a.global_nk(), b.global_nk(), "n_k must be bit-identical");
+}
+
+#[test]
+fn ingest_in_batches_is_bit_exact_with_ingest_all_at_once() {
+    let corpus = corpus();
+    for batches in [2usize, 5] {
+        let mut all_at_once = streaming(1);
+        all_at_once.ingest(&fixtures::documents_of(&corpus));
+        all_at_once.train(4).unwrap();
+
+        let mut batched = streaming(1);
+        for batch in fixtures::doc_batches(&corpus, batches) {
+            batched.ingest(&batch);
+        }
+        batched.train(4).unwrap();
+
+        assert_same_state(&all_at_once, &batched);
+        batched.validate().unwrap();
+    }
+}
+
+#[test]
+fn streaming_state_is_identical_on_1_and_4_gpu_topologies() {
+    let corpus = corpus();
+    let mut single = streaming(1);
+    single.ingest(&fixtures::documents_of(&corpus));
+    single.train(4).unwrap();
+
+    let mut quad = streaming(4);
+    for batch in fixtures::doc_batches(&corpus, 3) {
+        quad.ingest(&batch);
+    }
+    quad.train(4).unwrap();
+
+    assert!(
+        single.trainer().unwrap().num_chunks() != quad.trainer().unwrap().num_chunks(),
+        "topologies must actually partition differently for this test to mean anything"
+    );
+    assert_same_state(&single, &quad);
+}
+
+#[test]
+fn retire_then_reingest_conserves_counts() {
+    let corpus = corpus();
+    let mut session = streaming(1);
+    let uids = session.ingest(&fixtures::documents_of(&corpus));
+    session.train(2).unwrap();
+    session.validate().unwrap();
+    let tokens_before = session.stats().live_tokens;
+
+    // Retire a third of the documents...
+    let retired: Vec<u64> = uids.iter().copied().step_by(3).collect();
+    let retired_tokens: u64 = retired
+        .iter()
+        .map(|&uid| corpus.doc(uid as usize).len() as u64)
+        .sum();
+    session.retire(&retired).unwrap();
+    session.validate().unwrap();
+    let stats = session.stats();
+    assert_eq!(stats.live_tokens, tokens_before - retired_tokens);
+    assert_eq!(
+        session.global_phi().total(),
+        stats.live_tokens,
+        "φ must cover exactly the live tokens after retirement"
+    );
+
+    // ...train through the membership change, then re-ingest the same
+    // documents as fresh arrivals (new uids).
+    session.train(2).unwrap();
+    session.validate().unwrap();
+    let reingested: Vec<_> = retired
+        .iter()
+        .map(|&uid| culda::corpus::Document::from(corpus.doc(uid as usize)))
+        .collect();
+    let new_uids = session.ingest(&reingested);
+    assert!(
+        new_uids.iter().all(|u| !uids.contains(u)),
+        "uids are never reused"
+    );
+    session.train(2).unwrap();
+    session.validate().unwrap();
+    assert_eq!(session.stats().live_tokens, tokens_before);
+    assert_eq!(session.global_phi().total(), tokens_before);
+}
+
+#[test]
+fn compaction_crossing_the_threshold_changes_nothing_observable() {
+    let corpus = corpus();
+    let mut eager = SessionBuilder::new()
+        .config(LdaConfig::with_topics(K).seed(SEED))
+        .system(system(1))
+        .compaction_threshold(0.0) // compact on every retire
+        .build_streaming()
+        .unwrap();
+    let mut lazy = SessionBuilder::new()
+        .config(LdaConfig::with_topics(K).seed(SEED))
+        .system(system(1))
+        .compaction_threshold(0.9) // essentially never compact
+        .build_streaming()
+        .unwrap();
+    for session in [&mut eager, &mut lazy] {
+        let uids = session.ingest(&fixtures::documents_of(&corpus));
+        session.train(2).unwrap();
+        session.retire(&uids[..uids.len() / 2]).unwrap();
+        session.train(2).unwrap();
+        session.validate().unwrap();
+    }
+    assert_eq!(eager.stats().tombstone_fraction, 0.0);
+    assert!(lazy.stats().tombstone_fraction > 0.0);
+    assert_same_state(&eager, &lazy);
+}
+
+/// The acceptance round-trip of ISSUE 4: ingesting a corpus in k
+/// mini-batches, rotating checkpoints, and resuming from the latest must
+/// produce bit-identical z/φ to a single-session run with the same seed —
+/// on 1-GPU and 4-GPU topologies.
+#[test]
+fn rotate_and_resume_round_trip_matches_single_session_run() {
+    let corpus = corpus();
+    for gpus in [1usize, 4] {
+        // Reference: one uninterrupted session, everything ingested at once.
+        let mut reference = streaming(gpus);
+        reference.ingest(&fixtures::documents_of(&corpus));
+        reference.train(5).unwrap();
+
+        // Round-trip: k mini-batches, checkpoint rotation mid-run, process
+        // "dies", resumes from the latest set, finishes the schedule.
+        let dir = tmp_dir(&format!("roundtrip_{gpus}"));
+        let mut first_leg = streaming(gpus);
+        for batch in fixtures::doc_batches(&corpus, 3) {
+            first_leg.ingest(&batch);
+        }
+        first_leg.train(2).unwrap();
+        first_leg.rotate_checkpoints(&dir, 2).unwrap();
+        drop(first_leg);
+
+        let mut resumed = StreamingSession::resume(&dir, system(gpus)).unwrap();
+        assert_eq!(resumed.completed_iterations(), 2);
+        resumed.train(3).unwrap();
+        resumed.validate().unwrap();
+
+        assert_same_state(&reference, &resumed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn checkpoint_cadence_rotates_and_prunes() {
+    let corpus = corpus();
+    let dir = tmp_dir("cadence");
+    let mut session = SessionBuilder::new()
+        .config(LdaConfig::with_topics(K).seed(SEED))
+        .system(system(1))
+        .checkpoint_cadence(&dir, 2)
+        .keep_last(2)
+        .build_streaming()
+        .unwrap();
+    session.ingest(&fixtures::documents_of(&corpus));
+    session.train(7).unwrap(); // cadence 2 → rotations after it 2, 4, 6
+    assert_eq!(session.stats().checkpoints_written, 3);
+
+    use culda::core::checkpoint::rotation;
+    let entries = rotation::list(&dir).unwrap();
+    assert_eq!(entries.len(), 2, "keep_last=2 must prune the oldest set");
+    assert_eq!(
+        entries.iter().map(|e| e.iterations).collect::<Vec<_>>(),
+        vec![4, 6]
+    );
+
+    // The pruned directory still resumes from the newest set, and rotations
+    // resumed there continue the sequence numbering.
+    let mut resumed = StreamingSession::resume(&dir, system(1)).unwrap();
+    assert_eq!(resumed.completed_iterations(), 6);
+    resumed.train(1).unwrap();
+    resumed.rotate_checkpoints(&dir, 2).unwrap();
+    let entries = rotation::list(&dir).unwrap();
+    assert_eq!(entries.last().unwrap().iterations, 7);
+    assert!(entries.last().unwrap().seq > 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_fails_cleanly_on_an_empty_directory() {
+    let dir = tmp_dir("empty");
+    std::fs::create_dir_all(&dir).unwrap();
+    let err = match StreamingSession::resume(&dir, system(1)) {
+        Ok(_) => panic!("resume from an empty directory must fail"),
+        Err(e) => e,
+    };
+    assert!(
+        err.to_string().contains("no rotated checkpoints"),
+        "unexpected error: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn streaming_with_zero_burn_in_bridges_to_the_batch_trainer() {
+    // With burn-in disabled, ingestion is exactly the batch trainer's stable
+    // initialisation, so the streaming and batch paths must coincide — the
+    // bridge that anchors the streaming API to the existing determinism
+    // contract (same-seed, cross-topology, resume).
+    let corpus = corpus();
+    let mut batch = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(LdaConfig::with_topics(K).seed(SEED))
+        .system(system(1))
+        .build()
+        .unwrap();
+    batch.train(5);
+
+    let mut stream = SessionBuilder::new()
+        .config(LdaConfig::with_topics(K).seed(SEED))
+        .system(system(4))
+        .burn_in_sweeps(0)
+        .build_streaming()
+        .unwrap();
+    for batch_docs in fixtures::doc_batches(&corpus, 4) {
+        stream.ingest(&batch_docs);
+    }
+    stream.train(5).unwrap();
+
+    assert_eq!(batch.z_snapshot(), stream.z_snapshot());
+    assert_eq!(&batch.global_phi(), stream.global_phi());
+}
