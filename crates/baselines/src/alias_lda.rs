@@ -27,23 +27,12 @@ use culda_corpus::Corpus;
 use culda_gpusim::cost::{kernel_time, CostCounters};
 use culda_gpusim::DeviceSpec;
 use culda_metrics::special::ln_gamma;
-use culda_sparse::AliasTable;
+use culda_sparse::StaleAliasProposal;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// Bytes charged per random access to a large model structure.
 const CACHE_LINE: u64 = 64;
-
-/// Per-word stale proposal: an alias table over `(φ_{k,v} + β)/(n_k + Vβ)`
-/// plus the stale mass `Q̂_w` it was built from and the stale per-topic
-/// weights needed in the acceptance ratio.
-struct StaleWordProposal {
-    table: AliasTable,
-    /// Unnormalised stale weights `(φ̂_{k,v} + β)/(n̂_k + Vβ)` per topic.
-    weights: Vec<f64>,
-    /// Sum of `weights` (the stale mass, before the `α` factor).
-    mass: f64,
-}
 
 /// An AliasLDA-style sparse + stale-alias Metropolis–Hastings sampler.
 pub struct AliasLda {
@@ -181,7 +170,9 @@ impl AliasLda {
 
     /// Stale per-word alias tables over `(φ_{k,v} + β)/(n_k + Vβ)`, rebuilt
     /// once per iteration exactly as the original system amortises them.
-    fn build_word_proposals(&self) -> Vec<StaleWordProposal> {
+    /// Construction is the shared [`StaleAliasProposal`] of `culda-sparse`,
+    /// the same bundle the `AliasHybridSampler` kernel builds on the GPU.
+    fn build_word_proposals(&self) -> Vec<StaleAliasProposal> {
         let v_beta = self.beta * self.vocab_size as f64;
         (0..self.vocab_size)
             .map(|w| {
@@ -191,13 +182,7 @@ impl AliasLda {
                             / (self.topic_total[k] as f64 + v_beta)
                     })
                     .collect();
-                let mass: f64 = weights.iter().sum();
-                let as_f32: Vec<f32> = weights.iter().map(|&x| x as f32).collect();
-                StaleWordProposal {
-                    table: AliasTable::new(&as_f32),
-                    weights,
-                    mass,
-                }
+                StaleAliasProposal::from_weights(weights)
             })
             .collect()
     }
@@ -206,8 +191,8 @@ impl AliasLda {
     /// token of word `w` in document `d`: the exact sparse doc part plus the
     /// `α`-weighted stale word part.
     #[inline]
-    fn proposal_mass(&self, d: usize, w: usize, k: usize, stale: &StaleWordProposal) -> f64 {
-        self.doc_topic[d][k] as f64 * self.word_weight(w, k) + self.alpha * stale.weights[k]
+    fn proposal_mass(&self, d: usize, w: usize, k: usize, stale: &StaleAliasProposal) -> f64 {
+        self.doc_topic[d][k] as f64 * self.word_weight(w, k) + self.alpha * stale.weight(k)
     }
 }
 
@@ -269,7 +254,7 @@ impl LdaSolver for AliasLda {
                 counters.dram_read_bytes += doc_topics.len() as u64 * CACHE_LINE / 4;
                 counters.flops += doc_topics.len() as u64 * 4;
 
-                let dense_mass = self.alpha * stale.mass;
+                let dense_mass = self.alpha * stale.mass();
                 let total_mass = sparse_mass + dense_mass;
 
                 for _ in 0..self.mh_steps {
@@ -285,7 +270,7 @@ impl LdaSolver for AliasLda {
                         doc_topics[idx] as usize
                     } else {
                         // Stale dense part: O(1) alias draw.
-                        stale.table.sample(&mut self.rng)
+                        stale.table().sample(&mut self.rng)
                     };
                     counters.dram_read_bytes += CACHE_LINE;
                     counters.rng_draws += 1;

@@ -14,7 +14,7 @@
 
 use culda_bench::tables::culda_throughput;
 use culda_bench::{datasets, ExperimentScale};
-use culda_core::{LdaConfig, SessionBuilder};
+use culda_core::{LdaConfig, SamplerStrategy, SessionBuilder};
 use culda_gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
 
 /// Fractional slowdown tolerated before the gate fails.
@@ -27,9 +27,12 @@ struct Scenario {
 
 /// The gated scenarios: the resident single-GPU path on two architectures,
 /// the multi-GPU scaling path under the paper's dense reduce
-/// (`culda_throughput` pins `sync_shards(1)`), and the multi-GPU path under
+/// (`culda_throughput` pins `sync_shards(1)`), the multi-GPU path under
 /// the *default* configuration, where the φ-sync shard count auto-tunes
-/// from iteration 0 — so a regression in the tuner's choice fails the gate.
+/// from iteration 0 — so a regression in the tuner's choice fails the gate —
+/// and a large-K pair comparing the sparse-CGS and alias-hybrid sampler
+/// kernels (the alias scenario must stay at least as fast: it amortises the
+/// per-word dense-tree rebuild the sparse kernel pays every iteration).
 fn scenarios() -> Vec<Scenario> {
     fn scale() -> ExperimentScale {
         ExperimentScale {
@@ -38,6 +41,36 @@ fn scenarios() -> Vec<Scenario> {
             iterations: 8,
             seed: 42,
         }
+    }
+    /// The regime the alias hybrid targets: K large and a wide, Zipf-tailed
+    /// vocabulary of short documents, where the sparse kernel's per-word
+    /// `O(K)` column read + tree build dominates the iteration (on the
+    /// long-document NYTimes twin the per-token θ-row traffic swamps it and
+    /// the two samplers tie).
+    fn large_k_throughput(sampler: SamplerStrategy) -> f64 {
+        let corpus = culda_corpus::DatasetProfile {
+            name: "tail-heavy".into(),
+            num_docs: 6_000,
+            vocab_size: 20_000,
+            avg_doc_len: 20.0,
+            zipf_exponent: 1.05,
+            doc_len_sigma: 0.4,
+        }
+        .generate(42);
+        let iterations = 6;
+        let mut trainer = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(
+                LdaConfig::with_topics(512)
+                    .seed(42)
+                    .sync_shards(1)
+                    .sampler(sampler),
+            )
+            .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 42))
+            .build()
+            .expect("trainer construction");
+        trainer.train(iterations);
+        trainer.average_throughput(iterations)
     }
     vec![
         Scenario {
@@ -85,6 +118,14 @@ fn scenarios() -> Vec<Scenario> {
                 trainer.train(s.iterations);
                 trainer.average_throughput(s.iterations)
             },
+        },
+        Scenario {
+            name: "tailheavy_volta_1gpu_largeK_sparse",
+            run: || large_k_throughput(SamplerStrategy::SparseCgs),
+        },
+        Scenario {
+            name: "tailheavy_volta_1gpu_largeK_alias",
+            run: || large_k_throughput(SamplerStrategy::alias_hybrid()),
         },
     ]
 }
@@ -180,6 +221,29 @@ fn check(path: &str) -> Result<(), String> {
             failures.push(format!(
                 "scenario `{name}` is measured but missing from {path} — refresh the baseline"
             ));
+        }
+    }
+    // Cross-scenario invariant, independent of the committed baseline: the
+    // alias-hybrid sampler exists to beat sparse CGS on the large-K
+    // tail-heavy workload, so the gate fails outright if it ever measures
+    // slower there — even if both numbers individually stay within their
+    // own baselines' tolerance.
+    let tps = |name: &str| measured.iter().find(|(n, _)| n == name).map(|&(_, t)| t);
+    if let (Some(alias), Some(sparse)) = (
+        tps("tailheavy_volta_1gpu_largeK_alias"),
+        tps("tailheavy_volta_1gpu_largeK_sparse"),
+    ) {
+        if alias < sparse {
+            failures.push(format!(
+                "alias sampler ({alias:.1} tokens/s) measured slower than sparse CGS \
+                 ({sparse:.1} tokens/s) on the large-K scenario — the amortisation \
+                 invariant is broken"
+            ));
+        } else {
+            println!(
+                "alias/sparse large-K ratio: {:.3} (must stay ≥ 1)",
+                alias / sparse
+            );
         }
     }
     if failures.is_empty() {

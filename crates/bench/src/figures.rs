@@ -4,7 +4,7 @@ use crate::datasets::{self, Dataset};
 use crate::scale::ExperimentScale;
 use crate::tables::gpu_platforms;
 use culda_baselines::{CuLdaSolver, LdaSolver, LdaStar, SaberLda, WarpLda};
-use culda_core::{CuLdaTrainer, LdaConfig, SessionBuilder};
+use culda_core::{CuLdaTrainer, LdaConfig, SamplerStrategy, SessionBuilder};
 use culda_gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
 use culda_metrics::{ConvergencePoint, ThroughputSeries, Timeline};
 use serde::{Deserialize, Serialize};
@@ -95,6 +95,26 @@ pub fn figure8_dataset(
             label,
         )));
     }
+    // The alias-hybrid sampler kernel as its own solver line (the ROADMAP's
+    // alias-table speed item): same trainer machinery, `AliasHybrid`
+    // strategy, on the Volta platform.
+    let alias_trainer = SessionBuilder::new()
+        .corpus(&dataset.corpus)
+        .config(
+            LdaConfig::with_topics(scale.num_topics)
+                .seed(scale.seed)
+                .sync_shards(1)
+                .sampler(SamplerStrategy::alias_hybrid()),
+        )
+        .system(MultiGpuSystem::homogeneous(
+            DeviceSpec::v100_volta(),
+            1,
+            scale.seed,
+            Interconnect::Pcie3,
+        ))
+        .build()
+        .expect("alias trainer construction");
+    solvers.push(Box::new(CuLdaSolver::new(alias_trainer, "CuLDA(alias)")));
     solvers.push(Box::new(WarpLda::with_paper_priors(
         &dataset.corpus,
         scale.num_topics,
@@ -293,8 +313,9 @@ mod tests {
         let scale = ExperimentScale::tiny();
         let dataset = datasets::pubmed(&scale);
         let timelines = figure8_dataset(&dataset, &scale, true);
-        // 3 CuLDA platforms + WarpLDA + SaberLDA + LDA*.
-        assert_eq!(timelines.len(), 6);
+        // 3 CuLDA platforms + CuLDA(alias) + WarpLDA + SaberLDA + LDA*.
+        assert_eq!(timelines.len(), 7);
+        assert!(timelines.iter().any(|t| t.label == "CuLDA(alias)"));
         for t in &timelines {
             let first = t.points().first().unwrap().loglik_per_token;
             let best = t.best_loglik().unwrap();
@@ -302,5 +323,6 @@ mod tests {
         }
         let text = figure8_text("PubMed", &timelines);
         assert!(text.contains("LDA*"));
+        assert!(text.contains("CuLDA(alias)"));
     }
 }

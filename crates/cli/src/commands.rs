@@ -7,8 +7,8 @@
 use crate::args::{ArgError, ParsedArgs};
 use crate::CliError;
 use culda_core::{
-    CuLdaTrainer, InferenceOptions, LdaConfig, ModelCheckpoint, SessionBuilder, StreamingSession,
-    TopicInferencer,
+    CuLdaTrainer, InferenceOptions, LdaConfig, ModelCheckpoint, SamplerStrategy, SessionBuilder,
+    StreamingSession, TopicInferencer,
 };
 use culda_corpus::{holdout::DocumentCompletion, Corpus, CorpusStats, DatasetProfile, Document};
 use culda_gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
@@ -41,8 +41,16 @@ COMMANDS:
                       [--overlap-depth D]   shard reduces in flight while
                                             sampling continues (default 2;
                                             0 disables the overlap)
+                      [--sampler S]         sampler kernel: `sparse` (the
+                                            paper's exact S/Q kernel, the
+                                            default) or `alias[:R]` (stale
+                                            alias tables rebuilt every R
+                                            iterations — default 8 — with
+                                            MH correction)
                       [--resume-from FILE]  continue exactly from a saved
-                                            model's assignment state
+                                            model's assignment state (the
+                                            checkpoint's sampler strategy
+                                            is preserved)
     stream          Stream a corpus into a live model in mini-batches
                     (ingest -> train -> retire -> rotate checkpoints)
                       --corpus FILE | --profile P --tokens N
@@ -55,6 +63,8 @@ COMMANDS:
                                             most W stay live (0 = keep all)
                       [--burn-in S]         Gibbs sweeps burning each new
                                             document in (default 1)
+                      [--sampler S]         sampler kernel, as in `train`
+                                            (burn-in routes through it too)
                       [--checkpoint-dir D]  rotate checkpoint sets into D
                                             after each batch
                       [--keep-last N]       checkpoint sets retained
@@ -111,6 +121,39 @@ fn parse_sync_shards(args: &ParsedArgs) -> Result<Option<usize>, CliError> {
             ))
         }),
     }
+}
+
+/// `--sampler sparse|alias[:rebuild_every]` → a strategy, `None` when the
+/// option is absent (callers default to the checkpoint's strategy on resume,
+/// to sparse-CGS otherwise).
+fn parse_sampler(args: &ParsedArgs) -> Result<Option<SamplerStrategy>, CliError> {
+    let Some(raw) = args.get("sampler") else {
+        return Ok(None);
+    };
+    let lower = raw.to_ascii_lowercase();
+    if lower == "sparse" || lower == "sparse-cgs" {
+        return Ok(Some(SamplerStrategy::SparseCgs));
+    }
+    if lower == "alias" {
+        return Ok(Some(SamplerStrategy::alias_hybrid()));
+    }
+    if let Some(cadence) = lower.strip_prefix("alias:") {
+        let rebuild_every: usize = cadence.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+            CliError::Usage(format!(
+                "--sampler {raw}: rebuild cadence `{cadence}` must be a positive integer"
+            ))
+        })?;
+        let SamplerStrategy::AliasHybrid { mh_steps, .. } = SamplerStrategy::alias_hybrid() else {
+            unreachable!("alias_hybrid() is the alias variant");
+        };
+        return Ok(Some(SamplerStrategy::AliasHybrid {
+            rebuild_every,
+            mh_steps,
+        }));
+    }
+    Err(CliError::Usage(format!(
+        "--sampler {raw}: expected `sparse` or `alias[:rebuild_every]`"
+    )))
 }
 
 /// Load a corpus from `--corpus`, or generate one from `--profile`/`--tokens`.
@@ -257,6 +300,21 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
     let optimize_priors = args.flag("optimize-priors");
     let sync_shards = parse_sync_shards(args)?;
     let overlap_depth: usize = args.get_parsed_or("overlap-depth", 2usize)?;
+    // Resuming continues on the checkpoint's sampler strategy; an explicit
+    // conflicting --sampler is rejected like a conflicting --topics.
+    let sampler = match (&resume, parse_sampler(args)?) {
+        (Some(ckpt), Some(requested)) => {
+            if requested != ckpt.sampler {
+                return Err(CliError::Usage(format!(
+                    "--sampler {requested} conflicts with the checkpoint's sampler {}",
+                    ckpt.sampler
+                )));
+            }
+            requested
+        }
+        (Some(ckpt), None) => ckpt.sampler,
+        (None, requested) => requested.unwrap_or_default(),
+    };
     args.reject_unknown()?;
 
     let system = if gpus <= 1 {
@@ -267,7 +325,8 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
     let mut config = LdaConfig::with_topics(topics)
         .seed(seed)
         .sync_shards(sync_shards)
-        .sync_overlap_depth(overlap_depth);
+        .sync_overlap_depth(overlap_depth)
+        .sampler(sampler);
     config
         .validate()
         .map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
@@ -319,6 +378,7 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
         cfg.alpha, cfg.beta
     )
     .unwrap();
+    writeln!(out, "sampler:      {}", cfg.sampler).unwrap();
     writeln!(out, "system:       {} × {}", gpus, device.name).unwrap();
     writeln!(out, "schedule:     {:?}", trainer.schedule()).unwrap();
     let plan = trainer.sync_plan();
@@ -405,6 +465,7 @@ pub fn stream(args: &ParsedArgs) -> Result<String, CliError> {
     let checkpoint_dir = args.get("checkpoint-dir");
     let keep_last: usize = args.get_parsed_or("keep-last", 3usize)?;
     let resume = args.flag("resume");
+    let sampler = parse_sampler(args)?;
     args.reject_unknown()?;
     if batch_docs == 0 {
         return Err(CliError::Usage("--batch-docs must be positive".into()));
@@ -454,10 +515,24 @@ pub fn stream(args: &ParsedArgs) -> Result<String, CliError> {
                 )));
             }
         }
+        // The rotated checkpoint set carries the sampler strategy; an
+        // explicit conflicting --sampler is rejected, like --topics/--seed.
+        if let Some(requested) = sampler {
+            if requested != session.config().sampler {
+                return Err(CliError::Usage(format!(
+                    "--sampler {requested} conflicts with the resumed session's sampler {}",
+                    session.config().sampler
+                )));
+            }
+        }
         session
     } else {
         SessionBuilder::new()
-            .config(LdaConfig::with_topics(topics).seed(seed))
+            .config(
+                LdaConfig::with_topics(topics)
+                    .seed(seed)
+                    .sampler(sampler.unwrap_or_default()),
+            )
             .burn_in_sweeps(burn_in)
             .system(system)
             .build_streaming()
@@ -466,6 +541,7 @@ pub fn stream(args: &ParsedArgs) -> Result<String, CliError> {
 
     let mut out = String::new();
     writeln!(out, "corpus:  {corpus_name}").unwrap();
+    writeln!(out, "sampler: {}", session.config().sampler).unwrap();
     if resume {
         let s = session.stats();
         writeln!(

@@ -202,6 +202,128 @@ fn stream_ingest_retire_rotate_resume_round_trip() {
 }
 
 #[test]
+fn alias_sampler_train_checkpoint_resume_round_trip() {
+    let dir = std::env::temp_dir().join(format!(
+        "culda-cli-alias-smoke-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.cldc");
+    let model = dir.join("model.cldm");
+    let resumed = dir.join("resumed.cldm");
+
+    cli()
+        .args([
+            "gen-corpus",
+            "--profile",
+            "nytimes",
+            "--tokens",
+            "4000",
+            "--seed",
+            "11",
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .assert()
+        .success();
+
+    // 1. Train with the alias-hybrid sampler and save a checkpoint.
+    cli()
+        .args([
+            "train",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--topics",
+            "8",
+            "--iterations",
+            "3",
+            "--seed",
+            "11",
+            "--sampler",
+            "alias:2",
+            "--save-model",
+            model.to_str().unwrap(),
+        ])
+        .assert()
+        .success()
+        .stdout_contains("sampler:      alias(rebuild_every=2, mh_steps=2)")
+        .stdout_contains("Alias build")
+        .stdout_contains("model saved to");
+
+    // 2. Resume WITHOUT --sampler: the checkpoint meta must carry the
+    //    strategy forward.
+    cli()
+        .args([
+            "train",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--iterations",
+            "2",
+            "--resume-from",
+            model.to_str().unwrap(),
+            "--save-model",
+            resumed.to_str().unwrap(),
+        ])
+        .assert()
+        .success()
+        .stdout_contains("resumed from:")
+        .stdout_contains("sampler:      alias(rebuild_every=2, mh_steps=2)");
+    assert!(resumed.exists());
+
+    // 3. A conflicting --sampler on resume is a usage error.
+    cli()
+        .args([
+            "train",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--iterations",
+            "1",
+            "--resume-from",
+            model.to_str().unwrap(),
+            "--sampler",
+            "sparse",
+        ])
+        .assert()
+        .code(2)
+        .stderr_contains("conflicts with the checkpoint's sampler");
+
+    // 4. Streaming honours the flag too (burn-in routes through the trait).
+    cli()
+        .args([
+            "stream",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--topics",
+            "8",
+            "--seed",
+            "11",
+            "--batch-docs",
+            "16",
+            "--iterations-per-batch",
+            "1",
+            "--sampler",
+            "alias",
+        ])
+        .assert()
+        .success()
+        .stdout_contains("sampler: alias(rebuild_every=8, mh_steps=2)")
+        .stdout_contains("session totals:");
+
+    // 5. Malformed sampler specs are usage errors.
+    cli()
+        .args(["train", "--tokens", "2000", "--sampler", "alias:0"])
+        .assert()
+        .code(2)
+        .stderr_contains("positive integer");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn resume_rejects_mismatched_topics() {
     let dir = std::env::temp_dir().join(format!("culda-cli-smoke-k-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -15,7 +15,8 @@
 //!
 //! ```text
 //! magic   "CLDM"       4 bytes
-//! version u32          currently 2 (v1 files load with no sampler state)
+//! version u32          currently 3 (v1 files load with no sampler state,
+//!                      v2 files load with the default sparse-CGS strategy)
 //! K, V, D u64
 //! alpha, beta f64
 //! nk      K × i64
@@ -26,9 +27,13 @@
 //! iterations u64       completed training iterations
 //! seed    u64          the run's RNG seed
 //! z       per document: u64 len, len × u16  (only when flag = 1)
+//! --- v3 sampler-strategy section ---
+//! sampler u8           0 = sparse-CGS, 1 = alias hybrid
+//! rebuild_every u64    (alias only)
+//! mh_steps u64         (alias only)
 //! ```
 
-use crate::config::LdaConfig;
+use crate::config::{LdaConfig, SamplerStrategy};
 use crate::inference::TopicInferencer;
 use crate::trainer::CuLdaTrainer;
 use culda_sparse::{CsrBuilder, CsrMatrix, DenseMatrix};
@@ -39,7 +44,7 @@ use std::path::Path;
 /// Magic bytes identifying a model checkpoint.
 pub const MAGIC: &[u8; 4] = b"CLDM";
 /// Current checkpoint format version.
-pub const VERSION: u32 = 2;
+pub const VERSION: u32 = 3;
 
 /// Errors produced while reading a checkpoint.
 #[derive(Debug)]
@@ -135,6 +140,10 @@ pub struct ModelCheckpoint {
     /// state*, so `train --resume-from` continues bit-for-bit from where the
     /// saved run stopped.
     pub z: Option<Vec<Vec<u16>>>,
+    /// The sampler strategy the run was training with; resume continues on
+    /// the same strategy (and knobs) unless the user explicitly overrides
+    /// it.  v1/v2 files load as [`SamplerStrategy::SparseCgs`].
+    pub sampler: SamplerStrategy,
 }
 
 impl ModelCheckpoint {
@@ -152,6 +161,7 @@ impl ModelCheckpoint {
             seed: cfg.seed,
             iterations: trainer.completed_iterations(),
             z: Some(trainer.z_snapshot()),
+            sampler: cfg.sampler,
         }
     }
 
@@ -260,6 +270,17 @@ impl ModelCheckpoint {
                 }
             }
         }
+        match self.sampler {
+            SamplerStrategy::SparseCgs => w.write_all(&[0u8])?,
+            SamplerStrategy::AliasHybrid {
+                rebuild_every,
+                mh_steps,
+            } => {
+                w.write_all(&[1u8])?;
+                w.write_all(&(rebuild_every as u64).to_le_bytes())?;
+                w.write_all(&(mh_steps as u64).to_le_bytes())?;
+            }
+        }
         w.flush()
     }
 
@@ -358,6 +379,33 @@ impl ModelCheckpoint {
             (z, iterations, seed)
         };
 
+        // v1/v2 files predate pluggable samplers: they load as the default
+        // sparse-CGS strategy.
+        let sampler = if version < 3 {
+            SamplerStrategy::SparseCgs
+        } else {
+            let mut tag = [0u8; 1];
+            r.read_exact(&mut tag)?;
+            match tag[0] {
+                0 => SamplerStrategy::SparseCgs,
+                1 => {
+                    let rebuild_every = read_u64(&mut r)? as usize;
+                    let mh_steps = read_u64(&mut r)? as usize;
+                    let strategy = SamplerStrategy::AliasHybrid {
+                        rebuild_every,
+                        mh_steps,
+                    };
+                    strategy.validate().map_err(CheckpointError::Corrupt)?;
+                    strategy
+                }
+                other => {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "invalid sampler-strategy tag {other}"
+                    )))
+                }
+            }
+        };
+
         let checkpoint = ModelCheckpoint {
             num_topics,
             vocab_size,
@@ -369,6 +417,7 @@ impl ModelCheckpoint {
             seed,
             iterations,
             z,
+            sampler,
         };
         checkpoint.validate().map_err(CheckpointError::Corrupt)?;
         Ok(checkpoint)
@@ -587,6 +636,63 @@ mod tests {
         assert!(matches!(
             ModelCheckpoint::read(buf.as_slice()),
             Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn sampler_strategy_roundtrips_and_bad_tags_are_rejected() {
+        let corpus = DatasetProfile {
+            name: "ckpt-sampler".into(),
+            num_docs: 40,
+            vocab_size: 50,
+            avg_doc_len: 10.0,
+            zipf_exponent: 1.0,
+            doc_len_sigma: 0.4,
+        }
+        .generate(3);
+        let mut trainer = crate::session::SessionBuilder::new()
+            .corpus(&corpus)
+            .config(
+                LdaConfig::with_topics(8)
+                    .seed(2)
+                    .sampler(SamplerStrategy::AliasHybrid {
+                        rebuild_every: 3,
+                        mh_steps: 2,
+                    }),
+            )
+            .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 2))
+            .build()
+            .unwrap();
+        trainer.train(2);
+        let ckpt = ModelCheckpoint::from_trainer(&trainer);
+        assert_eq!(
+            ckpt.sampler,
+            SamplerStrategy::AliasHybrid {
+                rebuild_every: 3,
+                mh_steps: 2
+            }
+        );
+        let mut buf = Vec::new();
+        ckpt.write(&mut buf).unwrap();
+        let back = ModelCheckpoint::read(buf.as_slice()).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.sampler, ckpt.sampler);
+
+        // The sampler tag is the first byte of the trailing v3 section.
+        let tag_pos = buf.len() - 17; // 1 tag + 2 × u64 knobs
+        assert_eq!(buf[tag_pos], 1);
+        let mut bad = buf.clone();
+        bad[tag_pos] = 9;
+        assert!(matches!(
+            ModelCheckpoint::read(bad.as_slice()),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        // A zeroed rebuild_every is caught by strategy validation.
+        let mut bad = buf.clone();
+        bad[tag_pos + 1..tag_pos + 9].copy_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            ModelCheckpoint::read(bad.as_slice()),
+            Err(CheckpointError::Corrupt(_))
         ));
     }
 

@@ -2,6 +2,85 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Which sampler-kernel implementation a run uses (see
+/// [`crate::kernels::SamplerKernel`] and `DESIGN.md` §10).
+///
+/// Every variant honours the same determinism contract — draws are
+/// counter-based pure functions of token identity — so any strategy is
+/// bit-exact across runs, GPU topologies and streaming ingestion batchings.
+/// Different strategies are different (each internally deterministic)
+/// trajectories.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplerStrategy {
+    /// The paper's §6.1 S/Q-split collapsed Gibbs kernel: exact sparse part
+    /// over the document's `K_d` topics plus a dense part sampled from a
+    /// per-word 32-way index tree rebuilt every iteration.  The default.
+    #[default]
+    SparseCgs,
+    /// AliasLDA-style hybrid: the exact sparse part is kept, but the dense
+    /// part is drawn in O(1) from a per-word *stale* alias table rebuilt
+    /// every `rebuild_every` iterations, with the staleness corrected by
+    /// `mh_steps` Metropolis–Hastings steps against the fresh φ.  Avoids the
+    /// per-word per-iteration `O(K)` tree rebuild, which is what the sparse
+    /// kernel pays even for single-token words — the win grows with `K`.
+    AliasHybrid {
+        /// Iteration cadence of the stale alias-table rebuild (≥ 1;
+        /// `1` = rebuild every iteration, i.e. tables are never stale
+        /// beyond the per-token self-exclusion).
+        rebuild_every: usize,
+        /// Metropolis–Hastings correction steps per token (≥ 1).
+        mh_steps: usize,
+    },
+}
+
+impl SamplerStrategy {
+    /// The alias-hybrid strategy with its default knobs (rebuild every 8
+    /// iterations, 2 MH steps per token).  Eight iterations of staleness is
+    /// the amortization point where the rebuild traffic drops well below
+    /// the per-word column read the sparse kernel pays *every* iteration,
+    /// while the MH correction keeps the stationary distribution exact.
+    pub fn alias_hybrid() -> Self {
+        SamplerStrategy::AliasHybrid {
+            rebuild_every: 8,
+            mh_steps: 2,
+        }
+    }
+
+    /// Validate the strategy's knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            SamplerStrategy::SparseCgs => Ok(()),
+            SamplerStrategy::AliasHybrid {
+                rebuild_every,
+                mh_steps,
+            } => {
+                if rebuild_every == 0 {
+                    return Err("alias rebuild_every must be at least 1".into());
+                }
+                if mh_steps == 0 {
+                    return Err("alias mh_steps must be at least 1".into());
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SamplerStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SamplerStrategy::SparseCgs => write!(f, "sparse-cgs"),
+            SamplerStrategy::AliasHybrid {
+                rebuild_every,
+                mh_steps,
+            } => write!(
+                f,
+                "alias(rebuild_every={rebuild_every}, mh_steps={mh_steps})"
+            ),
+        }
+    }
+}
+
 /// Hyper-parameters and execution options of a CuLDA_CGS training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LdaConfig {
@@ -49,6 +128,10 @@ pub struct LdaConfig {
     /// independently but only after all sampling finishes.  Ignored when
     /// `sync_shards == 1`.
     pub sync_overlap_depth: usize,
+    /// Which sampler-kernel implementation the run uses (default:
+    /// [`SamplerStrategy::SparseCgs`], the paper's §6.1 kernel).  See
+    /// [`LdaConfig::sampler`].
+    pub sampler: SamplerStrategy,
 }
 
 impl LdaConfig {
@@ -67,6 +150,7 @@ impl LdaConfig {
             share_p2_tree: true,
             sync_shards: None,
             sync_overlap_depth: 2,
+            sampler: SamplerStrategy::SparseCgs,
         }
     }
 
@@ -110,6 +194,24 @@ impl LdaConfig {
         self
     }
 
+    /// Select the sampler-kernel implementation (builder style).  Every
+    /// strategy trains through the same [`crate::kernels::SamplerKernel`]
+    /// trait — batch, streaming, checkpoint/resume and the CLI all honour
+    /// the choice.
+    ///
+    /// ```
+    /// use culda_core::{LdaConfig, SamplerStrategy};
+    ///
+    /// let cfg = LdaConfig::with_topics(256)
+    ///     .sampler(SamplerStrategy::AliasHybrid { rebuild_every: 8, mh_steps: 2 });
+    /// assert_eq!(cfg.sampler, SamplerStrategy::alias_hybrid());
+    /// cfg.validate().unwrap();
+    /// ```
+    pub fn sampler(mut self, sampler: SamplerStrategy) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
     /// Validate the configuration.
     pub fn validate(&self) -> Result<(), String> {
         if self.num_topics < 2 {
@@ -138,6 +240,7 @@ impl LdaConfig {
         if self.sync_shards == Some(0) {
             return Err("sync_shards must be at least 1".into());
         }
+        self.sampler.validate()?;
         Ok(())
     }
 }
@@ -184,6 +287,36 @@ mod tests {
         assert!(c.validate().is_err());
         let c = LdaConfig::with_topics(16).sync_shards(0);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn sampler_strategy_defaults_validates_and_displays() {
+        let c = LdaConfig::with_topics(16);
+        assert_eq!(c.sampler, SamplerStrategy::SparseCgs);
+        assert_eq!(c.sampler, SamplerStrategy::default());
+        assert_eq!(c.sampler.to_string(), "sparse-cgs");
+
+        let c = c.sampler(SamplerStrategy::alias_hybrid());
+        assert_eq!(
+            c.sampler,
+            SamplerStrategy::AliasHybrid {
+                rebuild_every: 8,
+                mh_steps: 2
+            }
+        );
+        assert_eq!(c.sampler.to_string(), "alias(rebuild_every=8, mh_steps=2)");
+        c.validate().unwrap();
+
+        let bad = LdaConfig::with_topics(16).sampler(SamplerStrategy::AliasHybrid {
+            rebuild_every: 0,
+            mh_steps: 2,
+        });
+        assert!(bad.validate().is_err());
+        let bad = LdaConfig::with_topics(16).sampler(SamplerStrategy::AliasHybrid {
+            rebuild_every: 4,
+            mh_steps: 0,
+        });
+        assert!(bad.validate().is_err());
     }
 
     #[test]

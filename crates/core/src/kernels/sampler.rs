@@ -1,0 +1,142 @@
+//! The pluggable sampler-kernel API.
+//!
+//! PR 4 put session construction behind [`crate::session::SessionBuilder`];
+//! this module does the same for the *kernel layer*: the scheduler no longer
+//! hard-codes the §6.1 S/Q-split kernel but drives any [`SamplerKernel`],
+//! selected through [`LdaConfig::sampler`] ([`SamplerStrategy`]).  Two
+//! implementations ship today:
+//!
+//! * [`SparseCgsSampler`](crate::kernels::SparseCgsSampler) — the paper's
+//!   exact collapsed Gibbs kernel (the default);
+//! * [`AliasHybridSampler`](crate::kernels::AliasHybridSampler) — stale
+//!   per-word alias tables with a Metropolis–Hastings correction
+//!   (AliasLDA-style), closing the ROADMAP's alias-table hybrid item.
+//!
+//! A sampler owns three responsibilities (`DESIGN.md` §10):
+//!
+//! 1. **Per-chunk state** — [`SamplerKernel::prepare_chunk`] runs whatever
+//!    periodic device work the strategy needs (e.g. the stale alias-table
+//!    rebuild) and reports its simulated span so the scheduler can charge it.
+//! 2. **Block work** — [`SamplerKernel::sampling_kernel`] emits the
+//!    per-thread-block [`BlockKernel`] for one chunk's work items; the
+//!    scheduler launches it under [`SamplerKernel::name`].
+//! 3. **Cost-model feedback** — [`SamplerKernel::predict_steady_compute_s`]
+//!    converts iteration 0's measured spans into the steady-state compute
+//!    span (amortising periodic setup), which feeds the φ-sync shard
+//!    auto-tuner's span prediction.
+//!
+//! Streaming burn-in routes through the same trait
+//! ([`SamplerKernel::burn_in_sweep`]), so an ingested document is burnt in
+//! by the *same sampler family* that will train it — and every draw stays a
+//! counter-based pure function of `(seed, stream, uid, slot)`, preserving
+//! the ingestion-batching and topology bit-exactness contract for every
+//! strategy.
+
+use crate::config::{LdaConfig, SamplerStrategy};
+use crate::model::ChunkState;
+use crate::work::WorkItem;
+use culda_gpusim::{BlockKernel, Device};
+use culda_sparse::DenseMatrix;
+use std::sync::Arc;
+
+/// RNG stream tag of the first streaming burn-in sweep; sweep `s` uses
+/// `BURN_STREAM_BASE - s`.  Training iterations tag their streams with the
+/// iteration number (counting up from 0) and the stable initialisation uses
+/// `u64::MAX`, so burn-in streams can never collide with either.
+pub const BURN_STREAM_BASE: u64 = u64::MAX - 2;
+
+/// A pluggable sampling-kernel implementation.
+///
+/// Implementations must be deterministic: every random draw — on the device
+/// and in [`SamplerKernel::burn_in_sweep`] — must be a counter-based pure
+/// function of the token's partition-independent identity, never of block,
+/// device, topology or ingestion batching.
+pub trait SamplerKernel: Send + Sync {
+    /// Profiling name of the per-iteration sampling launch (Table 5 key).
+    fn name(&self) -> &'static str;
+
+    /// Run this iteration's per-chunk setup work on `device` (e.g. a stale
+    /// alias-table rebuild) and return its simulated span in seconds.  The
+    /// default does nothing and costs nothing.
+    fn prepare_chunk(
+        &self,
+        device: &Device,
+        state: &ChunkState,
+        config: &LdaConfig,
+        iteration: u64,
+    ) -> f64 {
+        let _ = (device, state, config, iteration);
+        0.0
+    }
+
+    /// The per-block sampling work for one chunk at `iteration`
+    /// ([`crate::work::build_work_items`] defines the block ↔ token-range
+    /// mapping).  Launched by the scheduler as one thread block per item.
+    fn sampling_kernel<'a>(
+        &'a self,
+        state: &'a ChunkState,
+        items: &'a [WorkItem],
+        config: &'a LdaConfig,
+        iteration: u64,
+    ) -> Box<dyn BlockKernel + 'a>;
+
+    /// Predict the steady-state per-iteration compute span from iteration
+    /// 0's measured compute and setup spans, amortising periodic setup work
+    /// over its cadence.  The φ-sync shard auto-tuner predicts overlap spans
+    /// with this value, so a sampler whose iteration 0 included a full
+    /// rebuild does not mislead the tuner about later iterations.
+    fn predict_steady_compute_s(&self, measured_compute_s: f64, measured_setup_s: f64) -> f64 {
+        let _ = measured_setup_s;
+        measured_compute_s
+    }
+
+    /// One host-side streaming burn-in sweep over a freshly ingested
+    /// document: resample every token of `words` against the live global
+    /// (`phi`, `nk`) counts, updating `z` and the document's topic histogram
+    /// `theta_d` in place.  Sweep `sweep` must draw only from RNG streams
+    /// derived from [`BURN_STREAM_BASE`]`- sweep` keyed by `(uid, slot)`.
+    #[allow(clippy::too_many_arguments)]
+    fn burn_in_sweep(
+        &self,
+        config: &LdaConfig,
+        uid: u64,
+        sweep: usize,
+        words: &[u32],
+        z: &mut [u16],
+        theta_d: &mut [u32],
+        phi: &mut DenseMatrix<u32>,
+        nk: &mut [i64],
+    );
+}
+
+/// Instantiate the sampler kernel a configuration selects.
+pub fn sampler_for(config: &LdaConfig) -> Arc<dyn SamplerKernel> {
+    match config.sampler {
+        SamplerStrategy::SparseCgs => Arc::new(crate::kernels::SparseCgsSampler),
+        SamplerStrategy::AliasHybrid {
+            rebuild_every,
+            mh_steps,
+        } => Arc::new(crate::kernels::AliasHybridSampler::new(
+            rebuild_every,
+            mh_steps,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_matches_the_strategy() {
+        let sparse = sampler_for(&LdaConfig::with_topics(8));
+        assert_eq!(sparse.name(), crate::kernels::names::SAMPLING);
+        let alias =
+            sampler_for(&LdaConfig::with_topics(8).sampler(SamplerStrategy::alias_hybrid()));
+        assert_eq!(alias.name(), crate::kernels::names::SAMPLING);
+        // Setup is free for the default sampler and its steady-state
+        // prediction is the identity.
+        assert_eq!(sparse.predict_steady_compute_s(2.0, 0.5), 2.0);
+        assert_eq!(alias.predict_steady_compute_s(2.0, 0.5), 1.5625);
+    }
+}

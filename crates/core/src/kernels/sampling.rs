@@ -1,8 +1,9 @@
-//! The LDA sampling kernel (§6.1, Algorithm 2).
+//! The default sparse-CGS sampling kernel (§6.1, Algorithm 2).
 //!
-//! One thread block samples the tokens of one word (or a slice of a heavy
-//! word's tokens).  The block first computes the shared quantities that
-//! depend only on the word:
+//! [`SparseCgsSampler`] is the default [`SamplerKernel`] implementation: the
+//! paper's exact S/Q-split collapsed Gibbs kernel.  One thread block samples
+//! the tokens of one word (or a slice of a heavy word's tokens).  The block
+//! first computes the shared quantities that depend only on the word:
 //!
 //! * the reused sub-expression `p*(k) = (φ[k,v] + β) / (n_k + βV)` (§6.1.3),
 //!   stored in shared memory;
@@ -16,15 +17,90 @@
 //! topic is written to `z_next`; counts are folded in by the update kernels.
 
 use crate::config::LdaConfig;
+use crate::kernels::sampler::{SamplerKernel, BURN_STREAM_BASE};
 use crate::model::ChunkState;
 use crate::work::WorkItem;
+use culda_gpusim::rng::stable_f32;
 use culda_gpusim::{BlockCtx, BlockKernel};
 use culda_sparse::prefix::search_prefix;
-use culda_sparse::IndexTree;
+use culda_sparse::{DenseMatrix, IndexTree};
 use std::sync::atomic::Ordering;
 
-/// The sampling kernel for one chunk.
-pub struct SamplingKernel<'a> {
+/// The paper's exact S/Q-split collapsed Gibbs sampler — the default
+/// [`SamplerKernel`] implementation ([`crate::SamplerStrategy::SparseCgs`]).
+///
+/// Stateless: the per-word shared structures (p*(k), the p2 index tree) are
+/// rebuilt inside every block, every iteration, exactly as §6.1 describes —
+/// which is precisely the `O(K)` per-word cost the alias-hybrid strategy
+/// amortises away.
+pub struct SparseCgsSampler;
+
+impl SamplerKernel for SparseCgsSampler {
+    fn name(&self) -> &'static str {
+        crate::kernels::names::SAMPLING
+    }
+
+    fn sampling_kernel<'a>(
+        &'a self,
+        state: &'a ChunkState,
+        items: &'a [WorkItem],
+        config: &'a LdaConfig,
+        iteration: u64,
+    ) -> Box<dyn BlockKernel + 'a> {
+        Box::new(SparseCgsBlock {
+            state,
+            items,
+            config,
+            iteration,
+        })
+    }
+
+    /// Exact document-major collapsed Gibbs: the full conditional
+    /// `(θ_{d,k} + α)(φ_{k,w} + β)/(n_k + βV)` is evaluated fresh for every
+    /// token and sampled by inverse CDF from one counter-based draw keyed by
+    /// `(uid, slot)`.
+    fn burn_in_sweep(
+        &self,
+        config: &LdaConfig,
+        uid: u64,
+        sweep: usize,
+        words: &[u32],
+        z: &mut [u16],
+        theta_d: &mut [u32],
+        phi: &mut DenseMatrix<u32>,
+        nk: &mut [i64],
+    ) {
+        let k = config.num_topics;
+        let alpha = config.alpha;
+        let beta = config.beta;
+        let stream = BURN_STREAM_BASE - sweep as u64;
+        let v_beta = beta * phi.cols() as f64;
+        let mut weights = vec![0.0f64; k];
+        for (slot, &w) in words.iter().enumerate() {
+            let w = w as usize;
+            let c = z[slot] as usize;
+            theta_d[c] -= 1;
+            *phi.get_mut(c, w) -= 1;
+            nk[c] -= 1;
+            let mut total = 0.0f64;
+            for (topic, weight) in weights.iter_mut().enumerate() {
+                total += (theta_d[topic] as f64 + alpha) * (phi.get(topic, w) as f64 + beta)
+                    / (nk[topic] as f64 + v_beta);
+                *weight = total;
+            }
+            let u = stable_f32(config.seed, stream, (uid << 32) | slot as u64) as f64 * total;
+            let new_topic = weights.partition_point(|&cum| cum <= u).min(k - 1);
+            z[slot] = new_topic as u16;
+            theta_d[new_topic] += 1;
+            *phi.get_mut(new_topic, w) += 1;
+            nk[new_topic] += 1;
+        }
+    }
+}
+
+/// The per-launch block kernel of [`SparseCgsSampler`]: one chunk's work
+/// items at one iteration.
+pub struct SparseCgsBlock<'a> {
     /// Chunk being sampled.
     pub state: &'a ChunkState,
     /// Per-block work assignment (see [`crate::work::build_work_items`]).
@@ -36,7 +112,7 @@ pub struct SamplingKernel<'a> {
     pub iteration: u64,
 }
 
-impl SamplingKernel<'_> {
+impl SparseCgsBlock<'_> {
     /// Bytes of a compressed (or not) integer model element.
     #[inline]
     fn model_int_bytes(&self) -> u64 {
@@ -48,7 +124,7 @@ impl SamplingKernel<'_> {
     }
 }
 
-impl BlockKernel for SamplingKernel<'_> {
+impl BlockKernel for SparseCgsBlock<'_> {
     fn run_block(&self, block_id: usize, ctx: &mut BlockCtx) {
         let item = &self.items[block_id];
         if item.is_empty() {
@@ -272,7 +348,7 @@ mod tests {
         let state = make_state(8, 3);
         let cfg = LdaConfig::with_topics(8);
         let items = build_work_items(&state.layout, cfg.max_tokens_per_block);
-        let kernel = SamplingKernel {
+        let kernel = SparseCgsBlock {
             state: &state,
             items: &items,
             config: &cfg,
@@ -297,7 +373,7 @@ mod tests {
         let state = make_state(32, 5);
         let cfg = LdaConfig::with_topics(32);
         let items = build_work_items(&state.layout, cfg.max_tokens_per_block);
-        let kernel = SamplingKernel {
+        let kernel = SparseCgsBlock {
             state: &state,
             items: &items,
             config: &cfg,
@@ -339,7 +415,7 @@ mod tests {
         let dev = Device::new(0, DeviceSpec::titan_x_maxwell(), 77);
         let items = build_work_items(&state.layout, cfg.max_tokens_per_block);
         for _ in 0..15 {
-            let kernel = SamplingKernel {
+            let kernel = SparseCgsBlock {
                 state: &state,
                 items: &items,
                 config: &cfg,
@@ -376,7 +452,7 @@ mod tests {
         let with = dev.launch(
             "Sampling",
             LaunchConfig::new(items.len()),
-            &SamplingKernel {
+            &SparseCgsBlock {
                 state: &state,
                 items: &items,
                 config: &shared_cfg,
@@ -386,7 +462,7 @@ mod tests {
         let without = dev.launch(
             "Sampling",
             LaunchConfig::new(items.len()),
-            &SamplingKernel {
+            &SparseCgsBlock {
                 state: &state,
                 items: &items,
                 config: &unshared_cfg,

@@ -12,6 +12,7 @@
 //! | §5.1 scheduling algorithm (`WorkSchedule1`/`WorkSchedule2`) | [`schedule`] |
 //! | §5.2 φ synchronization (tree reduce + broadcast; dense or vocabulary-sharded with sampling overlap, DESIGN.md §8) | [`sync`] |
 //! | §6.1 sampling kernel (sparsity-aware S/Q decomposition, 32-way index trees, warp-per-sampler, shared p2 tree, p*(k) reuse, 16-bit compression) | [`kernels::sampling`], [`work`] |
+//! | pluggable sampler kernels (trait API + stale-alias/MH hybrid, DESIGN.md §10) | [`kernels::sampler`], [`kernels::alias_hybrid`] |
 //! | §6.2 model update kernels (atomic φ update, dense-scatter + prefix-sum θ rebuild) | [`kernels::update_phi`], [`kernels::update_theta`] |
 //! | training loop / public API | [`session::SessionBuilder`], [`trainer::CuLdaTrainer`], [`config::LdaConfig`] |
 //! | streaming/online training (ingest · retire · rotate, DESIGN.md §9) | [`session::StreamingSession`] |
@@ -44,10 +45,11 @@ pub mod trainer;
 pub mod work;
 
 pub use checkpoint::{CheckpointError, ModelCheckpoint};
-pub use config::LdaConfig;
+pub use config::{LdaConfig, SamplerStrategy};
 pub use convergence::{train_until_converged, ConvergenceMonitor, EarlyStopper};
 pub use hyper::{optimize_alpha, optimize_beta, HyperOptOptions, HyperUpdate};
 pub use inference::{DocumentTopics, InferenceOptions, TopicInferencer};
+pub use kernels::{sampler_for, AliasHybridSampler, SamplerKernel, SparseCgsSampler};
 pub use model::{ChunkState, TopicTotals};
 pub use schedule::{IterationStats, ScheduleKind};
 pub use session::{

@@ -27,7 +27,7 @@
 //! `DESIGN.md` §8).
 
 use crate::config::LdaConfig;
-use crate::kernels::{names, SamplingKernel, UpdatePhiKernel, UpdateThetaKernel};
+use crate::kernels::{names, SamplerKernel, UpdatePhiKernel, UpdateThetaKernel};
 use crate::model::ChunkState;
 use crate::sync::{
     global_word_tokens, synchronize_phi_over_ranges, synchronize_phi_sharded, SyncPlan,
@@ -57,9 +57,14 @@ pub enum ScheduleKind {
 pub struct IterationStats {
     /// Total simulated wall-clock time of the iteration.
     pub sim_time_s: f64,
-    /// Max-over-devices sampling + update-φ time (the part that cannot
-    /// overlap with the synchronization).
+    /// Max-over-devices sampler setup + sampling + update-φ time (the part
+    /// that cannot overlap with the synchronization).
     pub compute_time_s: f64,
+    /// Max-over-devices per-iteration sampler setup time (e.g. the stale
+    /// alias-table rebuild of [`crate::kernels::AliasHybridSampler`]; 0 for
+    /// the default sparse-CGS sampler and on non-rebuild iterations).
+    /// Included in [`IterationStats::compute_time_s`].
+    pub sampler_setup_time_s: f64,
     /// Max-over-devices update-θ time (overlapped with the synchronization).
     pub update_theta_time_s: f64,
     /// φ synchronization (tree reduce + broadcast) interconnect work, summed
@@ -78,6 +83,7 @@ pub struct IterationStats {
 /// Per-device accumulation of one iteration's kernel times.
 #[derive(Debug, Clone, Copy, Default)]
 struct DeviceTimes {
+    setup_s: f64,
     sampling_s: f64,
     update_phi_s: f64,
     update_theta_s: f64,
@@ -107,12 +113,14 @@ pub(crate) fn shard_token_weights(
 }
 
 /// Execute one full pass over all chunks (one iteration of Algorithm 1's
-/// inner loop) and synchronize φ according to `plan`.
+/// inner loop) with `sampler`'s kernel and synchronize φ according to `plan`.
+#[allow(clippy::too_many_arguments)]
 pub fn run_iteration(
     states: &[Arc<ChunkState>],
     work_items: &[Vec<WorkItem>],
     system: &MultiGpuSystem,
     config: &LdaConfig,
+    sampler: &dyn SamplerKernel,
     kind: ScheduleKind,
     plan: &SyncPlan,
     iteration: u64,
@@ -134,16 +142,18 @@ pub fn run_iteration(
                 let items = &work_items[chunk_idx];
                 let mut chunk_compute = 0.0f64;
 
-                // Sampling kernel.
+                // Per-iteration sampler setup (e.g. the stale alias-table
+                // rebuild on its cadence); free for the default sampler.
+                let setup = sampler.prepare_chunk(device, state, config, iteration);
+                times.setup_s += setup;
+                chunk_compute += setup;
+
+                // Sampling kernel (whatever implementation the sampler
+                // strategy emits).
                 if !items.is_empty() {
-                    let kernel = SamplingKernel {
-                        state,
-                        items,
-                        config,
-                        iteration,
-                    };
+                    let kernel = sampler.sampling_kernel(state, items, config, iteration);
                     let stats =
-                        device.launch(names::SAMPLING, LaunchConfig::new(items.len()), &kernel);
+                        device.launch(sampler.name(), LaunchConfig::new(items.len()), &kernel);
                     times.sampling_s += stats.time.total_s;
                     chunk_compute += stats.time.total_s;
                 }
@@ -218,8 +228,9 @@ pub fn run_iteration(
 
     let max_samp_phi = per_device
         .iter()
-        .map(|t| t.sampling_s + t.update_phi_s)
+        .map(|t| t.setup_s + t.sampling_s + t.update_phi_s)
         .fold(0.0, f64::max);
+    let max_setup = per_device.iter().map(|t| t.setup_s).fold(0.0, f64::max);
     let max_theta = per_device
         .iter()
         .map(|t| t.update_theta_s)
@@ -262,6 +273,7 @@ pub fn run_iteration(
     IterationStats {
         sim_time_s,
         compute_time_s: max_samp_phi,
+        sampler_setup_time_s: max_setup,
         update_theta_time_s: max_theta,
         sync_time_s: sync_total,
         sync_exposed_time_s: sync_exposed,
@@ -277,6 +289,7 @@ pub fn run_iteration(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::SparseCgsSampler;
     use crate::work::build_work_items;
     use culda_corpus::{DatasetProfile, Partitioner};
     use culda_gpusim::{DeviceSpec, Interconnect};
@@ -343,6 +356,7 @@ mod tests {
             &items,
             &system,
             &cfg,
+            &SparseCgsSampler,
             ScheduleKind::Resident,
             &DENSE,
             0,
@@ -368,6 +382,7 @@ mod tests {
             &items,
             &system,
             &cfg,
+            &SparseCgsSampler,
             ScheduleKind::Streamed { chunks_per_gpu: 2 },
             &DENSE,
             0,
@@ -387,6 +402,7 @@ mod tests {
             &items1,
             &system1,
             &cfg,
+            &SparseCgsSampler,
             ScheduleKind::Resident,
             &DENSE,
             0,
@@ -397,6 +413,7 @@ mod tests {
             &items4,
             &system4,
             &cfg4,
+            &SparseCgsSampler,
             ScheduleKind::Resident,
             &DENSE,
             0,
@@ -417,6 +434,7 @@ mod tests {
             &items,
             &system,
             &cfg,
+            &SparseCgsSampler,
             ScheduleKind::Resident,
             &DENSE,
             0,
@@ -429,6 +447,7 @@ mod tests {
             &items,
             &system,
             &cfg,
+            &SparseCgsSampler,
             ScheduleKind::Resident,
             &plan,
             1,
@@ -453,6 +472,7 @@ mod tests {
             &items,
             &system,
             &cfg,
+            &SparseCgsSampler,
             ScheduleKind::Resident,
             &plan,
             0,
@@ -488,6 +508,7 @@ mod tests {
                 &items,
                 &system,
                 &cfg,
+                &SparseCgsSampler,
                 ScheduleKind::Resident,
                 &DENSE,
                 it,

@@ -54,17 +54,19 @@
 //! `[a, b, c]` — bit for bit — and training afterwards sees identical state.
 
 use crate::checkpoint::{rotation, ModelCheckpoint};
-use crate::config::LdaConfig;
+use crate::config::{LdaConfig, SamplerStrategy};
+use crate::kernels::{sampler_for, SamplerKernel};
 use crate::model::ChunkState;
 use crate::schedule::IterationStats;
 use crate::trainer::{CuLdaTrainer, TrainerError};
 use culda_corpus::{Corpus, CorpusBuffer, Document};
-use culda_gpusim::rng::{stable_f32, stable_u64};
+use culda_gpusim::rng::stable_u64;
 use culda_gpusim::MultiGpuSystem;
 use culda_sparse::{CsrBuilder, CsrMatrix, DenseMatrix};
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// A batch training session.
 ///
@@ -233,6 +235,20 @@ impl SessionBuilder {
         self
     }
 
+    /// Select the sampler-kernel implementation (convenience; applies on top
+    /// of whatever `config` is set, like [`SessionBuilder::seed`]).  Both
+    /// the batch trainer and the streaming session — including its ingest
+    /// burn-in — route through the selected
+    /// [`crate::kernels::SamplerKernel`].
+    pub fn sampler(mut self, sampler: SamplerStrategy) -> Self {
+        self.config = Some(
+            self.config
+                .unwrap_or_else(|| LdaConfig::with_topics(128))
+                .sampler(sampler),
+        );
+        self
+    }
+
     /// Burn-in sweeps per ingested document (streaming only; default 1).
     pub fn burn_in_sweeps(mut self, sweeps: usize) -> Self {
         self.streaming.burn_in_sweeps = sweeps;
@@ -377,6 +393,10 @@ pub struct StreamingSession {
     /// Pristine system template; every trainer rebuild gets a
     /// `fresh_like()` copy so device memory trackers start clean.
     system: MultiGpuSystem,
+    /// The configured sampler kernel; ingest burn-in routes through its
+    /// [`SamplerKernel::burn_in_sweep`] so a document is burnt in by the
+    /// same sampler family that will train it.
+    sampler: Arc<dyn SamplerKernel>,
     opts: StreamingOptions,
     buffer: CorpusBuffer,
     meta: BTreeMap<u64, DocMeta>,
@@ -399,17 +419,13 @@ pub struct StreamingSession {
     checkpoints_written: u64,
 }
 
-/// RNG stream tag of the first burn-in sweep; sweep `s` uses
-/// `BURN_STREAM_BASE - s`.  Training iterations tag their streams with the
-/// iteration number (counting up from 0) and the stable initialisation uses
-/// `u64::MAX`, so the burn-in streams can never collide with either.
-const BURN_STREAM_BASE: u64 = u64::MAX - 2;
-
 impl StreamingSession {
     fn empty(config: LdaConfig, system: MultiGpuSystem, opts: StreamingOptions) -> Self {
         let slots = system.num_gpus() * config.chunks_per_gpu.unwrap_or(1);
         let k = config.num_topics;
+        let sampler = sampler_for(&config);
         StreamingSession {
+            sampler,
             buffer: CorpusBuffer::new(0),
             meta: BTreeMap::new(),
             phi: DenseMatrix::zeros(k, 0),
@@ -487,36 +503,23 @@ impl StreamingSession {
             self.nk[topic] += 1;
         }
 
-        // Burn the document in against the current global φ: standard
-        // collapsed Gibbs with self-exclusion, document-major so batching
-        // cannot change the order of draws.
-        let alpha = self.config.alpha;
-        let beta = self.config.beta;
+        // Burn the document in against the current global φ, document-major
+        // so batching cannot change the order of draws.  The sweep itself is
+        // the configured sampler's [`SamplerKernel::burn_in_sweep`]: exact
+        // collapsed Gibbs for the default sparse-CGS strategy, stale-alias +
+        // MH for the alias hybrid — either way every draw is keyed by
+        // `(uid, slot)`.
         for sweep in 0..self.opts.burn_in_sweeps {
-            let stream = BURN_STREAM_BASE - sweep as u64;
-            let v_beta = beta * self.phi.cols() as f64;
-            let mut weights = vec![0.0f64; k];
-            for (slot, &w) in doc.words.iter().enumerate() {
-                let w = w as usize;
-                let c = z[slot] as usize;
-                theta_d[c] -= 1;
-                *self.phi.get_mut(c, w) -= 1;
-                self.nk[c] -= 1;
-                let mut total = 0.0f64;
-                for (topic, weight) in weights.iter_mut().enumerate() {
-                    total += (theta_d[topic] as f64 + alpha)
-                        * (self.phi.get(topic, w) as f64 + beta)
-                        / (self.nk[topic] as f64 + v_beta);
-                    *weight = total;
-                }
-                let u =
-                    stable_f32(self.config.seed, stream, (uid << 32) | slot as u64) as f64 * total;
-                let new_topic = weights.partition_point(|&cum| cum <= u).min(k - 1);
-                z[slot] = new_topic as u16;
-                theta_d[new_topic] += 1;
-                *self.phi.get_mut(new_topic, w) += 1;
-                self.nk[new_topic] += 1;
-            }
+            self.sampler.burn_in_sweep(
+                &self.config,
+                uid,
+                sweep,
+                &doc.words,
+                &mut z,
+                &mut theta_d,
+                &mut self.phi,
+                &mut self.nk,
+            );
         }
 
         // Least-loaded chunk placement (ties go to the lowest slot).
@@ -683,6 +686,7 @@ impl StreamingSession {
             seed: self.config.seed,
             iterations: self.iterations_done,
             z: Some(self.meta.values().map(|m| m.z.clone()).collect()),
+            sampler: self.config.sampler,
         }
     }
 
@@ -813,12 +817,14 @@ impl StreamingSession {
                 cfg.alpha = ckpt.alpha;
                 cfg.beta = ckpt.beta;
                 cfg.seed = ckpt.seed;
+                cfg.sampler = ckpt.sampler;
                 cfg
             }
             None => {
                 let mut cfg = LdaConfig::with_topics(ckpt.num_topics).seed(ckpt.seed);
                 cfg.alpha = ckpt.alpha;
                 cfg.beta = ckpt.beta;
+                cfg.sampler = ckpt.sampler;
                 cfg
             }
         };

@@ -21,6 +21,7 @@
 //! ```
 
 use crate::config::LdaConfig;
+use crate::kernels::{sampler_for, SamplerKernel};
 use crate::model::ChunkState;
 use crate::schedule::{run_iteration, IterationStats, ScheduleKind};
 use crate::sync::{synchronize_phi_sharded, SyncPlan};
@@ -70,6 +71,10 @@ pub struct CuLdaTrainer {
     work_items: Vec<Vec<WorkItem>>,
     schedule: ScheduleKind,
     sync_plan: SyncPlan,
+    /// The pluggable sampling-kernel implementation
+    /// ([`LdaConfig::sampler`]); owns whatever per-chunk state the strategy
+    /// keeps between iterations (e.g. stale alias tables).
+    sampler: Arc<dyn SamplerKernel>,
     vocab_size: usize,
     num_docs: usize,
     total_tokens: u64,
@@ -243,8 +248,10 @@ impl CuLdaTrainer {
         let sync_plan = SyncPlan::from_config(&config, corpus.vocab_size());
         synchronize_phi_sharded(&states, &system, &sync_plan, config.compress_16bit);
         let auto_tune_shards = config.sync_shards.is_none() && system.num_gpus() > 1;
+        let sampler = sampler_for(&config);
 
         Ok(CuLdaTrainer {
+            sampler,
             vocab_size: corpus.vocab_size(),
             num_docs: corpus.num_docs(),
             total_tokens: corpus.num_tokens() as u64,
@@ -369,6 +376,12 @@ impl CuLdaTrainer {
         &self.config
     }
 
+    /// The pluggable sampler kernel driving this trainer's sampling launches
+    /// (selected by [`LdaConfig::sampler`]).
+    pub fn sampler_kernel(&self) -> &dyn SamplerKernel {
+        &*self.sampler
+    }
+
     /// The simulated GPU system the trainer runs on.
     pub fn system(&self) -> &MultiGpuSystem {
         &self.system
@@ -424,12 +437,19 @@ impl CuLdaTrainer {
             &self.work_items,
             &self.system,
             &self.config,
+            &*self.sampler,
             self.schedule,
             &self.sync_plan,
             self.base_iteration + self.history.len() as u64,
         );
         if std::mem::take(&mut self.auto_tune_shards) {
-            self.sync_plan = self.auto_tune_sync_plan(stats.compute_time_s);
+            // Iteration 0 may have paid one-off sampler setup (e.g. a full
+            // alias-table build); let the sampler amortise it before the
+            // span prediction, so periodic work does not skew the plan.
+            let steady = self
+                .sampler
+                .predict_steady_compute_s(stats.compute_time_s, stats.sampler_setup_time_s);
+            self.sync_plan = self.auto_tune_sync_plan(steady);
         }
         self.sim_time_s += stats.sim_time_s;
         self.history.push(stats);

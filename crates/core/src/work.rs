@@ -68,6 +68,19 @@ pub fn build_work_items(layout: &ChunkLayout, max_per_block: usize) -> Vec<WorkI
     items
 }
 
+/// The words with at least one token in a chunk, ascending by word id — the
+/// grid of any per-word auxiliary kernel (e.g. the alias-build kernel of
+/// [`crate::kernels::AliasHybridSampler`], one block per word).
+pub fn chunk_words(layout: &ChunkLayout) -> Vec<u32> {
+    (0..layout.vocab_size)
+        .filter(|&v| {
+            let (start, end) = layout.word_token_range(v);
+            start < end
+        })
+        .map(|v| v as u32)
+        .collect()
+}
+
 /// Summary statistics of a work list (used by scheduling diagnostics and the
 /// load-balance ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -162,6 +175,12 @@ mod tests {
                 items.iter().map(WorkItem::len).max().unwrap()
             );
         }
+    }
+
+    #[test]
+    fn chunk_words_lists_exactly_the_words_with_tokens() {
+        let layout = layout_with_heavy_word();
+        assert_eq!(chunk_words(&layout), vec![0, 1, 3]);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use culda_core::checkpoint::ModelCheckpoint;
 use culda_core::convergence::{ConvergenceMonitor, EarlyStopper};
 use culda_core::hyper::{digamma, optimize_alpha, HyperOptOptions};
 use culda_core::inference::{InferenceOptions, TopicInferencer};
+use culda_core::SamplerStrategy;
 use culda_sparse::{CsrBuilder, CsrMatrix, DenseMatrix};
 use proptest::prelude::*;
 
@@ -111,6 +112,7 @@ proptest! {
             seed: 0,
             iterations: 0,
             z: None,
+            sampler: SamplerStrategy::SparseCgs,
         };
         prop_assert!(ckpt.validate().is_ok());
         let mut buf = Vec::new();

@@ -164,6 +164,15 @@ where
     }
 }
 
+// Kernels selected at runtime (e.g. the pluggable sampler kernels of
+// `culda-core`) arrive as boxed trait objects; this forwarding impl — plus
+// `Device::launch` accepting `?Sized` kernels — lets them launch directly.
+impl BlockKernel for Box<dyn BlockKernel + '_> {
+    fn run_block(&self, block_id: usize, ctx: &mut BlockCtx) {
+        (**self).run_block(block_id, ctx)
+    }
+}
+
 /// Result of one kernel launch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KernelStats {
@@ -183,7 +192,7 @@ impl Device {
     /// Blocks execute in parallel on the host thread pool; their counters are
     /// reduced and converted into simulated time, which is recorded in the
     /// device profiler under `name`.
-    pub fn launch<K: BlockKernel>(
+    pub fn launch<K: BlockKernel + ?Sized>(
         &self,
         name: &str,
         config: LaunchConfig,
@@ -213,7 +222,7 @@ impl Device {
 
     /// Launch with sequential block execution (useful for debugging
     /// order-dependent issues; produces identical counters and time).
-    pub fn launch_sequential<K: BlockKernel>(
+    pub fn launch_sequential<K: BlockKernel + ?Sized>(
         &self,
         name: &str,
         config: LaunchConfig,
@@ -339,6 +348,21 @@ mod tests {
         };
         let stats = dev.launch("rng", LaunchConfig::new(8), &kernel);
         assert_eq!(stats.counters.rng_draws, 80);
+    }
+
+    #[test]
+    fn boxed_trait_object_kernels_launch_like_concrete_ones() {
+        let dev_a = Device::new(0, DeviceSpec::v100_volta(), 3);
+        let dev_b = Device::new(0, DeviceSpec::v100_volta(), 3);
+        let concrete = |_b: usize, ctx: &mut BlockCtx| {
+            ctx.read_global(64);
+            ctx.flops(8);
+        };
+        let boxed: Box<dyn BlockKernel> = Box::new(concrete);
+        let a = dev_a.launch("k", LaunchConfig::new(16), &concrete);
+        let b = dev_b.launch("k", LaunchConfig::new(16), &boxed);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.time, b.time);
     }
 
     #[test]

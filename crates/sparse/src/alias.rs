@@ -1,10 +1,18 @@
 //! Vose alias tables for O(1) multinomial sampling.
 //!
 //! CuLDA_CGS itself samples with index trees (see [`crate::index_tree`]), but
-//! the WarpLDA baseline the paper compares against (Chen et al., VLDB'16) is a
-//! Metropolis–Hastings sampler whose word-proposal distribution is drawn from
-//! an alias table that is rebuilt once per iteration.  The baseline crate uses
-//! this implementation.
+//! two other sampler families in the workspace draw from alias tables that
+//! are rebuilt on a cadence and left *stale* in between:
+//!
+//! * the WarpLDA and AliasLDA CPU baselines (Metropolis–Hastings samplers
+//!   whose word-proposal distribution comes from a per-word alias table), and
+//! * the `AliasHybridSampler` GPU kernel in `culda-core`, which replaces the
+//!   per-word dense index tree with a stale alias table plus an MH
+//!   correction against the fresh φ.
+//!
+//! Both share the [`AliasTable`] construction and the [`StaleAliasProposal`]
+//! bundle (table + the stale weights and mass the MH acceptance ratio
+//! needs), so there is exactly one Walker/Vose implementation in the tree.
 
 use rand::Rng;
 
@@ -110,6 +118,90 @@ impl AliasTable {
             self.alias[i] as usize
         }
     }
+
+    /// Draw one bucket index from two externally supplied uniforms in
+    /// `[0, 1)`: `u_bucket` picks the bucket, `u_accept` runs the acceptance
+    /// test.  A pure function of its inputs, so callers feeding counter-based
+    /// draws (the determinism contract of `culda-core`'s samplers) get the
+    /// same bucket no matter which thread block or device evaluates it.
+    #[inline]
+    pub fn sample_with(&self, u_bucket: f32, u_accept: f32) -> usize {
+        let n = self.prob.len();
+        let i = ((u_bucket * n as f32) as usize).min(n - 1);
+        if u_accept < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+/// A per-word *stale* proposal distribution: an alias table over the word's
+/// unnormalised per-topic weights, kept together with those weights and
+/// their sum, which a Metropolis–Hastings correction step needs to evaluate
+/// the proposal density of an arbitrary topic.
+///
+/// Built by the AliasLDA baseline and the `AliasHybridSampler` kernel from
+/// the word term `(φ_{k,v} + β) / (n_k + Vβ)` of the collapsed conditional;
+/// "stale" because the table is rebuilt on a cadence while the counts keep
+/// moving, with the staleness corrected by an MH acceptance step against the
+/// fresh counts.
+#[derive(Debug, Clone)]
+pub struct StaleAliasProposal {
+    table: AliasTable,
+    /// The unnormalised weights the table was built from, kept in f64 so the
+    /// MH acceptance ratio evaluates them at full precision.
+    weights: Vec<f64>,
+    /// Sum of `weights` (the stale proposal mass).
+    mass: f64,
+}
+
+impl StaleAliasProposal {
+    /// Bundle a weight vector into a proposal (table construction casts the
+    /// weights to f32, exactly as the reference AliasLDA implementation
+    /// does; the retained weights stay f64).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty (see [`AliasTable::new`]).
+    pub fn from_weights(weights: Vec<f64>) -> Self {
+        let mass: f64 = weights.iter().sum();
+        let as_f32: Vec<f32> = weights.iter().map(|&x| x as f32).collect();
+        StaleAliasProposal {
+            table: AliasTable::new(&as_f32),
+            weights,
+            mass,
+        }
+    }
+
+    /// The alias table over the stale weights.
+    #[inline]
+    pub fn table(&self) -> &AliasTable {
+        &self.table
+    }
+
+    /// The stale weight of bucket `k`.
+    #[inline]
+    pub fn weight(&self, k: usize) -> f64 {
+        self.weights[k]
+    }
+
+    /// The stale proposal mass (sum of all weights).
+    #[inline]
+    pub fn mass(&self) -> f64 {
+        self.mass
+    }
+
+    /// Number of buckets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when the proposal has no buckets (never constructed in practice).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -178,5 +270,42 @@ mod tests {
     #[should_panic]
     fn empty_weights_panic() {
         let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    fn sample_with_matches_the_distribution_and_is_pure() {
+        let w = [6.0f32, 3.0, 1.0];
+        let table = AliasTable::new(&w);
+        // Purity: same uniforms, same bucket.
+        assert_eq!(table.sample_with(0.4, 0.7), table.sample_with(0.4, 0.7));
+        // Sweep a deterministic grid of uniforms; the empirical frequencies
+        // must follow the weights.
+        let mut counts = [0usize; 3];
+        let n = 400;
+        for a in 0..n {
+            for b in 0..n {
+                let u1 = (a as f32 + 0.5) / n as f32;
+                let u2 = (b as f32 + 0.5) / n as f32;
+                counts[table.sample_with(u1, u2)] += 1;
+            }
+        }
+        let total = (n * n) as f64;
+        assert!((counts[0] as f64 / total - 0.6).abs() < 0.01);
+        assert!((counts[1] as f64 / total - 0.3).abs() < 0.01);
+        assert!((counts[2] as f64 / total - 0.1).abs() < 0.01);
+        // Edge uniforms stay in range.
+        assert!(table.sample_with(0.9999999, 0.9999999) < 3);
+        assert!(table.sample_with(0.0, 0.0) < 3);
+    }
+
+    #[test]
+    fn stale_proposal_keeps_weights_mass_and_table_consistent() {
+        let p = StaleAliasProposal::from_weights(vec![2.0, 3.0, 5.0]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert!((p.mass() - 10.0).abs() < 1e-12);
+        assert_eq!(p.weight(1), 3.0);
+        assert!((p.table().total() - 10.0).abs() < 1e-6);
+        assert_eq!(p.table().len(), 3);
     }
 }

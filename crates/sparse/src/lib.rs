@@ -13,8 +13,10 @@
 //! * [`index_tree::IndexTree`] — the N-ary (32-way on NVIDIA GPUs) index tree
 //!   over prefix sums used for tree-based multinomial sampling (§6.1.1,
 //!   Figure 5).
-//! * [`alias::AliasTable`] — Vose alias tables, used by the WarpLDA-style
-//!   Metropolis–Hastings baseline.
+//! * [`alias::AliasTable`] / [`alias::StaleAliasProposal`] — Vose alias
+//!   tables and the stale per-word proposal bundle shared by the
+//!   Metropolis–Hastings baselines (WarpLDA, AliasLDA) and `culda-core`'s
+//!   alias-hybrid sampler kernel.
 //! * [`compress`] — 16-bit precision-compression helpers (§6.1.3).
 //! * [`varint`] — LEB128 + delta codecs for the chunk streams that cross the
 //!   PCIe bus under the streamed schedule (§6.1.3's data-size compression).
@@ -34,7 +36,7 @@ pub mod prefix;
 pub mod topic;
 pub mod varint;
 
-pub use alias::AliasTable;
+pub use alias::{AliasTable, StaleAliasProposal};
 pub use compress::{compress_u16, CompressionError};
 pub use csr::{CsrBuilder, CsrMatrix};
 pub use dense::{AtomicMatrix, DenseMatrix};

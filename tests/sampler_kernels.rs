@@ -1,0 +1,274 @@
+//! The pluggable sampler-kernel API, end to end: the alias-table hybrid
+//! sampler must train through every entry point (batch build, streaming
+//! build, checkpoint rotation), stay bit-exact across runs / GPU topologies
+//! / ingestion batchings, agree statistically with the exact sparse-CGS
+//! kernel when its tables are fresh, and surface its rebuild cost in the
+//! iteration statistics.
+
+use culda::baselines::CuLdaSolver;
+use culda::core::{LdaConfig, SamplerStrategy, SessionBuilder, StreamingOptions, StreamingSession};
+use culda::gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
+use culda_testkit::conformance::{run_conformance, MAX_DRAWDOWN_NATS};
+use culda_testkit::determinism::{assert_same_assignments, z_signature};
+use culda_testkit::{doc_lens, fixtures};
+
+const K: usize = 8;
+const SEED: u64 = 2024;
+
+fn alias_cfg(rebuild_every: usize, mh_steps: usize) -> LdaConfig {
+    LdaConfig::with_topics(K)
+        .seed(SEED)
+        .sampler(SamplerStrategy::AliasHybrid {
+            rebuild_every,
+            mh_steps,
+        })
+}
+
+fn system(gpus: usize, seed: u64) -> MultiGpuSystem {
+    if gpus == 1 {
+        MultiGpuSystem::single(DeviceSpec::v100_volta(), seed)
+    } else {
+        MultiGpuSystem::homogeneous(DeviceSpec::v100_volta(), gpus, seed, Interconnect::NvLink)
+    }
+}
+
+fn trained_alias(corpus: &culda::corpus::Corpus, gpus: usize, iterations: usize) -> CuLdaSolver {
+    let mut trainer = SessionBuilder::new()
+        .corpus(corpus)
+        .config(alias_cfg(2, 2))
+        .system(system(gpus, SEED))
+        .build()
+        .expect("alias trainer construction");
+    trainer.train(iterations);
+    CuLdaSolver::new(trainer, format!("CuLDA(alias) ({gpus} GPU)"))
+}
+
+#[test]
+fn alias_assignments_are_bit_exact_across_runs_and_topologies() {
+    let corpus = fixtures::medium(fixtures::FIXTURE_SEED);
+    let a = trained_alias(&corpus, 1, 5);
+    let b = trained_alias(&corpus, 1, 5);
+    assert_same_assignments(&a, &b);
+
+    let quad = trained_alias(&corpus, 4, 5);
+    assert!(
+        a.trainer().num_chunks() != quad.trainer().num_chunks(),
+        "topologies must actually partition differently"
+    );
+    assert_same_assignments(&a, &quad);
+    assert_eq!(z_signature(&a), z_signature(&quad));
+
+    // The two strategies are different (each internally deterministic)
+    // trajectories.
+    let mut sparse = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(LdaConfig::with_topics(K).seed(SEED))
+        .system(system(1, SEED))
+        .build()
+        .unwrap();
+    sparse.train(5);
+    let sparse = CuLdaSolver::new(sparse, "CuLDA (sparse)");
+    assert_ne!(z_signature(&a), z_signature(&sparse));
+}
+
+#[test]
+fn alias_streaming_with_zero_burn_in_matches_batch_and_batching_is_invariant() {
+    let corpus = fixtures::medium(fixtures::FIXTURE_SEED);
+
+    // Zero-burn-in bridge: stream-everything-then-train ≡ batch, for the
+    // alias strategy exactly as for sparse CGS.
+    let mut batch = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(alias_cfg(2, 2))
+        .system(system(1, SEED))
+        .build()
+        .unwrap();
+    batch.train(4);
+
+    let mut streaming = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(alias_cfg(2, 2))
+        .burn_in_sweeps(0)
+        .system(system(1, SEED))
+        .build_streaming()
+        .unwrap();
+    streaming.train(4).unwrap();
+    assert_eq!(batch.z_snapshot(), streaming.z_snapshot());
+    assert_eq!(&batch.global_phi(), streaming.global_phi());
+
+    // Ingestion batching invariance with a real alias burn-in: one call vs
+    // three mini-batches must be bit-identical.
+    let build = || {
+        SessionBuilder::new()
+            .config(alias_cfg(2, 2))
+            .burn_in_sweeps(2)
+            .system(system(1, SEED))
+            .build_streaming()
+            .unwrap()
+    };
+    let mut at_once = build();
+    at_once.ingest(&fixtures::documents_of(&corpus));
+    at_once.train(3).unwrap();
+    at_once.validate().unwrap();
+
+    let mut in_batches = build();
+    for batch in fixtures::doc_batches(&corpus, 3) {
+        in_batches.ingest(&batch);
+    }
+    in_batches.train(3).unwrap();
+    assert_eq!(at_once.z_snapshot(), in_batches.z_snapshot());
+    assert_eq!(at_once.global_phi(), in_batches.global_phi());
+
+    // Burn-in routed through the alias sampler is a different trajectory
+    // than the sparse burn-in (same seed, same corpus).
+    let mut sparse_burn = SessionBuilder::new()
+        .config(LdaConfig::with_topics(K).seed(SEED))
+        .burn_in_sweeps(2)
+        .system(system(1, SEED))
+        .build_streaming()
+        .unwrap();
+    sparse_burn.ingest(&fixtures::documents_of(&corpus));
+    assert_ne!(at_once.z_snapshot(), sparse_burn.z_snapshot());
+}
+
+#[test]
+fn alias_with_fresh_tables_matches_sparse_cgs_stationary_behavior() {
+    // With rebuild_every = 1 the stale tables are rebuilt from the very φ
+    // the kernel corrects against, so the MH proposal is (up to the token's
+    // self-exclusion) the exact conditional and acceptance is ≈ exhaustive:
+    // the chain should mix to the same stationary behaviour as the exact
+    // sparse-CGS kernel.  Drive both through the full testkit conformance
+    // battery and require their converged likelihoods to agree within the
+    // battery's own trajectory tolerance.
+    let corpus = fixtures::small(fixtures::FIXTURE_SEED);
+    let lens = doc_lens(&corpus);
+    let alpha = 50.0 / K as f64;
+    let beta = 0.01;
+    let iterations = 30;
+
+    let mut alias = CuLdaSolver::new(
+        SessionBuilder::new()
+            .corpus(&corpus)
+            .config(alias_cfg(1, 4))
+            .system(system(1, SEED))
+            .build()
+            .unwrap(),
+        "CuLDA(alias fresh)",
+    );
+    let alias_series = run_conformance(&mut alias, &lens, alpha, beta, iterations)
+        .unwrap_or_else(|e| panic!("alias conformance failure: {e}"));
+
+    let mut sparse = CuLdaSolver::new(
+        SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(K).seed(SEED))
+            .system(system(1, SEED))
+            .build()
+            .unwrap(),
+        "CuLDA(sparse)",
+    );
+    let sparse_series = run_conformance(&mut sparse, &lens, alpha, beta, iterations)
+        .unwrap_or_else(|e| panic!("sparse conformance failure: {e}"));
+
+    // Converged quality agreement: mean over the last third of the run.
+    let tail = |s: &[f64]| -> f64 {
+        let t = &s[s.len() - s.len() / 3..];
+        t.iter().sum::<f64>() / t.len() as f64
+    };
+    let (a, b) = (tail(&alias_series), tail(&sparse_series));
+    assert!(
+        (a - b).abs() <= MAX_DRAWDOWN_NATS,
+        "stationary log-likelihoods disagree: alias {a:.4} vs sparse {b:.4}"
+    );
+}
+
+#[test]
+fn alias_rebuild_cost_appears_in_iteration_stats_and_breakdown() {
+    let corpus = fixtures::medium(fixtures::FIXTURE_SEED);
+    let mut trainer = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(alias_cfg(3, 2))
+        .system(system(1, SEED))
+        .build()
+        .unwrap();
+    trainer.train(4);
+    let h = trainer.history();
+    assert!(h[0].sampler_setup_time_s > 0.0, "iteration 0 builds tables");
+    assert_eq!(h[1].sampler_setup_time_s, 0.0);
+    assert_eq!(h[2].sampler_setup_time_s, 0.0);
+    assert!(h[3].sampler_setup_time_s > 0.0, "cadence rebuild at 3");
+    for it in h {
+        assert!(it.compute_time_s >= it.sampler_setup_time_s);
+    }
+    let breakdown = trainer.kernel_breakdown();
+    assert!(
+        breakdown
+            .iter()
+            .any(|(name, pct)| name == "Alias build" && *pct > 0.0),
+        "alias build must appear in the kernel breakdown: {breakdown:?}"
+    );
+
+    // The default sparse sampler never reports setup time.
+    let mut sparse = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(LdaConfig::with_topics(K).seed(SEED))
+        .system(system(1, SEED))
+        .build()
+        .unwrap();
+    sparse.train(2);
+    assert!(sparse
+        .history()
+        .iter()
+        .all(|it| it.sampler_setup_time_s == 0.0));
+}
+
+#[test]
+fn alias_streaming_rotation_resume_preserves_strategy_and_state() {
+    // rebuild_every = 1 keeps the stale tables a pure function of the
+    // synchronized φ at every iteration, so a rotate → resume hand-off is
+    // bit-exact for the alias path, and the resumed session must keep
+    // sampling with the alias strategy.
+    let dir = std::env::temp_dir().join(format!(
+        "culda-alias-rotate-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = fixtures::tiny(fixtures::FIXTURE_SEED);
+    let docs = fixtures::documents_of(&corpus);
+
+    let build = || {
+        SessionBuilder::new()
+            .config(alias_cfg(1, 2))
+            .burn_in_sweeps(1)
+            .system(system(1, SEED))
+            .build_streaming()
+            .unwrap()
+    };
+    let mut continuous = build();
+    continuous.ingest(&docs);
+    continuous.train(2).unwrap();
+    continuous.rotate_checkpoints(&dir, 2).unwrap();
+    continuous.train(3).unwrap();
+
+    let mut resumed =
+        StreamingSession::resume_with_options(&dir, system(1, SEED), StreamingOptions::default())
+            .unwrap();
+    assert_eq!(
+        resumed.config().sampler,
+        SamplerStrategy::AliasHybrid {
+            rebuild_every: 1,
+            mh_steps: 2
+        },
+        "resume must preserve the sampler strategy from the checkpoint"
+    );
+    resumed.train(3).unwrap();
+    assert_eq!(continuous.z_snapshot(), resumed.z_snapshot());
+    assert_eq!(continuous.global_phi(), resumed.global_phi());
+    resumed.validate().unwrap();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
