@@ -353,6 +353,7 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
                 .config(config)
                 .system(system)
                 .assignments(z, ckpt.iterations)
+                .sampler_state(ckpt.sampler_state.clone())
                 .build()
                 .map_err(|e| CliError::Runtime(format!("failed to resume trainer: {e}")))?
         }

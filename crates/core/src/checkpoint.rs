@@ -15,8 +15,9 @@
 //!
 //! ```text
 //! magic   "CLDM"       4 bytes
-//! version u32          currently 3 (v1 files load with no sampler state,
-//!                      v2 files load with the default sparse-CGS strategy)
+//! version u32          currently 4 (v1 files load with no sampler state,
+//!                      v2 files load with the default sparse-CGS strategy,
+//!                      v3 files load with no sampler-internal resume state)
 //! K, V, D u64
 //! alpha, beta f64
 //! nk      K × i64
@@ -31,10 +32,22 @@
 //! sampler u8           0 = sparse-CGS, 1 = alias hybrid
 //! rebuild_every u64    (alias only)
 //! mh_steps u64         (alias only)
+//! --- v4 sampler-resume section ---
+//! state flag u8        0 = absent, 1 = alias-tables snapshot
+//! built_at u64         iteration the stale tables were built at (flag = 1)
+//! phi_hat K × V × u32  the synchronized φ at built_at (flag = 1)
+//! nk_hat  K × i64      the topic totals at built_at (flag = 1)
 //! ```
+//!
+//! The v4 section closes the mid-cadence alias-resume gap: without it, a
+//! checkpoint taken between alias rebuilds resumed with *fresh* tables built
+//! from the current φ and diverged from the uninterrupted run until the next
+//! cadence rebuild.  The snapshot reconstructs the exact stale tables (see
+//! [`crate::kernels::SamplerResumeState`]).
 
 use crate::config::{LdaConfig, SamplerStrategy};
 use crate::inference::TopicInferencer;
+use crate::kernels::SamplerResumeState;
 use crate::trainer::CuLdaTrainer;
 use culda_sparse::{CsrBuilder, CsrMatrix, DenseMatrix};
 use std::fs::File;
@@ -44,7 +57,7 @@ use std::path::Path;
 /// Magic bytes identifying a model checkpoint.
 pub const MAGIC: &[u8; 4] = b"CLDM";
 /// Current checkpoint format version.
-pub const VERSION: u32 = 3;
+pub const VERSION: u32 = 4;
 
 /// Errors produced while reading a checkpoint.
 #[derive(Debug)]
@@ -144,6 +157,10 @@ pub struct ModelCheckpoint {
     /// the same strategy (and knobs) unless the user explicitly overrides
     /// it.  v1/v2 files load as [`SamplerStrategy::SparseCgs`].
     pub sampler: SamplerStrategy,
+    /// Sampler-internal state needed for a bit-exact mid-cadence resume
+    /// (the alias hybrid's stale-table snapshot); `None` for memoryless
+    /// strategies and for files older than v4.
+    pub sampler_state: Option<SamplerResumeState>,
 }
 
 impl ModelCheckpoint {
@@ -162,6 +179,7 @@ impl ModelCheckpoint {
             iterations: trainer.completed_iterations(),
             z: Some(trainer.z_snapshot()),
             sampler: cfg.sampler,
+            sampler_state: trainer.sampler_kernel().resume_state(),
         }
     }
 
@@ -223,6 +241,29 @@ impl ModelCheckpoint {
                 }
             }
         }
+        if let Some(SamplerResumeState::AliasTables {
+            built_at,
+            phi_hat,
+            nk_hat,
+        }) = &self.sampler_state
+        {
+            if !matches!(self.sampler, SamplerStrategy::AliasHybrid { .. }) {
+                return Err("alias-tables resume state on a non-alias sampler".into());
+            }
+            if phi_hat.rows() != self.num_topics || phi_hat.cols() != self.vocab_size {
+                return Err("φ̂ snapshot shape does not match K × V".into());
+            }
+            if nk_hat.len() != self.num_topics {
+                return Err("n̂_k snapshot length does not match K".into());
+            }
+            if *built_at >= self.iterations {
+                return Err(format!(
+                    "alias tables claim to be built at iteration {built_at}, but only {} \
+                     iterations completed",
+                    self.iterations
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -279,6 +320,23 @@ impl ModelCheckpoint {
                 w.write_all(&[1u8])?;
                 w.write_all(&(rebuild_every as u64).to_le_bytes())?;
                 w.write_all(&(mh_steps as u64).to_le_bytes())?;
+            }
+        }
+        match &self.sampler_state {
+            None => w.write_all(&[0u8])?,
+            Some(SamplerResumeState::AliasTables {
+                built_at,
+                phi_hat,
+                nk_hat,
+            }) => {
+                w.write_all(&[1u8])?;
+                w.write_all(&built_at.to_le_bytes())?;
+                for &c in phi_hat.as_slice() {
+                    w.write_all(&c.to_le_bytes())?;
+                }
+                for &n in nk_hat {
+                    w.write_all(&n.to_le_bytes())?;
+                }
             }
         }
         w.flush()
@@ -406,6 +464,38 @@ impl ModelCheckpoint {
             }
         };
 
+        // v1–v3 files predate sampler-internal resume state.
+        let sampler_state = if version < 4 {
+            None
+        } else {
+            let mut flag = [0u8; 1];
+            r.read_exact(&mut flag)?;
+            match flag[0] {
+                0 => None,
+                1 => {
+                    let built_at = read_u64(&mut r)?;
+                    let mut phi_hat = Vec::with_capacity(phi_len.min(MAX_PREALLOC));
+                    for _ in 0..phi_len {
+                        phi_hat.push(read_u32(&mut r)?);
+                    }
+                    let mut nk_hat = Vec::with_capacity(num_topics.min(MAX_PREALLOC));
+                    for _ in 0..num_topics {
+                        nk_hat.push(read_i64(&mut r)?);
+                    }
+                    Some(SamplerResumeState::AliasTables {
+                        built_at,
+                        phi_hat: DenseMatrix::from_vec(num_topics, vocab_size, phi_hat),
+                        nk_hat,
+                    })
+                }
+                other => {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "invalid sampler-resume flag {other}"
+                    )))
+                }
+            }
+        };
+
         let checkpoint = ModelCheckpoint {
             num_topics,
             vocab_size,
@@ -418,6 +508,7 @@ impl ModelCheckpoint {
             iterations,
             z,
             sampler,
+            sampler_state,
         };
         checkpoint.validate().map_err(CheckpointError::Corrupt)?;
         Ok(checkpoint)
@@ -664,22 +755,37 @@ mod tests {
             .build()
             .unwrap();
         trainer.train(2);
-        let ckpt = ModelCheckpoint::from_trainer(&trainer);
+        let full = ModelCheckpoint::from_trainer(&trainer);
         assert_eq!(
-            ckpt.sampler,
+            full.sampler,
             SamplerStrategy::AliasHybrid {
                 rebuild_every: 3,
                 mh_steps: 2
             }
         );
+        // The trainer rebuilt its tables at iteration 0, so the checkpoint
+        // carries the stale-table snapshot — and it round-trips exactly.
+        assert!(
+            matches!(
+                full.sampler_state,
+                Some(SamplerResumeState::AliasTables { built_at: 0, .. })
+            ),
+            "alias checkpoints carry the stale-table snapshot"
+        );
+        let mut buf = Vec::new();
+        full.write(&mut buf).unwrap();
+        let back = ModelCheckpoint::read(buf.as_slice()).unwrap();
+        assert_eq!(back, full);
+        assert_eq!(back.sampler, full.sampler);
+        assert_eq!(back.sampler_state, full.sampler_state);
+
+        // Tag-corruption checks on a stateless copy, where the trailing
+        // layout is fixed: v3 section (1 tag + 2 × u64 knobs) + v4 flag.
+        let mut ckpt = full.clone();
+        ckpt.sampler_state = None;
         let mut buf = Vec::new();
         ckpt.write(&mut buf).unwrap();
-        let back = ModelCheckpoint::read(buf.as_slice()).unwrap();
-        assert_eq!(back, ckpt);
-        assert_eq!(back.sampler, ckpt.sampler);
-
-        // The sampler tag is the first byte of the trailing v3 section.
-        let tag_pos = buf.len() - 17; // 1 tag + 2 × u64 knobs
+        let tag_pos = buf.len() - 18;
         assert_eq!(buf[tag_pos], 1);
         let mut bad = buf.clone();
         bad[tag_pos] = 9;
@@ -692,6 +798,38 @@ mod tests {
         bad[tag_pos + 1..tag_pos + 9].copy_from_slice(&0u64.to_le_bytes());
         assert!(matches!(
             ModelCheckpoint::read(bad.as_slice()),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn v3_files_load_with_no_sampler_resume_state() {
+        // A v4 writer emits ... | v3 sampler section | v4 flag byte; a v3
+        // file is the same stream with version 3 and no trailing flag.
+        let trainer = trained_trainer();
+        let mut ckpt = ModelCheckpoint::from_trainer(&trainer);
+        ckpt.sampler_state = None;
+        let mut buf = Vec::new();
+        ckpt.write(&mut buf).unwrap();
+        buf[4..8].copy_from_slice(&3u32.to_le_bytes());
+        buf.truncate(buf.len() - 1);
+        let back = ModelCheckpoint::read(buf.as_slice()).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.sampler_state, None);
+    }
+
+    #[test]
+    fn bad_sampler_resume_flags_are_rejected() {
+        let trainer = trained_trainer();
+        let mut ckpt = ModelCheckpoint::from_trainer(&trainer);
+        ckpt.sampler_state = None;
+        let mut buf = Vec::new();
+        ckpt.write(&mut buf).unwrap();
+        let flag_pos = buf.len() - 1;
+        assert_eq!(buf[flag_pos], 0);
+        buf[flag_pos] = 7;
+        assert!(matches!(
+            ModelCheckpoint::read(buf.as_slice()),
             Err(CheckpointError::Corrupt(_))
         ));
     }

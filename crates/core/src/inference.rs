@@ -227,6 +227,9 @@ impl TopicInferencer {
             self.vocab_size,
             "corpus vocabulary does not match the model"
         );
+        // One independent task per document on the thread pool.  Each
+        // document derives its RNG from its own id, so the inferred topics
+        // are identical however the documents land on OS threads.
         (0..corpus.num_docs())
             .into_par_iter()
             .map(|d| {

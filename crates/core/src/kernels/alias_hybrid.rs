@@ -27,7 +27,7 @@
 //! alias path inherits the full bit-exactness contract (`DESIGN.md` §10).
 
 use crate::config::LdaConfig;
-use crate::kernels::sampler::{SamplerKernel, BURN_STREAM_BASE};
+use crate::kernels::sampler::{SamplerKernel, SamplerResumeState, BURN_STREAM_BASE};
 use crate::model::ChunkState;
 use crate::work::{chunk_words, WorkItem};
 use culda_gpusim::rng::{stable_f32, stable_u64};
@@ -48,6 +48,28 @@ struct ChunkTables {
     proposals: Vec<Option<StaleAliasProposal>>,
 }
 
+/// The global `(φ, n_k)` snapshot the stale tables were last built from —
+/// exactly the φ̂/n̂ the device keeps next to each table (see
+/// [`AliasBuildBlock`]).  This is what a checkpoint carries: per-chunk
+/// proposals are a deterministic function of it, so a resumed sampler
+/// reconstructs them bit-exactly instead of rebuilding fresh tables from the
+/// *current* φ (which would diverge from the uninterrupted run until the
+/// next cadence rebuild).
+struct TablesSnapshot {
+    /// Iteration whose synchronized φ this snapshot captures.
+    built_at: u64,
+    /// The synchronized φ at `built_at` (`K × V`).
+    phi_hat: DenseMatrix<u32>,
+    /// The topic totals at `built_at`.
+    nk_hat: Vec<i64>,
+    /// True when the snapshot was restored from a checkpoint rather than
+    /// captured from a live rebuild.  Only a restored snapshot may satisfy a
+    /// chunk's missing tables without a device build (the uninterrupted run
+    /// paid that build before the checkpoint, so the resumed run must not
+    /// charge it again — nor rebuild from the wrong φ).
+    restored: bool,
+}
+
 /// Stale-alias + Metropolis–Hastings hybrid sampler
 /// ([`crate::SamplerStrategy::AliasHybrid`]).  See the [module
 /// docs](crate::kernels::alias_hybrid) for the algorithm and determinism
@@ -58,6 +80,10 @@ pub struct AliasHybridSampler {
     /// Per-chunk stale tables, keyed by chunk id.  Rebuilt by
     /// [`SamplerKernel::prepare_chunk`] on the configured cadence.
     chunks: Mutex<BTreeMap<usize, Arc<ChunkTables>>>,
+    /// The global snapshot behind the current tables: captured at every
+    /// cadence rebuild (for [`SamplerKernel::resume_state`]) or installed by
+    /// [`SamplerKernel::restore_resume_state`] on a checkpoint resume.
+    snapshot: Mutex<Option<Arc<TablesSnapshot>>>,
 }
 
 impl AliasHybridSampler {
@@ -71,6 +97,7 @@ impl AliasHybridSampler {
             rebuild_every: rebuild_every as u64,
             mh_steps,
             chunks: Mutex::new(BTreeMap::new()),
+            snapshot: Mutex::new(None),
         }
     }
 
@@ -93,6 +120,31 @@ impl AliasHybridSampler {
             Some(at) => iteration > at && iteration.is_multiple_of(self.rebuild_every),
         }
     }
+
+    /// Reconstruct one chunk's per-word proposals from a restored global
+    /// snapshot — the same `(φ̂ + β) / (n̂ + Vβ)` f64 arithmetic as
+    /// [`AliasBuildBlock`], evaluated on the same `u32`/`i64` inputs, so the
+    /// tables are bit-identical to the ones the uninterrupted run built.
+    fn proposals_from_snapshot(
+        snap: &TablesSnapshot,
+        state: &ChunkState,
+        config: &LdaConfig,
+    ) -> Vec<Option<StaleAliasProposal>> {
+        let k = config.num_topics;
+        let beta = config.beta;
+        let v_beta = beta * state.layout.vocab_size as f64;
+        let mut proposals: Vec<Option<StaleAliasProposal>> = vec![None; state.layout.vocab_size];
+        for w in chunk_words(&state.layout) {
+            let v = w as usize;
+            let weights: Vec<f64> = (0..k)
+                .map(|kk| {
+                    (snap.phi_hat.get(kk, v) as f64 + beta) / (snap.nk_hat[kk] as f64 + v_beta)
+                })
+                .collect();
+            proposals[v] = Some(StaleAliasProposal::from_weights(weights));
+        }
+        proposals
+    }
 }
 
 impl SamplerKernel for AliasHybridSampler {
@@ -111,6 +163,34 @@ impl SamplerKernel for AliasHybridSampler {
         iteration: u64,
     ) -> f64 {
         let built_at = self.chunks.lock().get(&state.chunk_id).map(|t| t.built_at);
+        if built_at.is_none() {
+            // A chunk with no tables yet normally means a fresh sampler —
+            // but after a checkpoint resume the restored snapshot stands in
+            // for the tables the uninterrupted run would still be holding:
+            // reconstruct them host-side (bit-identical, see
+            // `proposals_from_snapshot`) and charge nothing, since the
+            // original build was paid before the checkpoint.  If the resume
+            // lands on a rebuild iteration anyway, fall through to the
+            // ordinary fresh build.
+            let restored = self
+                .snapshot
+                .lock()
+                .clone()
+                .filter(|s| s.restored && s.phi_hat.cols() == state.layout.vocab_size);
+            if let Some(snap) = restored {
+                if !self.needs_rebuild(Some(snap.built_at), iteration) {
+                    let proposals = Self::proposals_from_snapshot(&snap, state, config);
+                    self.chunks.lock().insert(
+                        state.chunk_id,
+                        Arc::new(ChunkTables {
+                            built_at: snap.built_at,
+                            proposals,
+                        }),
+                    );
+                    return 0.0;
+                }
+            }
+        }
         if !self.needs_rebuild(built_at, iteration) {
             return 0.0;
         }
@@ -144,7 +224,57 @@ impl SamplerKernel for AliasHybridSampler {
                 proposals,
             }),
         );
+        // Capture the global snapshot behind this rebuild once per rebuild
+        // iteration (every chunk builds from the same synchronized φ, so the
+        // first chunk's capture covers them all) — it is what a checkpoint
+        // taken before the next rebuild needs for a bit-exact resume.
+        {
+            let mut snap = self.snapshot.lock();
+            if snap
+                .as_ref()
+                .is_none_or(|s| s.restored || s.built_at != iteration)
+            {
+                *snap = Some(Arc::new(TablesSnapshot {
+                    built_at: iteration,
+                    phi_hat: state.phi_global.to_dense(),
+                    nk_hat: state.nk_global.to_vec(),
+                    restored: false,
+                }));
+            }
+        }
         span
+    }
+
+    /// The `(φ̂, n̂)` snapshot behind the current stale tables, so a
+    /// checkpoint taken mid-cadence resumes with the *same* tables instead
+    /// of fresh ones (`None` until the first rebuild ever runs).
+    fn resume_state(&self) -> Option<SamplerResumeState> {
+        self.snapshot
+            .lock()
+            .as_ref()
+            .map(|s| SamplerResumeState::AliasTables {
+                built_at: s.built_at,
+                phi_hat: s.phi_hat.clone(),
+                nk_hat: s.nk_hat.clone(),
+            })
+    }
+
+    /// Install a checkpointed snapshot; the next [`prepare_chunk`]
+    /// (`SamplerKernel::prepare_chunk`) of each chunk reconstructs its
+    /// proposals from it instead of rebuilding from the current φ, keeping
+    /// the resumed run bit-exact and on the original rebuild cadence.
+    fn restore_resume_state(&self, state: &SamplerResumeState) {
+        let SamplerResumeState::AliasTables {
+            built_at,
+            phi_hat,
+            nk_hat,
+        } = state;
+        *self.snapshot.lock() = Some(Arc::new(TablesSnapshot {
+            built_at: *built_at,
+            phi_hat: phi_hat.clone(),
+            nk_hat: nk_hat.clone(),
+            restored: true,
+        }));
     }
 
     fn sampling_kernel<'a>(
@@ -524,11 +654,55 @@ mod tests {
         let sampler = AliasHybridSampler::new(4, 2);
         let dev = Device::new(0, DeviceSpec::v100_volta(), 1);
         // First iteration the sampler ever sees is 6 (mid-cadence, as after
-        // a checkpoint resume): tables must still be built.
+        // a resume from a checkpoint with no persisted sampler state, e.g. a
+        // pre-v4 file): with nothing to restore, tables must still be built.
         assert!(sampler.prepare_chunk(&dev, &state, &cfg, 6) > 0.0);
         // ...and the next rebuild falls back onto the cadence grid.
         assert_eq!(sampler.prepare_chunk(&dev, &state, &cfg, 7), 0.0);
         assert!(sampler.prepare_chunk(&dev, &state, &cfg, 8) > 0.0);
+    }
+
+    #[test]
+    fn restored_snapshot_resumes_mid_cadence_without_a_rebuild() {
+        let cfg = LdaConfig::with_topics(8);
+        let sampler = AliasHybridSampler::new(4, 2);
+        let dev = Device::new(0, DeviceSpec::v100_volta(), 1);
+
+        // No rebuild has happened yet, so there is nothing to persist.
+        assert!(sampler.resume_state().is_none());
+
+        let state = make_state(8, 9);
+        assert!(sampler.prepare_chunk(&dev, &state, &cfg, 0) > 0.0);
+        let snapshot = sampler.resume_state().expect("snapshot after rebuild");
+
+        // A fresh sampler with the snapshot restored skips the device build
+        // at a mid-cadence iteration (the uninterrupted run already paid for
+        // it before the checkpoint) ...
+        let restored = AliasHybridSampler::new(4, 2);
+        restored.restore_resume_state(&snapshot);
+        let state_b = make_state(8, 9);
+        assert_eq!(restored.prepare_chunk(&dev, &state_b, &cfg, 2), 0.0);
+
+        // ... and produces bit-identical assignments from the stale tables.
+        let items = build_work_items(&state.layout, cfg.max_tokens_per_block);
+        assert_eq!(sampler.prepare_chunk(&dev, &state, &cfg, 2), 0.0);
+        dev.launch(
+            sampler.name(),
+            LaunchConfig::new(items.len()),
+            &sampler.sampling_kernel(&state, &items, &cfg, 2),
+        );
+        dev.launch(
+            restored.name(),
+            LaunchConfig::new(items.len()),
+            &restored.sampling_kernel(&state_b, &items, &cfg, 2),
+        );
+        for (a, b) in state.z_next.iter().zip(&state_b.z_next) {
+            assert_eq!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
+        }
+
+        // The restored sampler stays on the original cadence grid.
+        assert_eq!(restored.prepare_chunk(&dev, &state_b, &cfg, 3), 0.0);
+        assert!(restored.prepare_chunk(&dev, &state_b, &cfg, 4) > 0.0);
     }
 
     #[test]

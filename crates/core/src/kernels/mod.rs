@@ -20,7 +20,7 @@ pub mod update_phi;
 pub mod update_theta;
 
 pub use alias_hybrid::AliasHybridSampler;
-pub use sampler::{sampler_for, SamplerKernel};
+pub use sampler::{sampler_for, SamplerKernel, SamplerResumeState};
 pub use sampling::{SparseCgsBlock, SparseCgsSampler};
 pub use update_phi::UpdatePhiKernel;
 pub use update_theta::UpdateThetaKernel;

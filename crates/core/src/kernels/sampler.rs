@@ -45,6 +45,34 @@ use std::sync::Arc;
 /// `u64::MAX`, so burn-in streams can never collide with either.
 pub const BURN_STREAM_BASE: u64 = u64::MAX - 2;
 
+/// Portable sampler-internal state a checkpoint carries so that resuming
+/// mid-cadence is bit-exact.
+///
+/// The model state (`z`, φ, θ, the iteration counter) reconstructs every
+/// *memoryless* sampler exactly, but a strategy that keeps state *between*
+/// iterations — the alias hybrid's stale tables, rebuilt only every
+/// `rebuild_every` iterations — would otherwise restart that state fresh on
+/// resume and diverge from the uninterrupted run until the next rebuild.
+/// [`SamplerKernel::resume_state`] captures the inputs needed to reconstruct
+/// that state exactly, and [`SamplerKernel::restore_resume_state`] replays
+/// them into a freshly built sampler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SamplerResumeState {
+    /// The global snapshot the alias hybrid's stale tables were last built
+    /// from.  Per-chunk proposal tables are deterministically reconstructed
+    /// from it (the same `(φ̂ + β) / (n̂ + Vβ)` arithmetic as the build
+    /// kernel), so they do not need to be serialized themselves.
+    AliasTables {
+        /// Iteration the tables were built at; resume keeps the rebuild
+        /// cadence anchored to the original grid.
+        built_at: u64,
+        /// The synchronized φ at `built_at` (`K × V`).
+        phi_hat: DenseMatrix<u32>,
+        /// The topic totals at `built_at`.
+        nk_hat: Vec<i64>,
+    },
+}
+
 /// A pluggable sampling-kernel implementation.
 ///
 /// Implementations must be deterministic: every random draw — on the device
@@ -79,6 +107,21 @@ pub trait SamplerKernel: Send + Sync {
         config: &'a LdaConfig,
         iteration: u64,
     ) -> Box<dyn BlockKernel + 'a>;
+
+    /// The sampler-internal state a checkpoint must carry for a mid-cadence
+    /// resume to be bit-exact, or `None` for memoryless strategies (the
+    /// default) and for samplers that have not built any state yet.
+    fn resume_state(&self) -> Option<SamplerResumeState> {
+        None
+    }
+
+    /// Replay a [`SamplerResumeState`] captured by
+    /// [`SamplerKernel::resume_state`] into this (freshly constructed)
+    /// sampler.  The default ignores the state, which is correct for
+    /// memoryless strategies.
+    fn restore_resume_state(&self, state: &SamplerResumeState) {
+        let _ = state;
+    }
 
     /// Predict the steady-state per-iteration compute span from iteration
     /// 0's measured compute and setup spans, amortising periodic setup work

@@ -49,7 +49,9 @@ pub use config::{LdaConfig, SamplerStrategy};
 pub use convergence::{train_until_converged, ConvergenceMonitor, EarlyStopper};
 pub use hyper::{optimize_alpha, optimize_beta, HyperOptOptions, HyperUpdate};
 pub use inference::{DocumentTopics, InferenceOptions, TopicInferencer};
-pub use kernels::{sampler_for, AliasHybridSampler, SamplerKernel, SparseCgsSampler};
+pub use kernels::{
+    sampler_for, AliasHybridSampler, SamplerKernel, SamplerResumeState, SparseCgsSampler,
+};
 pub use model::{ChunkState, TopicTotals};
 pub use schedule::{IterationStats, ScheduleKind};
 pub use session::{

@@ -129,6 +129,10 @@ pub fn run_iteration(
     let g = system.num_gpus();
 
     // Chunk i is processed by GPU i % G, chunks with smaller ids first (§5.1).
+    // Devices run on separate OS threads, exactly like the real system;
+    // per-device results are safe to compute concurrently because a device
+    // only reads the chunks assigned to it and all cross-chunk state (φ̂, n̂k)
+    // was synchronized before this point.
     let per_device: Vec<DeviceTimes> = (0..g)
         .into_par_iter()
         .map(|dev_idx| {

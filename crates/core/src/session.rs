@@ -55,7 +55,7 @@
 
 use crate::checkpoint::{rotation, ModelCheckpoint};
 use crate::config::{LdaConfig, SamplerStrategy};
-use crate::kernels::{sampler_for, SamplerKernel};
+use crate::kernels::{sampler_for, SamplerKernel, SamplerResumeState};
 use crate::model::ChunkState;
 use crate::schedule::IterationStats;
 use crate::trainer::{CuLdaTrainer, TrainerError};
@@ -185,6 +185,7 @@ pub struct SessionBuilder {
     config: Option<LdaConfig>,
     system: Option<MultiGpuSystem>,
     assignments: Option<(Vec<Vec<u16>>, u64)>,
+    sampler_state: Option<SamplerResumeState>,
     streaming: StreamingOptions,
 }
 
@@ -232,6 +233,17 @@ impl SessionBuilder {
     /// `start_iteration` — the checkpoint-resume path for batch sessions.
     pub fn assignments(mut self, z: Vec<Vec<u16>>, start_iteration: u64) -> Self {
         self.assignments = Some((z, start_iteration));
+        self
+    }
+
+    /// Restore checkpointed sampler-internal state
+    /// ([`crate::ModelCheckpoint::sampler_state`]) alongside the assignment
+    /// snapshot, so a sampler that keeps state between iterations — the
+    /// alias hybrid's stale tables — resumes mid-cadence bit-exactly
+    /// instead of rebuilding fresh tables from the current φ.  `None` is
+    /// accepted (and is all a memoryless sampler ever has).
+    pub fn sampler_state(mut self, state: Option<SamplerResumeState>) -> Self {
+        self.sampler_state = state;
         self
     }
 
@@ -292,10 +304,11 @@ impl SessionBuilder {
             TrainerError::InvalidConfig("a session needs a system (SessionBuilder::system)".into())
         })?;
         let config = Self::config_or_default(self.config);
+        let sampler_state = self.sampler_state.as_ref();
         match &self.assignments {
-            None => CuLdaTrainer::from_parts(&corpus, config, system, None),
+            None => CuLdaTrainer::from_parts(&corpus, config, system, None, sampler_state),
             Some((z, start)) => {
-                CuLdaTrainer::from_parts(&corpus, config, system, Some((z, *start)))
+                CuLdaTrainer::from_parts(&corpus, config, system, Some((z, *start)), sampler_state)
             }
         }
     }
@@ -304,10 +317,10 @@ impl SessionBuilder {
     /// first mini-batch (stable init + burn-in, exactly as a later
     /// [`StreamingSession::ingest`] of the same documents would be).
     pub fn build_streaming(self) -> Result<StreamingSession, TrainerError> {
-        if self.assignments.is_some() {
+        if self.assignments.is_some() || self.sampler_state.is_some() {
             return Err(TrainerError::InvalidConfig(
                 "streaming sessions restore state via StreamingSession::resume, \
-                 not SessionBuilder::assignments"
+                 not SessionBuilder::assignments / sampler_state"
                     .into(),
             ));
         }
@@ -411,6 +424,12 @@ pub struct StreamingSession {
     sim_time_s: f64,
     history: Vec<IterationStats>,
     trainer: Option<CuLdaTrainer>,
+    /// Checkpointed sampler-internal state awaiting the first trainer build
+    /// after a resume.  Cleared by ingest/retire: once the membership
+    /// changes, the uninterrupted run would also have rebuilt its trainer
+    /// (and its sampler state) from scratch, so restoring the snapshot
+    /// would *diverge* from it rather than match it.
+    resume_sampler_state: Option<SamplerResumeState>,
     /// True when ingest/retire changed the corpus since the trainer was
     /// last built: the next training burst rebuilds it.
     membership_dirty: bool,
@@ -435,6 +454,7 @@ impl StreamingSession {
             sim_time_s: 0.0,
             history: Vec::new(),
             trainer: None,
+            resume_sampler_state: None,
             membership_dirty: true,
             ingested_docs: 0,
             retired_docs: 0,
@@ -535,6 +555,9 @@ impl StreamingSession {
         self.meta.insert(uid, DocMeta { z, chunk });
         self.ingested_docs += 1;
         self.membership_dirty = true;
+        // A membership change invalidates any checkpointed sampler state:
+        // the uninterrupted run rebuilds its sampler from scratch here too.
+        self.resume_sampler_state = None;
         uid
     }
 
@@ -581,6 +604,7 @@ impl StreamingSession {
             self.retired_docs += 1;
         }
         self.membership_dirty = true;
+        self.resume_sampler_state = None;
         if self.buffer.tombstone_fraction() > self.opts.compaction_threshold {
             self.buffer.compact();
         }
@@ -600,11 +624,15 @@ impl StreamingSession {
         }
         let corpus = self.buffer.live_corpus();
         let z: Vec<Vec<u16>> = self.meta.values().map(|m| m.z.clone()).collect();
+        // Consume any checkpointed sampler state on this first build after a
+        // resume (later rebuilds are membership changes, which cleared it).
+        let sampler_state = self.resume_sampler_state.take();
         let trainer = CuLdaTrainer::from_parts(
             &corpus,
             self.config.clone(),
             self.system.fresh_like(),
             Some((&z, self.iterations_done)),
+            sampler_state.as_ref(),
         )?;
         self.trainer = Some(trainer);
         self.membership_dirty = false;
@@ -665,7 +693,7 @@ impl StreamingSession {
         Ok(&self.history)
     }
 
-    /// Capture the current model + sampler state as a checkpoint-v2
+    /// Capture the current model + sampler state as a checkpoint
     /// snapshot (θ is recounted from the live assignments).
     pub fn to_checkpoint(&mut self) -> ModelCheckpoint {
         self.sync_from_trainer();
@@ -675,6 +703,17 @@ impl StreamingSession {
             builder.push_row(meta.z.iter().map(|&t| (t, 1u32)));
         }
         let theta: CsrMatrix = builder.finish();
+        // Sampler-internal state: from the live trainer when it is fresh;
+        // otherwise whatever a resume left pending (a stale trainer's
+        // sampler would be rebuilt from scratch anyway, exactly as the
+        // uninterrupted run rebuilds it after a membership change).
+        let sampler_state = if self.membership_dirty {
+            self.resume_sampler_state.clone()
+        } else {
+            self.trainer
+                .as_ref()
+                .and_then(|t| t.sampler_kernel().resume_state())
+        };
         ModelCheckpoint {
             num_topics: k,
             vocab_size: self.phi.cols(),
@@ -687,6 +726,7 @@ impl StreamingSession {
             iterations: self.iterations_done,
             z: Some(self.meta.values().map(|m| m.z.clone()).collect()),
             sampler: self.config.sampler,
+            sampler_state,
         }
     }
 
@@ -882,6 +922,7 @@ impl StreamingSession {
         }
         session.phi = ckpt.phi;
         session.nk = ckpt.nk;
+        session.resume_sampler_state = ckpt.sampler_state;
         session.iterations_done = ckpt.iterations;
         session.ingested_docs = meta.ingested_docs;
         session.retired_docs = meta.retired_docs;

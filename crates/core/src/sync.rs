@@ -21,6 +21,13 @@
 //! the synchronized state) and charges the time of the per-shard tree
 //! schedules over the system's interconnect, which is what determines
 //! multi-GPU scalability (Figure 9).
+//!
+//! The reduce itself runs on real OS threads, which is safe precisely
+//! because everything summed here is an integer count: addition commutes, so
+//! no thread interleaving can change a column sum.  Floating-point reduces
+//! must not be added to this path without routing them through the shim's
+//! fixed partial-sum tree, where the tree shape — not thread arrival order —
+//! defines the result.
 
 use crate::config::LdaConfig;
 use crate::model::ChunkState;

@@ -21,7 +21,7 @@
 //! ```
 
 use crate::config::LdaConfig;
-use crate::kernels::{sampler_for, SamplerKernel};
+use crate::kernels::{sampler_for, SamplerKernel, SamplerResumeState};
 use crate::model::ChunkState;
 use crate::schedule::{run_iteration, IterationStats, ScheduleKind};
 use crate::sync::{synchronize_phi_sharded, SyncPlan};
@@ -107,7 +107,7 @@ impl CuLdaTrainer {
         config: LdaConfig,
         system: MultiGpuSystem,
     ) -> Result<Self, TrainerError> {
-        Self::from_parts(corpus, config, system, None)
+        Self::from_parts(corpus, config, system, None, None)
     }
 
     /// Build a trainer whose topic assignments are restored from an explicit
@@ -126,24 +126,28 @@ impl CuLdaTrainer {
         z: &[Vec<u16>],
         start_iteration: u64,
     ) -> Result<Self, TrainerError> {
-        Self::from_parts(corpus, config, system, Some((z, start_iteration)))
+        Self::from_parts(corpus, config, system, Some((z, start_iteration)), None)
     }
 
     /// The one real constructor, shared by the deprecated positional shims
     /// and [`crate::session::SessionBuilder`]: `init` optionally restores an
     /// explicit assignment snapshot together with the iteration counter to
-    /// continue the RNG streams from.
+    /// continue the RNG streams from, and `sampler_state` optionally replays
+    /// checkpointed sampler-internal state (e.g. the alias hybrid's stale
+    /// tables) into the freshly built sampler so a mid-cadence resume is
+    /// bit-exact.
     pub(crate) fn from_parts(
         corpus: &Corpus,
         config: LdaConfig,
         system: MultiGpuSystem,
         init: Option<(&[Vec<u16>], u64)>,
+        sampler_state: Option<&SamplerResumeState>,
     ) -> Result<Self, TrainerError> {
         match init {
-            None => Self::build(corpus, config, system, None),
+            None => Self::build(corpus, config, system, None, sampler_state),
             Some((z, start_iteration)) => {
                 Self::validate_assignments(corpus, &config, z)?;
-                let mut trainer = Self::build(corpus, config, system, Some(z))?;
+                let mut trainer = Self::build(corpus, config, system, Some(z), sampler_state)?;
                 trainer.base_iteration = start_iteration;
                 Ok(trainer)
             }
@@ -185,6 +189,7 @@ impl CuLdaTrainer {
         config: LdaConfig,
         system: MultiGpuSystem,
         init: Option<&[Vec<u16>]>,
+        sampler_state: Option<&SamplerResumeState>,
     ) -> Result<Self, TrainerError> {
         config.validate().map_err(TrainerError::InvalidConfig)?;
         if corpus.num_tokens() == 0 {
@@ -249,6 +254,9 @@ impl CuLdaTrainer {
         synchronize_phi_sharded(&states, &system, &sync_plan, config.compress_16bit);
         let auto_tune_shards = config.sync_shards.is_none() && system.num_gpus() > 1;
         let sampler = sampler_for(&config);
+        if let Some(state) = sampler_state {
+            sampler.restore_resume_state(state);
+        }
 
         Ok(CuLdaTrainer {
             sampler,
@@ -604,7 +612,7 @@ mod tests {
         config: LdaConfig,
         system: MultiGpuSystem,
     ) -> Result<CuLdaTrainer, TrainerError> {
-        CuLdaTrainer::from_parts(corpus, config, system, None)
+        CuLdaTrainer::from_parts(corpus, config, system, None, None)
     }
 
     fn small_corpus() -> Corpus {

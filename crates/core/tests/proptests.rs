@@ -113,6 +113,7 @@ proptest! {
             iterations: 0,
             z: None,
             sampler: SamplerStrategy::SparseCgs,
+            sampler_state: None,
         };
         prop_assert!(ckpt.validate().is_ok());
         let mut buf = Vec::new();

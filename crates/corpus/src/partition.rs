@@ -114,8 +114,10 @@ impl Partitioner {
         max / mean
     }
 
-    /// Build the GPU-side layout of every chunk (in parallel — preprocessing
-    /// is a CPU responsibility in the paper's system, Figure 3).
+    /// Build the GPU-side layout of every chunk (in parallel across OS
+    /// threads — preprocessing is a CPU responsibility in the paper's
+    /// system, Figure 3).  Each layout is a pure function of `(corpus,
+    /// range)`, so the build order cannot affect the result.
     pub fn build_layouts(&self, corpus: &Corpus) -> Vec<ChunkLayout> {
         self.ranges
             .par_iter()

@@ -189,9 +189,15 @@ pub struct KernelStats {
 impl Device {
     /// Launch `kernel` over `config.grid_blocks` thread blocks.
     ///
-    /// Blocks execute in parallel on the host thread pool; their counters are
-    /// reduced and converted into simulated time, which is recorded in the
-    /// device profiler under `name`.
+    /// Blocks execute concurrently on the host thread pool (real OS threads,
+    /// `CULDA_NUM_THREADS` wide); their counters are reduced and converted
+    /// into simulated time, which is recorded in the device profiler under
+    /// `name`.  The result is independent of which thread runs which block:
+    /// every block draws from a [`BlockRng`] keyed on
+    /// `(device seed, launch id, block id)` rather than on any shared RNG
+    /// stream, and the counter reduction goes through the shim's fixed
+    /// partial tree, so neither randomness nor summation order can vary with
+    /// scheduling.
     pub fn launch<K: BlockKernel + ?Sized>(
         &self,
         name: &str,

@@ -9,6 +9,11 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Thread-safe accumulator of simulated time per kernel name.
+///
+/// The mutex is contended for real now that launches from different devices
+/// run on different OS threads.  Each device owns its *own* profiler, so the
+/// recorded totals stay deterministic: all records into one bucket come from
+/// that device's sequential launch order, never from a cross-thread race.
 #[derive(Debug, Default)]
 pub struct Profiler {
     inner: Mutex<HashMap<String, f64>>,

@@ -6,8 +6,11 @@
 //!
 //! * [`DenseMatrix`] — plain row-major storage, generic over the element type
 //!   (the paper compresses φ to 16-bit entries, `DenseMatrix<u16>`).
-//! * [`AtomicMatrix`] — `AtomicU32` storage shared between simulated thread
-//!   blocks during the update kernels.
+//! * [`AtomicMatrix`] — `AtomicU32` storage shared between thread blocks
+//!   during the update kernels.  Blocks execute on real OS threads, so these
+//!   atomics are load-bearing, not simulation theater: they must stay
+//!   relaxed-ordering *additive* updates (commutative), which is what keeps
+//!   the accumulated counts independent of block scheduling.
 
 use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
 

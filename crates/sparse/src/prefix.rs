@@ -9,7 +9,10 @@
 //!
 //! Both a sequential implementation (used inside a single simulated thread
 //! block) and a rayon-parallel implementation (used host-side when rebuilding
-//! a whole chunk's row pointers) are provided.
+//! a whole chunk's row pointers) are provided.  The parallel scan runs on
+//! real OS threads; its fixed block decomposition — not thread arrival
+//! order — defines every intermediate sum, so its output is bit-identical
+//! at any thread count.
 
 use rayon::prelude::*;
 

@@ -6,7 +6,9 @@
 //! iteration statistics.
 
 use culda::baselines::CuLdaSolver;
-use culda::core::{LdaConfig, SamplerStrategy, SessionBuilder, StreamingOptions, StreamingSession};
+use culda::core::{
+    LdaConfig, ModelCheckpoint, SamplerStrategy, SessionBuilder, StreamingOptions, StreamingSession,
+};
 use culda::gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
 use culda_testkit::conformance::{run_conformance, MAX_DRAWDOWN_NATS};
 use culda_testkit::determinism::{assert_same_assignments, z_signature};
@@ -223,11 +225,63 @@ fn alias_rebuild_cost_appears_in_iteration_stats_and_breakdown() {
 }
 
 #[test]
+fn alias_mid_cadence_resume_is_bit_exact() {
+    // Regression test: a checkpoint taken *between* alias rebuilds used to
+    // resume with freshly built tables and silently diverge from the
+    // uninterrupted run. The checkpoint now persists the rebuild phase
+    // (built_at plus the φ̂/n̂k the tables were built from), so the resumed
+    // leg keeps sampling against the same stale tables and stays on the
+    // original cadence grid.
+    let corpus = fixtures::medium(fixtures::FIXTURE_SEED);
+    let build = |assignments: Option<&ModelCheckpoint>| {
+        let mut b = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(alias_cfg(4, 2))
+            .system(system(1, SEED));
+        if let Some(ckpt) = assignments {
+            b = b
+                .assignments(ckpt.z.clone().unwrap(), ckpt.iterations)
+                .sampler_state(ckpt.sampler_state.clone());
+        }
+        b.build().unwrap()
+    };
+
+    let mut straight = build(None);
+    straight.train(10);
+
+    // Tables rebuild at iterations 0, 4 and 8; stopping after 6 lands the
+    // checkpoint mid-cadence (two iterations past the last rebuild).
+    let mut first_leg = build(None);
+    first_leg.train(6);
+    let ckpt = ModelCheckpoint::from_trainer(&first_leg);
+    ckpt.validate().unwrap();
+    assert!(
+        ckpt.sampler_state.is_some(),
+        "an alias trainer must checkpoint its rebuild phase"
+    );
+
+    let mut resumed = build(Some(&ckpt));
+    resumed.train(4);
+    assert_eq!(straight.z_snapshot(), resumed.z_snapshot());
+    assert_eq!(straight.global_phi(), resumed.global_phi());
+
+    // Dropping the sampler state (the pre-v4 resume path) rebuilds tables
+    // from φ(6) instead of φ(4) and diverges — the bug this fixes. Without
+    // this assertion the test above would pass vacuously on a corpus too
+    // small for the stale tables to matter.
+    let mut stateless = ckpt;
+    stateless.sampler_state = None;
+    let mut fresh_tables = build(Some(&stateless));
+    fresh_tables.train(4);
+    assert_ne!(straight.z_snapshot(), fresh_tables.z_snapshot());
+}
+
+#[test]
 fn alias_streaming_rotation_resume_preserves_strategy_and_state() {
     // rebuild_every = 1 keeps the stale tables a pure function of the
-    // synchronized φ at every iteration, so a rotate → resume hand-off is
-    // bit-exact for the alias path, and the resumed session must keep
-    // sampling with the alias strategy.
+    // synchronized φ at every iteration; the rotate → resume hand-off must
+    // be bit-exact and the resumed session must keep sampling with the
+    // alias strategy. (Mid-cadence rotation is covered separately below.)
     let dir = std::env::temp_dir().join(format!(
         "culda-alias-rotate-{}-{}",
         std::process::id(),
@@ -266,6 +320,48 @@ fn alias_streaming_rotation_resume_preserves_strategy_and_state() {
         "resume must preserve the sampler strategy from the checkpoint"
     );
     resumed.train(3).unwrap();
+    assert_eq!(continuous.z_snapshot(), resumed.z_snapshot());
+    assert_eq!(continuous.global_phi(), resumed.global_phi());
+    resumed.validate().unwrap();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn alias_streaming_mid_cadence_rotation_resume_is_bit_exact() {
+    // Same hand-off as above but with a sparse rebuild cadence, so the
+    // rotation lands between rebuilds. The checkpoint's persisted sampler
+    // state is what keeps the resumed leg on the stale tables.
+    let dir = std::env::temp_dir().join(format!(
+        "culda-alias-midcad-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = fixtures::tiny(fixtures::FIXTURE_SEED);
+    let docs = fixtures::documents_of(&corpus);
+
+    let build = || {
+        SessionBuilder::new()
+            .config(alias_cfg(4, 2))
+            .burn_in_sweeps(1)
+            .system(system(1, SEED))
+            .build_streaming()
+            .unwrap()
+    };
+    let mut continuous = build();
+    continuous.ingest(&docs);
+    continuous.train(6).unwrap(); // rebuilds at 0 and 4; iteration 6 is mid-cadence
+    continuous.rotate_checkpoints(&dir, 2).unwrap();
+    continuous.train(4).unwrap();
+
+    let mut resumed =
+        StreamingSession::resume_with_options(&dir, system(1, SEED), StreamingOptions::default())
+            .unwrap();
+    resumed.train(4).unwrap();
     assert_eq!(continuous.z_snapshot(), resumed.z_snapshot());
     assert_eq!(continuous.global_phi(), resumed.global_phi());
     resumed.validate().unwrap();
