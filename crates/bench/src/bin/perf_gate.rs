@@ -24,7 +24,7 @@
 
 use culda_bench::tables::culda_throughput;
 use culda_bench::{datasets, ExperimentScale};
-use culda_core::{LdaConfig, SamplerStrategy, SessionBuilder};
+use culda_core::{InferenceOptions, LdaConfig, SamplerStrategy, SessionBuilder};
 use culda_gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
 
 /// Fractional slowdown of *simulated* throughput tolerated before the gate
@@ -69,7 +69,9 @@ struct Scenario {
 /// from iteration 0 — so a regression in the tuner's choice fails the gate —
 /// and a large-K pair comparing the sparse-CGS and alias-hybrid sampler
 /// kernels (the alias scenario must stay at least as fast: it amortises the
-/// per-word dense-tree rebuild the sparse kernel pays every iteration).
+/// per-word dense-tree rebuild the sparse kernel pays every iteration),
+/// plus a wall-clock query-latency canary for the epoch-snapshot serving
+/// tier.
 fn scenarios() -> Vec<Scenario> {
     fn scale() -> ExperimentScale {
         ExperimentScale {
@@ -110,6 +112,54 @@ fn scenarios() -> Vec<Scenario> {
                 .expect("trainer construction");
             trainer.train(iterations);
             trainer.average_throughput(iterations)
+        })
+    }
+    /// Query-latency canary for the serving tier: train a streaming model,
+    /// publish a snapshot, then push a fixed batched query load through the
+    /// [`culda_core::ModelSnapshots`] handle.  Queries run on the host,
+    /// outside the GPU cost model, so the *simulated* column is pinned to
+    /// the (pure, deterministic) total query token count — trivially green
+    /// under the strict gate — while the *wall* column is the real canary:
+    /// it collapses if the fold-in chain or the snapshot load path rots
+    /// (e.g. an accidental per-query φ copy).
+    fn query_latency() -> RunResult {
+        const QUERY_ROUNDS: u64 = 3;
+        let corpus = culda_corpus::DatasetProfile {
+            name: "serve".into(),
+            num_docs: 2_000,
+            vocab_size: 8_000,
+            avg_doc_len: 18.0,
+            zipf_exponent: 1.05,
+            doc_len_sigma: 0.4,
+        }
+        .generate(42);
+        let queries: Vec<Vec<u32>> = (0..corpus.num_docs().min(256))
+            .map(|d| corpus.doc(d).to_vec())
+            .collect();
+        let query_tokens: u64 = queries.iter().map(|q| q.len() as u64).sum::<u64>() * QUERY_ROUNDS;
+        let mut session = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(96).seed(42))
+            .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 42))
+            .build_streaming()
+            .expect("session construction");
+        session.train(2).expect("training");
+        session.publish_snapshot().expect("snapshot publication");
+        let snapshots = session.snapshots();
+        let options = InferenceOptions {
+            sweeps: 5,
+            burn_in: 1,
+            seed: 7,
+        };
+        timed(query_tokens, || {
+            for _ in 0..QUERY_ROUNDS {
+                for batch in queries.chunks(16) {
+                    snapshots
+                        .infer_batch(batch, options)
+                        .expect("serving query");
+                }
+            }
+            query_tokens as f64
         })
     }
     vec![
@@ -174,6 +224,10 @@ fn scenarios() -> Vec<Scenario> {
         Scenario {
             name: "tailheavy_volta_1gpu_largeK_alias",
             run: || large_k_throughput(SamplerStrategy::alias_hybrid()),
+        },
+        Scenario {
+            name: "serve_volta_query_latency",
+            run: query_latency,
         },
     ]
 }

@@ -72,6 +72,22 @@ COMMANDS:
                       [--resume]            resume the session from the
                                             latest set in --checkpoint-dir
                                             before streaming
+    serve           Stream a corpus into a live model while query threads
+                    answer fold-in inference against epoch-published
+                    snapshots; reports p50/p99 query latency and QPS
+                      --corpus FILE | --profile P --tokens N
+                      [--topics K] [--gpus G] [--device NAME] [--seed S]
+                      [--batch-docs B]      documents ingested per mini-batch
+                                            (default 256)
+                      [--iterations-per-batch I]  training iterations after
+                                            each ingested batch (default 2)
+                      [--query-threads T]   concurrent reader threads
+                                            (default 2)
+                      [--query-batch Q]     queries per inference batch, all
+                                            answered against one frozen
+                                            snapshot (default 8)
+                      [--sweeps N]          fold-in Gibbs sweeps per query
+                                            (default 5)
     topics          Show the top words of every topic of a saved model
                       --model FILE [--top N]
     infer           Infer the topic mixture of new text or a corpus
@@ -635,6 +651,181 @@ pub fn stream(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `serve` — the concurrent query tier end to end: stream a corpus into a
+/// live model in mini-batches while `--query-threads` reader threads hammer
+/// batched fold-in inference against the epoch-published snapshots
+/// (`DESIGN.md` §12), then report both sides — training totals and
+/// p50/p99 query latency + QPS.
+pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let (corpus, corpus_name) = corpus_from_args(args)?;
+    let topics: usize = args.get_parsed_or("topics", 64usize)?;
+    let gpus: usize = args.get_parsed_or("gpus", 1usize)?;
+    let seed: u64 = args.get_parsed_or("seed", 42u64)?;
+    let device = device_by_name(&args.get("device").unwrap_or_else(|| "volta".into()))?;
+    let batch_docs: usize = args.get_parsed_or("batch-docs", 256usize)?;
+    let iterations_per_batch: usize = args.get_parsed_or("iterations-per-batch", 2usize)?;
+    let query_threads: usize = args.get_parsed_or("query-threads", 2usize)?;
+    let query_batch: usize = args.get_parsed_or("query-batch", 8usize)?;
+    let sweeps: usize = args.get_parsed_or("sweeps", 5usize)?;
+    args.reject_unknown()?;
+    if batch_docs == 0 {
+        return Err(CliError::Usage("--batch-docs must be positive".into()));
+    }
+    if query_threads == 0 || query_batch == 0 {
+        return Err(CliError::Usage(
+            "--query-threads and --query-batch must be positive".into(),
+        ));
+    }
+    if corpus.num_docs() == 0 {
+        return Err(CliError::Runtime("the corpus holds no documents".into()));
+    }
+
+    let system = if gpus <= 1 {
+        MultiGpuSystem::single(device.clone(), seed)
+    } else {
+        MultiGpuSystem::homogeneous(device.clone(), gpus, seed, Interconnect::Pcie3)
+    };
+    let mut session = SessionBuilder::new()
+        .config(LdaConfig::with_topics(topics).seed(seed))
+        .system(system)
+        .build_streaming()
+        .map_err(|e| CliError::Runtime(format!("failed to build session: {e}")))?;
+
+    let docs: Vec<Document> = (0..corpus.num_docs())
+        .map(|d| Document::from(corpus.doc(d)))
+        .collect();
+    // The query workload replays (a slice of) the corpus itself — realistic
+    // word statistics without inventing a second corpus format.
+    let query_docs: Arc<Vec<Vec<u32>>> = Arc::new(
+        docs.iter()
+            .take(512)
+            .map(|d| d.words.clone())
+            .collect::<Vec<_>>(),
+    );
+    let options = InferenceOptions {
+        sweeps,
+        burn_in: (sweeps / 4).clamp(usize::from(sweeps > 1), sweeps.saturating_sub(1)),
+        seed: 7,
+    };
+
+    // Ingest the first batch and publish an initial snapshot so readers can
+    // answer queries from the very first moment of the run.
+    let mut batches = docs.chunks(batch_docs);
+    let first = batches.next().expect("non-empty corpus");
+    session
+        .try_ingest(first)
+        .map_err(|e| CliError::Runtime(format!("ingest failed: {e}")))?;
+    session
+        .publish_snapshot()
+        .map_err(|e| CliError::Runtime(format!("snapshot publication failed: {e}")))?;
+
+    // Reader side: each thread loops batched queries against the snapshot
+    // tier until training finishes (and always completes at least one batch,
+    // so short runs still serve).
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..query_threads)
+        .map(|t| {
+            let snapshots = session.snapshots();
+            let stop = Arc::clone(&stop);
+            let query_docs = Arc::clone(&query_docs);
+            std::thread::spawn(move || -> Result<u64, String> {
+                let mut served = 0u64;
+                let mut cursor = t * query_batch;
+                loop {
+                    let batch: Vec<Vec<u32>> = (0..query_batch)
+                        .map(|i| query_docs[(cursor + i) % query_docs.len()].clone())
+                        .collect();
+                    cursor = (cursor + query_batch) % query_docs.len();
+                    let reply = snapshots
+                        .infer_batch(&batch, options)
+                        .map_err(|e| e.to_string())?;
+                    served += reply.results.len() as u64;
+                    if stop.load(Ordering::Relaxed) {
+                        return Ok(served);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Writer side: the usual streaming loop; every iteration boundary
+    // republishes the snapshot because reader handles are live.
+    let train_result = (|| -> Result<(), CliError> {
+        session
+            .train(iterations_per_batch)
+            .map_err(|e| CliError::Runtime(format!("training failed: {e}")))?;
+        for batch in batches {
+            session
+                .try_ingest(batch)
+                .map_err(|e| CliError::Runtime(format!("ingest failed: {e}")))?;
+            session
+                .train(iterations_per_batch)
+                .map_err(|e| CliError::Runtime(format!("training failed: {e}")))?;
+        }
+        Ok(())
+    })();
+    stop.store(true, Ordering::Relaxed);
+    let mut served_per_thread = Vec::with_capacity(readers.len());
+    for reader in readers {
+        let served = reader
+            .join()
+            .map_err(|_| CliError::Runtime("a query thread panicked".into()))?
+            .map_err(|e| CliError::Runtime(format!("query failed: {e}")))?;
+        served_per_thread.push(served);
+    }
+    train_result?;
+    session
+        .validate()
+        .map_err(|e| CliError::Runtime(format!("session invariants violated: {e}")))?;
+
+    let s = session.stats();
+    let mut out = String::new();
+    writeln!(out, "corpus:  {corpus_name}").unwrap();
+    writeln!(
+        out,
+        "model:   K = {topics}, seed {seed}, {} × {}",
+        gpus, device.name
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "serving: {query_threads} query threads × batches of {query_batch} \
+         ({sweeps} fold-in sweeps per query)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "trained: {} docs ingested, {} iterations, {:.3}s simulated, \
+         {} snapshot epochs published",
+        s.ingested_docs, s.iterations, s.sim_time_s, s.snapshot_epoch
+    )
+    .unwrap();
+    writeln!(out, "\nquery tier:").unwrap();
+    writeln!(
+        out,
+        "  queries answered: {} ({})",
+        s.queries_served,
+        served_per_thread
+            .iter()
+            .enumerate()
+            .map(|(t, n)| format!("thread{t}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  latency: p50 {:.3} ms, p99 {:.3} ms",
+        s.query_p50_ms, s.query_p99_ms
+    )
+    .unwrap();
+    writeln!(out, "  throughput: {:.1} queries/s", s.query_qps).unwrap();
+    Ok(out)
+}
+
 /// `topics` — print the top words of every topic of a saved model.
 pub fn topics(args: &ParsedArgs) -> Result<String, CliError> {
     let model_path = args.require("model")?;
@@ -672,7 +863,11 @@ pub fn infer(args: &ParsedArgs) -> Result<String, CliError> {
     args.reject_unknown()?;
     let ckpt = ModelCheckpoint::load(&model_path)
         .map_err(|e| CliError::Runtime(format!("failed to load {model_path}: {e}")))?;
-    let inferencer: TopicInferencer = ckpt.inferencer();
+    // The fallible path: a corrupt checkpoint (NaN weights, non-positive
+    // topic totals, shape mismatch) is a runtime error, never a panic.
+    let inferencer: TopicInferencer = ckpt
+        .try_inferencer()
+        .map_err(|e| CliError::Runtime(format!("{model_path} is corrupt: {e}")))?;
     let options = InferenceOptions {
         sweeps,
         burn_in: (sweeps / 4).max(1).min(sweeps - 1),
@@ -690,7 +885,9 @@ pub fn infer(args: &ParsedArgs) -> Result<String, CliError> {
                     "--text must contain space-separated word ids".into(),
                 ));
             }
-            let doc = inferencer.infer_document(&words, options);
+            let doc = inferencer
+                .try_infer_document(&words, options)
+                .map_err(|e| CliError::Runtime(format!("inference failed: {e}")))?;
             writeln!(out, "tokens used: {}", words.len()).unwrap();
             for (k, p) in doc.top_topics(5) {
                 writeln!(out, "topic {k:>3}: {:>6.2}%", p * 100.0).unwrap();
@@ -699,7 +896,9 @@ pub fn infer(args: &ParsedArgs) -> Result<String, CliError> {
         (None, Some(path)) => {
             let corpus = culda_corpus::load_corpus(&path)
                 .map_err(|e| CliError::Runtime(format!("failed to load {path}: {e}")))?;
-            let results = inferencer.infer_corpus(&corpus, options);
+            let results = inferencer
+                .try_infer_corpus(&corpus, options)
+                .map_err(|e| CliError::Runtime(format!("inference failed: {e}")))?;
             writeln!(out, "{} documents", results.len()).unwrap();
             for (d, doc) in results.iter().enumerate().take(20) {
                 let top = doc.top_topics(3);
@@ -747,13 +946,17 @@ pub fn eval(args: &ParsedArgs) -> Result<String, CliError> {
         )));
     }
     let split = DocumentCompletion::split(&corpus, heldout_fraction, 11);
-    let inferencer = ckpt.inferencer();
+    let inferencer = ckpt
+        .try_inferencer()
+        .map_err(|e| CliError::Runtime(format!("{model_path} is corrupt: {e}")))?;
     let options = InferenceOptions {
         sweeps,
         burn_in: (sweeps / 4).max(1).min(sweeps - 1),
         seed: 13,
     };
-    let theta_counts = inferencer.infer_corpus_counts(&split.observed, options);
+    let theta_counts = inferencer
+        .try_infer_corpus_counts(&split.observed, options)
+        .map_err(|e| CliError::Runtime(format!("inference failed: {e}")))?;
     let score = evaluate_heldout(
         &split.heldout,
         &theta_counts,
@@ -788,6 +991,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         "stats" => stats(args),
         "train" => train(args),
         "stream" => stream(args),
+        "serve" => serve(args),
         "topics" => topics(args),
         "infer" => infer(args),
         "eval" => eval(args),

@@ -324,6 +324,46 @@ fn alias_sampler_train_checkpoint_resume_round_trip() {
 }
 
 #[test]
+fn serve_streams_and_answers_queries_concurrently() {
+    // The whole query tier through the real binary: stream a corpus while
+    // reader threads answer batched fold-in queries against the
+    // epoch-published snapshots, and report latency/QPS at the end.
+    cli()
+        .args([
+            "serve",
+            "--tokens",
+            "4000",
+            "--topics",
+            "8",
+            "--seed",
+            "11",
+            "--batch-docs",
+            "4",
+            "--iterations-per-batch",
+            "1",
+            "--query-threads",
+            "2",
+            "--query-batch",
+            "4",
+            "--sweeps",
+            "3",
+        ])
+        .assert()
+        .success()
+        .stdout_contains("snapshot epochs published")
+        .stdout_contains("queries answered:")
+        .stdout_contains("latency: p50")
+        .stdout_contains("queries/s");
+
+    // Zero reader threads make no sense and are a usage error.
+    cli()
+        .args(["serve", "--tokens", "2000", "--query-threads", "0"])
+        .assert()
+        .code(2)
+        .stderr_contains("--query-threads");
+}
+
+#[test]
 fn resume_rejects_mismatched_topics() {
     let dir = std::env::temp_dir().join(format!("culda-cli-smoke-k-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

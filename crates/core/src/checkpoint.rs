@@ -183,9 +183,21 @@ impl ModelCheckpoint {
         }
     }
 
-    /// Build a fold-in inferencer from the stored model.
+    /// Build a fold-in inferencer from the stored model, rejecting corrupt
+    /// state (negative `n_k`, non-positive priors, shape mismatches) with a
+    /// typed error instead of panicking — checkpoints are untrusted on-disk
+    /// input, so this is the constructor the serving path must use.
+    pub fn try_inferencer(&self) -> Result<TopicInferencer, crate::inference::InferenceError> {
+        TopicInferencer::try_new(&self.phi, &self.nk, self.alpha, self.beta)
+    }
+
+    /// Build a fold-in inferencer from the stored model; panics on corrupt
+    /// state (see [`ModelCheckpoint::try_inferencer`]).
     pub fn inferencer(&self) -> TopicInferencer {
-        TopicInferencer::new(&self.phi, &self.nk, self.alpha, self.beta)
+        match self.try_inferencer() {
+            Ok(inferencer) => inferencer,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Total number of tokens the stored φ covers.

@@ -15,6 +15,12 @@
 //! [`TopicInferencer`], which owns a frozen model and infers mixtures for
 //! single documents or whole corpora (the latter in parallel with rayon,
 //! since documents are independent once φ is frozen).
+//!
+//! Because inference is the *serving* path — the model may come from an
+//! untrusted checkpoint on disk — construction and querying are fallible:
+//! the `try_*` methods return a typed [`InferenceError`] on corrupt input
+//! (negative `n_k`, NaN weights, shape mismatches) and the panicking
+//! wrappers exist only for callers holding trusted in-process state.
 
 use crate::config::LdaConfig;
 use crate::trainer::CuLdaTrainer;
@@ -23,6 +29,92 @@ use culda_sparse::{CsrBuilder, CsrMatrix, DenseMatrix};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
+
+/// Why a model cannot be frozen for inference, or a query cannot be answered.
+///
+/// Serving reads models from untrusted places — checkpoints on disk, snapshots
+/// published mid-training — so every way a corrupt φ/`n_k` can poison the
+/// fold-in arithmetic is a typed error here rather than a panic: one bad
+/// checkpoint must never take down a process that is answering queries
+/// (DESIGN.md §12).
+#[derive(Debug, Clone, PartialEq)]
+pub enum InferenceError {
+    /// [`InferenceOptions::validate`] failed (zero sweeps, burn-in ≥ sweeps).
+    InvalidOptions(String),
+    /// φ has a different number of topic rows than `n_k` has totals.
+    ShapeMismatch {
+        /// Rows of the supplied φ matrix.
+        phi_rows: usize,
+        /// Length of the supplied `n_k` slice.
+        nk_len: usize,
+    },
+    /// The model has no topics at all (`K = 0`).
+    NoTopics,
+    /// A prior is non-positive or non-finite.
+    InvalidPrior {
+        /// The document–topic prior α.
+        alpha: f64,
+        /// The topic–word prior β.
+        beta: f64,
+    },
+    /// A topic's smoothed-weight denominator `n_k + Vβ` is non-positive or
+    /// non-finite — the signature of a corrupt checkpoint (e.g. a negative
+    /// `n_k`), which would turn every weight of that topic into NaN or a
+    /// negative number.
+    CorruptTopic {
+        /// The offending topic index.
+        topic: usize,
+        /// The computed denominator.
+        denom: f64,
+    },
+    /// A smoothed weight `(φ_{k,v} + β) / (n_k + Vβ)` came out non-finite.
+    CorruptWeight {
+        /// Topic row of the offending weight.
+        topic: usize,
+        /// Word column of the offending weight.
+        word: usize,
+    },
+    /// The corpus being inferred was built against a different vocabulary
+    /// than the model was trained on.
+    VocabMismatch {
+        /// Vocabulary size of the corpus.
+        corpus: usize,
+        /// Vocabulary size the model was trained on.
+        model: usize,
+    },
+}
+
+impl std::fmt::Display for InferenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InferenceError::InvalidOptions(msg) => write!(f, "invalid inference options: {msg}"),
+            InferenceError::ShapeMismatch { phi_rows, nk_len } => write!(
+                f,
+                "φ rows and n_k length must agree (φ has {phi_rows} rows, n_k has {nk_len})"
+            ),
+            InferenceError::NoTopics => write!(f, "the model has no topics (K = 0)"),
+            InferenceError::InvalidPrior { alpha, beta } => {
+                write!(f, "priors must be positive (α = {alpha}, β = {beta})")
+            }
+            InferenceError::CorruptTopic { topic, denom } => write!(
+                f,
+                "topic {topic} has a non-positive smoothing denominator n_k + Vβ = {denom} \
+                 — the model counts are corrupt"
+            ),
+            InferenceError::CorruptWeight { topic, word } => write!(
+                f,
+                "smoothed weight for topic {topic}, word {word} is not finite \
+                 — the model counts are corrupt"
+            ),
+            InferenceError::VocabMismatch { corpus, model } => write!(
+                f,
+                "corpus vocabulary does not match the model (corpus V = {corpus}, model V = {model})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InferenceError {}
 
 /// Options controlling the fold-in Gibbs chain.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -75,7 +167,9 @@ impl DocumentTopics {
     /// Topics sorted by decreasing probability, truncated to `n`.
     pub fn top_topics(&self, n: usize) -> Vec<(usize, f64)> {
         let mut pairs: Vec<(usize, f64)> = self.mixture.iter().copied().enumerate().collect();
-        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        // `total_cmp` instead of `partial_cmp().unwrap()`: a NaN anywhere in
+        // the mixture must not be able to panic the serving path.
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         pairs.truncate(n);
         pairs
     }
@@ -98,24 +192,62 @@ pub struct TopicInferencer {
 
 impl TopicInferencer {
     /// Freeze a model given the trained topic–word counts, topic totals and
-    /// the training hyper-parameters.
-    pub fn new(phi: &DenseMatrix<u32>, nk: &[i64], alpha: f64, beta: f64) -> Self {
-        assert_eq!(phi.rows(), nk.len(), "φ rows and n_k length must agree");
-        assert!(alpha > 0.0 && beta > 0.0, "priors must be positive");
+    /// the training hyper-parameters, validating every value the fold-in
+    /// arithmetic divides by.
+    ///
+    /// Rejects (instead of panicking on) the corrupt-checkpoint shapes that
+    /// would otherwise poison inference: φ/`n_k` shape disagreement, `K = 0`,
+    /// non-positive or non-finite priors, and any topic whose smoothing
+    /// denominator `n_k + Vβ` is non-positive — e.g. a negative `n_k`, which
+    /// would make every weight of that topic NaN or negative.
+    pub fn try_new(
+        phi: &DenseMatrix<u32>,
+        nk: &[i64],
+        alpha: f64,
+        beta: f64,
+    ) -> Result<Self, InferenceError> {
+        if phi.rows() != nk.len() {
+            return Err(InferenceError::ShapeMismatch {
+                phi_rows: phi.rows(),
+                nk_len: nk.len(),
+            });
+        }
+        if phi.rows() == 0 {
+            return Err(InferenceError::NoTopics);
+        }
+        if !(alpha > 0.0 && alpha.is_finite() && beta > 0.0 && beta.is_finite()) {
+            return Err(InferenceError::InvalidPrior { alpha, beta });
+        }
         let (k, v) = (phi.rows(), phi.cols());
         let mut weight = DenseMatrix::zeros(k, v);
         for topic in 0..k {
             let denom = nk[topic] as f64 + v as f64 * beta;
+            if !(denom > 0.0 && denom.is_finite()) {
+                return Err(InferenceError::CorruptTopic { topic, denom });
+            }
             let row = weight.row_mut(topic);
-            for (slot, &c) in row.iter_mut().zip(phi.row(topic)) {
-                *slot = (c as f64 + beta) / denom;
+            for (word, (slot, &c)) in row.iter_mut().zip(phi.row(topic)).enumerate() {
+                let w = (c as f64 + beta) / denom;
+                if !w.is_finite() {
+                    return Err(InferenceError::CorruptWeight { topic, word });
+                }
+                *slot = w;
             }
         }
-        TopicInferencer {
+        Ok(TopicInferencer {
             phi_weight: weight,
             num_topics: k,
             vocab_size: v,
             alpha,
+        })
+    }
+
+    /// Panicking convenience wrapper around [`TopicInferencer::try_new`] for
+    /// callers that construct from trusted, in-process state.
+    pub fn new(phi: &DenseMatrix<u32>, nk: &[i64], alpha: f64, beta: f64) -> Self {
+        match Self::try_new(phi, nk, alpha, beta) {
+            Ok(inferencer) => inferencer,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -141,11 +273,31 @@ impl TopicInferencer {
     }
 
     /// Infer the topic mixture of a single document given as word ids.
-    /// Out-of-vocabulary ids are skipped.
-    pub fn infer_document(&self, words: &[WordId], options: InferenceOptions) -> DocumentTopics {
-        options.validate().expect("invalid inference options");
+    ///
+    /// **OOV-drop semantics:** word ids at or beyond the model's vocabulary
+    /// (`V`) are *dropped before the Gibbs chain starts* — they contribute no
+    /// tokens, no counts, and no RNG draws, exactly as if the query had never
+    /// contained them.  A document whose tokens are all out-of-vocabulary
+    /// (or empty) therefore skips the chain entirely and returns the uniform
+    /// smoothed mixture `α / (Kα)` with zero accumulated counts.
+    pub fn try_infer_document(
+        &self,
+        words: &[WordId],
+        options: InferenceOptions,
+    ) -> Result<DocumentTopics, InferenceError> {
+        options.validate().map_err(InferenceError::InvalidOptions)?;
         let mut rng = ChaCha8Rng::seed_from_u64(options.seed);
-        self.infer_with_rng(words, options, &mut rng)
+        Ok(self.infer_with_rng(words, options, &mut rng))
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`TopicInferencer::try_infer_document`] (same OOV-drop semantics);
+    /// panics only on invalid [`InferenceOptions`].
+    pub fn infer_document(&self, words: &[WordId], options: InferenceOptions) -> DocumentTopics {
+        match self.try_infer_document(words, options) {
+            Ok(doc) => doc,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     fn infer_with_rng(
@@ -188,8 +340,12 @@ impl TopicInferencer {
                     total += val;
                     p[topic] = total;
                 }
+                // `total_cmp` gives a total order over f64, so the search
+                // cannot panic even if a corrupt weight slipped a NaN into
+                // the prefix sums (`try_new` rejects those up front; this is
+                // the second line of defence for the serving path).
                 let u = rng.gen::<f64>() * total;
-                let new = match p.binary_search_by(|x| x.partial_cmp(&u).unwrap()) {
+                let new = match p.binary_search_by(|x| x.total_cmp(&u)) {
                     Ok(idx) | Err(idx) => idx.min(k - 1),
                 };
                 z[i] = new;
@@ -219,18 +375,25 @@ impl TopicInferencer {
     }
 
     /// Infer topic mixtures for every document of a corpus, in parallel.
-    /// Returns one [`DocumentTopics`] per document, in corpus order.
-    pub fn infer_corpus(&self, corpus: &Corpus, options: InferenceOptions) -> Vec<DocumentTopics> {
-        options.validate().expect("invalid inference options");
-        assert_eq!(
-            corpus.vocab_size(),
-            self.vocab_size,
-            "corpus vocabulary does not match the model"
-        );
+    /// Returns one [`DocumentTopics`] per document, in corpus order
+    /// (per-document OOV-drop semantics as in
+    /// [`TopicInferencer::try_infer_document`]).
+    pub fn try_infer_corpus(
+        &self,
+        corpus: &Corpus,
+        options: InferenceOptions,
+    ) -> Result<Vec<DocumentTopics>, InferenceError> {
+        options.validate().map_err(InferenceError::InvalidOptions)?;
+        if corpus.vocab_size() != self.vocab_size {
+            return Err(InferenceError::VocabMismatch {
+                corpus: corpus.vocab_size(),
+                model: self.vocab_size,
+            });
+        }
         // One independent task per document on the thread pool.  Each
         // document derives its RNG from its own id, so the inferred topics
         // are identical however the documents land on OS threads.
-        (0..corpus.num_docs())
+        Ok((0..corpus.num_docs())
             .into_par_iter()
             .map(|d| {
                 let mut rng = ChaCha8Rng::seed_from_u64(
@@ -240,14 +403,27 @@ impl TopicInferencer {
                 );
                 self.infer_with_rng(corpus.doc(d), options, &mut rng)
             })
-            .collect()
+            .collect())
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`TopicInferencer::try_infer_corpus`].
+    pub fn infer_corpus(&self, corpus: &Corpus, options: InferenceOptions) -> Vec<DocumentTopics> {
+        match self.try_infer_corpus(corpus, options) {
+            Ok(results) => results,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Infer a whole corpus and return the per-document *mean* topic counts
     /// as a CSR matrix (rows aligned with the corpus), which is the shape the
     /// held-out evaluation in `culda-metrics` consumes.
-    pub fn infer_corpus_counts(&self, corpus: &Corpus, options: InferenceOptions) -> CsrMatrix {
-        let results = self.infer_corpus(corpus, options);
+    pub fn try_infer_corpus_counts(
+        &self,
+        corpus: &Corpus,
+        options: InferenceOptions,
+    ) -> Result<CsrMatrix, InferenceError> {
+        let results = self.try_infer_corpus(corpus, options)?;
         let kept = (options.sweeps - options.burn_in).max(1) as u32;
         let mut builder = CsrBuilder::new(corpus.num_docs(), self.num_topics);
         for doc in &results {
@@ -261,7 +437,16 @@ impl TopicInferencer {
                 .collect();
             builder.push_row(entries);
         }
-        builder.finish()
+        Ok(builder.finish())
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`TopicInferencer::try_infer_corpus_counts`].
+    pub fn infer_corpus_counts(&self, corpus: &Corpus, options: InferenceOptions) -> CsrMatrix {
+        match self.try_infer_corpus_counts(corpus, options) {
+            Ok(counts) => counts,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 

@@ -259,8 +259,8 @@ impl SamplerKernel for AliasHybridSampler {
             })
     }
 
-    /// Install a checkpointed snapshot; the next [`prepare_chunk`]
-    /// (`SamplerKernel::prepare_chunk`) of each chunk reconstructs its
+    /// Install a checkpointed snapshot; the next
+    /// [`SamplerKernel::prepare_chunk`] of each chunk reconstructs its
     /// proposals from it instead of rebuilding from the current φ, keeping
     /// the resumed run bit-exact and on the original rebuild cadence.
     fn restore_resume_state(&self, state: &SamplerResumeState) {

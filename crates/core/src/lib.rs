@@ -39,6 +39,7 @@ pub mod inference;
 pub mod kernels;
 pub mod model;
 pub mod schedule;
+pub mod serve;
 pub mod session;
 pub mod sync;
 pub mod trainer;
@@ -48,12 +49,13 @@ pub use checkpoint::{CheckpointError, ModelCheckpoint};
 pub use config::{LdaConfig, SamplerStrategy};
 pub use convergence::{train_until_converged, ConvergenceMonitor, EarlyStopper};
 pub use hyper::{optimize_alpha, optimize_beta, HyperOptOptions, HyperUpdate};
-pub use inference::{DocumentTopics, InferenceOptions, TopicInferencer};
+pub use inference::{DocumentTopics, InferenceError, InferenceOptions, TopicInferencer};
 pub use kernels::{
     sampler_for, AliasHybridSampler, SamplerKernel, SamplerResumeState, SparseCgsSampler,
 };
 pub use model::{ChunkState, TopicTotals};
 pub use schedule::{IterationStats, ScheduleKind};
+pub use serve::{BatchReply, ModelSnapshots, QueryStats, ServeError};
 pub use session::{
     SessionBuilder, SessionError, SessionStats, StreamingOptions, StreamingSession, TrainingSession,
 };

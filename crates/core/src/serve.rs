@@ -1,0 +1,457 @@
+//! The concurrent query tier: epoch-published model snapshots.
+//!
+//! A [`crate::session::StreamingSession`] trains online; serving it means
+//! answering `infer_document` queries from many reader threads *while*
+//! ingest/retire/train mutate the model.  The two sides are decoupled
+//! RCU-style (DESIGN.md §12):
+//!
+//! * The **writer** (the session, single-threaded by `&mut self`) freezes its
+//!   synchronized φ/`n_k` into an immutable [`TopicInferencer`] at iteration
+//!   boundaries and *publishes* it into a double-buffered cell guarded by a
+//!   monotone epoch counter.  Publication writes the slot the current epoch
+//!   does **not** point at, then bumps the epoch with a release store — so a
+//!   reader that observes epoch `e` always finds a fully-built snapshot in
+//!   slot `e & 1`.
+//! * **Readers** hold a [`ModelSnapshots`] handle (a cheap `Arc` clone) and
+//!   run queries against whatever snapshot is current: load the epoch,
+//!   clone the `Arc<TopicInferencer>` out of its slot, and sample against
+//!   that frozen model for the whole query (or query batch).  Readers never
+//!   write anything the trainer reads, so serving cannot perturb a single
+//!   training bit; the load-generator test proves the training trajectory is
+//!   bit-identical with and without concurrent queries.
+//!
+//! Readers never block the writer on the hot path: the writer always writes
+//! the *inactive* slot.  The only cross-side wait is the pathological lap —
+//! a reader still cloning out of slot `s` while the writer publishes *twice*
+//! (epoch `e+2` reuses slot `s`) — which is bounded by the duration of one
+//! `Arc` clone.  Readers detect the lap by re-checking the epoch and retry,
+//! so every returned snapshot is internally consistent (never a torn mix of
+//! two epochs).
+//!
+//! The handle also meters the query side: per-query latency lands in a
+//! fixed-size ring and total counts/QPS in atomics, surfaced as
+//! [`QueryStats`] (and from there in
+//! [`crate::session::SessionStats`]).
+
+use crate::inference::{DocumentTopics, InferenceError, InferenceOptions, TopicInferencer};
+use culda_corpus::WordId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Errors a query through the snapshot tier can produce.  The serving path
+/// is panic-free by contract: a corrupt model or an early query surfaces
+/// here, never as a crash of the process answering other queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No snapshot has been published yet (query before the first
+    /// [`crate::session::StreamingSession::publish_snapshot`] or training
+    /// iteration).
+    NoSnapshot,
+    /// The fold-in chain itself rejected the query (invalid options).
+    Inference(InferenceError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::NoSnapshot => {
+                write!(f, "no model snapshot has been published yet")
+            }
+            ServeError::Inference(e) => write!(f, "inference failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::NoSnapshot => None,
+            ServeError::Inference(e) => Some(e),
+        }
+    }
+}
+
+impl From<InferenceError> for ServeError {
+    fn from(e: InferenceError) -> Self {
+        ServeError::Inference(e)
+    }
+}
+
+/// Capacity of the per-handle latency ring.  Old samples are overwritten, so
+/// p50/p99 describe the most recent window — what a dashboard wants — while
+/// the query *count* and QPS cover the whole lifetime.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Latency ring + lifetime counters behind one short-held mutex.
+struct MetricsInner {
+    /// Most recent per-query latencies in nanoseconds (ring buffer).
+    latencies_ns: Vec<u64>,
+    /// Next ring slot to overwrite.
+    cursor: usize,
+    /// When the first query of the handle's lifetime started (QPS anchor).
+    first_query: Option<Instant>,
+}
+
+/// Shared query-side metrics.
+struct QueryMetrics {
+    inner: Mutex<MetricsInner>,
+    /// Lifetime query count (atomic so `stats()` never waits on the ring).
+    total: AtomicU64,
+}
+
+impl QueryMetrics {
+    fn new() -> Self {
+        QueryMetrics {
+            inner: Mutex::new(MetricsInner {
+                latencies_ns: Vec::with_capacity(LATENCY_WINDOW),
+                cursor: 0,
+                first_query: None,
+            }),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, started: Instant, latency_ns: u64) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if inner.first_query.is_none() {
+            inner.first_query = Some(started);
+        }
+        if inner.latencies_ns.len() < LATENCY_WINDOW {
+            inner.latencies_ns.push(latency_ns);
+        } else {
+            let cursor = inner.cursor;
+            inner.latencies_ns[cursor] = latency_ns;
+        }
+        inner.cursor = (inner.cursor + 1) % LATENCY_WINDOW;
+    }
+
+    fn stats(&self, epoch: u64) -> QueryStats {
+        let queries = self.total.load(Ordering::Relaxed);
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let mut window = inner.latencies_ns.clone();
+        let elapsed_s = inner
+            .first_query
+            .map(|t| t.elapsed().as_secs_f64())
+            .unwrap_or(0.0);
+        drop(inner);
+        window.sort_unstable();
+        let quantile_ms = |q: f64| -> f64 {
+            if window.is_empty() {
+                return 0.0;
+            }
+            let rank = (q * (window.len() - 1) as f64).round() as usize;
+            window[rank.min(window.len() - 1)] as f64 / 1e6
+        };
+        QueryStats {
+            queries,
+            p50_ms: quantile_ms(0.50),
+            p99_ms: quantile_ms(0.99),
+            qps: if elapsed_s > 0.0 {
+                queries as f64 / elapsed_s
+            } else {
+                0.0
+            },
+            epoch,
+        }
+    }
+}
+
+/// A point-in-time summary of the query tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryStats {
+    /// Queries answered over the handle's lifetime.
+    pub queries: u64,
+    /// Median per-query latency over the most recent window, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-query latency over the most recent window,
+    /// milliseconds.
+    pub p99_ms: f64,
+    /// Lifetime queries per wall-clock second (0 before the first query).
+    pub qps: f64,
+    /// The currently published snapshot epoch (0 = nothing published yet).
+    pub epoch: u64,
+}
+
+/// The shared publication cell: a double-buffered snapshot pair plus the
+/// epoch counter, and the query metrics that ride along with every handle.
+pub(crate) struct SnapshotShared {
+    /// Monotone publication counter; 0 means nothing has been published.
+    /// Epoch `e` lives in slot `e & 1`, so consecutive publications
+    /// alternate slots and the writer never touches the slot current
+    /// readers are directed at.
+    epoch: AtomicU64,
+    slots: [RwLock<Option<Arc<TopicInferencer>>>; 2],
+    metrics: QueryMetrics,
+}
+
+impl SnapshotShared {
+    pub(crate) fn new() -> Self {
+        SnapshotShared {
+            epoch: AtomicU64::new(0),
+            slots: [RwLock::new(None), RwLock::new(None)],
+            metrics: QueryMetrics::new(),
+        }
+    }
+
+    /// Publish a new snapshot (single writer by construction: only the
+    /// session, through `&mut self`, calls this).  Returns the new epoch.
+    pub(crate) fn publish(&self, inferencer: Arc<TopicInferencer>) -> u64 {
+        let next = self.epoch.load(Ordering::Relaxed) + 1;
+        {
+            // Writes go to the slot epoch `next` will point at — the one
+            // current readers are *not* directed at.  The write lock only
+            // contends with a reader lagging a full epoch behind, and then
+            // only for the duration of its `Arc` clone.
+            let mut slot = self.slots[(next & 1) as usize]
+                .write()
+                .unwrap_or_else(|p| p.into_inner());
+            *slot = Some(inferencer);
+        }
+        // Release: a reader that acquires this epoch sees the slot contents.
+        self.epoch.store(next, Ordering::Release);
+        next
+    }
+
+    /// The current snapshot and its epoch, or `None` before the first
+    /// publication.  Lap-safe: retries if the writer republished into the
+    /// slot mid-read, so the pair is always consistent.
+    pub(crate) fn load(&self) -> Option<(u64, Arc<TopicInferencer>)> {
+        loop {
+            let e = self.epoch.load(Ordering::Acquire);
+            if e == 0 {
+                return None;
+            }
+            let guard = self.slots[(e & 1) as usize]
+                .read()
+                .unwrap_or_else(|p| p.into_inner());
+            let Some(arc) = guard.as_ref().map(Arc::clone) else {
+                // Unreachable once epoch > 0; loop rather than panic.
+                continue;
+            };
+            drop(guard);
+            // Slot `e & 1` is only rewritten when epoch `e + 2` is being
+            // published; if that happened while we held the guard, the Arc
+            // we cloned may belong to the newer epoch — retry so the
+            // (epoch, snapshot) pair we hand out is never mismatched.
+            if self.epoch.load(Ordering::Acquire) < e + 2 {
+                return Some((e, arc));
+            }
+        }
+    }
+
+    pub(crate) fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn query_stats(&self) -> QueryStats {
+        self.metrics.stats(self.current_epoch())
+    }
+}
+
+/// One batch's worth of answers, all computed against a single frozen
+/// snapshot (so the mixtures within a batch are mutually consistent even if
+/// the trainer published a new epoch halfway through).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReply {
+    /// The epoch every answer in this batch was computed against.
+    pub epoch: u64,
+    /// One inferred mixture per query, in request order.
+    pub results: Vec<DocumentTopics>,
+}
+
+/// A cloneable handle onto the session's published snapshots — the reader
+/// side of the query tier.  Handles are `Send + Sync + Clone`: hand one to
+/// each serving thread.
+///
+/// ```
+/// use culda_core::{LdaConfig, SessionBuilder, InferenceOptions};
+/// use culda_gpusim::{DeviceSpec, MultiGpuSystem};
+/// use culda_corpus::Document;
+///
+/// let mut session = SessionBuilder::new()
+///     .config(LdaConfig::with_topics(4).seed(7))
+///     .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 7))
+///     .build_streaming()
+///     .unwrap();
+/// session.ingest(&[Document::new(vec![0u32, 1, 2, 1]), Document::new(vec![2u32, 3])]);
+/// let queries = session.snapshots();
+/// assert!(queries.try_infer(&[0, 1], InferenceOptions::default()).is_err()); // nothing published
+/// session.train(1).unwrap(); // iteration boundary → snapshot published
+/// let doc = queries.try_infer(&[0, 1], InferenceOptions::default()).unwrap();
+/// assert_eq!(doc.mixture.len(), 4);
+/// assert_eq!(queries.stats().queries, 1);
+/// ```
+#[derive(Clone)]
+pub struct ModelSnapshots {
+    shared: Arc<SnapshotShared>,
+}
+
+impl ModelSnapshots {
+    pub(crate) fn from_shared(shared: Arc<SnapshotShared>) -> Self {
+        ModelSnapshots { shared }
+    }
+
+    /// The currently published epoch (0 = nothing published yet).
+    pub fn epoch(&self) -> u64 {
+        self.shared.current_epoch()
+    }
+
+    /// The current frozen snapshot and its epoch, for callers that want to
+    /// run many queries against one consistent model without re-loading.
+    pub fn snapshot(&self) -> Option<(u64, Arc<TopicInferencer>)> {
+        self.shared.load()
+    }
+
+    /// Answer one query against the current snapshot (OOV-drop semantics of
+    /// [`TopicInferencer::try_infer_document`]), recording its latency.
+    pub fn try_infer(
+        &self,
+        words: &[WordId],
+        options: InferenceOptions,
+    ) -> Result<DocumentTopics, ServeError> {
+        let (_, snapshot) = self.shared.load().ok_or(ServeError::NoSnapshot)?;
+        let started = Instant::now();
+        let result = snapshot.try_infer_document(words, options)?;
+        self.shared
+            .metrics
+            .record(started, started.elapsed().as_nanos() as u64);
+        Ok(result)
+    }
+
+    /// Answer a batch of queries against **one** frozen snapshot (loaded
+    /// once for the whole batch), recording one latency sample per query.
+    /// Batching is the serving sweet spot: it amortizes the snapshot load
+    /// and keeps a batch's answers mutually consistent across epochs.
+    pub fn infer_batch(
+        &self,
+        queries: &[Vec<WordId>],
+        options: InferenceOptions,
+    ) -> Result<BatchReply, ServeError> {
+        let (epoch, snapshot) = self.shared.load().ok_or(ServeError::NoSnapshot)?;
+        let mut results = Vec::with_capacity(queries.len());
+        for words in queries {
+            let started = Instant::now();
+            let result = snapshot.try_infer_document(words, options)?;
+            self.shared
+                .metrics
+                .record(started, started.elapsed().as_nanos() as u64);
+            results.push(result);
+        }
+        Ok(BatchReply { epoch, results })
+    }
+
+    /// Query-side metrics: lifetime query count and QPS, p50/p99 latency
+    /// over the recent window, and the current epoch.
+    pub fn stats(&self) -> QueryStats {
+        self.shared.query_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_sparse::DenseMatrix;
+
+    fn inferencer(tag: u32) -> Arc<TopicInferencer> {
+        let mut phi = DenseMatrix::zeros(2, 4);
+        phi.set(0, 0, 10 + tag);
+        phi.set(1, 3, 10 + tag);
+        let nk = vec![(10 + tag) as i64, (10 + tag) as i64];
+        Arc::new(TopicInferencer::try_new(&phi, &nk, 0.1, 0.01).unwrap())
+    }
+
+    #[test]
+    fn load_before_any_publication_is_none() {
+        let cell = SnapshotShared::new();
+        assert!(cell.load().is_none());
+        assert_eq!(cell.current_epoch(), 0);
+        let handle = ModelSnapshots::from_shared(Arc::new(SnapshotShared::new()));
+        assert_eq!(
+            handle.try_infer(&[0], InferenceOptions::default()),
+            Err(ServeError::NoSnapshot)
+        );
+    }
+
+    #[test]
+    fn publications_alternate_slots_and_advance_the_epoch() {
+        let cell = SnapshotShared::new();
+        assert_eq!(cell.publish(inferencer(0)), 1);
+        let (e1, first) = cell.load().unwrap();
+        assert_eq!(e1, 1);
+        assert_eq!(cell.publish(inferencer(1)), 2);
+        let (e2, second) = cell.load().unwrap();
+        assert_eq!(e2, 2);
+        // The slot of epoch 1 is untouched by the publication of epoch 2: a
+        // reader that cloned the old Arc keeps a valid frozen model.
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(first.num_topics(), 2);
+    }
+
+    #[test]
+    fn metrics_quantiles_and_counts() {
+        let metrics = QueryMetrics::new();
+        let t0 = Instant::now();
+        for ms in 1..=100u64 {
+            metrics.record(t0, ms * 1_000_000);
+        }
+        let stats = metrics.stats(7);
+        assert_eq!(stats.queries, 100);
+        assert_eq!(stats.epoch, 7);
+        assert!((stats.p50_ms - 50.0).abs() <= 1.0, "p50 {}", stats.p50_ms);
+        assert!((stats.p99_ms - 99.0).abs() <= 1.0, "p99 {}", stats.p99_ms);
+        assert!(stats.qps > 0.0);
+    }
+
+    #[test]
+    fn latency_ring_is_bounded() {
+        let metrics = QueryMetrics::new();
+        let t0 = Instant::now();
+        for i in 0..(LATENCY_WINDOW as u64 * 2 + 17) {
+            metrics.record(t0, i);
+        }
+        let inner = metrics.inner.lock().unwrap();
+        assert_eq!(inner.latencies_ns.len(), LATENCY_WINDOW);
+        drop(inner);
+        assert_eq!(
+            metrics.stats(0).queries,
+            LATENCY_WINDOW as u64 * 2 + 17,
+            "the lifetime count must keep running past the window"
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_always_see_a_consistent_snapshot() {
+        // Interleaving stress in lieu of a DPOR explorer: one writer
+        // publishes as fast as it can while readers hammer load(); every
+        // load must return a fully-built model whose epoch is plausible.
+        let cell = Arc::new(SnapshotShared::new());
+        cell.publish(inferencer(0));
+        let stop = Arc::new(AtomicU64::new(0));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last_epoch = 0;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        let (epoch, snapshot) = cell.load().expect("published");
+                        assert!(epoch >= last_epoch, "epochs must be monotone per reader");
+                        assert_eq!(snapshot.num_topics(), 2, "torn snapshot");
+                        last_epoch = epoch;
+                    }
+                    last_epoch
+                })
+            })
+            .collect();
+        for tag in 1..200u32 {
+            cell.publish(inferencer(tag));
+        }
+        stop.store(1, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() <= cell.current_epoch());
+        }
+        assert_eq!(cell.current_epoch(), 200);
+    }
+}

@@ -55,9 +55,11 @@
 
 use crate::checkpoint::{rotation, ModelCheckpoint};
 use crate::config::{LdaConfig, SamplerStrategy};
+use crate::inference::TopicInferencer;
 use crate::kernels::{sampler_for, SamplerKernel, SamplerResumeState};
 use crate::model::ChunkState;
 use crate::schedule::IterationStats;
+use crate::serve::{ModelSnapshots, SnapshotShared};
 use crate::trainer::{CuLdaTrainer, TrainerError};
 use culda_corpus::{Corpus, CorpusBuffer, Document};
 use culda_gpusim::rng::stable_u64;
@@ -88,6 +90,9 @@ pub enum SessionError {
     /// The request conflicts with the session state (unknown uid, empty
     /// session, corrupt rotation metadata, ...).
     State(String),
+    /// The model failed validation while freezing a serving snapshot
+    /// ([`StreamingSession::publish_snapshot`]).
+    Inference(crate::inference::InferenceError),
 }
 
 impl std::fmt::Display for SessionError {
@@ -98,6 +103,7 @@ impl std::fmt::Display for SessionError {
             SessionError::Corpus(e) => write!(f, "corpus snapshot error: {e}"),
             SessionError::Io(e) => write!(f, "io error: {e}"),
             SessionError::State(msg) => write!(f, "session state error: {msg}"),
+            SessionError::Inference(e) => write!(f, "snapshot publication error: {e}"),
         }
     }
 }
@@ -110,7 +116,14 @@ impl std::error::Error for SessionError {
             SessionError::Corpus(e) => Some(e),
             SessionError::Io(e) => Some(e),
             SessionError::State(_) => None,
+            SessionError::Inference(e) => Some(e),
         }
+    }
+}
+
+impl From<crate::inference::InferenceError> for SessionError {
+    fn from(e: crate::inference::InferenceError) -> Self {
+        SessionError::Inference(e)
     }
 }
 
@@ -336,7 +349,9 @@ impl SessionBuilder {
             let docs: Vec<Document> = (0..corpus.num_docs())
                 .map(|d| Document::from(corpus.doc(d)))
                 .collect();
-            session.ingest(&docs);
+            session
+                .try_ingest(&docs)
+                .map_err(|e| TrainerError::InvalidConfig(e.to_string()))?;
         }
         Ok(session)
     }
@@ -367,6 +382,19 @@ pub struct SessionStats {
     pub checkpoints_written: u64,
     /// Current vocabulary size (grows with ingestion).
     pub vocab_size: usize,
+    /// Queries answered through [`ModelSnapshots`] handles (lifetime).
+    pub queries_served: u64,
+    /// Median per-query latency over the recent window, milliseconds
+    /// (0 while nothing has been served).
+    pub query_p50_ms: f64,
+    /// 99th-percentile per-query latency over the recent window,
+    /// milliseconds (0 while nothing has been served).
+    pub query_p99_ms: f64,
+    /// Lifetime queries per wall-clock second (0 while nothing has been
+    /// served).
+    pub query_qps: f64,
+    /// The currently published snapshot epoch (0 = nothing published).
+    pub snapshot_epoch: u64,
 }
 
 impl SessionStats {
@@ -436,6 +464,9 @@ pub struct StreamingSession {
     ingested_docs: u64,
     retired_docs: u64,
     checkpoints_written: u64,
+    /// The query tier's publication cell, shared with every
+    /// [`ModelSnapshots`] handle ([`StreamingSession::snapshots`]).
+    serve: Arc<SnapshotShared>,
 }
 
 impl StreamingSession {
@@ -459,6 +490,7 @@ impl StreamingSession {
             ingested_docs: 0,
             retired_docs: 0,
             checkpoints_written: 0,
+            serve: Arc::new(SnapshotShared::new()),
             config,
             system,
             opts,
@@ -492,12 +524,49 @@ impl StreamingSession {
     ///
     /// Returns the stable uids, which later address
     /// [`StreamingSession::retire`].
+    ///
+    /// Panicking wrapper over [`StreamingSession::try_ingest`] for the
+    /// (astronomically common) case where the keying bounds documented
+    /// there cannot be hit.
     pub fn ingest(&mut self, docs: &[Document]) -> Vec<u64> {
-        let mut uids = Vec::with_capacity(docs.len());
-        for doc in docs {
-            uids.push(self.ingest_one(doc));
+        match self.try_ingest(docs) {
+            Ok(uids) => uids,
+            Err(e) => panic!("{e}"),
         }
-        uids
+    }
+
+    /// Fallible [`StreamingSession::ingest`].
+    ///
+    /// Every deterministic draw for a document is keyed by packing
+    /// `(uid << 32) | slot` into one 64-bit counter, so a uid or a token
+    /// slot at or beyond 2³² would silently *collide* with another
+    /// document's RNG stream (same draws, correlated topics) instead of
+    /// failing.  Ingestion therefore rejects — before any mutation, so a
+    /// failed call is side-effect-free like [`StreamingSession::retire`] —
+    /// any batch that would:
+    ///
+    /// * assign a document uid ≥ 2³² (more than ~4.3 billion documents over
+    ///   the session's lifetime; shard across sessions instead), or
+    /// * ingest a single document longer than 2³² tokens.
+    pub fn try_ingest(&mut self, docs: &[Document]) -> Result<Vec<u64>, SessionError> {
+        let first_uid = self.buffer.next_uid();
+        let end_uid = first_uid.checked_add(docs.len() as u64);
+        if end_uid.is_none() || end_uid.unwrap() > MAX_KEYED_UID {
+            return Err(SessionError::State(format!(
+                "ingesting {} documents starting at uid {first_uid} would exceed \
+                 the 2^32 uid bound of the deterministic `(uid << 32) | slot` \
+                 draw keying; shard across sessions instead",
+                docs.len()
+            )));
+        }
+        if let Some(doc) = docs.iter().find(|d| d.words.len() as u64 > MAX_KEYED_UID) {
+            return Err(SessionError::State(format!(
+                "a document with {} tokens exceeds the 2^32 token-slot bound of \
+                 the deterministic `(uid << 32) | slot` draw keying",
+                doc.words.len()
+            )));
+        }
+        Ok(docs.iter().map(|doc| self.ingest_one(doc)).collect())
     }
 
     fn ingest_one(&mut self, doc: &Document) -> u64 {
@@ -661,6 +730,7 @@ impl StreamingSession {
     pub fn run_iteration(&mut self) -> Result<IterationStats, SessionError> {
         let stats = self.run_iteration_inner()?;
         self.sync_from_trainer();
+        self.publish_if_serving()?;
         Ok(stats)
     }
 
@@ -688,9 +758,45 @@ impl StreamingSession {
                     self.rotate_checkpoints(&dir, keep)?;
                 }
             }
+            // Iteration boundary: refresh the query tier's snapshot while
+            // anyone is serving from it.
+            self.publish_if_serving()?;
         }
         self.sync_from_trainer();
         Ok(&self.history)
+    }
+
+    /// A cloneable handle onto the session's epoch-published model
+    /// snapshots — the reader side of the concurrent query tier
+    /// (`DESIGN.md` §12).  While at least one handle is live, training
+    /// publishes a fresh snapshot at every iteration boundary;
+    /// [`StreamingSession::publish_snapshot`] publishes on demand (e.g.
+    /// right after building the session, before the first burst).
+    ///
+    /// Readers run fold-in inference against frozen snapshots and never
+    /// touch training state, so serving cannot perturb the training
+    /// trajectory by a single bit.
+    pub fn snapshots(&self) -> ModelSnapshots {
+        ModelSnapshots::from_shared(Arc::clone(&self.serve))
+    }
+
+    /// Freeze the current synchronized φ / `n_k` into an immutable
+    /// [`TopicInferencer`] and publish it to every
+    /// [`ModelSnapshots`] handle.  Returns the new snapshot epoch.
+    pub fn publish_snapshot(&mut self) -> Result<u64, SessionError> {
+        self.sync_from_trainer();
+        let inferencer =
+            TopicInferencer::try_new(&self.phi, &self.nk, self.config.alpha, self.config.beta)?;
+        Ok(self.serve.publish(Arc::new(inferencer)))
+    }
+
+    /// Publish a fresh snapshot iff a [`ModelSnapshots`] handle exists, so
+    /// sessions nobody serves from never pay the `K × V` snapshot build.
+    fn publish_if_serving(&mut self) -> Result<(), SessionError> {
+        if Arc::strong_count(&self.serve) > 1 {
+            self.publish_snapshot()?;
+        }
+        Ok(())
     }
 
     /// Capture the current model + sampler state as a checkpoint
@@ -935,6 +1041,7 @@ impl StreamingSession {
     /// A point-in-time summary (live documents/tokens, chunk occupancy,
     /// tombstone fraction, lifetime counters).
     pub fn stats(&self) -> SessionStats {
+        let query = self.serve.query_stats();
         SessionStats {
             live_docs: self.buffer.num_live_docs(),
             live_tokens: self.buffer.live_tokens(),
@@ -946,6 +1053,11 @@ impl StreamingSession {
             sim_time_s: self.sim_time_s,
             checkpoints_written: self.checkpoints_written,
             vocab_size: self.buffer.vocab_size(),
+            queries_served: query.queries,
+            query_p50_ms: query.p50_ms,
+            query_p99_ms: query.p99_ms,
+            query_qps: query.qps,
+            snapshot_epoch: query.epoch,
         }
     }
 
@@ -1049,6 +1161,12 @@ impl StreamingSession {
         Ok(())
     }
 }
+
+/// Exclusive bound on document uids *and* per-document token slots: the
+/// deterministic draw keying packs `(uid << 32) | slot`, so either half
+/// reaching 2³² would alias another document's RNG stream.  Enforced by
+/// [`StreamingSession::try_ingest`].
+const MAX_KEYED_UID: u64 = 1 << 32;
 
 /// Magic bytes of the session metadata sidecar.
 const META_MAGIC: &[u8; 4] = b"CLSM";
@@ -1264,6 +1382,87 @@ mod tests {
     fn training_an_empty_session_is_an_error() {
         let mut session = builder(4).build_streaming().unwrap();
         assert!(matches!(session.train(1), Err(SessionError::State(_))));
+    }
+
+    #[test]
+    fn ingest_keying_is_pinned_for_normal_inputs() {
+        // Regression pin for the `(uid << 32) | slot` draw keying: the
+        // initial topic of token `slot` of document `uid` must be exactly
+        // `stable_u64(seed, INIT_STREAM, (uid << 32) | slot) % K`, forever.
+        // (A keying change would silently break bit-compat of every stored
+        // checkpoint and the batch/streaming equivalence.)
+        let seed = 11u64;
+        let k = 8usize;
+        let mut session = SessionBuilder::new()
+            .config(LdaConfig::with_topics(k).seed(seed))
+            .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), seed))
+            .burn_in_sweeps(0)
+            .build_streaming()
+            .unwrap();
+        let docs = vec![
+            Document::new(vec![0u32, 1, 2, 3, 1]),
+            Document::new(vec![4u32, 4, 0]),
+        ];
+        let uids = session.try_ingest(&docs).unwrap();
+        assert_eq!(uids, vec![0, 1]);
+        let z = session.z_snapshot();
+        for (uid, doc) in uids.iter().zip(&docs) {
+            for slot in 0..doc.words.len() {
+                let expected =
+                    stable_u64(seed, ChunkState::INIT_STREAM, (uid << 32) | slot as u64) % k as u64;
+                assert_eq!(z[*uid as usize][slot] as u64, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_rejects_uids_beyond_the_keying_bound() {
+        let mut session = builder(1).build_streaming().unwrap();
+        // Fast-forward the uid stream to the 2^32 boundary, as ~4.3 billion
+        // ingests would (from_parts is the resume path's constructor).
+        session.buffer = culda_corpus::CorpusBuffer::from_parts(0, vec![], (1u64 << 32) - 1);
+        let last = session.try_ingest(&[Document::new(vec![0u32, 1])]).unwrap();
+        assert_eq!(last, vec![(1u64 << 32) - 1]);
+        let err = session
+            .try_ingest(&[Document::new(vec![2u32])])
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("2^32 uid bound"),
+            "unexpected error: {err}"
+        );
+        // The failed call was all-or-nothing: the uid stream did not move.
+        assert_eq!(session.buffer.next_uid(), 1u64 << 32);
+        session.validate().unwrap();
+    }
+
+    #[test]
+    fn snapshots_publish_at_iteration_boundaries_only_while_serving() {
+        let mut session = builder(7)
+            .corpus(&small_corpus())
+            .build_streaming()
+            .unwrap();
+        session.train(1).unwrap();
+        // No handle: training must not pay for snapshot builds.
+        assert_eq!(session.stats().snapshot_epoch, 0);
+
+        let handle = session.snapshots();
+        assert!(handle.snapshot().is_none());
+        session.train(2).unwrap();
+        assert_eq!(handle.epoch(), 2, "one publication per iteration");
+        let (epoch, frozen) = handle.snapshot().unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(frozen.num_topics(), 8);
+        assert_eq!(session.stats().snapshot_epoch, 2);
+
+        // On-demand publication works without training.
+        assert_eq!(session.publish_snapshot().unwrap(), 3);
+        drop(handle);
+        session.train(1).unwrap();
+        assert_eq!(
+            session.stats().snapshot_epoch,
+            3,
+            "publication stops once the last handle is dropped"
+        );
     }
 
     #[test]

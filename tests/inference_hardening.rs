@@ -1,0 +1,188 @@
+//! Fold-in hardening acceptance (ISSUE 7): the serving path must be
+//! panic-free on corrupt models, define exact semantics for degenerate
+//! queries (all-OOV, empty), and stay bit-exact across thread counts under
+//! the real-thread pool.
+
+use culda::core::{InferenceError, InferenceOptions, LdaConfig, ModelCheckpoint, SessionBuilder};
+use culda::corpus::DatasetProfile;
+use culda::gpusim::{DeviceSpec, MultiGpuSystem};
+use culda_testkit::fixtures;
+use rayon::ThreadPoolBuilder;
+
+const K: usize = 8;
+const SEED: u64 = 2019;
+
+fn trained_checkpoint() -> ModelCheckpoint {
+    let corpus = fixtures::small(fixtures::FIXTURE_SEED);
+    let mut trainer = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(LdaConfig::with_topics(K).seed(SEED))
+        .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), SEED))
+        .build()
+        .unwrap();
+    trainer.train(3);
+    ModelCheckpoint::from_trainer(&trainer)
+}
+
+fn options() -> InferenceOptions {
+    InferenceOptions {
+        sweeps: 6,
+        burn_in: 2,
+        seed: 11,
+    }
+}
+
+/// Run `op` with every parallel region pinned to `threads` OS threads.
+fn with_threads<R: Send>(threads: usize, op: impl FnOnce() -> R + Send) -> R {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(op)
+}
+
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1, 2, max];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+#[test]
+fn all_oov_and_empty_documents_get_the_uniform_mixture() {
+    let ckpt = trained_checkpoint();
+    let inferencer = ckpt.try_inferencer().unwrap();
+    let v = inferencer.vocab_size() as u32;
+
+    let empty = inferencer.try_infer_document(&[], options()).unwrap();
+    let all_oov = inferencer
+        .try_infer_document(&[v, v + 1, v + 1000], options())
+        .unwrap();
+
+    // OOV tokens are dropped before the chain, so an all-OOV query is
+    // indistinguishable from an empty one: uniform mixture, zero counts.
+    assert_eq!(empty, all_oov);
+    assert!(empty.counts.iter().all(|&c| c == 0));
+    let uniform = 1.0 / K as f64;
+    assert!(
+        empty.mixture.iter().all(|&p| p == uniform),
+        "degenerate documents must get the exact uniform mixture: {:?}",
+        empty.mixture
+    );
+
+    // OOV ids mixed into a real query contribute nothing: same result as
+    // the query with them stripped.
+    let real = [0u32, 1, 2, 1];
+    let with_oov = [0u32, v + 3, 1, 2, v, 1];
+    assert_eq!(
+        inferencer.try_infer_document(&real, options()).unwrap(),
+        inferencer.try_infer_document(&with_oov, options()).unwrap(),
+        "OOV tokens must not shift counts or RNG draws"
+    );
+}
+
+#[test]
+fn corrupt_checkpoints_are_rejected_not_panicked() {
+    // A negative topic total turns the smoothing denominator n_k + Vβ
+    // non-positive — the exact corruption that used to NaN the weights and
+    // panic the fold-in chain.
+    let mut negative_nk = trained_checkpoint();
+    negative_nk.nk[2] = -(negative_nk.nk[2] + 1_000_000);
+    match negative_nk.try_inferencer().map(|_| ()) {
+        Err(InferenceError::CorruptTopic { topic: 2, denom }) => assert!(denom <= 0.0),
+        other => panic!("expected CorruptTopic, got {other:?}"),
+    }
+
+    // Non-finite priors.
+    let mut nan_beta = trained_checkpoint();
+    nan_beta.beta = f64::NAN;
+    assert!(matches!(
+        nan_beta.try_inferencer(),
+        Err(InferenceError::InvalidPrior { .. })
+    ));
+    let mut zero_alpha = trained_checkpoint();
+    zero_alpha.alpha = 0.0;
+    assert!(matches!(
+        zero_alpha.try_inferencer(),
+        Err(InferenceError::InvalidPrior { .. })
+    ));
+
+    // φ / n_k shape disagreement.
+    let mut truncated = trained_checkpoint();
+    truncated.nk.pop();
+    assert!(matches!(
+        truncated.try_inferencer(),
+        Err(InferenceError::ShapeMismatch { .. })
+    ));
+}
+
+#[test]
+fn invalid_options_and_vocab_mismatch_are_typed_errors() {
+    let ckpt = trained_checkpoint();
+    let inferencer = ckpt.try_inferencer().unwrap();
+
+    let zero_sweeps = InferenceOptions {
+        sweeps: 0,
+        burn_in: 0,
+        seed: 1,
+    };
+    assert!(matches!(
+        inferencer.try_infer_document(&[0, 1], zero_sweeps),
+        Err(InferenceError::InvalidOptions(_))
+    ));
+
+    // A corpus built against a different vocabulary is rejected with the
+    // sizes spelled out, not asserted.
+    let foreign = DatasetProfile {
+        name: "foreign".into(),
+        num_docs: 10,
+        vocab_size: inferencer.vocab_size() + 7,
+        avg_doc_len: 8.0,
+        zipf_exponent: 1.05,
+        doc_len_sigma: 0.4,
+    }
+    .generate(3);
+    assert_ne!(foreign.vocab_size(), inferencer.vocab_size());
+    match inferencer.try_infer_corpus(&foreign, options()) {
+        Err(InferenceError::VocabMismatch { corpus, model }) => {
+            assert_eq!(corpus, foreign.vocab_size());
+            assert_eq!(model, inferencer.vocab_size());
+        }
+        other => panic!("expected VocabMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn infer_corpus_is_bit_exact_across_thread_counts() {
+    // `infer_corpus` fans documents out over the real thread pool; each
+    // document's chain is seeded from its own id, so the mixtures must be
+    // bit-identical no matter how many OS threads execute the fan-out.
+    let ckpt = trained_checkpoint();
+    let inferencer = ckpt.try_inferencer().unwrap();
+    let corpus = fixtures::small(fixtures::FIXTURE_SEED);
+
+    let bits = |docs: &[culda::core::DocumentTopics]| -> Vec<(Vec<u32>, Vec<u64>)> {
+        docs.iter()
+            .map(|d| {
+                (
+                    d.counts.clone(),
+                    d.mixture.iter().map(|p| p.to_bits()).collect(),
+                )
+            })
+            .collect()
+    };
+
+    let baseline = with_threads(1, || {
+        bits(&inferencer.try_infer_corpus(&corpus, options()).unwrap())
+    });
+    for threads in thread_counts() {
+        let run = with_threads(threads, || {
+            bits(&inferencer.try_infer_corpus(&corpus, options()).unwrap())
+        });
+        assert_eq!(
+            baseline, run,
+            "corpus inference diverged at {threads} threads"
+        );
+    }
+}

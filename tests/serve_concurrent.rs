@@ -1,0 +1,256 @@
+//! Load-generator acceptance for the epoch-snapshot query tier (ISSUE 7).
+//!
+//! The contract under test (DESIGN.md §12): reader threads answering
+//! batched fold-in queries through [`ModelSnapshots`] handles share nothing
+//! writable with the trainer, so a streaming run hammered by concurrent
+//! queries through its full lifecycle — ingest → train → retire → rotate →
+//! resume — must leave **bit-identical** z/φ/n_k and checkpoint bytes
+//! compared to the same run with no serving at all, at 1 and 4 reader
+//! threads.
+
+use culda::core::{
+    InferenceOptions, LdaConfig, ModelSnapshots, ServeError, SessionBuilder, StreamingSession,
+};
+use culda::gpusim::{DeviceSpec, MultiGpuSystem};
+use culda_testkit::fixtures;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+const K: usize = 8;
+const SEED: u64 = 2019;
+
+fn system() -> MultiGpuSystem {
+    MultiGpuSystem::single(DeviceSpec::v100_volta(), SEED)
+}
+
+fn streaming() -> StreamingSession {
+    SessionBuilder::new()
+        .config(LdaConfig::with_topics(K).seed(SEED))
+        .system(system())
+        .build_streaming()
+        .expect("streaming session")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("culda_serve_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn query_options(reader: usize) -> InferenceOptions {
+    InferenceOptions {
+        sweeps: 3,
+        burn_in: 1,
+        seed: 5 + reader as u64,
+    }
+}
+
+/// A running fleet of reader threads hammering batched queries against one
+/// [`ModelSnapshots`] handle until told to stop.  Every thread serves at
+/// least one final batch *after* observing the stop flag, so a run that
+/// published any snapshot is guaranteed a non-zero served count.
+struct LoadGenerator {
+    stop: Arc<AtomicBool>,
+    readers: Vec<JoinHandle<u64>>,
+}
+
+fn spawn_load(
+    snapshots: ModelSnapshots,
+    readers: usize,
+    queries: Arc<Vec<Vec<u32>>>,
+) -> LoadGenerator {
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers = (0..readers)
+        .map(|reader| {
+            let snapshots = snapshots.clone();
+            let stop = Arc::clone(&stop);
+            let queries = Arc::clone(&queries);
+            std::thread::spawn(move || {
+                let options = query_options(reader);
+                let mut served = 0u64;
+                let mut cursor = reader;
+                loop {
+                    let stopping = stop.load(Ordering::Relaxed);
+                    let batch: Vec<Vec<u32>> = (0..4)
+                        .map(|i| queries[(cursor + i) % queries.len()].clone())
+                        .collect();
+                    cursor = (cursor + 4) % queries.len();
+                    match snapshots.infer_batch(&batch, options) {
+                        Ok(reply) => {
+                            assert!(reply.epoch >= 1, "served from an unpublished epoch");
+                            assert_eq!(reply.results.len(), batch.len());
+                            served += reply.results.len() as u64;
+                        }
+                        // Queries racing ahead of the first publication are
+                        // expected; anything else is a hard failure.
+                        Err(ServeError::NoSnapshot) => {}
+                        Err(e) => panic!("query failed under load: {e}"),
+                    }
+                    if stopping {
+                        return served;
+                    }
+                }
+            })
+        })
+        .collect();
+    LoadGenerator { stop, readers }
+}
+
+impl LoadGenerator {
+    fn finish(self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        self.readers
+            .into_iter()
+            .map(|r| r.join().expect("reader thread panicked"))
+            .sum()
+    }
+}
+
+/// Run the full streaming lifecycle — ingest half, train, retire a quarter,
+/// ingest the rest, train, rotate, resume from disk, train again — with
+/// `readers` query threads hammering the snapshot tier throughout (0 =
+/// serve-free reference), and reduce the end state to comparable artifacts.
+fn cycle_artifacts(readers: usize, tag: &str) -> (Vec<Vec<u16>>, Vec<u32>, Vec<i64>, Vec<u8>) {
+    let corpus = fixtures::medium(fixtures::FIXTURE_SEED);
+    let docs = fixtures::documents_of(&corpus);
+    let queries: Arc<Vec<Vec<u32>>> =
+        Arc::new(docs.iter().take(48).map(|d| d.words.clone()).collect());
+    let (head, tail) = docs.split_at(docs.len() / 2);
+    let dir = tmp_dir(tag);
+
+    // Leg 1: a served session up to the rotation (readers spawned before
+    // the first ingest, so they also exercise the pre-publication window).
+    let mut session = streaming();
+    let load =
+        (readers > 0).then(|| spawn_load(session.snapshots(), readers, Arc::clone(&queries)));
+    let uids = session.ingest(head);
+    session.train(2).unwrap();
+    session.retire(&uids[..uids.len() / 4]).unwrap();
+    session.ingest(tail);
+    session.train(2).unwrap();
+    session.rotate_checkpoints(&dir, 2).unwrap();
+    if let Some(load) = load {
+        let served = load.finish();
+        assert!(served > 0, "the load generator must actually serve queries");
+        let stats = session.stats();
+        assert_eq!(stats.queries_served, served);
+        assert!(stats.snapshot_epoch >= 4, "one publication per iteration");
+        assert!(stats.query_p50_ms <= stats.query_p99_ms);
+        assert!(stats.query_qps > 0.0);
+    }
+    drop(session);
+
+    // Leg 2: the process "dies", resumes from the rotated set, and serves
+    // through the remaining schedule.
+    let mut resumed = StreamingSession::resume(&dir, system()).unwrap();
+    let load = (readers > 0).then(|| {
+        // Publish before training so the resumed tier serves immediately.
+        resumed.publish_snapshot().unwrap();
+        spawn_load(resumed.snapshots(), readers, queries)
+    });
+    resumed.train(2).unwrap();
+    if let Some(load) = load {
+        assert!(load.finish() > 0);
+    }
+    resumed.validate().unwrap();
+
+    let mut ckpt_bytes = Vec::new();
+    resumed.to_checkpoint().write(&mut ckpt_bytes).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    (
+        resumed.z_snapshot(),
+        resumed.global_phi().as_slice().to_vec(),
+        resumed.global_nk().to_vec(),
+        ckpt_bytes,
+    )
+}
+
+#[test]
+fn concurrent_queries_never_perturb_training_bits() {
+    let reference = cycle_artifacts(0, "ref");
+    for readers in [1usize, 4] {
+        let served = cycle_artifacts(readers, &format!("load{readers}"));
+        assert_eq!(
+            reference.0, served.0,
+            "z diverged under {readers} query threads"
+        );
+        assert_eq!(
+            reference.1, served.1,
+            "φ diverged under {readers} query threads"
+        );
+        assert_eq!(
+            reference.2, served.2,
+            "n_k diverged under {readers} query threads"
+        );
+        assert_eq!(
+            reference.3, served.3,
+            "checkpoint bytes diverged under {readers} query threads"
+        );
+    }
+}
+
+#[test]
+fn snapshot_tier_reports_latency_qps_and_epochs() {
+    let corpus = fixtures::tiny(fixtures::FIXTURE_SEED);
+    let docs = fixtures::documents_of(&corpus);
+    let mut session = streaming();
+    let handle = session.snapshots();
+    let options = query_options(0);
+
+    // Before any publication the tier declines, never panics.
+    assert_eq!(
+        handle.try_infer(&[0, 1], options).unwrap_err(),
+        ServeError::NoSnapshot
+    );
+
+    session.ingest(&docs);
+    session.train(1).unwrap();
+    assert_eq!(handle.epoch(), 1);
+
+    for _ in 0..10 {
+        handle.try_infer(&docs[0].words, options).unwrap();
+    }
+    let batch: Vec<Vec<u32>> = docs.iter().take(6).map(|d| d.words.clone()).collect();
+    let reply = handle.infer_batch(&batch, options).unwrap();
+    assert_eq!(reply.epoch, 1);
+    assert_eq!(reply.results.len(), 6);
+
+    let stats = session.stats();
+    assert_eq!(stats.queries_served, 16);
+    assert_eq!(stats.snapshot_epoch, 1);
+    assert!(stats.query_p50_ms <= stats.query_p99_ms);
+    assert!(stats.query_qps > 0.0);
+
+    // The handle surfaces the same numbers directly.
+    let direct = handle.stats();
+    assert_eq!(direct.queries, 16);
+    assert_eq!(direct.epoch, 1);
+}
+
+#[test]
+fn a_held_snapshot_survives_later_epochs() {
+    // A reader that pinned a snapshot keeps a valid frozen model no matter
+    // how many epochs the trainer publishes past it — the double buffer
+    // never mutates a snapshot in place.
+    let corpus = fixtures::tiny(fixtures::FIXTURE_SEED);
+    let docs = fixtures::documents_of(&corpus);
+    let mut session = streaming();
+    let handle = session.snapshots();
+    session.ingest(&docs);
+    session.train(1).unwrap();
+
+    let (epoch, pinned) = handle.snapshot().unwrap();
+    assert_eq!(epoch, 1);
+    let options = query_options(0);
+    let before = pinned.try_infer_document(&docs[0].words, options).unwrap();
+
+    session.train(5).unwrap();
+    assert_eq!(handle.epoch(), 6);
+    let after = pinned.try_infer_document(&docs[0].words, options).unwrap();
+    assert_eq!(
+        before, after,
+        "a pinned snapshot must be immutable across publications"
+    );
+}
