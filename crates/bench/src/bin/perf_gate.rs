@@ -67,11 +67,12 @@ struct Scenario {
 /// (`culda_throughput` pins `sync_shards(1)`), the multi-GPU path under
 /// the *default* configuration, where the φ-sync shard count auto-tunes
 /// from iteration 0 — so a regression in the tuner's choice fails the gate —
-/// and a large-K pair comparing the sparse-CGS and alias-hybrid sampler
-/// kernels (the alias scenario must stay at least as fast: it amortises the
-/// per-word dense-tree rebuild the sparse kernel pays every iteration),
-/// plus a wall-clock query-latency canary for the epoch-snapshot serving
-/// tier.
+/// and a large-K sampler-portfolio quartet comparing sparse CGS against the
+/// alias hybrid and both LightLDA variants on the tail-heavy workload (the
+/// MH kernels must stay at least as fast there: they amortise or drop the
+/// per-word work the sparse kernel pays every iteration — exactly the
+/// regime where `--sampler auto` picks them), plus a wall-clock
+/// query-latency canary for the epoch-snapshot serving tier.
 fn scenarios() -> Vec<Scenario> {
     fn scale() -> ExperimentScale {
         ExperimentScale {
@@ -224,6 +225,14 @@ fn scenarios() -> Vec<Scenario> {
         Scenario {
             name: "tailheavy_volta_1gpu_largeK_alias",
             run: || large_k_throughput(SamplerStrategy::alias_hybrid()),
+        },
+        Scenario {
+            name: "tailheavy_volta_1gpu_largeK_light",
+            run: || large_k_throughput(SamplerStrategy::light_lda()),
+        },
+        Scenario {
+            name: "tailheavy_volta_1gpu_largeK_light_pruned",
+            run: || large_k_throughput(SamplerStrategy::light_lda_pruned()),
         },
         Scenario {
             name: "serve_volta_query_latency",
@@ -420,6 +429,31 @@ fn check(path: &str) -> Result<(), String> {
                 "alias/sparse large-K ratio: {:.3} (must stay ≥ 1)",
                 alias / sparse
             );
+        }
+    }
+    // Same invariant for the LightLDA portfolio member: dropping the
+    // per-token O(K_d) sparse pass for O(mh · log K_d) proposals must pay
+    // off exactly where the auto-tuner would pick it.
+    for light_name in [
+        "tailheavy_volta_1gpu_largeK_light",
+        "tailheavy_volta_1gpu_largeK_light_pruned",
+    ] {
+        if let (Some(light), Some(sparse)) =
+            (tps(light_name), tps("tailheavy_volta_1gpu_largeK_sparse"))
+        {
+            if light < sparse {
+                failures.push(format!(
+                    "{light_name} ({light:.1} tokens/s) measured slower than sparse CGS \
+                     ({sparse:.1} tokens/s) on the large-K scenario — the MH-proposal \
+                     invariant is broken"
+                ));
+            } else {
+                println!(
+                    "{}/sparse large-K ratio: {:.3} (must stay ≥ 1)",
+                    light_name,
+                    light / sparse
+                );
+            }
         }
     }
     if failures.is_empty() {

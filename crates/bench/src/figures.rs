@@ -115,6 +115,24 @@ pub fn figure8_dataset(
         .build()
         .expect("alias trainer construction");
     solvers.push(Box::new(CuLdaSolver::new(alias_trainer, "CuLDA(alias)")));
+    // The LightLDA-style MH portfolio member, same platform and scale.
+    let light_trainer = SessionBuilder::new()
+        .corpus(&dataset.corpus)
+        .config(
+            LdaConfig::with_topics(scale.num_topics)
+                .seed(scale.seed)
+                .sync_shards(1)
+                .sampler(SamplerStrategy::light_lda()),
+        )
+        .system(MultiGpuSystem::homogeneous(
+            DeviceSpec::v100_volta(),
+            1,
+            scale.seed,
+            Interconnect::Pcie3,
+        ))
+        .build()
+        .expect("light trainer construction");
+    solvers.push(Box::new(CuLdaSolver::new(light_trainer, "CuLDA(light)")));
     solvers.push(Box::new(WarpLda::with_paper_priors(
         &dataset.corpus,
         scale.num_topics,
@@ -313,9 +331,11 @@ mod tests {
         let scale = ExperimentScale::tiny();
         let dataset = datasets::pubmed(&scale);
         let timelines = figure8_dataset(&dataset, &scale, true);
-        // 3 CuLDA platforms + CuLDA(alias) + WarpLDA + SaberLDA + LDA*.
-        assert_eq!(timelines.len(), 7);
+        // 3 CuLDA platforms + CuLDA(alias) + CuLDA(light) + WarpLDA +
+        // SaberLDA + LDA*.
+        assert_eq!(timelines.len(), 8);
         assert!(timelines.iter().any(|t| t.label == "CuLDA(alias)"));
+        assert!(timelines.iter().any(|t| t.label == "CuLDA(light)"));
         for t in &timelines {
             let first = t.points().first().unwrap().loglik_per_token;
             let best = t.best_loglik().unwrap();

@@ -43,10 +43,14 @@ COMMANDS:
                                             0 disables the overlap)
                       [--sampler S]         sampler kernel: `sparse` (the
                                             paper's exact S/Q kernel, the
-                                            default) or `alias[:R]` (stale
+                                            default), `alias[:R]` (stale
                                             alias tables rebuilt every R
                                             iterations — default 8 — with
-                                            MH correction)
+                                            MH correction), `light[:M]`
+                                            (LightLDA-style cycle MH with M
+                                            doc/word proposal steps — default
+                                            4), or `auto` (measure the corpus
+                                            and pick the fastest kernel)
                       [--resume-from FILE]  continue exactly from a saved
                                             model's assignment state (the
                                             checkpoint's sampler strategy
@@ -139,9 +143,10 @@ fn parse_sync_shards(args: &ParsedArgs) -> Result<Option<usize>, CliError> {
     }
 }
 
-/// `--sampler sparse|alias[:rebuild_every]` → a strategy, `None` when the
-/// option is absent (callers default to the checkpoint's strategy on resume,
-/// to sparse-CGS otherwise).
+/// `--sampler sparse|alias[:rebuild_every]|light[:mh_steps]|auto` → a
+/// strategy, `None` when the option is absent (callers default to the
+/// checkpoint's strategy on resume, to sparse-CGS otherwise).  `auto` defers
+/// the choice to the measured portfolio selection at construction.
 fn parse_sampler(args: &ParsedArgs) -> Result<Option<SamplerStrategy>, CliError> {
     let Some(raw) = args.get("sampler") else {
         return Ok(None);
@@ -167,8 +172,34 @@ fn parse_sampler(args: &ParsedArgs) -> Result<Option<SamplerStrategy>, CliError>
             mh_steps,
         }));
     }
+    if lower == "light" {
+        return Ok(Some(SamplerStrategy::light_lda()));
+    }
+    if let Some(steps) = lower.strip_prefix("light:") {
+        let mh_steps: usize = steps.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+            CliError::Usage(format!(
+                "--sampler {raw}: MH step count `{steps}` must be a positive integer"
+            ))
+        })?;
+        let SamplerStrategy::LightLda {
+            rebuild_every,
+            prune_below,
+            ..
+        } = SamplerStrategy::light_lda()
+        else {
+            unreachable!("light_lda() is the light variant");
+        };
+        return Ok(Some(SamplerStrategy::LightLda {
+            rebuild_every,
+            mh_steps,
+            prune_below,
+        }));
+    }
+    if lower == "auto" {
+        return Ok(Some(SamplerStrategy::Auto));
+    }
     Err(CliError::Usage(format!(
-        "--sampler {raw}: expected `sparse` or `alias[:rebuild_every]`"
+        "--sampler {raw}: expected `sparse`, `alias[:rebuild_every]`, `light[:mh_steps]` or `auto`"
     )))
 }
 
@@ -319,6 +350,10 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
     // Resuming continues on the checkpoint's sampler strategy; an explicit
     // conflicting --sampler is rejected like a conflicting --topics.
     let sampler = match (&resume, parse_sampler(args)?) {
+        // A checkpoint always stores the *resolved* strategy, so resuming
+        // with `--sampler auto` continues the decision already made — a
+        // mid-run re-selection would fork the deterministic trajectory.
+        (Some(ckpt), Some(SamplerStrategy::Auto)) => ckpt.sampler,
         (Some(ckpt), Some(requested)) => {
             if requested != ckpt.sampler {
                 return Err(CliError::Usage(format!(
@@ -532,10 +567,11 @@ pub fn stream(args: &ParsedArgs) -> Result<String, CliError> {
                 )));
             }
         }
-        // The rotated checkpoint set carries the sampler strategy; an
-        // explicit conflicting --sampler is rejected, like --topics/--seed.
+        // The rotated checkpoint set carries the *resolved* sampler
+        // strategy (`auto` accepts whatever was decided); an explicit
+        // conflicting --sampler is rejected, like --topics/--seed.
         if let Some(requested) = sampler {
-            if requested != session.config().sampler {
+            if requested != SamplerStrategy::Auto && requested != session.config().sampler {
                 return Err(CliError::Usage(format!(
                     "--sampler {requested} conflicts with the resumed session's sampler {}",
                     session.config().sampler

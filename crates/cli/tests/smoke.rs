@@ -324,6 +324,106 @@ fn alias_sampler_train_checkpoint_resume_round_trip() {
 }
 
 #[test]
+fn light_and_auto_samplers_train_and_resume() {
+    let dir = std::env::temp_dir().join(format!(
+        "culda-cli-light-smoke-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.cldc");
+    let model = dir.join("model.cldm");
+
+    cli()
+        .args([
+            "gen-corpus",
+            "--profile",
+            "nytimes",
+            "--tokens",
+            "4000",
+            "--seed",
+            "11",
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .assert()
+        .success();
+
+    // 1. Train with the LightLDA sampler (custom MH step count) and save.
+    cli()
+        .args([
+            "train",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--topics",
+            "8",
+            "--iterations",
+            "3",
+            "--seed",
+            "11",
+            "--sampler",
+            "light:2",
+            "--save-model",
+            model.to_str().unwrap(),
+        ])
+        .assert()
+        .success()
+        .stdout_contains("sampler:      light(rebuild_every=8, mh_steps=2, prune_below=0)")
+        .stdout_contains("model saved to");
+
+    // 2. Resuming with `--sampler auto` continues the checkpoint's resolved
+    //    strategy instead of re-deciding mid-run.
+    cli()
+        .args([
+            "train",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--iterations",
+            "1",
+            "--resume-from",
+            model.to_str().unwrap(),
+            "--sampler",
+            "auto",
+        ])
+        .assert()
+        .success()
+        .stdout_contains("resumed from:")
+        .stdout_contains("sampler:      light(rebuild_every=8, mh_steps=2, prune_below=0)");
+
+    // 3. A fresh `--sampler auto` run resolves to a concrete strategy before
+    //    training (this small short-doc corpus scores sparse-CGS fastest).
+    cli()
+        .args([
+            "train",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--topics",
+            "8",
+            "--iterations",
+            "1",
+            "--seed",
+            "11",
+            "--sampler",
+            "auto",
+        ])
+        .assert()
+        .success()
+        .stdout_contains("sampler:      sparse-cgs");
+
+    // 4. Malformed light specs are usage errors, as for alias.
+    cli()
+        .args(["train", "--tokens", "2000", "--sampler", "light:0"])
+        .assert()
+        .code(2)
+        .stderr_contains("positive integer");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn serve_streams_and_answers_queries_concurrently() {
     // The whole query tier through the real binary: stream a corpus while
     // reader threads answer batched fold-in queries against the

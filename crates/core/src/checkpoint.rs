@@ -15,7 +15,7 @@
 //!
 //! ```text
 //! magic   "CLDM"       4 bytes
-//! version u32          currently 4 (v1 files load with no sampler state,
+//! version u32          currently 5 (v1 files load with no sampler state,
 //!                      v2 files load with the default sparse-CGS strategy,
 //!                      v3 files load with no sampler-internal resume state)
 //! K, V, D u64
@@ -29,21 +29,30 @@
 //! seed    u64          the run's RNG seed
 //! z       per document: u64 len, len × u16  (only when flag = 1)
 //! --- v3 sampler-strategy section ---
-//! sampler u8           0 = sparse-CGS, 1 = alias hybrid
-//! rebuild_every u64    (alias only)
-//! mh_steps u64         (alias only)
-//! --- v4 sampler-resume section ---
-//! state flag u8        0 = absent, 1 = alias-tables snapshot
-//! built_at u64         iteration the stale tables were built at (flag = 1)
-//! phi_hat K × V × u32  the synchronized φ at built_at (flag = 1)
-//! nk_hat  K × i64      the topic totals at built_at (flag = 1)
+//! sampler u8           0 = sparse-CGS, 1 = alias hybrid, 2 = LightLDA (v5+)
+//! rebuild_every u64    (alias and light)
+//! mh_steps u64         (alias and light)
+//! prune_below u64      (light only, v5+)
+//! --- v4/v5 sampler-resume section ---
+//! state flag u8        0 = absent, 1 = alias-tables snapshot,
+//!                      2 = light word-proposal snapshot (v5+)
+//! built_at u64         iteration the stale tables were built at (flag ≥ 1)
+//! phi_hat K × V × u32  the synchronized φ at built_at (flag ≥ 1)
+//! nk_hat  K × i64      the topic totals at built_at (flag = 1 only)
 //! ```
 //!
 //! The v4 section closes the mid-cadence alias-resume gap: without it, a
 //! checkpoint taken between alias rebuilds resumed with *fresh* tables built
 //! from the current φ and diverged from the uninterrupted run until the next
 //! cadence rebuild.  The snapshot reconstructs the exact stale tables (see
-//! [`crate::kernels::SamplerResumeState`]).
+//! [`crate::kernels::SamplerResumeState`]).  v5 extends both trailing
+//! sections to the LightLDA portfolio member: strategy tag 2 (with its
+//! `prune_below` knob) and resume flag 2 (a φ̂-only snapshot — word
+//! proposals need no topic totals).  [`SamplerStrategy::Auto`] is *never*
+//! written: construction resolves it to a concrete strategy first, and
+//! [`ModelCheckpoint::write`] rejects an unresolved `Auto` with
+//! [`io::ErrorKind::InvalidInput`], so resume continues the decided kernel
+//! instead of re-deciding.
 
 use crate::config::{LdaConfig, SamplerStrategy};
 use crate::inference::TopicInferencer;
@@ -57,7 +66,7 @@ use std::path::Path;
 /// Magic bytes identifying a model checkpoint.
 pub const MAGIC: &[u8; 4] = b"CLDM";
 /// Current checkpoint format version.
-pub const VERSION: u32 = 4;
+pub const VERSION: u32 = 5;
 
 /// Errors produced while reading a checkpoint.
 #[derive(Debug)]
@@ -253,28 +262,48 @@ impl ModelCheckpoint {
                 }
             }
         }
-        if let Some(SamplerResumeState::AliasTables {
-            built_at,
-            phi_hat,
-            nk_hat,
-        }) = &self.sampler_state
-        {
-            if !matches!(self.sampler, SamplerStrategy::AliasHybrid { .. }) {
-                return Err("alias-tables resume state on a non-alias sampler".into());
+        if self.sampler.is_auto() {
+            return Err("checkpoints must store the resolved sampler strategy, not `auto`".into());
+        }
+        match &self.sampler_state {
+            Some(SamplerResumeState::AliasTables {
+                built_at,
+                phi_hat,
+                nk_hat,
+            }) => {
+                if !matches!(self.sampler, SamplerStrategy::AliasHybrid { .. }) {
+                    return Err("alias-tables resume state on a non-alias sampler".into());
+                }
+                if phi_hat.rows() != self.num_topics || phi_hat.cols() != self.vocab_size {
+                    return Err("φ̂ snapshot shape does not match K × V".into());
+                }
+                if nk_hat.len() != self.num_topics {
+                    return Err("n̂_k snapshot length does not match K".into());
+                }
+                if *built_at >= self.iterations {
+                    return Err(format!(
+                        "alias tables claim to be built at iteration {built_at}, but only {} \
+                         iterations completed",
+                        self.iterations
+                    ));
+                }
             }
-            if phi_hat.rows() != self.num_topics || phi_hat.cols() != self.vocab_size {
-                return Err("φ̂ snapshot shape does not match K × V".into());
+            Some(SamplerResumeState::LightWordTables { built_at, phi_hat }) => {
+                if !matches!(self.sampler, SamplerStrategy::LightLda { .. }) {
+                    return Err("light word-table resume state on a non-light sampler".into());
+                }
+                if phi_hat.rows() != self.num_topics || phi_hat.cols() != self.vocab_size {
+                    return Err("φ̂ snapshot shape does not match K × V".into());
+                }
+                if *built_at >= self.iterations {
+                    return Err(format!(
+                        "word proposals claim to be built at iteration {built_at}, but only {} \
+                         iterations completed",
+                        self.iterations
+                    ));
+                }
             }
-            if nk_hat.len() != self.num_topics {
-                return Err("n̂_k snapshot length does not match K".into());
-            }
-            if *built_at >= self.iterations {
-                return Err(format!(
-                    "alias tables claim to be built at iteration {built_at}, but only {} \
-                     iterations completed",
-                    self.iterations
-                ));
-            }
+            None => {}
         }
         Ok(())
     }
@@ -333,6 +362,23 @@ impl ModelCheckpoint {
                 w.write_all(&(rebuild_every as u64).to_le_bytes())?;
                 w.write_all(&(mh_steps as u64).to_le_bytes())?;
             }
+            SamplerStrategy::LightLda {
+                rebuild_every,
+                mh_steps,
+                prune_below,
+            } => {
+                w.write_all(&[2u8])?;
+                w.write_all(&(rebuild_every as u64).to_le_bytes())?;
+                w.write_all(&(mh_steps as u64).to_le_bytes())?;
+                w.write_all(&(prune_below as u64).to_le_bytes())?;
+            }
+            SamplerStrategy::Auto => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "SamplerStrategy::Auto is a construction-time directive, not a trained \
+                     state; resolve it to a concrete strategy before checkpointing",
+                ));
+            }
         }
         match &self.sampler_state {
             None => w.write_all(&[0u8])?,
@@ -348,6 +394,13 @@ impl ModelCheckpoint {
                 }
                 for &n in nk_hat {
                     w.write_all(&n.to_le_bytes())?;
+                }
+            }
+            Some(SamplerResumeState::LightWordTables { built_at, phi_hat }) => {
+                w.write_all(&[2u8])?;
+                w.write_all(&built_at.to_le_bytes())?;
+                for &c in phi_hat.as_slice() {
+                    w.write_all(&c.to_le_bytes())?;
                 }
             }
         }
@@ -468,9 +521,21 @@ impl ModelCheckpoint {
                     strategy.validate().map_err(CheckpointError::Corrupt)?;
                     strategy
                 }
+                2 if version >= 5 => {
+                    let rebuild_every = read_u64(&mut r)? as usize;
+                    let mh_steps = read_u64(&mut r)? as usize;
+                    let prune_below = read_u64(&mut r)? as usize;
+                    let strategy = SamplerStrategy::LightLda {
+                        rebuild_every,
+                        mh_steps,
+                        prune_below,
+                    };
+                    strategy.validate().map_err(CheckpointError::Corrupt)?;
+                    strategy
+                }
                 other => {
                     return Err(CheckpointError::Corrupt(format!(
-                        "invalid sampler-strategy tag {other}"
+                        "invalid sampler-strategy tag {other} for a v{version} file"
                     )))
                 }
             }
@@ -500,9 +565,20 @@ impl ModelCheckpoint {
                         nk_hat,
                     })
                 }
+                2 if version >= 5 => {
+                    let built_at = read_u64(&mut r)?;
+                    let mut phi_hat = Vec::with_capacity(phi_len.min(MAX_PREALLOC));
+                    for _ in 0..phi_len {
+                        phi_hat.push(read_u32(&mut r)?);
+                    }
+                    Some(SamplerResumeState::LightWordTables {
+                        built_at,
+                        phi_hat: DenseMatrix::from_vec(num_topics, vocab_size, phi_hat),
+                    })
+                }
                 other => {
                     return Err(CheckpointError::Corrupt(format!(
-                        "invalid sampler-resume flag {other}"
+                        "invalid sampler-resume flag {other} for a v{version} file"
                     )))
                 }
             }
@@ -844,6 +920,82 @@ mod tests {
             ModelCheckpoint::read(buf.as_slice()),
             Err(CheckpointError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn light_strategy_and_word_tables_roundtrip_in_v5() {
+        let corpus = DatasetProfile {
+            name: "ckpt-light".into(),
+            num_docs: 40,
+            vocab_size: 50,
+            avg_doc_len: 10.0,
+            zipf_exponent: 1.0,
+            doc_len_sigma: 0.4,
+        }
+        .generate(3);
+        let mut trainer = crate::session::SessionBuilder::new()
+            .corpus(&corpus)
+            .config(
+                LdaConfig::with_topics(8)
+                    .seed(2)
+                    .sampler(SamplerStrategy::LightLda {
+                        rebuild_every: 3,
+                        mh_steps: 2,
+                        prune_below: 4,
+                    }),
+            )
+            .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 2))
+            .build()
+            .unwrap();
+        trainer.train(2);
+        let full = ModelCheckpoint::from_trainer(&trainer);
+        assert_eq!(
+            full.sampler,
+            SamplerStrategy::LightLda {
+                rebuild_every: 3,
+                mh_steps: 2,
+                prune_below: 4,
+            }
+        );
+        assert!(
+            matches!(
+                full.sampler_state,
+                Some(SamplerResumeState::LightWordTables { built_at: 0, .. })
+            ),
+            "light checkpoints carry the word-proposal snapshot"
+        );
+        let mut buf = Vec::new();
+        full.write(&mut buf).unwrap();
+        let back = ModelCheckpoint::read(buf.as_slice()).unwrap();
+        assert_eq!(back, full);
+
+        // A truncated v5 sampler section surfaces as a typed IO error (EOF
+        // mid-snapshot), never a panic.
+        let truncated = &buf[..buf.len() - 7];
+        assert!(matches!(
+            ModelCheckpoint::read(truncated),
+            Err(CheckpointError::Io(_))
+        ));
+
+        // The light tag and resume flag are v5 vocabulary: a v4-stamped file
+        // using them is corrupt, not silently accepted.
+        let mut v4_stamped = buf.clone();
+        v4_stamped[4..8].copy_from_slice(&4u32.to_le_bytes());
+        assert!(matches!(
+            ModelCheckpoint::read(v4_stamped.as_slice()),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unresolved_auto_is_rejected_at_write_and_validate() {
+        let trainer = trained_trainer();
+        let mut ckpt = ModelCheckpoint::from_trainer(&trainer);
+        ckpt.sampler = SamplerStrategy::Auto;
+        assert!(ckpt.validate().is_err());
+        let mut buf = Vec::new();
+        let err = ckpt.write(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 
     #[test]

@@ -31,6 +31,40 @@ pub enum SamplerStrategy {
         /// Metropolis–Hastings correction steps per token (≥ 1).
         mh_steps: usize,
     },
+    /// LightLDA-style cycled Metropolis–Hastings kernel (Yuan et al.):
+    /// per-token alternation of an O(1) *doc proposal* (draw another token of
+    /// the same document, or a uniform topic from the smoothing mass) and a
+    /// *word proposal* from a per-word stale alias table over `φ̂ + β`, each
+    /// corrected by a Metropolis–Hastings acceptance test against the fresh
+    /// counts.  No per-document sparse pass at all — per-token cost is
+    /// O(`mh_steps`) regardless of `K` or `K_d`, which is where the win over
+    /// both other kernels comes from at large `K`.
+    LightLda {
+        /// Iteration cadence of the stale word-proposal rebuild (≥ 1).
+        rebuild_every: usize,
+        /// Metropolis–Hastings steps per token (≥ 1).  Even steps are doc
+        /// proposals, odd steps are word proposals, so `2` gives one full
+        /// doc/word cycle.
+        mh_steps: usize,
+        /// Vocabulary-pruning threshold for the power-law tail: words whose
+        /// *global* corpus-wide stale count `Σ_k φ̂(k, v)` is below this
+        /// build their word proposal from the sparse non-zero topic list
+        /// plus an explicit `K·β` smoothing bucket, instead of a dense
+        /// `K`-ary alias table.  `0` disables pruning (all words dense).
+        /// The threshold keys on a topology-independent global count, so
+        /// pruned runs stay bit-exact across GPU counts and batchings.
+        prune_below: usize,
+    },
+    /// Measured auto-selection: iteration 0 of the trainer (and the streaming
+    /// session builder) measures chunk statistics — `K`, active vocabulary,
+    /// mean document length, power-law tail mass — and resolves this to the
+    /// portfolio member whose own [`crate::kernels::SamplerKernel::predict_steady_compute_s`]
+    /// scores fastest on an analytic per-token cost model of those
+    /// statistics.  The decision is made once, deterministically, from
+    /// corpus-level quantities (never from wall-clock timings or topology),
+    /// and the *resolved* concrete strategy is what a checkpoint persists,
+    /// so resume never re-decides.
+    Auto,
 }
 
 impl SamplerStrategy {
@@ -46,10 +80,35 @@ impl SamplerStrategy {
         }
     }
 
+    /// The LightLDA strategy with its default knobs (rebuild every 8
+    /// iterations, 4 MH steps per token — two full doc/word cycles — no
+    /// vocabulary pruning).  Four cheap O(1) proposals mix well enough to
+    /// track the sparse kernel's trajectory while staying independent of
+    /// `K_d`.
+    pub fn light_lda() -> Self {
+        SamplerStrategy::LightLda {
+            rebuild_every: 8,
+            mh_steps: 4,
+            prune_below: 0,
+        }
+    }
+
+    /// The vocabulary-pruned LightLDA variant for power-law tails: words
+    /// with a global stale count below 16 tokens — the Zipf tail, which is
+    /// most of the vocabulary — build sparse word proposals at `O(nnz)`
+    /// instead of `O(K)` cost.
+    pub fn light_lda_pruned() -> Self {
+        SamplerStrategy::LightLda {
+            rebuild_every: 8,
+            mh_steps: 4,
+            prune_below: 16,
+        }
+    }
+
     /// Validate the strategy's knobs.
     pub fn validate(&self) -> Result<(), String> {
         match *self {
-            SamplerStrategy::SparseCgs => Ok(()),
+            SamplerStrategy::SparseCgs | SamplerStrategy::Auto => Ok(()),
             SamplerStrategy::AliasHybrid {
                 rebuild_every,
                 mh_steps,
@@ -62,7 +121,28 @@ impl SamplerStrategy {
                 }
                 Ok(())
             }
+            SamplerStrategy::LightLda {
+                rebuild_every,
+                mh_steps,
+                ..
+            } => {
+                if rebuild_every == 0 {
+                    return Err("light rebuild_every must be at least 1".into());
+                }
+                if mh_steps == 0 {
+                    return Err("light mh_steps must be at least 1".into());
+                }
+                Ok(())
+            }
         }
+    }
+
+    /// Whether this is the [`SamplerStrategy::Auto`] placeholder, which every
+    /// construction path must resolve to a concrete portfolio member before
+    /// a kernel is instantiated (checkpoints only ever persist resolved
+    /// strategies).
+    pub fn is_auto(&self) -> bool {
+        matches!(self, SamplerStrategy::Auto)
     }
 }
 
@@ -77,6 +157,15 @@ impl std::fmt::Display for SamplerStrategy {
                 f,
                 "alias(rebuild_every={rebuild_every}, mh_steps={mh_steps})"
             ),
+            SamplerStrategy::LightLda {
+                rebuild_every,
+                mh_steps,
+                prune_below,
+            } => write!(
+                f,
+                "light(rebuild_every={rebuild_every}, mh_steps={mh_steps}, prune_below={prune_below})"
+            ),
+            SamplerStrategy::Auto => write!(f, "auto"),
         }
     }
 }
@@ -316,6 +405,50 @@ mod tests {
             rebuild_every: 4,
             mh_steps: 0,
         });
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn light_and_auto_strategies_validate_and_display() {
+        let c = LdaConfig::with_topics(16).sampler(SamplerStrategy::light_lda());
+        assert_eq!(
+            c.sampler,
+            SamplerStrategy::LightLda {
+                rebuild_every: 8,
+                mh_steps: 4,
+                prune_below: 0
+            }
+        );
+        assert_eq!(
+            c.sampler.to_string(),
+            "light(rebuild_every=8, mh_steps=4, prune_below=0)"
+        );
+        c.validate().unwrap();
+
+        let pruned = SamplerStrategy::light_lda_pruned();
+        let SamplerStrategy::LightLda { prune_below, .. } = pruned else {
+            panic!("pruned ctor is the light variant");
+        };
+        assert!(prune_below > 0);
+        pruned.validate().unwrap();
+
+        let auto = LdaConfig::with_topics(16).sampler(SamplerStrategy::Auto);
+        assert!(auto.sampler.is_auto());
+        assert!(!SamplerStrategy::light_lda().is_auto());
+        assert_eq!(auto.sampler.to_string(), "auto");
+        auto.validate().unwrap();
+
+        let bad = SamplerStrategy::LightLda {
+            rebuild_every: 0,
+            mh_steps: 4,
+            prune_below: 0,
+        };
+        assert!(bad.validate().is_err());
+        let bad = SamplerStrategy::LightLda {
+            rebuild_every: 8,
+            mh_steps: 0,
+            prune_below: 0,
+        };
         assert!(bad.validate().is_err());
     }
 

@@ -264,17 +264,21 @@ impl SamplerKernel for AliasHybridSampler {
     /// proposals from it instead of rebuilding from the current φ, keeping
     /// the resumed run bit-exact and on the original rebuild cadence.
     fn restore_resume_state(&self, state: &SamplerResumeState) {
-        let SamplerResumeState::AliasTables {
+        // States captured by other portfolio members are ignored (checkpoint
+        // validation rejects such mismatches before they get here anyway).
+        if let SamplerResumeState::AliasTables {
             built_at,
             phi_hat,
             nk_hat,
-        } = state;
-        *self.snapshot.lock() = Some(Arc::new(TablesSnapshot {
-            built_at: *built_at,
-            phi_hat: phi_hat.clone(),
-            nk_hat: nk_hat.clone(),
-            restored: true,
-        }));
+        } = state
+        {
+            *self.snapshot.lock() = Some(Arc::new(TablesSnapshot {
+                built_at: *built_at,
+                phi_hat: phi_hat.clone(),
+                nk_hat: nk_hat.clone(),
+                restored: true,
+            }));
+        }
     }
 
     fn sampling_kernel<'a>(

@@ -10,17 +10,23 @@
 //! [`SamplerKernel`] (see [`sampler`] and `DESIGN.md` §10), selected through
 //! [`crate::LdaConfig::sampler`].  [`SparseCgsSampler`] is the paper's §6.1
 //! kernel and the default; [`AliasHybridSampler`] is the stale-alias-table +
-//! Metropolis–Hastings hybrid.  The update kernels are shared by every
-//! sampler.
+//! Metropolis–Hastings hybrid; [`LightLdaSampler`] is the LightLDA cycled
+//! doc-/word-proposal MH kernel ([`portfolio`] picks among the three for
+//! [`crate::SamplerStrategy::Auto`] runs).  The update kernels are shared by
+//! every sampler.
 
 pub mod alias_hybrid;
+pub mod lightlda;
+pub mod portfolio;
 pub mod sampler;
 pub mod sampling;
 pub mod update_phi;
 pub mod update_theta;
 
 pub use alias_hybrid::AliasHybridSampler;
-pub use sampler::{sampler_for, SamplerKernel, SamplerResumeState};
+pub use lightlda::LightLdaSampler;
+pub use portfolio::{auto_select_sampler, ChunkStatistics};
+pub use sampler::{sampler_for, sampler_for_strategy, SamplerKernel, SamplerResumeState};
 pub use sampling::{SparseCgsBlock, SparseCgsSampler};
 pub use update_phi::UpdatePhiKernel;
 pub use update_theta::UpdateThetaKernel;
@@ -35,4 +41,6 @@ pub mod names {
     pub const UPDATE_PHI: &str = "Update phi";
     /// The stale alias-table build of [`super::AliasHybridSampler`].
     pub const ALIAS_BUILD: &str = "Alias build";
+    /// The stale word-proposal build of [`super::LightLdaSampler`].
+    pub const LIGHT_BUILD: &str = "Word-proposal build";
 }

@@ -1,0 +1,281 @@
+//! Measured auto-selection across the sampler portfolio
+//! ([`crate::SamplerStrategy::Auto`]).
+//!
+//! The φ-sync auto-tuner picks its shard count from *timings* because the
+//! shard count is bit-neutral — any choice samples the same assignments.
+//! The sampler choice is **not** bit-neutral (each kernel is its own
+//! deterministic trajectory), so it must never depend on wall-clock noise,
+//! thread counts, or topology.  Instead, construction measures
+//! [`ChunkStatistics`] — corpus-level quantities that are identical however
+//! the corpus is partitioned or batched — feeds them through an analytic
+//! per-iteration cost model ([`predicted_spans`]), and asks each candidate
+//! kernel's own [`crate::kernels::SamplerKernel::predict_steady_compute_s`]
+//! to amortise its periodic setup, exactly as the shard tuner would with
+//! measured spans.  The cheapest steady-state candidate wins
+//! ([`auto_select_sampler`]); ties resolve to the earliest candidate in
+//! [`candidates`] order, so the decision is a pure function of the corpus
+//! and `K`.
+//!
+//! The *resolved* concrete strategy is what flows into the trainer, the
+//! session and every checkpoint — resume never re-decides (`DESIGN.md`
+//! §13.3).
+
+use crate::config::{LdaConfig, SamplerStrategy};
+use crate::kernels::sampler::sampler_for_strategy;
+use culda_corpus::Corpus;
+
+/// A word is "tail" when its corpus-wide token count is at or below this;
+/// [`ChunkStatistics::tail_mass`] is the fraction of active words in the
+/// tail, which decides whether the LightLDA candidate runs vocabulary
+/// pruning.
+pub const TAIL_WORD_TOKENS: u64 = 8;
+
+/// Above this tail fraction the LightLDA candidate is the pruned variant.
+pub const PRUNE_TAIL_THRESHOLD: f64 = 0.5;
+
+/// Corpus-level statistics the sampler auto-selection scores against.
+///
+/// Every field is a pure function of the corpus content and the configured
+/// `K` — independent of chunking, GPU topology, thread count and streaming
+/// ingestion batching — which is what makes an auto-selected run bit-exact
+/// everywhere the determinism contract reaches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkStatistics {
+    /// Configured number of topics `K`.
+    pub num_topics: usize,
+    /// Distinct words with at least one token.
+    pub active_words: usize,
+    /// Total token count `T`.
+    pub total_tokens: u64,
+    /// Mean document length `T / D` (0 for an empty corpus).
+    pub mean_doc_len: f64,
+    /// Fraction of active words with ≤ [`TAIL_WORD_TOKENS`] tokens — the
+    /// power-law tail share of the vocabulary.
+    pub tail_mass: f64,
+}
+
+impl ChunkStatistics {
+    /// Measure the statistics of `corpus` under `config`.
+    pub fn measure(corpus: &Corpus, config: &LdaConfig) -> ChunkStatistics {
+        let freqs = corpus.word_frequencies();
+        let active: Vec<u64> = freqs.into_iter().filter(|&c| c > 0).collect();
+        let active_words = active.len();
+        let tail = active.iter().filter(|&&c| c <= TAIL_WORD_TOKENS).count();
+        let tail_mass = if active_words == 0 {
+            0.0
+        } else {
+            tail as f64 / active_words as f64
+        };
+        ChunkStatistics {
+            num_topics: config.num_topics,
+            active_words,
+            total_tokens: corpus.num_tokens() as u64,
+            mean_doc_len: if corpus.num_docs() == 0 {
+                0.0
+            } else {
+                corpus.num_tokens() as f64 / corpus.num_docs() as f64
+            },
+            tail_mass,
+        }
+    }
+
+    /// The document-topic support size `K_d` the per-token kernels see: a
+    /// document cannot touch more topics than it has tokens.
+    fn kd(&self) -> f64 {
+        self.mean_doc_len.min(self.num_topics as f64).max(1.0)
+    }
+}
+
+/// The candidate strategies auto-selection scores, in tie-break order.  The
+/// LightLDA entry is the pruned variant when the vocabulary is
+/// tail-dominated ([`PRUNE_TAIL_THRESHOLD`]), the dense one otherwise.
+pub fn candidates(stats: &ChunkStatistics) -> [SamplerStrategy; 3] {
+    let light = if stats.tail_mass > PRUNE_TAIL_THRESHOLD {
+        SamplerStrategy::light_lda_pruned()
+    } else {
+        SamplerStrategy::light_lda()
+    };
+    [
+        SamplerStrategy::SparseCgs,
+        SamplerStrategy::alias_hybrid(),
+        light,
+    ]
+}
+
+/// Analytic iteration-0 spans `(compute_s, setup_s)` of one candidate on
+/// `stats`, in abstract cost units (only ratios matter — every candidate is
+/// scored on the same scale).  `compute_s` includes `setup_s`, mirroring how
+/// the scheduler's measured iteration-0 spans feed
+/// [`crate::kernels::SamplerKernel::predict_steady_compute_s`].
+///
+/// The model mirrors what each block kernel actually charges per token and
+/// per word:
+///
+/// * **sparse CGS** — `O(K_d)` per token for the S/Q sparse pass plus a
+///   per-word `O(K)` index-tree build *every* iteration (no amortisable
+///   setup, so `setup_s = 0`);
+/// * **alias hybrid** — keeps the `O(K_d)` sparse pass, adds `mh` O(1)
+///   steps, and pays the per-word `O(K)` table build only on rebuilds;
+/// * **LightLDA** — `mh` steps of O(1) proposals plus `O(log K_d)` θ-row
+///   probes per step, no sparse pass at all; its rebuild scans `O(K)` per
+///   word but pruned tail words only construct `O(nnz)` entries.
+pub fn predicted_spans(stats: &ChunkStatistics, strategy: SamplerStrategy) -> (f64, f64) {
+    let t = stats.total_tokens as f64;
+    let w = stats.active_words as f64;
+    let k = stats.num_topics as f64;
+    let kd = stats.kd();
+    match strategy {
+        SamplerStrategy::SparseCgs => {
+            // Tree build is per-iteration work, not amortisable setup.
+            let compute = t * (kd + 4.0) + w * k;
+            (compute, 0.0)
+        }
+        SamplerStrategy::AliasHybrid { mh_steps, .. } => {
+            let setup = w * k * 1.2;
+            let compute = t * (kd + 3.0 * mh_steps as f64) + setup;
+            (compute, setup)
+        }
+        SamplerStrategy::LightLda {
+            mh_steps,
+            prune_below,
+            ..
+        } => {
+            // With pruning, tail words build O(nnz) ≈ O(tail cap) entries;
+            // the O(K) column scan (half the build charge) remains.
+            let pruned_frac = if prune_below > 0 {
+                stats.tail_mass
+            } else {
+                0.0
+            };
+            let per_word =
+                0.6 * k + 0.6 * (k * (1.0 - pruned_frac) + TAIL_WORD_TOKENS as f64 * pruned_frac);
+            let setup = w * per_word;
+            let compute = t * mh_steps as f64 * (2.0 + kd.max(2.0).log2()) + setup;
+            (compute, setup)
+        }
+        SamplerStrategy::Auto => {
+            unreachable!("Auto is never a candidate of its own selection")
+        }
+    }
+}
+
+/// Pick the portfolio member whose own steady-state prediction over the
+/// analytic spans is fastest.  Pure function of `stats`; ties resolve to the
+/// earliest candidate.
+pub fn auto_select_sampler(stats: &ChunkStatistics) -> SamplerStrategy {
+    let mut best: Option<(f64, SamplerStrategy)> = None;
+    for cand in candidates(stats) {
+        let (compute, setup) = predicted_spans(stats, cand);
+        let steady = sampler_for_strategy(cand).predict_steady_compute_s(compute, setup);
+        if best.is_none_or(|(b, _)| steady < b) {
+            best = Some((steady, cand));
+        }
+    }
+    best.expect("candidates is non-empty").1
+}
+
+/// Resolve a configuration's sampler in place: [`SamplerStrategy::Auto`]
+/// becomes the measured selection for `corpus`, concrete strategies pass
+/// through untouched.  Returns the resolved strategy.
+pub fn resolve_auto_sampler(config: &mut LdaConfig, corpus: &Corpus) -> SamplerStrategy {
+    if config.sampler.is_auto() {
+        let stats = ChunkStatistics::measure(corpus, config);
+        config.sampler = auto_select_sampler(&stats);
+    }
+    config.sampler
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culda_corpus::DatasetProfile;
+
+    fn stats(k: usize, words: usize, tokens: u64, len: f64, tail: f64) -> ChunkStatistics {
+        ChunkStatistics {
+            num_topics: k,
+            active_words: words,
+            total_tokens: tokens,
+            mean_doc_len: len,
+            tail_mass: tail,
+        }
+    }
+
+    #[test]
+    fn tail_heavy_large_k_selects_light_and_short_doc_small_k_selects_sparse() {
+        // The perf-gate's tail-heavy scenario shape: many short docs, a big
+        // vocabulary that is mostly tail, K in the hundreds.
+        let tail_heavy = stats(512, 15_000, 120_000, 20.0, 0.9);
+        let picked = auto_select_sampler(&tail_heavy);
+        assert!(
+            matches!(picked, SamplerStrategy::LightLda { prune_below, .. } if prune_below > 0),
+            "tail-heavy large-K picked {picked}"
+        );
+
+        // Short documents at small K: the sparse kernel's O(K_d) pass and
+        // O(K) tree build are both cheap; MH overhead is not worth it.
+        let short_small = stats(32, 5_000, 100_000, 8.0, 0.2);
+        assert_eq!(
+            auto_select_sampler(&short_small),
+            SamplerStrategy::SparseCgs
+        );
+    }
+
+    #[test]
+    fn selection_is_the_argmin_of_the_model() {
+        for s in [
+            stats(512, 15_000, 120_000, 20.0, 0.9),
+            stats(32, 5_000, 100_000, 8.0, 0.2),
+            stats(128, 2_000, 50_000, 60.0, 0.4),
+            stats(1024, 40_000, 1_000_000, 100.0, 0.7),
+        ] {
+            let picked = auto_select_sampler(&s);
+            let (pc, ps) = predicted_spans(&s, picked);
+            let picked_score = sampler_for_strategy(picked).predict_steady_compute_s(pc, ps);
+            for cand in candidates(&s) {
+                let (c, su) = predicted_spans(&s, cand);
+                let score = sampler_for_strategy(cand).predict_steady_compute_s(c, su);
+                assert!(
+                    picked_score <= score,
+                    "{picked} ({picked_score}) beaten by {cand} ({score}) on {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measure_reports_topology_free_statistics() {
+        let corpus = DatasetProfile::nytimes()
+            .scaled_to_tokens(20_000)
+            .generate(7);
+        let cfg = LdaConfig::with_topics(64);
+        let s = ChunkStatistics::measure(&corpus, &cfg);
+        assert_eq!(s.num_topics, 64);
+        assert_eq!(s.total_tokens, corpus.num_tokens() as u64);
+        assert!(s.active_words > 0 && s.active_words <= corpus.vocab_size());
+        assert!(s.mean_doc_len > 0.0);
+        assert!((0.0..=1.0).contains(&s.tail_mass));
+    }
+
+    #[test]
+    fn empty_corpus_resolves_deterministically_to_the_default() {
+        // A streaming session starts empty; Auto must still resolve to one
+        // concrete strategy without dividing by zero.
+        let corpus = culda_corpus::CorpusBuilder::new(100).build();
+        let mut cfg = LdaConfig::with_topics(16).sampler(SamplerStrategy::Auto);
+        let resolved = resolve_auto_sampler(&mut cfg, &corpus);
+        assert_eq!(resolved, SamplerStrategy::SparseCgs);
+        assert_eq!(cfg.sampler, resolved);
+    }
+
+    #[test]
+    fn concrete_strategies_pass_through_resolution() {
+        let corpus = DatasetProfile::nytimes()
+            .scaled_to_tokens(5_000)
+            .generate(3);
+        let mut cfg = LdaConfig::with_topics(16).sampler(SamplerStrategy::alias_hybrid());
+        assert_eq!(
+            resolve_auto_sampler(&mut cfg, &corpus),
+            SamplerStrategy::alias_hybrid()
+        );
+    }
+}

@@ -71,6 +71,18 @@ pub enum SamplerResumeState {
         /// The topic totals at `built_at`.
         nk_hat: Vec<i64>,
     },
+    /// The global snapshot the LightLDA sampler's stale word proposals were
+    /// last built from.  Word proposals depend only on `φ̂ + β` (the
+    /// normalizer cancels in the MH acceptance ratio), so no topic totals
+    /// are carried; per-chunk tables are reconstructed deterministically on
+    /// resume exactly as the alias hybrid's are.
+    LightWordTables {
+        /// Iteration the word proposals were built at; resume keeps the
+        /// rebuild cadence anchored to the original grid.
+        built_at: u64,
+        /// The synchronized φ at `built_at` (`K × V`).
+        phi_hat: DenseMatrix<u32>,
+    },
 }
 
 /// A pluggable sampling-kernel implementation.
@@ -153,8 +165,24 @@ pub trait SamplerKernel: Send + Sync {
 }
 
 /// Instantiate the sampler kernel a configuration selects.
+///
+/// The configuration's strategy must already be concrete:
+/// [`SamplerStrategy::Auto`] is resolved by every construction path
+/// (trainer build, streaming session, checkpoint resume) *before* a kernel
+/// is instantiated — see [`crate::kernels::portfolio`].
 pub fn sampler_for(config: &LdaConfig) -> Arc<dyn SamplerKernel> {
-    match config.sampler {
+    sampler_for_strategy(config.sampler)
+}
+
+/// Instantiate the sampler kernel for a concrete strategy.
+///
+/// # Panics
+///
+/// Panics on [`SamplerStrategy::Auto`]: auto-selection is a construction-time
+/// decision ([`crate::kernels::portfolio::auto_select_sampler`]), never a
+/// kernel.
+pub fn sampler_for_strategy(strategy: SamplerStrategy) -> Arc<dyn SamplerKernel> {
+    match strategy {
         SamplerStrategy::SparseCgs => Arc::new(crate::kernels::SparseCgsSampler),
         SamplerStrategy::AliasHybrid {
             rebuild_every,
@@ -163,6 +191,19 @@ pub fn sampler_for(config: &LdaConfig) -> Arc<dyn SamplerKernel> {
             rebuild_every,
             mh_steps,
         )),
+        SamplerStrategy::LightLda {
+            rebuild_every,
+            mh_steps,
+            prune_below,
+        } => Arc::new(crate::kernels::LightLdaSampler::new(
+            rebuild_every,
+            mh_steps,
+            prune_below,
+        )),
+        SamplerStrategy::Auto => panic!(
+            "SamplerStrategy::Auto must be resolved to a concrete strategy \
+             before a kernel is instantiated"
+        ),
     }
 }
 
@@ -177,9 +218,19 @@ mod tests {
         let alias =
             sampler_for(&LdaConfig::with_topics(8).sampler(SamplerStrategy::alias_hybrid()));
         assert_eq!(alias.name(), crate::kernels::names::SAMPLING);
+        let light = sampler_for(&LdaConfig::with_topics(8).sampler(SamplerStrategy::light_lda()));
+        assert_eq!(light.name(), crate::kernels::names::SAMPLING);
         // Setup is free for the default sampler and its steady-state
         // prediction is the identity.
         assert_eq!(sparse.predict_steady_compute_s(2.0, 0.5), 2.0);
         assert_eq!(alias.predict_steady_compute_s(2.0, 0.5), 1.5625);
+        // Light amortises its rebuild over the same cadence formula.
+        assert_eq!(light.predict_steady_compute_s(2.0, 0.5), 1.5625);
+    }
+
+    #[test]
+    #[should_panic(expected = "Auto must be resolved")]
+    fn factory_rejects_unresolved_auto() {
+        let _ = sampler_for_strategy(SamplerStrategy::Auto);
     }
 }

@@ -51,7 +51,8 @@ pub use convergence::{train_until_converged, ConvergenceMonitor, EarlyStopper};
 pub use hyper::{optimize_alpha, optimize_beta, HyperOptOptions, HyperUpdate};
 pub use inference::{DocumentTopics, InferenceError, InferenceOptions, TopicInferencer};
 pub use kernels::{
-    sampler_for, AliasHybridSampler, SamplerKernel, SamplerResumeState, SparseCgsSampler,
+    auto_select_sampler, sampler_for, sampler_for_strategy, AliasHybridSampler, ChunkStatistics,
+    LightLdaSampler, SamplerKernel, SamplerResumeState, SparseCgsSampler,
 };
 pub use model::{ChunkState, TopicTotals};
 pub use schedule::{IterationStats, ScheduleKind};

@@ -340,8 +340,22 @@ impl SessionBuilder {
         let system = self.system.ok_or_else(|| {
             TrainerError::InvalidConfig("a session needs a system (SessionBuilder::system)".into())
         })?;
-        let config = Self::config_or_default(self.config);
+        let mut config = Self::config_or_default(self.config);
         config.validate().map_err(TrainerError::InvalidConfig)?;
+        // Resolve `Auto` before the session fixes its kernel: from the seed
+        // corpus when one is configured (it is ingested as the first
+        // mini-batch below), from the deterministic empty-corpus default
+        // otherwise.  Either way the decision is independent of ingestion
+        // batching, and checkpoints carry the resolved strategy.
+        match &self.corpus {
+            Some(corpus) => {
+                crate::kernels::portfolio::resolve_auto_sampler(&mut config, corpus);
+            }
+            None => {
+                let empty = culda_corpus::CorpusBuilder::new(0).build();
+                crate::kernels::portfolio::resolve_auto_sampler(&mut config, &empty);
+            }
+        }
         let mut session = StreamingSession::empty(config, system, self.streaming);
         if let Some(corpus) = self.corpus {
             session.buffer.ensure_vocab(corpus.vocab_size());

@@ -186,7 +186,7 @@ impl CuLdaTrainer {
 
     fn build(
         corpus: &Corpus,
-        config: LdaConfig,
+        mut config: LdaConfig,
         system: MultiGpuSystem,
         init: Option<&[Vec<u16>]>,
         sampler_state: Option<&SamplerResumeState>,
@@ -195,6 +195,12 @@ impl CuLdaTrainer {
         if corpus.num_tokens() == 0 {
             return Err(TrainerError::EmptyCorpus);
         }
+        // Resolve `Auto` to a concrete portfolio member from corpus-level
+        // statistics before any kernel exists.  The choice is a pure
+        // function of the corpus and K — never of topology or timings — and
+        // the resolved strategy is what `config()` (and therefore every
+        // checkpoint) carries, so a resumed run never re-decides.
+        crate::kernels::portfolio::resolve_auto_sampler(&mut config, corpus);
 
         let g = system.num_gpus();
         let m = match config.chunks_per_gpu {

@@ -371,6 +371,122 @@ pub fn doc_lens(corpus: &culda_corpus::Corpus) -> Vec<usize> {
         .collect()
 }
 
+pub mod golden {
+    //! Golden on-disk checkpoint files, one per historical format version.
+    //!
+    //! The bytes are committed under `fixtures/` and embedded here; they are
+    //! the back-compat contract of [`culda_core::ModelCheckpoint::read`]:
+    //! every file must keep loading, forever, with the documented fallback
+    //! semantics (v1 → no `z`, v1/v2 → sparse-CGS strategy, v1–v3 → no
+    //! sampler resume state).  All four store the *same* trained model —
+    //! sparse-CGS on the tiny fixture, K = 8 — so loaders can also assert
+    //! the matrices agree across versions.
+
+    /// A v1 file: model matrices only.
+    pub const V1: &[u8] = include_bytes!("../fixtures/golden-v1.cldm");
+    /// A v2 file: adds the z / iterations / seed section.
+    pub const V2: &[u8] = include_bytes!("../fixtures/golden-v2.cldm");
+    /// A v3 file: adds the sampler-strategy tag.
+    pub const V3: &[u8] = include_bytes!("../fixtures/golden-v3.cldm");
+    /// A v4 file: adds the sampler-resume flag.
+    pub const V4: &[u8] = include_bytes!("../fixtures/golden-v4.cldm");
+
+    /// Every golden file with its format version, oldest first.
+    pub fn all() -> [(u32, &'static [u8]); 4] {
+        [(1, V1), (2, V2), (3, V3), (4, V4)]
+    }
+}
+
+#[cfg(test)]
+mod golden_bless {
+    //! Regeneration machinery for the committed golden checkpoint files in
+    //! `fixtures/`.  The committed bytes are the contract — they must keep
+    //! loading forever — so the bless test is `#[ignore]`d and only run by
+    //! hand when a *new* historical version is frozen, never on format
+    //! drift.
+
+    use culda_core::{LdaConfig, ModelCheckpoint, SessionBuilder};
+    use culda_gpusim::{DeviceSpec, MultiGpuSystem};
+
+    /// The one standard model every golden file stores: sparse-CGS on the
+    /// tiny fixture, K = 8, trained 3 iterations.
+    pub fn golden_model() -> ModelCheckpoint {
+        let corpus = crate::fixtures::tiny(crate::fixtures::FIXTURE_SEED);
+        let mut trainer = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(8).seed(31))
+            .system(MultiGpuSystem::single(DeviceSpec::v100_volta(), 31))
+            .build()
+            .unwrap();
+        trainer.train(3);
+        ModelCheckpoint::from_trainer(&trainer)
+    }
+
+    /// Reconstruct the byte stream a version-`version` writer produced for
+    /// [`golden_model`]: older formats are strict prefixes of the current
+    /// stream (with the version stamp patched), because every format bump
+    /// only ever appended trailing sections.
+    pub fn synthesize(version: u32) -> Vec<u8> {
+        let model = golden_model();
+        match version {
+            2..=5 => {
+                let mut buf = Vec::new();
+                model.write(&mut buf).unwrap();
+                buf[4..8].copy_from_slice(&version.to_le_bytes());
+                // v4 lacks nothing here (sparse strategy, no resume state);
+                // v3 drops the resume flag; v2 drops the strategy tag too.
+                if version == 3 {
+                    buf.truncate(buf.len() - 1);
+                }
+                if version == 2 {
+                    buf.truncate(buf.len() - 2);
+                }
+                buf
+            }
+            1 => {
+                // v1 ends after θ: no z section (flag + iterations + seed =
+                // 17 bytes when z is absent), no strategy tag, no flag.
+                let mut headless = golden_model();
+                headless.z = None;
+                let mut buf = Vec::new();
+                headless.write(&mut buf).unwrap();
+                buf[4..8].copy_from_slice(&1u32.to_le_bytes());
+                buf.truncate(buf.len() - 19);
+                buf
+            }
+            other => panic!("no golden fixture recipe for version {other}"),
+        }
+    }
+
+    #[test]
+    #[ignore = "regenerates the committed golden fixtures in fixtures/"]
+    fn bless_golden_fixtures() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        std::fs::create_dir_all(&dir).unwrap();
+        for version in 1..=4u32 {
+            let path = dir.join(format!("golden-v{version}.cldm"));
+            std::fs::write(&path, synthesize(version)).unwrap();
+            eprintln!("blessed {}", path.display());
+        }
+    }
+
+    #[test]
+    fn committed_fixtures_match_the_recipe() {
+        // If this fails, either the current writer changed the byte layout
+        // of a *historical* section (a back-compat break — fix the writer)
+        // or a new trailing section was appended (update `synthesize`'s
+        // truncation offsets; the committed files themselves must NOT be
+        // re-blessed).
+        for (version, bytes) in crate::golden::all() {
+            assert_eq!(
+                synthesize(version),
+                bytes,
+                "golden v{version} fixture no longer matches the writer-derived recipe"
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::conformance::{check_invariants, check_loglik_trajectory};

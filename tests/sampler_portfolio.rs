@@ -1,0 +1,598 @@
+//! The sampler portfolio, locked down: the LightLDA-style MH kernel must
+//! agree statistically with the exact sparse-CGS kernel, stay bit-exact
+//! across runs / GPU topologies / thread counts / ingestion batchings,
+//! resume exactly mid-cadence from its checkpointed word-proposal state,
+//! and the measured auto-selection must be the argmin of its own cost model
+//! on real corpora — with the decision persisted through checkpoints so
+//! resume never re-decides.  The on-disk back-compat matrix (golden v1–v4
+//! files) rides along: old files must keep loading with their documented
+//! fallbacks while truncated v5 sampler sections fail with a typed error.
+
+use culda::baselines::CuLdaSolver;
+use culda::core::kernels::portfolio::{candidates, predicted_spans};
+use culda::core::{
+    auto_select_sampler, sampler_for_strategy, CheckpointError, ChunkStatistics, LdaConfig,
+    ModelCheckpoint, SamplerStrategy, SessionBuilder,
+};
+use culda::corpus::DatasetProfile;
+use culda::gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
+use culda_testkit::conformance::{run_conformance, MAX_DRAWDOWN_NATS};
+use culda_testkit::determinism::{assert_same_assignments, z_signature};
+use culda_testkit::{doc_lens, fixtures, golden};
+use proptest::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+const K: usize = 8;
+const SEED: u64 = 4242;
+
+fn light_cfg(rebuild_every: usize, mh_steps: usize, prune_below: usize) -> LdaConfig {
+    LdaConfig::with_topics(K)
+        .seed(SEED)
+        .sampler(SamplerStrategy::LightLda {
+            rebuild_every,
+            mh_steps,
+            prune_below,
+        })
+}
+
+fn system(gpus: usize, seed: u64) -> MultiGpuSystem {
+    if gpus == 1 {
+        MultiGpuSystem::single(DeviceSpec::v100_volta(), seed)
+    } else {
+        MultiGpuSystem::homogeneous(DeviceSpec::v100_volta(), gpus, seed, Interconnect::NvLink)
+    }
+}
+
+fn with_threads<R>(threads: usize, op: impl FnOnce() -> R) -> R {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(op)
+}
+
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1, 2, max];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn trained_light(corpus: &culda::corpus::Corpus, gpus: usize, iterations: usize) -> CuLdaSolver {
+    let mut trainer = SessionBuilder::new()
+        .corpus(corpus)
+        .config(light_cfg(2, 2, 8))
+        .system(system(gpus, SEED))
+        .build()
+        .expect("light trainer construction");
+    trainer.train(iterations);
+    CuLdaSolver::new(trainer, format!("CuLDA(light) ({gpus} GPU)"))
+}
+
+// ---------------------------------------------------------------------------
+// Statistical conformance
+// ---------------------------------------------------------------------------
+
+#[test]
+fn light_conformance_agrees_with_sparse_cgs_stationary_behavior() {
+    // With rebuild_every = 1 the word proposals are rebuilt from the very φ
+    // the acceptance ratio corrects against, so the MH chain's stationary
+    // distribution is the collapsed conditional (up to self-exclusion) and
+    // enough proposal steps mix it: the converged likelihood must agree with
+    // the exact sparse-CGS kernel within the battery's own trajectory
+    // tolerance.  Both samplers also pass the full invariant battery (count
+    // conservation, θ/φ consistency, z ↔ θ agreement) at start/mid/end.
+    let corpus = fixtures::small(fixtures::FIXTURE_SEED);
+    let lens = doc_lens(&corpus);
+    let alpha = 50.0 / K as f64;
+    let beta = 0.01;
+    let iterations = 30;
+
+    let mut light = CuLdaSolver::new(
+        SessionBuilder::new()
+            .corpus(&corpus)
+            .config(light_cfg(1, 8, 0))
+            .system(system(1, SEED))
+            .build()
+            .unwrap(),
+        "CuLDA(light fresh)",
+    );
+    let light_series = run_conformance(&mut light, &lens, alpha, beta, iterations)
+        .unwrap_or_else(|e| panic!("light conformance failure: {e}"));
+
+    let mut sparse = CuLdaSolver::new(
+        SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(K).seed(SEED))
+            .system(system(1, SEED))
+            .build()
+            .unwrap(),
+        "CuLDA(sparse)",
+    );
+    let sparse_series = run_conformance(&mut sparse, &lens, alpha, beta, iterations)
+        .unwrap_or_else(|e| panic!("sparse conformance failure: {e}"));
+
+    let tail = |s: &[f64]| -> f64 {
+        let t = &s[s.len() - s.len() / 3..];
+        t.iter().sum::<f64>() / t.len() as f64
+    };
+    let (a, b) = (tail(&light_series), tail(&sparse_series));
+    assert!(
+        (a - b).abs() <= MAX_DRAWDOWN_NATS,
+        "stationary log-likelihoods disagree: light {a:.4} vs sparse {b:.4}"
+    );
+}
+
+#[test]
+fn pruned_variant_also_passes_the_conformance_battery() {
+    // Vocabulary pruning changes the word-proposal *representation*, not the
+    // target distribution — the pruned kernel must clear the same invariant
+    // battery on a tail-heavy corpus where pruning actually engages.
+    let corpus = DatasetProfile {
+        name: "portfolio-tail".into(),
+        num_docs: 150,
+        vocab_size: 400,
+        avg_doc_len: 16.0,
+        zipf_exponent: 1.05,
+        doc_len_sigma: 0.4,
+    }
+    .generate(fixtures::FIXTURE_SEED);
+    let lens = doc_lens(&corpus);
+    let mut solver = CuLdaSolver::new(
+        SessionBuilder::new()
+            .corpus(&corpus)
+            .config(light_cfg(2, 4, 16))
+            .system(system(1, SEED))
+            .build()
+            .unwrap(),
+        "CuLDA(light pruned)",
+    );
+    run_conformance(&mut solver, &lens, 50.0 / K as f64, 0.01, 20)
+        .unwrap_or_else(|e| panic!("pruned conformance failure: {e}"));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: runs, topologies, threads, batchings
+// ---------------------------------------------------------------------------
+
+#[test]
+fn light_assignments_are_bit_exact_across_runs_and_topologies() {
+    let corpus = fixtures::medium(fixtures::FIXTURE_SEED);
+    let a = trained_light(&corpus, 1, 5);
+    let b = trained_light(&corpus, 1, 5);
+    assert_same_assignments(&a, &b);
+
+    let quad = trained_light(&corpus, 4, 5);
+    assert!(
+        a.trainer().num_chunks() != quad.trainer().num_chunks(),
+        "topologies must actually partition differently"
+    );
+    assert_same_assignments(&a, &quad);
+    assert_eq!(z_signature(&a), z_signature(&quad));
+
+    // Light is its own deterministic trajectory, distinct from sparse CGS.
+    let mut sparse = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(LdaConfig::with_topics(K).seed(SEED))
+        .system(system(1, SEED))
+        .build()
+        .unwrap();
+    sparse.train(5);
+    let sparse = CuLdaSolver::new(sparse, "CuLDA (sparse)");
+    assert_ne!(z_signature(&a), z_signature(&sparse));
+}
+
+#[test]
+fn every_portfolio_member_is_bit_exact_at_one_two_and_max_threads() {
+    // The acceptance bar: all three kernels produce identical z signatures
+    // and checkpoint bytes at threads {1, 2, max}, on both topologies.
+    let corpus = fixtures::medium(fixtures::FIXTURE_SEED);
+    let artifacts = |gpus: usize, sampler: SamplerStrategy| {
+        let mut trainer = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(LdaConfig::with_topics(K).seed(SEED).sampler(sampler))
+            .system(system(gpus, SEED))
+            .build()
+            .unwrap();
+        trainer.train(4);
+        let ckpt = ModelCheckpoint::from_trainer(&trainer);
+        let mut bytes = Vec::new();
+        ckpt.write(&mut bytes).unwrap();
+        let solver = CuLdaSolver::new(trainer, "portfolio-threads");
+        (z_signature(&solver), bytes)
+    };
+    for gpus in [1, 4] {
+        for sampler in [
+            SamplerStrategy::SparseCgs,
+            SamplerStrategy::alias_hybrid(),
+            SamplerStrategy::LightLda {
+                rebuild_every: 2,
+                mh_steps: 2,
+                prune_below: 8,
+            },
+        ] {
+            let baseline = with_threads(1, || artifacts(gpus, sampler));
+            for threads in thread_counts() {
+                let run = with_threads(threads, || artifacts(gpus, sampler));
+                assert_eq!(
+                    baseline, run,
+                    "{sampler} diverged at {threads} threads ({gpus} GPUs)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn light_streaming_with_zero_burn_in_matches_batch_and_batching_is_invariant() {
+    let corpus = fixtures::medium(fixtures::FIXTURE_SEED);
+
+    // Zero-burn-in bridge: stream-everything-then-train ≡ batch.
+    let mut batch = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(light_cfg(2, 2, 8))
+        .system(system(1, SEED))
+        .build()
+        .unwrap();
+    batch.train(4);
+
+    let mut streaming = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(light_cfg(2, 2, 8))
+        .burn_in_sweeps(0)
+        .system(system(1, SEED))
+        .build_streaming()
+        .unwrap();
+    streaming.train(4).unwrap();
+    assert_eq!(batch.z_snapshot(), streaming.z_snapshot());
+    assert_eq!(&batch.global_phi(), streaming.global_phi());
+
+    // Ingestion batching invariance with a real light burn-in: one call vs
+    // three mini-batches must be bit-identical.
+    let build = || {
+        SessionBuilder::new()
+            .config(light_cfg(2, 2, 8))
+            .burn_in_sweeps(2)
+            .system(system(1, SEED))
+            .build_streaming()
+            .unwrap()
+    };
+    let mut at_once = build();
+    at_once.ingest(&fixtures::documents_of(&corpus));
+    at_once.train(3).unwrap();
+    at_once.validate().unwrap();
+
+    let mut in_batches = build();
+    for batch in fixtures::doc_batches(&corpus, 3) {
+        in_batches.ingest(&batch);
+    }
+    in_batches.train(3).unwrap();
+    assert_eq!(at_once.z_snapshot(), in_batches.z_snapshot());
+    assert_eq!(at_once.global_phi(), in_batches.global_phi());
+}
+
+// ---------------------------------------------------------------------------
+// Mid-cadence resume of the MH proposal state
+// ---------------------------------------------------------------------------
+
+#[test]
+fn light_mid_cadence_resume_is_bit_exact_and_divergence_is_provable() {
+    let corpus = fixtures::medium(fixtures::FIXTURE_SEED);
+    let build = |assignments: Option<&ModelCheckpoint>| {
+        let mut b = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(light_cfg(4, 2, 8))
+            .system(system(1, SEED));
+        if let Some(ckpt) = assignments {
+            b = b
+                .assignments(ckpt.z.clone().unwrap(), ckpt.iterations)
+                .sampler_state(ckpt.sampler_state.clone());
+        }
+        b.build().unwrap()
+    };
+
+    let mut straight = build(None);
+    straight.train(10);
+
+    // Word proposals rebuild at iterations 0, 4 and 8; stopping after 6
+    // lands the checkpoint mid-cadence, two iterations past the rebuild.
+    let mut first_leg = build(None);
+    first_leg.train(6);
+    let ckpt = ModelCheckpoint::from_trainer(&first_leg);
+    ckpt.validate().unwrap();
+    assert!(
+        ckpt.sampler_state.is_some(),
+        "a light trainer must checkpoint its word-proposal phase"
+    );
+
+    let mut resumed = build(Some(&ckpt));
+    resumed.train(4);
+    assert_eq!(straight.z_snapshot(), resumed.z_snapshot());
+    assert_eq!(straight.global_phi(), resumed.global_phi());
+
+    // Dropping the proposal state rebuilds word tables from φ(6) instead of
+    // φ(4) and diverges — without this the exactness assertion above could
+    // pass vacuously on a corpus too small for staleness to matter.
+    let mut stateless = ckpt;
+    stateless.sampler_state = None;
+    let mut fresh_tables = build(Some(&stateless));
+    fresh_tables.train(4);
+    assert_ne!(straight.z_snapshot(), fresh_tables.z_snapshot());
+}
+
+// ---------------------------------------------------------------------------
+// Measured auto-selection
+// ---------------------------------------------------------------------------
+
+/// A tail-heavy large-K corpus (the LightLDA regime) and a short-doc
+/// small-K corpus (the sparse regime), both small enough for tests.
+fn tail_heavy_corpus() -> culda::corpus::Corpus {
+    DatasetProfile {
+        name: "auto-tail".into(),
+        num_docs: 800,
+        vocab_size: 6_000,
+        avg_doc_len: 20.0,
+        zipf_exponent: 1.05,
+        doc_len_sigma: 0.4,
+    }
+    .generate(fixtures::FIXTURE_SEED)
+}
+
+fn short_doc_corpus() -> culda::corpus::Corpus {
+    DatasetProfile {
+        name: "auto-short".into(),
+        num_docs: 1_000,
+        vocab_size: 300,
+        avg_doc_len: 6.0,
+        zipf_exponent: 1.05,
+        doc_len_sigma: 0.4,
+    }
+    .generate(fixtures::FIXTURE_SEED)
+}
+
+#[test]
+fn auto_selects_different_kernels_for_different_corpus_shapes() {
+    let tail_cfg = LdaConfig::with_topics(512).sampler(SamplerStrategy::Auto);
+    let tail_stats = ChunkStatistics::measure(&tail_heavy_corpus(), &tail_cfg);
+    let tail_pick = auto_select_sampler(&tail_stats);
+    assert!(
+        matches!(tail_pick, SamplerStrategy::LightLda { .. }),
+        "tail-heavy large-K corpus picked {tail_pick}"
+    );
+
+    let short_cfg = LdaConfig::with_topics(16).sampler(SamplerStrategy::Auto);
+    let short_stats = ChunkStatistics::measure(&short_doc_corpus(), &short_cfg);
+    let short_pick = auto_select_sampler(&short_stats);
+    assert_eq!(short_pick, SamplerStrategy::SparseCgs);
+}
+
+#[test]
+fn auto_decision_is_resolved_at_build_persisted_and_never_redecided() {
+    // Through the real entry point: a builder handed `Auto` must train on a
+    // concrete strategy, write that strategy into its checkpoints, and a
+    // resume must continue it bit-exactly — even though by resume time the
+    // corpus statistics are the same, the decision comes from the file.
+    let corpus = tail_heavy_corpus();
+    let cfg = LdaConfig::with_topics(512)
+        .seed(SEED)
+        .sampler(SamplerStrategy::Auto);
+
+    let build = || {
+        SessionBuilder::new()
+            .corpus(&corpus)
+            .config(cfg.clone())
+            .system(system(1, SEED))
+            .build()
+            .unwrap()
+    };
+    let mut straight = build();
+    assert!(
+        matches!(straight.config().sampler, SamplerStrategy::LightLda { .. }),
+        "auto must resolve before training; got {}",
+        straight.config().sampler
+    );
+    straight.train(5);
+
+    let mut first_leg = build();
+    first_leg.train(3);
+    let ckpt = ModelCheckpoint::from_trainer(&first_leg);
+    assert_eq!(ckpt.sampler, first_leg.config().sampler);
+    let mut bytes = Vec::new();
+    ckpt.write(&mut bytes).unwrap();
+    let reloaded = ModelCheckpoint::read(bytes.as_slice()).unwrap();
+    assert_eq!(reloaded.sampler, ckpt.sampler);
+
+    // Resume with the *concrete* strategy from the file, as the CLI does.
+    let mut resumed = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(
+            LdaConfig::with_topics(512)
+                .seed(SEED)
+                .sampler(reloaded.sampler),
+        )
+        .system(system(1, SEED))
+        .assignments(reloaded.z.clone().unwrap(), reloaded.iterations)
+        .sampler_state(reloaded.sampler_state.clone())
+        .build()
+        .unwrap();
+    resumed.train(2);
+    assert_eq!(straight.z_snapshot(), resumed.z_snapshot());
+    assert_eq!(straight.global_phi(), resumed.global_phi());
+}
+
+// ---------------------------------------------------------------------------
+// On-disk back-compat matrix
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_v1_to_v4_files_all_load_with_documented_fallbacks() {
+    let mut models = Vec::new();
+    for (version, bytes) in golden::all() {
+        let ckpt = ModelCheckpoint::read(bytes)
+            .unwrap_or_else(|e| panic!("golden v{version} file failed to load: {e}"));
+        ckpt.validate()
+            .unwrap_or_else(|e| panic!("golden v{version} file failed validation: {e}"));
+
+        // Fallback semantics per version.
+        if version == 1 {
+            assert!(ckpt.z.is_none(), "v1 predates the z section");
+            assert_eq!((ckpt.iterations, ckpt.seed), (0, 0));
+        } else {
+            assert!(ckpt.z.is_some(), "v{version} files carry z");
+        }
+        if version < 3 {
+            assert_eq!(
+                ckpt.sampler,
+                SamplerStrategy::SparseCgs,
+                "pre-v3 files fall back to the default strategy"
+            );
+        }
+        if version < 4 {
+            assert!(
+                ckpt.sampler_state.is_none(),
+                "pre-v4 files resume with a fresh rebuild"
+            );
+        }
+        models.push((version, ckpt));
+    }
+
+    // Every golden file stores the same trained model: the matrices must
+    // agree bit-for-bit across all four versions.
+    let (_, reference) = &models[models.len() - 1];
+    for (version, ckpt) in &models {
+        assert_eq!(&ckpt.phi, &reference.phi, "φ differs in golden v{version}");
+        assert_eq!(&ckpt.nk, &reference.nk, "n_k differs in golden v{version}");
+        assert_eq!(
+            ckpt.theta.to_dense(),
+            reference.theta.to_dense(),
+            "θ differs in golden v{version}"
+        );
+    }
+
+    // A golden model loaded from any version drives the serving path.
+    let (_, oldest) = &models[0];
+    oldest.try_inferencer().expect("v1 model must serve");
+}
+
+#[test]
+fn truncated_v5_sampler_sections_fail_with_typed_errors_not_panics() {
+    // Train a light model so the v5 file actually carries both new
+    // sections, then cut the stream at every byte boundary of the trailing
+    // sampler sections: each prefix must produce a typed error.
+    let corpus = fixtures::tiny(fixtures::FIXTURE_SEED);
+    let mut trainer = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(light_cfg(3, 2, 8))
+        .system(system(1, SEED))
+        .build()
+        .unwrap();
+    trainer.train(2);
+    let ckpt = ModelCheckpoint::from_trainer(&trainer);
+    assert!(matches!(ckpt.sampler, SamplerStrategy::LightLda { .. }));
+    assert!(ckpt.sampler_state.is_some());
+    let mut buf = Vec::new();
+    ckpt.write(&mut buf).unwrap();
+
+    // The v5 tail: strategy tag (1 + 3×8 bytes) + resume section
+    // (1 + 8 + K×V×4 bytes).  Truncating anywhere inside must be Io (EOF),
+    // and corrupting the tag/flag bytes must be Corrupt — never a panic.
+    let tail_len = 25 + 9 + ckpt.num_topics * ckpt.vocab_size * 4;
+    assert!(buf.len() > tail_len);
+    for cut in [1, 8, 9, 24, tail_len - 1, tail_len / 2] {
+        let truncated = &buf[..buf.len() - cut];
+        match ModelCheckpoint::read(truncated) {
+            Err(CheckpointError::Io(_)) => {}
+            other => {
+                panic!("cut of {cut} trailing bytes: expected a typed Io error, got {other:?}")
+            }
+        }
+    }
+    let tag_pos = buf.len() - tail_len;
+    assert_eq!(buf[tag_pos], 2, "strategy tag must sit where computed");
+    let mut bad = buf.clone();
+    bad[tag_pos] = 9;
+    assert!(matches!(
+        ModelCheckpoint::read(bad.as_slice()),
+        Err(CheckpointError::Corrupt(_))
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Property: the tuner is the argmin of its own cost model, and the decision
+// survives a checkpoint round-trip
+// ---------------------------------------------------------------------------
+
+/// Arbitrary-but-plausible corpus statistics.
+fn arb_stats() -> impl Strategy<Value = ChunkStatistics> {
+    (
+        2usize..1024,
+        1usize..50_000,
+        1u64..2_000_000,
+        1u32..400,
+        0u32..=100,
+    )
+        .prop_map(|(k, words, tokens, len, tail)| ChunkStatistics {
+            num_topics: k,
+            active_words: words,
+            total_tokens: tokens,
+            mean_doc_len: len as f64,
+            tail_mass: tail as f64 / 100.0,
+        })
+}
+
+/// A minimal consistent checkpoint whose sampler field can be set freely.
+fn skeleton_checkpoint(sampler: SamplerStrategy) -> ModelCheckpoint {
+    let corpus = fixtures::tiny(fixtures::FIXTURE_SEED);
+    let mut trainer = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(LdaConfig::with_topics(4).seed(1).sampler(sampler))
+        .system(system(1, 1))
+        .build()
+        .unwrap();
+    trainer.train(1);
+    ModelCheckpoint::from_trainer(&trainer)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        failure_persistence: FileFailurePersistence::WithSource("proptest-regressions"),
+        ..ProptestConfig::default()
+    })]
+
+    /// For any statistics, the picked kernel's own steady-state prediction
+    /// over the analytic spans is minimal among all candidates.
+    #[test]
+    fn auto_selection_is_the_argmin_of_its_own_cost_model(stats in arb_stats()) {
+        let picked = auto_select_sampler(&stats);
+        let (pc, ps) = predicted_spans(&stats, picked);
+        let picked_score = sampler_for_strategy(picked).predict_steady_compute_s(pc, ps);
+        prop_assert!(picked_score.is_finite());
+        for cand in candidates(&stats) {
+            let (c, s) = predicted_spans(&stats, cand);
+            let score = sampler_for_strategy(cand).predict_steady_compute_s(c, s);
+            prop_assert!(
+                picked_score <= score,
+                "{} ({}) beaten by {} ({}) on {:?}",
+                picked, picked_score, cand, score, stats
+            );
+        }
+        // Deterministic: the same statistics always select the same kernel.
+        prop_assert_eq!(picked, auto_select_sampler(&stats));
+    }
+
+    /// Whatever the tuner picks round-trips losslessly through a checkpoint
+    /// save/load — the mechanism that stops resume from re-deciding.
+    #[test]
+    fn selected_strategy_round_trips_through_a_checkpoint(stats in arb_stats()) {
+        let picked = auto_select_sampler(&stats);
+        let ckpt = skeleton_checkpoint(picked);
+        prop_assert_eq!(ckpt.sampler, picked);
+        let mut buf = Vec::new();
+        ckpt.write(&mut buf).unwrap();
+        let back = ModelCheckpoint::read(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.sampler, picked);
+        prop_assert_eq!(back, ckpt);
+    }
+}

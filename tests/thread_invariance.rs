@@ -103,6 +103,11 @@ fn batch_training_is_bit_identical_across_thread_counts() {
                 rebuild_every: 2,
                 mh_steps: 2,
             },
+            SamplerStrategy::LightLda {
+                rebuild_every: 2,
+                mh_steps: 2,
+                prune_below: 8,
+            },
         ] {
             let baseline = with_threads(1, || batch_artifacts(gpus, sampler));
             for threads in thread_counts() {
@@ -219,8 +224,13 @@ fn checkpoint_resume_crosses_thread_counts() {
 fn wall_clock_speedup_materializes_on_multicore_hosts() {
     // Only meaningful where the host actually has cores to spend; on a
     // single-core runner the real-pool overhead is all cost and no benefit,
-    // so this degrades to a smoke check that the timed path runs.
+    // and even the "sequential" timing would be perturbed by whatever else
+    // shares the core — skip outright instead of asserting on noise.
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 2 {
+        eprintln!("skipping wall-clock speedup check: only {cores} core available");
+        return;
+    }
     let corpus = fixtures::medium(fixtures::FIXTURE_SEED);
     let timed = |threads: usize| {
         with_threads(threads, || {
