@@ -1,7 +1,7 @@
 //! The experiment driver: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [table1|platforms|table3|table4|table5|figure7|figure8|figure9|ablations|all] [--paper-shape|--quick|--tiny]
+//! experiments [table1|platforms|table3|table4|table5|figure7|figure8|figure9|cluster|ablations|all] [--paper-shape|--quick|--tiny]
 //! ```
 //!
 //! With no arguments, runs everything at the `--quick` scale.
@@ -47,6 +47,10 @@ fn run(which: &str, scale: &ExperimentScale) {
             let result = figures::figure9(scale);
             print!("{}", figures::figure9_text(&result));
         }
+        "cluster" => {
+            let result = figures::cluster_scaling(scale);
+            print!("{}", figures::cluster_scaling_text(&result));
+        }
         "ablations" => {
             let rows = ablation::ablations(scale);
             print!("{}", ablation::ablations_text(&rows));
@@ -84,6 +88,7 @@ fn main() {
         "figure7",
         "figure8",
         "figure9",
+        "cluster",
         "ablations",
     ];
     let to_run: Vec<&str> = if requested.is_empty() || requested == ["all"] {

@@ -25,7 +25,7 @@
 use culda_bench::tables::culda_throughput;
 use culda_bench::{datasets, ExperimentScale};
 use culda_core::{InferenceOptions, LdaConfig, SamplerStrategy, SessionBuilder};
-use culda_gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
+use culda_gpusim::{ClusterSystem, DeviceSpec, Interconnect, MultiGpuSystem};
 
 /// Fractional slowdown of *simulated* throughput tolerated before the gate
 /// fails.
@@ -71,8 +71,11 @@ struct Scenario {
 /// alias hybrid and both LightLDA variants on the tail-heavy workload (the
 /// MH kernels must stay at least as fast there: they amortise or drop the
 /// per-word work the sparse kernel pays every iteration — exactly the
-/// regime where `--sampler auto` picks them), plus a wall-clock
-/// query-latency canary for the epoch-snapshot serving tier.
+/// regime where `--sampler auto` picks them), a wall-clock
+/// query-latency canary for the epoch-snapshot serving tier, and a
+/// 2-node × 2-GPU cluster over 10 GbE under the default hierarchical sync —
+/// so a regression in the two-tier schedule or its (shards, fabric-groups)
+/// auto-tuner fails the gate.
 fn scenarios() -> Vec<Scenario> {
     fn scale() -> ExperimentScale {
         ExperimentScale {
@@ -238,6 +241,36 @@ fn scenarios() -> Vec<Scenario> {
             name: "serve_volta_query_latency",
             run: query_latency,
         },
+        Scenario {
+            name: "pubmed_2node_2gpu_cluster_hier",
+            run: || {
+                let s = scale();
+                let dataset = datasets::pubmed(&s);
+                timed((dataset.corpus.num_tokens() * s.iterations) as u64, || {
+                    let mut trainer = SessionBuilder::new()
+                        .corpus(&dataset.corpus)
+                        // Default config: hierarchical sync on, shard count
+                        // and fabric group count both auto-tuned after the
+                        // dense iteration 0.
+                        .config(LdaConfig::with_topics(s.num_topics).seed(s.seed))
+                        .system(
+                            ClusterSystem::homogeneous(
+                                DeviceSpec::titan_xp_pascal(),
+                                2,
+                                2,
+                                s.seed,
+                                Interconnect::Pcie3,
+                                Interconnect::Ethernet10G,
+                            )
+                            .into_system(),
+                        )
+                        .build()
+                        .expect("trainer construction");
+                    trainer.train(s.iterations);
+                    trainer.average_throughput(s.iterations)
+                })
+            },
+        },
     ]
 }
 
@@ -350,7 +383,7 @@ fn check(path: &str) -> Result<(), String> {
     println!("threads: {}", rayon::current_num_threads());
     println!(
         "{:<34} {:>14} {:>14} {:>8} {:>12} {:>12} {:>8}",
-        "scenario", "base sim t/s", "meas sim t/s", "ratio", "base wall", "meas wall", "ratio"
+        "scenario", "base sim t/s", "meas sim t/s", "Δ sim", "base wall", "meas wall", "Δ wall"
     );
     for row in &baseline {
         let name = &row.name;
@@ -370,7 +403,7 @@ fn check(path: &str) -> Result<(), String> {
         } else {
             "ok"
         };
-        let (base_wall, wall_ratio) = match row.wall_tps {
+        let (base_wall, wall_delta) = match row.wall_tps {
             Some(bw) => {
                 let wr = r.wall_tps / bw;
                 if wr < WALL_BAND {
@@ -380,13 +413,19 @@ fn check(path: &str) -> Result<(), String> {
                         r.wall_tps, wr
                     ));
                 }
-                (format!("{bw:>12.1}"), format!("{wr:>8.3}"))
+                (
+                    format!("{bw:>12.1}"),
+                    format!("{:>+7.1}%", (wr - 1.0) * 100.0),
+                )
             }
             None => ("           -".to_string(), "       -".to_string()),
         };
         println!(
-            "{name:<34} {:>14.1} {:>14.1} {ratio:>7.3} {base_wall} {:>12.1} {wall_ratio} {verdict}",
-            row.sim_tps, r.sim_tps, r.wall_tps
+            "{name:<34} {:>14.1} {:>14.1} {:>+7.1}% {base_wall} {:>12.1} {wall_delta} {verdict}",
+            row.sim_tps,
+            r.sim_tps,
+            (ratio - 1.0) * 100.0,
+            r.wall_tps
         );
         if ratio > 1.0 + TOLERANCE {
             eprintln!(

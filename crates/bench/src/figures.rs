@@ -5,7 +5,7 @@ use crate::scale::ExperimentScale;
 use crate::tables::gpu_platforms;
 use culda_baselines::{CuLdaSolver, LdaSolver, LdaStar, SaberLda, WarpLda};
 use culda_core::{CuLdaTrainer, LdaConfig, SamplerStrategy, SessionBuilder};
-use culda_gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
+use culda_gpusim::{ClusterSystem, DeviceSpec, Interconnect, MultiGpuSystem};
 use culda_metrics::{ConvergencePoint, ThroughputSeries, Timeline};
 use serde::{Deserialize, Serialize};
 
@@ -286,6 +286,162 @@ pub fn figure9_text(result: &ScalingResult) -> String {
     out
 }
 
+/// Cluster scaling (LDA*-style): the PubMed twin on 1 → 8 nodes of Pascal
+/// GPUs joined by a 10 GbE fabric, hierarchical two-tier φ sync against the
+/// flat all-device collective.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterScalingResult {
+    /// Node counts evaluated (1, 2, 4, 8).
+    pub node_counts: Vec<usize>,
+    /// GPUs inside every node.
+    pub gpus_per_node: usize,
+    /// Average tokens/sec per node count with the hierarchical sync.
+    pub hier_tokens_per_sec: Vec<f64>,
+    /// Average tokens/sec per node count with the flat collective.
+    pub flat_tokens_per_sec: Vec<f64>,
+    /// Mean per-iteration exposed sync time (s), hierarchical.
+    pub hier_exposed_sync_s: Vec<f64>,
+    /// Mean per-iteration exposed sync time (s), flat.
+    pub flat_exposed_sync_s: Vec<f64>,
+    /// Mean per-iteration MB the hierarchical sync moved over the fabric.
+    pub hier_fabric_mb: Vec<f64>,
+    /// Mean per-iteration MB the flat collective moved over the fabric.
+    pub flat_fabric_mb: Vec<f64>,
+    /// Hierarchical speedup relative to one node.
+    pub speedups: Vec<f64>,
+}
+
+fn cluster_trainer(
+    dataset: &Dataset,
+    nodes: usize,
+    gpus_per_node: usize,
+    hierarchical: bool,
+    scale: &ExperimentScale,
+) -> CuLdaTrainer {
+    let system = if nodes > 1 {
+        ClusterSystem::homogeneous(
+            DeviceSpec::titan_xp_pascal(),
+            nodes,
+            gpus_per_node,
+            scale.seed,
+            Interconnect::Pcie3,
+            Interconnect::Ethernet10G,
+        )
+        .into_system()
+    } else {
+        MultiGpuSystem::homogeneous(
+            DeviceSpec::titan_xp_pascal(),
+            gpus_per_node,
+            scale.seed,
+            Interconnect::Pcie3,
+        )
+    };
+    SessionBuilder::new()
+        .corpus(&dataset.corpus)
+        .config(
+            LdaConfig::with_topics(scale.num_topics)
+                .seed(scale.seed)
+                .hierarchical_sync(hierarchical),
+        )
+        .system(system)
+        .build()
+        .expect("cluster trainer construction")
+}
+
+/// Cluster scaling figure: the PubMed twin on {1, 2, 4, 8} nodes × 2 Pascal
+/// GPUs over a 10 GbE fabric.
+///
+/// As in [`figure9`], the token budget is multiplied by 4 so the
+/// compute-to-synchronization ratio of the scaled-down twin stays
+/// representative.  Both sync strategies train the identical model (the φ
+/// reduction is integer and associative across any grouping); only the
+/// simulated interconnect schedule differs, which is exactly the quantity the
+/// figure compares.
+pub fn cluster_scaling(scale: &ExperimentScale) -> ClusterScalingResult {
+    let mut scale = *scale;
+    scale.tokens *= 4;
+    let scale = &scale;
+    let dataset = datasets::pubmed(scale);
+    let node_counts = vec![1usize, 2, 4, 8];
+    let gpus_per_node = 2;
+    let mut r = ClusterScalingResult {
+        node_counts: node_counts.clone(),
+        gpus_per_node,
+        hier_tokens_per_sec: Vec::new(),
+        flat_tokens_per_sec: Vec::new(),
+        hier_exposed_sync_s: Vec::new(),
+        flat_exposed_sync_s: Vec::new(),
+        hier_fabric_mb: Vec::new(),
+        flat_fabric_mb: Vec::new(),
+        speedups: Vec::new(),
+    };
+    for &n in &node_counts {
+        for hierarchical in [true, false] {
+            let mut trainer = cluster_trainer(&dataset, n, gpus_per_node, hierarchical, scale);
+            let mut exposed = 0.0;
+            let mut fabric_bytes = 0u64;
+            for _ in 0..scale.iterations {
+                let it = trainer.run_iteration();
+                exposed += it.sync_exposed_time_s;
+                fabric_bytes += it.inter_sync_bytes;
+            }
+            let iters = scale.iterations as f64;
+            let tput = trainer.average_throughput(scale.iterations);
+            let mean_exposed = exposed / iters;
+            let mean_fabric_mb = fabric_bytes as f64 / iters / 1e6;
+            if hierarchical {
+                r.hier_tokens_per_sec.push(tput);
+                r.hier_exposed_sync_s.push(mean_exposed);
+                r.hier_fabric_mb.push(mean_fabric_mb);
+            } else {
+                r.flat_tokens_per_sec.push(tput);
+                r.flat_exposed_sync_s.push(mean_exposed);
+                r.flat_fabric_mb.push(mean_fabric_mb);
+            }
+        }
+    }
+    let base = r.hier_tokens_per_sec[0];
+    r.speedups = r.hier_tokens_per_sec.iter().map(|&t| t / base).collect();
+    r
+}
+
+/// Render the cluster scaling figure as text.
+pub fn cluster_scaling_text(result: &ClusterScalingResult) -> String {
+    let mut out = format!(
+        "Cluster scaling: PubMed twin, nodes × {} Pascal GPUs, 10 GbE fabric (simulated)\n",
+        result.gpus_per_node
+    );
+    out.push_str(&format!(
+        "{:<7} {:>13} {:>13} {:>9} {:>15} {:>15} {:>11} {:>11}\n",
+        "#Nodes",
+        "hier MTok/s",
+        "flat MTok/s",
+        "Speedup",
+        "hier sync (ms)",
+        "flat sync (ms)",
+        "hier fabMB",
+        "flat fabMB"
+    ));
+    for i in 0..result.node_counts.len() {
+        out.push_str(&format!(
+            "{:<7} {:>13.1} {:>13.1} {:>8.2}x {:>15.3} {:>15.3} {:>11.2} {:>11.2}\n",
+            result.node_counts[i],
+            result.hier_tokens_per_sec[i] / 1e6,
+            result.flat_tokens_per_sec[i] / 1e6,
+            result.speedups[i],
+            result.hier_exposed_sync_s[i] * 1e3,
+            result.flat_exposed_sync_s[i] * 1e3,
+            result.hier_fabric_mb[i],
+            result.flat_fabric_mb[i]
+        ));
+    }
+    out.push_str(
+        "Hierarchical sync reduces each shard inside the node first, so the slow fabric\n\
+         carries one replica per node pair instead of one per device (LDA*-style tiers).\n",
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +479,36 @@ mod tests {
         assert!(r.tokens_per_sec.iter().all(|&t| t > 0.0));
         assert_eq!(r.series.len(), 3);
         let text = figure9_text(&r);
+        assert!(text.contains("Speedup"));
+    }
+
+    #[test]
+    fn cluster_scaling_reports_the_two_tier_traffic_split() {
+        let mut scale = ExperimentScale::tiny();
+        scale.tokens = 25_000;
+        scale.iterations = 3;
+        let r = cluster_scaling(&scale);
+        assert_eq!(r.node_counts, vec![1, 2, 4, 8]);
+        assert!((r.speedups[0] - 1.0).abs() < 1e-9);
+        assert!(r.hier_tokens_per_sec.iter().all(|&t| t > 0.0));
+        // One node: no fabric at all, and hier/flat are the same schedule.
+        assert_eq!(r.hier_fabric_mb[0], 0.0);
+        assert_eq!(r.flat_fabric_mb[0], 0.0);
+        assert!((r.hier_exposed_sync_s[0] - r.flat_exposed_sync_s[0]).abs() < 1e-12);
+        for i in 1..r.node_counts.len() {
+            // The hierarchy sends one replica per extra node over the fabric;
+            // the flat collective sends one per extra device — strictly more.
+            assert!(r.hier_fabric_mb[i] > 0.0);
+            assert!(
+                r.flat_fabric_mb[i] > r.hier_fabric_mb[i],
+                "node_count {}: flat {} vs hier {} fabric MB",
+                r.node_counts[i],
+                r.flat_fabric_mb[i],
+                r.hier_fabric_mb[i]
+            );
+        }
+        let text = cluster_scaling_text(&r);
+        assert!(text.contains("10 GbE"));
         assert!(text.contains("Speedup"));
     }
 

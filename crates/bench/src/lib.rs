@@ -13,6 +13,7 @@
 //! | Figure 7 (Tokens/sec vs iteration)         | [`figures::figure7`] |
 //! | Figure 8 (log-likelihood/token vs time)    | [`figures::figure8`] |
 //! | Figure 9 (multi-GPU scaling)               | [`figures::figure9`] |
+//! | multi-node cluster scaling (LDA*-style, beyond the paper) | [`figures::cluster_scaling`] |
 //! | §6 design-choice ablations                 | [`ablation::ablations`] |
 //!
 //! Every entry point takes an [`scale::ExperimentScale`] so the same code can

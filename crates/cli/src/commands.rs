@@ -11,7 +11,7 @@ use culda_core::{
     StreamingSession, TopicInferencer,
 };
 use culda_corpus::{holdout::DocumentCompletion, Corpus, CorpusStats, DatasetProfile, Document};
-use culda_gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
+use culda_gpusim::{ClusterSystem, DeviceSpec, Interconnect, MultiGpuSystem};
 use culda_metrics::{coherence::topic_quality_report, heldout::evaluate_heldout, log_likelihood};
 use std::fmt::Write as _;
 
@@ -41,6 +41,16 @@ COMMANDS:
                       [--overlap-depth D]   shard reduces in flight while
                                             sampling continues (default 2;
                                             0 disables the overlap)
+                      [--nodes N]           simulate an N-node cluster of
+                                            --gpus GPUs each (N × G devices
+                                            total); φ is synchronized
+                                            hierarchically: per-node tree
+                                            reduce, one exchange of the
+                                            reduced shards over the fabric,
+                                            per-node broadcast back
+                      [--inter-link L]      inter-node fabric for --nodes:
+                                            ethernet (10 GbE, default),
+                                            infiniband, pcie3 or nvlink
                       [--sampler S]         sampler kernel: `sparse` (the
                                             paper's exact S/Q kernel, the
                                             default), `alias[:R]` (stale
@@ -76,6 +86,8 @@ COMMANDS:
                       [--resume]            resume the session from the
                                             latest set in --checkpoint-dir
                                             before streaming
+                      [--nodes N] [--inter-link L]  multi-node cluster
+                                            simulation, as in `train`
     serve           Stream a corpus into a live model while query threads
                     answer fold-in inference against epoch-published
                     snapshots; reports p50/p99 query latency and QPS
@@ -92,6 +104,8 @@ COMMANDS:
                                             snapshot (default 8)
                       [--sweeps N]          fold-in Gibbs sweeps per query
                                             (default 5)
+                      [--nodes N] [--inter-link L]  multi-node cluster
+                                            simulation, as in `train`
     topics          Show the top words of every topic of a saved model
                       --model FILE [--top N]
     infer           Infer the topic mixture of new text or a corpus
@@ -141,6 +155,82 @@ fn parse_sync_shards(args: &ParsedArgs) -> Result<Option<usize>, CliError> {
             ))
         }),
     }
+}
+
+/// `--inter-link ethernet|infiniband|pcie3|nvlink` → the inter-node fabric,
+/// 10 GbE (the LDA* cluster network) when absent.
+fn parse_inter_link(args: &ParsedArgs) -> Result<Interconnect, CliError> {
+    match args.get("inter-link") {
+        None => Ok(Interconnect::Ethernet10G),
+        Some(raw) => match raw.to_ascii_lowercase().as_str() {
+            "ethernet" | "eth" | "10gbe" => Ok(Interconnect::Ethernet10G),
+            "infiniband" | "ib" | "edr" => Ok(Interconnect::InfinibandEdr),
+            "pcie" | "pcie3" => Ok(Interconnect::Pcie3),
+            "nvlink" => Ok(Interconnect::NvLink),
+            other => Err(CliError::Usage(format!(
+                "--inter-link {other}: expected `ethernet`, `infiniband`, `pcie3` or `nvlink`"
+            ))),
+        },
+    }
+}
+
+/// Human-readable name of an interconnect for the `system:` report line.
+fn link_name(link: Interconnect) -> &'static str {
+    match link {
+        Interconnect::Ethernet10G => "10 GbE",
+        Interconnect::InfinibandEdr => "InfiniBand EDR",
+        Interconnect::Pcie3 => "PCIe 3.0",
+        Interconnect::NvLink => "NVLink",
+        Interconnect::Custom { .. } => "custom link",
+    }
+}
+
+/// Build the simulated system from `--gpus`, `--nodes` and `--inter-link`:
+/// a single device, a single-node multi-GPU system over PCIe, or — with
+/// `--nodes N > 1` — an `N × --gpus` cluster whose nodes talk over the
+/// `--inter-link` fabric.  Returns the system plus the label the commands
+/// print as their `system:` line.
+fn system_from_args(
+    args: &ParsedArgs,
+    device: &DeviceSpec,
+    seed: u64,
+) -> Result<(MultiGpuSystem, String), CliError> {
+    let gpus: usize = args.get_parsed_or("gpus", 1usize)?;
+    let nodes: usize = args.get_parsed_or("nodes", 1usize)?;
+    if gpus == 0 || nodes == 0 {
+        return Err(CliError::Usage(
+            "--gpus and --nodes must be positive".into(),
+        ));
+    }
+    if nodes == 1 {
+        if args.get("inter-link").is_some() {
+            return Err(CliError::Usage(
+                "--inter-link only applies to a cluster; pass --nodes N with N > 1".into(),
+            ));
+        }
+        let system = if gpus <= 1 {
+            MultiGpuSystem::single(device.clone(), seed)
+        } else {
+            MultiGpuSystem::homogeneous(device.clone(), gpus, seed, Interconnect::Pcie3)
+        };
+        return Ok((system, format!("{} × {}", gpus, device.name)));
+    }
+    let inter_link = parse_inter_link(args)?;
+    let system = ClusterSystem::homogeneous(
+        device.clone(),
+        nodes,
+        gpus,
+        seed,
+        Interconnect::Pcie3,
+        inter_link,
+    )
+    .into_system();
+    let label = format!(
+        "{nodes} nodes × {gpus} × {} over {}",
+        device.name,
+        link_name(inter_link)
+    );
+    Ok((system, label))
 }
 
 /// `--sampler sparse|alias[:rebuild_every]|light[:mh_steps]|auto` → a
@@ -322,7 +412,6 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
         None => args.get_parsed_or("topics", 128usize)?,
     };
     let iterations: usize = args.get_parsed_or("iterations", 20usize)?;
-    let gpus: usize = args.get_parsed_or("gpus", 1usize)?;
     // Resuming continues on the checkpoint's seed (exact continuation); an
     // explicit conflicting --seed is rejected like a conflicting --topics.
     let seed: u64 = match &resume {
@@ -366,13 +455,9 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
         (Some(ckpt), None) => ckpt.sampler,
         (None, requested) => requested.unwrap_or_default(),
     };
+    let (system, system_label) = system_from_args(args, &device, seed)?;
     args.reject_unknown()?;
 
-    let system = if gpus <= 1 {
-        MultiGpuSystem::single(device.clone(), seed)
-    } else {
-        MultiGpuSystem::homogeneous(device.clone(), gpus, seed, Interconnect::Pcie3)
-    };
     let mut config = LdaConfig::with_topics(topics)
         .seed(seed)
         .sync_shards(sync_shards)
@@ -431,8 +516,28 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
     )
     .unwrap();
     writeln!(out, "sampler:      {}", cfg.sampler).unwrap();
-    writeln!(out, "system:       {} × {}", gpus, device.name).unwrap();
+    writeln!(out, "system:       {system_label}").unwrap();
     writeln!(out, "schedule:     {:?}", trainer.schedule()).unwrap();
+    if trainer.system().num_nodes() > 1 {
+        let hier = trainer.hier_sync_plan();
+        let n = trainer.history().len().max(1) as u64;
+        let intra: u64 = trainer.history().iter().map(|h| h.intra_sync_bytes).sum();
+        let inter: u64 = trainer.history().iter().map(|h| h.inter_sync_bytes).sum();
+        writeln!(
+            out,
+            "cluster sync: {} ({} fabric group{}), {:.2} MB intra-node + {:.2} MB fabric per iteration",
+            if hier.hierarchical() {
+                "hierarchical"
+            } else {
+                "flat (LDA*-style)"
+            },
+            hier.inter_groups(),
+            if hier.inter_groups() == 1 { "" } else { "s" },
+            intra as f64 / n as f64 / 1e6,
+            inter as f64 / n as f64 / 1e6,
+        )
+        .unwrap();
+    }
     let plan = trainer.sync_plan();
     if !plan.is_dense() {
         let n = trainer.history().len().max(1) as f64;
@@ -507,7 +612,6 @@ pub fn train(args: &ParsedArgs) -> Result<String, CliError> {
 pub fn stream(args: &ParsedArgs) -> Result<String, CliError> {
     let (corpus, corpus_name) = corpus_from_args(args)?;
     let topics: usize = args.get_parsed_or("topics", 64usize)?;
-    let gpus: usize = args.get_parsed_or("gpus", 1usize)?;
     let seed: u64 = args.get_parsed_or("seed", 42u64)?;
     let device = device_by_name(&args.get("device").unwrap_or_else(|| "volta".into()))?;
     let batch_docs: usize = args.get_parsed_or("batch-docs", 256usize)?;
@@ -518,6 +622,7 @@ pub fn stream(args: &ParsedArgs) -> Result<String, CliError> {
     let keep_last: usize = args.get_parsed_or("keep-last", 3usize)?;
     let resume = args.flag("resume");
     let sampler = parse_sampler(args)?;
+    let (system, system_label) = system_from_args(args, &device, seed)?;
     args.reject_unknown()?;
     if batch_docs == 0 {
         return Err(CliError::Usage("--batch-docs must be positive".into()));
@@ -528,11 +633,6 @@ pub fn stream(args: &ParsedArgs) -> Result<String, CliError> {
         ));
     }
 
-    let system = if gpus <= 1 {
-        MultiGpuSystem::single(device.clone(), seed)
-    } else {
-        MultiGpuSystem::homogeneous(device.clone(), gpus, seed, Interconnect::Pcie3)
-    };
     let mut session = if resume {
         let dir = checkpoint_dir.clone().expect("checked above");
         let opts = culda_core::StreamingOptions {
@@ -594,6 +694,7 @@ pub fn stream(args: &ParsedArgs) -> Result<String, CliError> {
 
     let mut out = String::new();
     writeln!(out, "corpus:  {corpus_name}").unwrap();
+    writeln!(out, "system:  {system_label}").unwrap();
     writeln!(out, "sampler: {}", session.config().sampler).unwrap();
     if resume {
         let s = session.stats();
@@ -671,6 +772,15 @@ pub fn stream(args: &ParsedArgs) -> Result<String, CliError> {
         s.iterations, s.sim_time_s, s.checkpoints_written
     )
     .unwrap();
+    if s.inter_sync_bytes > 0 {
+        writeln!(
+            out,
+            "  φ sync traffic: {:.2} MB intra-node, {:.2} MB over the fabric",
+            s.intra_sync_bytes as f64 / 1e6,
+            s.inter_sync_bytes as f64 / 1e6
+        )
+        .unwrap();
+    }
     let occupancy: Vec<String> = s
         .chunk_tokens
         .iter()
@@ -698,7 +808,6 @@ pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
 
     let (corpus, corpus_name) = corpus_from_args(args)?;
     let topics: usize = args.get_parsed_or("topics", 64usize)?;
-    let gpus: usize = args.get_parsed_or("gpus", 1usize)?;
     let seed: u64 = args.get_parsed_or("seed", 42u64)?;
     let device = device_by_name(&args.get("device").unwrap_or_else(|| "volta".into()))?;
     let batch_docs: usize = args.get_parsed_or("batch-docs", 256usize)?;
@@ -706,6 +815,7 @@ pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     let query_threads: usize = args.get_parsed_or("query-threads", 2usize)?;
     let query_batch: usize = args.get_parsed_or("query-batch", 8usize)?;
     let sweeps: usize = args.get_parsed_or("sweeps", 5usize)?;
+    let (system, system_label) = system_from_args(args, &device, seed)?;
     args.reject_unknown()?;
     if batch_docs == 0 {
         return Err(CliError::Usage("--batch-docs must be positive".into()));
@@ -719,11 +829,6 @@ pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         return Err(CliError::Runtime("the corpus holds no documents".into()));
     }
 
-    let system = if gpus <= 1 {
-        MultiGpuSystem::single(device.clone(), seed)
-    } else {
-        MultiGpuSystem::homogeneous(device.clone(), gpus, seed, Interconnect::Pcie3)
-    };
     let mut session = SessionBuilder::new()
         .config(LdaConfig::with_topics(topics).seed(seed))
         .system(system)
@@ -820,12 +925,7 @@ pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     let s = session.stats();
     let mut out = String::new();
     writeln!(out, "corpus:  {corpus_name}").unwrap();
-    writeln!(
-        out,
-        "model:   K = {topics}, seed {seed}, {} × {}",
-        gpus, device.name
-    )
-    .unwrap();
+    writeln!(out, "model:   K = {topics}, seed {seed}, {system_label}").unwrap();
     writeln!(
         out,
         "serving: {query_threads} query threads × batches of {query_batch} \

@@ -520,6 +520,112 @@ fn resume_rejects_mismatched_topics() {
 }
 
 #[test]
+fn cluster_train_matches_the_flat_gpu_count_bit_for_bit() {
+    let dir = std::env::temp_dir().join(format!(
+        "culda-cli-cluster-smoke-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.cldc");
+    let flat = dir.join("flat.cldm");
+    let cluster = dir.join("cluster.cldm");
+
+    cli()
+        .args([
+            "gen-corpus",
+            "--profile",
+            "nytimes",
+            "--tokens",
+            "4000",
+            "--seed",
+            "11",
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .assert()
+        .success();
+
+    // 1. Four single-node GPUs.
+    cli()
+        .args([
+            "train",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--topics",
+            "8",
+            "--iterations",
+            "2",
+            "--seed",
+            "11",
+            "--gpus",
+            "4",
+            "--save-model",
+            flat.to_str().unwrap(),
+        ])
+        .assert()
+        .success();
+
+    // 2. The same four devices as a 2 × 2 cluster over 10 GbE: the run
+    //    reports the hierarchical sync and its per-tier traffic, and the
+    //    saved model must be byte-identical — node grouping is costing only.
+    cli()
+        .args([
+            "train",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--topics",
+            "8",
+            "--iterations",
+            "2",
+            "--seed",
+            "11",
+            "--gpus",
+            "2",
+            "--nodes",
+            "2",
+            "--inter-link",
+            "ethernet",
+            "--save-model",
+            cluster.to_str().unwrap(),
+        ])
+        .assert()
+        .success()
+        .stdout_contains("2 nodes × 2 ×")
+        .stdout_contains("cluster sync: hierarchical");
+    let a = std::fs::read(&flat).unwrap();
+    let b = std::fs::read(&cluster).unwrap();
+    assert_eq!(a, b, "cluster grouping must not change the trained model");
+
+    // 3. --inter-link without a cluster is a usage error.
+    cli()
+        .args(["train", "--tokens", "2000", "--inter-link", "ethernet"])
+        .assert()
+        .code(2)
+        .stderr_contains("--nodes");
+
+    // 4. An unknown fabric is a usage error.
+    cli()
+        .args([
+            "train",
+            "--tokens",
+            "2000",
+            "--nodes",
+            "2",
+            "--inter-link",
+            "carrier-pigeon",
+        ])
+        .assert()
+        .code(2)
+        .stderr_contains("expected");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn help_and_bad_usage_exit_codes() {
     cli()
         .args(["help"])

@@ -217,6 +217,27 @@ pub struct LdaConfig {
     /// independently but only after all sampling finishes.  Ignored when
     /// `sync_shards == 1`.
     pub sync_overlap_depth: usize,
+    /// Whether a multi-node cluster run synchronizes φ hierarchically:
+    /// per-node tree reduce over the fast intra-node link, inter-node
+    /// exchange of only the reduced shard over the fabric, intra-node
+    /// broadcast back (`true`, the default) — versus the topology-oblivious
+    /// flat reduce that pays the fabric on every tree round (`false`, the
+    /// LDA*-style baseline the scaling figures compare against).  Ignored on
+    /// single-node systems, where both schedules cost the same.  Like
+    /// sharding, this is costing-only: the synchronized counts are integer
+    /// sums, identical under any reduction grouping, so training stays
+    /// bit-exact across any `(nodes × GPUs × threads)` combination.
+    pub hierarchical_sync: bool,
+    /// How many fabric messages one hierarchical synchronization batches its
+    /// vocabulary shards into: shards are split into this many contiguous
+    /// *inter-node groups*, each group crossing the fabric as a single
+    /// leader exchange once its last shard has been locally reduced.  Fewer
+    /// groups amortize the fabric latency over more bytes; more groups let
+    /// the exchange pipeline with sampling.  `None` (the default)
+    /// auto-tunes the group count together with the shard count from
+    /// iteration 0's measured compute span.  Ignored unless the system is a
+    /// multi-node cluster running hierarchical sync.
+    pub sync_inter_groups: Option<usize>,
     /// Which sampler-kernel implementation the run uses (default:
     /// [`SamplerStrategy::SparseCgs`], the paper's §6.1 kernel).  See
     /// [`LdaConfig::sampler`].
@@ -239,6 +260,8 @@ impl LdaConfig {
             share_p2_tree: true,
             sync_shards: None,
             sync_overlap_depth: 2,
+            hierarchical_sync: true,
+            sync_inter_groups: None,
             sampler: SamplerStrategy::SparseCgs,
         }
     }
@@ -280,6 +303,32 @@ impl LdaConfig {
     /// sampling/reduce overlap off.
     pub fn sync_overlap_depth(mut self, depth: usize) -> Self {
         self.sync_overlap_depth = depth;
+        self
+    }
+
+    /// Select hierarchical vs flat φ synchronization on a multi-node cluster
+    /// (builder style); see [`LdaConfig::hierarchical_sync`].  `false`
+    /// reproduces the topology-oblivious baseline.  Has no effect on
+    /// single-node systems.
+    pub fn hierarchical_sync(mut self, hierarchical: bool) -> Self {
+        self.hierarchical_sync = hierarchical;
+        self
+    }
+
+    /// Set how many fabric messages a hierarchical sync batches its shards
+    /// into (builder style); `None` restores the default of auto-tuning the
+    /// group count from iteration 0.  See [`LdaConfig::sync_inter_groups`].
+    ///
+    /// ```
+    /// use culda_core::LdaConfig;
+    ///
+    /// let cfg = LdaConfig::with_topics(64).sync_inter_groups(2);
+    /// assert_eq!(cfg.sync_inter_groups, Some(2));
+    /// assert!(cfg.hierarchical_sync, "hierarchical is the cluster default");
+    /// cfg.validate().unwrap();
+    /// ```
+    pub fn sync_inter_groups(mut self, groups: impl Into<Option<usize>>) -> Self {
+        self.sync_inter_groups = groups.into();
         self
     }
 
@@ -329,6 +378,9 @@ impl LdaConfig {
         if self.sync_shards == Some(0) {
             return Err("sync_shards must be at least 1".into());
         }
+        if self.sync_inter_groups == Some(0) {
+            return Err("sync_inter_groups must be at least 1".into());
+        }
         self.sampler.validate()?;
         Ok(())
     }
@@ -376,6 +428,22 @@ mod tests {
         assert!(c.validate().is_err());
         let c = LdaConfig::with_topics(16).sync_shards(0);
         assert!(c.validate().is_err());
+        let c = LdaConfig::with_topics(16).sync_inter_groups(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cluster_sync_defaults_to_hierarchical_auto_grouping() {
+        let c = LdaConfig::with_topics(64);
+        assert!(c.hierarchical_sync);
+        assert_eq!(c.sync_inter_groups, None, "None = auto-tune");
+        let c = c.hierarchical_sync(false).sync_inter_groups(4);
+        assert!(!c.hierarchical_sync);
+        assert_eq!(c.sync_inter_groups, Some(4));
+        c.validate().unwrap();
+        let c = c.sync_inter_groups(None);
+        assert_eq!(c.sync_inter_groups, None);
+        c.validate().unwrap();
     }
 
     #[test]

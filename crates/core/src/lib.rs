@@ -10,7 +10,7 @@
 //! |---|---|
 //! | §4 workload partition (partition-by-document, token-balanced chunks) | [`trainer`] + `culda_corpus::partition` |
 //! | §5.1 scheduling algorithm (`WorkSchedule1`/`WorkSchedule2`) | [`schedule`] |
-//! | §5.2 φ synchronization (tree reduce + broadcast; dense or vocabulary-sharded with sampling overlap, DESIGN.md §8) | [`sync`] |
+//! | §5.2 φ synchronization (tree reduce + broadcast; dense or vocabulary-sharded with sampling overlap, DESIGN.md §8; two-tier hierarchical on multi-node clusters, DESIGN.md §14) | [`sync`] |
 //! | §6.1 sampling kernel (sparsity-aware S/Q decomposition, 32-way index trees, warp-per-sampler, shared p2 tree, p*(k) reuse, 16-bit compression) | [`kernels::sampling`], [`work`] |
 //! | pluggable sampler kernels (trait API + stale-alias/MH hybrid, DESIGN.md §10) | [`kernels::sampler`], [`kernels::alias_hybrid`] |
 //! | §6.2 model update kernels (atomic φ update, dense-scatter + prefix-sum θ rebuild) | [`kernels::update_phi`], [`kernels::update_theta`] |
@@ -60,6 +60,9 @@ pub use serve::{BatchReply, ModelSnapshots, QueryStats, ServeError};
 pub use session::{
     SessionBuilder, SessionError, SessionStats, StreamingOptions, StreamingSession, TrainingSession,
 };
-pub use sync::{synchronize_phi, synchronize_phi_sharded, ShardedSyncStats, SyncPlan, SyncStats};
+pub use sync::{
+    synchronize_phi, synchronize_phi_hier_sharded, synchronize_phi_sharded, HierarchicalSyncPlan,
+    ShardedSyncStats, SyncPlan, SyncStats,
+};
 pub use trainer::{CuLdaTrainer, TrainerError};
 pub use work::{build_work_items, WorkItem};

@@ -16,7 +16,7 @@
 //! the θ update is overlapped with (§6.2: "the update of model θ can be
 //! overlapped with the synchronization of model ϕ").
 //!
-//! When the synchronization is vocabulary-sharded ([`SyncPlan`], `S > 1` with
+//! When the synchronization is vocabulary-sharded ([`crate::sync::SyncPlan`], `S > 1` with
 //! a non-zero overlap depth), the iteration additionally overlaps the
 //! *reduces themselves* with sampling: the word-major sampling pass emits the
 //! vocabulary shards in order, shard `s`'s tree reduce starts as soon as its
@@ -30,7 +30,8 @@ use crate::config::LdaConfig;
 use crate::kernels::{names, SamplerKernel, UpdatePhiKernel, UpdateThetaKernel};
 use crate::model::ChunkState;
 use crate::sync::{
-    global_word_tokens, synchronize_phi_over_ranges, synchronize_phi_sharded, SyncPlan,
+    global_word_tokens, synchronize_phi_hier_over_ranges, synchronize_phi_hier_sharded,
+    HierarchicalSyncPlan,
 };
 use crate::work::WorkItem;
 use culda_gpusim::stream::Stage;
@@ -76,6 +77,12 @@ pub struct IterationStats {
     pub sync_exposed_time_s: f64,
     /// Host↔device staging time (non-zero only for the streamed schedule).
     pub transfer_time_s: f64,
+    /// Bytes the φ sync moved over intra-node links this iteration (all the
+    /// sync traffic on a single-node system).
+    pub intra_sync_bytes: u64,
+    /// Bytes the φ sync moved over the inter-node fabric this iteration
+    /// (0 on a single-node system).
+    pub inter_sync_bytes: u64,
     /// Tokens sampled this iteration (the whole corpus).
     pub tokens_processed: u64,
 }
@@ -122,7 +129,7 @@ pub fn run_iteration(
     config: &LdaConfig,
     sampler: &dyn SamplerKernel,
     kind: ScheduleKind,
-    plan: &SyncPlan,
+    plan: &HierarchicalSyncPlan,
     iteration: u64,
 ) -> IterationStats {
     assert_eq!(states.len(), work_items.len());
@@ -220,12 +227,13 @@ pub fn run_iteration(
     // reuse it for both the shard boundaries and the compute weights.
     let (sync, weights) = if plan.overlaps() {
         let word_tokens = global_word_tokens(states);
-        let ranges = plan.token_balanced_ranges(&word_tokens);
+        let ranges = plan.base().token_balanced_ranges(&word_tokens);
         let weights = shard_token_weights(&word_tokens, &ranges);
-        let sync = synchronize_phi_over_ranges(states, system, ranges, config.compress_16bit);
+        let sync =
+            synchronize_phi_hier_over_ranges(states, system, ranges, config.compress_16bit, plan);
         (sync, Some(weights))
     } else {
-        let sync = synchronize_phi_sharded(states, system, plan, config.compress_16bit);
+        let sync = synchronize_phi_hier_sharded(states, system, plan, config.compress_16bit);
         (sync, None)
     };
     let sync_total = sync.stats.time_s;
@@ -286,6 +294,8 @@ pub fn run_iteration(
         } else {
             0.0
         },
+        intra_sync_bytes: sync.intra_bytes,
+        inter_sync_bytes: sync.inter_bytes,
         tokens_processed: tokens,
     }
 }
@@ -294,6 +304,7 @@ pub fn run_iteration(
 mod tests {
     use super::*;
     use crate::kernels::SparseCgsSampler;
+    use crate::sync::SyncPlan;
     use crate::work::build_work_items;
     use culda_corpus::{DatasetProfile, Partitioner};
     use culda_gpusim::{DeviceSpec, Interconnect};
@@ -349,7 +360,7 @@ mod tests {
         (states, items, system, cfg)
     }
 
-    const DENSE: SyncPlan = SyncPlan::dense();
+    const DENSE: HierarchicalSyncPlan = HierarchicalSyncPlan::dense();
 
     #[test]
     fn resident_iteration_preserves_count_invariants() {
@@ -444,8 +455,11 @@ mod tests {
             0,
         );
         assert_eq!(dense.sync_exposed_time_s, dense.sync_time_s);
+        // Single node: every synchronized byte is intra-node traffic.
+        assert!(dense.intra_sync_bytes > 0);
+        assert_eq!(dense.inter_sync_bytes, 0);
 
-        let plan = SyncPlan::new(8, 2);
+        let plan: HierarchicalSyncPlan = SyncPlan::new(8, 2).into();
         let sharded = run_iteration(
             &states,
             &items,
@@ -470,7 +484,7 @@ mod tests {
     #[test]
     fn zero_depth_sharded_plan_does_not_overlap() {
         let (states, items, system, cfg) = setup(2, 2, 8);
-        let plan = SyncPlan::new(4, 0);
+        let plan: HierarchicalSyncPlan = SyncPlan::new(4, 0).into();
         let stats = run_iteration(
             &states,
             &items,

@@ -392,6 +392,12 @@ pub struct SessionStats {
     pub iterations: u64,
     /// Accumulated simulated training time.
     pub sim_time_s: f64,
+    /// Bytes the φ syncs of this process's bursts moved over intra-node
+    /// links (all the sync traffic on a single-node system).
+    pub intra_sync_bytes: u64,
+    /// Bytes the φ syncs of this process's bursts moved over the inter-node
+    /// fabric (0 on a single-node system).
+    pub inter_sync_bytes: u64,
     /// Checkpoints rotated out so far (across resumes).
     pub checkpoints_written: u64,
     /// Current vocabulary size (grows with ingestion).
@@ -464,6 +470,10 @@ pub struct StreamingSession {
     chunk_tokens: Vec<u64>,
     iterations_done: u64,
     sim_time_s: f64,
+    /// Lifetime per-tier φ sync traffic of this process's bursts (intra-node
+    /// links vs the inter-node fabric).
+    intra_sync_bytes: u64,
+    inter_sync_bytes: u64,
     history: Vec<IterationStats>,
     trainer: Option<CuLdaTrainer>,
     /// Checkpointed sampler-internal state awaiting the first trainer build
@@ -497,6 +507,8 @@ impl StreamingSession {
             chunk_tokens: vec![0u64; slots.max(1)],
             iterations_done: 0,
             sim_time_s: 0.0,
+            intra_sync_bytes: 0,
+            inter_sync_bytes: 0,
             history: Vec::new(),
             trainer: None,
             resume_sampler_state: None,
@@ -754,6 +766,8 @@ impl StreamingSession {
         let stats = trainer.run_iteration();
         self.iterations_done += 1;
         self.sim_time_s += stats.sim_time_s;
+        self.intra_sync_bytes += stats.intra_sync_bytes;
+        self.inter_sync_bytes += stats.inter_sync_bytes;
         self.history.push(stats);
         Ok(stats)
     }
@@ -1065,6 +1079,8 @@ impl StreamingSession {
             chunk_tokens: self.chunk_tokens.clone(),
             iterations: self.iterations_done,
             sim_time_s: self.sim_time_s,
+            intra_sync_bytes: self.intra_sync_bytes,
+            inter_sync_bytes: self.inter_sync_bytes,
             checkpoints_written: self.checkpoints_written,
             vocab_size: self.buffer.vocab_size(),
             queries_served: query.queries,

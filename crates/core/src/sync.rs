@@ -170,6 +170,134 @@ impl SyncPlan {
     }
 }
 
+/// A [`SyncPlan`] layered with the cluster-aware hierarchy decisions: whether
+/// the sync runs the two-tier schedule (per-node tree reduce → inter-node
+/// leader exchange → per-node broadcast) and how many contiguous *inter-node
+/// groups* the vocabulary shards are batched into for the fabric exchange.
+///
+/// Grouping amortizes the fabric's round latencies: with `S` shards and `G`
+/// groups, the slow inter-node fabric sees `G` exchanges of `S / G` shards'
+/// worth of reduced columns each, instead of `S` small ones — at the price of
+/// coarser overlap (a group's exchange cannot start before its last shard's
+/// local reduce).  On a single-node system every plan degenerates to the flat
+/// [`SyncPlan`] schedule and the hierarchy fields are ignored.
+///
+/// ```
+/// use culda_core::sync::{HierarchicalSyncPlan, SyncPlan};
+///
+/// let plan = HierarchicalSyncPlan::new(SyncPlan::new(8, 2), true, 2);
+/// assert_eq!(plan.shards(), 8);
+/// assert_eq!(plan.inter_groups(), 2);
+/// assert!(plan.hierarchical());
+/// // The flat LDA*-style baseline keeps the same shard layout but sends
+/// // every tree round over the fabric.
+/// let flat = HierarchicalSyncPlan::flat(SyncPlan::new(8, 2));
+/// assert!(!flat.hierarchical());
+/// assert_eq!(flat.base(), plan.base());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchicalSyncPlan {
+    base: SyncPlan,
+    hierarchical: bool,
+    inter_groups: usize,
+}
+
+impl HierarchicalSyncPlan {
+    /// The paper's dense schedule with the hierarchical path enabled (a
+    /// no-op off-cluster): one shard, one barrier, one fabric group.
+    pub const fn dense() -> Self {
+        HierarchicalSyncPlan {
+            base: SyncPlan::dense(),
+            hierarchical: true,
+            inter_groups: 1,
+        }
+    }
+
+    /// A plan over `base` with the hierarchical schedule switched
+    /// `hierarchical` and the shards batched into `inter_groups` fabric
+    /// exchanges (clamped to the shard count at use).
+    pub fn new(base: SyncPlan, hierarchical: bool, inter_groups: usize) -> Self {
+        assert!(inter_groups >= 1, "a plan needs at least one fabric group");
+        HierarchicalSyncPlan {
+            base,
+            hierarchical,
+            inter_groups,
+        }
+    }
+
+    /// The topology-oblivious baseline over `base`: every tree round crosses
+    /// whatever interconnect is slowest (what LDA* does over Ethernet).
+    pub const fn flat(base: SyncPlan) -> Self {
+        HierarchicalSyncPlan {
+            base,
+            hierarchical: false,
+            inter_groups: 1,
+        }
+    }
+
+    /// Derive the plan from a run configuration.  An auto-tuned group count
+    /// (`sync_inter_groups == None`) starts at one group; the trainer swaps
+    /// in the tuned `(shards, groups)` pair after measuring iteration 0.
+    pub fn from_config(config: &LdaConfig, vocab_size: usize) -> Self {
+        let base = SyncPlan::from_config(config, vocab_size);
+        HierarchicalSyncPlan {
+            base,
+            hierarchical: config.hierarchical_sync,
+            inter_groups: config
+                .sync_inter_groups
+                .unwrap_or(1)
+                .clamp(1, base.shards()),
+        }
+    }
+
+    /// The underlying shard/overlap layout.
+    pub fn base(&self) -> SyncPlan {
+        self.base
+    }
+
+    /// Whether the two-tier schedule is enabled (only observable on a
+    /// multi-node system).
+    pub fn hierarchical(&self) -> bool {
+        self.hierarchical
+    }
+
+    /// Number of contiguous inter-node fabric exchanges the shards are
+    /// batched into.
+    pub fn inter_groups(&self) -> usize {
+        self.inter_groups
+    }
+
+    /// Number of vocabulary shards `S` (of the base plan).
+    pub fn shards(&self) -> usize {
+        self.base.shards()
+    }
+
+    /// Maximum shard reduces in flight while sampling continues.
+    pub fn overlap_depth(&self) -> usize {
+        self.base.overlap_depth()
+    }
+
+    /// True for the single-shard schedule.
+    pub fn is_dense(&self) -> bool {
+        self.base.is_dense()
+    }
+
+    /// Whether the schedule overlaps reduces with sampling.
+    pub fn overlaps(&self) -> bool {
+        self.base.overlaps()
+    }
+}
+
+impl From<SyncPlan> for HierarchicalSyncPlan {
+    fn from(base: SyncPlan) -> Self {
+        HierarchicalSyncPlan {
+            base,
+            hierarchical: true,
+            inter_groups: 1,
+        }
+    }
+}
+
 /// Global per-word token counts across all chunks (`Σ_c` of every chunk's
 /// word-major histogram) — the weights [`SyncPlan::token_balanced_ranges`]
 /// cuts the vocabulary with.  Independent of how the corpus is chunked.
@@ -210,6 +338,63 @@ pub struct ShardedSyncStats {
     /// [`SyncPlan::token_balanced_ranges`]); the scheduler aligns its
     /// per-shard compute slices with these.
     pub shard_ranges: Vec<Range<usize>>,
+    /// Bytes the tree steps moved over intra-node links (all the traffic on
+    /// a single-node system).
+    pub intra_bytes: u64,
+    /// Bytes the tree steps moved over the inter-node fabric (0 on a
+    /// single-node system).
+    pub inter_bytes: u64,
+}
+
+/// Cost the per-shard tree schedules of one sync under `plan`, given each
+/// shard's replica bytes (`n_k` already folded into the last shard).
+///
+/// Returns the per-shard simulated times — with each fabric group's
+/// inter-node exchange folded into the time of the group's *last* shard,
+/// which is when the exchange can start — plus the per-tier byte totals.
+/// Shared by the synchronization itself and the trainer's auto-tuner, so the
+/// tuner predicts with exactly the cost model the scheduler will charge.
+pub(crate) fn hier_shard_times(
+    system: &MultiGpuSystem,
+    shard_bytes: &[u64],
+    plan: &HierarchicalSyncPlan,
+) -> (Vec<f64>, u64, u64) {
+    let mut intra = 0u64;
+    let mut inter = 0u64;
+    if !(plan.hierarchical() && system.num_nodes() > 1) {
+        let times = shard_bytes
+            .iter()
+            .map(|&b| {
+                let (i, x) = system.phi_sync_tier_bytes(b, false);
+                intra += i;
+                inter += x;
+                system.phi_sync_time_s(b)
+            })
+            .collect();
+        return (times, intra, inter);
+    }
+    let shards = shard_bytes.len();
+    let groups = plan.inter_groups().clamp(1, shards);
+    let mut times: Vec<f64> = shard_bytes
+        .iter()
+        .map(|&b| {
+            intra += system.phi_sync_tier_bytes(b, true).0;
+            system.phi_hier_local_time_s(b)
+        })
+        .collect();
+    // Batch the shards into `groups` contiguous fabric exchanges, remainder
+    // to the leading groups (the same split rule as SyncPlan::shard_ranges).
+    let base = shards / groups;
+    let rem = shards % groups;
+    let mut start = 0usize;
+    for g in 0..groups {
+        let width = base + usize::from(g < rem);
+        let group_bytes: u64 = shard_bytes[start..start + width].iter().sum();
+        times[start + width - 1] += system.phi_inter_exchange_time_s(group_bytes);
+        inter += system.phi_sync_tier_bytes(group_bytes, true).1;
+        start += width;
+    }
+    (times, intra, inter)
 }
 
 /// Combine every chunk's `phi_local` / `nk_local` into each chunk's
@@ -240,25 +425,67 @@ pub fn synchronize_phi_sharded(
     plan: &SyncPlan,
     compress_16bit: bool,
 ) -> ShardedSyncStats {
-    assert!(!states.is_empty());
-    let v = states[0].phi_local.cols();
-    let ranges = if plan.is_dense() {
-        plan.shard_ranges(v)
-    } else {
-        plan.token_balanced_ranges(&global_word_tokens(states))
-    };
-    synchronize_phi_over_ranges(states, system, ranges, compress_16bit)
+    synchronize_phi_hier_sharded(
+        states,
+        system,
+        &HierarchicalSyncPlan::flat(*plan),
+        compress_16bit,
+    )
 }
 
-/// The workhorse behind [`synchronize_phi_sharded`]: synchronize over an
-/// explicit, already-resolved set of contiguous column ranges (which must
-/// cover `0..V` in order).  Exposed so the scheduler can resolve the ranges
-/// once per iteration and reuse them for its compute-overlap weights.
+/// [`synchronize_phi_sharded`] under a [`HierarchicalSyncPlan`]: on a
+/// multi-node system with the hierarchy enabled, each shard is costed as its
+/// per-node tree reduce + broadcast and every fabric group's reduced columns
+/// cross the inter-node fabric once, folded into the group's last shard.
+/// The functional result is bit-identical to every other schedule.
+pub fn synchronize_phi_hier_sharded(
+    states: &[Arc<ChunkState>],
+    system: &MultiGpuSystem,
+    plan: &HierarchicalSyncPlan,
+    compress_16bit: bool,
+) -> ShardedSyncStats {
+    assert!(!states.is_empty());
+    let v = states[0].phi_local.cols();
+    let base = plan.base();
+    let ranges = if base.is_dense() {
+        base.shard_ranges(v)
+    } else {
+        base.token_balanced_ranges(&global_word_tokens(states))
+    };
+    synchronize_phi_hier_over_ranges(states, system, ranges, compress_16bit, plan)
+}
+
+/// Synchronize over an explicit, already-resolved set of contiguous column
+/// ranges with the *flat* single-tier cost model (every tree round over the
+/// system interconnect — on a cluster, the fabric).  Kept as the LDA*-style
+/// baseline; the scheduler routes through
+/// [`synchronize_phi_hier_over_ranges`].
 pub fn synchronize_phi_over_ranges(
     states: &[Arc<ChunkState>],
     system: &MultiGpuSystem,
     ranges: Vec<Range<usize>>,
     compress_16bit: bool,
+) -> ShardedSyncStats {
+    synchronize_phi_hier_over_ranges(
+        states,
+        system,
+        ranges,
+        compress_16bit,
+        &HierarchicalSyncPlan::flat(SyncPlan::dense()),
+    )
+}
+
+/// The workhorse behind every synchronize variant: combine over an explicit,
+/// already-resolved set of contiguous column ranges (which must cover `0..V`
+/// in order) and cost them under `plan`.  Exposed so the scheduler can
+/// resolve the ranges once per iteration and reuse them for its
+/// compute-overlap weights.
+pub fn synchronize_phi_hier_over_ranges(
+    states: &[Arc<ChunkState>],
+    system: &MultiGpuSystem,
+    ranges: Vec<Range<usize>>,
+    compress_16bit: bool,
+    plan: &HierarchicalSyncPlan,
 ) -> ShardedSyncStats {
     assert!(!states.is_empty());
     let k = states[0].num_topics();
@@ -301,10 +528,10 @@ pub fn synchronize_phi_over_ranges(
         st.nk_global.store_all(&nk);
     });
 
-    // --- Cost model: one tree reduce + broadcast per shard. ---
+    // --- Cost model: one tree schedule per shard, grouped fabric hops. ---
     let elem_bytes: u64 = if compress_16bit { 2 } else { 4 };
     let nk_bytes = (k as u64) * 8;
-    let per_shard_time_s: Vec<f64> = ranges
+    let shard_bytes: Vec<u64> = ranges
         .iter()
         .enumerate()
         .map(|(s, range)| {
@@ -312,9 +539,10 @@ pub fn synchronize_phi_over_ranges(
             if s == ranges.len() - 1 {
                 bytes += nk_bytes;
             }
-            system.phi_sync_time_s(bytes)
+            bytes
         })
         .collect();
+    let (per_shard_time_s, intra_bytes, inter_bytes) = hier_shard_times(system, &shard_bytes, plan);
     let replica_bytes = (k as u64) * (v as u64) * elem_bytes + nk_bytes;
     ShardedSyncStats {
         stats: SyncStats {
@@ -324,6 +552,8 @@ pub fn synchronize_phi_over_ranges(
         },
         per_shard_time_s,
         shard_ranges: ranges,
+        intra_bytes,
+        inter_bytes,
     }
 }
 
@@ -489,6 +719,106 @@ mod tests {
             plan.token_balanced_ranges(&[0u64; 16]),
             plan.shard_ranges(16)
         );
+    }
+
+    #[test]
+    fn hierarchical_sync_on_a_cluster_is_cheaper_and_bit_identical() {
+        let corpus = corpus();
+        let flat_states = make_states(&corpus, 4, 6);
+        let hier_states = make_states(&corpus, 4, 6);
+        let system = MultiGpuSystem::clustered(
+            DeviceSpec::titan_xp_pascal(),
+            culda_gpusim::ClusterTopology::new(2, 2, Interconnect::Ethernet10G),
+            7,
+            Interconnect::Pcie3,
+        );
+        let base = SyncPlan::new(3, 1);
+        let flat = synchronize_phi_hier_sharded(
+            &flat_states,
+            &system,
+            &HierarchicalSyncPlan::flat(base),
+            true,
+        );
+        let hier = synchronize_phi_hier_sharded(
+            &hier_states,
+            &system,
+            &HierarchicalSyncPlan::new(base, true, 1),
+            true,
+        );
+        // Same sums either way; only the costed schedule differs.
+        for (f, h) in flat_states.iter().zip(&hier_states) {
+            assert_eq!(f.phi_global.to_dense(), h.phi_global.to_dense());
+            assert_eq!(f.nk_global.to_vec(), h.nk_global.to_vec());
+        }
+        assert!(hier.stats.time_s < flat.stats.time_s);
+        // Flat sends everything over the fabric; hierarchical moves most of
+        // the volume onto the intra-node links.
+        assert_eq!(flat.intra_bytes, 0);
+        assert!(flat.inter_bytes > 0);
+        assert!(hier.intra_bytes > 0);
+        assert!(hier.inter_bytes < flat.inter_bytes);
+        // With N = 2 nodes the fabric carries exactly one replica's worth
+        // of reduced columns: 2 · (N − 1) · bytes = 2 × the shard bytes.
+        let replica = hier.stats.replica_bytes;
+        assert_eq!(hier.inter_bytes, 2 * replica);
+        assert_eq!(flat.inter_bytes, 2 * (4 - 1) * replica);
+    }
+
+    #[test]
+    fn grouping_fabric_exchanges_amortizes_the_round_latencies() {
+        let corpus = corpus();
+        let states = make_states(&corpus, 4, 6);
+        let system = MultiGpuSystem::clustered(
+            DeviceSpec::titan_xp_pascal(),
+            culda_gpusim::ClusterTopology::new(2, 2, Interconnect::Ethernet10G),
+            7,
+            Interconnect::Pcie3,
+        );
+        let base = SyncPlan::new(6, 2);
+        let fine = synchronize_phi_hier_sharded(
+            &states,
+            &system,
+            &HierarchicalSyncPlan::new(base, true, 6),
+            true,
+        );
+        let coarse = synchronize_phi_hier_sharded(
+            &states,
+            &system,
+            &HierarchicalSyncPlan::new(base, true, 1),
+            true,
+        );
+        // Identical volume on each tier, fewer fabric latencies when
+        // batched.
+        assert_eq!(fine.intra_bytes, coarse.intra_bytes);
+        assert_eq!(fine.inter_bytes, coarse.inter_bytes);
+        assert!(coarse.stats.time_s < fine.stats.time_s);
+        // One group folds its single exchange into the last shard; six
+        // groups pay one exchange per shard.
+        let last = coarse.per_shard_time_s.len() - 1;
+        assert!(coarse.per_shard_time_s[last] > fine.per_shard_time_s[0]);
+    }
+
+    #[test]
+    fn single_node_systems_ignore_the_hierarchy_flag() {
+        let corpus = corpus();
+        let states = make_states(&corpus, 2, 4);
+        let system =
+            MultiGpuSystem::homogeneous(DeviceSpec::titan_xp_pascal(), 2, 1, Interconnect::Pcie3);
+        let plan = SyncPlan::new(3, 1);
+        let hier = synchronize_phi_hier_sharded(
+            &states,
+            &system,
+            &HierarchicalSyncPlan::new(plan, true, 2),
+            true,
+        );
+        let flat =
+            synchronize_phi_hier_sharded(&states, &system, &HierarchicalSyncPlan::flat(plan), true);
+        assert_eq!(hier.stats, flat.stats);
+        assert_eq!(hier.per_shard_time_s, flat.per_shard_time_s);
+        // All traffic is intra-node.
+        assert!(hier.intra_bytes > 0);
+        assert_eq!(hier.inter_bytes, 0);
+        assert_eq!(hier.intra_bytes, flat.intra_bytes);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::config::LdaConfig;
 use crate::kernels::{sampler_for, SamplerKernel, SamplerResumeState};
 use crate::model::ChunkState;
 use crate::schedule::{run_iteration, IterationStats, ScheduleKind};
-use crate::sync::{synchronize_phi_sharded, SyncPlan};
+use crate::sync::{synchronize_phi_hier_sharded, HierarchicalSyncPlan, SyncPlan};
 use crate::work::{build_work_items, WorkItem};
 use culda_corpus::{Corpus, Partitioner};
 use culda_gpusim::MultiGpuSystem;
@@ -70,7 +70,7 @@ pub struct CuLdaTrainer {
     states: Vec<Arc<ChunkState>>,
     work_items: Vec<Vec<WorkItem>>,
     schedule: ScheduleKind,
-    sync_plan: SyncPlan,
+    sync_plan: HierarchicalSyncPlan,
     /// The pluggable sampling-kernel implementation
     /// ([`LdaConfig::sampler`]); owns whatever per-chunk state the strategy
     /// keeps between iterations (e.g. stale alias tables).
@@ -85,8 +85,11 @@ pub struct CuLdaTrainer {
     /// iteration streams from ever being reused across a resume.
     base_iteration: u64,
     /// True while the sync plan is still to be picked from iteration 0's
-    /// measured compute span (`LdaConfig::sync_shards == None` on a
-    /// multi-GPU system); cleared once `auto_tune_sync_plan` has run.
+    /// measured compute span — on a multi-GPU system, when either the shard
+    /// count (`LdaConfig::sync_shards == None`) or, on a multi-node cluster
+    /// with the hierarchical sync, the fabric group count
+    /// (`LdaConfig::sync_inter_groups == None`) is left to the tuner;
+    /// cleared once `auto_tune_sync_plan` has run.
     auto_tune_shards: bool,
 }
 
@@ -256,9 +259,13 @@ impl CuLdaTrainer {
             .collect();
 
         // Initial synchronization so every chunk samples from the full φ.
-        let sync_plan = SyncPlan::from_config(&config, corpus.vocab_size());
-        synchronize_phi_sharded(&states, &system, &sync_plan, config.compress_16bit);
-        let auto_tune_shards = config.sync_shards.is_none() && system.num_gpus() > 1;
+        let sync_plan = HierarchicalSyncPlan::from_config(&config, corpus.vocab_size());
+        synchronize_phi_hier_sharded(&states, &system, &sync_plan, config.compress_16bit);
+        let tune_groups = system.num_nodes() > 1
+            && config.hierarchical_sync
+            && config.sync_inter_groups.is_none();
+        let auto_tune_shards =
+            (config.sync_shards.is_none() || tune_groups) && system.num_gpus() > 1;
         let sampler = sampler_for(&config);
         if let Some(state) = sampler_state {
             sampler.restore_resume_state(state);
@@ -323,42 +330,62 @@ impl CuLdaTrainer {
         self.schedule
     }
 
-    /// The φ synchronization layout currently in effect.  With an explicit
-    /// `LdaConfig::sync_shards(S)` this is fixed for the whole run (shard
-    /// count clamped to the vocabulary); with the auto-tuned default
+    /// The φ synchronization shard layout currently in effect.  With an
+    /// explicit `LdaConfig::sync_shards(S)` this is fixed for the whole run
+    /// (shard count clamped to the vocabulary); with the auto-tuned default
     /// (`sync_shards == None`) iteration 0 runs dense and this plan is
     /// replaced by the tuned one before iteration 1 (see
     /// [`CuLdaTrainer::run_iteration`]).
     pub fn sync_plan(&self) -> SyncPlan {
+        self.sync_plan.base()
+    }
+
+    /// The full cluster-aware synchronization plan, including the
+    /// hierarchical flag and the inter-node fabric group count (which only
+    /// matter on a multi-node [`MultiGpuSystem::clustered`] system).
+    pub fn hier_sync_plan(&self) -> HierarchicalSyncPlan {
         self.sync_plan
     }
 
-    /// Candidate shard counts the auto-tuner evaluates.
+    /// Candidate shard counts the auto-tuner evaluates (reused as the
+    /// candidate fabric group counts on a cluster, capped at the shard
+    /// count).
     const AUTO_SHARD_CANDIDATES: [usize; 5] = [1, 2, 4, 8, 16];
 
     /// Pick the synchronization plan from iteration 0's measured compute
     /// span (the ROADMAP follow-up to the PR-3 sharding): for each candidate
-    /// `S`, predict the iteration span with exactly the machinery the
-    /// scheduler runs — token-balanced shard ranges, the per-shard tree
-    /// costs of the system's collective model, and the overlapped-span
-    /// pipeline — and keep the fastest (ties go to fewer shards, and `S = 1`
-    /// is always a candidate, so latency-bound configurations where sharding
-    /// loses stay dense).  The choice affects *timing only*: sharding is
-    /// bit-neutral for the sampled assignments (DESIGN.md §8), which is what
-    /// makes a timing-driven knob safe under the determinism contract.
-    fn auto_tune_sync_plan(&self, measured_compute_s: f64) -> SyncPlan {
+    /// shard count `S` — and, on a multi-node cluster with the hierarchical
+    /// schedule, each candidate fabric group count `G ≤ S` — predict the
+    /// iteration span with exactly the machinery the scheduler runs:
+    /// token-balanced shard ranges, the per-shard tree costs of the system's
+    /// collective model (two-tier on a cluster, with each group's fabric
+    /// exchange folded into its last shard), and the overlapped-span
+    /// pipeline.  Keep the fastest; ties go to fewer shards and coarser
+    /// groups, and `S = 1` is always a candidate, so latency-bound
+    /// configurations where sharding loses stay dense.  A knob the
+    /// configuration fixes explicitly is held fixed and only the free ones
+    /// are searched.  The choice affects *timing only*: sharding and the
+    /// sync hierarchy are bit-neutral for the sampled assignments
+    /// (DESIGN.md §8 and §14), which is what makes a timing-driven knob safe
+    /// under the determinism contract.
+    fn auto_tune_sync_plan(&self, measured_compute_s: f64) -> HierarchicalSyncPlan {
         let depth = self.config.sync_overlap_depth;
         let word_tokens = crate::sync::global_word_tokens(&self.states);
         let k = self.config.num_topics as u64;
         let elem_bytes: u64 = if self.config.compress_16bit { 2 } else { 4 };
         let nk_bytes = k * 8;
+        let hierarchical = self.config.hierarchical_sync;
+        let shard_candidates: Vec<usize> = match self.config.sync_shards {
+            Some(s) => vec![s],
+            None => Self::AUTO_SHARD_CANDIDATES.to_vec(),
+        };
         let mut best_span = f64::INFINITY;
-        let mut best_plan = SyncPlan::dense();
-        for &candidate in &Self::AUTO_SHARD_CANDIDATES {
-            let shards = candidate.min(self.vocab_size.max(1));
-            let plan = SyncPlan::new(shards, depth);
-            let ranges = plan.token_balanced_ranges(&word_tokens);
-            let per_shard: Vec<f64> = ranges
+        let mut best_plan = HierarchicalSyncPlan::from_config(&self.config, self.vocab_size);
+        for &candidate in &shard_candidates {
+            let shards = candidate.clamp(1, self.vocab_size.max(1));
+            let base = SyncPlan::new(shards, depth);
+            let ranges = base.token_balanced_ranges(&word_tokens);
+            let shard_bytes: Vec<u64> = ranges
                 .iter()
                 .enumerate()
                 .map(|(s, range)| {
@@ -366,20 +393,40 @@ impl CuLdaTrainer {
                     if s == ranges.len() - 1 {
                         bytes += nk_bytes;
                     }
-                    self.system.phi_sync_time_s(bytes)
+                    bytes
                 })
                 .collect();
-            let span = if plan.overlaps() {
-                let weights = crate::schedule::shard_token_weights(&word_tokens, &ranges);
-                let compute_shards: Vec<f64> =
-                    weights.iter().map(|w| measured_compute_s * w).collect();
-                culda_gpusim::overlapped_span_s(&compute_shards, &per_shard, depth)
+            let group_candidates: Vec<usize> = if !(hierarchical && self.system.num_nodes() > 1) {
+                vec![1]
+            } else if let Some(g) = self.config.sync_inter_groups {
+                vec![g.clamp(1, ranges.len())]
             } else {
-                measured_compute_s + per_shard.iter().sum::<f64>()
+                let mut gs: Vec<usize> = Self::AUTO_SHARD_CANDIDATES
+                    .iter()
+                    .copied()
+                    .filter(|&g| g <= ranges.len())
+                    .collect();
+                if gs.is_empty() {
+                    gs.push(1);
+                }
+                gs
             };
-            if span < best_span {
-                best_span = span;
-                best_plan = plan;
+            for &groups in &group_candidates {
+                let plan = HierarchicalSyncPlan::new(base, hierarchical, groups);
+                let (per_shard, _, _) =
+                    crate::sync::hier_shard_times(&self.system, &shard_bytes, &plan);
+                let span = if base.overlaps() {
+                    let weights = crate::schedule::shard_token_weights(&word_tokens, &ranges);
+                    let compute_shards: Vec<f64> =
+                        weights.iter().map(|w| measured_compute_s * w).collect();
+                    culda_gpusim::overlapped_span_s(&compute_shards, &per_shard, depth)
+                } else {
+                    measured_compute_s + per_shard.iter().sum::<f64>()
+                };
+                if span < best_span {
+                    best_span = span;
+                    best_plan = plan;
+                }
             }
         }
         best_plan

@@ -6,7 +6,7 @@ use culda_core::checkpoint::ModelCheckpoint;
 use culda_core::convergence::{ConvergenceMonitor, EarlyStopper};
 use culda_core::hyper::{digamma, optimize_alpha, HyperOptOptions};
 use culda_core::inference::{InferenceOptions, TopicInferencer};
-use culda_core::SamplerStrategy;
+use culda_core::{SamplerStrategy, SyncPlan};
 use culda_sparse::{CsrBuilder, CsrMatrix, DenseMatrix};
 use proptest::prelude::*;
 
@@ -172,5 +172,28 @@ proptest! {
             prop_assert!(!stop, "stopped at step {i} despite monotone improvement");
         }
         prop_assert_eq!(s.best_index(), steps);
+    }
+
+    /// Token-balanced shard ranges partition `0..V` exactly — contiguous,
+    /// monotone, no gap, no overlap, no empty shard — for arbitrary token
+    /// histograms (including all-zero words and total = 0), shard counts
+    /// that do not divide `V`, and more shards than columns.
+    #[test]
+    fn token_balanced_ranges_cover_the_vocabulary_exactly(
+        word_tokens in prop::collection::vec(0u64..500, 1..64),
+        shards in 1usize..80,
+        depth in 0usize..4,
+    ) {
+        let v = word_tokens.len();
+        let plan = SyncPlan::new(shards, depth);
+        let ranges = plan.token_balanced_ranges(&word_tokens);
+        prop_assert_eq!(ranges.len(), shards.min(v), "one range per (clamped) shard");
+        let mut expected_start = 0usize;
+        for (i, r) in ranges.iter().enumerate() {
+            prop_assert_eq!(r.start, expected_start, "gap or overlap before shard {i}");
+            prop_assert!(r.start < r.end, "empty shard {i}: {r:?}");
+            expected_start = r.end;
+        }
+        prop_assert_eq!(expected_start, v, "ranges must end exactly at V");
     }
 }

@@ -1,0 +1,302 @@
+//! Multi-node cluster simulation: `N` nodes × `G` GPUs over a two-tier
+//! interconnect.
+//!
+//! The paper's cluster-scale discussion (and its §7.2 comparison against the
+//! LDA\* parameter-server baseline) assumes the model replicas live on
+//! machines joined by a fabric that is orders of magnitude slower than the
+//! intra-node GPU links: PCIe 3.0 moves 16 GB/s, NVLink up to 300 GB/s,
+//! while 10 GbE delivers about 1 GB/s with 50 µs of latency.  A flat §5.2
+//! tree reduce that ignores the topology therefore pays the slow fabric on
+//! *every* round.  The classic fix — the same trick distributed-storage
+//! codes use — is hierarchical reduction: combine replicas over the fast
+//! local links first, so only **one already-reduced copy** of each shard
+//! crosses the fabric, then broadcast back over the local links.
+//!
+//! This module provides the topology description ([`ClusterTopology`]) with
+//! both cost models (flat-over-fabric vs hierarchical) and per-tier byte
+//! accounting, plus [`ClusterSystem`], the constructor/view type that builds
+//! a clustered [`MultiGpuSystem`] and exposes per-node views of it.
+//!
+//! Grouping devices into nodes is *cost-only*: the determinism contract
+//! (every draw is a counter-based pure function of token identity) makes the
+//! sampled assignments independent of the topology, and the φ combination is
+//! an integer column sum, identical however the replicas are grouped.  A
+//! `1 × 4`, `2 × 2` and `4 × 1` cluster of the same total GPU count train
+//! bit-identically; only the simulated communication time differs.
+
+use crate::collective::{self, ReducePlan};
+use crate::device::DeviceSpec;
+use crate::multi_gpu::MultiGpuSystem;
+use crate::transfer::Interconnect;
+use serde::{Deserialize, Serialize};
+
+/// The shape of a simulated cluster: how many nodes, how many GPUs each node
+/// holds, and the inter-node fabric joining them.  The *intra*-node link is
+/// carried by the [`MultiGpuSystem`] the topology is attached to.
+///
+/// ```
+/// use culda_gpusim::{ClusterTopology, Interconnect};
+///
+/// let topo = ClusterTopology::new(2, 4, Interconnect::Ethernet10G);
+/// assert_eq!(topo.total_gpus(), 8);
+/// // Devices are numbered node-major: GPU 5 is the second GPU of node 1.
+/// assert_eq!(topo.node_of(5), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTopology {
+    /// Number of nodes `N`.
+    pub num_nodes: usize,
+    /// GPUs per node `G` (homogeneous across nodes).
+    pub gpus_per_node: usize,
+    /// The inter-node fabric (Ethernet, InfiniBand, …).
+    pub inter_link: Interconnect,
+}
+
+impl ClusterTopology {
+    /// Describe an `N × G` cluster joined by `inter_link`.
+    ///
+    /// # Panics
+    /// Panics when `num_nodes` or `gpus_per_node` is zero.
+    pub fn new(num_nodes: usize, gpus_per_node: usize, inter_link: Interconnect) -> Self {
+        assert!(num_nodes >= 1, "a cluster needs at least one node");
+        assert!(gpus_per_node >= 1, "a node needs at least one GPU");
+        ClusterTopology {
+            num_nodes,
+            gpus_per_node,
+            inter_link,
+        }
+    }
+
+    /// Total GPUs `N × G`.
+    pub fn total_gpus(&self) -> usize {
+        self.num_nodes * self.gpus_per_node
+    }
+
+    /// The node a (node-major numbered) device lives on.
+    pub fn node_of(&self, device_id: usize) -> usize {
+        device_id / self.gpus_per_node
+    }
+
+    /// Simulated time of a *topology-oblivious* flat φ sync of one `bytes`
+    /// replica: the full `⌈log2 NG⌉`-round tree reduce + broadcast with every
+    /// round charged over the slow fabric — what a single-node code does when
+    /// pointed at a cluster unchanged.
+    pub fn flat_sync_time_s(&self, bytes: u64, add_bw: f64) -> f64 {
+        collective::sync_time_s(self.total_gpus(), bytes, self.inter_link, add_bw)
+    }
+
+    /// Simulated time of the *intra-node* half of the hierarchical sync of
+    /// one `bytes` replica: the per-node tree reduce into the node leader
+    /// plus the tree broadcast back, over the fast local `intra_link`.  All
+    /// nodes run this concurrently, so it is charged once.  Zero when each
+    /// node holds a single GPU.
+    pub fn hier_local_time_s(&self, bytes: u64, intra_link: Interconnect, add_bw: f64) -> f64 {
+        let g = self.gpus_per_node;
+        ReducePlan::tree_reduce(g).time_s(bytes, intra_link, add_bw)
+            + ReducePlan::tree_broadcast(g).time_s(bytes, intra_link, 0.0)
+    }
+
+    /// Simulated time of the *inter-node* exchange of `bytes` of
+    /// already-reduced shard data among the `N` node leaders over the fabric
+    /// (tree reduce + broadcast across nodes).  Zero for a single node.
+    pub fn inter_exchange_time_s(&self, bytes: u64, add_bw: f64) -> f64 {
+        collective::sync_time_s(self.num_nodes, bytes, self.inter_link, add_bw)
+    }
+
+    /// Simulated time of the full hierarchical φ sync of one `bytes` replica:
+    /// per-node reduce over `intra_link` → leader exchange over the fabric →
+    /// per-node broadcast.  With one node this degenerates *exactly* to the
+    /// single-node §5.2 sync, which is what keeps all single-node numbers
+    /// unchanged.
+    pub fn hier_sync_time_s(&self, bytes: u64, intra_link: Interconnect, add_bw: f64) -> f64 {
+        self.hier_local_time_s(bytes, intra_link, add_bw)
+            + self.inter_exchange_time_s(bytes, add_bw)
+    }
+
+    /// Bytes the flat sync pushes over the fabric for one `bytes` replica:
+    /// `2 (NG − 1)` tree steps, every one on the slow link.
+    pub fn flat_fabric_bytes(&self, bytes: u64) -> u64 {
+        2 * (self.total_gpus() as u64 - 1) * bytes
+    }
+
+    /// Bytes the hierarchical sync moves over the *intra-node* links for one
+    /// `bytes` replica: `2 (G − 1)` tree steps on each of the `N` nodes.
+    pub fn hier_intra_bytes(&self, bytes: u64) -> u64 {
+        2 * (self.gpus_per_node as u64 - 1) * self.num_nodes as u64 * bytes
+    }
+
+    /// Bytes the hierarchical sync moves over the fabric for one `bytes`
+    /// replica: `2 (N − 1)` leader-tree steps — a `G`-fold reduction of
+    /// fabric traffic versus [`ClusterTopology::flat_fabric_bytes`].
+    pub fn hier_inter_bytes(&self, bytes: u64) -> u64 {
+        2 * (self.num_nodes as u64 - 1) * bytes
+    }
+}
+
+/// A simulated cluster: the flat [`MultiGpuSystem`] carrying all `N × G`
+/// devices (what the trainer drives) plus per-node views sharing the same
+/// underlying devices.
+///
+/// The devices are numbered node-major (`0..G` on node 0, `G..2G` on node 1,
+/// …) and seeded exactly as [`MultiGpuSystem::homogeneous`] seeds a flat
+/// `N × G` system, so a cluster and the equivalent single-node system draw
+/// from identical per-device RNG streams — the bit-exactness guarantee
+/// across `(nodes × GPUs)` regroupings follows directly.
+#[derive(Debug)]
+pub struct ClusterSystem {
+    system: MultiGpuSystem,
+}
+
+impl ClusterSystem {
+    /// Build a homogeneous `num_nodes × gpus_per_node` cluster: every device
+    /// uses `spec`, nodes are joined internally by `intra_link` and to each
+    /// other by `inter_link`.
+    pub fn homogeneous(
+        spec: DeviceSpec,
+        num_nodes: usize,
+        gpus_per_node: usize,
+        seed: u64,
+        intra_link: Interconnect,
+        inter_link: Interconnect,
+    ) -> Self {
+        let topology = ClusterTopology::new(num_nodes, gpus_per_node, inter_link);
+        ClusterSystem {
+            system: MultiGpuSystem::clustered(spec, topology, seed, intra_link),
+        }
+    }
+
+    /// The cluster shape.
+    pub fn topology(&self) -> ClusterTopology {
+        self.system
+            .cluster()
+            .expect("a ClusterSystem always carries its topology")
+    }
+
+    /// Number of nodes `N`.
+    pub fn num_nodes(&self) -> usize {
+        self.topology().num_nodes
+    }
+
+    /// GPUs per node `G`.
+    pub fn gpus_per_node(&self) -> usize {
+        self.topology().gpus_per_node
+    }
+
+    /// The flat system over all `N × G` devices (what the trainer drives).
+    pub fn system(&self) -> &MultiGpuSystem {
+        &self.system
+    }
+
+    /// Consume the view and return the flat clustered system.
+    pub fn into_system(self) -> MultiGpuSystem {
+        self.system
+    }
+
+    /// A single-node view of node `n`: a [`MultiGpuSystem`] over that node's
+    /// `G` devices (shared with the flat system) and the intra-node link,
+    /// with no cluster attached.  Useful for per-node cost queries and
+    /// introspection; mutating device clocks through a view mutates the
+    /// cluster's devices, because they are the same devices.
+    pub fn node(&self, n: usize) -> MultiGpuSystem {
+        let topo = self.topology();
+        assert!(n < topo.num_nodes, "node index out of range");
+        let devices =
+            self.system.devices()[n * topo.gpus_per_node..(n + 1) * topo.gpus_per_node].to_vec();
+        MultiGpuSystem::from_parts(devices, self.system.interconnect(), None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize, g: usize) -> ClusterSystem {
+        ClusterSystem::homogeneous(
+            DeviceSpec::titan_xp_pascal(),
+            n,
+            g,
+            7,
+            Interconnect::Pcie3,
+            Interconnect::Ethernet10G,
+        )
+    }
+
+    #[test]
+    fn cluster_devices_match_the_equivalent_flat_system() {
+        let c = cluster(2, 2);
+        let flat =
+            MultiGpuSystem::homogeneous(DeviceSpec::titan_xp_pascal(), 4, 7, Interconnect::Pcie3);
+        assert_eq!(c.system().num_gpus(), 4);
+        for (a, b) in c.system().devices().iter().zip(flat.devices()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.seed, b.seed, "cluster grouping must not perturb seeds");
+        }
+    }
+
+    #[test]
+    fn node_views_share_the_underlying_devices() {
+        let c = cluster(2, 2);
+        let node1 = c.node(1);
+        assert_eq!(node1.num_gpus(), 2);
+        assert_eq!(node1.device(0).id, 2);
+        node1.device(0).record_time("sampling", 1.5);
+        assert_eq!(c.system().device(2).busy_time_s(), 1.5);
+        assert!(node1.cluster().is_none(), "a node view is a plain system");
+    }
+
+    #[test]
+    fn hierarchical_sync_beats_flat_on_a_slow_fabric() {
+        let topo = ClusterTopology::new(4, 4, Interconnect::Ethernet10G);
+        let bytes = 8 << 20;
+        let add_bw = DeviceSpec::titan_xp_pascal().effective_bandwidth_bytes_per_s();
+        let flat = topo.flat_sync_time_s(bytes, add_bw);
+        let hier = topo.hier_sync_time_s(bytes, Interconnect::Pcie3, add_bw);
+        assert!(
+            hier < flat,
+            "hierarchical {hier} should beat flat {flat} over 10 GbE"
+        );
+        // Fabric traffic shrinks by the G-fold factor of the local reduction.
+        assert_eq!(topo.flat_fabric_bytes(bytes), 30 * bytes);
+        assert_eq!(topo.hier_inter_bytes(bytes), 6 * bytes);
+        assert_eq!(topo.hier_intra_bytes(bytes), 24 * bytes);
+    }
+
+    #[test]
+    fn single_node_hierarchy_degenerates_to_the_flat_intra_sync() {
+        let topo = ClusterTopology::new(1, 4, Interconnect::Ethernet10G);
+        let bytes = 1 << 20;
+        let add_bw = 400.0e9;
+        let hier = topo.hier_sync_time_s(bytes, Interconnect::Pcie3, add_bw);
+        let flat = collective::sync_time_s(4, bytes, Interconnect::Pcie3, add_bw);
+        assert!((hier - flat).abs() < 1e-15);
+        assert_eq!(topo.inter_exchange_time_s(bytes, add_bw), 0.0);
+        assert_eq!(topo.hier_inter_bytes(bytes), 0);
+    }
+
+    #[test]
+    fn single_gpu_nodes_pay_no_intra_traffic() {
+        let topo = ClusterTopology::new(4, 1, Interconnect::Ethernet10G);
+        assert_eq!(
+            topo.hier_local_time_s(1 << 20, Interconnect::NvLink, 1e9),
+            0.0
+        );
+        assert_eq!(topo.hier_intra_bytes(1 << 20), 0);
+        // All the traffic is the leader exchange — identical to flat here.
+        let add_bw = 400.0e9;
+        let hier = topo.hier_sync_time_s(1 << 20, Interconnect::NvLink, add_bw);
+        let flat = topo.flat_sync_time_s(1 << 20, add_bw);
+        assert!((hier - flat).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_node_cluster_is_rejected() {
+        let _ = ClusterTopology::new(0, 2, Interconnect::Ethernet10G);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_gpu_node_is_rejected() {
+        let _ = ClusterTopology::new(2, 0, Interconnect::Ethernet10G);
+    }
+}

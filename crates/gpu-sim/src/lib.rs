@@ -42,6 +42,8 @@
 //! * [`stream`] — transfer/compute overlap for the pipelined `WorkSchedule2`.
 //! * [`profile`] — per-kernel time breakdown (Table 5).
 //! * [`multi_gpu`] — a multi-device system with a shared interconnect.
+//! * [`cluster`] — multi-node clusters (`N` nodes × `G` GPUs) over a
+//!   two-tier interconnect, with flat vs hierarchical φ-sync cost models.
 //! * [`topology`] — interconnect topologies (PCIe tree, NVLink mesh) and the
 //!   tree-vs-ring collective comparison used by the extension ablations.
 //! * [`energy`] — per-architecture energy model (pJ/byte, pJ/flop) and
@@ -50,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod collective;
 pub mod cost;
 pub mod device;
@@ -65,6 +68,7 @@ pub mod topology;
 pub mod trace;
 pub mod transfer;
 
+pub use cluster::{ClusterSystem, ClusterTopology};
 pub use collective::{overlapped_span_s, sharded_sync_times_s, ReducePlan};
 pub use cost::{CostCounters, KernelTime};
 pub use device::{Arch, Device, DeviceSpec, DeviceSpecBuilder};

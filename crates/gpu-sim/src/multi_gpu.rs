@@ -6,16 +6,23 @@
 //! parallel" of Algorithm 1) and asks the system for the simulated cost of
 //! host↔device transfers and φ synchronizations.
 
+use crate::cluster::ClusterTopology;
 use crate::collective;
 use crate::device::{Device, DeviceSpec};
 use crate::transfer::Interconnect;
 use std::sync::Arc;
 
-/// `G` GPUs plus their interconnect.
+/// `G` GPUs plus their interconnect — optionally grouped into the nodes of a
+/// simulated cluster (see [`crate::cluster`]).
 #[derive(Debug)]
 pub struct MultiGpuSystem {
     devices: Vec<Arc<Device>>,
     interconnect: Interconnect,
+    /// `Some` when the devices are spread over a multi-node cluster; the
+    /// `interconnect` field is then the *intra*-node link and the topology
+    /// carries the inter-node fabric.  Grouping affects costing only — the
+    /// devices (ids, specs, seeds) are identical to the flat system's.
+    cluster: Option<ClusterTopology>,
 }
 
 impl MultiGpuSystem {
@@ -41,6 +48,38 @@ impl MultiGpuSystem {
         MultiGpuSystem {
             devices,
             interconnect,
+            cluster: None,
+        }
+    }
+
+    /// Build a clustered system: `topology.total_gpus()` devices numbered
+    /// node-major, joined within a node by `intra_link` and across nodes by
+    /// the topology's fabric.  Device ids and seeds are **identical** to the
+    /// flat [`MultiGpuSystem::homogeneous`] system of the same total GPU
+    /// count, so regrouping GPUs into nodes never perturbs any RNG stream.
+    pub fn clustered(
+        spec: DeviceSpec,
+        topology: ClusterTopology,
+        seed: u64,
+        intra_link: Interconnect,
+    ) -> Self {
+        let mut system = Self::homogeneous(spec, topology.total_gpus(), seed, intra_link);
+        system.cluster = Some(topology);
+        system
+    }
+
+    /// Assemble a system from existing (possibly shared) devices — the
+    /// per-node view constructor of [`crate::cluster::ClusterSystem`].
+    pub(crate) fn from_parts(
+        devices: Vec<Arc<Device>>,
+        interconnect: Interconnect,
+        cluster: Option<ClusterTopology>,
+    ) -> Self {
+        assert!(!devices.is_empty(), "a system needs at least one GPU");
+        MultiGpuSystem {
+            devices,
+            interconnect,
+            cluster,
         }
     }
 
@@ -64,9 +103,22 @@ impl MultiGpuSystem {
         &self.devices
     }
 
-    /// The GPU↔GPU / CPU↔GPU interconnect.
+    /// The GPU↔GPU / CPU↔GPU interconnect (the *intra*-node link when the
+    /// system is clustered).
     pub fn interconnect(&self) -> Interconnect {
         self.interconnect
+    }
+
+    /// The cluster topology, when this system's devices are spread over
+    /// multiple nodes (see [`MultiGpuSystem::clustered`]).
+    pub fn cluster(&self) -> Option<ClusterTopology> {
+        self.cluster
+    }
+
+    /// Number of cluster nodes the devices are spread over (1 for a plain
+    /// single-node system).
+    pub fn num_nodes(&self) -> usize {
+        self.cluster.map_or(1, |c| c.num_nodes)
     }
 
     /// Simulated time of one host→device (or device→host) copy of `bytes`.
@@ -74,12 +126,78 @@ impl MultiGpuSystem {
         self.interconnect.transfer_time_s(bytes)
     }
 
-    /// Simulated time of a full φ synchronization (tree reduce + broadcast,
-    /// §5.2) when every replica is `bytes` large.  The element-wise addition
-    /// runs at the receiving GPU's effective memory bandwidth.
+    /// Simulated time of a full *flat* φ synchronization (tree reduce +
+    /// broadcast, §5.2) when every replica is `bytes` large.  The
+    /// element-wise addition runs at the receiving GPU's effective memory
+    /// bandwidth.  On a multi-node cluster this is the topology-oblivious
+    /// baseline: every tree round crosses the slow fabric (the hierarchical
+    /// alternative is [`MultiGpuSystem::phi_hier_sync_time_s`]).
     pub fn phi_sync_time_s(&self, bytes: u64) -> f64 {
-        let add_bw = self.devices[0].spec.effective_bandwidth_bytes_per_s();
-        collective::sync_time_s(self.num_gpus(), bytes, self.interconnect, add_bw)
+        let add_bw = self.add_bandwidth_bytes_per_s();
+        match self.cluster {
+            Some(topo) if topo.num_nodes > 1 => topo.flat_sync_time_s(bytes, add_bw),
+            _ => collective::sync_time_s(self.num_gpus(), bytes, self.interconnect, add_bw),
+        }
+    }
+
+    /// Simulated time of the *hierarchical* φ synchronization of one `bytes`
+    /// replica: per-node tree reduce over the intra-node link → inter-node
+    /// leader exchange over the fabric → per-node broadcast back.  On a
+    /// single-node system this equals [`MultiGpuSystem::phi_sync_time_s`]
+    /// exactly.
+    pub fn phi_hier_sync_time_s(&self, bytes: u64) -> f64 {
+        self.phi_hier_local_time_s(bytes) + self.phi_inter_exchange_time_s(bytes)
+    }
+
+    /// The intra-node half of the hierarchical sync: per-node reduce +
+    /// broadcast over the local link, all nodes concurrent.  Equals the full
+    /// [`MultiGpuSystem::phi_sync_time_s`] on a single-node system.
+    pub fn phi_hier_local_time_s(&self, bytes: u64) -> f64 {
+        let add_bw = self.add_bandwidth_bytes_per_s();
+        match self.cluster {
+            Some(topo) if topo.num_nodes > 1 => {
+                topo.hier_local_time_s(bytes, self.interconnect, add_bw)
+            }
+            _ => collective::sync_time_s(self.num_gpus(), bytes, self.interconnect, add_bw),
+        }
+    }
+
+    /// The inter-node half of the hierarchical sync: exchange of `bytes` of
+    /// already-reduced shard data among the node leaders over the fabric.
+    /// Zero on a single-node system.
+    pub fn phi_inter_exchange_time_s(&self, bytes: u64) -> f64 {
+        match self.cluster {
+            Some(topo) if topo.num_nodes > 1 => {
+                topo.inter_exchange_time_s(bytes, self.add_bandwidth_bytes_per_s())
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Bytes one `bytes`-sized replica sync moves on each interconnect tier,
+    /// as `(intra_node_bytes, inter_node_bytes)`, for the flat
+    /// (`hierarchical = false`) or hierarchical schedule.  On a single-node
+    /// system all traffic is intra-node either way.
+    pub fn phi_sync_tier_bytes(&self, bytes: u64, hierarchical: bool) -> (u64, u64) {
+        match self.cluster {
+            Some(topo) if topo.num_nodes > 1 => {
+                if hierarchical {
+                    (topo.hier_intra_bytes(bytes), topo.hier_inter_bytes(bytes))
+                } else {
+                    (0, topo.flat_fabric_bytes(bytes))
+                }
+            }
+            _ => {
+                let g = self.num_gpus() as u64;
+                (2 * g.saturating_sub(1) * bytes, 0)
+            }
+        }
+    }
+
+    /// The bandwidth the element-wise reduce additions run at (the first
+    /// device's effective memory bandwidth — systems are homogeneous).
+    fn add_bandwidth_bytes_per_s(&self) -> f64 {
+        self.devices[0].spec.effective_bandwidth_bytes_per_s()
     }
 
     /// The slowest device's simulated busy time — the per-iteration wall
@@ -125,6 +243,7 @@ impl MultiGpuSystem {
                 .map(|d| Arc::new(Device::new(d.id, d.spec.clone(), d.seed)))
                 .collect(),
             interconnect: self.interconnect,
+            cluster: self.cluster,
         }
     }
 }
@@ -192,5 +311,34 @@ mod tests {
     #[should_panic]
     fn zero_gpu_system_is_rejected() {
         let _ = MultiGpuSystem::homogeneous(DeviceSpec::v100_volta(), 0, 0, Interconnect::Pcie3);
+    }
+
+    #[test]
+    fn clustered_system_costs_hierarchical_sync_below_flat() {
+        let topo = ClusterTopology::new(2, 2, Interconnect::Ethernet10G);
+        let sys =
+            MultiGpuSystem::clustered(DeviceSpec::titan_xp_pascal(), topo, 7, Interconnect::Pcie3);
+        assert_eq!(sys.num_gpus(), 4);
+        assert_eq!(sys.num_nodes(), 2);
+        let bytes = 4 << 20;
+        let flat = sys.phi_sync_time_s(bytes);
+        let hier = sys.phi_hier_sync_time_s(bytes);
+        assert!(hier < flat, "hier {hier} should beat flat {flat}");
+        // Tier accounting: flat puts everything on the fabric, hierarchical
+        // pushes the G-fold reduction onto the local links.
+        assert_eq!(sys.phi_sync_tier_bytes(bytes, false), (0, 6 * bytes));
+        assert_eq!(sys.phi_sync_tier_bytes(bytes, true), (4 * bytes, 2 * bytes));
+        // A single-node system reports the same cost through both paths and
+        // keeps all bytes intra-node.
+        let single =
+            MultiGpuSystem::homogeneous(DeviceSpec::titan_xp_pascal(), 4, 7, Interconnect::Pcie3);
+        assert_eq!(
+            single.phi_sync_time_s(bytes),
+            single.phi_hier_sync_time_s(bytes)
+        );
+        assert_eq!(single.phi_sync_tier_bytes(bytes, true), (6 * bytes, 0));
+        assert_eq!(single.phi_inter_exchange_time_s(bytes), 0.0);
+        // fresh_like preserves the cluster grouping (streaming rebuilds).
+        assert_eq!(sys.fresh_like().cluster(), Some(topo));
     }
 }

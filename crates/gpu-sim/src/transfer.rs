@@ -9,6 +9,23 @@
 use serde::{Deserialize, Serialize};
 
 /// A point-to-point interconnect with a fixed bandwidth and latency.
+///
+/// The cost of moving data is the classic latency + size/bandwidth model:
+///
+/// ```
+/// use culda_gpusim::Interconnect;
+///
+/// // The §3.2 ordering: NVLink > PCIe 3.0 > InfiniBand EDR > 10 GbE.
+/// let links = [
+///     Interconnect::NvLink,
+///     Interconnect::Pcie3,
+///     Interconnect::InfinibandEdr,
+///     Interconnect::Ethernet10G,
+/// ];
+/// assert!(links
+///     .windows(2)
+///     .all(|w| w[0].bandwidth_bytes_per_s() > w[1].bandwidth_bytes_per_s()));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Interconnect {
     /// PCIe 3.0 x16: ~16 GB/s per direction (§3.2, §7).
@@ -17,6 +34,10 @@ pub enum Interconnect {
     NvLink,
     /// 10 Gb/s Ethernet — the network of the LDA* cluster (§7.2).
     Ethernet10G,
+    /// InfiniBand EDR (100 Gb/s): the HPC-cluster fabric — an order of
+    /// magnitude faster than 10 GbE and with RDMA-class latency, but still
+    /// slower than any intra-node link.
+    InfinibandEdr,
     /// Custom link.
     Custom {
         /// Bandwidth in gigabytes per second.
@@ -28,27 +49,58 @@ pub enum Interconnect {
 
 impl Interconnect {
     /// Bandwidth in bytes per second.
+    ///
+    /// ```
+    /// use culda_gpusim::Interconnect;
+    ///
+    /// assert_eq!(Interconnect::Pcie3.bandwidth_bytes_per_s(), 16.0e9);
+    /// let link = Interconnect::Custom { gbytes_per_s: 2.5, latency_s: 1e-6 };
+    /// assert_eq!(link.bandwidth_bytes_per_s(), 2.5e9);
+    /// ```
     pub fn bandwidth_bytes_per_s(&self) -> f64 {
         match self {
             Interconnect::Pcie3 => 16.0e9,
             Interconnect::NvLink => 300.0e9,
             // 10 Gb/s = 1.25 GB/s, ~80 % achievable with TCP framing overhead.
             Interconnect::Ethernet10G => 1.0e9,
+            // 100 Gb/s = 12.5 GB/s raw; RDMA keeps most of it.
+            Interconnect::InfinibandEdr => 11.0e9,
             Interconnect::Custom { gbytes_per_s, .. } => gbytes_per_s * 1e9,
         }
     }
 
     /// One-way message latency in seconds.
+    ///
+    /// ```
+    /// use culda_gpusim::Interconnect;
+    ///
+    /// // Kernel-bypass RDMA beats the TCP stack by more than an order of
+    /// // magnitude.
+    /// assert!(Interconnect::InfinibandEdr.latency_s() < Interconnect::Ethernet10G.latency_s());
+    /// ```
     pub fn latency_s(&self) -> f64 {
         match self {
             Interconnect::Pcie3 => 10e-6,
             Interconnect::NvLink => 5e-6,
             Interconnect::Ethernet10G => 50e-6,
+            Interconnect::InfinibandEdr => 2e-6,
             Interconnect::Custom { latency_s, .. } => *latency_s,
         }
     }
 
-    /// Time to move `bytes` across the link once.
+    /// Time to move `bytes` across the link once:
+    /// `latency_s() + bytes / bandwidth_bytes_per_s()`.
+    ///
+    /// ```
+    /// use culda_gpusim::Interconnect;
+    ///
+    /// let link = Interconnect::Pcie3;
+    /// // 160 MB over 16 GB/s is 10 ms of bandwidth plus 10 µs of latency.
+    /// let t = link.transfer_time_s(160_000_000);
+    /// assert!((t - 0.01001).abs() < 1e-9);
+    /// // An empty message still pays the latency.
+    /// assert_eq!(link.transfer_time_s(0), link.latency_s());
+    /// ```
     pub fn transfer_time_s(&self, bytes: u64) -> f64 {
         self.latency_s() + bytes as f64 / self.bandwidth_bytes_per_s()
     }

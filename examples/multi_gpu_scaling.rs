@@ -39,7 +39,7 @@
 
 use culda::core::{LdaConfig, SessionBuilder};
 use culda::corpus::DatasetProfile;
-use culda::gpusim::{DeviceSpec, Interconnect, MultiGpuSystem};
+use culda::gpusim::{ClusterSystem, DeviceSpec, Interconnect, MultiGpuSystem};
 use culda_testkit::fixtures::shuffled_vocab as shuffle_vocab;
 
 fn main() {
@@ -162,5 +162,83 @@ fn main() {
     println!(
         "\nreduce work grows with #shards (per-round latencies) while the exposed\n\
          sync shrinks: the reduces hide behind the sampling of later shards."
+    );
+
+    // --- Cluster node sweep (DESIGN.md §14). ---
+    // The same four Pascal devices, regrouped into nodes joined by a 10 GbE
+    // fabric (PCIe inside every node).  Grouping is costing-only — every row
+    // trains the bit-identical model — but the sync schedule changes: the
+    // hierarchical plan reduces each shard inside the node first, so the slow
+    // fabric carries one replica per node instead of one per device.  Shard
+    // and fabric-group counts auto-tune per row (default config).
+    println!(
+        "\ncluster regrouping of the same 4 GPUs over 10 GbE ({} tokens, K = 160):\n\
+         {:<12} {:>19} {:>19} {:>12} {:>12}",
+        dense_corpus.num_tokens(),
+        "topology",
+        "hier exposed (ms)",
+        "flat exposed (ms)",
+        "intra MB/it",
+        "fabric MB/it"
+    );
+    for (nodes, gpus) in [(1usize, 4usize), (2, 2), (4, 1)] {
+        let mut exposed = [0.0f64; 2];
+        let mut tier_mb = [0.0f64; 2];
+        for (slot, hierarchical) in [(0usize, true), (1usize, false)] {
+            let system = if nodes > 1 {
+                ClusterSystem::homogeneous(
+                    DeviceSpec::titan_xp_pascal(),
+                    nodes,
+                    gpus,
+                    11,
+                    Interconnect::Pcie3,
+                    Interconnect::Ethernet10G,
+                )
+                .into_system()
+            } else {
+                MultiGpuSystem::homogeneous(
+                    DeviceSpec::titan_xp_pascal(),
+                    gpus,
+                    11,
+                    Interconnect::Pcie3,
+                )
+            };
+            let mut trainer = SessionBuilder::new()
+                .corpus(&dense_corpus)
+                .config(
+                    LdaConfig::with_topics(160)
+                        .seed(11)
+                        .hierarchical_sync(hierarchical),
+                )
+                .system(system)
+                .build()
+                .unwrap();
+            trainer.train(sweep_iterations);
+            let n = sweep_iterations as f64;
+            exposed[slot] = trainer
+                .history()
+                .iter()
+                .map(|h| h.sync_exposed_time_s)
+                .sum::<f64>()
+                / n;
+            let (intra, inter) = trainer.history().iter().fold((0u64, 0u64), |acc, h| {
+                (acc.0 + h.intra_sync_bytes, acc.1 + h.inter_sync_bytes)
+            });
+            if slot == 0 {
+                tier_mb = [intra as f64 / n / 1e6, inter as f64 / n / 1e6];
+            }
+        }
+        println!(
+            "{:<12} {:>19.3} {:>19.3} {:>12.2} {:>12.2}",
+            format!("{nodes} × {gpus}"),
+            exposed[0] * 1e3,
+            exposed[1] * 1e3,
+            tier_mb[0],
+            tier_mb[1]
+        );
+    }
+    println!(
+        "\nmore nodes → more traffic forced onto the slow fabric; the hierarchy\n\
+         caps the fabric share at one replica exchange per node pair."
     );
 }

@@ -1,0 +1,186 @@
+//! Multi-node cluster simulation with hierarchical φ synchronization
+//! (DESIGN.md §14): grouping the same devices into nodes — and switching
+//! between the flat all-device collective and the two-tier hierarchical
+//! schedule — must be a pure *costing* change, bit-identical in every
+//! trained artifact, while the hierarchy measurably shrinks the exposed
+//! sync on a slow fabric at bandwidth-bound model sizes.
+
+use culda::baselines::CuLdaSolver;
+use culda::core::{CuLdaTrainer, LdaConfig, ModelCheckpoint, SessionBuilder};
+use culda::corpus::{Corpus, DatasetProfile};
+use culda::gpusim::{ClusterSystem, DeviceSpec, Interconnect, MultiGpuSystem};
+use culda_testkit::determinism::{assert_same_assignments, z_signature};
+use culda_testkit::fixtures;
+
+const K: usize = 8;
+const SEED: u64 = 2019;
+const ITERATIONS: usize = 5;
+
+/// `nodes × gpus` Volta devices: a plain single-node system for `nodes == 1`,
+/// otherwise a cluster with PCIe inside every node and 10 GbE between nodes.
+fn system(nodes: usize, gpus: usize) -> MultiGpuSystem {
+    if nodes == 1 {
+        MultiGpuSystem::homogeneous(DeviceSpec::v100_volta(), gpus, SEED, Interconnect::Pcie3)
+    } else {
+        ClusterSystem::homogeneous(
+            DeviceSpec::v100_volta(),
+            nodes,
+            gpus,
+            SEED,
+            Interconnect::Pcie3,
+            Interconnect::Ethernet10G,
+        )
+        .into_system()
+    }
+}
+
+fn trained(corpus: &Corpus, nodes: usize, gpus: usize, hierarchical: bool) -> CuLdaTrainer {
+    let config = LdaConfig::with_topics(K)
+        .seed(SEED)
+        .hierarchical_sync(hierarchical);
+    let mut trainer = SessionBuilder::new()
+        .corpus(corpus)
+        .config(config)
+        .system(system(nodes, gpus))
+        .build()
+        .expect("trainer");
+    trainer.train(ITERATIONS);
+    trainer
+}
+
+fn checkpoint_bytes(trainer: &CuLdaTrainer) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    ModelCheckpoint::from_trainer(trainer)
+        .write(&mut bytes)
+        .expect("checkpoint serialization");
+    bytes
+}
+
+#[test]
+fn training_is_bit_identical_across_node_groupings() {
+    // The same four devices as one node, 2 × 2, and four single-GPU nodes:
+    // node grouping changes only which link each transfer is costed on, so
+    // z, φ and the checkpoint bytes must match exactly — and the hierarchy
+    // flag must not perturb them either.
+    let corpus = fixtures::medium(fixtures::FIXTURE_SEED);
+    let reference = trained(&corpus, 1, 4, true);
+    let reference_bytes = checkpoint_bytes(&reference);
+    let reference_solver = CuLdaSolver::new(reference, "1 node × 4 GPUs");
+    for (nodes, gpus) in [(2usize, 2usize), (4, 1)] {
+        for hierarchical in [true, false] {
+            let trainer = trained(&corpus, nodes, gpus, hierarchical);
+            assert_eq!(
+                checkpoint_bytes(&trainer),
+                reference_bytes,
+                "{nodes} × {gpus} (hierarchical: {hierarchical}) checkpoint diverged"
+            );
+            let solver = CuLdaSolver::new(trainer, format!("{nodes} nodes × {gpus} GPUs"));
+            assert_same_assignments(&reference_solver, &solver);
+            assert_eq!(z_signature(&reference_solver), z_signature(&solver));
+        }
+    }
+}
+
+#[test]
+fn cluster_checkpoints_resume_bit_exactly() {
+    // Save on a 2 × 2 cluster, resume on the same topology, and compare to
+    // an uninterrupted run — the cluster fields ride the config through the
+    // checkpoint without perturbing the restart.
+    let corpus = fixtures::medium(fixtures::FIXTURE_SEED);
+    let uninterrupted = trained(&corpus, 2, 2, true);
+
+    let config = LdaConfig::with_topics(K).seed(SEED).hierarchical_sync(true);
+    let mut first = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(config.clone())
+        .system(system(2, 2))
+        .build()
+        .expect("trainer");
+    first.train(2);
+    let mut bytes = Vec::new();
+    ModelCheckpoint::from_trainer(&first)
+        .write(&mut bytes)
+        .expect("checkpoint serialization");
+
+    let restored = ModelCheckpoint::read(bytes.as_slice()).expect("checkpoint parse");
+    let mut resumed = SessionBuilder::new()
+        .corpus(&corpus)
+        .config(config)
+        .system(system(2, 2))
+        .assignments(
+            restored.z.clone().expect("assignments"),
+            restored.iterations,
+        )
+        .sampler_state(restored.sampler_state.clone())
+        .build()
+        .expect("resumed trainer");
+    resumed.train(ITERATIONS - 2);
+
+    assert_eq!(checkpoint_bytes(&resumed), checkpoint_bytes(&uninterrupted));
+}
+
+#[test]
+fn hierarchy_beats_the_flat_collective_on_a_slow_fabric() {
+    // Bandwidth-bound regime: K × V × 2 ≈ 1.2 MiB of φ replica per exchange
+    // on a 10 GbE fabric joining 2 nodes × 2 Pascal GPUs.  The flat
+    // collective drags every device-pair hop over the fabric; the hierarchy
+    // reduces inside each node first and sends one replica per node pair.
+    let corpus = fixtures::shuffled_vocab(
+        &DatasetProfile {
+            name: "cluster-scale".into(),
+            num_docs: 2700,
+            vocab_size: 4000,
+            avg_doc_len: 330.0,
+            zipf_exponent: 1.05,
+            doc_len_sigma: 0.4,
+        }
+        .generate(11),
+    );
+    let run = |hierarchical: bool| {
+        let config = LdaConfig::with_topics(160)
+            .seed(SEED)
+            .hierarchical_sync(hierarchical);
+        let sys = ClusterSystem::homogeneous(
+            DeviceSpec::titan_xp_pascal(),
+            2,
+            2,
+            SEED,
+            Interconnect::Pcie3,
+            Interconnect::Ethernet10G,
+        )
+        .into_system();
+        let mut trainer = SessionBuilder::new()
+            .corpus(&corpus)
+            .config(config)
+            .system(sys)
+            .build()
+            .expect("trainer");
+        trainer.train(3);
+        trainer
+    };
+
+    let hier = run(true);
+    let flat = run(false);
+    // Identical models…
+    assert_eq!(checkpoint_bytes(&hier), checkpoint_bytes(&flat));
+
+    // …different schedules.  Compare steady-state iterations (iteration 0 is
+    // the dense tuning pass in both runs).
+    let hier_it = hier.history().last().copied().expect("history");
+    let flat_it = flat.history().last().copied().expect("history");
+    assert!(
+        hier_it.sync_exposed_time_s < 0.7 * flat_it.sync_exposed_time_s,
+        "hierarchical exposed sync {} must undercut flat {} by ≥ 30%",
+        hier_it.sync_exposed_time_s,
+        flat_it.sync_exposed_time_s
+    );
+    assert!(hier_it.sim_time_s < flat_it.sim_time_s);
+
+    // Tier accounting: the flat collective puts *all* sync traffic on the
+    // fabric; the hierarchy moves most of it onto the intra-node links and
+    // sends only one replica per node pair across.
+    assert_eq!(flat_it.intra_sync_bytes, 0);
+    assert!(hier_it.intra_sync_bytes > 0);
+    assert!(hier_it.inter_sync_bytes > 0);
+    assert!(hier_it.inter_sync_bytes < flat_it.inter_sync_bytes);
+}
